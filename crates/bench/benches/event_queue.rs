@@ -1,0 +1,44 @@
+//! Future-event-list throughput: the inner loop of every simulation.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use pmsb_simcore::{EventQueue, SimTime};
+
+fn bench_event_queue(c: &mut Criterion) {
+    let mut group = c.benchmark_group("event_queue");
+    group.bench_function("push_pop_1k", |b| {
+        b.iter(|| {
+            let mut q = EventQueue::new();
+            // Pseudo-random but deterministic times.
+            let mut t = 12345u64;
+            for i in 0..1000u64 {
+                t = t.wrapping_mul(6364136223846793005).wrapping_add(1);
+                q.push(SimTime::from_nanos(t >> 20), i);
+            }
+            let mut sum = 0u64;
+            while let Some((_, e)) = q.pop() {
+                sum += e;
+            }
+            black_box(sum)
+        })
+    });
+    group.bench_function("interleaved_hold_64", |b| {
+        // Steady-state pattern: pop one, push one, 64 events resident.
+        b.iter(|| {
+            let mut q = EventQueue::new();
+            for i in 0..64u64 {
+                q.push(SimTime::from_nanos(i), i);
+            }
+            let mut sum = 0u64;
+            for _ in 0..1000 {
+                let (at, e) = q.pop().unwrap();
+                sum += e;
+                q.push(at + pmsb_simcore::SimDuration::from_nanos(64), e);
+            }
+            black_box(sum)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_event_queue);
+criterion_main!(benches);

@@ -1,0 +1,46 @@
+//! Per-packet decision cost of each marking scheme — the paper argues
+//! PMSB "keeps the same scale implementation complexity as ECN/RED"
+//! (§IV-C); this bench quantifies that claim for the software models.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use pmsb::marking::{MarkingScheme, MqEcn, PerPort, PerQueue, Pmsb, Tcn};
+use pmsb::PortSnapshot;
+
+fn snapshot() -> PortSnapshot {
+    let mut b = PortSnapshot::builder(8)
+        .round_time_nanos(9_600)
+        .sojourn_nanos(25_000);
+    for q in 0..8 {
+        b = b.queue_bytes(q, (q as u64 + 1) * 3_000);
+    }
+    b.build()
+}
+
+fn bench_marking(c: &mut Criterion) {
+    let view = snapshot();
+    let mut group = c.benchmark_group("marking_decision");
+    let mut schemes: Vec<(&str, Box<dyn MarkingScheme>)> = vec![
+        ("per_queue", Box::new(PerQueue::standard(16 * 1500, 8))),
+        ("per_port", Box::new(PerPort::new(16 * 1500))),
+        ("mq_ecn", Box::new(MqEcn::new(65 * 1500, vec![1500; 8]))),
+        ("tcn", Box::new(Tcn::new(78_200))),
+        ("pmsb", Box::new(Pmsb::new(12 * 1500, vec![1; 8]))),
+    ];
+    for (name, scheme) in schemes.iter_mut() {
+        group.bench_function(*name, |b| {
+            b.iter(|| {
+                let mut marks = 0u32;
+                for q in 0..8 {
+                    if scheme.should_mark(black_box(&view), q).is_mark() {
+                        marks += 1;
+                    }
+                }
+                black_box(marks)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_marking);
+criterion_main!(benches);

@@ -1,0 +1,60 @@
+//! Enqueue+dequeue cost of each scheduler under an 8-queue backlog.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use pmsb_sched::{Dwrr, HierSpWfq, MultiQueue, SchedItem, Scheduler, StrictPriority, Wfq, Wrr};
+
+#[derive(Debug, Clone, Copy)]
+struct Pkt(u64);
+impl SchedItem for Pkt {
+    fn len_bytes(&self) -> u64 {
+        self.0
+    }
+}
+
+fn drive(sched: Box<dyn Scheduler>, ops: usize) -> u64 {
+    let n = sched.num_queues();
+    let mut mq = MultiQueue::new(sched, u64::MAX);
+    let mut now = 0u64;
+    for _ in 0..4 {
+        for q in 0..n {
+            mq.enqueue(q, Pkt(1500), now).unwrap();
+        }
+    }
+    let mut served = 0u64;
+    for _ in 0..ops {
+        let (q, p) = mq.dequeue(now).unwrap();
+        served += p.0;
+        now += 1500;
+        mq.enqueue(q, Pkt(1500), now).unwrap();
+    }
+    served
+}
+
+fn bench_schedulers(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scheduler_ops");
+    let ops = 1000;
+    group.bench_function("sp", |b| {
+        b.iter(|| black_box(drive(Box::new(StrictPriority::new(8)), ops)))
+    });
+    group.bench_function("wrr", |b| {
+        b.iter(|| black_box(drive(Box::new(Wrr::new(vec![1; 8])), ops)))
+    });
+    group.bench_function("dwrr", |b| {
+        b.iter(|| black_box(drive(Box::new(Dwrr::new(vec![1; 8], 1500)), ops)))
+    });
+    group.bench_function("wfq", |b| {
+        b.iter(|| black_box(drive(Box::new(Wfq::new(vec![1; 8])), ops)))
+    });
+    group.bench_function("sp_wfq", |b| {
+        b.iter(|| {
+            black_box(drive(
+                Box::new(HierSpWfq::new(vec![0, 0, 1, 1, 1, 1, 1, 1], vec![1; 8])),
+                ops,
+            ))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_schedulers);
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! End-to-end simulator throughput: a small dumbbell contention scenario
+//! per scheme, measuring full events-through-the-world cost.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use pmsb_netsim::experiment::{Experiment, FlowDesc, MarkingConfig};
+
+fn run(marking: MarkingConfig) -> usize {
+    let mut e = Experiment::dumbbell(4, 2).marking(marking);
+    for s in 0..4 {
+        e.add_flow(FlowDesc::bulk(s, 4, s % 2, 500_000));
+    }
+    let res = e.run_for_millis(10);
+    res.fct.len()
+}
+
+fn bench_small_sim(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dumbbell_4x500KB");
+    group.sample_size(20);
+    for (name, marking) in [
+        (
+            "pmsb",
+            MarkingConfig::Pmsb {
+                port_threshold_pkts: 12,
+            },
+        ),
+        ("per_port", MarkingConfig::PerPort { threshold_pkts: 16 }),
+        ("mq_ecn", MarkingConfig::MqEcn { standard_pkts: 16 }),
+        (
+            "tcn",
+            MarkingConfig::Tcn {
+                threshold_nanos: 39_000,
+            },
+        ),
+    ] {
+        group.bench_function(name, |b| b.iter(|| black_box(run(marking.clone()))));
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_small_sim);
+criterion_main!(benches);

@@ -1,0 +1,54 @@
+//! DCTCP sender/receiver state-machine throughput (per-ACK cost).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use pmsb_netsim::config::TransportConfig;
+use pmsb_netsim::packet::PacketKind;
+use pmsb_netsim::transport::{DctcpReceiver, DctcpSender};
+
+/// One complete in-memory transfer: sender and receiver joined directly.
+fn transfer(bytes: u64, mark_every: u64) -> u64 {
+    let cfg = TransportConfig::default();
+    let mut s = DctcpSender::new(1, 0, 1, 0, bytes, None, 0, &cfg);
+    let mut r = DctcpReceiver::new(1);
+    let mut now = 0u64;
+    let mut in_flight = s.start(now).packets;
+    let mut count = 0u64;
+    while !s.is_completed() {
+        now += 10_000;
+        let acks: Vec<_> = in_flight
+            .drain(..)
+            .map(|mut p| {
+                count += 1;
+                if mark_every > 0 && count.is_multiple_of(mark_every) {
+                    p.ce = true;
+                }
+                r.on_data(&p, now).ack.expect("per-packet ACKs")
+            })
+            .collect();
+        now += 10_000;
+        for a in acks {
+            let PacketKind::Ack { cum_ack, ece } = a.kind else {
+                unreachable!()
+            };
+            in_flight.extend(s.on_ack(cum_ack, ece, a.sent_at_nanos, now).packets);
+        }
+        if in_flight.is_empty() && !s.is_completed() {
+            break; // safety: should not happen
+        }
+    }
+    count
+}
+
+fn bench_transport(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dctcp_transfer");
+    group.bench_function("1mb_unmarked", |b| {
+        b.iter(|| black_box(transfer(1_000_000, 0)))
+    });
+    group.bench_function("1mb_marked_every_8", |b| {
+        b.iter(|| black_box(transfer(1_000_000, 8)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_transport);
+criterion_main!(benches);

@@ -1,0 +1,5 @@
+//! Ablation: DCTCP's proportional cut vs classic ECN halving.
+fn main() {
+    let quick = pmsb_bench::util::quick_flag();
+    pmsb_bench::extensions::ablation_classic_ecn(quick);
+}

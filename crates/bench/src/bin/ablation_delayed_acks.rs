@@ -1,0 +1,5 @@
+//! Ablation: ACK coalescing sensitivity.
+fn main() {
+    let quick = pmsb_bench::util::quick_flag();
+    pmsb_bench::extensions::ablation_delayed_acks(quick);
+}

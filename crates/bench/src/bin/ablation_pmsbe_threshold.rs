@@ -1,0 +1,5 @@
+//! Ablation: PMSB(e) RTT-threshold sensitivity.
+fn main() {
+    let quick = pmsb_bench::util::quick_flag();
+    pmsb_bench::extensions::ablation_pmsbe_threshold(quick);
+}

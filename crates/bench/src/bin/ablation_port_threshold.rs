@@ -1,0 +1,5 @@
+//! Ablation: PMSB port-threshold sensitivity (fairness + latency).
+fn main() {
+    let quick = pmsb_bench::util::quick_flag();
+    pmsb_bench::extensions::ablation_port_threshold(quick);
+}

@@ -1,0 +1,5 @@
+//! Ablation: RED ramp vs DCTCP step marking.
+fn main() {
+    let quick = pmsb_bench::util::quick_flag();
+    pmsb_bench::extensions::ablation_red_vs_step(quick);
+}

@@ -1,0 +1,5 @@
+//! Extension experiment: `ext_datamining_workload`.
+fn main() {
+    let quick = pmsb_bench::util::quick_flag();
+    pmsb_bench::extensions::ext_datamining_workload(quick);
+}

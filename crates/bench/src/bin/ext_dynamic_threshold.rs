@@ -1,0 +1,5 @@
+//! Extension: Dynamic Threshold vs static shared buffer.
+fn main() {
+    let quick = pmsb_bench::util::quick_flag();
+    pmsb_bench::extensions::ext_dynamic_threshold(quick);
+}

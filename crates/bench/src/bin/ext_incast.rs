@@ -1,0 +1,5 @@
+//! Extension experiment: `ext_incast`.
+fn main() {
+    let quick = pmsb_bench::util::quick_flag();
+    pmsb_bench::extensions::ext_incast(quick);
+}

@@ -1,0 +1,5 @@
+//! Extension: per-service-pool marking couples unrelated ports.
+fn main() {
+    let quick = pmsb_bench::util::quick_flag();
+    pmsb_bench::extensions::ext_per_pool_violation(quick);
+}

@@ -1,0 +1,5 @@
+//! Extension: large-scale comparison on the web-search workload.
+fn main() {
+    let quick = pmsb_bench::util::quick_flag();
+    pmsb_bench::extensions::ext_websearch_workload(quick);
+}

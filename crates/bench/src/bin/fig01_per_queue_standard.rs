@@ -1,0 +1,5 @@
+//! Fig. 1: per-queue standard-threshold marking inflates RTT with queue count.
+fn main() {
+    let quick = pmsb_bench::util::quick_flag();
+    pmsb_bench::figures::fig01(quick);
+}

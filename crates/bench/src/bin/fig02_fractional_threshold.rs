@@ -1,0 +1,5 @@
+//! Fig. 2: fractional per-queue thresholds lose lone-flow throughput.
+fn main() {
+    let quick = pmsb_bench::util::quick_flag();
+    pmsb_bench::figures::fig02(quick);
+}

@@ -1,0 +1,5 @@
+//! Fig. 5: TCN cannot accelerate congestion notification.
+fn main() {
+    let quick = pmsb_bench::util::quick_flag();
+    pmsb_bench::figures::fig05(quick);
+}

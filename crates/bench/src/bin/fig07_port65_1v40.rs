@@ -1,0 +1,5 @@
+//! Fig. 7: per-port K=65 is violated again at 1 vs 40 flows.
+fn main() {
+    let quick = pmsb_bench::util::quick_flag();
+    pmsb_bench::figures::fig07(quick);
+}

@@ -1,0 +1,5 @@
+//! Fig. 8: PMSB preserves 1:1 weighted fair sharing (1 vs 4 flows).
+fn main() {
+    let quick = pmsb_bench::util::quick_flag();
+    pmsb_bench::figures::fig08(quick);
+}

@@ -1,0 +1,5 @@
+//! Fig. 9: RTT distribution of queue-2 flows under each scheme.
+fn main() {
+    let quick = pmsb_bench::util::quick_flag();
+    pmsb_bench::figures::fig09(quick);
+}

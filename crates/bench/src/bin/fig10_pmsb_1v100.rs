@@ -1,0 +1,5 @@
+//! Fig. 10: PMSB holds fair sharing under heavy traffic (1 vs 100 flows).
+fn main() {
+    let quick = pmsb_bench::util::quick_flag();
+    pmsb_bench::figures::fig10(quick);
+}

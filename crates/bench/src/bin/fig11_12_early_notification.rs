@@ -1,0 +1,5 @@
+//! Figs. 11/12: PMSB and PMSB(e) deliver congestion information early.
+fn main() {
+    let quick = pmsb_bench::util::quick_flag();
+    pmsb_bench::figures::fig11_12(quick);
+}

@@ -1,0 +1,5 @@
+//! Fig. 14: PMSB preserves strict-priority scheduling (5 / 3 / 2 Gbps).
+fn main() {
+    let quick = pmsb_bench::util::quick_flag();
+    pmsb_bench::figures::fig14(quick);
+}

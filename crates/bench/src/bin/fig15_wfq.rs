@@ -1,0 +1,5 @@
+//! Fig. 15: PMSB preserves WFQ (10 Gbps solo, then 5 / 5 Gbps).
+fn main() {
+    let quick = pmsb_bench::util::quick_flag();
+    pmsb_bench::figures::fig15(quick);
+}

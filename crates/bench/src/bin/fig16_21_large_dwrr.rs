@@ -1,0 +1,5 @@
+//! Figs. 16-21: large-scale leaf-spine FCT sweep under DWRR.
+fn main() {
+    let quick = pmsb_bench::util::quick_flag();
+    pmsb_bench::large_scale::fig16_21(quick);
+}

@@ -1,0 +1,5 @@
+//! Figs. 22-27: large-scale leaf-spine FCT sweep under WFQ.
+fn main() {
+    let quick = pmsb_bench::util::quick_flag();
+    pmsb_bench::large_scale::fig22_27(quick);
+}

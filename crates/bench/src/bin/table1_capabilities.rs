@@ -1,0 +1,4 @@
+//! Table I: the qualitative capability matrix, generated from the code.
+fn main() {
+    pmsb_bench::figures::table1();
+}

@@ -1,0 +1,5 @@
+//! Theorem IV.1: empirical threshold-bound validation.
+fn main() {
+    let quick = pmsb_bench::util::quick_flag();
+    pmsb_bench::figures::thm_iv1(quick);
+}

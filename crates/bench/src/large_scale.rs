@@ -1,0 +1,240 @@
+//! Large-scale leaf–spine FCT experiments: Figs. 16–21 (DWRR) and
+//! Figs. 22–27 (WFQ) of §VI-B.
+//!
+//! 48-host leaf–spine fabric, Poisson arrivals of the paper's 60/30/10
+//! flow-size mix over 8 services, load swept on the x-axis. Each figure
+//! group reports overall average FCT, large-flow average and 99th
+//! percentile, and small-flow average / 95th / 99th percentile for each
+//! scheme — the same series the paper plots.
+
+use pmsb::MarkPoint;
+use pmsb_netsim::experiment::{Experiment, FlowDesc, MarkingConfig, SchedulerConfig};
+use pmsb_simcore::rng::SimRng;
+use pmsb_workload::traffic::TrafficSpec;
+
+use crate::util::banner;
+use pmsb_metrics::fct::SizeClass;
+
+/// One `(scheme, load)` cell of the large-scale tables.
+#[derive(Debug, Clone)]
+pub struct LsRow {
+    /// Scheme name.
+    pub scheme: &'static str,
+    /// Offered load fraction.
+    pub load: f64,
+    /// Completed / injected flows.
+    pub completed: usize,
+    /// Injected flows.
+    pub injected: usize,
+    /// Overall average FCT, µs.
+    pub overall_avg_us: f64,
+    /// Large-flow (>10 MB) average FCT, µs.
+    pub large_avg_us: f64,
+    /// Large-flow 99th-percentile FCT, µs.
+    pub large_p99_us: f64,
+    /// Small-flow (<100 KB) average FCT, µs.
+    pub small_avg_us: f64,
+    /// Small-flow 95th-percentile FCT, µs.
+    pub small_p95_us: f64,
+    /// Small-flow 99th-percentile FCT, µs.
+    pub small_p99_us: f64,
+    /// Tail drops across the fabric.
+    pub drops: u64,
+    /// CE marks applied.
+    pub marks: u64,
+}
+
+/// The scheme lineup for a scheduler, as configured in the paper:
+/// PMSB port K = 12 pkts; PMSB(e) = per-port K = 12 with an 85.2 µs RTT
+/// threshold; MQ-ECN standard K = 65 pkts (round-based schedulers only);
+/// TCN T_k = 78.2 µs (dequeue marking by nature).
+pub fn schemes(include_mq_ecn: bool) -> Vec<(&'static str, MarkingConfig, Option<u64>, MarkPoint)> {
+    let mut v: Vec<(&'static str, MarkingConfig, Option<u64>, MarkPoint)> = vec![
+        (
+            "pmsb",
+            MarkingConfig::Pmsb {
+                port_threshold_pkts: 12,
+            },
+            None,
+            MarkPoint::Enqueue,
+        ),
+        (
+            "pmsb(e)",
+            MarkingConfig::PerPort { threshold_pkts: 12 },
+            Some(85_200),
+            MarkPoint::Enqueue,
+        ),
+        (
+            "tcn",
+            MarkingConfig::Tcn {
+                threshold_nanos: 78_200,
+            },
+            None,
+            MarkPoint::Dequeue,
+        ),
+    ];
+    if include_mq_ecn {
+        v.insert(
+            2,
+            (
+                "mq-ecn",
+                MarkingConfig::MqEcn { standard_pkts: 65 },
+                None,
+                MarkPoint::Enqueue,
+            ),
+        );
+    }
+    v
+}
+
+/// Runs one `(scheduler, scheme, load)` cell.
+#[allow(clippy::too_many_arguments)]
+pub fn run_cell(
+    scheduler: SchedulerConfig,
+    scheme: &'static str,
+    marking: MarkingConfig,
+    pmsbe: Option<u64>,
+    mark_point: MarkPoint,
+    load: f64,
+    num_flows: usize,
+    seed: u64,
+) -> LsRow {
+    let spec = TrafficSpec::paper_large_scale(48, load);
+    let mut rng = SimRng::seed_from(seed);
+    let flows = spec.generate(num_flows, &mut rng);
+    let mut e = Experiment::paper_leaf_spine()
+        .scheduler(scheduler)
+        .marking(marking)
+        .mark_point(mark_point);
+    if let Some(thr) = pmsbe {
+        e = e.pmsbe_rtt_threshold_nanos(thr);
+    }
+    for f in &flows {
+        e.add_flow(
+            FlowDesc::bulk(f.src_host, f.dst_host, f.service, f.size_bytes)
+                .starting_at(f.start_nanos),
+        );
+    }
+    let last = flows.last().map(|f| f.start_nanos).unwrap_or(0);
+    let res = e.run_until_nanos(last + 1_000_000_000);
+    let stat = |c: SizeClass, f: fn(&pmsb_metrics::Summary) -> f64| {
+        res.fct.stats(c).map(|s| f(&s) / 1e3).unwrap_or(f64::NAN)
+    };
+    LsRow {
+        scheme,
+        load,
+        completed: res.fct.len(),
+        injected: flows.len(),
+        overall_avg_us: stat(SizeClass::Overall, |s| s.mean),
+        large_avg_us: stat(SizeClass::Large, |s| s.mean),
+        large_p99_us: stat(SizeClass::Large, |s| s.p99),
+        small_avg_us: stat(SizeClass::Small, |s| s.mean),
+        small_p95_us: stat(SizeClass::Small, |s| s.p95),
+        small_p99_us: stat(SizeClass::Small, |s| s.p99),
+        drops: res.drops,
+        marks: res.marks,
+    }
+}
+
+fn sweep(title: &str, scheduler: SchedulerConfig, include_mq_ecn: bool, quick: bool) -> Vec<LsRow> {
+    banner(title);
+    let (loads, num_flows): (&[f64], usize) = if quick {
+        (&[0.3, 0.6], 250)
+    } else {
+        (&[0.2, 0.4, 0.6, 0.8], 1200)
+    };
+    println!(
+        "scheme,load,completed,injected,overall_avg_us,large_avg_us,large_p99_us,\
+         small_avg_us,small_p95_us,small_p99_us,drops,marks"
+    );
+    let mut rows = Vec::new();
+    for &load in loads {
+        for (name, marking, pmsbe, point) in schemes(include_mq_ecn) {
+            let row = run_cell(
+                scheduler.clone(),
+                name,
+                marking,
+                pmsbe,
+                point,
+                load,
+                num_flows,
+                42,
+            );
+            println!(
+                "{},{:.1},{},{},{:.1},{:.1},{:.1},{:.1},{:.1},{:.1},{},{}",
+                row.scheme,
+                row.load,
+                row.completed,
+                row.injected,
+                row.overall_avg_us,
+                row.large_avg_us,
+                row.large_p99_us,
+                row.small_avg_us,
+                row.small_p95_us,
+                row.small_p99_us,
+                row.drops,
+                row.marks
+            );
+            rows.push(row);
+        }
+    }
+    print_reductions(&rows);
+    rows
+}
+
+/// Figs. 16–21 — DWRR scheduler: PMSB vs PMSB(e) vs MQ-ECN vs TCN across
+/// loads.
+pub fn fig16_21(quick: bool) -> Vec<LsRow> {
+    sweep(
+        "Figs 16-21: large-scale leaf-spine, DWRR scheduler",
+        SchedulerConfig::Dwrr {
+            weights: vec![1; 8],
+        },
+        true,
+        quick,
+    )
+}
+
+/// Figs. 22–27 — WFQ scheduler (MQ-ECN excluded: it needs rounds).
+pub fn fig22_27(quick: bool) -> Vec<LsRow> {
+    sweep(
+        "Figs 22-27: large-scale leaf-spine, WFQ scheduler (MQ-ECN excluded)",
+        SchedulerConfig::Wfq {
+            weights: vec![1; 8],
+        },
+        false,
+        quick,
+    )
+}
+
+/// Prints the paper's headline comparisons: PMSB / PMSB(e) small-flow FCT
+/// reduction relative to each baseline, averaged across loads.
+fn print_reductions(rows: &[LsRow]) {
+    let mean_of = |scheme: &str, f: fn(&LsRow) -> f64| -> Option<f64> {
+        let vals: Vec<f64> = rows
+            .iter()
+            .filter(|r| r.scheme == scheme && f(r).is_finite())
+            .map(f)
+            .collect();
+        (!vals.is_empty()).then(|| vals.iter().sum::<f64>() / vals.len() as f64)
+    };
+    for baseline in ["tcn", "mq-ecn"] {
+        for ours in ["pmsb", "pmsb(e)"] {
+            for (metric, get) in [
+                (
+                    "small avg",
+                    (|r: &LsRow| r.small_avg_us) as fn(&LsRow) -> f64,
+                ),
+                ("small p99", |r: &LsRow| r.small_p99_us),
+                ("large avg", |r: &LsRow| r.large_avg_us),
+            ] {
+                if let (Some(b), Some(o)) = (mean_of(baseline, get), mean_of(ours, get)) {
+                    println!(
+                        "# {ours} vs {baseline}: {metric} FCT change {:+.1}%",
+                        (o / b - 1.0) * 100.0
+                    );
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,41 @@
+#![warn(missing_docs)]
+
+//! The PMSB experiment harness.
+//!
+//! Every table and figure of the paper's evaluation maps to one function
+//! here and one thin binary in `src/bin/`:
+//!
+//! | Paper artefact | Function | Binary |
+//! |---|---|---|
+//! | Fig. 1 | [`figures::fig01`] | `fig01_per_queue_standard` |
+//! | Fig. 2 | [`figures::fig02`] | `fig02_fractional_threshold` |
+//! | Fig. 3 | [`figures::fig03`] | `fig03_per_port_violation` |
+//! | Fig. 4 | [`figures::fig04`] | `fig04_enq_vs_deq` |
+//! | Fig. 5 | [`figures::fig05`] | `fig05_tcn_no_early` |
+//! | Fig. 6 | [`figures::fig06`] | `fig06_port65_1v8` |
+//! | Fig. 7 | [`figures::fig07`] | `fig07_port65_1v40` |
+//! | Fig. 8 | [`figures::fig08`] | `fig08_pmsb_dwrr_1v4` |
+//! | Fig. 9 | [`figures::fig09`] | `fig09_rtt_cdf` |
+//! | Fig. 10 | [`figures::fig10`] | `fig10_pmsb_1v100` |
+//! | Figs. 11/12 | [`figures::fig11_12`] | `fig11_12_early_notification` |
+//! | Fig. 13 | [`figures::fig13`] | `fig13_sp_wfq` |
+//! | Fig. 14 | [`figures::fig14`] | `fig14_sp` |
+//! | Fig. 15 | [`figures::fig15`] | `fig15_wfq` |
+//! | Figs. 16–21 | [`large_scale::fig16_21`] | `fig16_21_large_dwrr` |
+//! | Figs. 22–27 | [`large_scale::fig22_27`] | `fig22_27_large_wfq` |
+//! | Table I | [`figures::table1`] | `table1_capabilities` |
+//! | Theorem IV.1 | [`figures::thm_iv1`] | `thm_iv1_validation` |
+//!
+//! Beyond the paper, [`extensions`] adds the per-service-pool violation
+//! experiment (§II-A's untested claim), threshold-sensitivity ablations
+//! for PMSB and PMSB(e), a RED-ramp comparison, and the web-search
+//! workload (binaries `ext_*` / `ablation_*`).
+//!
+//! All binaries accept `--quick` (shorter runs for smoke-testing) and
+//! print machine-readable CSV alongside a human-readable summary;
+//! `all_experiments` runs everything in sequence.
+
+pub mod extensions;
+pub mod figures;
+pub mod large_scale;
+pub mod util;

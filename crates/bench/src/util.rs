@@ -1,0 +1,100 @@
+//! Shared experiment plumbing: CLI flags, weighted-share runs, printing.
+
+use pmsb_metrics::Summary;
+use pmsb_netsim::experiment::{Experiment, FlowDesc, MarkingConfig, SchedulerConfig};
+
+/// `true` when `--quick` was passed: shorten the run for smoke tests.
+pub fn quick_flag() -> bool {
+    std::env::args().any(|a| a == "--quick")
+}
+
+/// `true` when `--series` was passed: figure binaries additionally dump
+/// raw time series (occupancy vs time) for plotting.
+pub fn series_flag() -> bool {
+    std::env::args().any(|a| a == "--series")
+}
+
+/// A two-queue weighted-share outcome at a dumbbell bottleneck.
+#[derive(Debug, Clone)]
+pub struct ShareResult {
+    /// Steady-state throughput per queue, Gbps.
+    pub queue_gbps: Vec<f64>,
+    /// Sum across queues, Gbps.
+    pub total_gbps: f64,
+    /// CE marks applied during the run.
+    pub marks: u64,
+    /// Tail drops during the run.
+    pub drops: u64,
+}
+
+/// Runs the canonical weighted-share microbenchmark: one dumbbell with
+/// `flows_per_queue[i]` long-lived flows in queue `i` (each from its own
+/// sender), DWRR unless `scheduler` overrides, and the given marking.
+/// Reports steady-state per-queue throughput at the bottleneck (skipping
+/// the first quarter of the run as warm-up).
+pub fn weighted_share(
+    marking: MarkingConfig,
+    scheduler: Option<SchedulerConfig>,
+    flows_per_queue: &[usize],
+    millis: u64,
+) -> ShareResult {
+    let num_queues = flows_per_queue.len();
+    let num_senders: usize = flows_per_queue.iter().sum();
+    let mut e = Experiment::dumbbell(num_senders, num_queues)
+        .marking(marking)
+        .watch_bottleneck(100_000);
+    if let Some(s) = scheduler {
+        e = e.scheduler(s);
+    }
+    let receiver = num_senders;
+    let mut sender = 0;
+    for (q, n) in flows_per_queue.iter().enumerate() {
+        for _ in 0..*n {
+            e.add_flow(FlowDesc::long_lived(sender, receiver, q));
+            sender += 1;
+        }
+    }
+    let res = e.run_for_millis(millis);
+    let trace = &res.port_traces[&(0, receiver)];
+    let bins = trace.queue_throughput[0].num_bins();
+    let skip = bins / 4;
+    let queue_gbps: Vec<f64> = (0..num_queues)
+        .map(|q| {
+            let b = trace.queue_throughput[q].num_bins();
+            if b <= skip {
+                0.0
+            } else {
+                trace.mean_queue_gbps(q, skip, b)
+            }
+        })
+        .collect();
+    ShareResult {
+        total_gbps: queue_gbps.iter().sum(),
+        queue_gbps,
+        marks: res.marks,
+        drops: res.drops,
+    }
+}
+
+/// Prints a `key,value,...` CSV line to stdout.
+pub fn csv_row(fields: &[String]) {
+    println!("{}", fields.join(","));
+}
+
+/// Formats a [`Summary`] of nanosecond samples as microseconds.
+pub fn fmt_us(s: &Summary) -> String {
+    format!(
+        "n={} avg={:.1}us p50={:.1}us p95={:.1}us p99={:.1}us max={:.1}us",
+        s.count,
+        s.mean / 1e3,
+        s.p50 / 1e3,
+        s.p95 / 1e3,
+        s.p99 / 1e3,
+        s.max / 1e3
+    )
+}
+
+/// A separator + title block so `all_experiments` output stays readable.
+pub fn banner(title: &str) {
+    println!("\n=== {title} ===");
+}

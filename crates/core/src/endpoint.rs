@@ -1,0 +1,193 @@
+//! PMSB(e) — the end-host heuristic variant (Algorithm 2, §V).
+//!
+//! PMSB(e) needs **no switch modification**: switches run plain per-port
+//! ECN marking, and the *sender* decides whether to honour an ECN-Echo. The
+//! sender compares the current RTT against an RTT threshold: if the RTT is
+//! small, the flow's own queue cannot be the congested one (the backlog
+//! causing the mark belongs to other queues of the port), so the mark is
+//! ignored — selective blindness applied at the host.
+
+/// Algorithm 2: the per-ACK decision of whether to ignore an ECN
+/// congestion signal.
+///
+/// # Example
+///
+/// ```
+/// use pmsb::endpoint::SelectiveBlindness;
+///
+/// let pmsbe = SelectiveBlindness::new(40_000); // 40 us RTT threshold
+///
+/// // No mark on the ACK: nothing to react to (ignore).
+/// assert!(pmsbe.ignore_mark(false, 10_000));
+/// // Marked, but our RTT is low: we are a victim — ignore the mark.
+/// assert!(pmsbe.ignore_mark(true, 25_000));
+/// // Marked and RTT high: genuine congestion — honour the mark.
+/// assert!(!pmsbe.ignore_mark(true, 55_000));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SelectiveBlindness {
+    rtt_threshold_nanos: u64,
+}
+
+impl SelectiveBlindness {
+    /// Creates the rule with the given RTT threshold in nanoseconds.
+    ///
+    /// The paper leaves the threshold as the deployment's main tuning knob;
+    /// [`SelectiveBlindness::from_base_rtt`] derives it from the fabric's
+    /// unloaded RTT.
+    pub fn new(rtt_threshold_nanos: u64) -> Self {
+        SelectiveBlindness {
+            rtt_threshold_nanos,
+        }
+    }
+
+    /// Derives the threshold from the measured base (unloaded) RTT plus the
+    /// queueing delay a healthy queue may contribute, expressed as a factor:
+    /// `threshold = base_rtt · factor`. Datacenter RTTs are stable, so a
+    /// factor of 2–4 distinguishes "my queue is congested" from "some other
+    /// queue is congested".
+    ///
+    /// # Panics
+    ///
+    /// Panics if `factor` is not finite and positive.
+    pub fn from_base_rtt(base_rtt_nanos: u64, factor: f64) -> Self {
+        assert!(
+            factor.is_finite() && factor > 0.0,
+            "RTT threshold factor must be positive, got {factor}"
+        );
+        SelectiveBlindness::new((base_rtt_nanos as f64 * factor).round() as u64)
+    }
+
+    /// The configured RTT threshold in nanoseconds.
+    pub fn rtt_threshold_nanos(&self) -> u64 {
+        self.rtt_threshold_nanos
+    }
+
+    /// Algorithm 2: returns `true` when the sender should **ignore** the
+    /// congestion information on this ACK.
+    ///
+    /// * `is_mark == false` (no ECN-Echo): nothing to react to — ignore.
+    /// * `cur_rtt < rtt_threshold`: the flow's path is uncongested; the
+    ///   mark is a per-port false positive — ignore.
+    /// * Otherwise honour the mark.
+    pub fn ignore_mark(&self, is_mark: bool, cur_rtt_nanos: u64) -> bool {
+        if !is_mark {
+            return true;
+        }
+        cur_rtt_nanos < self.rtt_threshold_nanos
+    }
+}
+
+/// Tracks the minimum RTT a connection has observed — the base RTT used to
+/// derive a PMSB(e) threshold when it is not configured statically.
+///
+/// # Example
+///
+/// ```
+/// use pmsb::endpoint::BaseRttTracker;
+///
+/// let mut t = BaseRttTracker::new();
+/// assert_eq!(t.base_rtt_nanos(), None);
+/// t.observe(52_000);
+/// t.observe(48_000);
+/// t.observe(70_000);
+/// assert_eq!(t.base_rtt_nanos(), Some(48_000));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct BaseRttTracker {
+    min_rtt_nanos: Option<u64>,
+    samples: u64,
+}
+
+impl BaseRttTracker {
+    /// Creates a tracker with no samples.
+    pub fn new() -> Self {
+        BaseRttTracker::default()
+    }
+
+    /// Feeds one RTT sample in nanoseconds.
+    pub fn observe(&mut self, rtt_nanos: u64) {
+        self.samples += 1;
+        self.min_rtt_nanos = Some(match self.min_rtt_nanos {
+            Some(m) => m.min(rtt_nanos),
+            None => rtt_nanos,
+        });
+    }
+
+    /// The smallest RTT observed so far, if any.
+    pub fn base_rtt_nanos(&self) -> Option<u64> {
+        self.min_rtt_nanos
+    }
+
+    /// Number of samples observed.
+    pub fn samples(&self) -> u64 {
+        self.samples
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn algorithm_2_truth_table() {
+        let e = SelectiveBlindness::new(40_000);
+        // (is_mark, cur_rtt) -> ignore?
+        assert!(e.ignore_mark(false, 0)); // lines 1-3
+        assert!(e.ignore_mark(false, 1_000_000));
+        assert!(e.ignore_mark(true, 39_999)); // lines 4-6
+        assert!(!e.ignore_mark(true, 40_000)); // lines 7-8 (threshold inclusive honour)
+        assert!(!e.ignore_mark(true, 100_000));
+    }
+
+    #[test]
+    fn from_base_rtt_scales() {
+        let e = SelectiveBlindness::from_base_rtt(20_000, 2.0);
+        assert_eq!(e.rtt_threshold_nanos(), 40_000);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn from_base_rtt_rejects_bad_factor() {
+        SelectiveBlindness::from_base_rtt(20_000, 0.0);
+    }
+
+    #[test]
+    fn tracker_keeps_minimum() {
+        let mut t = BaseRttTracker::new();
+        for r in [500u64, 300, 900, 300, 250, 1000] {
+            t.observe(r);
+        }
+        assert_eq!(t.base_rtt_nanos(), Some(250));
+        assert_eq!(t.samples(), 6);
+    }
+
+    proptest! {
+        /// Ignoring is monotone: if a mark is honoured at some RTT, it is
+        /// honoured at any larger RTT.
+        #[test]
+        fn honour_monotone_in_rtt(thr in 0_u64..1_000_000, rtt in 0_u64..1_000_000, d in 0_u64..1_000_000) {
+            let e = SelectiveBlindness::new(thr);
+            if !e.ignore_mark(true, rtt) {
+                prop_assert!(!e.ignore_mark(true, rtt + d));
+            }
+        }
+
+        /// Unmarked ACKs are always ignored regardless of RTT or threshold.
+        #[test]
+        fn unmarked_always_ignored(thr in 0_u64..u64::MAX, rtt in 0_u64..u64::MAX) {
+            prop_assert!(SelectiveBlindness::new(thr).ignore_mark(false, rtt));
+        }
+
+        /// The tracked base RTT equals the true minimum of the samples.
+        #[test]
+        fn tracker_min_is_exact(samples in proptest::collection::vec(0_u64..1_000_000, 1..100)) {
+            let mut t = BaseRttTracker::new();
+            for s in &samples {
+                t.observe(*s);
+            }
+            prop_assert_eq!(t.base_rtt_nanos(), samples.iter().copied().min());
+        }
+    }
+}

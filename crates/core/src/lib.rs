@@ -1,0 +1,88 @@
+#![warn(missing_docs)]
+
+//! PMSB — *per-Port Marking with Selective Blindness* (ICDCS 2018).
+//!
+//! ECN marking disciplines for multi-queue datacenter switch ports. The
+//! headline scheme, [`marking::Pmsb`], marks a packet only when **both**
+//!
+//! 1. the *port* buffer occupancy is at or above a per-port threshold
+//!    (per-port marking), and
+//! 2. the packet's *queue* occupancy is at or above a per-queue *filter*
+//!    threshold `(weight_i / weight_sum) × port_threshold` (selective
+//!    blindness),
+//!
+//! which protects flows in un-congested queues ("victims") from backing off
+//! due to other queues' buffer occupancy, preserving the scheduling policy
+//! while retaining per-port marking's throughput/latency profile.
+//!
+//! This crate is **pure**: it has no simulator or I/O dependency, so the same
+//! decision logic can be embedded in a switch dataplane model, a simulator
+//! (see `pmsb-netsim`), or unit tests. Quantities are plain integers — bytes
+//! for buffer occupancy, nanoseconds for time, bits/second for link rates.
+//!
+//! Also provided:
+//!
+//! * the baselines the paper compares against: per-queue marking with
+//!   standard or fractional thresholds ([`marking::PerQueue`]), plain
+//!   per-port marking ([`marking::PerPort`]), per-service-pool marking
+//!   ([`marking::PerPool`]), MQ-ECN ([`marking::MqEcn`]) and TCN
+//!   ([`marking::Tcn`]);
+//! * the end-host variant **PMSB(e)** ([`endpoint::SelectiveBlindness`],
+//!   Algorithm 2): ignore an ECN-Echo when the current RTT is below an RTT
+//!   threshold — no switch modification needed;
+//! * the steady-state analysis of §IV-D ([`analysis`]), including the
+//!   Theorem IV.1 lower bound `k_i > γ_i·C·RTT / 7` on the per-queue filter
+//!   threshold that avoids throughput loss;
+//! * a validated deployment recipe ([`profile::PmsbProfile`]) deriving all
+//!   thresholds from measured fabric parameters.
+//!
+//! # Example
+//!
+//! ```
+//! use pmsb::marking::{MarkingScheme, Pmsb};
+//! use pmsb::PortSnapshot;
+//!
+//! // Port threshold 12 packets (MTU 1500 B); two queues with equal weight.
+//! let mut scheme = Pmsb::new(12 * 1500, vec![1, 1]);
+//!
+//! let view = PortSnapshot::builder(2)
+//!     .queue_bytes(0, 20 * 1500) // congested queue
+//!     .queue_bytes(1, 1500)      // nearly-empty queue sharing the port
+//!     .build();
+//!
+//! // The congested queue is over its filter threshold: mark.
+//! assert!(scheme.should_mark(&view, 0).is_mark());
+//! // The other queue is a victim of per-port marking: selectively blind.
+//! assert!(!scheme.should_mark(&view, 1).is_mark());
+//! ```
+
+pub mod analysis;
+pub mod endpoint;
+pub mod marking;
+pub mod profile;
+mod view;
+
+pub use view::{PortSnapshot, PortSnapshotBuilder, PortView};
+
+/// Where in a switch port's pipeline the ECN decision is evaluated.
+///
+/// Dequeue marking delivers congestion information one queueing delay
+/// earlier than enqueue marking (the packet is stamped as it leaves the
+/// buffer rather than as it enters), which lowers slow-start buffer peaks —
+/// the effect reproduced in Figs. 4, 11 and 12 of the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MarkPoint {
+    /// Evaluate when the packet is admitted to the buffer.
+    Enqueue,
+    /// Evaluate when the packet is selected for transmission.
+    Dequeue,
+}
+
+impl std::fmt::Display for MarkPoint {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MarkPoint::Enqueue => f.write_str("enqueue"),
+            MarkPoint::Dequeue => f.write_str("dequeue"),
+        }
+    }
+}

@@ -1,0 +1,209 @@
+//! MQ-ECN — dynamic per-queue thresholds for round-based schedulers
+//! (Bai et al., NSDI 2016; Eq. 3 of the PMSB paper).
+
+use crate::marking::{Capabilities, MarkDecision, MarkingScheme};
+use crate::PortView;
+
+/// MQ-ECN: queue `i` marks when its occupancy reaches the *dynamic*
+/// threshold
+///
+/// ```text
+/// K_i = min(quantum_i / T_round, C) · RTT · λ
+/// ```
+///
+/// where `T_round` is the scheduler's smoothed time to serve every queue
+/// once and `quantum_i` the bytes queue `i` may send per round. Writing the
+/// standard threshold `K = C·RTT·λ`, this is equivalently
+/// `K_i = K · min(quantum_i / (T_round · C), 1)`, which is how this
+/// implementation computes it — so only `K` and the quanta need to be
+/// configured; `C` comes from the [`PortView`] and `T_round` from the
+/// scheduler (surfaced through [`PortView::round_time_nanos`]).
+///
+/// When the scheduler provides no round time (it is not round-based, or the
+/// port has been idle), MQ-ECN falls back to the standard threshold `K` —
+/// the typed version of the paper's "MQ-ECN only supports round-based
+/// schedulers".
+///
+/// # Example
+///
+/// ```
+/// use pmsb::marking::{MarkingScheme, MqEcn};
+/// use pmsb::PortSnapshot;
+///
+/// // Standard threshold 65 packets, two queues with 1500-byte quanta.
+/// let mut mq = MqEcn::new(65 * 1500, vec![1500, 1500]);
+///
+/// // Congested port: T_round is long, so each queue's share of the drain
+/// // rate is small and the dynamic threshold shrinks far below 65 packets.
+/// let view = PortSnapshot::builder(2)
+///     .queue_bytes(0, 10 * 1500)
+///     .queue_bytes(1, 10 * 1500)
+///     .round_time_nanos(24_000) // 20 pkts' worth of 10 Gbps service
+///     .build();
+/// assert!(mq.should_mark(&view, 0).is_mark());
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct MqEcn {
+    standard_k_bytes: u64,
+    quanta_bytes: Vec<u64>,
+}
+
+impl MqEcn {
+    /// Creates the scheme.
+    ///
+    /// * `standard_k_bytes` — the standard threshold `K = C·RTT·λ` in bytes,
+    ///   used directly whenever a queue's fair drain rate reaches the link
+    ///   capacity (and as the fallback without round information).
+    /// * `quanta_bytes` — per-queue scheduler quanta (bytes per round),
+    ///   proportional to the queues' weights.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `quanta_bytes` is empty or contains a zero quantum.
+    pub fn new(standard_k_bytes: u64, quanta_bytes: Vec<u64>) -> Self {
+        assert!(
+            !quanta_bytes.is_empty() && quanta_bytes.iter().all(|q| *q > 0),
+            "MQ-ECN quanta must be positive"
+        );
+        MqEcn {
+            standard_k_bytes,
+            quanta_bytes,
+        }
+    }
+
+    /// The dynamic threshold `K_i` in bytes for queue `queue` given the
+    /// round time (`None` means "no round information").
+    ///
+    /// # Panics
+    ///
+    /// Panics if `queue` is out of range.
+    pub fn dynamic_threshold_bytes(
+        &self,
+        queue: usize,
+        round_time_nanos: Option<u64>,
+        link_rate_bps: u64,
+    ) -> u64 {
+        let quantum = self.quanta_bytes[queue] as f64;
+        match round_time_nanos {
+            None | Some(0) => self.standard_k_bytes,
+            Some(t_round) => {
+                // Bytes the link drains during one round.
+                let drained = link_rate_bps as f64 / 8e9 * t_round as f64;
+                let share = (quantum / drained).min(1.0);
+                (self.standard_k_bytes as f64 * share).round() as u64
+            }
+        }
+    }
+
+    /// The configured standard threshold in bytes.
+    pub fn standard_k_bytes(&self) -> u64 {
+        self.standard_k_bytes
+    }
+}
+
+impl MarkingScheme for MqEcn {
+    fn should_mark(&mut self, view: &dyn PortView, queue: usize) -> MarkDecision {
+        assert_eq!(
+            self.quanta_bytes.len(),
+            view.num_queues(),
+            "scheme configured for {} queues, port has {}",
+            self.quanta_bytes.len(),
+            view.num_queues()
+        );
+        let k = self.dynamic_threshold_bytes(queue, view.round_time_nanos(), view.link_rate_bps());
+        MarkDecision::from_bool(view.queue_bytes(queue) >= k.max(1))
+    }
+
+    fn name(&self) -> &'static str {
+        "mq-ecn"
+    }
+
+    fn capabilities(&self) -> Capabilities {
+        Capabilities {
+            generic_scheduler: false,
+            round_based_scheduler: true,
+            early_notification: true,
+            no_switch_modification: false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::PortSnapshot;
+    use proptest::prelude::*;
+
+    const GBPS10: u64 = 10_000_000_000;
+
+    #[test]
+    fn falls_back_to_standard_without_round_time() {
+        let mq = MqEcn::new(65 * 1500, vec![1500; 4]);
+        assert_eq!(mq.dynamic_threshold_bytes(0, None, GBPS10), 65 * 1500);
+        assert_eq!(mq.dynamic_threshold_bytes(0, Some(0), GBPS10), 65 * 1500);
+    }
+
+    #[test]
+    fn short_rounds_give_standard_threshold() {
+        // T_round short enough that quantum/T_round >= C: share capped at 1.
+        let mq = MqEcn::new(65 * 1500, vec![1500; 2]);
+        // Draining 1500 B at 10 Gbps takes 1200 ns; any round <= 1200 ns
+        // means the queue's share of capacity is >= 100%.
+        assert_eq!(mq.dynamic_threshold_bytes(0, Some(1200), GBPS10), 65 * 1500);
+        assert_eq!(mq.dynamic_threshold_bytes(0, Some(600), GBPS10), 65 * 1500);
+    }
+
+    #[test]
+    fn long_rounds_shrink_threshold_proportionally() {
+        let mq = MqEcn::new(64 * 1500, vec![1500; 2]);
+        // Round lasts 8x the quantum's drain time => share 1/8.
+        let k = mq.dynamic_threshold_bytes(0, Some(9600), GBPS10);
+        assert_eq!(k, 8 * 1500);
+    }
+
+    #[test]
+    fn queues_with_bigger_quanta_get_bigger_thresholds() {
+        let mq = MqEcn::new(64 * 1500, vec![1500, 4500]);
+        let k0 = mq.dynamic_threshold_bytes(0, Some(19_200), GBPS10);
+        let k1 = mq.dynamic_threshold_bytes(1, Some(19_200), GBPS10);
+        assert_eq!(k1, 3 * k0);
+    }
+
+    #[test]
+    fn marking_uses_dynamic_threshold() {
+        let mut mq = MqEcn::new(64 * 1500, vec![1500; 2]);
+        // share 1/8 => K_i = 8 pkts.
+        let v = PortSnapshot::builder(2)
+            .queue_bytes(0, 9 * 1500)
+            .queue_bytes(1, 7 * 1500)
+            .round_time_nanos(9600)
+            .link_rate_bps(GBPS10)
+            .build();
+        assert!(mq.should_mark(&v, 0).is_mark());
+        assert!(!mq.should_mark(&v, 1).is_mark());
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn rejects_zero_quanta() {
+        MqEcn::new(1000, vec![0, 1500]);
+    }
+
+    proptest! {
+        /// The dynamic threshold never exceeds the standard threshold and is
+        /// non-increasing in the round time.
+        #[test]
+        fn threshold_bounded_and_monotone(
+            k in 1_u64..10_000_000,
+            quantum in 1_u64..100_000,
+            t1 in 1_u64..1_000_000,
+            dt in 0_u64..1_000_000,
+        ) {
+            let mq = MqEcn::new(k, vec![quantum]);
+            let k1 = mq.dynamic_threshold_bytes(0, Some(t1), GBPS10);
+            let k2 = mq.dynamic_threshold_bytes(0, Some(t1 + dt), GBPS10);
+            prop_assert!(k1 <= k);
+            prop_assert!(k2 <= k1);
+        }
+    }
+}

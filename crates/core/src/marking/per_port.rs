@@ -1,0 +1,113 @@
+//! Plain per-port ECN marking (§II-B of the paper).
+
+use crate::marking::{Capabilities, MarkDecision, MarkingScheme};
+use crate::PortView;
+
+/// Per-port ECN marking: every packet is marked while the *total* port
+/// occupancy is at or above a single threshold `Port-K`, regardless of
+/// which queue the packet belongs to.
+///
+/// This keeps both throughput and latency near-optimal, but violates the
+/// scheduling policy: "packets from one queue may get marked due to buffer
+/// occupancy of the other queues belonging to the same port" — the victim
+/// flow phenomenon of Fig. 3 that motivates PMSB.
+///
+/// # Example
+///
+/// ```
+/// use pmsb::marking::{MarkingScheme, PerPort};
+/// use pmsb::PortSnapshot;
+///
+/// let mut p = PerPort::new(16 * 1500);
+/// // Queue 1 is empty, but the port is congested: its packets get marked
+/// // anyway — queue 1's flows become victims.
+/// let view = PortSnapshot::builder(2).queue_bytes(0, 30 * 1500).build();
+/// assert!(p.should_mark(&view, 1).is_mark());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PerPort {
+    threshold_bytes: u64,
+}
+
+impl PerPort {
+    /// Creates the scheme with the given port threshold in bytes.
+    pub fn new(threshold_bytes: u64) -> Self {
+        PerPort { threshold_bytes }
+    }
+
+    /// The configured port threshold in bytes.
+    pub fn threshold_bytes(&self) -> u64 {
+        self.threshold_bytes
+    }
+}
+
+impl MarkingScheme for PerPort {
+    fn should_mark(&mut self, view: &dyn PortView, _queue: usize) -> MarkDecision {
+        MarkDecision::from_bool(view.port_bytes() >= self.threshold_bytes)
+    }
+
+    fn name(&self) -> &'static str {
+        "per-port"
+    }
+
+    fn capabilities(&self) -> Capabilities {
+        Capabilities {
+            generic_scheduler: true,
+            round_based_scheduler: true,
+            early_notification: true,
+            no_switch_modification: false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::PortSnapshot;
+    use proptest::prelude::*;
+
+    #[test]
+    fn marks_all_queues_when_port_congested() {
+        let mut s = PerPort::new(16 * 1500);
+        let v = PortSnapshot::builder(4).queue_bytes(2, 20 * 1500).build();
+        for q in 0..4 {
+            assert!(s.should_mark(&v, q).is_mark());
+        }
+    }
+
+    #[test]
+    fn marks_nothing_when_port_below_threshold() {
+        let mut s = PerPort::new(16 * 1500);
+        let v = PortSnapshot::builder(4).queue_bytes(0, 15 * 1500).build();
+        for q in 0..4 {
+            assert!(!s.should_mark(&v, q).is_mark());
+        }
+    }
+
+    #[test]
+    fn threshold_is_inclusive() {
+        let mut s = PerPort::new(1000);
+        let v = PortSnapshot::builder(1).queue_bytes(0, 1000).build();
+        assert!(s.should_mark(&v, 0).is_mark());
+    }
+
+    proptest! {
+        /// The decision ignores which queue the packet came from.
+        #[test]
+        fn queue_agnostic(
+            occ in proptest::collection::vec(0_u64..100_000, 2..8),
+            k in 1_u64..200_000,
+        ) {
+            let mut s = PerPort::new(k);
+            let mut b = PortSnapshot::builder(occ.len());
+            for (i, o) in occ.iter().enumerate() {
+                b = b.queue_bytes(i, *o);
+            }
+            let v = b.build();
+            let first = s.should_mark(&v, 0);
+            for q in 1..occ.len() {
+                prop_assert_eq!(s.should_mark(&v, q), first);
+            }
+        }
+    }
+}

@@ -1,0 +1,187 @@
+//! Per-queue ECN marking with static thresholds (§II-B of the paper).
+
+use crate::marking::{Capabilities, MarkDecision, MarkingScheme};
+use crate::PortView;
+
+/// Per-queue ECN marking: queue `i` marks when its own occupancy reaches a
+/// static threshold `K_i`, independently of the other queues.
+///
+/// Two configurations from the paper:
+///
+/// * [`PerQueue::standard`] — every queue gets the full standard threshold
+///   `K = C·RTT·λ` (Eq. 1). High throughput, but queuing delay grows with
+///   the number of active queues (Fig. 1).
+/// * [`PerQueue::fractional`] — the standard threshold is apportioned by
+///   weight, `K_i = (w_i/Σw)·C·RTT·λ` (Eq. 2). Low latency, but loses
+///   throughput when few queues are active (Fig. 2).
+///
+/// # Example
+///
+/// ```
+/// use pmsb::marking::{MarkingScheme, PerQueue};
+/// use pmsb::PortSnapshot;
+///
+/// let mut std16 = PerQueue::standard(16 * 1500, 2);
+/// let view = PortSnapshot::builder(2).queue_bytes(0, 17 * 1500).build();
+/// assert!(std16.should_mark(&view, 0).is_mark());
+/// assert!(!std16.should_mark(&view, 1).is_mark());
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PerQueue {
+    thresholds_bytes: Vec<u64>,
+}
+
+impl PerQueue {
+    /// Each queue uses its own explicit threshold, in bytes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `thresholds_bytes` is empty.
+    pub fn new(thresholds_bytes: Vec<u64>) -> Self {
+        assert!(
+            !thresholds_bytes.is_empty(),
+            "per-queue marking needs at least one queue"
+        );
+        PerQueue { thresholds_bytes }
+    }
+
+    /// Every one of the `num_queues` queues gets the same standard
+    /// threshold `k_bytes` (`K = C·RTT·λ`).
+    pub fn standard(k_bytes: u64, num_queues: usize) -> Self {
+        PerQueue::new(vec![k_bytes; num_queues])
+    }
+
+    /// The standard threshold `k_bytes` is split among queues in proportion
+    /// to `weights` (Eq. 2): `K_i = (w_i / Σw) · k_bytes`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `weights` is empty or sums to zero.
+    pub fn fractional(k_bytes: u64, weights: &[u64]) -> Self {
+        let sum: u64 = weights.iter().sum();
+        assert!(
+            !weights.is_empty() && sum > 0,
+            "fractional thresholds need positive total weight"
+        );
+        PerQueue::new(
+            weights
+                .iter()
+                .map(|w| ((*w as u128 * k_bytes as u128) / sum as u128) as u64)
+                .collect(),
+        )
+    }
+
+    /// The configured per-queue thresholds, in bytes.
+    pub fn thresholds_bytes(&self) -> &[u64] {
+        &self.thresholds_bytes
+    }
+}
+
+impl MarkingScheme for PerQueue {
+    fn should_mark(&mut self, view: &dyn PortView, queue: usize) -> MarkDecision {
+        assert_eq!(
+            self.thresholds_bytes.len(),
+            view.num_queues(),
+            "scheme configured for {} queues, port has {}",
+            self.thresholds_bytes.len(),
+            view.num_queues()
+        );
+        MarkDecision::from_bool(view.queue_bytes(queue) >= self.thresholds_bytes[queue])
+    }
+
+    fn name(&self) -> &'static str {
+        "per-queue"
+    }
+
+    fn capabilities(&self) -> Capabilities {
+        Capabilities {
+            generic_scheduler: true,
+            round_based_scheduler: true,
+            early_notification: true,
+            no_switch_modification: false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::PortSnapshot;
+    use proptest::prelude::*;
+
+    #[test]
+    fn marks_only_over_threshold() {
+        let mut s = PerQueue::standard(16 * 1500, 4);
+        let v = PortSnapshot::builder(4)
+            .queue_bytes(0, 15 * 1500)
+            .queue_bytes(1, 16 * 1500)
+            .queue_bytes(2, 17 * 1500)
+            .build();
+        assert!(!s.should_mark(&v, 0).is_mark());
+        assert!(s.should_mark(&v, 1).is_mark(), "threshold is inclusive");
+        assert!(s.should_mark(&v, 2).is_mark());
+        assert!(!s.should_mark(&v, 3).is_mark());
+    }
+
+    #[test]
+    fn independent_of_other_queues() {
+        // Queue 1 empty must not be marked no matter how full queue 0 is.
+        let mut s = PerQueue::standard(2 * 1500, 2);
+        let v = PortSnapshot::builder(2).queue_bytes(0, 1000 * 1500).build();
+        assert!(!s.should_mark(&v, 1).is_mark());
+    }
+
+    #[test]
+    fn fractional_splits_by_weight() {
+        let s = PerQueue::fractional(16 * 1500, &[1, 3]);
+        assert_eq!(s.thresholds_bytes(), &[4 * 1500, 12 * 1500]);
+    }
+
+    #[test]
+    fn fractional_equal_weights_split_evenly() {
+        let s = PerQueue::fractional(8 * 1500, &[1, 1, 1, 1]);
+        assert_eq!(s.thresholds_bytes(), &[2 * 1500; 4]);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive total weight")]
+    fn fractional_rejects_zero_weights() {
+        PerQueue::fractional(1000, &[0, 0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "queues")]
+    fn mismatched_queue_count_panics() {
+        let mut s = PerQueue::standard(1500, 2);
+        let v = PortSnapshot::builder(3).build();
+        s.should_mark(&v, 0);
+    }
+
+    proptest! {
+        /// Fractional thresholds never exceed the standard threshold and
+        /// sum to at most the standard threshold.
+        #[test]
+        fn fractional_is_a_partition(
+            k in 1_u64..10_000_000,
+            weights in proptest::collection::vec(1_u64..100, 1..8),
+        ) {
+            let s = PerQueue::fractional(k, &weights);
+            let total: u64 = s.thresholds_bytes().iter().sum();
+            prop_assert!(total <= k);
+            for t in s.thresholds_bytes() {
+                prop_assert!(*t <= k);
+            }
+        }
+
+        /// Marking is monotone in the queue's own occupancy.
+        #[test]
+        fn monotone_in_occupancy(k in 1_u64..1_000_000, occ in 0_u64..2_000_000) {
+            let mut s = PerQueue::standard(k, 1);
+            let below = PortSnapshot::builder(1).queue_bytes(0, occ).build();
+            let above = PortSnapshot::builder(1).queue_bytes(0, occ + k).build();
+            if s.should_mark(&below, 0).is_mark() {
+                prop_assert!(s.should_mark(&above, 0).is_mark());
+            }
+        }
+    }
+}

@@ -1,0 +1,253 @@
+//! PMSB — per-Port Marking with Selective Blindness (Algorithm 1).
+
+use crate::marking::{Capabilities, MarkDecision, MarkingScheme};
+use crate::PortView;
+
+/// The paper's contribution: per-port ECN marking gated by a per-queue
+/// *filter* threshold (Algorithm 1).
+///
+/// A packet of queue `i` is marked iff **both** hold:
+///
+/// 1. `port_length ≥ port_threshold` — the port as a whole is congested
+///    (per-port marking, Eq. 5: `port_threshold = C·RTT·λ`), and
+/// 2. `queue_length_i ≥ queue_threshold_i` where
+///    `queue_threshold_i = (weight_i / weight_sum) · port_threshold`
+///    (Eq. 6) — *selective blindness*: a queue holding less than its
+///    weighted share of the port threshold is deemed a victim of the other
+///    queues' backlog and its packets are spared.
+///
+/// Theorem IV.1 shows the filter threshold avoids throughput loss whenever
+/// `k_i > γ_i·C·RTT / 7`; since `queue_threshold_i = γ_i·C·RTT·λ` with the
+/// usual `λ ≥ 1/2`, the condition holds by construction (see
+/// [`crate::analysis`]).
+///
+/// # Example
+///
+/// ```
+/// use pmsb::marking::{MarkingScheme, Pmsb};
+/// use pmsb::PortSnapshot;
+///
+/// let mut pmsb = Pmsb::new(12 * 1500, vec![1, 1]);
+/// assert_eq!(pmsb.queue_threshold_bytes(0), 6 * 1500);
+///
+/// // Port congested, queue 0 over its filter, queue 1 a victim:
+/// let view = PortSnapshot::builder(2)
+///     .queue_bytes(0, 15 * 1500)
+///     .queue_bytes(1, 1500)
+///     .build();
+/// assert!(pmsb.should_mark(&view, 0).is_mark());
+/// assert!(!pmsb.should_mark(&view, 1).is_mark());
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Pmsb {
+    port_threshold_bytes: u64,
+    weights: Vec<u64>,
+    weight_sum: u64,
+}
+
+impl Pmsb {
+    /// Creates the scheme.
+    ///
+    /// * `port_threshold_bytes` — the per-port threshold (Eq. 5), shared by
+    ///   all queues of the port.
+    /// * `weights` — the scheduling weight of each queue, used to derive
+    ///   the per-queue filter thresholds (Eq. 6).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `weights` is empty or sums to zero.
+    pub fn new(port_threshold_bytes: u64, weights: Vec<u64>) -> Self {
+        let weight_sum: u64 = weights.iter().sum();
+        assert!(
+            !weights.is_empty() && weight_sum > 0,
+            "PMSB needs a non-empty set of queue weights with positive sum"
+        );
+        Pmsb {
+            port_threshold_bytes,
+            weights,
+            weight_sum,
+        }
+    }
+
+    /// The per-port threshold in bytes.
+    pub fn port_threshold_bytes(&self) -> u64 {
+        self.port_threshold_bytes
+    }
+
+    /// The per-queue filter threshold
+    /// `queue_threshold_i = (weight_i / weight_sum) · port_threshold`
+    /// (Eq. 6), in bytes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `queue` is out of range.
+    pub fn queue_threshold_bytes(&self, queue: usize) -> u64 {
+        ((self.weights[queue] as u128 * self.port_threshold_bytes as u128)
+            / self.weight_sum as u128) as u64
+    }
+
+    /// The configured queue weights.
+    pub fn weights(&self) -> &[u64] {
+        &self.weights
+    }
+}
+
+impl MarkingScheme for Pmsb {
+    fn should_mark(&mut self, view: &dyn PortView, queue: usize) -> MarkDecision {
+        assert_eq!(
+            self.weights.len(),
+            view.num_queues(),
+            "scheme configured for {} queues, port has {}",
+            self.weights.len(),
+            view.num_queues()
+        );
+        // Algorithm 1, lines 1–3: port not congested => never mark.
+        if view.port_bytes() < self.port_threshold_bytes {
+            return MarkDecision::NoMark;
+        }
+        // Lines 4–9: selective blindness — mark only if this queue is at or
+        // above its weighted share of the port threshold.
+        MarkDecision::from_bool(view.queue_bytes(queue) >= self.queue_threshold_bytes(queue))
+    }
+
+    fn name(&self) -> &'static str {
+        "pmsb"
+    }
+
+    fn capabilities(&self) -> Capabilities {
+        Capabilities {
+            generic_scheduler: true,
+            round_based_scheduler: true,
+            early_notification: true,
+            no_switch_modification: false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::marking::PerPort;
+    use crate::PortSnapshot;
+    use proptest::prelude::*;
+
+    #[test]
+    fn no_mark_below_port_threshold() {
+        // Even a queue holding everything is spared while the port as a
+        // whole is below threshold (lines 1-3 of Algorithm 1).
+        let mut s = Pmsb::new(16 * 1500, vec![1, 1]);
+        let v = PortSnapshot::builder(2).queue_bytes(0, 15 * 1500).build();
+        assert!(!s.should_mark(&v, 0).is_mark());
+        assert!(!s.should_mark(&v, 1).is_mark());
+    }
+
+    #[test]
+    fn victim_queue_is_spared() {
+        let mut s = Pmsb::new(16 * 1500, vec![1, 1]);
+        let v = PortSnapshot::builder(2)
+            .queue_bytes(0, 30 * 1500)
+            .queue_bytes(1, 7 * 1500) // below its 8-pkt filter threshold
+            .build();
+        assert!(s.should_mark(&v, 0).is_mark());
+        assert!(!s.should_mark(&v, 1).is_mark());
+    }
+
+    #[test]
+    fn both_queues_marked_when_both_congested() {
+        let mut s = Pmsb::new(16 * 1500, vec![1, 1]);
+        let v = PortSnapshot::builder(2)
+            .queue_bytes(0, 9 * 1500)
+            .queue_bytes(1, 8 * 1500)
+            .build();
+        assert!(s.should_mark(&v, 0).is_mark());
+        assert!(s.should_mark(&v, 1).is_mark());
+    }
+
+    #[test]
+    fn weighted_filter_thresholds() {
+        let s = Pmsb::new(12 * 1500, vec![1, 3]);
+        assert_eq!(s.queue_threshold_bytes(0), 3 * 1500);
+        assert_eq!(s.queue_threshold_bytes(1), 9 * 1500);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive sum")]
+    fn rejects_zero_weight_sum() {
+        Pmsb::new(1000, vec![0, 0]);
+    }
+
+    proptest! {
+        /// PMSB's marks are a subset of plain per-port marking's marks:
+        /// selective blindness only ever *removes* marks.
+        #[test]
+        fn marks_subset_of_per_port(
+            occ in proptest::collection::vec(0_u64..200_000, 1..8),
+            port_k in 1_u64..400_000,
+        ) {
+            let n = occ.len();
+            let mut pmsb = Pmsb::new(port_k, vec![1; n]);
+            let mut pp = PerPort::new(port_k);
+            let mut b = PortSnapshot::builder(n);
+            for (i, o) in occ.iter().enumerate() {
+                b = b.queue_bytes(i, *o);
+            }
+            let v = b.build();
+            for q in 0..n {
+                if pmsb.should_mark(&v, q).is_mark() {
+                    prop_assert!(pp.should_mark(&v, q).is_mark());
+                }
+            }
+        }
+
+        /// With a single queue, PMSB degenerates to per-port marking
+        /// (queue occupancy == port occupancy, filter = full threshold).
+        #[test]
+        fn single_queue_equals_per_port(occ in 0_u64..200_000, k in 1_u64..200_000) {
+            let mut pmsb = Pmsb::new(k, vec![1]);
+            let mut pp = PerPort::new(k);
+            let v = PortSnapshot::builder(1).queue_bytes(0, occ).build();
+            prop_assert_eq!(pmsb.should_mark(&v, 0), pp.should_mark(&v, 0));
+        }
+
+        /// Filter thresholds partition the port threshold: they sum to at
+        /// most port_threshold and are proportional to weight.
+        #[test]
+        fn filter_thresholds_partition(
+            weights in proptest::collection::vec(1_u64..64, 1..8),
+            port_k in 1_u64..1_000_000,
+        ) {
+            let s = Pmsb::new(port_k, weights.clone());
+            let total: u64 = (0..weights.len()).map(|q| s.queue_threshold_bytes(q)).sum();
+            prop_assert!(total <= port_k);
+            // Off by at most one packet-rounding per queue.
+            prop_assert!(port_k - total < weights.len() as u64 * 2);
+        }
+
+        /// A queue whose occupancy is at least its weighted share of the
+        /// port occupancy is never a false negative when the port marks:
+        /// if queue_bytes >= (w_i/Σw)·port_bytes and port_bytes >= K_port,
+        /// then PMSB marks.
+        #[test]
+        fn congested_queue_always_marked(
+            occ in proptest::collection::vec(0_u64..200_000, 2..6),
+            port_k in 1_u64..100_000,
+        ) {
+            let n = occ.len();
+            let mut s = Pmsb::new(port_k, vec![1; n]);
+            let mut b = PortSnapshot::builder(n);
+            for (i, o) in occ.iter().enumerate() {
+                b = b.queue_bytes(i, *o);
+            }
+            let v = b.build();
+            let port: u64 = occ.iter().sum();
+            if port >= port_k {
+                for (q, o) in occ.iter().enumerate() {
+                    // Queue holds >= its share of the *threshold* => marked.
+                    if o * n as u64 >= port_k {
+                        prop_assert!(s.should_mark(&v, q).is_mark());
+                    }
+                }
+            }
+        }
+    }
+}

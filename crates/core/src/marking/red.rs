@@ -1,0 +1,220 @@
+//! RED — Random Early Detection marking (Floyd & Jacobson, reference [6]
+//! of the paper). DCTCP's marking is the degenerate RED configuration
+//! (`min_th == max_th`, instantaneous queue); this is the general gentle
+//! ramp, provided as an additional per-queue baseline and for ablations.
+
+use crate::marking::{Capabilities, MarkDecision, MarkingScheme};
+use crate::PortView;
+
+/// Per-queue RED ECN marking with a linear probability ramp.
+///
+/// Below `min_bytes` nothing is marked; above `max_bytes` everything is;
+/// in between, packets are marked with probability
+/// `max_p · (occ − min) / (max − min)`.
+///
+/// Switch dataplanes avoid true randomness; like several hardware
+/// implementations this model *uniformizes* deterministically: it marks
+/// every `round(1/p)`-th eligible packet (per queue), which yields the
+/// same long-run marking rate with lower variance and keeps simulations
+/// bit-for-bit reproducible.
+///
+/// # Example
+///
+/// ```
+/// use pmsb::marking::{MarkingScheme, Red};
+/// use pmsb::PortSnapshot;
+///
+/// let mut red = Red::new(5 * 1500, 15 * 1500, 0.5, 1);
+/// let low = PortSnapshot::builder(1).queue_bytes(0, 3 * 1500).build();
+/// assert!(!red.should_mark(&low, 0).is_mark()); // below min_th: never
+/// let high = PortSnapshot::builder(1).queue_bytes(0, 20 * 1500).build();
+/// assert!(red.should_mark(&high, 0).is_mark()); // above max_th: always
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Red {
+    min_bytes: u64,
+    max_bytes: u64,
+    max_p: f64,
+    /// Eligible packets seen since the last mark, per queue.
+    since_mark: Vec<u64>,
+}
+
+impl Red {
+    /// Creates the scheme for `num_queues` queues.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `min_bytes < max_bytes`, `0 < max_p <= 1`, and
+    /// `num_queues > 0`.
+    pub fn new(min_bytes: u64, max_bytes: u64, max_p: f64, num_queues: usize) -> Self {
+        assert!(min_bytes < max_bytes, "RED needs min_th < max_th");
+        assert!(
+            max_p > 0.0 && max_p <= 1.0,
+            "RED max_p must be in (0,1], got {max_p}"
+        );
+        assert!(num_queues > 0, "RED needs at least one queue");
+        Red {
+            min_bytes,
+            max_bytes,
+            max_p,
+            since_mark: vec![0; num_queues],
+        }
+    }
+
+    /// The marking probability at occupancy `occ_bytes`.
+    pub fn probability(&self, occ_bytes: u64) -> f64 {
+        if occ_bytes < self.min_bytes {
+            0.0
+        } else if occ_bytes >= self.max_bytes {
+            1.0
+        } else {
+            self.max_p * (occ_bytes - self.min_bytes) as f64
+                / (self.max_bytes - self.min_bytes) as f64
+        }
+    }
+}
+
+impl MarkingScheme for Red {
+    fn should_mark(&mut self, view: &dyn PortView, queue: usize) -> MarkDecision {
+        assert_eq!(
+            self.since_mark.len(),
+            view.num_queues(),
+            "scheme configured for {} queues, port has {}",
+            self.since_mark.len(),
+            view.num_queues()
+        );
+        let p = self.probability(view.queue_bytes(queue));
+        if p <= 0.0 {
+            self.since_mark[queue] = 0;
+            return MarkDecision::NoMark;
+        }
+        if p >= 1.0 {
+            self.since_mark[queue] = 0;
+            return MarkDecision::Mark;
+        }
+        // Deterministic uniformization: mark every round(1/p)-th packet.
+        self.since_mark[queue] += 1;
+        let interval = (1.0 / p).round().max(1.0) as u64;
+        if self.since_mark[queue] >= interval {
+            self.since_mark[queue] = 0;
+            MarkDecision::Mark
+        } else {
+            MarkDecision::NoMark
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "red"
+    }
+
+    fn capabilities(&self) -> Capabilities {
+        Capabilities {
+            generic_scheduler: true,
+            round_based_scheduler: true,
+            early_notification: true,
+            no_switch_modification: false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::PortSnapshot;
+    use proptest::prelude::*;
+
+    fn occ(bytes: u64) -> PortSnapshot {
+        PortSnapshot::builder(1).queue_bytes(0, bytes).build()
+    }
+
+    #[test]
+    fn never_marks_below_min() {
+        let mut red = Red::new(10_000, 20_000, 0.5, 1);
+        for _ in 0..100 {
+            assert!(!red.should_mark(&occ(9_999), 0).is_mark());
+        }
+    }
+
+    #[test]
+    fn always_marks_at_or_above_max() {
+        let mut red = Red::new(10_000, 20_000, 0.5, 1);
+        for _ in 0..100 {
+            assert!(red.should_mark(&occ(20_000), 0).is_mark());
+        }
+    }
+
+    #[test]
+    fn midpoint_marks_at_the_expected_rate() {
+        // At the midpoint p = max_p/2 = 0.25: every 4th packet marked.
+        let mut red = Red::new(10_000, 20_000, 0.5, 1);
+        let v = occ(15_000);
+        let marks: usize = (0..400)
+            .filter(|_| red.should_mark(&v, 0).is_mark())
+            .count();
+        assert_eq!(marks, 100);
+    }
+
+    #[test]
+    fn probability_ramp_is_linear() {
+        let red = Red::new(0, 10_000, 1.0, 1);
+        assert_eq!(red.probability(2_500), 0.25);
+        assert_eq!(red.probability(5_000), 0.5);
+        assert_eq!(red.probability(7_500), 0.75);
+    }
+
+    #[test]
+    fn counters_are_per_queue() {
+        let mut red = Red::new(10_000, 20_000, 1.0, 2);
+        // Queue 0 at midpoint (p=0.5 => every 2nd packet), queue 1 idle.
+        let v = PortSnapshot::builder(2)
+            .queue_bytes(0, 15_000)
+            .queue_bytes(1, 0)
+            .build();
+        let q0: Vec<bool> = (0..4).map(|_| red.should_mark(&v, 0).is_mark()).collect();
+        assert_eq!(q0, vec![false, true, false, true]);
+        assert!(!red.should_mark(&v, 1).is_mark());
+    }
+
+    #[test]
+    fn dipping_below_min_resets_the_counter() {
+        let mut red = Red::new(10_000, 20_000, 1.0, 1);
+        red.should_mark(&occ(15_000), 0); // count 1 of 2
+        red.should_mark(&occ(5_000), 0); // resets
+        assert!(
+            !red.should_mark(&occ(15_000), 0).is_mark(),
+            "count restarts"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "min_th < max_th")]
+    fn rejects_inverted_thresholds() {
+        Red::new(10, 10, 0.5, 1);
+    }
+
+    proptest! {
+        /// The long-run mark fraction tracks the configured probability
+        /// within one quantization step.
+        #[test]
+        fn long_run_rate_tracks_probability(
+            occ_frac in 0.05_f64..0.95,
+            max_p in 0.05_f64..1.0,
+        ) {
+            let min = 10_000u64;
+            let max = 50_000u64;
+            let occ_bytes = min + ((max - min) as f64 * occ_frac) as u64;
+            let mut red = Red::new(min, max, max_p, 1);
+            let p = red.probability(occ_bytes);
+            prop_assume!(p > 0.0 && p < 1.0);
+            let v = PortSnapshot::builder(1).queue_bytes(0, occ_bytes).build();
+            let n = 10_000;
+            let marks = (0..n).filter(|_| red.should_mark(&v, 0).is_mark()).count();
+            let achieved = marks as f64 / n as f64;
+            let quantized = 1.0 / (1.0 / p).round();
+            prop_assert!(
+                (achieved - quantized).abs() < 0.01,
+                "achieved {achieved} vs quantized target {quantized} (p={p})"
+            );
+        }
+    }
+}

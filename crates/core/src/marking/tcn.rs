@@ -1,0 +1,116 @@
+//! TCN — sojourn-time ECN marking over generic schedulers
+//! (Bai et al., CoNEXT 2016; Eq. 4 of the PMSB paper).
+
+use crate::marking::{Capabilities, MarkDecision, MarkingScheme};
+use crate::PortView;
+
+/// TCN: a packet is marked at dequeue when its *sojourn time* — how long it
+/// waited in the buffer — reaches the threshold `T_k = RTT·λ`.
+///
+/// Because the signal is the time already spent queued, TCN works over any
+/// scheduler (no round concept needed), but it cannot deliver congestion
+/// information *early*: a packet must first experience the congestion
+/// before the mark is produced (Fig. 5 of the paper). At enqueue there is
+/// no sojourn yet, so [`Tcn::should_mark`] never marks there.
+///
+/// # Example
+///
+/// ```
+/// use pmsb::marking::{MarkingScheme, Tcn};
+/// use pmsb::PortSnapshot;
+///
+/// let mut tcn = Tcn::new(19_200); // 19.2 us, = 16 pkts at 1 Gbps
+/// let at_dequeue = PortSnapshot::builder(1).sojourn_nanos(25_000).build();
+/// assert!(tcn.should_mark(&at_dequeue, 0).is_mark());
+///
+/// let at_enqueue = PortSnapshot::builder(1).build(); // no sojourn signal
+/// assert!(!tcn.should_mark(&at_enqueue, 0).is_mark());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Tcn {
+    threshold_nanos: u64,
+}
+
+impl Tcn {
+    /// Creates the scheme with sojourn threshold `T_k` in nanoseconds.
+    pub fn new(threshold_nanos: u64) -> Self {
+        Tcn { threshold_nanos }
+    }
+
+    /// The configured sojourn threshold in nanoseconds.
+    pub fn threshold_nanos(&self) -> u64 {
+        self.threshold_nanos
+    }
+}
+
+impl MarkingScheme for Tcn {
+    fn should_mark(&mut self, view: &dyn PortView, _queue: usize) -> MarkDecision {
+        match view.packet_sojourn_nanos() {
+            Some(sojourn) => MarkDecision::from_bool(sojourn >= self.threshold_nanos),
+            None => MarkDecision::NoMark,
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "tcn"
+    }
+
+    fn capabilities(&self) -> Capabilities {
+        Capabilities {
+            generic_scheduler: true,
+            round_based_scheduler: true,
+            early_notification: false,
+            no_switch_modification: false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::PortSnapshot;
+    use proptest::prelude::*;
+
+    #[test]
+    fn marks_on_long_sojourn_only() {
+        let mut tcn = Tcn::new(19_200);
+        let short = PortSnapshot::builder(1).sojourn_nanos(19_199).build();
+        let exact = PortSnapshot::builder(1).sojourn_nanos(19_200).build();
+        let long = PortSnapshot::builder(1).sojourn_nanos(100_000).build();
+        assert!(!tcn.should_mark(&short, 0).is_mark());
+        assert!(tcn.should_mark(&exact, 0).is_mark());
+        assert!(tcn.should_mark(&long, 0).is_mark());
+    }
+
+    #[test]
+    fn never_marks_without_sojourn_signal() {
+        // Even an arbitrarily congested port: TCN has nothing to act on at
+        // enqueue — this is its "no early notification" limitation.
+        let mut tcn = Tcn::new(1);
+        let v = PortSnapshot::builder(1)
+            .queue_bytes(0, u64::MAX / 2)
+            .build();
+        assert!(!tcn.should_mark(&v, 0).is_mark());
+    }
+
+    #[test]
+    fn ignores_buffer_occupancy() {
+        let mut tcn = Tcn::new(1000);
+        // Empty buffer but long sojourn (e.g. scheduler starvation): mark.
+        let v = PortSnapshot::builder(1).sojourn_nanos(5000).build();
+        assert!(tcn.should_mark(&v, 0).is_mark());
+    }
+
+    proptest! {
+        /// Marking is monotone in sojourn time.
+        #[test]
+        fn monotone_in_sojourn(t in 1_u64..1_000_000, s in 0_u64..1_000_000, d in 0_u64..1_000_000) {
+            let mut tcn = Tcn::new(t);
+            let a = PortSnapshot::builder(1).sojourn_nanos(s).build();
+            let b = PortSnapshot::builder(1).sojourn_nanos(s + d).build();
+            if tcn.should_mark(&a, 0).is_mark() {
+                prop_assert!(tcn.should_mark(&b, 0).is_mark());
+            }
+        }
+    }
+}

@@ -1,0 +1,222 @@
+//! The port-state view that marking schemes decide over.
+//!
+//! A [`PortView`] exposes exactly the switch state the marking disciplines
+//! in [`crate::marking`] consult: per-queue and per-port buffer occupancy,
+//! the shared-pool occupancy, the link rate, and — for schemes that need
+//! them — the departing packet's sojourn time (TCN) and the scheduler's
+//! smoothed round time (MQ-ECN). Keeping this behind a trait lets the same
+//! scheme objects run inside the packet simulator and in pure unit tests
+//! (via [`PortSnapshot`]).
+
+/// Read-only snapshot of a switch port's state at a marking decision point.
+pub trait PortView {
+    /// Number of service queues configured on this port.
+    fn num_queues(&self) -> usize;
+
+    /// Total bytes buffered across all queues of this port.
+    fn port_bytes(&self) -> u64;
+
+    /// Bytes buffered in queue `q`.
+    ///
+    /// # Panics
+    ///
+    /// Implementations may panic if `q >= num_queues()`.
+    fn queue_bytes(&self, q: usize) -> u64;
+
+    /// Bytes buffered in the service pool this port draws from (for
+    /// per-service-pool marking). Defaults to the port occupancy, which is
+    /// exact when the pool serves a single port.
+    fn pool_bytes(&self) -> u64 {
+        self.port_bytes()
+    }
+
+    /// Capacity of the attached link in bits per second.
+    fn link_rate_bps(&self) -> u64;
+
+    /// Sojourn time (nanoseconds) of the packet under decision, i.e. how
+    /// long it has waited in the buffer. Only meaningful at dequeue;
+    /// `None` at enqueue. TCN returns "don't mark" without it.
+    fn packet_sojourn_nanos(&self) -> Option<u64> {
+        None
+    }
+
+    /// The scheduler's smoothed round time `T_round` in nanoseconds, if the
+    /// scheduler is round-based (WRR/DWRR). `None` for schedulers without a
+    /// round concept (WFQ, SP) — MQ-ECN cannot operate there and falls back
+    /// to its standard threshold.
+    fn round_time_nanos(&self) -> Option<u64> {
+        None
+    }
+}
+
+/// A concrete, owned [`PortView`] for tests and offline evaluation.
+///
+/// Built with [`PortSnapshot::builder`]; the port occupancy defaults to the
+/// sum of the queue occupancies unless overridden.
+///
+/// # Example
+///
+/// ```
+/// use pmsb::{PortSnapshot, PortView};
+///
+/// let snap = PortSnapshot::builder(3)
+///     .queue_bytes(0, 3000)
+///     .queue_bytes(2, 1500)
+///     .link_rate_bps(10_000_000_000)
+///     .build();
+/// assert_eq!(snap.port_bytes(), 4500);
+/// assert_eq!(snap.queue_bytes(1), 0);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PortSnapshot {
+    queues: Vec<u64>,
+    port_bytes: u64,
+    pool_bytes: u64,
+    link_rate_bps: u64,
+    sojourn_nanos: Option<u64>,
+    round_time_nanos: Option<u64>,
+}
+
+impl PortSnapshot {
+    /// Starts building a snapshot of a port with `num_queues` queues.
+    pub fn builder(num_queues: usize) -> PortSnapshotBuilder {
+        PortSnapshotBuilder {
+            queues: vec![0; num_queues],
+            port_bytes: None,
+            pool_bytes: None,
+            link_rate_bps: 10_000_000_000,
+            sojourn_nanos: None,
+            round_time_nanos: None,
+        }
+    }
+}
+
+/// Builder for [`PortSnapshot`]; see [`PortSnapshot::builder`].
+#[derive(Debug, Clone)]
+pub struct PortSnapshotBuilder {
+    queues: Vec<u64>,
+    port_bytes: Option<u64>,
+    pool_bytes: Option<u64>,
+    link_rate_bps: u64,
+    sojourn_nanos: Option<u64>,
+    round_time_nanos: Option<u64>,
+}
+
+impl PortSnapshotBuilder {
+    /// Sets the occupancy of queue `q` in bytes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is out of range.
+    pub fn queue_bytes(mut self, q: usize, bytes: u64) -> Self {
+        self.queues[q] = bytes;
+        self
+    }
+
+    /// Overrides the port occupancy (defaults to the sum of queues).
+    pub fn port_bytes(mut self, bytes: u64) -> Self {
+        self.port_bytes = Some(bytes);
+        self
+    }
+
+    /// Overrides the service-pool occupancy (defaults to the port occupancy).
+    pub fn pool_bytes(mut self, bytes: u64) -> Self {
+        self.pool_bytes = Some(bytes);
+        self
+    }
+
+    /// Sets the link rate in bits per second (default 10 Gbps).
+    pub fn link_rate_bps(mut self, bps: u64) -> Self {
+        self.link_rate_bps = bps;
+        self
+    }
+
+    /// Sets the sojourn time of the packet under decision.
+    pub fn sojourn_nanos(mut self, nanos: u64) -> Self {
+        self.sojourn_nanos = Some(nanos);
+        self
+    }
+
+    /// Sets the scheduler's smoothed round time.
+    pub fn round_time_nanos(mut self, nanos: u64) -> Self {
+        self.round_time_nanos = Some(nanos);
+        self
+    }
+
+    /// Finishes the snapshot.
+    pub fn build(self) -> PortSnapshot {
+        let sum: u64 = self.queues.iter().sum();
+        let port_bytes = self.port_bytes.unwrap_or(sum);
+        PortSnapshot {
+            pool_bytes: self.pool_bytes.unwrap_or(port_bytes),
+            queues: self.queues,
+            port_bytes,
+            link_rate_bps: self.link_rate_bps,
+            sojourn_nanos: self.sojourn_nanos,
+            round_time_nanos: self.round_time_nanos,
+        }
+    }
+}
+
+impl PortView for PortSnapshot {
+    fn num_queues(&self) -> usize {
+        self.queues.len()
+    }
+    fn port_bytes(&self) -> u64 {
+        self.port_bytes
+    }
+    fn queue_bytes(&self, q: usize) -> u64 {
+        self.queues[q]
+    }
+    fn pool_bytes(&self) -> u64 {
+        self.pool_bytes
+    }
+    fn link_rate_bps(&self) -> u64 {
+        self.link_rate_bps
+    }
+    fn packet_sojourn_nanos(&self) -> Option<u64> {
+        self.sojourn_nanos
+    }
+    fn round_time_nanos(&self) -> Option<u64> {
+        self.round_time_nanos
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn port_bytes_defaults_to_queue_sum() {
+        let s = PortSnapshot::builder(2)
+            .queue_bytes(0, 100)
+            .queue_bytes(1, 200)
+            .build();
+        assert_eq!(s.port_bytes(), 300);
+        assert_eq!(s.pool_bytes(), 300);
+    }
+
+    #[test]
+    fn overrides_are_respected() {
+        let s = PortSnapshot::builder(1)
+            .queue_bytes(0, 100)
+            .port_bytes(500)
+            .pool_bytes(900)
+            .sojourn_nanos(42)
+            .round_time_nanos(7)
+            .link_rate_bps(1_000_000_000)
+            .build();
+        assert_eq!(s.port_bytes(), 500);
+        assert_eq!(s.pool_bytes(), 900);
+        assert_eq!(s.packet_sojourn_nanos(), Some(42));
+        assert_eq!(s.round_time_nanos(), Some(7));
+        assert_eq!(s.link_rate_bps(), 1_000_000_000);
+    }
+
+    #[test]
+    fn defaults_for_optional_signals_are_none() {
+        let s = PortSnapshot::builder(1).build();
+        assert_eq!(s.packet_sojourn_nanos(), None);
+        assert_eq!(s.round_time_nanos(), None);
+    }
+}

@@ -1,0 +1,128 @@
+//! Empirical cumulative distribution functions.
+
+/// An empirical CDF over `f64` samples — the representation behind the
+/// paper's RTT-distribution figures (Figs. 1 and 9).
+///
+/// # Example
+///
+/// ```
+/// use pmsb_metrics::Cdf;
+///
+/// let cdf = Cdf::from_samples(vec![1.0, 2.0, 3.0, 4.0]).unwrap();
+/// assert_eq!(cdf.quantile(0.5), 2.5);
+/// assert_eq!(cdf.fraction_below(2.5), 0.5);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Cdf {
+    sorted: Vec<f64>,
+}
+
+impl Cdf {
+    /// Builds the CDF, consuming and sorting the samples. Returns `None`
+    /// for an empty set.
+    pub fn from_samples(mut samples: Vec<f64>) -> Option<Cdf> {
+        if samples.is_empty() {
+            return None;
+        }
+        samples.sort_by(|a, b| a.partial_cmp(b).expect("NaN sample"));
+        Some(Cdf { sorted: samples })
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.sorted.len()
+    }
+
+    /// `false` by construction (empty sets return `None` from the
+    /// constructor), provided for API completeness.
+    pub fn is_empty(&self) -> bool {
+        self.sorted.is_empty()
+    }
+
+    /// The `q`-quantile (`q` in `[0,1]`) with linear interpolation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is outside `[0,1]`.
+    pub fn quantile(&self, q: f64) -> f64 {
+        crate::percentile(&self.sorted, q * 100.0)
+    }
+
+    /// Fraction of samples strictly below `x` (the CDF evaluated at `x`).
+    pub fn fraction_below(&self, x: f64) -> f64 {
+        let idx = self.sorted.partition_point(|s| *s < x);
+        idx as f64 / self.sorted.len() as f64
+    }
+
+    /// `points` evenly spaced `(value, cumulative fraction)` pairs for
+    /// plotting, from the minimum to the maximum sample.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `points < 2`.
+    pub fn plot_points(&self, points: usize) -> Vec<(f64, f64)> {
+        assert!(points >= 2, "need at least 2 plot points");
+        (0..points)
+            .map(|i| {
+                let q = i as f64 / (points - 1) as f64;
+                (self.quantile(q), q)
+            })
+            .collect()
+    }
+
+    /// The underlying sorted samples.
+    pub fn samples(&self) -> &[f64] {
+        &self.sorted
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn quantile_endpoints() {
+        let cdf = Cdf::from_samples(vec![5.0, 1.0, 3.0]).unwrap();
+        assert_eq!(cdf.quantile(0.0), 1.0);
+        assert_eq!(cdf.quantile(1.0), 5.0);
+    }
+
+    #[test]
+    fn fraction_below_counts_strictly() {
+        let cdf = Cdf::from_samples(vec![1.0, 2.0, 2.0, 3.0]).unwrap();
+        assert_eq!(cdf.fraction_below(2.0), 0.25);
+        assert_eq!(cdf.fraction_below(2.1), 0.75);
+        assert_eq!(cdf.fraction_below(100.0), 1.0);
+        assert_eq!(cdf.fraction_below(0.0), 0.0);
+    }
+
+    #[test]
+    fn plot_points_are_monotone() {
+        let cdf = Cdf::from_samples((0..100).map(|i| i as f64).collect()).unwrap();
+        let pts = cdf.plot_points(11);
+        assert_eq!(pts.len(), 11);
+        assert!(pts.windows(2).all(|w| w[0].0 <= w[1].0 && w[0].1 <= w[1].1));
+    }
+
+    #[test]
+    fn empty_returns_none() {
+        assert!(Cdf::from_samples(vec![]).is_none());
+    }
+
+    proptest! {
+        /// quantile and fraction_below are near-inverse.
+        #[test]
+        fn quantile_fraction_consistency(
+            xs in proptest::collection::vec(0.0_f64..1e6, 2..100),
+            q in 0.0_f64..1.0,
+        ) {
+            let cdf = Cdf::from_samples(xs).unwrap();
+            let v = cdf.quantile(q);
+            // Fraction strictly below v cannot exceed q by more than one
+            // sample's worth.
+            let f = cdf.fraction_below(v);
+            prop_assert!(f <= q + 1.0 / cdf.len() as f64 + 1e-9);
+        }
+    }
+}

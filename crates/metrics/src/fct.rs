@@ -1,0 +1,265 @@
+//! Flow-completion-time bookkeeping with the paper's size classes.
+
+use crate::Summary;
+
+/// Flow size classes used throughout the paper's evaluation: small flows
+/// under 100 KB, large flows over 10 MB, medium in between, and the
+/// all-flows aggregate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SizeClass {
+    /// `bytes < 100 KB` — the latency-sensitive class the paper optimizes.
+    Small,
+    /// `100 KB <= bytes <= 10 MB`.
+    Medium,
+    /// `bytes > 10 MB` — throughput-intensive flows.
+    Large,
+    /// Every flow regardless of size.
+    Overall,
+}
+
+impl SizeClass {
+    /// Classifies a flow by its byte size (never returns
+    /// [`SizeClass::Overall`]).
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use pmsb_metrics::fct::SizeClass;
+    ///
+    /// assert_eq!(SizeClass::of_bytes(50_000), SizeClass::Small);
+    /// assert_eq!(SizeClass::of_bytes(1_000_000), SizeClass::Medium);
+    /// assert_eq!(SizeClass::of_bytes(50_000_000), SizeClass::Large);
+    /// ```
+    pub fn of_bytes(bytes: u64) -> SizeClass {
+        if bytes < 100_000 {
+            SizeClass::Small
+        } else if bytes <= 10_000_000 {
+            SizeClass::Medium
+        } else {
+            SizeClass::Large
+        }
+    }
+}
+
+impl std::fmt::Display for SizeClass {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SizeClass::Small => f.write_str("small"),
+            SizeClass::Medium => f.write_str("medium"),
+            SizeClass::Large => f.write_str("large"),
+            SizeClass::Overall => f.write_str("overall"),
+        }
+    }
+}
+
+/// One completed flow.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FlowRecord {
+    /// Application-level flow identifier.
+    pub flow_id: u64,
+    /// Bytes transferred.
+    pub bytes: u64,
+    /// Simulation time the flow started, in nanoseconds.
+    pub start_nanos: u64,
+    /// Simulation time the last byte was acknowledged, in nanoseconds.
+    pub end_nanos: u64,
+}
+
+impl FlowRecord {
+    /// The flow completion time in nanoseconds.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if the record ends before it starts.
+    pub fn fct_nanos(&self) -> u64 {
+        debug_assert!(self.end_nanos >= self.start_nanos, "flow ends before start");
+        self.end_nanos - self.start_nanos
+    }
+
+    /// The flow's size class.
+    pub fn size_class(&self) -> SizeClass {
+        SizeClass::of_bytes(self.bytes)
+    }
+}
+
+/// Accumulates [`FlowRecord`]s and reports FCT statistics per size class.
+///
+/// # Example
+///
+/// ```
+/// use pmsb_metrics::fct::{FctRecorder, FlowRecord, SizeClass};
+///
+/// let mut rec = FctRecorder::new();
+/// for i in 0..10 {
+///     rec.record(FlowRecord {
+///         flow_id: i,
+///         bytes: 10_000,
+///         start_nanos: 0,
+///         end_nanos: (i + 1) * 1_000,
+///     });
+/// }
+/// let s = rec.stats(SizeClass::Small).unwrap();
+/// assert_eq!(s.count, 10);
+/// assert_eq!(s.mean, 5_500.0);
+/// assert!(rec.stats(SizeClass::Large).is_none());
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct FctRecorder {
+    records: Vec<FlowRecord>,
+}
+
+impl FctRecorder {
+    /// Creates an empty recorder.
+    pub fn new() -> Self {
+        FctRecorder::default()
+    }
+
+    /// Adds one completed flow.
+    pub fn record(&mut self, record: FlowRecord) {
+        self.records.push(record);
+    }
+
+    /// Number of completed flows recorded.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// `true` if nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// All records.
+    pub fn records(&self) -> &[FlowRecord] {
+        &self.records
+    }
+
+    /// FCT samples (nanoseconds) for one size class.
+    pub fn fcts_nanos(&self, class: SizeClass) -> Vec<f64> {
+        self.records
+            .iter()
+            .filter(|r| class == SizeClass::Overall || r.size_class() == class)
+            .map(|r| r.fct_nanos() as f64)
+            .collect()
+    }
+
+    /// FCT summary statistics for one size class; `None` if the class has
+    /// no flows.
+    pub fn stats(&self, class: SizeClass) -> Option<Summary> {
+        Summary::from_samples(self.fcts_nanos(class))
+    }
+
+    /// Aggregate goodput across all recorded flows in bits per second:
+    /// total bytes divided by the span from the earliest start to the
+    /// latest end. `None` if empty or the span is zero.
+    pub fn aggregate_goodput_bps(&self) -> Option<f64> {
+        if self.records.is_empty() {
+            return None;
+        }
+        let start = self.records.iter().map(|r| r.start_nanos).min().unwrap();
+        let end = self.records.iter().map(|r| r.end_nanos).max().unwrap();
+        if end == start {
+            return None;
+        }
+        let bytes: u64 = self.records.iter().map(|r| r.bytes).sum();
+        Some(bytes as f64 * 8.0 / ((end - start) as f64 / 1e9))
+    }
+}
+
+impl Extend<FlowRecord> for FctRecorder {
+    fn extend<T: IntoIterator<Item = FlowRecord>>(&mut self, iter: T) {
+        self.records.extend(iter);
+    }
+}
+
+impl FromIterator<FlowRecord> for FctRecorder {
+    fn from_iter<T: IntoIterator<Item = FlowRecord>>(iter: T) -> Self {
+        FctRecorder {
+            records: iter.into_iter().collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn rec(bytes: u64, fct: u64) -> FlowRecord {
+        FlowRecord {
+            flow_id: 0,
+            bytes,
+            start_nanos: 100,
+            end_nanos: 100 + fct,
+        }
+    }
+
+    #[test]
+    fn classes_partition_sizes() {
+        assert_eq!(SizeClass::of_bytes(0), SizeClass::Small);
+        assert_eq!(SizeClass::of_bytes(99_999), SizeClass::Small);
+        assert_eq!(SizeClass::of_bytes(100_000), SizeClass::Medium);
+        assert_eq!(SizeClass::of_bytes(10_000_000), SizeClass::Medium);
+        assert_eq!(SizeClass::of_bytes(10_000_001), SizeClass::Large);
+    }
+
+    #[test]
+    fn stats_split_by_class() {
+        let mut r = FctRecorder::new();
+        r.record(rec(1_000, 10));
+        r.record(rec(1_000, 20));
+        r.record(rec(20_000_000, 1_000));
+        assert_eq!(r.stats(SizeClass::Small).unwrap().count, 2);
+        assert_eq!(r.stats(SizeClass::Large).unwrap().count, 1);
+        assert!(r.stats(SizeClass::Medium).is_none());
+        assert_eq!(r.stats(SizeClass::Overall).unwrap().count, 3);
+    }
+
+    #[test]
+    fn goodput_spans_first_start_to_last_end() {
+        let mut r = FctRecorder::new();
+        r.record(FlowRecord {
+            flow_id: 1,
+            bytes: 1_000_000,
+            start_nanos: 0,
+            end_nanos: 1_000_000,
+        });
+        r.record(FlowRecord {
+            flow_id: 2,
+            bytes: 1_000_000,
+            start_nanos: 500_000,
+            end_nanos: 2_000_000,
+        });
+        // 2 MB over 2 ms = 8 Gbps.
+        let g = r.aggregate_goodput_bps().unwrap();
+        assert!((g - 8e9).abs() < 1e6, "goodput {g}");
+    }
+
+    #[test]
+    fn empty_recorder_has_no_stats() {
+        let r = FctRecorder::new();
+        assert!(r.is_empty());
+        assert!(r.stats(SizeClass::Overall).is_none());
+        assert!(r.aggregate_goodput_bps().is_none());
+    }
+
+    #[test]
+    fn collects_from_iterator() {
+        let r: FctRecorder = (0..5).map(|i| rec(1000 * (i + 1), 10)).collect();
+        assert_eq!(r.len(), 5);
+    }
+
+    proptest! {
+        /// Overall count equals the sum of the three class counts.
+        #[test]
+        fn classes_partition_records(sizes in proptest::collection::vec(1_u64..100_000_000, 1..50)) {
+            let r: FctRecorder = sizes.iter().map(|s| rec(*s, 100)).collect();
+            let total = r.stats(SizeClass::Overall).unwrap().count;
+            let parts: usize = [SizeClass::Small, SizeClass::Medium, SizeClass::Large]
+                .iter()
+                .filter_map(|c| r.stats(*c).map(|s| s.count))
+                .sum();
+            prop_assert_eq!(total, parts);
+        }
+    }
+}

@@ -1,0 +1,246 @@
+//! Time series: binned throughput counters and sampled gauges.
+
+/// Bytes-per-interval throughput accounting, reported in Gbps — the
+/// representation behind the paper's throughput-versus-time figures
+/// (Figs. 3, 8, 13–15).
+///
+/// # Example
+///
+/// ```
+/// use pmsb_metrics::ThroughputSeries;
+///
+/// let mut ts = ThroughputSeries::new(1_000_000); // 1 ms bins
+/// ts.add(0, 1_250_000);        // 1.25 MB in bin 0 => 10 Gbps
+/// ts.add(1_500_000, 625_000);  // bin 1 => 5 Gbps
+/// let g = ts.gbps();
+/// assert!((g[0] - 10.0).abs() < 1e-9);
+/// assert!((g[1] - 5.0).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ThroughputSeries {
+    interval_nanos: u64,
+    bins: Vec<u64>,
+}
+
+impl ThroughputSeries {
+    /// Creates a series with the given bin width in nanoseconds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `interval_nanos` is zero.
+    pub fn new(interval_nanos: u64) -> Self {
+        assert!(interval_nanos > 0, "bin width must be positive");
+        ThroughputSeries {
+            interval_nanos,
+            bins: Vec::new(),
+        }
+    }
+
+    /// Credits `bytes` delivered at time `at_nanos`.
+    pub fn add(&mut self, at_nanos: u64, bytes: u64) {
+        let bin = (at_nanos / self.interval_nanos) as usize;
+        if bin >= self.bins.len() {
+            self.bins.resize(bin + 1, 0);
+        }
+        self.bins[bin] += bytes;
+    }
+
+    /// The bin width in nanoseconds.
+    pub fn interval_nanos(&self) -> u64 {
+        self.interval_nanos
+    }
+
+    /// Raw per-bin byte counts.
+    pub fn bytes_per_bin(&self) -> &[u64] {
+        &self.bins
+    }
+
+    /// Per-bin throughput in Gbps.
+    pub fn gbps(&self) -> Vec<f64> {
+        let secs = self.interval_nanos as f64 / 1e9;
+        self.bins
+            .iter()
+            .map(|b| *b as f64 * 8.0 / secs / 1e9)
+            .collect()
+    }
+
+    /// Mean throughput in Gbps over bins `[from_bin, to_bin)` — used to
+    /// report steady-state shares while skipping slow-start bins.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty or out of bounds.
+    pub fn mean_gbps(&self, from_bin: usize, to_bin: usize) -> f64 {
+        assert!(
+            from_bin < to_bin && to_bin <= self.bins.len(),
+            "bad bin range"
+        );
+        let g = self.gbps();
+        g[from_bin..to_bin].iter().sum::<f64>() / (to_bin - from_bin) as f64
+    }
+
+    /// Total bytes recorded.
+    pub fn total_bytes(&self) -> u64 {
+        self.bins.iter().sum()
+    }
+
+    /// Number of bins (index of the last active bin + 1).
+    pub fn num_bins(&self) -> usize {
+        self.bins.len()
+    }
+}
+
+/// A sampled gauge — e.g. queue occupancy over time (the paper's buffer
+/// figures, Figs. 4, 5, 11, 12).
+///
+/// # Example
+///
+/// ```
+/// use pmsb_metrics::GaugeSeries;
+///
+/// let mut g = GaugeSeries::new();
+/// g.sample(0, 3.0);
+/// g.sample(100, 9.0);
+/// assert_eq!(g.peak(), Some(9.0));
+/// assert_eq!(g.len(), 2);
+/// ```
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct GaugeSeries {
+    points: Vec<(u64, f64)>,
+}
+
+impl GaugeSeries {
+    /// Creates an empty gauge series.
+    pub fn new() -> Self {
+        GaugeSeries::default()
+    }
+
+    /// Records `value` at time `at_nanos`. Times must be non-decreasing.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if `at_nanos` goes backwards.
+    pub fn sample(&mut self, at_nanos: u64, value: f64) {
+        debug_assert!(
+            self.points.last().is_none_or(|(t, _)| *t <= at_nanos),
+            "gauge samples must be time-ordered"
+        );
+        self.points.push((at_nanos, value));
+    }
+
+    /// The `(time, value)` samples.
+    pub fn points(&self) -> &[(u64, f64)] {
+        &self.points
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// `true` if no samples were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// The largest sampled value, if any.
+    pub fn peak(&self) -> Option<f64> {
+        self.points.iter().map(|(_, v)| *v).reduce(f64::max)
+    }
+
+    /// Time-weighted mean over the sampled span (each sample holds until
+    /// the next). `None` with fewer than two samples.
+    pub fn time_weighted_mean(&self) -> Option<f64> {
+        if self.points.len() < 2 {
+            return None;
+        }
+        let mut area = 0.0;
+        for w in self.points.windows(2) {
+            let dt = (w[1].0 - w[0].0) as f64;
+            area += w[0].1 * dt;
+        }
+        let span = (self.points.last().unwrap().0 - self.points[0].0) as f64;
+        (span > 0.0).then(|| area / span)
+    }
+
+    /// The largest value at or after `from_nanos` (e.g. post-slow-start
+    /// peaks). `None` if no samples qualify.
+    pub fn peak_after(&self, from_nanos: u64) -> Option<f64> {
+        self.points
+            .iter()
+            .filter(|(t, _)| *t >= from_nanos)
+            .map(|(_, v)| *v)
+            .reduce(f64::max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn throughput_bins_accumulate() {
+        let mut ts = ThroughputSeries::new(100);
+        ts.add(0, 10);
+        ts.add(50, 10);
+        ts.add(150, 5);
+        assert_eq!(ts.bytes_per_bin(), &[20, 5]);
+        assert_eq!(ts.total_bytes(), 25);
+    }
+
+    #[test]
+    fn gbps_conversion() {
+        let mut ts = ThroughputSeries::new(1_000_000_000); // 1 s bin
+        ts.add(0, 1_250_000_000); // 1.25 GB in 1 s = 10 Gbps
+        assert!((ts.gbps()[0] - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn mean_gbps_over_window() {
+        let mut ts = ThroughputSeries::new(1_000_000);
+        for bin in 0..10u64 {
+            ts.add(bin * 1_000_000, 1_250_000); // 10 Gbps each bin
+        }
+        assert!((ts.mean_gbps(2, 10) - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn gauge_peak_and_mean() {
+        let mut g = GaugeSeries::new();
+        g.sample(0, 2.0);
+        g.sample(10, 4.0);
+        g.sample(20, 0.0);
+        assert_eq!(g.peak(), Some(4.0));
+        // 2.0 for 10 ns then 4.0 for 10 ns => mean 3.0.
+        assert!((g.time_weighted_mean().unwrap() - 3.0).abs() < 1e-9);
+        assert_eq!(g.peak_after(10), Some(4.0));
+        assert_eq!(g.peak_after(15), Some(0.0));
+        assert_eq!(g.peak_after(25), None);
+    }
+
+    #[test]
+    fn empty_gauge() {
+        let g = GaugeSeries::new();
+        assert!(g.is_empty());
+        assert_eq!(g.peak(), None);
+        assert_eq!(g.time_weighted_mean(), None);
+    }
+
+    proptest! {
+        /// Total bytes equals the sum of adds regardless of bin layout.
+        #[test]
+        fn conservation(
+            adds in proptest::collection::vec((0_u64..1_000_000, 1_u64..10_000), 1..100),
+            interval in 1_u64..10_000,
+        ) {
+            let mut ts = ThroughputSeries::new(interval);
+            let mut want = 0u64;
+            for (t, b) in &adds {
+                ts.add(*t, *b);
+                want += b;
+            }
+            prop_assert_eq!(ts.total_bytes(), want);
+        }
+    }
+}

@@ -1,0 +1,163 @@
+//! Order statistics over raw samples.
+
+/// The `p`-th percentile (0–100) of `sorted` samples with linear
+/// interpolation between closest ranks.
+///
+/// # Example
+///
+/// ```
+/// use pmsb_metrics::percentile;
+///
+/// let xs = [1.0, 2.0, 3.0, 4.0];
+/// assert_eq!(percentile(&xs, 0.0), 1.0);
+/// assert_eq!(percentile(&xs, 50.0), 2.5);
+/// assert_eq!(percentile(&xs, 100.0), 4.0);
+/// ```
+///
+/// # Panics
+///
+/// Panics if `sorted` is empty, not ascending, or `p` is outside `[0,100]`.
+pub fn percentile(sorted: &[f64], p: f64) -> f64 {
+    assert!(!sorted.is_empty(), "percentile of empty sample set");
+    assert!((0.0..=100.0).contains(&p), "percentile {p} out of [0,100]");
+    debug_assert!(
+        sorted.windows(2).all(|w| w[0] <= w[1]),
+        "samples must be sorted ascending"
+    );
+    if sorted.len() == 1 {
+        return sorted[0];
+    }
+    let rank = p / 100.0 * (sorted.len() - 1) as f64;
+    let lo = rank.floor() as usize;
+    let hi = rank.ceil() as usize;
+    let frac = rank - lo as f64;
+    sorted[lo] + (sorted[hi] - sorted[lo]) * frac
+}
+
+/// Descriptive statistics of a sample set.
+///
+/// # Example
+///
+/// ```
+/// use pmsb_metrics::Summary;
+///
+/// let s = Summary::from_samples(vec![10.0, 20.0, 30.0]).unwrap();
+/// assert_eq!(s.count, 3);
+/// assert_eq!(s.mean, 20.0);
+/// assert_eq!(s.max, 30.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Summary {
+    /// Number of samples.
+    pub count: usize,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Minimum.
+    pub min: f64,
+    /// Median (50th percentile).
+    pub p50: f64,
+    /// 95th percentile.
+    pub p95: f64,
+    /// 99th percentile.
+    pub p99: f64,
+    /// Maximum (100th percentile).
+    pub max: f64,
+}
+
+impl Summary {
+    /// Builds a summary, consuming and sorting the samples. Returns `None`
+    /// for an empty set.
+    pub fn from_samples(mut samples: Vec<f64>) -> Option<Summary> {
+        if samples.is_empty() {
+            return None;
+        }
+        samples.sort_by(|a, b| a.partial_cmp(b).expect("NaN sample"));
+        let count = samples.len();
+        let mean = samples.iter().sum::<f64>() / count as f64;
+        Some(Summary {
+            count,
+            mean,
+            min: samples[0],
+            p50: percentile(&samples, 50.0),
+            p95: percentile(&samples, 95.0),
+            p99: percentile(&samples, 99.0),
+            max: samples[count - 1],
+        })
+    }
+}
+
+impl std::fmt::Display for Summary {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "n={} mean={:.1} p50={:.1} p95={:.1} p99={:.1} max={:.1}",
+            self.count, self.mean, self.p50, self.p95, self.p99, self.max
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn single_sample_everything_equal() {
+        let s = Summary::from_samples(vec![7.0]).unwrap();
+        assert_eq!(s.mean, 7.0);
+        assert_eq!(s.p50, 7.0);
+        assert_eq!(s.p99, 7.0);
+        assert_eq!(s.min, 7.0);
+        assert_eq!(s.max, 7.0);
+    }
+
+    #[test]
+    fn empty_gives_none() {
+        assert!(Summary::from_samples(vec![]).is_none());
+    }
+
+    #[test]
+    fn unsorted_input_is_handled() {
+        let s = Summary::from_samples(vec![3.0, 1.0, 2.0]).unwrap();
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.p50, 2.0);
+        assert_eq!(s.max, 3.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn percentile_rejects_empty() {
+        percentile(&[], 50.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of")]
+    fn percentile_rejects_out_of_range() {
+        percentile(&[1.0], 101.0);
+    }
+
+    proptest! {
+        /// Percentiles are monotone in p and bounded by min/max.
+        #[test]
+        fn percentile_monotone(
+            mut xs in proptest::collection::vec(-1e6_f64..1e6, 1..100),
+            p1 in 0.0_f64..100.0,
+            p2 in 0.0_f64..100.0,
+        ) {
+            xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            let (lo, hi) = if p1 <= p2 { (p1, p2) } else { (p2, p1) };
+            let v1 = percentile(&xs, lo);
+            let v2 = percentile(&xs, hi);
+            prop_assert!(v1 <= v2 + 1e-9);
+            prop_assert!(v1 >= xs[0] - 1e-9);
+            prop_assert!(v2 <= xs[xs.len()-1] + 1e-9);
+        }
+
+        /// The mean lies within [min, max].
+        #[test]
+        fn mean_bounded(xs in proptest::collection::vec(-1e6_f64..1e6, 1..100)) {
+            let s = Summary::from_samples(xs).unwrap();
+            prop_assert!(s.mean >= s.min - 1e-9 && s.mean <= s.max + 1e-9);
+        }
+    }
+}

@@ -1,0 +1,459 @@
+//! Switch, host and transport configuration.
+
+use pmsb::marking::{MarkingScheme, MqEcn, PerPool, PerPort, PerQueue, Pmsb, Red, Tcn};
+use pmsb::MarkPoint;
+use pmsb_sched::{BufferPolicy, Dwrr, Fifo, HierSpWfq, Scheduler, StrictPriority, Wfq, Wrr};
+
+use crate::packet::MTU_WIRE_BYTES;
+
+/// Which ECN marking discipline switch ports run.
+///
+/// Thresholds are given in the paper's unit — full-MTU packets (1500 B
+/// wire) — and converted to bytes internally.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MarkingConfig {
+    /// ECN disabled (plain drop-tail TCP behaviour).
+    None,
+    /// Per-queue marking, every queue using the full standard threshold.
+    PerQueueStandard {
+        /// `K` in packets.
+        threshold_pkts: u64,
+    },
+    /// Per-queue marking with the standard threshold split by weight
+    /// (Eq. 2).
+    PerQueueFractional {
+        /// Total (standard) threshold in packets, apportioned by weight.
+        total_pkts: u64,
+    },
+    /// Plain per-port marking.
+    PerPort {
+        /// `Port-K` in packets.
+        threshold_pkts: u64,
+    },
+    /// Per-service-pool marking (pool = whole switch).
+    PerPool {
+        /// Pool threshold in packets.
+        threshold_pkts: u64,
+    },
+    /// MQ-ECN dynamic per-queue thresholds (round-based schedulers only).
+    MqEcn {
+        /// Standard threshold `C·RTT·λ` in packets.
+        standard_pkts: u64,
+    },
+    /// TCN sojourn-time marking (dequeue only).
+    Tcn {
+        /// Sojourn threshold `T_k` in nanoseconds.
+        threshold_nanos: u64,
+    },
+    /// PMSB: per-port marking with selective blindness (Algorithm 1).
+    Pmsb {
+        /// Port threshold in packets; per-queue filters derive from the
+        /// scheduler weights (Eq. 6).
+        port_threshold_pkts: u64,
+    },
+    /// Per-queue RED with a linear probability ramp (reference [6]).
+    Red {
+        /// Lower threshold in packets (no marking below).
+        min_pkts: u64,
+        /// Upper threshold in packets (always mark at or above).
+        max_pkts: u64,
+        /// Marking probability at the upper threshold.
+        max_p: f64,
+    },
+}
+
+impl MarkingConfig {
+    /// Instantiates the marking scheme for a port with the given scheduler
+    /// `weights`. `None` when ECN is disabled.
+    pub fn build(&self, weights: &[u64]) -> Option<Box<dyn MarkingScheme>> {
+        let pkt = MTU_WIRE_BYTES;
+        match self {
+            MarkingConfig::None => None,
+            MarkingConfig::PerQueueStandard { threshold_pkts } => Some(Box::new(
+                PerQueue::standard(threshold_pkts * pkt, weights.len()),
+            )),
+            MarkingConfig::PerQueueFractional { total_pkts } => {
+                Some(Box::new(PerQueue::fractional(total_pkts * pkt, weights)))
+            }
+            MarkingConfig::PerPort { threshold_pkts } => {
+                Some(Box::new(PerPort::new(threshold_pkts * pkt)))
+            }
+            MarkingConfig::PerPool { threshold_pkts } => {
+                Some(Box::new(PerPool::new(threshold_pkts * pkt)))
+            }
+            MarkingConfig::MqEcn { standard_pkts } => Some(Box::new(MqEcn::new(
+                standard_pkts * pkt,
+                weights.iter().map(|w| w * pkt).collect(),
+            ))),
+            MarkingConfig::Tcn { threshold_nanos } => Some(Box::new(Tcn::new(*threshold_nanos))),
+            MarkingConfig::Pmsb {
+                port_threshold_pkts,
+            } => Some(Box::new(Pmsb::new(
+                port_threshold_pkts * pkt,
+                weights.to_vec(),
+            ))),
+            MarkingConfig::Red {
+                min_pkts,
+                max_pkts,
+                max_p,
+            } => Some(Box::new(Red::new(
+                min_pkts * pkt,
+                max_pkts * pkt,
+                *max_p,
+                weights.len(),
+            ))),
+        }
+    }
+
+    /// Short name for reports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            MarkingConfig::None => "none",
+            MarkingConfig::PerQueueStandard { .. } => "per-queue-std",
+            MarkingConfig::PerQueueFractional { .. } => "per-queue-frac",
+            MarkingConfig::PerPort { .. } => "per-port",
+            MarkingConfig::PerPool { .. } => "per-pool",
+            MarkingConfig::MqEcn { .. } => "mq-ecn",
+            MarkingConfig::Tcn { .. } => "tcn",
+            MarkingConfig::Pmsb { .. } => "pmsb",
+            MarkingConfig::Red { .. } => "red",
+        }
+    }
+}
+
+/// Which scheduler switch ports run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SchedulerConfig {
+    /// Single FIFO queue.
+    Fifo,
+    /// Strict priority over `num_queues` queues (queue 0 highest).
+    Sp {
+        /// Number of queues.
+        num_queues: usize,
+    },
+    /// Weighted round robin (packets).
+    Wrr {
+        /// Per-queue packet weights.
+        weights: Vec<u64>,
+    },
+    /// Deficit weighted round robin (bytes).
+    Dwrr {
+        /// Per-queue weights (quantum = weight × 1 MTU).
+        weights: Vec<u64>,
+    },
+    /// Weighted fair queueing.
+    Wfq {
+        /// Per-queue weights.
+        weights: Vec<u64>,
+    },
+    /// Strict priority between groups, WFQ inside each group.
+    SpWfq {
+        /// `group_of[q]` = priority group of queue `q` (0 = highest).
+        group_of: Vec<usize>,
+        /// WFQ weight of each queue inside its group.
+        weights: Vec<u64>,
+    },
+}
+
+impl SchedulerConfig {
+    /// Instantiates the scheduler.
+    pub fn build(&self) -> Box<dyn Scheduler> {
+        match self {
+            SchedulerConfig::Fifo => Box::new(Fifo::new()),
+            SchedulerConfig::Sp { num_queues } => Box::new(StrictPriority::new(*num_queues)),
+            SchedulerConfig::Wrr { weights } => Box::new(Wrr::new(weights.clone())),
+            SchedulerConfig::Dwrr { weights } => {
+                Box::new(Dwrr::new(weights.clone(), MTU_WIRE_BYTES))
+            }
+            SchedulerConfig::Wfq { weights } => Box::new(Wfq::new(weights.clone())),
+            SchedulerConfig::SpWfq { group_of, weights } => {
+                Box::new(HierSpWfq::new(group_of.clone(), weights.clone()))
+            }
+        }
+    }
+
+    /// The per-queue weights this configuration implies (used to derive
+    /// marking thresholds).
+    pub fn weights(&self) -> Vec<u64> {
+        match self {
+            SchedulerConfig::Fifo => vec![1],
+            SchedulerConfig::Sp { num_queues } => vec![1; *num_queues],
+            SchedulerConfig::Wrr { weights }
+            | SchedulerConfig::Dwrr { weights }
+            | SchedulerConfig::Wfq { weights }
+            | SchedulerConfig::SpWfq { weights, .. } => weights.clone(),
+        }
+    }
+
+    /// Number of queues per port.
+    pub fn num_queues(&self) -> usize {
+        self.weights().len()
+    }
+
+    /// Short name for reports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            SchedulerConfig::Fifo => "fifo",
+            SchedulerConfig::Sp { .. } => "sp",
+            SchedulerConfig::Wrr { .. } => "wrr",
+            SchedulerConfig::Dwrr { .. } => "dwrr",
+            SchedulerConfig::Wfq { .. } => "wfq",
+            SchedulerConfig::SpWfq { .. } => "sp+wfq",
+        }
+    }
+}
+
+/// Per-switch configuration (applied to every output port).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SwitchConfig {
+    /// Scheduling policy.
+    pub scheduler: SchedulerConfig,
+    /// ECN marking discipline.
+    pub marking: MarkingConfig,
+    /// Where the marking decision runs.
+    pub mark_point: MarkPoint,
+    /// Shared buffer per output port, in bytes.
+    pub buffer_bytes: u64,
+    /// Dynamic-Threshold scale factor for buffer admission; `None` uses a
+    /// plain static shared buffer.
+    pub buffer_dt_alpha: Option<f64>,
+}
+
+impl SwitchConfig {
+    /// The buffer admission policy this configuration implies.
+    pub fn buffer_policy(&self) -> BufferPolicy {
+        match self.buffer_dt_alpha {
+            None => BufferPolicy::SharedStatic {
+                cap_bytes: self.buffer_bytes,
+            },
+            Some(alpha) => BufferPolicy::DynamicThreshold {
+                cap_bytes: self.buffer_bytes,
+                alpha,
+            },
+        }
+    }
+}
+
+impl Default for SwitchConfig {
+    fn default() -> Self {
+        SwitchConfig {
+            scheduler: SchedulerConfig::Dwrr {
+                weights: vec![1; 8],
+            },
+            marking: MarkingConfig::Pmsb {
+                port_threshold_pkts: 12,
+            },
+            mark_point: MarkPoint::Enqueue,
+            // 2 MB shared per port: generous for DCTCP's shallow standing
+            // queues, small enough that slow-start bursts can drop.
+            buffer_bytes: 2 * 1024 * 1024,
+            buffer_dt_alpha: None,
+        }
+    }
+}
+
+/// Per-host configuration.
+///
+/// Host NICs can run the same ECN discipline as switches (a one-queue
+/// "port"): this mirrors the common NS-3 setup where the RED/ECN queue
+/// disc is installed on every device, and it is what lets a *single* flow
+/// at host line rate still see marking — its standing queue sits at its
+/// own NIC, not at the (equal-speed) switch.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HostConfig {
+    /// NIC egress buffer in bytes.
+    pub nic_buffer_bytes: u64,
+    /// ECN marking at the NIC queue ([`MarkingConfig::None`] disables).
+    pub nic_marking: MarkingConfig,
+    /// Where the NIC marking decision runs.
+    pub nic_mark_point: MarkPoint,
+}
+
+impl Default for HostConfig {
+    fn default() -> Self {
+        HostConfig {
+            nic_buffer_bytes: 8 * 1024 * 1024,
+            nic_marking: MarkingConfig::None,
+            nic_mark_point: MarkPoint::Enqueue,
+        }
+    }
+}
+
+/// How a sender responds to honoured ECN-Echo signals.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum EcnResponse {
+    /// DCTCP: estimate the marked fraction `alpha` per window and cut
+    /// `cwnd ← cwnd·(1 − α/2)` once per window.
+    #[default]
+    Dctcp,
+    /// Classic ECN (RFC 3168): halve the window once per RTT on any mark,
+    /// like a loss. Kept as a contrast baseline for ablations.
+    Classic,
+}
+
+/// DCTCP transport parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TransportConfig {
+    /// Maximum segment size (payload bytes).
+    pub mss: u64,
+    /// Initial congestion window in segments (the paper uses 16).
+    pub init_cwnd_pkts: u64,
+    /// DCTCP `g` (EWMA gain for `alpha`).
+    pub g: f64,
+    /// Minimum retransmission timeout, nanoseconds.
+    pub rto_min_nanos: u64,
+    /// RTO before any RTT sample, nanoseconds.
+    pub rto_init_nanos: u64,
+    /// Socket send-buffer bound on the congestion window, bytes.
+    pub max_cwnd_bytes: u64,
+    /// Congestion response to ECN marks.
+    pub ecn_response: EcnResponse,
+    /// Receiver ACK coalescing: ACK every `m` data packets (1 = ACK every
+    /// packet). With `m > 1` the receiver runs the DCTCP delayed-ACK ECE
+    /// state machine: any change of the observed CE state forces an
+    /// immediate ACK so the mark fraction survives coalescing.
+    pub ack_every_packets: u64,
+    /// Delayed-ACK flush timeout, nanoseconds (only used when
+    /// `ack_every_packets > 1`).
+    pub delack_timeout_nanos: u64,
+    /// PMSB(e): ignore ECN-Echo when the ACK's measured RTT is below this
+    /// threshold (nanoseconds). `None` disables the end-host rule.
+    pub pmsbe_rtt_threshold_nanos: Option<u64>,
+}
+
+impl Default for TransportConfig {
+    fn default() -> Self {
+        TransportConfig {
+            mss: crate::packet::DEFAULT_MSS,
+            init_cwnd_pkts: 16,
+            g: 1.0 / 16.0,
+            rto_min_nanos: 2_000_000,   // 2 ms
+            rto_init_nanos: 10_000_000, // 10 ms
+            max_cwnd_bytes: 1_500_000,  // ~1000 segments
+            ecn_response: EcnResponse::Dctcp,
+            ack_every_packets: 1,
+            delack_timeout_nanos: 500_000, // 0.5 ms
+            pmsbe_rtt_threshold_nanos: None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn marking_configs_build_the_right_scheme() {
+        let w = vec![1u64, 3];
+        assert!(MarkingConfig::None.build(&w).is_none());
+        let names = [
+            (
+                MarkingConfig::PerQueueStandard { threshold_pkts: 16 },
+                "per-queue",
+            ),
+            (
+                MarkingConfig::PerQueueFractional { total_pkts: 16 },
+                "per-queue",
+            ),
+            (MarkingConfig::PerPort { threshold_pkts: 16 }, "per-port"),
+            (MarkingConfig::PerPool { threshold_pkts: 16 }, "per-pool"),
+            (MarkingConfig::MqEcn { standard_pkts: 65 }, "mq-ecn"),
+            (
+                MarkingConfig::Tcn {
+                    threshold_nanos: 78_200,
+                },
+                "tcn",
+            ),
+            (
+                MarkingConfig::Pmsb {
+                    port_threshold_pkts: 12,
+                },
+                "pmsb",
+            ),
+        ];
+        for (cfg, want) in names {
+            let m = cfg.build(&w).unwrap();
+            assert_eq!(m.name(), want, "{cfg:?}");
+        }
+    }
+
+    #[test]
+    fn scheduler_configs_build_and_report_weights() {
+        let cases: Vec<(SchedulerConfig, &str, usize)> = vec![
+            (SchedulerConfig::Fifo, "fifo", 1),
+            (SchedulerConfig::Sp { num_queues: 3 }, "sp", 3),
+            (
+                SchedulerConfig::Wrr {
+                    weights: vec![1, 2],
+                },
+                "wrr",
+                2,
+            ),
+            (
+                SchedulerConfig::Dwrr {
+                    weights: vec![1, 2],
+                },
+                "dwrr",
+                2,
+            ),
+            (
+                SchedulerConfig::Wfq {
+                    weights: vec![1, 1],
+                },
+                "wfq",
+                2,
+            ),
+            (
+                SchedulerConfig::SpWfq {
+                    group_of: vec![0, 1, 1],
+                    weights: vec![1, 1, 1],
+                },
+                "sp+wfq",
+                3,
+            ),
+        ];
+        for (cfg, name, n) in cases {
+            let s = cfg.build();
+            assert_eq!(s.name(), name);
+            assert_eq!(cfg.num_queues(), n);
+            assert_eq!(s.num_queues(), n);
+        }
+    }
+
+    #[test]
+    fn round_based_schedulers_expose_round_time() {
+        assert!(SchedulerConfig::Dwrr {
+            weights: vec![1, 1]
+        }
+        .build()
+        .round_time_nanos()
+        .is_some());
+        assert!(SchedulerConfig::Wrr {
+            weights: vec![1, 1]
+        }
+        .build()
+        .round_time_nanos()
+        .is_some());
+        assert!(SchedulerConfig::Wfq {
+            weights: vec![1, 1]
+        }
+        .build()
+        .round_time_nanos()
+        .is_none());
+        assert!(SchedulerConfig::Sp { num_queues: 2 }
+            .build()
+            .round_time_nanos()
+            .is_none());
+    }
+
+    #[test]
+    fn defaults_are_sane() {
+        let t = TransportConfig::default();
+        assert_eq!(t.mss, 1460);
+        assert_eq!(t.init_cwnd_pkts, 16);
+        assert!(t.pmsbe_rtt_threshold_nanos.is_none());
+        let s = SwitchConfig::default();
+        assert_eq!(s.mark_point, MarkPoint::Enqueue);
+        assert!(s.buffer_bytes > 0);
+    }
+}

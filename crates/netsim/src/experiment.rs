@@ -1,0 +1,335 @@
+//! High-level experiment builder: topology + scheme + flows → results.
+
+use crate::topology;
+use pmsb::MarkPoint;
+
+pub use crate::config::{
+    HostConfig, MarkingConfig, SchedulerConfig, SwitchConfig, TransportConfig,
+};
+pub use crate::trace::TraceConfig;
+pub use crate::world::{FlowDesc, RunResults};
+
+/// What a finished experiment returns; see [`RunResults`] for the fields.
+pub type ExperimentResult = RunResults;
+
+/// Which fabric the experiment runs on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Topology {
+    /// `num_senders` senders → 1 receiver through one switch.
+    Dumbbell { num_senders: usize },
+    /// Leaf–spine fabric.
+    LeafSpine {
+        leaves: usize,
+        spines: usize,
+        hosts_per_leaf: usize,
+    },
+}
+
+/// A declarative experiment: pick a topology, a marking scheme, a
+/// scheduler and flows; run; harvest results.
+///
+/// # Example
+///
+/// ```
+/// use pmsb_netsim::experiment::{Experiment, FlowDesc, MarkingConfig, SchedulerConfig};
+///
+/// let mut exp = Experiment::dumbbell(2, 2)
+///     .marking(MarkingConfig::PerPort { threshold_pkts: 16 })
+///     .scheduler(SchedulerConfig::Wfq { weights: vec![1, 1] });
+/// exp.add_flow(FlowDesc::bulk(0, 2, 0, 100_000));
+/// let res = exp.run_for_millis(20);
+/// assert_eq!(res.fct.len(), 1);
+/// ```
+#[derive(Debug)]
+pub struct Experiment {
+    topology: Topology,
+    switch_cfg: SwitchConfig,
+    host_cfg: HostConfig,
+    transport: TransportConfig,
+    link_rate_bps: u64,
+    link_delay_nanos: u64,
+    trace: TraceConfig,
+    flows: Vec<FlowDesc>,
+    /// `None` = mirror the switch marking onto host NICs (the NS-3-style
+    /// default); `Some(cfg)` overrides it.
+    host_nic_marking: Option<MarkingConfig>,
+}
+
+impl Experiment {
+    /// A dumbbell with `num_senders` senders (hosts `0..num_senders`), one
+    /// receiver (host `num_senders`), and `num_queues` equal-weight DWRR
+    /// queues per port. 10 Gbps links, 5 µs propagation (≈ 22 µs unloaded
+    /// RTT).
+    pub fn dumbbell(num_senders: usize, num_queues: usize) -> Self {
+        Experiment {
+            topology: Topology::Dumbbell { num_senders },
+            switch_cfg: SwitchConfig {
+                scheduler: SchedulerConfig::Dwrr {
+                    weights: vec![1; num_queues],
+                },
+                ..SwitchConfig::default()
+            },
+            host_cfg: HostConfig::default(),
+            transport: TransportConfig::default(),
+            link_rate_bps: 10_000_000_000,
+            link_delay_nanos: 5_000,
+            trace: TraceConfig::off(),
+            flows: Vec::new(),
+            host_nic_marking: None,
+        }
+    }
+
+    /// The paper's §VI-B fabric: 4 leaves × 12 hosts, 4 spines, 10 Gbps,
+    /// 8 equal-weight queues. Per-link delay is 9 µs so the unloaded
+    /// inter-rack RTT (8 link traversals + serialization ≈ 80 µs) sits
+    /// just under the paper's 85.2 µs PMSB(e) threshold — a mark carried
+    /// by an unqueued ACK is ignored, any real queueing is honoured.
+    pub fn paper_leaf_spine() -> Self {
+        Experiment {
+            topology: Topology::LeafSpine {
+                leaves: 4,
+                spines: 4,
+                hosts_per_leaf: 12,
+            },
+            switch_cfg: SwitchConfig {
+                scheduler: SchedulerConfig::Dwrr {
+                    weights: vec![1; 8],
+                },
+                ..SwitchConfig::default()
+            },
+            host_cfg: HostConfig::default(),
+            transport: TransportConfig::default(),
+            link_rate_bps: 10_000_000_000,
+            link_delay_nanos: 9_000,
+            trace: TraceConfig::off(),
+            flows: Vec::new(),
+            host_nic_marking: None,
+        }
+    }
+
+    /// A custom leaf–spine fabric.
+    pub fn leaf_spine(leaves: usize, spines: usize, hosts_per_leaf: usize) -> Self {
+        let mut e = Experiment::paper_leaf_spine();
+        e.topology = Topology::LeafSpine {
+            leaves,
+            spines,
+            hosts_per_leaf,
+        };
+        e
+    }
+
+    /// Sets the ECN marking scheme.
+    pub fn marking(mut self, marking: MarkingConfig) -> Self {
+        self.switch_cfg.marking = marking;
+        self
+    }
+
+    /// Sets the packet scheduler (and thereby the queue count/weights).
+    pub fn scheduler(mut self, scheduler: SchedulerConfig) -> Self {
+        self.switch_cfg.scheduler = scheduler;
+        self
+    }
+
+    /// Sets where the marking decision runs (enqueue vs dequeue).
+    pub fn mark_point(mut self, point: MarkPoint) -> Self {
+        self.switch_cfg.mark_point = point;
+        self
+    }
+
+    /// Overrides the marking discipline at host NICs. By default hosts
+    /// mirror the switch marking (like installing the same queue disc on
+    /// every NS-3 device); pass [`MarkingConfig::None`] to disable NIC
+    /// marking entirely.
+    pub fn host_nic_marking(mut self, marking: MarkingConfig) -> Self {
+        self.host_nic_marking = Some(marking);
+        self
+    }
+
+    /// Overrides the transport parameters.
+    pub fn transport(mut self, transport: TransportConfig) -> Self {
+        self.transport = transport;
+        self
+    }
+
+    /// Enables PMSB(e) at every sender with the given RTT threshold.
+    pub fn pmsbe_rtt_threshold_nanos(mut self, nanos: u64) -> Self {
+        self.transport.pmsbe_rtt_threshold_nanos = Some(nanos);
+        self
+    }
+
+    /// Sets all link rates (default 10 Gbps).
+    pub fn link_rate_gbps(mut self, gbps: u64) -> Self {
+        self.link_rate_bps = gbps * 1_000_000_000;
+        self
+    }
+
+    /// Sets all links' propagation delay in nanoseconds.
+    pub fn link_delay_nanos(mut self, nanos: u64) -> Self {
+        self.link_delay_nanos = nanos;
+        self
+    }
+
+    /// Sets the per-port shared buffer size in bytes.
+    pub fn buffer_bytes(mut self, bytes: u64) -> Self {
+        self.switch_cfg.buffer_bytes = bytes;
+        self
+    }
+
+    /// Installs a trace configuration.
+    pub fn trace(mut self, trace: TraceConfig) -> Self {
+        self.trace = trace;
+        self
+    }
+
+    /// Dumbbell only: watches the bottleneck (receiver-facing) port with
+    /// the given occupancy sample interval, keeping any other trace
+    /// settings.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a non-dumbbell topology.
+    pub fn watch_bottleneck(mut self, sample_interval_nanos: u64) -> Self {
+        let Topology::Dumbbell { num_senders } = self.topology else {
+            panic!("watch_bottleneck only applies to the dumbbell topology");
+        };
+        self.trace.sample_interval_nanos = Some(sample_interval_nanos);
+        self.trace.watch_ports = vec![(0, num_senders)];
+        self
+    }
+
+    /// Enables per-ACK RTT recording at every sender.
+    pub fn record_rtt(mut self) -> Self {
+        self.trace.record_rtt = true;
+        self
+    }
+
+    /// The current transport configuration (for deriving thresholds).
+    pub fn transport_config(&self) -> &TransportConfig {
+        &self.transport
+    }
+
+    /// Number of hosts the chosen topology provides.
+    pub fn num_hosts(&self) -> usize {
+        match self.topology {
+            Topology::Dumbbell { num_senders } => num_senders + 1,
+            Topology::LeafSpine {
+                leaves,
+                hosts_per_leaf,
+                ..
+            } => leaves * hosts_per_leaf,
+        }
+    }
+
+    /// Registers a flow.
+    pub fn add_flow(&mut self, flow: FlowDesc) {
+        self.flows.push(flow);
+    }
+
+    /// Registers many flows.
+    pub fn add_flows(&mut self, flows: impl IntoIterator<Item = FlowDesc>) {
+        self.flows.extend(flows);
+    }
+
+    /// Builds the world and runs until `end_nanos`.
+    pub fn run_until_nanos(mut self, end_nanos: u64) -> ExperimentResult {
+        self.host_cfg.nic_marking = self
+            .host_nic_marking
+            .take()
+            .unwrap_or_else(|| self.switch_cfg.marking.clone());
+        self.host_cfg.nic_mark_point = self.switch_cfg.mark_point;
+        let mut world = match self.topology {
+            Topology::Dumbbell { num_senders } => topology::dumbbell(
+                num_senders,
+                self.link_rate_bps,
+                self.link_delay_nanos,
+                &self.switch_cfg,
+                &self.host_cfg,
+                self.transport,
+            ),
+            Topology::LeafSpine {
+                leaves,
+                spines,
+                hosts_per_leaf,
+            } => topology::leaf_spine(
+                leaves,
+                spines,
+                hosts_per_leaf,
+                self.link_rate_bps,
+                self.link_delay_nanos,
+                &self.switch_cfg,
+                &self.host_cfg,
+                self.transport,
+            ),
+        };
+        world.set_trace(self.trace);
+        for f in self.flows {
+            world.add_flow(f);
+        }
+        world.run_until_nanos(end_nanos)
+    }
+
+    /// Builds the world and runs for `millis` simulated milliseconds.
+    pub fn run_for_millis(self, millis: u64) -> ExperimentResult {
+        self.run_until_nanos(millis * 1_000_000)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_methods_compose() {
+        let e = Experiment::dumbbell(4, 2)
+            .marking(MarkingConfig::Tcn {
+                threshold_nanos: 39_000,
+            })
+            .scheduler(SchedulerConfig::Wfq {
+                weights: vec![1, 1],
+            })
+            .mark_point(MarkPoint::Dequeue)
+            .link_rate_gbps(1)
+            .link_delay_nanos(2_000)
+            .buffer_bytes(512 * 1024)
+            .record_rtt();
+        assert_eq!(e.num_hosts(), 5);
+    }
+
+    #[test]
+    fn dumbbell_bottleneck_watch_runs() {
+        let mut e = Experiment::dumbbell(2, 2).watch_bottleneck(50_000);
+        e.add_flow(FlowDesc::bulk(0, 2, 0, 500_000));
+        e.add_flow(FlowDesc::bulk(1, 2, 1, 500_000));
+        let res = e.run_for_millis(20);
+        assert_eq!(res.fct.len(), 2);
+        let trace = &res.port_traces[&(0, 2)];
+        assert!(!trace.port_occupancy_pkts.is_empty());
+        assert!(trace.queue_throughput[0].total_bytes() > 0);
+    }
+
+    #[test]
+    fn paper_leaf_spine_smoke() {
+        let mut e = Experiment::paper_leaf_spine();
+        assert_eq!(e.num_hosts(), 48);
+        e.add_flow(FlowDesc::bulk(0, 47, 3, 200_000));
+        e.add_flow(FlowDesc::bulk(13, 25, 5, 200_000));
+        let res = e.run_for_millis(50);
+        assert_eq!(res.fct.len(), 2);
+    }
+
+    #[test]
+    fn pmsbe_threshold_flows_through() {
+        let mut e = Experiment::dumbbell(2, 2)
+            .marking(MarkingConfig::PerPort { threshold_pkts: 12 })
+            .pmsbe_rtt_threshold_nanos(40_000);
+        e.add_flow(FlowDesc::bulk(0, 2, 0, 300_000));
+        let res = e.run_for_millis(20);
+        assert_eq!(res.fct.len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "dumbbell")]
+    fn watch_bottleneck_rejects_leaf_spine() {
+        let _ = Experiment::paper_leaf_spine().watch_bottleneck(1000);
+    }
+}

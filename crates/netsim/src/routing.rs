@@ -1,0 +1,118 @@
+//! Static routing with per-flow ECMP.
+
+/// A switch's forwarding table: for each destination host, the candidate
+/// output ports. Multiple candidates (leaf uplinks) are load-balanced by
+/// per-flow ECMP hashing, so one flow always takes one path (no packet
+/// reordering from the fabric).
+#[derive(Debug, Clone, Default)]
+pub struct RouteTable {
+    /// `routes[dst_host]` = candidate output ports.
+    routes: Vec<Vec<usize>>,
+}
+
+impl RouteTable {
+    /// Creates a table covering `num_hosts` destinations with no routes.
+    pub fn new(num_hosts: usize) -> Self {
+        RouteTable {
+            routes: vec![Vec::new(); num_hosts],
+        }
+    }
+
+    /// Sets the candidate ports for `dst_host`, growing the table as
+    /// needed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ports` is empty.
+    pub fn set(&mut self, dst_host: usize, ports: Vec<usize>) {
+        assert!(!ports.is_empty(), "a route needs at least one port");
+        if dst_host >= self.routes.len() {
+            self.routes.resize(dst_host + 1, Vec::new());
+        }
+        self.routes[dst_host] = ports;
+    }
+
+    /// The output port for `flow_id` towards `dst_host` (ECMP over the
+    /// candidates).
+    ///
+    /// # Panics
+    ///
+    /// Panics if no route to `dst_host` exists.
+    pub fn port_for(&self, dst_host: usize, flow_id: u64) -> usize {
+        let candidates = self.routes.get(dst_host).map(Vec::as_slice).unwrap_or(&[]);
+        assert!(
+            !candidates.is_empty(),
+            "no route to host {dst_host} (flow {flow_id})"
+        );
+        candidates[ecmp_hash(flow_id) as usize % candidates.len()]
+    }
+
+    /// The candidate ports for `dst_host` (for tests/diagnostics).
+    pub fn candidates(&self, dst_host: usize) -> &[usize] {
+        self.routes.get(dst_host).map(Vec::as_slice).unwrap_or(&[])
+    }
+}
+
+/// Deterministic per-flow hash (SplitMix64 finalizer) used for ECMP path
+/// selection: uniform across flows, stable across packets of one flow.
+pub fn ecmp_hash(flow_id: u64) -> u64 {
+    let mut z = flow_id.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn single_route_always_used() {
+        let mut t = RouteTable::new(4);
+        t.set(2, vec![7]);
+        for flow in 0..100 {
+            assert_eq!(t.port_for(2, flow), 7);
+        }
+    }
+
+    #[test]
+    fn ecmp_spreads_flows_roughly_evenly() {
+        let mut t = RouteTable::new(1);
+        t.set(0, vec![0, 1, 2, 3]);
+        let mut counts = [0usize; 4];
+        for flow in 0..4000 {
+            counts[t.port_for(0, flow)] += 1;
+        }
+        for c in counts {
+            assert!((800..1200).contains(&c), "uneven ECMP spread: {counts:?}");
+        }
+    }
+
+    #[test]
+    fn same_flow_same_path() {
+        let mut t = RouteTable::new(1);
+        t.set(0, vec![0, 1, 2, 3]);
+        for flow in 0..50 {
+            let first = t.port_for(0, flow);
+            for _ in 0..10 {
+                assert_eq!(t.port_for(0, flow), first);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "no route")]
+    fn missing_route_panics() {
+        RouteTable::new(2).port_for(1, 0);
+    }
+
+    proptest! {
+        /// The hash is a bijection-ish mix: distinct flows rarely collide
+        /// mod small n (sanity, not cryptographic).
+        #[test]
+        fn hash_deterministic(flow in any::<u64>()) {
+            prop_assert_eq!(ecmp_hash(flow), ecmp_hash(flow));
+        }
+    }
+}

@@ -1,0 +1,212 @@
+//! Topology builders: the paper's dumbbell and leaf–spine fabrics.
+
+use crate::config::{HostConfig, SwitchConfig, TransportConfig};
+use crate::world::World;
+
+/// Builds an `n`-sender dumbbell: hosts `0..n` are senders, host `n` is
+/// the receiver, all attached to one switch. The bottleneck is the
+/// receiver-facing port, **port `n` of switch 0** — watch that port for
+/// queue traces.
+///
+/// Every link runs at `rate_bps` with `delay_nanos` propagation delay,
+/// so the unloaded RTT is `4 × delay` plus serialization.
+///
+/// # Example
+///
+/// ```
+/// use pmsb_netsim::config::{HostConfig, SwitchConfig, TransportConfig};
+/// use pmsb_netsim::topology::dumbbell;
+///
+/// let w = dumbbell(
+///     8,
+///     10_000_000_000,
+///     5_000,
+///     &SwitchConfig::default(),
+///     &HostConfig::default(),
+///     TransportConfig::default(),
+/// );
+/// drop(w);
+/// ```
+pub fn dumbbell(
+    num_senders: usize,
+    rate_bps: u64,
+    delay_nanos: u64,
+    switch_cfg: &SwitchConfig,
+    host_cfg: &HostConfig,
+    transport: TransportConfig,
+) -> World {
+    assert!(num_senders >= 1, "need at least one sender");
+    let mut w = World::new(transport);
+    let mut hosts = Vec::new();
+    for _ in 0..=num_senders {
+        hosts.push(w.add_host(host_cfg.clone()));
+    }
+    let s = w.add_switch();
+    for &h in &hosts {
+        let port = w.wire_host(h, s, rate_bps, delay_nanos, switch_cfg);
+        w.set_route(s, h, vec![port]);
+    }
+    w
+}
+
+/// Builds the paper's leaf–spine fabric: `leaves × hosts_per_leaf` hosts,
+/// each leaf with `hosts_per_leaf` downlinks and one uplink per spine,
+/// per-flow ECMP over the uplinks. The paper's §VI-B topology is
+/// `leaf_spine(4, 4, 12, …)`: 48 hosts, non-blocking at 10 Gbps.
+///
+/// Host `h` sits under leaf `h / hosts_per_leaf`. Leaf `l`'s ports
+/// `0..hosts_per_leaf` face its hosts; ports
+/// `hosts_per_leaf..hosts_per_leaf+spines` face spines `0..spines`.
+/// Spine `s`'s port `l` faces leaf `l`.
+#[allow(clippy::too_many_arguments)]
+pub fn leaf_spine(
+    leaves: usize,
+    spines: usize,
+    hosts_per_leaf: usize,
+    rate_bps: u64,
+    delay_nanos: u64,
+    switch_cfg: &SwitchConfig,
+    host_cfg: &HostConfig,
+    transport: TransportConfig,
+) -> World {
+    assert!(leaves >= 1 && spines >= 1 && hosts_per_leaf >= 1);
+    let mut w = World::new(transport);
+    let num_hosts = leaves * hosts_per_leaf;
+    for _ in 0..num_hosts {
+        w.add_host(host_cfg.clone());
+    }
+    let leaf_idx: Vec<usize> = (0..leaves).map(|_| w.add_switch()).collect();
+    let spine_idx: Vec<usize> = (0..spines).map(|_| w.add_switch()).collect();
+
+    // Host downlinks: leaf l port h%hosts_per_leaf.
+    for h in 0..num_hosts {
+        let l = h / hosts_per_leaf;
+        w.wire_host(h, leaf_idx[l], rate_bps, delay_nanos, switch_cfg);
+    }
+    // Uplinks: leaf l ports hosts_per_leaf..hosts_per_leaf+spines;
+    // spine s collects port l per leaf (wired in leaf order).
+    for &l in &leaf_idx {
+        for &s in &spine_idx {
+            w.wire_switch_pair(l, s, rate_bps, delay_nanos, switch_cfg);
+        }
+    }
+    // Routes.
+    for dst in 0..num_hosts {
+        let dst_leaf = dst / hosts_per_leaf;
+        for (l, &leaf) in leaf_idx.iter().enumerate() {
+            if l == dst_leaf {
+                w.set_route(leaf, dst, vec![dst % hosts_per_leaf]);
+            } else {
+                let uplinks: Vec<usize> = (hosts_per_leaf..hosts_per_leaf + spines).collect();
+                w.set_route(leaf, dst, uplinks);
+            }
+        }
+        for &spine in &spine_idx {
+            w.set_route(spine, dst, vec![dst_leaf]);
+        }
+    }
+    w
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{MarkingConfig, SchedulerConfig};
+    use crate::world::FlowDesc;
+
+    fn cfg() -> SwitchConfig {
+        SwitchConfig {
+            scheduler: SchedulerConfig::Dwrr {
+                weights: vec![1; 8],
+            },
+            marking: MarkingConfig::Pmsb {
+                port_threshold_pkts: 12,
+            },
+            ..SwitchConfig::default()
+        }
+    }
+
+    #[test]
+    fn dumbbell_delivers_between_any_pair() {
+        let mut w = dumbbell(
+            3,
+            10_000_000_000,
+            5_000,
+            &cfg(),
+            &HostConfig::default(),
+            TransportConfig::default(),
+        );
+        // Senders to receiver and sender-to-sender both route.
+        w.add_flow(FlowDesc::bulk(0, 3, 0, 50_000));
+        w.add_flow(FlowDesc::bulk(1, 3, 1, 50_000));
+        w.add_flow(FlowDesc::bulk(2, 0, 2, 50_000));
+        let res = w.run_until_nanos(50_000_000);
+        assert_eq!(res.fct.len(), 3);
+    }
+
+    #[test]
+    fn leaf_spine_intra_and_inter_rack() {
+        let mut w = leaf_spine(
+            2,
+            2,
+            3,
+            10_000_000_000,
+            5_000,
+            &cfg(),
+            &HostConfig::default(),
+            TransportConfig::default(),
+        );
+        // Intra-rack: hosts 0 -> 2 (same leaf). Inter-rack: 0 -> 5.
+        w.add_flow(FlowDesc::bulk(0, 2, 0, 100_000));
+        w.add_flow(FlowDesc::bulk(0, 5, 1, 100_000));
+        w.add_flow(FlowDesc::bulk(4, 1, 2, 100_000));
+        let res = w.run_until_nanos(100_000_000);
+        assert_eq!(res.fct.len(), 3, "all flows complete across the fabric");
+        assert_eq!(res.drops, 0);
+    }
+
+    #[test]
+    fn paper_topology_shape_48_hosts() {
+        let mut w = leaf_spine(
+            4,
+            4,
+            12,
+            10_000_000_000,
+            5_000,
+            &cfg(),
+            &HostConfig::default(),
+            TransportConfig::default(),
+        );
+        // A far corner-to-corner flow works: host 0 (leaf 0) -> host 47
+        // (leaf 3).
+        w.add_flow(FlowDesc::bulk(0, 47, 7, 1_000_000));
+        let res = w.run_until_nanos(100_000_000);
+        assert_eq!(res.fct.len(), 1);
+    }
+
+    #[test]
+    fn inter_rack_rtt_exceeds_intra_rack() {
+        // The spine detour adds two links each way.
+        let run = |src: usize, dst: usize| {
+            let mut w = leaf_spine(
+                2,
+                1,
+                2,
+                10_000_000_000,
+                5_000,
+                &cfg(),
+                &HostConfig::default(),
+                TransportConfig::default(),
+            );
+            w.add_flow(FlowDesc::bulk(src, dst, 0, 1_000));
+            let res = w.run_until_nanos(10_000_000);
+            res.fct.records()[0].fct_nanos()
+        };
+        let intra = run(0, 1);
+        let inter = run(0, 3);
+        assert!(
+            inter > intra + 15_000,
+            "inter-rack {inter} vs intra-rack {intra}"
+        );
+    }
+}

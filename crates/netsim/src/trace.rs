@@ -1,0 +1,99 @@
+//! Run-time tracing: what to watch and what was collected.
+
+use pmsb_metrics::{GaugeSeries, ThroughputSeries};
+
+/// What to record during a run.
+#[derive(Debug, Clone, Default)]
+pub struct TraceConfig {
+    /// Sample watched ports' queue occupancy every this many nanoseconds
+    /// (`None` disables occupancy sampling).
+    pub sample_interval_nanos: Option<u64>,
+    /// Switch ports to watch, as `(switch_index, port_index)` — switch
+    /// index is topology-local (0-based), not the global node id.
+    pub watch_ports: Vec<(usize, usize)>,
+    /// Record every ACK's RTT at each sender.
+    pub record_rtt: bool,
+    /// Bin width for per-queue throughput accounting at watched ports.
+    pub throughput_bin_nanos: u64,
+}
+
+impl TraceConfig {
+    /// A config that watches nothing (fast path for large runs).
+    pub fn off() -> Self {
+        TraceConfig {
+            sample_interval_nanos: None,
+            watch_ports: Vec::new(),
+            record_rtt: false,
+            throughput_bin_nanos: 1_000_000,
+        }
+    }
+
+    /// Watches one port with occupancy samples every `interval_nanos` and
+    /// 1 ms throughput bins.
+    pub fn watch_port(switch: usize, port: usize, interval_nanos: u64) -> Self {
+        TraceConfig {
+            sample_interval_nanos: Some(interval_nanos),
+            watch_ports: vec![(switch, port)],
+            record_rtt: false,
+            throughput_bin_nanos: 1_000_000,
+        }
+    }
+
+    /// Enables per-ACK RTT recording at every sender.
+    pub fn with_rtt(mut self) -> Self {
+        self.record_rtt = true;
+        self
+    }
+}
+
+/// Everything collected at one watched switch port.
+#[derive(Debug, Clone)]
+pub struct PortTrace {
+    /// Occupancy of each queue in packets (full-MTU equivalents), sampled
+    /// on the trace interval.
+    pub queue_occupancy_pkts: Vec<GaugeSeries>,
+    /// Total port occupancy in packets.
+    pub port_occupancy_pkts: GaugeSeries,
+    /// Bytes dequeued per queue, binned.
+    pub queue_throughput: Vec<ThroughputSeries>,
+}
+
+impl PortTrace {
+    /// Creates an empty trace for a port with `num_queues` queues.
+    pub fn new(num_queues: usize, throughput_bin_nanos: u64) -> Self {
+        PortTrace {
+            queue_occupancy_pkts: (0..num_queues).map(|_| GaugeSeries::new()).collect(),
+            port_occupancy_pkts: GaugeSeries::new(),
+            queue_throughput: (0..num_queues)
+                .map(|_| ThroughputSeries::new(throughput_bin_nanos))
+                .collect(),
+        }
+    }
+
+    /// Steady-state mean throughput of `queue` in Gbps over
+    /// `[from_bin, to_bin)`.
+    pub fn mean_queue_gbps(&self, queue: usize, from_bin: usize, to_bin: usize) -> f64 {
+        self.queue_throughput[queue].mean_gbps(from_bin, to_bin)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn off_watches_nothing() {
+        let t = TraceConfig::off();
+        assert!(t.watch_ports.is_empty());
+        assert!(t.sample_interval_nanos.is_none());
+        assert!(!t.record_rtt);
+    }
+
+    #[test]
+    fn port_trace_shape() {
+        let p = PortTrace::new(3, 1000);
+        assert_eq!(p.queue_occupancy_pkts.len(), 3);
+        assert_eq!(p.queue_throughput.len(), 3);
+        assert!(p.port_occupancy_pkts.is_empty());
+    }
+}

@@ -1,0 +1,1216 @@
+//! DCTCP transport endpoints.
+//!
+//! [`DctcpSender`] implements the sender side of DCTCP (Alizadeh et al.):
+//! slow start, congestion avoidance, per-window ECN fraction `alpha` with
+//! gentle multiplicative decrease `cwnd ← cwnd·(1 − α/2)`, NewReno-style
+//! fast retransmit/recovery on triple duplicate ACKs, and RTO with
+//! exponential backoff. [`DctcpReceiver`] ACKs every data segment,
+//! reassembles out-of-order arrivals, and echoes both the CE codepoint
+//! (ECN-Echo) and the sender's timestamp (exact per-ACK RTT).
+//!
+//! When [`TransportConfig::pmsbe_rtt_threshold_nanos`] is set the sender
+//! applies **PMSB(e)** (Algorithm 2 of the paper) before honouring an
+//! ECN-Echo: a mark whose measured RTT is below the threshold is ignored —
+//! the flow is a victim of per-port marking, not actually congested.
+//!
+//! The endpoints are pure state machines: methods consume events and
+//! return [`SenderOutput`] describing packets to emit and timers to arm,
+//! so the whole transport is unit-testable without the simulator.
+
+use std::collections::BTreeMap;
+
+use pmsb::endpoint::SelectiveBlindness;
+
+use crate::config::{EcnResponse, TransportConfig};
+use crate::packet::{Packet, PacketKind};
+
+/// A timer (re)arm request: fire `RtoTimer`/`AppResume` with this
+/// generation at the given absolute time. Stale generations are ignored.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TimerArm {
+    /// Generation to match when the timer fires.
+    pub gen: u64,
+    /// Absolute deadline in nanoseconds.
+    pub at_nanos: u64,
+}
+
+/// What a sender wants done after processing an event.
+#[derive(Debug, Default)]
+pub struct SenderOutput {
+    /// Packets to hand to the host NIC.
+    pub packets: Vec<Packet>,
+    /// Rearm the retransmission timer (if `Some`).
+    pub rto: Option<TimerArm>,
+    /// Schedule an application-rate resume tick (if `Some`).
+    pub app_resume: Option<TimerArm>,
+    /// The flow just completed (all bytes acknowledged).
+    pub completed: bool,
+}
+
+/// Counters the experiments report per flow.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SenderStats {
+    /// ECN-Echo marks seen on ACKs.
+    pub marks_seen: u64,
+    /// Marks ignored by the PMSB(e) rule.
+    pub marks_ignored: u64,
+    /// Segments retransmitted (fast retransmit + partial ACKs).
+    pub retransmissions: u64,
+    /// Retransmission timeouts fired.
+    pub timeouts: u64,
+}
+
+/// The DCTCP sender state machine for one flow.
+#[derive(Debug)]
+pub struct DctcpSender {
+    // Identity.
+    flow_id: u64,
+    src_host: usize,
+    dst_host: usize,
+    service: usize,
+    size_bytes: u64,
+    app_rate_bps: Option<u64>,
+    start_nanos: u64,
+    // Configuration.
+    mss: u64,
+    g: f64,
+    rto_min_nanos: u64,
+    max_cwnd: f64,
+    ecn_response: EcnResponse,
+    pmsbe: Option<SelectiveBlindness>,
+    // Congestion state (bytes).
+    cwnd: f64,
+    ssthresh: f64,
+    snd_nxt: u64,
+    snd_una: u64,
+    dup_acks: u32,
+    in_recovery: bool,
+    recover: u64,
+    // DCTCP alpha accounting, one observation window per RTT.
+    alpha: f64,
+    win_end: u64,
+    acked_in_win: u64,
+    marked_in_win: u64,
+    /// Congestion-window-reduced state: a mark was honoured this window,
+    /// so growth is suspended until the window closes (TCP CWR).
+    cwr_this_win: bool,
+    // RTT estimation / RTO.
+    srtt_nanos: Option<f64>,
+    rttvar_nanos: f64,
+    rto_nanos: u64,
+    backoff: u32,
+    rto_gen: u64,
+    rto_armed: bool,
+    app_gen: u64,
+    completed: bool,
+    // Optional RTT trace.
+    rtt_samples: Option<Vec<u64>>,
+    stats: SenderStats,
+}
+
+impl DctcpSender {
+    /// Creates a sender for a flow of `size_bytes` (use [`u64::MAX`] for a
+    /// long-lived flow) starting at `start_nanos`. `app_rate_bps` caps the
+    /// application's offered rate (the paper's "start a 5 Gbps TCP flow").
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        flow_id: u64,
+        src_host: usize,
+        dst_host: usize,
+        service: usize,
+        size_bytes: u64,
+        app_rate_bps: Option<u64>,
+        start_nanos: u64,
+        config: &TransportConfig,
+    ) -> Self {
+        let init_cwnd = (config.init_cwnd_pkts * config.mss) as f64;
+        DctcpSender {
+            flow_id,
+            src_host,
+            dst_host,
+            service,
+            size_bytes,
+            app_rate_bps,
+            start_nanos,
+            mss: config.mss,
+            g: config.g,
+            rto_min_nanos: config.rto_min_nanos,
+            max_cwnd: config.max_cwnd_bytes.max(config.mss) as f64,
+            ecn_response: config.ecn_response,
+            pmsbe: config
+                .pmsbe_rtt_threshold_nanos
+                .map(SelectiveBlindness::new),
+            cwnd: init_cwnd,
+            ssthresh: f64::INFINITY,
+            snd_nxt: 0,
+            snd_una: 0,
+            dup_acks: 0,
+            in_recovery: false,
+            recover: 0,
+            alpha: 0.0,
+            win_end: 0,
+            acked_in_win: 0,
+            marked_in_win: 0,
+            cwr_this_win: false,
+            srtt_nanos: None,
+            rttvar_nanos: 0.0,
+            rto_nanos: config.rto_init_nanos,
+            backoff: 0,
+            rto_gen: 0,
+            rto_armed: false,
+            app_gen: 0,
+            completed: false,
+            rtt_samples: None,
+            stats: SenderStats::default(),
+        }
+    }
+
+    /// Turns on per-ACK RTT sampling (for the RTT-distribution figures).
+    pub fn enable_rtt_trace(&mut self) {
+        self.rtt_samples = Some(Vec::new());
+    }
+
+    /// Collected RTT samples in nanoseconds, if tracing was enabled.
+    pub fn rtt_samples(&self) -> Option<&[u64]> {
+        self.rtt_samples.as_deref()
+    }
+
+    /// Per-flow counters.
+    pub fn stats(&self) -> SenderStats {
+        self.stats
+    }
+
+    /// The flow identifier.
+    pub fn flow_id(&self) -> u64 {
+        self.flow_id
+    }
+
+    /// Total bytes this flow transfers (`u64::MAX` = unbounded).
+    pub fn size_bytes(&self) -> u64 {
+        self.size_bytes
+    }
+
+    /// The flow's start time in nanoseconds.
+    pub fn start_nanos(&self) -> u64 {
+        self.start_nanos
+    }
+
+    /// `true` once every byte has been acknowledged.
+    pub fn is_completed(&self) -> bool {
+        self.completed
+    }
+
+    /// Current congestion window in bytes (for tests/diagnostics).
+    pub fn cwnd_bytes(&self) -> f64 {
+        self.cwnd
+    }
+
+    /// Current DCTCP `alpha` estimate.
+    pub fn alpha(&self) -> f64 {
+        self.alpha
+    }
+
+    /// Smoothed RTT in nanoseconds, if any sample arrived.
+    pub fn srtt_nanos(&self) -> Option<f64> {
+        self.srtt_nanos
+    }
+
+    /// Begins transmission: the initial-window burst plus timers.
+    pub fn start(&mut self, now_nanos: u64) -> SenderOutput {
+        let mut out = SenderOutput::default();
+        self.emit_new(now_nanos, &mut out);
+        self.win_end = self.snd_nxt;
+        self.arm_rto(now_nanos, &mut out);
+        out
+    }
+
+    /// Processes a cumulative ACK (`cum_ack`, ECN-Echo `ece`, echoed send
+    /// timestamp `echo_sent_at_nanos`) arriving at `now_nanos`.
+    pub fn on_ack(
+        &mut self,
+        cum_ack: u64,
+        ece: bool,
+        echo_sent_at_nanos: u64,
+        now_nanos: u64,
+    ) -> SenderOutput {
+        let mut out = SenderOutput::default();
+        if self.completed {
+            return out;
+        }
+        // Exact per-ACK RTT from the timestamp echo.
+        let rtt = now_nanos.saturating_sub(echo_sent_at_nanos);
+        self.update_rtt(rtt);
+        if let Some(samples) = self.rtt_samples.as_mut() {
+            samples.push(rtt);
+        }
+        // PMSB(e), Algorithm 2: ignore the mark if our RTT is low.
+        let mut mark = ece;
+        if ece {
+            self.stats.marks_seen += 1;
+            if let Some(rule) = self.pmsbe {
+                if rule.ignore_mark(true, rtt) {
+                    mark = false;
+                    self.stats.marks_ignored += 1;
+                }
+            }
+        }
+
+        if cum_ack > self.snd_una {
+            let newly = cum_ack - self.snd_una;
+            self.snd_una = cum_ack;
+            self.dup_acks = 0;
+            self.backoff = 0;
+            // DCTCP per-window mark fraction.
+            self.acked_in_win += newly;
+            if mark {
+                self.marked_in_win += newly;
+                self.cwr_this_win = true;
+            }
+            if self.in_recovery {
+                if self.snd_una >= self.recover {
+                    self.in_recovery = false;
+                    // Deflate to ssthresh after recovery.
+                    self.cwnd = self.ssthresh.max(self.mss as f64);
+                } else {
+                    // NewReno partial ACK: the next segment is also lost.
+                    self.retransmit_head(now_nanos, &mut out);
+                }
+            } else if self.cwr_this_win {
+                // CWR: a mark was honoured this window; no growth until
+                // the window closes (one congestion response per RTT).
+            } else if self.cwnd < self.ssthresh {
+                self.cwnd += newly as f64; // slow start
+            } else {
+                self.cwnd += self.mss as f64 * newly as f64 / self.cwnd; // CA
+            }
+            self.cwnd = self.cwnd.min(self.max_cwnd);
+            if cum_ack >= self.win_end {
+                self.end_alpha_window();
+            }
+            if self.snd_una >= self.size_bytes {
+                self.completed = true;
+                self.cancel_timers();
+                out.completed = true;
+                return out;
+            }
+            self.emit_new(now_nanos, &mut out);
+            self.arm_rto(now_nanos, &mut out);
+        } else {
+            // Duplicate ACK.
+            self.dup_acks += 1;
+            if self.dup_acks == 3 && !self.in_recovery && self.snd_nxt > self.snd_una {
+                self.in_recovery = true;
+                self.recover = self.snd_nxt;
+                self.ssthresh = (self.cwnd / 2.0).max(2.0 * self.mss as f64);
+                self.cwnd = self.ssthresh;
+                self.retransmit_head(now_nanos, &mut out);
+                self.arm_rto(now_nanos, &mut out);
+            }
+        }
+        out
+    }
+
+    /// Handles a retransmission timeout with generation `gen`.
+    pub fn on_rto(&mut self, gen: u64, now_nanos: u64) -> SenderOutput {
+        let mut out = SenderOutput::default();
+        if self.completed || gen != self.rto_gen || !self.rto_armed {
+            return out; // stale timer
+        }
+        self.stats.timeouts += 1;
+        self.ssthresh = (self.cwnd / 2.0).max(2.0 * self.mss as f64);
+        self.cwnd = self.mss as f64;
+        self.in_recovery = false;
+        self.dup_acks = 0;
+        self.backoff = (self.backoff + 1).min(10);
+        self.retransmit_head(now_nanos, &mut out);
+        self.arm_rto(now_nanos, &mut out);
+        out
+    }
+
+    /// Handles an application-rate resume tick with generation `gen`.
+    pub fn on_app_resume(&mut self, gen: u64, now_nanos: u64) -> SenderOutput {
+        let mut out = SenderOutput::default();
+        if self.completed || gen != self.app_gen {
+            return out;
+        }
+        self.emit_new(now_nanos, &mut out);
+        if self.snd_nxt > self.snd_una {
+            self.arm_rto(now_nanos, &mut out);
+        }
+        out
+    }
+
+    /// Bytes the application has made available by `now` (rate-limited
+    /// sources accrue credit linearly; unbounded otherwise).
+    fn app_allowed_bytes(&self, now_nanos: u64) -> u64 {
+        match self.app_rate_bps {
+            None => self.size_bytes,
+            Some(rate) => {
+                let elapsed = now_nanos.saturating_sub(self.start_nanos) as u128;
+                let bytes = rate as u128 * elapsed / 8 / 1_000_000_000;
+                (bytes.min(self.size_bytes as u128)) as u64
+            }
+        }
+    }
+
+    /// Emits as many new full segments as the window and application
+    /// allow; schedules an app-resume tick if the application is the
+    /// binding constraint.
+    fn emit_new(&mut self, now_nanos: u64, out: &mut SenderOutput) {
+        let win_limit = self.snd_una + self.cwnd.min(self.max_cwnd) as u64;
+        let app_limit = self.app_allowed_bytes(now_nanos);
+        loop {
+            let len = self.mss.min(self.size_bytes - self.snd_nxt);
+            if len == 0 || self.snd_nxt + len > win_limit {
+                return; // done, or window-limited (ACK clock will resume)
+            }
+            if self.snd_nxt + len > app_limit {
+                break; // application-limited: need a timer
+            }
+            out.packets.push(Packet::data(
+                self.flow_id,
+                self.src_host,
+                self.dst_host,
+                self.service,
+                self.snd_nxt,
+                len,
+                now_nanos,
+            ));
+            self.snd_nxt += len;
+        }
+        // Application-limited: wake when credit for one segment accrues.
+        if let Some(rate) = self.app_rate_bps {
+            let target = self.snd_nxt + self.mss.min(self.size_bytes - self.snd_nxt);
+            let at =
+                self.start_nanos + (target as u128 * 8 * 1_000_000_000 / rate as u128) as u64 + 1;
+            self.app_gen += 1;
+            out.app_resume = Some(TimerArm {
+                gen: self.app_gen,
+                at_nanos: at.max(now_nanos + 1),
+            });
+        }
+    }
+
+    /// Retransmits the segment at `snd_una`.
+    fn retransmit_head(&mut self, now_nanos: u64, out: &mut SenderOutput) {
+        let len = self.mss.min(self.size_bytes - self.snd_una);
+        debug_assert!(len > 0, "retransmit with nothing outstanding");
+        out.packets.push(Packet::data(
+            self.flow_id,
+            self.src_host,
+            self.dst_host,
+            self.service,
+            self.snd_una,
+            len,
+            now_nanos,
+        ));
+        self.stats.retransmissions += 1;
+    }
+
+    /// Closes one observation window: update `alpha`, apply the ECN
+    /// response (DCTCP's `(1 − α/2)` or classic halving) if any byte was
+    /// marked, open the next window.
+    fn end_alpha_window(&mut self) {
+        if self.acked_in_win > 0 {
+            let f = self.marked_in_win as f64 / self.acked_in_win as f64;
+            self.alpha = (1.0 - self.g) * self.alpha + self.g * f;
+            if self.marked_in_win > 0 {
+                let factor = match self.ecn_response {
+                    EcnResponse::Dctcp => 1.0 - self.alpha / 2.0,
+                    EcnResponse::Classic => 0.5,
+                };
+                self.cwnd = (self.cwnd * factor).max(self.mss as f64);
+                self.ssthresh = self.cwnd;
+            }
+        }
+        self.win_end = self.snd_nxt;
+        self.acked_in_win = 0;
+        self.marked_in_win = 0;
+        self.cwr_this_win = false;
+    }
+
+    fn update_rtt(&mut self, rtt_nanos: u64) {
+        let r = rtt_nanos as f64;
+        match self.srtt_nanos {
+            None => {
+                self.srtt_nanos = Some(r);
+                self.rttvar_nanos = r / 2.0;
+            }
+            Some(srtt) => {
+                self.rttvar_nanos = 0.75 * self.rttvar_nanos + 0.25 * (srtt - r).abs();
+                self.srtt_nanos = Some(0.875 * srtt + 0.125 * r);
+            }
+        }
+        let base = self.srtt_nanos.unwrap() + 4.0 * self.rttvar_nanos;
+        self.rto_nanos = (base as u64).max(self.rto_min_nanos).min(1_000_000_000);
+    }
+
+    fn arm_rto(&mut self, now_nanos: u64, out: &mut SenderOutput) {
+        if self.snd_nxt == self.snd_una {
+            // Nothing outstanding: no timer.
+            self.rto_armed = false;
+            self.rto_gen += 1;
+            return;
+        }
+        self.rto_gen += 1;
+        self.rto_armed = true;
+        let deadline = now_nanos + (self.rto_nanos << self.backoff).min(4_000_000_000);
+        out.rto = Some(TimerArm {
+            gen: self.rto_gen,
+            at_nanos: deadline,
+        });
+    }
+
+    fn cancel_timers(&mut self) {
+        self.rto_gen += 1;
+        self.rto_armed = false;
+        self.app_gen += 1;
+    }
+}
+
+/// What a receiver wants done after an event.
+#[derive(Debug, Default)]
+pub struct ReceiverOutput {
+    /// ACK to send back, if any.
+    pub ack: Option<Packet>,
+    /// Arm the delayed-ACK flush timer (if `Some`).
+    pub delack: Option<TimerArm>,
+}
+
+/// The DCTCP receiver for one flow: reassembles segments and generates
+/// cumulative ACKs with ECN-Echo and timestamp echo.
+///
+/// With `ack_every = 1` (the default) every data packet is ACKed
+/// immediately. With `ack_every = m > 1` the receiver coalesces ACKs and
+/// runs the DCTCP delayed-ACK ECE state machine: a change in the observed
+/// CE state, an out-of-order arrival, or the flush timer force an
+/// immediate ACK, so the sender's `alpha` estimate stays faithful.
+#[derive(Debug)]
+pub struct DctcpReceiver {
+    flow_id: u64,
+    rcv_nxt: u64,
+    /// Out-of-order intervals `start → end` beyond `rcv_nxt`.
+    ooo: BTreeMap<u64, u64>,
+    bytes_in_order: u64,
+    ce_received: u64,
+    packets_received: u64,
+    // Delayed-ACK state.
+    ack_every: u64,
+    delack_timeout_nanos: u64,
+    pending: u64,
+    ce_state: bool,
+    delack_gen: u64,
+    /// Addressing/timestamp template from the latest data packet, for
+    /// timer-generated ACKs: `(src, dst, service, sent_at)`.
+    last_data: Option<(usize, usize, usize, u64)>,
+}
+
+impl DctcpReceiver {
+    /// Creates a receiver for `flow_id` that ACKs every packet.
+    pub fn new(flow_id: u64) -> Self {
+        DctcpReceiver::with_delack(flow_id, 1, 500_000)
+    }
+
+    /// Creates a receiver coalescing ACKs to one per `ack_every` data
+    /// packets, flushed after `delack_timeout_nanos` of silence.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ack_every` is zero.
+    pub fn with_delack(flow_id: u64, ack_every: u64, delack_timeout_nanos: u64) -> Self {
+        assert!(ack_every > 0, "ack_every must be at least 1");
+        DctcpReceiver {
+            flow_id,
+            rcv_nxt: 0,
+            ooo: BTreeMap::new(),
+            bytes_in_order: 0,
+            ce_received: 0,
+            packets_received: 0,
+            ack_every,
+            delack_timeout_nanos,
+            pending: 0,
+            ce_state: false,
+            delack_gen: 0,
+            last_data: None,
+        }
+    }
+
+    /// Highest in-order byte received so far.
+    pub fn rcv_nxt(&self) -> u64 {
+        self.rcv_nxt
+    }
+
+    /// Data packets that arrived CE-marked.
+    pub fn ce_received(&self) -> u64 {
+        self.ce_received
+    }
+
+    /// Total data packets received.
+    pub fn packets_received(&self) -> u64 {
+        self.packets_received
+    }
+
+    /// Processes a data packet arriving at `now_nanos`; returns the ACK
+    /// to send (if any) and a delayed-ACK timer to arm.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the packet is not a data segment of this flow.
+    pub fn on_data(&mut self, pkt: &Packet, now_nanos: u64) -> ReceiverOutput {
+        assert_eq!(pkt.flow_id, self.flow_id, "packet for wrong flow");
+        let PacketKind::Data { seq, len } = pkt.kind else {
+            panic!("receiver got a non-data packet");
+        };
+        self.packets_received += 1;
+        if pkt.ce {
+            self.ce_received += 1;
+        }
+        let in_order = seq == self.rcv_nxt;
+        let end = seq + len;
+        if end > self.rcv_nxt {
+            // Record the new interval (may overlap existing ones).
+            let entry = self.ooo.entry(seq.max(self.rcv_nxt)).or_insert(0);
+            *entry = (*entry).max(end);
+            // Advance rcv_nxt over any now-contiguous intervals.
+            while let Some((&s, &e)) = self.ooo.first_key_value() {
+                if s <= self.rcv_nxt {
+                    if e > self.rcv_nxt {
+                        self.bytes_in_order += e - self.rcv_nxt;
+                        self.rcv_nxt = e;
+                    }
+                    self.ooo.pop_first();
+                } else {
+                    break;
+                }
+            }
+        }
+        self.last_data = Some((pkt.src_host, pkt.dst_host, pkt.service, pkt.sent_at_nanos));
+        self.pending += 1;
+        // Immediate-ACK triggers: per-packet mode, coalescing quota
+        // reached, CE state change (the DCTCP ECE machine), or anything
+        // that looks like loss/reordering (dup or gap-fill) — those ACKs
+        // drive fast retransmit and must not be delayed.
+        let ce_changed = pkt.ce != self.ce_state;
+        self.ce_state = pkt.ce;
+        let immediate =
+            self.pending >= self.ack_every || ce_changed || !in_order || !self.ooo.is_empty();
+        if immediate {
+            ReceiverOutput {
+                ack: Some(self.make_ack(pkt.ce)),
+                delack: None,
+            }
+        } else {
+            self.delack_gen += 1;
+            ReceiverOutput {
+                ack: None,
+                delack: Some(TimerArm {
+                    gen: self.delack_gen,
+                    at_nanos: now_nanos + self.delack_timeout_nanos,
+                }),
+            }
+        }
+    }
+
+    /// Handles the delayed-ACK flush timer; emits the pending ACK if the
+    /// generation is current and packets are still unacknowledged.
+    pub fn on_delack_timer(&mut self, gen: u64) -> Option<Packet> {
+        if gen != self.delack_gen || self.pending == 0 {
+            return None;
+        }
+        Some(self.make_ack(self.ce_state))
+    }
+
+    /// Builds a cumulative ACK with ECN-Echo `ece`, consuming the pending
+    /// count and invalidating any armed timer.
+    fn make_ack(&mut self, ece: bool) -> Packet {
+        self.pending = 0;
+        self.delack_gen += 1;
+        let (src, dst, service, sent_at) = self
+            .last_data
+            .expect("ACK generated before any data packet");
+        // ACK travels dst -> src, echoing CE (ECN-Echo) and the timestamp.
+        Packet::ack(self.flow_id, dst, src, service, self.rcv_nxt, ece, sent_at)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sender(size: u64) -> DctcpSender {
+        let cfg = TransportConfig {
+            init_cwnd_pkts: 2,
+            ..TransportConfig::default()
+        };
+        DctcpSender::new(1, 0, 9, 0, size, None, 0, &cfg)
+    }
+
+    /// Drives sender + receiver back-to-back with a fixed one-way delay,
+    /// returning the number of ACK round trips until completion.
+    fn run_loopback(mut s: DctcpSender, mut marks: impl FnMut(u64) -> bool) -> u64 {
+        let mut r = DctcpReceiver::new(1);
+        let mut now = 0u64;
+        let mut in_flight: Vec<Packet> = s.start(now).packets;
+        let mut rounds = 0;
+        while !s.is_completed() {
+            rounds += 1;
+            assert!(rounds < 100_000, "transfer did not complete");
+            now += 10_000; // 10 us one-way
+            let mut acks = Vec::new();
+            for mut p in in_flight.drain(..) {
+                if p.ect && marks(now) {
+                    p.ce = true;
+                }
+                acks.push(r.on_data(&p, now).ack.expect("per-packet ACKs"));
+            }
+            now += 10_000;
+            let mut next = Vec::new();
+            for a in acks {
+                let PacketKind::Ack { cum_ack, ece } = a.kind else {
+                    unreachable!()
+                };
+                let out = s.on_ack(cum_ack, ece, a.sent_at_nanos, now);
+                next.extend(out.packets);
+            }
+            in_flight = next;
+        }
+        rounds
+    }
+
+    #[test]
+    fn initial_window_burst() {
+        let mut s = sender(100 * 1460);
+        let out = s.start(0);
+        assert_eq!(out.packets.len(), 2, "init cwnd of 2 segments");
+        assert!(out.rto.is_some());
+        assert!(!out.completed);
+    }
+
+    #[test]
+    fn completes_short_flow_in_loopback() {
+        let s = sender(10 * 1460);
+        let rounds = run_loopback(s, |_| false);
+        assert!(rounds < 20, "10 segments with doubling cwnd: few rounds");
+    }
+
+    #[test]
+    fn completes_sub_mss_flow() {
+        let s = sender(500);
+        run_loopback(s, |_| false);
+    }
+
+    #[test]
+    fn slow_start_doubles_per_rtt() {
+        let mut s = sender(u64::MAX / 2);
+        let cfg_cwnd = s.cwnd_bytes();
+        let out = s.start(0);
+        let mut cum = 0;
+        // ACK the whole initial window: cwnd should double.
+        for p in &out.packets {
+            let PacketKind::Data { seq, len } = p.kind else {
+                unreachable!()
+            };
+            cum = cum.max(seq + len);
+            s.on_ack(cum, false, p.sent_at_nanos, 100_000);
+        }
+        assert!((s.cwnd_bytes() - 2.0 * cfg_cwnd).abs() < 1.0);
+    }
+
+    #[test]
+    fn dctcp_alpha_rises_under_full_marking_and_decays_clean() {
+        let mut s = sender(u64::MAX / 2);
+        let out = s.start(0);
+        let mut now = 100_000;
+        let mut cum = 0u64;
+        let mut packets = out.packets;
+        // Several fully-marked windows: alpha -> 1.
+        for _ in 0..60 {
+            let mut next = Vec::new();
+            for p in &packets {
+                let PacketKind::Data { seq, len } = p.kind else {
+                    unreachable!()
+                };
+                cum = cum.max(seq + len);
+                next.extend(s.on_ack(cum, true, p.sent_at_nanos, now).packets);
+            }
+            now += 100_000;
+            packets = next;
+            assert!(!packets.is_empty(), "window must never stall");
+        }
+        assert!(s.alpha() > 0.5, "alpha {} should approach 1", s.alpha());
+        let alpha_hi = s.alpha();
+        // Unmarked windows: alpha decays geometrically.
+        for _ in 0..40 {
+            let mut next = Vec::new();
+            for p in &packets {
+                let PacketKind::Data { seq, len } = p.kind else {
+                    unreachable!()
+                };
+                cum = cum.max(seq + len);
+                next.extend(s.on_ack(cum, false, p.sent_at_nanos, now).packets);
+            }
+            now += 100_000;
+            packets = next;
+        }
+        assert!(s.alpha() < alpha_hi / 4.0, "alpha must decay");
+    }
+
+    #[test]
+    fn marked_windows_shrink_cwnd_gently() {
+        // With alpha small, DCTCP's cut is much gentler than halving.
+        let mut s = sender(u64::MAX / 2);
+        let out = s.start(0);
+        // Grow for a while unmarked.
+        let mut now = 100_000;
+        let mut cum = 0u64;
+        let mut packets = out.packets;
+        for _ in 0..6 {
+            let mut next = Vec::new();
+            for p in &packets {
+                let PacketKind::Data { seq, len } = p.kind else {
+                    unreachable!()
+                };
+                cum = cum.max(seq + len);
+                next.extend(s.on_ack(cum, false, p.sent_at_nanos, now).packets);
+            }
+            now += 100_000;
+            packets = next;
+        }
+        let before = s.cwnd_bytes();
+        // One window with a single marked ACK.
+        let mut marked_one = false;
+        let mut next = Vec::new();
+        for p in &packets {
+            let PacketKind::Data { seq, len } = p.kind else {
+                unreachable!()
+            };
+            cum = cum.max(seq + len);
+            let ece = !marked_one;
+            marked_one = true;
+            next.extend(s.on_ack(cum, ece, p.sent_at_nanos, now).packets);
+        }
+        let after = s.cwnd_bytes();
+        assert!(
+            after < before * 1.01,
+            "cwnd should not grow through a marked window"
+        );
+        assert!(
+            after > before * 0.5,
+            "DCTCP cut must be gentler than halving"
+        );
+    }
+
+    #[test]
+    fn triple_dupack_triggers_fast_retransmit() {
+        let mut s = sender(u64::MAX / 2);
+        let out = s.start(0);
+        assert!(out.packets.len() >= 2);
+        // First segment lost: receiver dup-ACKs at 0.
+        let ts = out.packets[0].sent_at_nanos;
+        assert!(s.on_ack(0, false, ts, 1000).packets.is_empty());
+        assert!(s.on_ack(0, false, ts, 1100).packets.is_empty());
+        let third = s.on_ack(0, false, ts, 1200);
+        assert_eq!(third.packets.len(), 1, "fast retransmit on 3rd dupack");
+        match third.packets[0].kind {
+            PacketKind::Data { seq, .. } => assert_eq!(seq, 0),
+            _ => panic!("expected data"),
+        }
+        assert_eq!(s.stats().retransmissions, 1);
+    }
+
+    #[test]
+    fn rto_fires_and_stale_timers_ignored() {
+        let mut s = sender(u64::MAX / 2);
+        let out = s.start(0);
+        let arm = out.rto.unwrap();
+        // A stale generation does nothing.
+        assert!(s.on_rto(arm.gen + 5, arm.at_nanos).packets.is_empty());
+        // The armed generation retransmits the head and re-arms.
+        let fired = s.on_rto(arm.gen, arm.at_nanos);
+        assert_eq!(fired.packets.len(), 1);
+        assert!(fired.rto.is_some());
+        assert_eq!(s.stats().timeouts, 1);
+        assert_eq!(s.cwnd_bytes(), 1460.0, "RTO collapses cwnd to 1 MSS");
+    }
+
+    #[test]
+    fn recovery_via_loss_in_loopback() {
+        // Drop every 50th data packet inside the harness by marking it
+        // undeliverable: emulate by skipping delivery.
+        let cfg = TransportConfig {
+            init_cwnd_pkts: 4,
+            ..TransportConfig::default()
+        };
+        let mut s = DctcpSender::new(1, 0, 9, 0, 200 * 1460, None, 0, &cfg);
+        let mut r = DctcpReceiver::new(1);
+        let mut now = 0u64;
+        let mut in_flight = s.start(now).packets;
+        let mut counter = 0u64;
+        let mut rto_arm: Option<TimerArm> = None;
+        let mut iterations = 0;
+        while !s.is_completed() {
+            iterations += 1;
+            assert!(iterations < 10_000, "did not complete under loss");
+            now += 10_000;
+            let mut acks = Vec::new();
+            for p in in_flight.drain(..) {
+                counter += 1;
+                if counter.is_multiple_of(50) {
+                    continue; // dropped
+                }
+                acks.push(r.on_data(&p, now).ack.expect("per-packet ACKs"));
+            }
+            now += 10_000;
+            let mut next = Vec::new();
+            if acks.is_empty() {
+                // Deliver an RTO if armed (simulating timer machinery).
+                if let Some(arm) = rto_arm.take() {
+                    now = now.max(arm.at_nanos);
+                    let out = s.on_rto(arm.gen, now);
+                    next.extend(out.packets);
+                    rto_arm = out.rto;
+                }
+            }
+            for a in acks {
+                let PacketKind::Ack { cum_ack, ece } = a.kind else {
+                    unreachable!()
+                };
+                let out = s.on_ack(cum_ack, ece, a.sent_at_nanos, now);
+                next.extend(out.packets);
+                if out.rto.is_some() {
+                    rto_arm = out.rto;
+                }
+            }
+            in_flight = next;
+        }
+        assert!(s.stats().retransmissions > 0);
+        assert_eq!(r.rcv_nxt(), 200 * 1460);
+    }
+
+    #[test]
+    fn pmsbe_ignores_low_rtt_marks() {
+        let cfg = TransportConfig {
+            init_cwnd_pkts: 4,
+            pmsbe_rtt_threshold_nanos: Some(50_000),
+            ..TransportConfig::default()
+        };
+        let mut s = DctcpSender::new(1, 0, 9, 0, u64::MAX / 2, None, 0, &cfg);
+        let out = s.start(0);
+        let before = s.cwnd_bytes();
+        let mut cum = 0;
+        // All ACKs marked but RTT is only 20 us (< 50 us threshold):
+        // PMSB(e) ignores every mark, so cwnd grows as if unmarked.
+        for p in &out.packets {
+            let PacketKind::Data { seq, len } = p.kind else {
+                unreachable!()
+            };
+            cum = cum.max(seq + len);
+            s.on_ack(cum, true, p.sent_at_nanos, p.sent_at_nanos + 20_000);
+        }
+        assert!(s.cwnd_bytes() > before, "marks must be ignored");
+        assert_eq!(s.stats().marks_seen, 4);
+        assert_eq!(s.stats().marks_ignored, 4);
+        assert_eq!(s.alpha(), 0.0);
+    }
+
+    #[test]
+    fn pmsbe_honours_high_rtt_marks() {
+        let cfg = TransportConfig {
+            init_cwnd_pkts: 4,
+            pmsbe_rtt_threshold_nanos: Some(50_000),
+            ..TransportConfig::default()
+        };
+        let mut s = DctcpSender::new(1, 0, 9, 0, u64::MAX / 2, None, 0, &cfg);
+        let out = s.start(0);
+        let mut cum = 0;
+        for p in &out.packets {
+            let PacketKind::Data { seq, len } = p.kind else {
+                unreachable!()
+            };
+            cum = cum.max(seq + len);
+            // RTT 200 us >= threshold: honour.
+            s.on_ack(cum, true, p.sent_at_nanos, p.sent_at_nanos + 200_000);
+        }
+        assert!(s.alpha() > 0.0, "marks must be honoured");
+        assert_eq!(s.stats().marks_ignored, 0);
+    }
+
+    #[test]
+    fn app_rate_limited_flow_paces() {
+        let cfg = TransportConfig::default();
+        // 1 Gbps app rate: one 1460-B segment every ~11.68 us.
+        let mut s = DctcpSender::new(1, 0, 9, 0, u64::MAX / 2, Some(1_000_000_000), 0, &cfg);
+        let out = s.start(0);
+        // At t=0 no credit has accrued yet: nothing to send, but an
+        // app-resume timer must be armed.
+        assert!(out.packets.is_empty());
+        let arm = out.app_resume.expect("app resume timer");
+        assert!(arm.at_nanos > 0);
+        // At the resume tick one segment goes out.
+        let out = s.on_app_resume(arm.gen, arm.at_nanos);
+        assert_eq!(out.packets.len(), 1);
+    }
+
+    #[test]
+    fn receiver_reassembles_out_of_order() {
+        let mut r = DctcpReceiver::new(7);
+        let p2 = Packet::data(7, 0, 1, 0, 1460, 1460, 10);
+        let ack = r.on_data(&p2, 10).ack.unwrap();
+        match ack.kind {
+            PacketKind::Ack { cum_ack, .. } => assert_eq!(cum_ack, 0, "gap: dup ack at 0"),
+            _ => panic!(),
+        }
+        let p1 = Packet::data(7, 0, 1, 0, 0, 1460, 20);
+        let ack = r.on_data(&p1, 20).ack.unwrap();
+        match ack.kind {
+            PacketKind::Ack { cum_ack, .. } => assert_eq!(cum_ack, 2920, "hole filled"),
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn receiver_echoes_ce_and_timestamp() {
+        let mut r = DctcpReceiver::new(7);
+        let mut p = Packet::data(7, 0, 1, 0, 0, 1460, 1234);
+        p.ce = true;
+        let ack = r.on_data(&p, 2000).ack.unwrap();
+        assert_eq!(ack.sent_at_nanos, 1234);
+        match ack.kind {
+            PacketKind::Ack { ece, .. } => assert!(ece),
+            _ => panic!(),
+        }
+        assert_eq!(r.ce_received(), 1);
+        // Reverse direction addressing.
+        assert_eq!(ack.src_host, 1);
+        assert_eq!(ack.dst_host, 0);
+    }
+
+    #[test]
+    fn receiver_tolerates_duplicates() {
+        let mut r = DctcpReceiver::new(7);
+        let p = Packet::data(7, 0, 1, 0, 0, 1460, 0);
+        r.on_data(&p, 0);
+        let ack = r.on_data(&p, 1).ack.unwrap(); // duplicate
+        match ack.kind {
+            PacketKind::Ack { cum_ack, .. } => assert_eq!(cum_ack, 1460),
+            _ => panic!(),
+        }
+        assert_eq!(r.rcv_nxt(), 1460);
+    }
+
+    #[test]
+    fn delayed_acks_coalesce_and_flush_on_timer() {
+        let mut r = DctcpReceiver::with_delack(7, 4, 500_000);
+        let mut last_arm = None;
+        // Three in-order unmarked packets: no ACK yet, timer armed.
+        for i in 0..3u64 {
+            let p = Packet::data(7, 0, 1, 0, i * 1460, 1460, i * 1000);
+            let out = r.on_data(&p, i * 1000);
+            assert!(out.ack.is_none(), "packet {i} must be coalesced");
+            last_arm = out.delack;
+        }
+        // Fourth packet reaches the quota: immediate cumulative ACK.
+        let p = Packet::data(7, 0, 1, 0, 3 * 1460, 1460, 3000);
+        let out = r.on_data(&p, 3000);
+        let ack = out.ack.expect("quota reached");
+        match ack.kind {
+            PacketKind::Ack { cum_ack, .. } => assert_eq!(cum_ack, 4 * 1460),
+            _ => panic!(),
+        }
+        // The earlier timer is now stale.
+        assert!(r.on_delack_timer(last_arm.unwrap().gen).is_none());
+        // Two more packets, then the timer flushes them.
+        r.on_data(&Packet::data(7, 0, 1, 0, 4 * 1460, 1460, 4000), 4000);
+        let out = r.on_data(&Packet::data(7, 0, 1, 0, 5 * 1460, 1460, 5000), 5000);
+        let arm = out.delack.expect("timer armed");
+        let ack = r.on_delack_timer(arm.gen).expect("flush");
+        match ack.kind {
+            PacketKind::Ack { cum_ack, .. } => assert_eq!(cum_ack, 6 * 1460),
+            _ => panic!(),
+        }
+        // Nothing pending: a re-fired timer does nothing.
+        assert!(r.on_delack_timer(arm.gen + 1).is_none());
+    }
+
+    #[test]
+    fn delayed_acks_break_on_ce_state_change() {
+        // The DCTCP ECE machine: a CE transition forces an immediate ACK
+        // even mid-coalescing, in both directions.
+        let mut r = DctcpReceiver::with_delack(7, 16, 500_000);
+        let unmarked = Packet::data(7, 0, 1, 0, 0, 1460, 0);
+        assert!(r.on_data(&unmarked, 0).ack.is_none(), "coalesced");
+        let mut marked = Packet::data(7, 0, 1, 0, 1460, 1460, 1);
+        marked.ce = true;
+        let ack = r.on_data(&marked, 1).ack.expect("CE 0->1 forces ACK");
+        match ack.kind {
+            PacketKind::Ack { ece, .. } => assert!(ece),
+            _ => panic!(),
+        }
+        let mut marked2 = Packet::data(7, 0, 1, 0, 2 * 1460, 1460, 2);
+        marked2.ce = true;
+        assert!(r.on_data(&marked2, 2).ack.is_none(), "steady CE: coalesced");
+        let unmarked2 = Packet::data(7, 0, 1, 0, 3 * 1460, 1460, 3);
+        let ack = r.on_data(&unmarked2, 3).ack.expect("CE 1->0 forces ACK");
+        match ack.kind {
+            PacketKind::Ack { ece, .. } => assert!(!ece),
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn delayed_acks_never_delay_dupacks() {
+        let mut r = DctcpReceiver::with_delack(7, 16, 500_000);
+        // A gap: segment 1 missing; segment 2 arrives out of order.
+        r.on_data(&Packet::data(7, 0, 1, 0, 0, 1460, 0), 0);
+        let out = r.on_data(&Packet::data(7, 0, 1, 0, 2 * 1460, 1460, 1), 1);
+        let ack = out.ack.expect("out-of-order arrival must ACK at once");
+        match ack.kind {
+            PacketKind::Ack { cum_ack, .. } => assert_eq!(cum_ack, 1460, "dup ack"),
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn marked_loopback_keeps_low_alpha_flow_completing() {
+        // Mark everything: the flow still completes (alpha-based backoff
+        // never deadlocks).
+        let s = sender(50 * 1460);
+        run_loopback(s, |_| true);
+    }
+
+    #[test]
+    fn classic_ecn_halves_where_dctcp_cuts_gently() {
+        let respond = |resp: EcnResponse| -> f64 {
+            let cfg = TransportConfig {
+                init_cwnd_pkts: 2,
+                ecn_response: resp,
+                ..TransportConfig::default()
+            };
+            let mut s = DctcpSender::new(1, 0, 9, 0, u64::MAX / 2, None, 0, &cfg);
+            let out = s.start(0);
+            let mut now = 100_000;
+            let mut cum = 0u64;
+            let mut packets = out.packets;
+            // Grow unmarked for several windows.
+            for _ in 0..6 {
+                let mut next = Vec::new();
+                for p in &packets {
+                    let PacketKind::Data { seq, len } = p.kind else {
+                        unreachable!()
+                    };
+                    cum = cum.max(seq + len);
+                    next.extend(s.on_ack(cum, false, p.sent_at_nanos, now).packets);
+                }
+                now += 100_000;
+                packets = next;
+            }
+            let before = s.cwnd_bytes();
+            // One fully marked window.
+            let mut next = Vec::new();
+            for p in &packets {
+                let PacketKind::Data { seq, len } = p.kind else {
+                    unreachable!()
+                };
+                cum = cum.max(seq + len);
+                next.extend(s.on_ack(cum, true, p.sent_at_nanos, now).packets);
+            }
+            s.cwnd_bytes() / before
+        };
+        let classic = respond(EcnResponse::Classic);
+        let dctcp = respond(EcnResponse::Dctcp);
+        assert!((classic - 0.5).abs() < 0.01, "classic ratio {classic}");
+        assert!(dctcp > 0.9, "dctcp's first-window cut is gentle: {dctcp}");
+    }
+
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            /// The receiver reassembles any arrival order of the segments
+            /// of a transfer, including duplicates, to the exact length.
+            #[test]
+            fn receiver_reassembles_any_permutation(
+                order in proptest::collection::vec(0_usize..20, 30..60),
+            ) {
+                let mss = 1460u64;
+                let total = 20 * mss;
+                let mut r = DctcpReceiver::new(9);
+                let mut delivered = [false; 20];
+                for idx in &order {
+                    delivered[*idx] = true;
+                    let p = Packet::data(9, 0, 1, 0, *idx as u64 * mss, mss, 0);
+                    r.on_data(&p, 0);
+                }
+                // Deliver whatever the permutation missed, in order.
+                for (idx, seen) in delivered.iter().enumerate() {
+                    if !seen {
+                        let p = Packet::data(9, 0, 1, 0, idx as u64 * mss, mss, 0);
+                        r.on_data(&p, 0);
+                    }
+                }
+                prop_assert_eq!(r.rcv_nxt(), total);
+            }
+
+            /// Transfers complete in loopback under any deterministic
+            /// periodic marking pattern.
+            #[test]
+            fn completes_under_any_periodic_marking(period in 1_u64..20, segs in 1_u64..80) {
+                let s = sender(segs * 1460);
+                let mut n = 0u64;
+                run_loopback(s, move |_| {
+                    n += 1;
+                    n.is_multiple_of(period)
+                });
+            }
+
+            /// cwnd never decays below one MSS no matter the marking.
+            #[test]
+            fn cwnd_floor_is_one_mss(marks in proptest::collection::vec(any::<bool>(), 1..200)) {
+                let mut s = sender(u64::MAX / 2);
+                let out = s.start(0);
+                let mut now = 100_000u64;
+                let mut cum = 0u64;
+                let mut packets = out.packets;
+                let mut it = marks.iter().cycle();
+                for _ in 0..30 {
+                    let mut next = Vec::new();
+                    for p in &packets {
+                        let PacketKind::Data { seq, len } = p.kind else { unreachable!() };
+                        cum = cum.max(seq + len);
+                        let ece = *it.next().unwrap();
+                        next.extend(s.on_ack(cum, ece, p.sent_at_nanos, now).packets);
+                        prop_assert!(s.cwnd_bytes() >= 1460.0);
+                    }
+                    now += 100_000;
+                    if next.is_empty() {
+                        break;
+                    }
+                    packets = next;
+                }
+            }
+
+            /// Alpha stays a valid EWMA in [0, 1].
+            #[test]
+            fn alpha_stays_in_unit_interval(marks in proptest::collection::vec(any::<bool>(), 1..100)) {
+                let mut s = sender(u64::MAX / 2);
+                let out = s.start(0);
+                let mut now = 100_000u64;
+                let mut cum = 0u64;
+                let mut packets = out.packets;
+                let mut it = marks.iter().cycle();
+                for _ in 0..20 {
+                    let mut next = Vec::new();
+                    for p in &packets {
+                        let PacketKind::Data { seq, len } = p.kind else { unreachable!() };
+                        cum = cum.max(seq + len);
+                        next.extend(s.on_ack(cum, *it.next().unwrap(), p.sent_at_nanos, now).packets);
+                        prop_assert!((0.0..=1.0).contains(&s.alpha()));
+                    }
+                    now += 100_000;
+                    packets = next;
+                }
+            }
+        }
+    }
+}

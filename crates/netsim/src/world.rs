@@ -1,0 +1,992 @@
+//! The simulated network: hosts, switches, links, and the event loop.
+//!
+//! A [`World`] owns every node and implements [`EventHandler`]; running it
+//! under [`Simulation`] executes the packet-level model:
+//!
+//! * hosts emit DCTCP segments through a FIFO NIC,
+//! * switches classify arriving packets onto service queues, apply the
+//!   configured ECN marking at enqueue and/or dequeue, schedule with the
+//!   configured policy, and forward over links with serialization +
+//!   propagation delay,
+//! * ACKs flow back and drive the senders' congestion control.
+
+use std::collections::HashMap;
+
+use pmsb::marking::MarkingScheme;
+use pmsb::{MarkPoint, PortView};
+use pmsb_metrics::fct::{FctRecorder, FlowRecord};
+use pmsb_sched::{Fifo, MultiQueue};
+use pmsb_simcore::{EventHandler, EventQueue, SimDuration, SimTime, Simulation};
+
+use crate::config::{HostConfig, SwitchConfig, TransportConfig};
+use crate::packet::{Packet, PacketKind, MTU_WIRE_BYTES};
+use crate::routing::RouteTable;
+use crate::trace::{PortTrace, TraceConfig};
+use crate::transport::{DctcpReceiver, DctcpSender, SenderOutput, SenderStats};
+
+/// A node address: hosts and switches live in separate index spaces.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum NodeRef {
+    /// Host by index.
+    Host(usize),
+    /// Switch by index.
+    Switch(usize),
+}
+
+/// One end of a point-to-point link.
+#[derive(Debug, Clone, Copy)]
+struct LinkAttach {
+    peer: NodeRef,
+    rate_bps: u64,
+    delay_nanos: u64,
+}
+
+/// A flow to inject at a given time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FlowDesc {
+    /// Sending host index.
+    pub src_host: usize,
+    /// Receiving host index.
+    pub dst_host: usize,
+    /// Service class (mapped to `service % num_queues` at each port).
+    pub service: usize,
+    /// Bytes to transfer; `u64::MAX` = long-lived flow.
+    pub size_bytes: u64,
+    /// Application rate cap in bits/second (`None` = unlimited).
+    pub app_rate_bps: Option<u64>,
+    /// Absolute start time in nanoseconds.
+    pub start_nanos: u64,
+}
+
+impl FlowDesc {
+    /// A bulk transfer of `size_bytes` starting at t=0.
+    pub fn bulk(src_host: usize, dst_host: usize, service: usize, size_bytes: u64) -> Self {
+        FlowDesc {
+            src_host,
+            dst_host,
+            service,
+            size_bytes,
+            app_rate_bps: None,
+            start_nanos: 0,
+        }
+    }
+
+    /// A long-lived (never-ending) flow starting at t=0.
+    pub fn long_lived(src_host: usize, dst_host: usize, service: usize) -> Self {
+        FlowDesc::bulk(src_host, dst_host, service, u64::MAX)
+    }
+
+    /// Caps the application's offered rate.
+    pub fn with_app_rate_bps(mut self, rate: u64) -> Self {
+        self.app_rate_bps = Some(rate);
+        self
+    }
+
+    /// Sets the start time.
+    pub fn starting_at(mut self, nanos: u64) -> Self {
+        self.start_nanos = nanos;
+        self
+    }
+}
+
+/// Simulator events.
+#[derive(Debug)]
+pub enum Event {
+    /// A flow begins transmitting.
+    FlowStart {
+        /// Index into the world's flow table.
+        flow_id: u64,
+    },
+    /// A packet finishes propagating and arrives at a node.
+    Deliver {
+        /// Arriving node.
+        node: NodeRef,
+        /// Packet delivered.
+        packet: Packet,
+    },
+    /// A port finished serializing a packet; it may start the next.
+    TransmitDone {
+        /// Transmitting node.
+        node: NodeRef,
+        /// Port index (always 0 for hosts).
+        port: usize,
+    },
+    /// A sender's retransmission timer.
+    Rto {
+        /// Host owning the sender.
+        host: usize,
+        /// Flow whose timer fired.
+        flow_id: u64,
+        /// Generation (stale generations are ignored).
+        gen: u64,
+    },
+    /// A receiver's delayed-ACK flush timer.
+    DelAck {
+        /// Host owning the receiver.
+        host: usize,
+        /// Flow whose timer fired.
+        flow_id: u64,
+        /// Generation (stale generations are ignored).
+        gen: u64,
+    },
+    /// A rate-limited application's resume tick.
+    AppResume {
+        /// Host owning the sender.
+        host: usize,
+        /// Flow to resume.
+        flow_id: u64,
+        /// Generation (stale generations are ignored).
+        gen: u64,
+    },
+    /// Periodic trace sampling tick.
+    TraceSample,
+}
+
+struct Host {
+    nic: MultiQueue<Packet>,
+    nic_marker: Option<Box<dyn MarkingScheme>>,
+    nic_mark_point: MarkPoint,
+    nic_busy: bool,
+    link: Option<LinkAttach>,
+    senders: HashMap<u64, DctcpSender>,
+    receivers: HashMap<u64, DctcpReceiver>,
+}
+
+struct SwitchPort {
+    mq: MultiQueue<Packet>,
+    marker: Option<Box<dyn MarkingScheme>>,
+    mark_point: MarkPoint,
+    busy: bool,
+    link: LinkAttach,
+    trace: Option<PortTrace>,
+}
+
+struct Switch {
+    ports: Vec<SwitchPort>,
+    routes: RouteTable,
+}
+
+/// Adapter exposing a switch port's state as a [`PortView`] for the
+/// marking schemes.
+struct SwitchPortView<'a> {
+    mq: &'a MultiQueue<Packet>,
+    link_rate_bps: u64,
+    pool_bytes: u64,
+    sojourn_nanos: Option<u64>,
+}
+
+impl PortView for SwitchPortView<'_> {
+    fn num_queues(&self) -> usize {
+        self.mq.num_queues()
+    }
+    fn port_bytes(&self) -> u64 {
+        self.mq.port_bytes()
+    }
+    fn queue_bytes(&self, q: usize) -> u64 {
+        self.mq.queue_bytes(q)
+    }
+    fn pool_bytes(&self) -> u64 {
+        self.pool_bytes
+    }
+    fn link_rate_bps(&self) -> u64 {
+        self.link_rate_bps
+    }
+    fn packet_sojourn_nanos(&self) -> Option<u64> {
+        self.sojourn_nanos
+    }
+    fn round_time_nanos(&self) -> Option<u64> {
+        self.mq.scheduler().round_time_nanos()
+    }
+}
+
+/// Results harvested from a finished run.
+#[derive(Debug)]
+pub struct RunResults {
+    /// Completed flows.
+    pub fct: FctRecorder,
+    /// Per-flow RTT samples (only when RTT tracing was on).
+    pub rtt_nanos_by_flow: HashMap<u64, Vec<u64>>,
+    /// Traces of watched ports, keyed by `(switch, port)`.
+    pub port_traces: HashMap<(usize, usize), PortTrace>,
+    /// Per-flow sender counters.
+    pub sender_stats: HashMap<u64, SenderStats>,
+    /// Packets tail-dropped anywhere in the network.
+    pub drops: u64,
+    /// CE marks applied by switches.
+    pub marks: u64,
+    /// Simulated time at the end of the run, nanoseconds.
+    pub end_nanos: u64,
+}
+
+/// The simulated network. Build with the `wire_*` methods (or the
+/// [`crate::topology`] builders), add flows, then [`World::run_until_nanos`].
+pub struct World {
+    hosts: Vec<Host>,
+    switches: Vec<Switch>,
+    transport: TransportConfig,
+    trace: TraceConfig,
+    flows: Vec<FlowDesc>,
+    fct: FctRecorder,
+    marks: u64,
+    end_nanos: u64,
+}
+
+impl World {
+    /// Creates an empty network.
+    pub fn new(transport: TransportConfig) -> Self {
+        World {
+            hosts: Vec::new(),
+            switches: Vec::new(),
+            transport,
+            trace: TraceConfig::off(),
+            flows: Vec::new(),
+            fct: FctRecorder::new(),
+            marks: 0,
+            end_nanos: 0,
+        }
+    }
+
+    /// Adds a host; returns its index.
+    pub fn add_host(&mut self, cfg: HostConfig) -> usize {
+        self.hosts.push(Host {
+            nic: MultiQueue::new(Box::new(Fifo::new()), cfg.nic_buffer_bytes),
+            nic_marker: cfg.nic_marking.build(&[1]),
+            nic_mark_point: cfg.nic_mark_point,
+            nic_busy: false,
+            link: None,
+            senders: HashMap::new(),
+            receivers: HashMap::new(),
+        });
+        self.hosts.len() - 1
+    }
+
+    /// Adds a switch with no ports yet; returns its index.
+    pub fn add_switch(&mut self) -> usize {
+        self.switches.push(Switch {
+            ports: Vec::new(),
+            routes: RouteTable::new(0),
+        });
+        self.switches.len() - 1
+    }
+
+    fn build_port(&self, cfg: &SwitchConfig, link: LinkAttach) -> SwitchPort {
+        let weights = cfg.scheduler.weights();
+        SwitchPort {
+            mq: MultiQueue::with_policy(cfg.scheduler.build(), cfg.buffer_policy()),
+            marker: cfg.marking.build(&weights),
+            mark_point: cfg.mark_point,
+            busy: false,
+            link,
+            trace: None,
+        }
+    }
+
+    /// Connects `host` to `switch` with a bidirectional link; the switch
+    /// side gets a port configured per `cfg`. Returns the new switch port
+    /// index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the host is already wired.
+    pub fn wire_host(
+        &mut self,
+        host: usize,
+        switch: usize,
+        rate_bps: u64,
+        delay_nanos: u64,
+        cfg: &SwitchConfig,
+    ) -> usize {
+        assert!(self.hosts[host].link.is_none(), "host {host} already wired");
+        let port_idx = self.switches[switch].ports.len();
+        self.hosts[host].link = Some(LinkAttach {
+            peer: NodeRef::Switch(switch),
+            rate_bps,
+            delay_nanos,
+        });
+        let link = LinkAttach {
+            peer: NodeRef::Host(host),
+            rate_bps,
+            delay_nanos,
+        };
+        let port = self.build_port(cfg, link);
+        self.switches[switch].ports.push(port);
+        port_idx
+    }
+
+    /// Connects two switches with a bidirectional link, creating one port
+    /// on each side. Returns `(port_on_a, port_on_b)`.
+    pub fn wire_switch_pair(
+        &mut self,
+        a: usize,
+        b: usize,
+        rate_bps: u64,
+        delay_nanos: u64,
+        cfg: &SwitchConfig,
+    ) -> (usize, usize) {
+        let pa = self.switches[a].ports.len();
+        let pb = self.switches[b].ports.len();
+        let link_ab = LinkAttach {
+            peer: NodeRef::Switch(b),
+            rate_bps,
+            delay_nanos,
+        };
+        let link_ba = LinkAttach {
+            peer: NodeRef::Switch(a),
+            rate_bps,
+            delay_nanos,
+        };
+        let port_a = self.build_port(cfg, link_ab);
+        let port_b = self.build_port(cfg, link_ba);
+        self.switches[a].ports.push(port_a);
+        self.switches[b].ports.push(port_b);
+        (pa, pb)
+    }
+
+    /// Sets the candidate output ports on `switch` towards `dst_host`.
+    pub fn set_route(&mut self, switch: usize, dst_host: usize, ports: Vec<usize>) {
+        self.switches[switch].routes.set(dst_host, ports);
+    }
+
+    /// Installs the trace configuration (call after wiring, before run).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a watched port does not exist.
+    pub fn set_trace(&mut self, trace: TraceConfig) {
+        for (s, p) in &trace.watch_ports {
+            let port = &mut self.switches[*s].ports[*p];
+            port.trace = Some(PortTrace::new(
+                port.mq.num_queues(),
+                trace.throughput_bin_nanos,
+            ));
+        }
+        self.trace = trace;
+    }
+
+    /// Registers a flow; returns its id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the flow is empty or src == dst.
+    pub fn add_flow(&mut self, desc: FlowDesc) -> u64 {
+        assert!(desc.size_bytes > 0, "flow must carry at least one byte");
+        assert_ne!(desc.src_host, desc.dst_host, "flow to self");
+        self.flows.push(desc);
+        (self.flows.len() - 1) as u64
+    }
+
+    /// Runs the simulation until `end_nanos`, returning the harvested
+    /// results. Consumes the world.
+    pub fn run_until_nanos(mut self, end_nanos: u64) -> RunResults {
+        self.end_nanos = end_nanos;
+        let mut sim = Simulation::new(self);
+        for (id, f) in sim.handler.flows.iter().enumerate() {
+            sim.queue.push(
+                SimTime::from_nanos(f.start_nanos),
+                Event::FlowStart { flow_id: id as u64 },
+            );
+        }
+        if let Some(interval) = sim.handler.trace.sample_interval_nanos {
+            sim.queue
+                .push(SimTime::from_nanos(interval), Event::TraceSample);
+        }
+        sim.run_until(SimTime::from_nanos(end_nanos));
+        sim.handler.harvest(end_nanos)
+    }
+
+    fn harvest(mut self, end_nanos: u64) -> RunResults {
+        let mut rtt = HashMap::new();
+        let mut stats = HashMap::new();
+        let mut drops = 0u64;
+        for h in &mut self.hosts {
+            drops += h.nic.dropped_items();
+            for (id, s) in &h.senders {
+                stats.insert(*id, s.stats());
+                if let Some(samples) = s.rtt_samples() {
+                    rtt.insert(*id, samples.to_vec());
+                }
+            }
+        }
+        let mut traces = HashMap::new();
+        for (si, sw) in self.switches.iter_mut().enumerate() {
+            for (pi, port) in sw.ports.iter_mut().enumerate() {
+                drops += port.mq.dropped_items();
+                if let Some(t) = port.trace.take() {
+                    traces.insert((si, pi), t);
+                }
+            }
+        }
+        RunResults {
+            fct: self.fct,
+            rtt_nanos_by_flow: rtt,
+            port_traces: traces,
+            sender_stats: stats,
+            drops,
+            marks: self.marks,
+            end_nanos,
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Event machinery.
+    // ------------------------------------------------------------------
+
+    fn process_sender_output(
+        &mut self,
+        host: usize,
+        flow_id: u64,
+        out: SenderOutput,
+        now: u64,
+        queue: &mut EventQueue<Event>,
+    ) {
+        for pkt in out.packets {
+            self.host_enqueue(host, pkt, now, queue);
+        }
+        if let Some(arm) = out.rto {
+            queue.push(
+                SimTime::from_nanos(arm.at_nanos.max(now)),
+                Event::Rto {
+                    host,
+                    flow_id,
+                    gen: arm.gen,
+                },
+            );
+        }
+        if let Some(arm) = out.app_resume {
+            queue.push(
+                SimTime::from_nanos(arm.at_nanos.max(now)),
+                Event::AppResume {
+                    host,
+                    flow_id,
+                    gen: arm.gen,
+                },
+            );
+        }
+        if out.completed {
+            let s = &self.hosts[host].senders[&flow_id];
+            self.fct.record(FlowRecord {
+                flow_id,
+                bytes: s.size_bytes(),
+                start_nanos: s.start_nanos(),
+                end_nanos: now,
+            });
+        }
+    }
+
+    fn host_enqueue(
+        &mut self,
+        host: usize,
+        mut pkt: Packet,
+        now: u64,
+        queue: &mut EventQueue<Event>,
+    ) {
+        pkt.enqueued_at_nanos = now;
+        let h = &mut self.hosts[host];
+        // NIC-level ECN (one-queue port), mirroring NS-3's per-device
+        // queue discs.
+        if h.nic_mark_point == MarkPoint::Enqueue && pkt.ect && !pkt.ce {
+            if let Some(marker) = h.nic_marker.as_mut() {
+                let rate = h.link.map(|l| l.rate_bps).unwrap_or(10_000_000_000);
+                let view = SwitchPortView {
+                    mq: &h.nic,
+                    link_rate_bps: rate,
+                    pool_bytes: h.nic.port_bytes(),
+                    sojourn_nanos: None,
+                };
+                if marker.should_mark(&view, 0).is_mark() {
+                    pkt.ce = true;
+                    self.marks += 1;
+                }
+            }
+        }
+        let _ = self.hosts[host].nic.enqueue(0, pkt, now);
+        self.try_transmit_host(host, now, queue);
+    }
+
+    fn try_transmit_host(&mut self, host: usize, now: u64, queue: &mut EventQueue<Event>) {
+        let marks = &mut self.marks;
+        let h = &mut self.hosts[host];
+        if h.nic_busy {
+            return;
+        }
+        let Some((_, mut pkt)) = h.nic.dequeue(now) else {
+            return;
+        };
+        if h.nic_mark_point == MarkPoint::Dequeue && pkt.ect && !pkt.ce {
+            if let Some(marker) = h.nic_marker.as_mut() {
+                let rate = h.link.map(|l| l.rate_bps).unwrap_or(10_000_000_000);
+                let view = SwitchPortView {
+                    mq: &h.nic,
+                    link_rate_bps: rate,
+                    pool_bytes: h.nic.port_bytes(),
+                    sojourn_nanos: Some(now.saturating_sub(pkt.enqueued_at_nanos)),
+                };
+                if marker.should_mark(&view, 0).is_mark() {
+                    pkt.ce = true;
+                    *marks += 1;
+                }
+            }
+        }
+        let link = h.link.expect("host transmits without a link");
+        h.nic_busy = true;
+        let ser = SimDuration::for_bytes(pkt.wire_bytes, link.rate_bps).as_nanos();
+        queue.push(
+            SimTime::from_nanos(now + ser),
+            Event::TransmitDone {
+                node: NodeRef::Host(host),
+                port: 0,
+            },
+        );
+        queue.push(
+            SimTime::from_nanos(now + ser + link.delay_nanos),
+            Event::Deliver {
+                node: link.peer,
+                packet: pkt,
+            },
+        );
+    }
+
+    fn try_transmit_switch(
+        &mut self,
+        switch: usize,
+        port: usize,
+        now: u64,
+        queue: &mut EventQueue<Event>,
+    ) {
+        let marks = &mut self.marks;
+        let p = &mut self.switches[switch].ports[port];
+        if p.busy {
+            return;
+        }
+        let Some((q, mut pkt)) = p.mq.dequeue(now) else {
+            return;
+        };
+        // Dequeue-point marking (PMSB/TCN early-notification experiments).
+        if p.mark_point == MarkPoint::Dequeue && pkt.ect && !pkt.ce {
+            if let Some(marker) = p.marker.as_mut() {
+                let view = SwitchPortView {
+                    mq: &p.mq,
+                    link_rate_bps: p.link.rate_bps,
+                    pool_bytes: p.mq.port_bytes(),
+                    sojourn_nanos: Some(now.saturating_sub(pkt.enqueued_at_nanos)),
+                };
+                if marker.should_mark(&view, q).is_mark() {
+                    pkt.ce = true;
+                    *marks += 1;
+                }
+            }
+        }
+        if let Some(tr) = p.trace.as_mut() {
+            tr.queue_throughput[q].add(now, pkt.wire_bytes);
+        }
+        p.busy = true;
+        let link = p.link;
+        let ser = SimDuration::for_bytes(pkt.wire_bytes, link.rate_bps).as_nanos();
+        queue.push(
+            SimTime::from_nanos(now + ser),
+            Event::TransmitDone {
+                node: NodeRef::Switch(switch),
+                port,
+            },
+        );
+        queue.push(
+            SimTime::from_nanos(now + ser + link.delay_nanos),
+            Event::Deliver {
+                node: link.peer,
+                packet: pkt,
+            },
+        );
+    }
+
+    fn deliver_to_switch(
+        &mut self,
+        switch: usize,
+        mut pkt: Packet,
+        now: u64,
+        queue: &mut EventQueue<Event>,
+    ) {
+        let out_port = self.switches[switch]
+            .routes
+            .port_for(pkt.dst_host, pkt.flow_id);
+        // Pool occupancy across all ports of this switch (per-pool marking).
+        let pool: u64 = self.switches[switch]
+            .ports
+            .iter()
+            .map(|p| p.mq.port_bytes())
+            .sum();
+        let marks = &mut self.marks;
+        let p = &mut self.switches[switch].ports[out_port];
+        let q = pkt.service % p.mq.num_queues();
+        pkt.enqueued_at_nanos = now;
+        // Enqueue-point marking: decide on the occupancy the packet meets.
+        if p.mark_point == MarkPoint::Enqueue && pkt.ect && !pkt.ce {
+            if let Some(marker) = p.marker.as_mut() {
+                let view = SwitchPortView {
+                    mq: &p.mq,
+                    link_rate_bps: p.link.rate_bps,
+                    pool_bytes: pool,
+                    sojourn_nanos: None,
+                };
+                if marker.should_mark(&view, q).is_mark() {
+                    pkt.ce = true;
+                    *marks += 1;
+                }
+            }
+        }
+        let _ = p.mq.enqueue(q, pkt, now); // drop counted in the MultiQueue
+        self.try_transmit_switch(switch, out_port, now, queue);
+    }
+
+    fn deliver_to_host(
+        &mut self,
+        host: usize,
+        pkt: Packet,
+        now: u64,
+        queue: &mut EventQueue<Event>,
+    ) {
+        match pkt.kind {
+            PacketKind::Data { .. } => {
+                let transport = self.transport;
+                let receiver = self.hosts[host]
+                    .receivers
+                    .entry(pkt.flow_id)
+                    .or_insert_with(|| {
+                        DctcpReceiver::with_delack(
+                            pkt.flow_id,
+                            transport.ack_every_packets,
+                            transport.delack_timeout_nanos,
+                        )
+                    });
+                let out = receiver.on_data(&pkt, now);
+                if let Some(arm) = out.delack {
+                    queue.push(
+                        SimTime::from_nanos(arm.at_nanos.max(now)),
+                        Event::DelAck {
+                            host,
+                            flow_id: pkt.flow_id,
+                            gen: arm.gen,
+                        },
+                    );
+                }
+                if let Some(ack) = out.ack {
+                    self.host_enqueue(host, ack, now, queue);
+                }
+            }
+            PacketKind::Ack { cum_ack, ece } => {
+                let Some(sender) = self.hosts[host].senders.get_mut(&pkt.flow_id) else {
+                    return; // flow unknown here (stale ACK after harvest)
+                };
+                let out = sender.on_ack(cum_ack, ece, pkt.sent_at_nanos, now);
+                self.process_sender_output(host, pkt.flow_id, out, now, queue);
+            }
+        }
+    }
+
+    fn sample_traces(&mut self, now: u64) {
+        for sw in &mut self.switches {
+            for port in &mut sw.ports {
+                if let Some(tr) = port.trace.as_mut() {
+                    let mut total = 0.0;
+                    for q in 0..port.mq.num_queues() {
+                        let pkts = port.mq.queue_bytes(q) as f64 / MTU_WIRE_BYTES as f64;
+                        tr.queue_occupancy_pkts[q].sample(now, pkts);
+                        total += pkts;
+                    }
+                    tr.port_occupancy_pkts.sample(now, total);
+                }
+            }
+        }
+    }
+}
+
+impl EventHandler for World {
+    type Event = Event;
+
+    fn handle(&mut self, now: SimTime, event: Event, queue: &mut EventQueue<Event>) {
+        let now = now.as_nanos();
+        match event {
+            Event::FlowStart { flow_id } => {
+                let desc = self.flows[flow_id as usize];
+                let mut sender = DctcpSender::new(
+                    flow_id,
+                    desc.src_host,
+                    desc.dst_host,
+                    desc.service,
+                    desc.size_bytes,
+                    desc.app_rate_bps,
+                    now,
+                    &self.transport,
+                );
+                if self.trace.record_rtt {
+                    sender.enable_rtt_trace();
+                }
+                let out = sender.start(now);
+                self.hosts[desc.src_host].senders.insert(flow_id, sender);
+                self.process_sender_output(desc.src_host, flow_id, out, now, queue);
+            }
+            Event::Deliver { node, packet } => match node {
+                NodeRef::Host(h) => self.deliver_to_host(h, packet, now, queue),
+                NodeRef::Switch(s) => self.deliver_to_switch(s, packet, now, queue),
+            },
+            Event::TransmitDone { node, port } => match node {
+                NodeRef::Host(h) => {
+                    self.hosts[h].nic_busy = false;
+                    self.try_transmit_host(h, now, queue);
+                }
+                NodeRef::Switch(s) => {
+                    self.switches[s].ports[port].busy = false;
+                    self.try_transmit_switch(s, port, now, queue);
+                }
+            },
+            Event::Rto { host, flow_id, gen } => {
+                if let Some(sender) = self.hosts[host].senders.get_mut(&flow_id) {
+                    let out = sender.on_rto(gen, now);
+                    self.process_sender_output(host, flow_id, out, now, queue);
+                }
+            }
+            Event::DelAck { host, flow_id, gen } => {
+                if let Some(receiver) = self.hosts[host].receivers.get_mut(&flow_id) {
+                    if let Some(ack) = receiver.on_delack_timer(gen) {
+                        self.host_enqueue(host, ack, now, queue);
+                    }
+                }
+            }
+            Event::AppResume { host, flow_id, gen } => {
+                if let Some(sender) = self.hosts[host].senders.get_mut(&flow_id) {
+                    let out = sender.on_app_resume(gen, now);
+                    self.process_sender_output(host, flow_id, out, now, queue);
+                }
+            }
+            Event::TraceSample => {
+                self.sample_traces(now);
+                if let Some(interval) = self.trace.sample_interval_nanos {
+                    if now + interval <= self.end_nanos {
+                        queue.push(SimTime::from_nanos(now + interval), Event::TraceSample);
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{MarkingConfig, SchedulerConfig};
+
+    /// `num_senders` sender hosts plus one receiver (the last host) on a
+    /// single switch; host NICs mirror the switch marking.
+    fn star_world(num_senders: usize, marking: MarkingConfig) -> World {
+        let mut w = World::new(TransportConfig::default());
+        let cfg = SwitchConfig {
+            scheduler: SchedulerConfig::Dwrr {
+                weights: vec![1, 1],
+            },
+            marking: marking.clone(),
+            ..SwitchConfig::default()
+        };
+        let host_cfg = HostConfig {
+            nic_marking: marking,
+            ..HostConfig::default()
+        };
+        let s_idx = num_senders; // receiver host index
+        for _ in 0..=s_idx {
+            w.add_host(host_cfg.clone());
+        }
+        let s = w.add_switch();
+        for h in 0..=s_idx {
+            let p = w.wire_host(h, s, 10_000_000_000, 5_000, &cfg);
+            w.set_route(s, h, vec![p]);
+        }
+        w
+    }
+
+    fn two_host_world(marking: MarkingConfig) -> World {
+        star_world(1, marking)
+    }
+
+    #[test]
+    fn single_flow_completes_with_sane_fct() {
+        let mut w = two_host_world(MarkingConfig::None);
+        w.add_flow(FlowDesc::bulk(0, 1, 0, 100_000));
+        let res = w.run_until_nanos(50_000_000);
+        assert_eq!(res.fct.len(), 1);
+        let rec = res.fct.records()[0];
+        // 100 KB over 10 Gbps with ~20 us RTT: at least the transfer time
+        // (~80 us incl. RTT), well under a millisecond.
+        let fct = rec.fct_nanos();
+        assert!(fct > 20_000, "FCT {fct} too small");
+        assert!(fct < 1_000_000, "FCT {fct} too large");
+        assert_eq!(res.drops, 0);
+    }
+
+    #[test]
+    fn two_flows_share_and_complete() {
+        // Two senders converge on one receiver: the switch port congests.
+        let mut w = star_world(
+            2,
+            MarkingConfig::Pmsb {
+                port_threshold_pkts: 12,
+            },
+        );
+        // Long enough for DCTCP to converge to the fair share.
+        w.add_flow(FlowDesc::bulk(0, 2, 0, 20_000_000));
+        w.add_flow(FlowDesc::bulk(1, 2, 1, 20_000_000));
+        let res = w.run_until_nanos(200_000_000);
+        assert_eq!(res.fct.len(), 2, "both flows complete");
+        assert!(res.marks > 0, "congestion must trigger ECN marks");
+        // Equal weights, equal sizes: completion times the same ballpark.
+        let f: Vec<u64> = res.fct.records().iter().map(|r| r.fct_nanos()).collect();
+        let ratio = f[0] as f64 / f[1] as f64;
+        assert!((0.6..1.67).contains(&ratio), "unfair FCTs {f:?}");
+    }
+
+    #[test]
+    fn long_lived_flow_reaches_line_rate() {
+        let mut w = two_host_world(MarkingConfig::Pmsb {
+            port_threshold_pkts: 12,
+        });
+        w.add_flow(FlowDesc::bulk(0, 1, 0, 20_000_000));
+        let res = w.run_until_nanos(1_000_000_000);
+        assert_eq!(res.fct.len(), 1);
+        let rec = res.fct.records()[0];
+        // 20 MB at 10 Gbps line rate = 16 ms minimum (payload/goodput
+        // ratio raises this slightly); ECN must not destroy throughput.
+        let fct = rec.fct_nanos();
+        assert!(fct < 18_000_000, "FCT {fct} => goodput below ~9 Gbps");
+        assert_eq!(res.drops, 0, "ECN must prevent buffer overflow");
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let run = || {
+            let mut w = two_host_world(MarkingConfig::Pmsb {
+                port_threshold_pkts: 12,
+            });
+            w.add_flow(FlowDesc::bulk(0, 1, 0, 1_000_000));
+            w.add_flow(FlowDesc::bulk(0, 1, 1, 500_000).starting_at(100_000));
+            let res = w.run_until_nanos(100_000_000);
+            res.fct
+                .records()
+                .iter()
+                .map(|r| (r.flow_id, r.end_nanos))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn ecn_keeps_buffer_near_threshold() {
+        // A long flow with per-queue K=16 marking: buffer stays bounded
+        // (far below what slow start would otherwise fill).
+        let mut w = star_world(2, MarkingConfig::PerQueueStandard { threshold_pkts: 16 });
+        w.set_trace(TraceConfig::watch_port(0, 2, 10_000));
+        w.add_flow(FlowDesc::bulk(0, 2, 0, 50_000_000));
+        w.add_flow(FlowDesc::bulk(1, 2, 1, 50_000_000));
+        let res = w.run_until_nanos(60_000_000);
+        let trace = &res.port_traces[&(0, 2)];
+        // After slow start (first ~2 ms), occupancy must hover near the
+        // 16-packet threshold, never exploding.
+        let peak = trace.port_occupancy_pkts.peak_after(5_000_000).unwrap();
+        assert!(peak < 50.0, "post-slow-start peak {peak} pkts too high");
+        assert!(res.marks > 0);
+    }
+
+    #[test]
+    fn app_rate_limited_flow_throttles() {
+        let mut w = two_host_world(MarkingConfig::None);
+        w.set_trace(TraceConfig::watch_port(0, 1, 100_000));
+        w.add_flow(FlowDesc::long_lived(0, 1, 0).with_app_rate_bps(2_000_000_000));
+        let res = w.run_until_nanos(20_000_000);
+        let trace = &res.port_traces[&(0, 1)];
+        // Mean throughput ~2 Gbps (payload/wire overhead makes it a bit
+        // lower on goodput, but wire bytes are what the trace counts).
+        let bins = trace.queue_throughput[0].num_bins();
+        let mean = trace.mean_queue_gbps(0, bins / 2, bins);
+        assert!((mean - 2.0).abs() < 0.3, "mean {mean} Gbps");
+        assert_eq!(res.fct.len(), 0, "long-lived flow never completes");
+    }
+
+    #[test]
+    fn reverse_direction_flow_works() {
+        let mut w = two_host_world(MarkingConfig::None);
+        w.add_flow(FlowDesc::bulk(1, 0, 0, 100_000));
+        let res = w.run_until_nanos(50_000_000);
+        assert_eq!(res.fct.len(), 1);
+    }
+
+    #[test]
+    fn dynamic_threshold_shields_mice_from_pool_hogging() {
+        // Drop-tail (no ECN), mice in queue 1 sharing the pool with two
+        // elephants in queue 0. A static pool lets the elephants fill the
+        // whole buffer and the mice's packets get tail-dropped; DT caps
+        // the elephant queue and leaves room.
+        let run = |dt_alpha: Option<f64>| {
+            let mut w = World::new(TransportConfig::default());
+            let cfg = SwitchConfig {
+                scheduler: SchedulerConfig::Dwrr {
+                    weights: vec![1, 1],
+                },
+                marking: MarkingConfig::None,
+                buffer_bytes: 48 * 1500,
+                buffer_dt_alpha: dt_alpha,
+                ..SwitchConfig::default()
+            };
+            let host_cfg = HostConfig::default();
+            for _ in 0..4 {
+                w.add_host(host_cfg.clone());
+            }
+            let s = w.add_switch();
+            for h in 0..4 {
+                let p = w.wire_host(h, s, 10_000_000_000, 5_000, &cfg);
+                w.set_route(s, h, vec![p]);
+            }
+            w.add_flow(FlowDesc::long_lived(0, 3, 0));
+            w.add_flow(FlowDesc::long_lived(1, 3, 0));
+            for i in 0..8u64 {
+                w.add_flow(FlowDesc::bulk(2, 3, 1, 30_000).starting_at(3_000_000 + i * 3_000_000));
+            }
+            let res = w.run_until_nanos(60_000_000);
+            let mice_timeouts: u64 = (2..10)
+                .map(|f| res.sender_stats.get(&f).map(|s| s.timeouts).unwrap_or(0))
+                .sum();
+            let p99 = res
+                .fct
+                .stats(pmsb_metrics::fct::SizeClass::Small)
+                .map(|s| s.p99)
+                .unwrap_or(f64::INFINITY);
+            (p99, mice_timeouts)
+        };
+        let (static_p99, static_rtos) = run(None);
+        let (dt_p99, dt_rtos) = run(Some(1.0));
+        assert!(static_rtos > 0, "static pool must RTO some mice");
+        assert_eq!(dt_rtos, 0, "DT leaves room: no mice timeouts");
+        assert!(
+            dt_p99 * 10.0 < static_p99,
+            "DT must shield the mice: static {static_p99} vs dt {dt_p99}"
+        );
+    }
+
+    #[test]
+    fn delayed_acks_complete_flows_end_to_end() {
+        let mut w = two_host_world(MarkingConfig::Pmsb {
+            port_threshold_pkts: 12,
+        });
+        w.transport.ack_every_packets = 2;
+        w.add_flow(FlowDesc::bulk(0, 1, 0, 1_000_000));
+        // An odd tail segment exercises the delack flush timer.
+        w.add_flow(FlowDesc::bulk(0, 1, 1, 3 * 1460));
+        let res = w.run_until_nanos(200_000_000);
+        assert_eq!(res.fct.len(), 2, "both flows complete under coalesced ACKs");
+        for st in res.sender_stats.values() {
+            assert_eq!(st.timeouts, 0, "delack flush must prevent RTOs: {st:?}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "flow to self")]
+    fn rejects_self_flow() {
+        let mut w = two_host_world(MarkingConfig::None);
+        w.add_flow(FlowDesc::bulk(0, 0, 0, 1000));
+    }
+}

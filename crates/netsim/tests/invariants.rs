@@ -1,0 +1,116 @@
+//! Simulator-level invariants that must hold for any workload.
+
+use pmsb_netsim::experiment::{Experiment, FlowDesc, MarkingConfig};
+use proptest::prelude::*;
+
+/// Physics lower bound on a flow's completion time: payload at line rate
+/// plus one unloaded RTT (propagation + serialization of the first
+/// packet and last ACK are folded in conservatively as just the
+/// propagation RTT).
+fn fct_lower_bound_nanos(size_bytes: u64, rate_bps: u64, rtt_nanos: u64) -> u64 {
+    let wire = size_bytes + size_bytes.div_ceil(1460) * 40;
+    (wire as u128 * 8 * 1_000_000_000 / rate_bps as u128) as u64 + rtt_nanos
+}
+
+#[test]
+fn fct_never_beats_physics() {
+    let mut e = Experiment::dumbbell(2, 2).marking(MarkingConfig::Pmsb {
+        port_threshold_pkts: 12,
+    });
+    for (i, size) in [1_000u64, 50_000, 500_000, 5_000_000].iter().enumerate() {
+        e.add_flow(FlowDesc::bulk(i % 2, 2, i % 2, *size));
+    }
+    let res = e.run_for_millis(100);
+    assert_eq!(res.fct.len(), 4);
+    for r in res.fct.records() {
+        let bound = fct_lower_bound_nanos(r.bytes, 10_000_000_000, 20_000);
+        assert!(
+            r.fct_nanos() >= bound,
+            "flow {} of {} B finished in {} ns, below the physical bound {} ns",
+            r.flow_id,
+            r.bytes,
+            r.fct_nanos(),
+            bound
+        );
+    }
+}
+
+#[test]
+fn lossless_runs_have_no_retransmissions() {
+    // Ample buffers and ECN: nothing should ever be retransmitted.
+    let mut e = Experiment::dumbbell(4, 2).marking(MarkingConfig::Pmsb {
+        port_threshold_pkts: 12,
+    });
+    for s in 0..4 {
+        e.add_flow(FlowDesc::bulk(s, 4, s % 2, 2_000_000));
+    }
+    let res = e.run_for_millis(200);
+    assert_eq!(res.drops, 0);
+    for (flow, st) in &res.sender_stats {
+        assert_eq!(
+            st.retransmissions, 0,
+            "flow {flow} retransmitted without loss: {st:?}"
+        );
+        assert_eq!(st.timeouts, 0, "flow {flow} timed out without loss");
+    }
+}
+
+#[test]
+fn aggregate_wire_throughput_never_exceeds_link_rate() {
+    let mut e = Experiment::dumbbell(6, 2)
+        .marking(MarkingConfig::Pmsb {
+            port_threshold_pkts: 12,
+        })
+        .watch_bottleneck(100_000);
+    for s in 0..6 {
+        e.add_flow(FlowDesc::long_lived(s, 6, s % 2));
+    }
+    let res = e.run_for_millis(30);
+    let trace = &res.port_traces[&(0, 6)];
+    // One packet can be credited entirely to the bin its dequeue lands
+    // in, so a bin may exceed line rate by up to one MTU per bin width.
+    let slack = 1500.0 * 8.0 / 100e-6 / 1e9; // 0.12 Gbps at 100 us bins
+    for q in 0..2 {
+        for g in trace.queue_throughput[q].gbps() {
+            assert!(g <= 10.0 + slack, "queue {q} bin exceeded line rate: {g}");
+        }
+    }
+    let totals: Vec<f64> = {
+        let a = trace.queue_throughput[0].gbps();
+        let b = trace.queue_throughput[1].gbps();
+        (0..a.len().max(b.len()))
+            .map(|i| a.get(i).copied().unwrap_or(0.0) + b.get(i).copied().unwrap_or(0.0))
+            .collect()
+    };
+    for t in totals {
+        assert!(t <= 10.0 + slack, "port bin exceeded line rate: {t}");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Any random small flow set on a dumbbell completes, with no drops
+    /// under PMSB's shallow marking, and respects the physics bound.
+    #[test]
+    fn random_flow_sets_complete(
+        sizes in proptest::collection::vec(1_000_u64..300_000, 1..8),
+        seed_starts in proptest::collection::vec(0_u64..5_000_000, 1..8),
+    ) {
+        let n = sizes.len().min(seed_starts.len());
+        let mut e = Experiment::dumbbell(4, 2).marking(MarkingConfig::Pmsb {
+            port_threshold_pkts: 12,
+        });
+        for i in 0..n {
+            e.add_flow(
+                FlowDesc::bulk(i % 4, 4, i % 2, sizes[i]).starting_at(seed_starts[i]),
+            );
+        }
+        let res = e.run_for_millis(200);
+        prop_assert_eq!(res.fct.len(), n, "all flows must complete");
+        for r in res.fct.records() {
+            let bound = fct_lower_bound_nanos(r.bytes, 10_000_000_000, 20_000);
+            prop_assert!(r.fct_nanos() >= bound);
+        }
+    }
+}

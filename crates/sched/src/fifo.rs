@@ -1,0 +1,64 @@
+//! Single-queue FIFO "scheduling" (host NICs, single-service ports).
+
+use crate::{QueueState, Scheduler};
+
+/// A degenerate one-queue policy: first in, first out.
+///
+/// # Example
+///
+/// ```
+/// use pmsb_sched::{Fifo, Scheduler};
+///
+/// let f = Fifo::new();
+/// assert_eq!(f.num_queues(), 1);
+/// assert_eq!(f.round_time_nanos(), None);
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Fifo;
+
+impl Fifo {
+    /// Creates the policy.
+    pub fn new() -> Self {
+        Fifo
+    }
+}
+
+impl Scheduler for Fifo {
+    fn num_queues(&self) -> usize {
+        1
+    }
+
+    fn on_enqueue(&mut self, _q: usize, _bytes: u64, _now_nanos: u64) {}
+
+    fn select(&mut self, state: &QueueState<'_>, _now_nanos: u64) -> Option<usize> {
+        state.is_active(0).then_some(0)
+    }
+
+    fn on_dequeue(&mut self, _q: usize, _bytes: u64, _now_nanos: u64) {}
+
+    fn weights(&self) -> Vec<u64> {
+        vec![1]
+    }
+
+    fn name(&self) -> &'static str {
+        "fifo"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::B;
+    use crate::MultiQueue;
+
+    #[test]
+    fn serves_in_arrival_order() {
+        let mut mq = MultiQueue::new(Box::new(Fifo::new()), u64::MAX);
+        for i in 1..=5u64 {
+            mq.enqueue(0, B(i), 0).unwrap();
+        }
+        for i in 1..=5u64 {
+            assert_eq!(mq.dequeue(i).unwrap().1, B(i));
+        }
+    }
+}

@@ -1,0 +1,174 @@
+//! Smoothed round-time estimation for round-based schedulers.
+//!
+//! MQ-ECN's dynamic threshold (Eq. 3 of the paper) divides each queue's
+//! quantum by `T_round`, the smoothed time the scheduler takes to serve all
+//! queues once. Following the MQ-ECN paper's setting (adopted by the PMSB
+//! evaluation): exponential smoothing with `β = 0.75`, and a reset when the
+//! port has been idle longer than `T_idle` (one MTU's transmission time) —
+//! an idle port has no meaningful round, and resetting to zero makes MQ-ECN
+//! fall back to the standard threshold (full throughput for a fresh flow).
+
+/// Exponentially smoothed round-time tracker.
+///
+/// Fed by the scheduler: [`RoundTimeEstimator::on_round_complete`] whenever
+/// the service pointer wraps, [`RoundTimeEstimator::on_enqueue`] on every
+/// arrival (to detect idle gaps). [`RoundTimeEstimator::smoothed_nanos`]
+/// yields the current estimate.
+///
+/// # Example
+///
+/// ```
+/// use pmsb_sched::RoundTimeEstimator;
+///
+/// let mut est = RoundTimeEstimator::new(0.75, 1_200);
+/// est.on_round_complete(0, 10_000);      // first sample adopted directly
+/// assert_eq!(est.smoothed_nanos(), 10_000);
+/// est.on_round_complete(10_000, 30_000); // 0.75*10000 + 0.25*20000
+/// assert_eq!(est.smoothed_nanos(), 12_500);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct RoundTimeEstimator {
+    beta: f64,
+    t_idle_nanos: u64,
+    smoothed_nanos: f64,
+    has_sample: bool,
+    last_activity_nanos: u64,
+}
+
+impl RoundTimeEstimator {
+    /// Creates an estimator with smoothing factor `beta` (weight on
+    /// history) and idle-reset gap `t_idle_nanos`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 <= beta < 1`.
+    pub fn new(beta: f64, t_idle_nanos: u64) -> Self {
+        assert!(
+            (0.0..1.0).contains(&beta),
+            "beta must be in [0,1), got {beta}"
+        );
+        RoundTimeEstimator {
+            beta,
+            t_idle_nanos,
+            smoothed_nanos: 0.0,
+            has_sample: false,
+            last_activity_nanos: 0,
+        }
+    }
+
+    /// The paper's configuration: `β = 0.75`, `T_idle` = the transmission
+    /// time of one MTU on the given link.
+    pub fn paper_default(mtu_bytes: u64, link_rate_bps: u64) -> Self {
+        let t_idle = (mtu_bytes as f64 * 8.0 / link_rate_bps as f64 * 1e9).round() as u64;
+        RoundTimeEstimator::new(0.75, t_idle.max(1))
+    }
+
+    /// Records a completed round that started at `start_nanos` and ended at
+    /// `end_nanos`.
+    pub fn on_round_complete(&mut self, start_nanos: u64, end_nanos: u64) {
+        let sample = end_nanos.saturating_sub(start_nanos) as f64;
+        if self.has_sample {
+            self.smoothed_nanos = self.beta * self.smoothed_nanos + (1.0 - self.beta) * sample;
+        } else {
+            self.smoothed_nanos = sample;
+            self.has_sample = true;
+        }
+        self.last_activity_nanos = end_nanos;
+    }
+
+    /// Notes port activity at `now_nanos`; a gap longer than `T_idle`
+    /// since the last activity resets the estimate (idle port ⇒ no round).
+    pub fn on_enqueue(&mut self, now_nanos: u64) {
+        if self.has_sample && now_nanos.saturating_sub(self.last_activity_nanos) > self.t_idle_nanos
+        {
+            self.reset();
+        }
+        self.last_activity_nanos = now_nanos;
+    }
+
+    /// Clears the estimate back to "no round observed".
+    pub fn reset(&mut self) {
+        self.smoothed_nanos = 0.0;
+        self.has_sample = false;
+    }
+
+    /// The smoothed round time in nanoseconds (0 until the first sample,
+    /// which MQ-ECN interprets as "use the standard threshold").
+    pub fn smoothed_nanos(&self) -> u64 {
+        self.smoothed_nanos.round() as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn first_sample_adopted() {
+        let mut e = RoundTimeEstimator::new(0.75, 100);
+        assert_eq!(e.smoothed_nanos(), 0);
+        e.on_round_complete(50, 150);
+        assert_eq!(e.smoothed_nanos(), 100);
+    }
+
+    #[test]
+    fn ewma_converges_to_constant_rounds() {
+        let mut e = RoundTimeEstimator::new(0.75, 1_000_000);
+        let mut t = 0;
+        for _ in 0..100 {
+            e.on_round_complete(t, t + 500);
+            t += 500;
+        }
+        assert!((e.smoothed_nanos() as i64 - 500).abs() <= 1);
+    }
+
+    #[test]
+    fn idle_gap_resets() {
+        let mut e = RoundTimeEstimator::new(0.75, 1_200);
+        e.on_round_complete(0, 1_000);
+        assert!(e.smoothed_nanos() > 0);
+        // Arrival within T_idle: estimate kept.
+        e.on_enqueue(2_000);
+        assert!(e.smoothed_nanos() > 0);
+        // Arrival after a long idle gap: reset.
+        e.on_enqueue(10_000);
+        assert_eq!(e.smoothed_nanos(), 0);
+    }
+
+    #[test]
+    fn paper_default_t_idle_is_mtu_time() {
+        // 1500 B at 10 Gbps = 1200 ns.
+        let e = RoundTimeEstimator::paper_default(1500, 10_000_000_000);
+        let mut e2 = e.clone();
+        e2.on_round_complete(0, 100);
+        e2.on_enqueue(100 + 1200); // exactly T_idle: no reset
+        assert_eq!(e2.smoothed_nanos(), 100);
+        e2.on_enqueue(100 + 1200 + 1201 + 1); // beyond: reset
+        assert_eq!(e2.smoothed_nanos(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "beta")]
+    fn rejects_bad_beta() {
+        RoundTimeEstimator::new(1.0, 100);
+    }
+
+    proptest! {
+        /// The estimate stays within the min/max of the samples seen since
+        /// the last reset.
+        #[test]
+        fn estimate_within_sample_range(samples in proptest::collection::vec(1_u64..100_000, 1..50)) {
+            let mut e = RoundTimeEstimator::new(0.75, u64::MAX);
+            let mut t = 0;
+            for s in &samples {
+                e.on_round_complete(t, t + s);
+                t += s;
+            }
+            let lo = *samples.iter().min().unwrap();
+            let hi = *samples.iter().max().unwrap();
+            let got = e.smoothed_nanos();
+            prop_assert!(got >= lo.saturating_sub(1) && got <= hi + 1, "{got} not in [{lo},{hi}]");
+        }
+    }
+}

@@ -1,0 +1,100 @@
+//! Strict-priority scheduling.
+
+use crate::{QueueState, Scheduler};
+
+/// Strict Priority (SP): the lowest-indexed non-empty queue always
+/// transmits; queue 0 is the highest priority.
+///
+/// SP has no round concept, so [`Scheduler::round_time_nanos`] is `None` —
+/// MQ-ECN cannot run on it (Table I of the paper), while PMSB and TCN can.
+///
+/// # Example
+///
+/// ```
+/// use pmsb_sched::{Scheduler, StrictPriority};
+///
+/// let sp = StrictPriority::new(3);
+/// assert_eq!(sp.num_queues(), 3);
+/// assert_eq!(sp.round_time_nanos(), None); // not round-based
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StrictPriority {
+    num_queues: usize,
+}
+
+impl StrictPriority {
+    /// Creates the policy over `num_queues` queues, highest priority first.
+    pub fn new(num_queues: usize) -> Self {
+        StrictPriority { num_queues }
+    }
+}
+
+impl Scheduler for StrictPriority {
+    fn num_queues(&self) -> usize {
+        self.num_queues
+    }
+
+    fn on_enqueue(&mut self, _q: usize, _bytes: u64, _now_nanos: u64) {}
+
+    fn select(&mut self, state: &QueueState<'_>, _now_nanos: u64) -> Option<usize> {
+        (0..self.num_queues).find(|q| state.is_active(*q))
+    }
+
+    fn on_dequeue(&mut self, _q: usize, _bytes: u64, _now_nanos: u64) {}
+
+    fn weights(&self) -> Vec<u64> {
+        vec![1; self.num_queues]
+    }
+
+    fn name(&self) -> &'static str {
+        "sp"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::B;
+    use crate::MultiQueue;
+    use proptest::prelude::*;
+
+    #[test]
+    fn highest_priority_first() {
+        let mut mq = MultiQueue::new(Box::new(StrictPriority::new(3)), u64::MAX);
+        mq.enqueue(2, B(1), 0).unwrap();
+        mq.enqueue(0, B(2), 0).unwrap();
+        mq.enqueue(1, B(3), 0).unwrap();
+        assert_eq!(mq.dequeue(1).unwrap().0, 0);
+        assert_eq!(mq.dequeue(2).unwrap().0, 1);
+        assert_eq!(mq.dequeue(3).unwrap().0, 2);
+    }
+
+    #[test]
+    fn low_priority_starves_under_backlog() {
+        let mut mq = MultiQueue::new(Box::new(StrictPriority::new(2)), u64::MAX);
+        for _ in 0..100 {
+            mq.enqueue(0, B(10), 0).unwrap();
+        }
+        mq.enqueue(1, B(10), 0).unwrap();
+        for _ in 0..100 {
+            assert_eq!(mq.dequeue(0).unwrap().0, 0, "queue 1 must starve");
+        }
+        assert_eq!(mq.dequeue(0).unwrap().0, 1);
+    }
+
+    proptest! {
+        /// SP always serves the minimum non-empty index.
+        #[test]
+        fn serves_minimum_active(active in proptest::collection::vec(any::<bool>(), 1..8)) {
+            prop_assume!(active.iter().any(|a| *a));
+            let mut mq = MultiQueue::new(Box::new(StrictPriority::new(active.len())), u64::MAX);
+            for (q, a) in active.iter().enumerate() {
+                if *a {
+                    mq.enqueue(q, B(1), 0).unwrap();
+                }
+            }
+            let expect = active.iter().position(|a| *a).unwrap();
+            prop_assert_eq!(mq.dequeue(1).unwrap().0, expect);
+        }
+    }
+}

@@ -1,0 +1,210 @@
+//! Weighted Fair Queueing via the start-time fair queueing virtual clock.
+
+use std::collections::VecDeque;
+
+use crate::{QueueState, Scheduler};
+
+/// WFQ: each packet gets a virtual *start tag*
+/// `S = max(v, F_queue)` and *finish tag* `F = S + len / weight` at
+/// enqueue; the scheduler always transmits the packet with the smallest
+/// start tag and advances the virtual clock `v` to it (Start-time Fair
+/// Queueing, Goyal et al. — the standard practical WFQ realization).
+///
+/// WFQ has **no round concept** ([`Scheduler::round_time_nanos`] is
+/// `None`), which is exactly why MQ-ECN cannot run on it while PMSB and
+/// TCN can (Table I, and the paper's Figs. 22–27 exclude MQ-ECN under
+/// WFQ).
+///
+/// # Example
+///
+/// ```
+/// use pmsb_sched::{Scheduler, Wfq};
+///
+/// let w = Wfq::new(vec![1, 1]);
+/// assert_eq!(w.round_time_nanos(), None); // not round-based
+/// ```
+#[derive(Debug)]
+pub struct Wfq {
+    weights: Vec<u64>,
+    /// Per-queue FIFO of start tags, parallel to the MultiQueue contents.
+    start_tags: Vec<VecDeque<f64>>,
+    /// Finish tag of the most recently enqueued packet, per queue.
+    last_finish: Vec<f64>,
+    vtime: f64,
+}
+
+impl Wfq {
+    /// Creates the policy with per-queue weights.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `weights` is empty or any weight is zero.
+    pub fn new(weights: Vec<u64>) -> Self {
+        assert!(
+            !weights.is_empty() && weights.iter().all(|w| *w > 0),
+            "WFQ weights must be positive"
+        );
+        let n = weights.len();
+        Wfq {
+            weights,
+            start_tags: (0..n).map(|_| VecDeque::new()).collect(),
+            last_finish: vec![0.0; n],
+            vtime: 0.0,
+        }
+    }
+
+    /// The current virtual time (for tests/diagnostics).
+    pub fn vtime(&self) -> f64 {
+        self.vtime
+    }
+}
+
+impl Scheduler for Wfq {
+    fn num_queues(&self) -> usize {
+        self.weights.len()
+    }
+
+    fn on_enqueue(&mut self, q: usize, bytes: u64, _now_nanos: u64) {
+        let start = self.vtime.max(self.last_finish[q]);
+        let finish = start + bytes as f64 / self.weights[q] as f64;
+        self.start_tags[q].push_back(start);
+        self.last_finish[q] = finish;
+    }
+
+    fn select(&mut self, state: &QueueState<'_>, _now_nanos: u64) -> Option<usize> {
+        let mut best: Option<(usize, f64)> = None;
+        for q in 0..self.weights.len() {
+            if !state.is_active(q) {
+                continue;
+            }
+            let s = *self.start_tags[q]
+                .front()
+                .expect("tag queue out of sync with packet queue");
+            match best {
+                Some((_, bs)) if bs <= s => {}
+                _ => best = Some((q, s)),
+            }
+        }
+        if let Some((q, s)) = best {
+            self.vtime = self.vtime.max(s);
+            Some(q)
+        } else {
+            None
+        }
+    }
+
+    fn on_dequeue(&mut self, q: usize, _bytes: u64, _now_nanos: u64) {
+        self.start_tags[q]
+            .pop_front()
+            .expect("dequeue from queue with no tags");
+    }
+
+    fn weights(&self) -> Vec<u64> {
+        self.weights.clone()
+    }
+
+    fn name(&self) -> &'static str {
+        "wfq"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::{served_under_backlog, B};
+    use crate::MultiQueue;
+    use proptest::prelude::*;
+
+    #[test]
+    fn equal_weights_alternate() {
+        let mut mq = MultiQueue::new(Box::new(Wfq::new(vec![1, 1])), u64::MAX);
+        for _ in 0..4 {
+            mq.enqueue(0, B(1000), 0).unwrap();
+            mq.enqueue(1, B(1000), 0).unwrap();
+        }
+        let mut served = [0u64; 2];
+        for t in 0..8 {
+            served[mq.dequeue(t).unwrap().0] += 1000;
+        }
+        assert_eq!(served[0], served[1]);
+    }
+
+    #[test]
+    fn work_conserving_when_one_queue_idle() {
+        let mut mq = MultiQueue::new(Box::new(Wfq::new(vec![1, 1])), u64::MAX);
+        for _ in 0..5 {
+            mq.enqueue(1, B(500), 0).unwrap();
+        }
+        for t in 0..5 {
+            assert_eq!(mq.dequeue(t).unwrap().0, 1);
+        }
+    }
+
+    #[test]
+    fn newly_active_queue_not_starved_and_not_overcompensated() {
+        // Queue 1 transmits alone for a while; when queue 0 wakes up it
+        // must get its fair share going forward, not claim "missed" service
+        // retroactively.
+        let mut mq = MultiQueue::new(Box::new(Wfq::new(vec![1, 1])), u64::MAX);
+        let mut now = 0;
+        for _ in 0..50 {
+            mq.enqueue(1, B(1000), now).unwrap();
+        }
+        for _ in 0..40 {
+            let (q, item) = mq.dequeue(now).unwrap();
+            assert_eq!(q, 1);
+            now += item.0;
+        }
+        // Queue 0 becomes active.
+        for _ in 0..20 {
+            mq.enqueue(0, B(1000), now).unwrap();
+        }
+        let mut served = [0u64; 2];
+        for _ in 0..20 {
+            let (q, item) = mq.dequeue(now).unwrap();
+            served[q] += item.0;
+            now += item.0;
+        }
+        // Fair from-now-on: close to a 10/10 split (tie-breaks may hand the
+        // waking queue up to two extra packets).
+        assert!((served[0] as i64 - served[1] as i64).abs() <= 2000);
+    }
+
+    #[test]
+    fn byte_fair_with_mixed_packet_sizes() {
+        let mut mq = MultiQueue::new(Box::new(Wfq::new(vec![1, 1])), u64::MAX);
+        let mut now = 0u64;
+        for _ in 0..500 {
+            mq.enqueue(0, B(300), now).unwrap();
+        }
+        for _ in 0..100 {
+            mq.enqueue(1, B(1500), now).unwrap();
+        }
+        let mut served = [0u64; 2];
+        for _ in 0..400 {
+            let Some((q, item)) = mq.dequeue(now) else {
+                break;
+            };
+            served[q] += item.0;
+            now += item.0;
+            let _ = mq.enqueue(q, item, now);
+        }
+        let ratio = served[0] as f64 / served[1] as f64;
+        assert!((ratio - 1.0).abs() < 0.05, "byte ratio {ratio}");
+    }
+
+    proptest! {
+        /// Under permanent backlog, byte service is proportional to weight.
+        #[test]
+        fn proportional_service(weights in proptest::collection::vec(1_u64..8, 2..5)) {
+            let served = served_under_backlog(Box::new(Wfq::new(weights.clone())), 1500, 6000);
+            let total: u64 = served.iter().sum();
+            let wsum: u64 = weights.iter().sum();
+            for (q, w) in weights.iter().enumerate() {
+                let got = served[q] as f64 / total as f64;
+                let want = *w as f64 / wsum as f64;
+                prop_assert!((got - want).abs() < 0.05, "queue {q}: {got} vs {want}");
+            }
+        }
+    }
+}

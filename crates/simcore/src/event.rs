@@ -1,0 +1,259 @@
+//! The future-event list and simulation driver.
+//!
+//! [`EventQueue`] is a priority queue ordered by event time with ties broken
+//! by insertion order, which makes runs fully deterministic: two simulations
+//! that schedule the same events in the same order execute them identically.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::{EventHandler, SimTime};
+
+struct Scheduled<E> {
+    at: SimTime,
+    seq: u64,
+    event: E,
+}
+
+impl<E> PartialEq for Scheduled<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<E> Eq for Scheduled<E> {}
+impl<E> PartialOrd for Scheduled<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<E> Ord for Scheduled<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert so the earliest (time, seq) pops
+        // first.
+        other
+            .at
+            .cmp(&self.at)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// A deterministic future-event list.
+///
+/// Events pop in nondecreasing time order; events scheduled for the same
+/// instant pop in the order they were pushed (FIFO), never arbitrarily.
+///
+/// # Example
+///
+/// ```
+/// use pmsb_simcore::{EventQueue, SimTime};
+///
+/// let mut q = EventQueue::new();
+/// q.push(SimTime::from_nanos(10), 'b');
+/// q.push(SimTime::from_nanos(10), 'c');
+/// q.push(SimTime::from_nanos(5), 'a');
+/// let order: Vec<char> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+/// assert_eq!(order, vec!['a', 'b', 'c']);
+/// ```
+#[derive(Default)]
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Scheduled<E>>,
+    next_seq: u64,
+    now: SimTime,
+}
+
+impl<E> EventQueue<E> {
+    /// Creates an empty queue with the clock at [`SimTime::ZERO`].
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+            now: SimTime::ZERO,
+        }
+    }
+
+    /// Schedules `event` to occur at absolute time `at`.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds when scheduling into the past — that is always
+    /// a logic error in the model.
+    pub fn push(&mut self, at: SimTime, event: E) {
+        debug_assert!(
+            at >= self.now,
+            "scheduling into the past: at={at} now={}",
+            self.now
+        );
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Scheduled { at, seq, event });
+    }
+
+    /// Removes and returns the earliest event, advancing the clock to its
+    /// timestamp. Returns `None` when the queue is empty.
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        let s = self.heap.pop()?;
+        self.now = s.at;
+        Some((s.at, s.event))
+    }
+
+    /// The time of the earliest pending event, if any.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|s| s.at)
+    }
+
+    /// The current simulation clock: the timestamp of the last popped event.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// `true` if no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Total number of events ever scheduled (a cheap progress/complexity
+    /// counter for benchmarks).
+    pub fn scheduled_count(&self) -> u64 {
+        self.next_seq
+    }
+}
+
+impl<E> std::fmt::Debug for EventQueue<E> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EventQueue")
+            .field("pending", &self.heap.len())
+            .field("now", &self.now)
+            .finish()
+    }
+}
+
+/// Drives an [`EventHandler`] until a deadline or event exhaustion.
+///
+/// # Example
+///
+/// ```
+/// use pmsb_simcore::{EventHandler, EventQueue, Simulation, SimDuration, SimTime};
+///
+/// struct Counter(u32);
+/// impl EventHandler for Counter {
+///     type Event = ();
+///     fn handle(&mut self, now: SimTime, _: (), q: &mut EventQueue<()>) {
+///         self.0 += 1;
+///         if self.0 < 10 {
+///             q.push(now + SimDuration::from_micros(1), ());
+///         }
+///     }
+/// }
+///
+/// let mut sim = Simulation::new(Counter(0));
+/// sim.queue.push(SimTime::ZERO, ());
+/// sim.run_until(SimTime::from_nanos(u64::MAX));
+/// assert_eq!(sim.handler.0, 10);
+/// ```
+pub struct Simulation<H: EventHandler> {
+    /// The model being simulated.
+    pub handler: H,
+    /// The future-event list.
+    pub queue: EventQueue<H::Event>,
+}
+
+impl<H: EventHandler> Simulation<H> {
+    /// Creates a simulation around `handler` with an empty event queue.
+    pub fn new(handler: H) -> Self {
+        Simulation {
+            handler,
+            queue: EventQueue::new(),
+        }
+    }
+
+    /// Runs until the queue drains or the next event is strictly after
+    /// `deadline`. Returns the number of events processed.
+    pub fn run_until(&mut self, deadline: SimTime) -> u64 {
+        let mut processed = 0;
+        while let Some(at) = self.queue.peek_time() {
+            if at > deadline {
+                break;
+            }
+            let (now, ev) = self.queue.pop().expect("peeked event must pop");
+            self.handler.handle(now, ev, &mut self.queue);
+            processed += 1;
+        }
+        processed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SimDuration;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.push(SimTime::from_nanos(30), 3);
+        q.push(SimTime::from_nanos(10), 1);
+        q.push(SimTime::from_nanos(20), 2);
+        assert_eq!(q.pop().unwrap().1, 1);
+        assert_eq!(q.pop().unwrap().1, 2);
+        assert_eq!(q.pop().unwrap().1, 3);
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn ties_break_fifo() {
+        let mut q = EventQueue::new();
+        let t = SimTime::from_nanos(7);
+        for i in 0..100 {
+            q.push(t, i);
+        }
+        for i in 0..100 {
+            assert_eq!(q.pop().unwrap().1, i);
+        }
+    }
+
+    #[test]
+    fn clock_advances_on_pop() {
+        let mut q = EventQueue::new();
+        q.push(SimTime::from_nanos(42), ());
+        assert_eq!(q.now(), SimTime::ZERO);
+        q.pop();
+        assert_eq!(q.now(), SimTime::from_nanos(42));
+    }
+
+    #[test]
+    #[should_panic(expected = "scheduling into the past")]
+    fn rejects_past_scheduling() {
+        let mut q = EventQueue::new();
+        q.push(SimTime::from_nanos(10), ());
+        q.pop();
+        q.push(SimTime::from_nanos(5), ());
+    }
+
+    #[test]
+    fn run_until_respects_deadline() {
+        struct Ticker;
+        impl EventHandler for Ticker {
+            type Event = ();
+            fn handle(&mut self, now: SimTime, _: (), q: &mut EventQueue<()>) {
+                q.push(now + SimDuration::from_micros(1), ());
+            }
+        }
+        let mut sim = Simulation::new(Ticker);
+        sim.queue.push(SimTime::ZERO, ());
+        let n = sim.run_until(SimTime::from_nanos(10_500));
+        // Events at 0, 1us, ..., 10us inclusive = 11 events.
+        assert_eq!(n, 11);
+        assert_eq!(sim.queue.peek_time(), Some(SimTime::from_nanos(11_000)));
+    }
+
+    #[test]
+    fn debug_is_nonempty() {
+        let q: EventQueue<()> = EventQueue::new();
+        assert!(!format!("{q:?}").is_empty());
+    }
+}

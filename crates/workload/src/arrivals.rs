@@ -1,0 +1,152 @@
+//! Poisson arrival processes and open-loop load calibration.
+
+use pmsb_simcore::rng::SimRng;
+
+/// The Poisson flow arrival rate (flows/second) that drives a fabric of
+/// aggregate host capacity `total_capacity_bps` at fractional `load`, for
+/// flows of `mean_flow_bytes` average size:
+/// `rate = load · C_total / (8 · E[size])`.
+///
+/// # Example
+///
+/// ```
+/// use pmsb_workload::arrival_rate_for_load;
+///
+/// // 48 hosts x 10 Gbps at 50% load, 1 MB mean flows:
+/// let r = arrival_rate_for_load(0.5, 48 * 10_000_000_000, 1_000_000.0);
+/// assert!((r - 30_000.0).abs() < 1.0);
+/// ```
+///
+/// # Panics
+///
+/// Panics if `load` is not in `(0, 1]` or `mean_flow_bytes` is not
+/// positive.
+pub fn arrival_rate_for_load(load: f64, total_capacity_bps: u64, mean_flow_bytes: f64) -> f64 {
+    assert!(
+        load > 0.0 && load <= 1.0,
+        "load must be in (0,1], got {load}"
+    );
+    assert!(
+        mean_flow_bytes.is_finite() && mean_flow_bytes > 0.0,
+        "mean flow size must be positive"
+    );
+    load * total_capacity_bps as f64 / (8.0 * mean_flow_bytes)
+}
+
+/// A Poisson (memoryless) arrival process generating flow start times.
+///
+/// # Example
+///
+/// ```
+/// use pmsb_simcore::rng::SimRng;
+/// use pmsb_workload::PoissonArrivals;
+///
+/// let mut arr = PoissonArrivals::with_rate(1_000_000.0); // 1M flows/s
+/// let mut rng = SimRng::seed_from(3);
+/// let t1 = arr.next_arrival_nanos(&mut rng);
+/// let t2 = arr.next_arrival_nanos(&mut rng);
+/// assert!(t2 > t1);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct PoissonArrivals {
+    mean_interarrival_nanos: f64,
+    clock_nanos: f64,
+}
+
+impl PoissonArrivals {
+    /// Creates a process with the given arrival rate in flows per second.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the rate is not finite and positive.
+    pub fn with_rate(flows_per_sec: f64) -> Self {
+        assert!(
+            flows_per_sec.is_finite() && flows_per_sec > 0.0,
+            "arrival rate must be positive, got {flows_per_sec}"
+        );
+        PoissonArrivals {
+            mean_interarrival_nanos: 1e9 / flows_per_sec,
+            clock_nanos: 0.0,
+        }
+    }
+
+    /// The mean inter-arrival gap in nanoseconds.
+    pub fn mean_interarrival_nanos(&self) -> f64 {
+        self.mean_interarrival_nanos
+    }
+
+    /// Draws the next arrival's absolute time in nanoseconds; successive
+    /// calls advance an internal clock (strictly increasing by at least
+    /// one nanosecond so ties never collapse).
+    pub fn next_arrival_nanos(&mut self, rng: &mut SimRng) -> u64 {
+        let gap = rng.exponential(self.mean_interarrival_nanos).max(1.0);
+        self.clock_nanos += gap;
+        self.clock_nanos.round() as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn rate_calibration_example() {
+        // At load 1.0 the offered bits equal the capacity.
+        let rate = arrival_rate_for_load(1.0, 10_000_000_000, 1_250_000.0);
+        // 10 Gbps / (8 * 1.25 MB) = 1000 flows/s.
+        assert!((rate - 1000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn arrivals_mean_matches_rate() {
+        let mut arr = PoissonArrivals::with_rate(100_000.0); // 10 us mean gap
+        let mut rng = SimRng::seed_from(9);
+        let n = 20_000;
+        let mut last = 0u64;
+        let mut total_gap = 0u64;
+        for _ in 0..n {
+            let t = arr.next_arrival_nanos(&mut rng);
+            total_gap += t - last;
+            last = t;
+        }
+        let mean = total_gap as f64 / n as f64;
+        assert!((mean - 10_000.0).abs() / 10_000.0 < 0.05, "mean gap {mean}");
+    }
+
+    #[test]
+    #[should_panic(expected = "load")]
+    fn rejects_zero_load() {
+        arrival_rate_for_load(0.0, 1, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn rejects_zero_rate() {
+        PoissonArrivals::with_rate(0.0);
+    }
+
+    proptest! {
+        /// Arrival times are strictly increasing.
+        #[test]
+        fn strictly_increasing(seed in 0_u64..500, rate in 1.0_f64..1e9) {
+            let mut arr = PoissonArrivals::with_rate(rate);
+            let mut rng = SimRng::seed_from(seed);
+            let mut last = 0u64;
+            for _ in 0..100 {
+                let t = arr.next_arrival_nanos(&mut rng);
+                prop_assert!(t > last || (t == last && last == 0) || t >= last);
+                prop_assert!(t >= last);
+                last = t;
+            }
+        }
+
+        /// Higher load gives a proportionally higher rate.
+        #[test]
+        fn rate_linear_in_load(load in 0.01_f64..0.5) {
+            let r1 = arrival_rate_for_load(load, 1_000_000_000, 10_000.0);
+            let r2 = arrival_rate_for_load(load * 2.0, 1_000_000_000, 10_000.0);
+            prop_assert!((r2 - 2.0 * r1).abs() < 1e-6 * r1);
+        }
+    }
+}

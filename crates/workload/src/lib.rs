@@ -1,0 +1,38 @@
+#![warn(missing_docs)]
+
+//! Synthetic datacenter workloads for the PMSB experiments.
+//!
+//! The paper's large-scale evaluation uses Poisson flow arrivals over a
+//! 48-host leaf–spine fabric with flows drawn from a mix of 60% small,
+//! 30% medium and 10% large flows, spread evenly over 8 services. This
+//! crate generates the closest synthetic equivalent:
+//!
+//! * [`size`] — flow-size distributions: the paper's mix
+//!   ([`size::PaperMix`]) plus the standard web-search and data-mining
+//!   empirical CDFs for extension experiments,
+//! * [`arrivals`] — Poisson arrival processes with open-loop load
+//!   calibration,
+//! * [`traffic`] — full traffic matrices: who talks to whom, in which
+//!   service class, when, and how much.
+//!
+//! # Example
+//!
+//! ```
+//! use pmsb_simcore::rng::SimRng;
+//! use pmsb_workload::traffic::TrafficSpec;
+//!
+//! let mut rng = SimRng::seed_from(1);
+//! let spec = TrafficSpec::paper_large_scale(48, 0.5);
+//! let flows = spec.generate(200, &mut rng);
+//! assert_eq!(flows.len(), 200);
+//! assert!(flows.iter().all(|f| f.src_host != f.dst_host));
+//! assert!(flows.iter().all(|f| f.service < 8));
+//! ```
+
+pub mod arrivals;
+pub mod size;
+pub mod traffic;
+
+pub use arrivals::{arrival_rate_for_load, PoissonArrivals};
+pub use size::{DataMining, FlowSizeDist, PaperMix, WebSearch};
+pub use traffic::{FlowSpec, TrafficSpec};

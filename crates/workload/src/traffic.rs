@@ -1,0 +1,186 @@
+//! Traffic matrices: complete flow schedules for an experiment.
+
+use pmsb_simcore::rng::SimRng;
+
+use crate::arrivals::{arrival_rate_for_load, PoissonArrivals};
+use crate::size::{FlowSizeDist, PaperMix};
+
+/// One flow to inject: who, when, how much, and which service class.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FlowSpec {
+    /// Unique flow identifier.
+    pub flow_id: u64,
+    /// Sending host index.
+    pub src_host: usize,
+    /// Receiving host index (never equal to `src_host`).
+    pub dst_host: usize,
+    /// Service class in `[0, num_services)`; switches map it to a queue.
+    pub service: usize,
+    /// Flow size in bytes.
+    pub size_bytes: u64,
+    /// Absolute start time in nanoseconds.
+    pub start_nanos: u64,
+}
+
+/// Parameters of a randomized all-to-all workload — the paper's §VI-B
+/// setup as a reusable generator.
+#[derive(Debug)]
+pub struct TrafficSpec {
+    num_hosts: usize,
+    num_services: usize,
+    size_dist: Box<dyn FlowSizeDist>,
+    arrival_rate_per_sec: f64,
+}
+
+impl TrafficSpec {
+    /// Creates a spec from explicit parts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if fewer than two hosts, zero services, or a non-positive
+    /// arrival rate.
+    pub fn new(
+        num_hosts: usize,
+        num_services: usize,
+        size_dist: Box<dyn FlowSizeDist>,
+        arrival_rate_per_sec: f64,
+    ) -> Self {
+        assert!(num_hosts >= 2, "traffic needs at least two hosts");
+        assert!(num_services >= 1, "need at least one service class");
+        assert!(
+            arrival_rate_per_sec.is_finite() && arrival_rate_per_sec > 0.0,
+            "arrival rate must be positive"
+        );
+        TrafficSpec {
+            num_hosts,
+            num_services,
+            size_dist,
+            arrival_rate_per_sec,
+        }
+    }
+
+    /// The paper's large-scale workload: `num_hosts` hosts at 10 Gbps
+    /// each, 8 services, the 60/30/10 size mix, and Poisson arrivals
+    /// calibrated to the given fractional `load`.
+    pub fn paper_large_scale(num_hosts: usize, load: f64) -> Self {
+        let dist = PaperMix::new();
+        let cap = num_hosts as u64 * 10_000_000_000;
+        let rate = arrival_rate_for_load(load, cap, dist.mean_bytes());
+        TrafficSpec::new(num_hosts, 8, Box::new(dist), rate)
+    }
+
+    /// The configured arrival rate in flows per second.
+    pub fn arrival_rate_per_sec(&self) -> f64 {
+        self.arrival_rate_per_sec
+    }
+
+    /// The flow-size distribution.
+    pub fn size_dist(&self) -> &dyn FlowSizeDist {
+        self.size_dist.as_ref()
+    }
+
+    /// Generates `num_flows` flows: Poisson start times, uniform random
+    /// source/destination pairs (src ≠ dst), sizes from the distribution,
+    /// services assigned uniformly.
+    pub fn generate(&self, num_flows: usize, rng: &mut SimRng) -> Vec<FlowSpec> {
+        let mut arrivals = PoissonArrivals::with_rate(self.arrival_rate_per_sec);
+        (0..num_flows)
+            .map(|i| {
+                let start_nanos = arrivals.next_arrival_nanos(rng);
+                let src_host = rng.below(self.num_hosts);
+                let mut dst_host = rng.below(self.num_hosts - 1);
+                if dst_host >= src_host {
+                    dst_host += 1;
+                }
+                FlowSpec {
+                    flow_id: i as u64,
+                    src_host,
+                    dst_host,
+                    service: rng.below(self.num_services),
+                    size_bytes: self.size_dist.sample(rng),
+                    start_nanos,
+                }
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn generates_valid_flows() {
+        let spec = TrafficSpec::paper_large_scale(48, 0.5);
+        let mut rng = SimRng::seed_from(1);
+        let flows = spec.generate(500, &mut rng);
+        assert_eq!(flows.len(), 500);
+        for f in &flows {
+            assert!(f.src_host < 48);
+            assert!(f.dst_host < 48);
+            assert_ne!(f.src_host, f.dst_host);
+            assert!(f.service < 8);
+            assert!(f.size_bytes >= 1_000);
+        }
+        // Start times non-decreasing and flow ids unique.
+        assert!(flows
+            .windows(2)
+            .all(|w| w[0].start_nanos <= w[1].start_nanos));
+    }
+
+    #[test]
+    fn services_spread_evenly() {
+        let spec = TrafficSpec::paper_large_scale(48, 0.5);
+        let mut rng = SimRng::seed_from(2);
+        let flows = spec.generate(16_000, &mut rng);
+        let mut counts = [0usize; 8];
+        for f in &flows {
+            counts[f.service] += 1;
+        }
+        for c in counts {
+            let frac = c as f64 / 16_000.0;
+            assert!((frac - 0.125).abs() < 0.02, "service fraction {frac}");
+        }
+    }
+
+    #[test]
+    fn deterministic_under_same_seed() {
+        let spec = TrafficSpec::paper_large_scale(16, 0.3);
+        let a = spec.generate(100, &mut SimRng::seed_from(42));
+        let b = spec.generate(100, &mut SimRng::seed_from(42));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn load_scales_arrival_density() {
+        let lo = TrafficSpec::paper_large_scale(48, 0.1);
+        let hi = TrafficSpec::paper_large_scale(48, 0.8);
+        let mut rng = SimRng::seed_from(3);
+        let span = |flows: &[FlowSpec]| flows.last().unwrap().start_nanos;
+        let t_lo = span(&lo.generate(2000, &mut rng));
+        let t_hi = span(&hi.generate(2000, &mut rng));
+        // Same flow count at 8x the rate finishes arriving ~8x sooner.
+        let ratio = t_lo as f64 / t_hi as f64;
+        assert!((ratio - 8.0).abs() < 1.0, "ratio {ratio}");
+    }
+
+    #[test]
+    #[should_panic(expected = "two hosts")]
+    fn rejects_single_host() {
+        TrafficSpec::new(1, 8, Box::new(PaperMix::new()), 100.0);
+    }
+
+    proptest! {
+        /// src != dst always holds and both are in range.
+        #[test]
+        fn pairs_valid(seed in 0_u64..200, hosts in 2_usize..64) {
+            let spec = TrafficSpec::new(hosts, 4, Box::new(PaperMix::new()), 1000.0);
+            let flows = spec.generate(50, &mut SimRng::seed_from(seed));
+            for f in flows {
+                prop_assert!(f.src_host < hosts && f.dst_host < hosts);
+                prop_assert_ne!(f.src_host, f.dst_host);
+            }
+        }
+    }
+}

@@ -1,0 +1,75 @@
+//! Using the `pmsb` core library directly — no simulator.
+//!
+//! ```sh
+//! cargo run --example selective_blindness
+//! ```
+//!
+//! The `pmsb` crate is a pure decision library: a switch implementor (or
+//! another simulator) feeds it port state and gets marking decisions. This
+//! example walks through Algorithm 1 (switch side), Algorithm 2 (PMSB(e),
+//! host side) and the Theorem IV.1 threshold derivation.
+
+use pmsb::analysis;
+use pmsb::endpoint::{BaseRttTracker, SelectiveBlindness};
+use pmsb::marking::{MarkingScheme, Pmsb};
+use pmsb::PortSnapshot;
+
+fn main() {
+    // ------------------------------------------------------------------
+    // 1. Derive thresholds from the fabric parameters (Theorem IV.1).
+    // ------------------------------------------------------------------
+    let link = 10_000_000_000; // 10 Gbps
+    let rtt = 85_200; // ns
+    let weights = vec![1u64; 8];
+    let bound_bytes = analysis::theorem_iv1_min_threshold_bytes(1, 8, link, rtt);
+    let port_threshold = analysis::pmsb_port_threshold_bytes(&weights, link, rtt, 1.0);
+    println!(
+        "per-queue lower bound : {:.0} bytes (> gamma*C*RTT/7)",
+        bound_bytes
+    );
+    println!(
+        "derived port threshold: {port_threshold} bytes (~{} pkts)\n",
+        port_threshold / 1500
+    );
+
+    // ------------------------------------------------------------------
+    // 2. Switch side: Algorithm 1 over a congested port.
+    // ------------------------------------------------------------------
+    let mut scheme = Pmsb::new(port_threshold, weights);
+    let view = PortSnapshot::builder(8)
+        .queue_bytes(0, 14 * 1500) // a hot queue
+        .queue_bytes(1, 1500) // a victim queue
+        .link_rate_bps(link)
+        .build();
+    println!("port occupancy        : {} bytes", 15 * 1500);
+    println!(
+        "queue 0 (14 pkts)     : {:?}  <- genuinely congested",
+        scheme.should_mark(&view, 0)
+    );
+    println!(
+        "queue 1 (1 pkt)       : {:?}  <- victim, selectively blind\n",
+        scheme.should_mark(&view, 1)
+    );
+
+    // ------------------------------------------------------------------
+    // 3. Host side: PMSB(e), Algorithm 2.
+    // ------------------------------------------------------------------
+    let mut base = BaseRttTracker::new();
+    for sample in [88_000u64, 86_500, 85_900, 101_000] {
+        base.observe(sample);
+    }
+    let rule = SelectiveBlindness::from_base_rtt(base.base_rtt_nanos().unwrap(), 1.2);
+    println!(
+        "base RTT              : {} ns",
+        base.base_rtt_nanos().unwrap()
+    );
+    println!("PMSB(e) threshold     : {} ns", rule.rtt_threshold_nanos());
+    println!(
+        "mark at RTT 90 us     : ignore = {}",
+        rule.ignore_mark(true, 90_000)
+    );
+    println!(
+        "mark at RTT 150 us    : ignore = {}",
+        rule.ignore_mark(true, 150_000)
+    );
+}

@@ -1,0 +1,6 @@
+#!/bin/bash
+cd /root/repo
+until grep -q "all experiments done" experiments_full.txt 2>/dev/null; do sleep 15; done
+cargo bench --workspace 2>&1 | tee /root/repo/bench_output.txt > /dev/null
+cargo test --workspace 2>&1 | tee /root/repo/test_output.txt > /dev/null
+echo FINALIZE_COMPLETE

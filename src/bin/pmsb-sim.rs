@@ -1,0 +1,254 @@
+//! `pmsb-sim` — run custom PMSB experiments from the command line.
+//!
+//! ```text
+//! pmsb-sim dumbbell --senders 8 --queues 2 --marking pmsb:12 \
+//!     --flow "0>8:0:u" --flow "1>8:1:u" --millis 50 --watch true
+//!
+//! pmsb-sim leaf-spine --load 0.5 --flows 400 --marking tcn:78200 \
+//!     --scheduler dwrr:1,1,1,1,1,1,1,1 --seed 42
+//!
+//! pmsb-sim profile --rate-gbps 10 --rtt-us 85.2 --weights 1,1,1,1,1,1,1,1
+//! ```
+//!
+//! Sub-grammars (sizes, flows, schemes, schedulers) are documented in
+//! [`pmsb_repro::cli`].
+
+use std::process::ExitCode;
+
+use pmsb::profile::PmsbProfile;
+use pmsb::MarkPoint;
+use pmsb_metrics::fct::SizeClass;
+use pmsb_netsim::experiment::{Experiment, FlowDesc};
+use pmsb_repro::cli::{
+    parse_flow, parse_marking, parse_scheduler, parse_weights, split_options, ParseError,
+};
+use pmsb_simcore::rng::SimRng;
+use pmsb_workload::traffic::TrafficSpec;
+
+const HELP: &str = "\
+pmsb-sim — PMSB datacenter ECN experiments
+
+USAGE:
+  pmsb-sim dumbbell  [--senders N] [--queues N] [--marking SPEC]
+                     [--scheduler SPEC] [--mark-point enq|deq]
+                     [--pmsbe-us X] [--rate-gbps N] [--delay-ns N]
+                     [--millis N] [--watch true] --flow SPEC [--flow SPEC ...]
+  pmsb-sim leaf-spine [--load X] [--flows N] [--seed N] [--marking SPEC]
+                     [--scheduler SPEC] [--mark-point enq|deq] [--pmsbe-us X]
+  pmsb-sim profile   --rtt-us X --weights W1,W2,... [--rate-gbps N]
+                     [--lambda X] [--margin X]
+  pmsb-sim help
+
+SPECS:
+  marking    none | pmsb:K | per-port:K | per-queue:K | per-queue-frac:K
+             | pool:K | mq-ecn:K | tcn:NANOS | red:MIN,MAX,P     (K in packets)
+  scheduler  fifo | sp:N | wrr:W,.. | dwrr:W,.. | wfq:W,.. | spwfq:G,..;W,..
+  flow       SRC>DST:SERVICE:SIZE[@START_US][/RATE_GBPS]
+             SIZE takes K/M/G suffixes or 'u' for long-lived
+";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}\n\n{HELP}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn opt<'a>(options: &'a [(String, String)], key: &str) -> Option<&'a str> {
+    options
+        .iter()
+        .rev()
+        .find(|(k, _)| k == key)
+        .map(|(_, v)| v.as_str())
+}
+
+fn opt_parse<T: std::str::FromStr>(
+    options: &[(String, String)],
+    key: &str,
+    default: T,
+) -> Result<T, ParseError> {
+    match opt(options, key) {
+        None => Ok(default),
+        Some(v) => v
+            .parse::<T>()
+            .map_err(|_| ParseError(format!("bad value for --{key}: '{v}'"))),
+    }
+}
+
+fn run(args: &[String]) -> Result<(), ParseError> {
+    let (positional, options) = split_options(args)?;
+    match positional.first().map(String::as_str) {
+        Some("dumbbell") => dumbbell(&options),
+        Some("leaf-spine") => leaf_spine(&options),
+        Some("profile") => profile(&options),
+        Some("help") | None => {
+            println!("{HELP}");
+            Ok(())
+        }
+        Some(other) => Err(ParseError(format!("unknown command '{other}'"))),
+    }
+}
+
+fn apply_common(mut e: Experiment, options: &[(String, String)]) -> Result<Experiment, ParseError> {
+    if let Some(m) = opt(options, "marking") {
+        e = e.marking(parse_marking(m)?);
+    }
+    if let Some(s) = opt(options, "scheduler") {
+        e = e.scheduler(parse_scheduler(s)?);
+    }
+    match opt(options, "mark-point") {
+        Some("enq") | None => {}
+        Some("deq") => e = e.mark_point(MarkPoint::Dequeue),
+        Some(other) => return Err(ParseError(format!("bad --mark-point '{other}'"))),
+    }
+    if let Some(us) = opt(options, "pmsbe-us") {
+        let v: f64 = us
+            .parse()
+            .map_err(|_| ParseError(format!("bad --pmsbe-us '{us}'")))?;
+        e = e.pmsbe_rtt_threshold_nanos((v * 1e3) as u64);
+    }
+    Ok(e)
+}
+
+fn report(res: &pmsb_netsim::experiment::ExperimentResult) {
+    println!("completed_flows,{}", res.fct.len());
+    println!("marks,{}", res.marks);
+    println!("drops,{}", res.drops);
+    for class in [
+        SizeClass::Small,
+        SizeClass::Medium,
+        SizeClass::Large,
+        SizeClass::Overall,
+    ] {
+        if let Some(s) = res.fct.stats(class) {
+            println!(
+                "fct_{class},n={},avg_us={:.1},p95_us={:.1},p99_us={:.1}",
+                s.count,
+                s.mean / 1e3,
+                s.p95 / 1e3,
+                s.p99 / 1e3
+            );
+        }
+    }
+}
+
+fn dumbbell(options: &[(String, String)]) -> Result<(), ParseError> {
+    let senders: usize = opt_parse(options, "senders", 2)?;
+    let queues: usize = opt_parse(options, "queues", 2)?;
+    let millis: u64 = opt_parse(options, "millis", 50)?;
+    let watch: bool = opt_parse(options, "watch", false)?;
+    let mut e = Experiment::dumbbell(senders, queues);
+    if let Some(g) = opt(options, "rate-gbps") {
+        let v: u64 = g
+            .parse()
+            .map_err(|_| ParseError(format!("bad --rate-gbps '{g}'")))?;
+        e = e.link_rate_gbps(v);
+    }
+    if let Some(d) = opt(options, "delay-ns") {
+        let v: u64 = d
+            .parse()
+            .map_err(|_| ParseError(format!("bad --delay-ns '{d}'")))?;
+        e = e.link_delay_nanos(v);
+    }
+    e = apply_common(e, options)?;
+    if watch {
+        e = e.watch_bottleneck(100_000);
+    }
+    let flows: Vec<FlowDesc> = options
+        .iter()
+        .filter(|(k, _)| k == "flow")
+        .map(|(_, v)| parse_flow(v))
+        .collect::<Result<_, _>>()?;
+    if flows.is_empty() {
+        return Err(ParseError("dumbbell needs at least one --flow".into()));
+    }
+    e.add_flows(flows);
+    let res = e.run_for_millis(millis);
+    report(&res);
+    if watch {
+        let trace = &res.port_traces[&(0, senders)];
+        for q in 0..queues {
+            let bins = trace.queue_throughput[q].num_bins();
+            let gbps = if bins >= 2 {
+                trace.mean_queue_gbps(q, bins / 4, bins)
+            } else {
+                0.0
+            };
+            println!("queue_{q}_gbps,{gbps:.3}");
+        }
+        println!(
+            "port_occupancy_peak_pkts,{:.1}",
+            trace.port_occupancy_pkts.peak().unwrap_or(0.0)
+        );
+    }
+    Ok(())
+}
+
+fn leaf_spine(options: &[(String, String)]) -> Result<(), ParseError> {
+    let load: f64 = opt_parse(options, "load", 0.5)?;
+    let flows: usize = opt_parse(options, "flows", 400)?;
+    let seed: u64 = opt_parse(options, "seed", 42)?;
+    if !(0.0..=1.0).contains(&load) || load == 0.0 {
+        return Err(ParseError(format!("--load must be in (0,1], got {load}")));
+    }
+    let mut e = Experiment::paper_leaf_spine();
+    e = apply_common(e, options)?;
+    let spec = TrafficSpec::paper_large_scale(48, load);
+    let mut rng = SimRng::seed_from(seed);
+    let generated = spec.generate(flows, &mut rng);
+    let last = generated.last().map(|f| f.start_nanos).unwrap_or(0);
+    for f in &generated {
+        e.add_flow(
+            FlowDesc::bulk(f.src_host, f.dst_host, f.service, f.size_bytes)
+                .starting_at(f.start_nanos),
+        );
+    }
+    let res = e.run_until_nanos(last + 1_000_000_000);
+    report(&res);
+    Ok(())
+}
+
+fn profile(options: &[(String, String)]) -> Result<(), ParseError> {
+    let rate_gbps: f64 = opt_parse(options, "rate-gbps", 10.0)?;
+    let Some(rtt_us) = opt(options, "rtt-us") else {
+        return Err(ParseError("profile needs --rtt-us".into()));
+    };
+    let rtt_us: f64 = rtt_us
+        .parse()
+        .map_err(|_| ParseError("bad --rtt-us".into()))?;
+    let Some(weights) = opt(options, "weights") else {
+        return Err(ParseError("profile needs --weights".into()));
+    };
+    let weights = parse_weights(weights)?;
+    let mut b = PmsbProfile::builder()
+        .link_rate_bps((rate_gbps * 1e9) as u64)
+        .rtt_nanos((rtt_us * 1e3) as u64)
+        .weights(weights.clone());
+    if let Some(l) = opt(options, "lambda") {
+        let v: f64 = l.parse().map_err(|_| ParseError("bad --lambda".into()))?;
+        b = b.lambda(v);
+    }
+    if let Some(m) = opt(options, "margin") {
+        let v: f64 = m.parse().map_err(|_| ParseError("bad --margin".into()))?;
+        b = b.bound_margin(v);
+    }
+    let p = b.build().map_err(|e| ParseError(e.to_string()))?;
+    println!(
+        "port_threshold,{} bytes ({:.1} pkts)",
+        p.port_threshold_bytes(),
+        p.port_threshold_bytes() as f64 / 1500.0
+    );
+    for q in 0..weights.len() {
+        println!(
+            "queue_{q}_filter_threshold,{} bytes (bound margin {:.2}x)",
+            p.queue_threshold_bytes(q),
+            p.bound_margin(q)
+        );
+    }
+    println!("pmsbe_rtt_threshold,{} ns", p.rtt_threshold_nanos());
+    Ok(())
+}

@@ -1,0 +1,346 @@
+//! Argument parsing for the `pmsb-sim` command-line driver.
+//!
+//! Hand-rolled (no CLI dependency): each sub-grammar is a small pure
+//! parser with unit tests. See `src/bin/pmsb-sim.rs` for the binary and
+//! `pmsb-sim help` for the surface syntax.
+
+use pmsb_netsim::experiment::{FlowDesc, MarkingConfig, SchedulerConfig};
+
+/// A parse failure with a human-readable reason.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError(pub String);
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+fn err<T>(msg: impl Into<String>) -> Result<T, ParseError> {
+    Err(ParseError(msg.into()))
+}
+
+/// Parses a byte size with optional `K`/`M`/`G` suffix (decimal powers),
+/// or `u`/`unbounded` for a long-lived flow.
+///
+/// # Example
+///
+/// ```
+/// use pmsb_repro::cli::parse_size_bytes;
+///
+/// assert_eq!(parse_size_bytes("64K").unwrap(), 64_000);
+/// assert_eq!(parse_size_bytes("1.5M").unwrap(), 1_500_000);
+/// assert_eq!(parse_size_bytes("u").unwrap(), u64::MAX);
+/// ```
+pub fn parse_size_bytes(s: &str) -> Result<u64, ParseError> {
+    let s = s.trim();
+    if s.eq_ignore_ascii_case("u") || s.eq_ignore_ascii_case("unbounded") {
+        return Ok(u64::MAX);
+    }
+    let (num, mult) = match s.chars().last() {
+        Some('K') | Some('k') => (&s[..s.len() - 1], 1_000f64),
+        Some('M') | Some('m') => (&s[..s.len() - 1], 1_000_000f64),
+        Some('G') | Some('g') => (&s[..s.len() - 1], 1_000_000_000f64),
+        _ => (s, 1f64),
+    };
+    match num.parse::<f64>() {
+        Ok(v) if v > 0.0 && v.is_finite() => Ok((v * mult).round() as u64),
+        _ => err(format!("bad size '{s}' (examples: 64K, 1.5M, 2G, u)")),
+    }
+}
+
+/// Parses a comma-separated weight list, e.g. `1,1,2`.
+pub fn parse_weights(s: &str) -> Result<Vec<u64>, ParseError> {
+    let weights: Result<Vec<u64>, _> = s.split(',').map(|w| w.trim().parse::<u64>()).collect();
+    match weights {
+        Ok(w) if !w.is_empty() && w.iter().all(|x| *x > 0) => Ok(w),
+        _ => err(format!("bad weights '{s}' (example: 1,1,2)")),
+    }
+}
+
+/// Parses a marking-scheme spec:
+///
+/// | Spec | Scheme |
+/// |---|---|
+/// | `none` | ECN off |
+/// | `pmsb:K` | PMSB, port threshold K packets |
+/// | `per-port:K` | per-port threshold K packets |
+/// | `per-queue:K` | per-queue standard threshold K packets |
+/// | `per-queue-frac:K` | per-queue fractional, total K packets |
+/// | `pool:K` | per-service-pool threshold K packets |
+/// | `mq-ecn:K` | MQ-ECN, standard threshold K packets |
+/// | `tcn:NANOS` | TCN, sojourn threshold in nanoseconds |
+/// | `red:MIN,MAX,P` | RED ramp, packet thresholds + max probability |
+///
+/// # Example
+///
+/// ```
+/// use pmsb_repro::cli::parse_marking;
+/// use pmsb_netsim::experiment::MarkingConfig;
+///
+/// assert_eq!(
+///     parse_marking("pmsb:12").unwrap(),
+///     MarkingConfig::Pmsb { port_threshold_pkts: 12 }
+/// );
+/// ```
+pub fn parse_marking(s: &str) -> Result<MarkingConfig, ParseError> {
+    let (kind, arg) = match s.split_once(':') {
+        Some((k, a)) => (k, Some(a)),
+        None => (s, None),
+    };
+    let int_arg = |what: &str| -> Result<u64, ParseError> {
+        match arg.map(|a| a.parse::<u64>()) {
+            Some(Ok(v)) if v > 0 => Ok(v),
+            _ => err(format!("scheme '{kind}' needs {what}, e.g. {kind}:12")),
+        }
+    };
+    match kind {
+        "none" => Ok(MarkingConfig::None),
+        "pmsb" => Ok(MarkingConfig::Pmsb {
+            port_threshold_pkts: int_arg("a packet threshold")?,
+        }),
+        "per-port" => Ok(MarkingConfig::PerPort {
+            threshold_pkts: int_arg("a packet threshold")?,
+        }),
+        "per-queue" => Ok(MarkingConfig::PerQueueStandard {
+            threshold_pkts: int_arg("a packet threshold")?,
+        }),
+        "per-queue-frac" => Ok(MarkingConfig::PerQueueFractional {
+            total_pkts: int_arg("a packet threshold")?,
+        }),
+        "pool" => Ok(MarkingConfig::PerPool {
+            threshold_pkts: int_arg("a packet threshold")?,
+        }),
+        "mq-ecn" => Ok(MarkingConfig::MqEcn {
+            standard_pkts: int_arg("a packet threshold")?,
+        }),
+        "tcn" => Ok(MarkingConfig::Tcn {
+            threshold_nanos: int_arg("a sojourn threshold in ns")?,
+        }),
+        "red" => {
+            let parts: Vec<&str> = arg.unwrap_or("").split(',').collect();
+            if parts.len() != 3 {
+                return err("red needs MIN,MAX,P — e.g. red:4,28,0.25");
+            }
+            let min = parts[0].parse::<u64>();
+            let max = parts[1].parse::<u64>();
+            let p = parts[2].parse::<f64>();
+            match (min, max, p) {
+                (Ok(min), Ok(max), Ok(p)) if min < max && p > 0.0 && p <= 1.0 => {
+                    Ok(MarkingConfig::Red {
+                        min_pkts: min,
+                        max_pkts: max,
+                        max_p: p,
+                    })
+                }
+                _ => err("red needs MIN<MAX packets and 0<P<=1"),
+            }
+        }
+        other => err(format!(
+            "unknown marking scheme '{other}' \
+             (none|pmsb|per-port|per-queue|per-queue-frac|pool|mq-ecn|tcn|red)"
+        )),
+    }
+}
+
+/// Parses a scheduler spec: `fifo`, `sp:N`, `dwrr:w1,w2,...`,
+/// `wrr:w1,...`, `wfq:w1,...`, or `spwfq:g1,g2,..;w1,w2,..`.
+pub fn parse_scheduler(s: &str) -> Result<SchedulerConfig, ParseError> {
+    let (kind, arg) = match s.split_once(':') {
+        Some((k, a)) => (k, Some(a)),
+        None => (s, None),
+    };
+    match kind {
+        "fifo" => Ok(SchedulerConfig::Fifo),
+        "sp" => match arg.map(|a| a.parse::<usize>()) {
+            Some(Ok(n)) if n > 0 => Ok(SchedulerConfig::Sp { num_queues: n }),
+            _ => err("sp needs a queue count, e.g. sp:3"),
+        },
+        "dwrr" => Ok(SchedulerConfig::Dwrr {
+            weights: parse_weights(arg.unwrap_or(""))?,
+        }),
+        "wrr" => Ok(SchedulerConfig::Wrr {
+            weights: parse_weights(arg.unwrap_or(""))?,
+        }),
+        "wfq" => Ok(SchedulerConfig::Wfq {
+            weights: parse_weights(arg.unwrap_or(""))?,
+        }),
+        "spwfq" => {
+            let Some((groups, weights)) = arg.unwrap_or("").split_once(';') else {
+                return err("spwfq needs GROUPS;WEIGHTS — e.g. spwfq:0,1,1;1,1,1");
+            };
+            let group_of: Result<Vec<usize>, _> = groups
+                .split(',')
+                .map(|g| g.trim().parse::<usize>())
+                .collect();
+            match group_of {
+                Ok(g) if !g.is_empty() => Ok(SchedulerConfig::SpWfq {
+                    group_of: g,
+                    weights: parse_weights(weights)?,
+                }),
+                _ => err("bad spwfq groups"),
+            }
+        }
+        other => err(format!(
+            "unknown scheduler '{other}' (fifo|sp|wrr|dwrr|wfq|spwfq)"
+        )),
+    }
+}
+
+/// Parses one flow spec `SRC>DST:SERVICE:SIZE[@START_US][/RATE_GBPS]`,
+/// e.g. `0>8:1:64K`, `2>8:0:u/5` (unbounded at 5 Gbps),
+/// `1>4:3:1M@2500` (1 MB starting at t = 2.5 ms).
+///
+/// # Example
+///
+/// ```
+/// use pmsb_repro::cli::parse_flow;
+///
+/// let f = parse_flow("0>8:1:64K").unwrap();
+/// assert_eq!((f.src_host, f.dst_host, f.service, f.size_bytes), (0, 8, 1, 64_000));
+/// ```
+pub fn parse_flow(s: &str) -> Result<FlowDesc, ParseError> {
+    let Some((pair, rest)) = s.split_once(':') else {
+        return err(format!("flow '{s}': expected SRC>DST:SERVICE:SIZE"));
+    };
+    let Some((src, dst)) = pair.split_once('>') else {
+        return err(format!("flow '{s}': endpoint must be SRC>DST"));
+    };
+    let (src, dst) = match (src.trim().parse::<usize>(), dst.trim().parse::<usize>()) {
+        (Ok(a), Ok(b)) if a != b => (a, b),
+        _ => return err(format!("flow '{s}': bad or equal endpoints")),
+    };
+    let Some((service, size_part)) = rest.split_once(':') else {
+        return err(format!("flow '{s}': missing SERVICE:SIZE"));
+    };
+    let Ok(service) = service.trim().parse::<usize>() else {
+        return err(format!("flow '{s}': bad service"));
+    };
+    // SIZE[@START_US][/RATE_GBPS] — rate first split so '@' binds tighter.
+    let (size_start, rate) = match size_part.split_once('/') {
+        Some((lhs, r)) => match r.trim().parse::<f64>() {
+            Ok(g) if g > 0.0 => (lhs, Some((g * 1e9) as u64)),
+            _ => return err(format!("flow '{s}': bad rate")),
+        },
+        None => (size_part, None),
+    };
+    let (size, start_us) = match size_start.split_once('@') {
+        Some((sz, st)) => match st.trim().parse::<u64>() {
+            Ok(us) => (sz, us),
+            Err(_) => return err(format!("flow '{s}': bad start time")),
+        },
+        None => (size_start, 0),
+    };
+    let mut f =
+        FlowDesc::bulk(src, dst, service, parse_size_bytes(size)?).starting_at(start_us * 1_000);
+    if let Some(r) = rate {
+        f = f.with_app_rate_bps(r);
+    }
+    Ok(f)
+}
+
+/// Positional arguments plus `(key, value)` option pairs.
+pub type SplitArgs = (Vec<String>, Vec<(String, String)>);
+
+/// Splits `args` into positional arguments and `--key value` options
+/// (flags repeatable; `--flow` collects into a list).
+pub fn split_options(args: &[String]) -> Result<SplitArgs, ParseError> {
+    let mut positional = Vec::new();
+    let mut options = Vec::new();
+    let mut it = args.iter().peekable();
+    while let Some(a) = it.next() {
+        if let Some(key) = a.strip_prefix("--") {
+            let Some(value) = it.next() else {
+                return err(format!("option --{key} needs a value"));
+            };
+            options.push((key.to_string(), value.clone()));
+        } else {
+            positional.push(a.clone());
+        }
+    }
+    Ok((positional, options))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sizes_parse() {
+        assert_eq!(parse_size_bytes("1500").unwrap(), 1500);
+        assert_eq!(parse_size_bytes("64k").unwrap(), 64_000);
+        assert_eq!(parse_size_bytes("10M").unwrap(), 10_000_000);
+        assert_eq!(parse_size_bytes("2G").unwrap(), 2_000_000_000);
+        assert_eq!(parse_size_bytes("U").unwrap(), u64::MAX);
+        assert!(parse_size_bytes("-5").is_err());
+        assert!(parse_size_bytes("abc").is_err());
+    }
+
+    #[test]
+    fn markings_parse() {
+        assert_eq!(parse_marking("none").unwrap(), MarkingConfig::None);
+        assert_eq!(
+            parse_marking("tcn:78200").unwrap(),
+            MarkingConfig::Tcn {
+                threshold_nanos: 78_200
+            }
+        );
+        assert_eq!(
+            parse_marking("red:4,28,0.25").unwrap(),
+            MarkingConfig::Red {
+                min_pkts: 4,
+                max_pkts: 28,
+                max_p: 0.25
+            }
+        );
+        assert!(parse_marking("pmsb").is_err());
+        assert!(parse_marking("red:28,4,0.25").is_err());
+        assert!(parse_marking("wat:1").is_err());
+    }
+
+    #[test]
+    fn schedulers_parse() {
+        assert_eq!(parse_scheduler("fifo").unwrap(), SchedulerConfig::Fifo);
+        assert_eq!(
+            parse_scheduler("dwrr:1,1,2").unwrap(),
+            SchedulerConfig::Dwrr {
+                weights: vec![1, 1, 2]
+            }
+        );
+        assert_eq!(
+            parse_scheduler("spwfq:0,1,1;1,1,1").unwrap(),
+            SchedulerConfig::SpWfq {
+                group_of: vec![0, 1, 1],
+                weights: vec![1, 1, 1]
+            }
+        );
+        assert!(parse_scheduler("sp").is_err());
+        assert!(parse_scheduler("dwrr:0,1").is_err());
+    }
+
+    #[test]
+    fn flows_parse() {
+        let f = parse_flow("2>8:0:u/5").unwrap();
+        assert_eq!(f.size_bytes, u64::MAX);
+        assert_eq!(f.app_rate_bps, Some(5_000_000_000));
+        let f = parse_flow("1>4:3:1M@2500").unwrap();
+        assert_eq!(f.start_nanos, 2_500_000);
+        assert_eq!(f.size_bytes, 1_000_000);
+        assert!(parse_flow("1>1:0:1M").is_err(), "self flow");
+        assert!(parse_flow("nope").is_err());
+    }
+
+    #[test]
+    fn options_split() {
+        let args: Vec<String> = ["dumbbell", "--senders", "4", "--flow", "0>4:0:1M"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let (pos, opts) = split_options(&args).unwrap();
+        assert_eq!(pos, vec!["dumbbell"]);
+        assert_eq!(opts.len(), 2);
+        assert!(split_options(std::slice::from_ref(&"--senders".to_string())).is_err());
+    }
+}

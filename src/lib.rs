@@ -1,0 +1,46 @@
+#![warn(missing_docs)]
+
+//! Umbrella crate for the PMSB reproduction workspace.
+//!
+//! This crate re-exports the member crates so the root-level `examples/` and
+//! `tests/` can exercise the whole public API surface from one place:
+//!
+//! * [`pmsb`] — the paper's contribution: ECN marking schemes (including
+//!   PMSB, Algorithm 1), the PMSB(e) end-host rule (Algorithm 2), and the
+//!   steady-state analysis of Theorem IV.1.
+//! * [`sched`](pmsb_sched) — multi-queue packet schedulers (SP, WRR, DWRR,
+//!   WFQ, SP+WFQ).
+//! * [`netsim`](pmsb_netsim) — the packet-level discrete-event network
+//!   simulator (links, hosts, multi-queue switches, DCTCP) used for all
+//!   experiments.
+//! * [`workload`](pmsb_workload) — flow-size distributions and Poisson
+//!   arrival processes.
+//! * [`metrics`](pmsb_metrics) — FCT statistics, percentiles, time series.
+//! * [`simcore`](pmsb_simcore) — simulation time and the event queue.
+//!
+//! # Example
+//!
+//! ```
+//! use pmsb::marking::{Pmsb, MarkingScheme};
+//! use pmsb::PortSnapshot;
+//!
+//! // Port threshold of 12 packets (MTU = 1500 B), two equal-weight queues.
+//! let mut scheme = Pmsb::new(12 * 1500, vec![1, 1]);
+//! let view = PortSnapshot::builder(2)
+//!     .queue_bytes(0, 20 * 1500)
+//!     .queue_bytes(1, 1 * 1500)
+//!     .build();
+//! // Queue 0 is over its filter threshold and the port is congested: mark.
+//! assert!(scheme.should_mark(&view, 0).is_mark());
+//! // Queue 1 is a victim of the other queue's backlog: selectively blind.
+//! assert!(!scheme.should_mark(&view, 1).is_mark());
+//! ```
+
+pub mod cli;
+
+pub use pmsb;
+pub use pmsb_metrics;
+pub use pmsb_netsim;
+pub use pmsb_sched;
+pub use pmsb_simcore;
+pub use pmsb_workload;

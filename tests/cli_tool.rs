@@ -1,0 +1,95 @@
+//! End-to-end tests of the `pmsb-sim` binary (spawned as a subprocess).
+
+use std::process::Command;
+
+fn pmsb_sim(args: &[&str]) -> (bool, String, String) {
+    let out = Command::new(env!("CARGO_BIN_EXE_pmsb-sim"))
+        .args(args)
+        .output()
+        .expect("spawn pmsb-sim");
+    (
+        out.status.success(),
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+    )
+}
+
+#[test]
+fn help_prints_usage() {
+    let (ok, stdout, _) = pmsb_sim(&["help"]);
+    assert!(ok);
+    assert!(stdout.contains("USAGE"));
+    assert!(stdout.contains("dumbbell"));
+}
+
+#[test]
+fn profile_derives_paper_thresholds() {
+    let (ok, stdout, _) = pmsb_sim(&[
+        "profile",
+        "--rtt-us",
+        "85.2",
+        "--weights",
+        "1,1,1,1,1,1,1,1",
+    ]);
+    assert!(ok, "{stdout}");
+    // The sum-of-bounds recipe lands on ~12 packets — the paper's choice.
+    assert!(stdout.contains("port_threshold"), "{stdout}");
+    assert!(stdout.contains("12.2 pkts"), "{stdout}");
+    assert!(stdout.contains("pmsbe_rtt_threshold,102240 ns"), "{stdout}");
+}
+
+#[test]
+fn dumbbell_runs_a_flow() {
+    let (ok, stdout, stderr) = pmsb_sim(&[
+        "dumbbell",
+        "--senders",
+        "2",
+        "--marking",
+        "pmsb:12",
+        "--millis",
+        "20",
+        "--flow",
+        "0>2:0:50K",
+        "--flow",
+        "1>2:1:50K",
+    ]);
+    assert!(ok, "stderr: {stderr}");
+    assert!(stdout.contains("completed_flows,2"), "{stdout}");
+    assert!(stdout.contains("fct_small"), "{stdout}");
+}
+
+#[test]
+fn bad_arguments_fail_with_guidance() {
+    let (ok, _, stderr) = pmsb_sim(&["dumbbell", "--marking", "pmsb"]);
+    assert!(!ok);
+    assert!(
+        stderr.contains("pmsb:12"),
+        "error should show an example: {stderr}"
+    );
+
+    let (ok, _, stderr) = pmsb_sim(&["dumbbell", "--millis", "10"]);
+    assert!(!ok);
+    assert!(stderr.contains("--flow"), "{stderr}");
+
+    let (ok, _, stderr) = pmsb_sim(&["frobnicate"]);
+    assert!(!ok);
+    assert!(stderr.contains("unknown command"), "{stderr}");
+}
+
+#[test]
+fn profile_rejects_thresholds_below_the_bound() {
+    let (ok, _, stderr) = pmsb_sim(&[
+        "profile",
+        "--rtt-us",
+        "85.2",
+        "--weights",
+        "1,1,1,1,1,1,1,1",
+        "--lambda",
+        "0.05",
+    ]);
+    assert!(!ok);
+    assert!(
+        stderr.contains("Theorem IV.1"),
+        "must explain the violation: {stderr}"
+    );
+}

@@ -1,0 +1,128 @@
+//! Integration of the pure library layers — schedulers + marking +
+//! metrics + workload — without the packet simulator.
+
+use pmsb::marking::{MarkingScheme, PerPort, Pmsb};
+use pmsb::{PortSnapshot, PortView};
+use pmsb_metrics::fct::{FctRecorder, FlowRecord, SizeClass};
+use pmsb_metrics::Cdf;
+use pmsb_sched::{Dwrr, MultiQueue, SchedItem};
+use pmsb_simcore::rng::SimRng;
+use pmsb_workload::{FlowSizeDist, PaperMix};
+
+#[derive(Debug, Clone, Copy)]
+struct Cell(u64);
+impl SchedItem for Cell {
+    fn len_bytes(&self) -> u64 {
+        self.0
+    }
+}
+
+/// Drives a `MultiQueue` + `Pmsb` marker by hand, the way a switch
+/// dataplane would, and checks the selective-blindness invariant against
+/// plain per-port marking at every step.
+#[test]
+fn pmsb_marks_are_a_subset_of_per_port_marks_in_a_live_queue() {
+    let port_k = 12 * 1500;
+    let mut mq = MultiQueue::new(Box::new(Dwrr::new(vec![1, 1], 1500)), u64::MAX);
+    let mut pmsb = Pmsb::new(port_k, vec![1, 1]);
+    let mut per_port = PerPort::new(port_k);
+    let mut rng = SimRng::seed_from(3);
+    let mut now = 0u64;
+    let mut pmsb_marks = 0u32;
+    let mut port_marks = 0u32;
+    for step in 0..5_000 {
+        // Skewed arrivals: queue 0 gets 4x the traffic of queue 1.
+        let q = usize::from(rng.below(5) == 0);
+        mq.enqueue(q, Cell(1500), now).unwrap();
+        let view = PortSnapshot::builder(2)
+            .queue_bytes(0, mq.queue_bytes(0))
+            .queue_bytes(1, mq.queue_bytes(1))
+            .build();
+        let m1 = pmsb.should_mark(&view, q).is_mark();
+        let m2 = per_port.should_mark(&view, q).is_mark();
+        assert!(
+            !m1 || m2,
+            "PMSB marked where per-port did not (step {step})"
+        );
+        pmsb_marks += u32::from(m1);
+        port_marks += u32::from(m2);
+        // Serve one packet every other step so a backlog builds.
+        if step % 2 == 0 {
+            mq.dequeue(now);
+        }
+        now += 1_200;
+    }
+    assert!(port_marks > 0, "the scenario must congest the port");
+    assert!(
+        pmsb_marks < port_marks,
+        "selective blindness must suppress some marks ({pmsb_marks} vs {port_marks})"
+    );
+}
+
+#[test]
+fn view_adapter_matches_queue_accounting() {
+    let mut mq = MultiQueue::new(Box::new(Dwrr::new(vec![1, 1, 1], 1500)), u64::MAX);
+    mq.enqueue(0, Cell(700), 0).unwrap();
+    mq.enqueue(2, Cell(800), 0).unwrap();
+    let view = PortSnapshot::builder(3)
+        .queue_bytes(0, mq.queue_bytes(0))
+        .queue_bytes(1, mq.queue_bytes(1))
+        .queue_bytes(2, mq.queue_bytes(2))
+        .build();
+    assert_eq!(view.port_bytes(), mq.port_bytes());
+    assert_eq!(view.queue_bytes(2), 800);
+}
+
+/// The workload generator and the metrics size classes agree on the
+/// paper's 60/30/10 mix.
+#[test]
+fn workload_sizes_match_metric_classes() {
+    let mix = PaperMix::new();
+    let mut rng = SimRng::seed_from(17);
+    let mut rec = FctRecorder::new();
+    for i in 0..30_000 {
+        let bytes = mix.sample(&mut rng);
+        rec.record(FlowRecord {
+            flow_id: i,
+            bytes,
+            start_nanos: 0,
+            end_nanos: 1,
+        });
+    }
+    let small = rec.stats(SizeClass::Small).unwrap().count as f64 / 30_000.0;
+    let large = rec.stats(SizeClass::Large).unwrap().count as f64 / 30_000.0;
+    assert!((small - 0.6).abs() < 0.02, "small fraction {small}");
+    assert!((large - 0.1).abs() < 0.012, "large fraction {large}");
+}
+
+/// CDFs over workload samples behave like distribution functions.
+#[test]
+fn workload_cdf_roundtrip() {
+    let mix = PaperMix::new();
+    let mut rng = SimRng::seed_from(23);
+    let samples: Vec<f64> = (0..5_000).map(|_| mix.sample(&mut rng) as f64).collect();
+    let cdf = Cdf::from_samples(samples).unwrap();
+    // 100 KB is the small/medium boundary: ~60% of samples lie below.
+    let f = cdf.fraction_below(100_000.0);
+    assert!((f - 0.6).abs() < 0.03, "fraction below 100 KB: {f}");
+    assert!(
+        cdf.quantile(0.99) > 10_000_000.0,
+        "tail must be large flows"
+    );
+}
+
+/// The Theorem IV.1 helpers are consistent with the analytical model at
+/// the paper's operating point.
+#[test]
+fn analysis_consistency_at_paper_operating_point() {
+    use pmsb::analysis::*;
+    let bdp = bdp_segments(10_000_000_000, 85_200, 1500);
+    let gamma_bdp = bdp / 8.0; // 8 equal queues
+    let bound = theorem_iv1_min_threshold_segments(gamma_bdp);
+    // The paper's choice: port threshold 12 pkts over 8 queues => filter
+    // threshold 1.5 pkts per queue, above the ~1.27-pkt bound.
+    assert!(bound < 1.5, "bound {bound} must admit the paper's config");
+    // And the Q_min at the worst case is positive for k = 1.5.
+    let n = worst_case_flow_count(gamma_bdp, 1.5);
+    assert!(q_min(n, gamma_bdp, 1.5) > 0.0);
+}
