@@ -1,5 +1,8 @@
 //! Ablation: DCTCP's proportional cut vs classic ECN halving.
+//!
+//! Runs as a harness campaign: accepts `--quick`, `--jobs N`,
+//! `--results DIR`, `--quiet`; results persist under
+//! `results/ablation_classic_ecn/` and completed jobs resume for free.
 fn main() {
-    let quick = pmsb_bench::util::quick_flag();
-    pmsb_bench::extensions::ablation_classic_ecn(quick);
+    pmsb_bench::campaigns::run_campaign_main("ablation_classic_ecn");
 }

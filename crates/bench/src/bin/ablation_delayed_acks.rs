@@ -1,5 +1,8 @@
 //! Ablation: ACK coalescing sensitivity.
+//!
+//! Runs as a harness campaign: accepts `--quick`, `--jobs N`,
+//! `--results DIR`, `--quiet`; results persist under
+//! `results/ablation_delayed_acks/` and completed jobs resume for free.
 fn main() {
-    let quick = pmsb_bench::util::quick_flag();
-    pmsb_bench::extensions::ablation_delayed_acks(quick);
+    pmsb_bench::campaigns::run_campaign_main("ablation_delayed_acks");
 }

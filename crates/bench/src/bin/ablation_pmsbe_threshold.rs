@@ -1,5 +1,8 @@
 //! Ablation: PMSB(e) RTT-threshold sensitivity.
+//!
+//! Runs as a harness campaign: accepts `--quick`, `--jobs N`,
+//! `--results DIR`, `--quiet`; results persist under
+//! `results/ablation_pmsbe_threshold/` and completed jobs resume for free.
 fn main() {
-    let quick = pmsb_bench::util::quick_flag();
-    pmsb_bench::extensions::ablation_pmsbe_threshold(quick);
+    pmsb_bench::campaigns::run_campaign_main("ablation_pmsbe_threshold");
 }

@@ -1,5 +1,8 @@
 //! Ablation: RED ramp vs DCTCP step marking.
+//!
+//! Runs as a harness campaign: accepts `--quick`, `--jobs N`,
+//! `--results DIR`, `--quiet`; results persist under
+//! `results/ablation_red_vs_step/` and completed jobs resume for free.
 fn main() {
-    let quick = pmsb_bench::util::quick_flag();
-    pmsb_bench::extensions::ablation_red_vs_step(quick);
+    pmsb_bench::campaigns::run_campaign_main("ablation_red_vs_step");
 }

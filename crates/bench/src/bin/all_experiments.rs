@@ -1,36 +1,7 @@
-//! Runs every experiment in the paper, in order. Pass `--quick` for a
-//! fast smoke run.
+//! Runs every experiment in the paper plus the extensions, as one
+//! harness campaign. Pass `--quick` for a fast smoke run and `--jobs N`
+//! to fan cells across N workers; rerunning resumes completed jobs
+//! from `results/all_experiments/records.jsonl` at zero cost.
 fn main() {
-    let quick = pmsb_bench::util::quick_flag();
-    let t0 = std::time::Instant::now();
-    pmsb_bench::figures::fig01(quick);
-    pmsb_bench::figures::fig02(quick);
-    pmsb_bench::figures::fig03(quick);
-    pmsb_bench::figures::fig04(quick);
-    pmsb_bench::figures::fig05(quick);
-    pmsb_bench::figures::fig06(quick);
-    pmsb_bench::figures::fig07(quick);
-    pmsb_bench::figures::fig08(quick);
-    pmsb_bench::figures::fig09(quick);
-    pmsb_bench::figures::fig10(quick);
-    pmsb_bench::figures::fig11_12(quick);
-    pmsb_bench::figures::fig13(quick);
-    pmsb_bench::figures::fig14(quick);
-    pmsb_bench::figures::fig15(quick);
-    pmsb_bench::figures::table1();
-    pmsb_bench::figures::thm_iv1(quick);
-    pmsb_bench::large_scale::fig16_21(quick);
-    pmsb_bench::large_scale::fig22_27(quick);
-    pmsb_bench::extensions::ext_per_pool_violation(quick);
-    pmsb_bench::extensions::ablation_port_threshold(quick);
-    pmsb_bench::extensions::ablation_pmsbe_threshold(quick);
-    pmsb_bench::extensions::ablation_red_vs_step(quick);
-    pmsb_bench::extensions::ablation_classic_ecn(quick);
-    pmsb_bench::extensions::ablation_delayed_acks(quick);
-    pmsb_bench::extensions::ext_dynamic_threshold(quick);
-    pmsb_bench::extensions::ext_websearch_workload(quick);
-    pmsb_bench::extensions::ext_datamining_workload(quick);
-    pmsb_bench::extensions::ext_incast(quick);
-    pmsb_bench::extensions::ext_seed_sensitivity(quick);
-    println!("\nall experiments done in {:?}", t0.elapsed());
+    pmsb_bench::campaigns::run_campaign_main("all");
 }

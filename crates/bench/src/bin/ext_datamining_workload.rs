@@ -1,5 +1,8 @@
 //! Extension experiment: `ext_datamining_workload`.
+//!
+//! Runs as a harness campaign: accepts `--quick`, `--jobs N`,
+//! `--results DIR`, `--quiet`; results persist under
+//! `results/ext_datamining_workload/` and completed jobs resume for free.
 fn main() {
-    let quick = pmsb_bench::util::quick_flag();
-    pmsb_bench::extensions::ext_datamining_workload(quick);
+    pmsb_bench::campaigns::run_campaign_main("ext_datamining_workload");
 }

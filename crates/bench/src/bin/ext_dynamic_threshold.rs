@@ -1,5 +1,8 @@
 //! Extension: Dynamic Threshold vs static shared buffer.
+//!
+//! Runs as a harness campaign: accepts `--quick`, `--jobs N`,
+//! `--results DIR`, `--quiet`; results persist under
+//! `results/ext_dynamic_threshold/` and completed jobs resume for free.
 fn main() {
-    let quick = pmsb_bench::util::quick_flag();
-    pmsb_bench::extensions::ext_dynamic_threshold(quick);
+    pmsb_bench::campaigns::run_campaign_main("ext_dynamic_threshold");
 }

@@ -1,5 +1,8 @@
 //! Extension: per-service-pool marking couples unrelated ports.
+//!
+//! Runs as a harness campaign: accepts `--quick`, `--jobs N`,
+//! `--results DIR`, `--quiet`; results persist under
+//! `results/ext_per_pool_violation/` and completed jobs resume for free.
 fn main() {
-    let quick = pmsb_bench::util::quick_flag();
-    pmsb_bench::extensions::ext_per_pool_violation(quick);
+    pmsb_bench::campaigns::run_campaign_main("ext_per_pool_violation");
 }

@@ -1,5 +1,8 @@
 //! Extension experiment: `ext_seed_sensitivity`.
+//!
+//! Runs as a harness campaign: accepts `--quick`, `--jobs N`,
+//! `--results DIR`, `--quiet`; results persist under
+//! `results/seed_sensitivity/` and completed jobs resume for free.
 fn main() {
-    let quick = pmsb_bench::util::quick_flag();
-    pmsb_bench::extensions::ext_seed_sensitivity(quick);
+    pmsb_bench::campaigns::run_campaign_main("seed-sensitivity");
 }

@@ -1,5 +1,7 @@
 //! Fig. 1: per-queue standard-threshold marking inflates RTT with queue count.
 fn main() {
     let quick = pmsb_bench::util::quick_flag();
-    pmsb_bench::figures::fig01(quick);
+    let mut out = String::new();
+    pmsb_bench::figures::fig01(&mut out, quick);
+    print!("{out}");
 }

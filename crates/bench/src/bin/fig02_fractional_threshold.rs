@@ -1,5 +1,7 @@
 //! Fig. 2: fractional per-queue thresholds lose lone-flow throughput.
 fn main() {
     let quick = pmsb_bench::util::quick_flag();
-    pmsb_bench::figures::fig02(quick);
+    let mut out = String::new();
+    pmsb_bench::figures::fig02(&mut out, quick);
+    print!("{out}");
 }

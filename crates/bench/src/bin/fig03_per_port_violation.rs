@@ -1,5 +1,7 @@
 //! Fig. 3: per-port marking violates weighted fair sharing (1 vs 8 flows).
 fn main() {
     let quick = pmsb_bench::util::quick_flag();
-    pmsb_bench::figures::fig03(quick);
+    let mut out = String::new();
+    pmsb_bench::figures::fig03(&mut out, quick);
+    print!("{out}");
 }

@@ -1,5 +1,7 @@
 //! Fig. 4: DCTCP dequeue marking lowers the slow-start buffer peak.
 fn main() {
     let quick = pmsb_bench::util::quick_flag();
-    pmsb_bench::figures::fig04(quick);
+    let mut out = String::new();
+    pmsb_bench::figures::fig04(&mut out, quick);
+    print!("{out}");
 }

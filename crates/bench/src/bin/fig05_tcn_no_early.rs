@@ -1,5 +1,7 @@
 //! Fig. 5: TCN cannot accelerate congestion notification.
 fn main() {
     let quick = pmsb_bench::util::quick_flag();
-    pmsb_bench::figures::fig05(quick);
+    let mut out = String::new();
+    pmsb_bench::figures::fig05(&mut out, quick);
+    print!("{out}");
 }

@@ -1,5 +1,7 @@
 //! Fig. 6: per-port K=65 restores fairness for 1 vs 8 flows.
 fn main() {
     let quick = pmsb_bench::util::quick_flag();
-    pmsb_bench::figures::fig06(quick);
+    let mut out = String::new();
+    pmsb_bench::figures::fig06(&mut out, quick);
+    print!("{out}");
 }

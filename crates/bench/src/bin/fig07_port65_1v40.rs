@@ -1,5 +1,7 @@
 //! Fig. 7: per-port K=65 is violated again at 1 vs 40 flows.
 fn main() {
     let quick = pmsb_bench::util::quick_flag();
-    pmsb_bench::figures::fig07(quick);
+    let mut out = String::new();
+    pmsb_bench::figures::fig07(&mut out, quick);
+    print!("{out}");
 }

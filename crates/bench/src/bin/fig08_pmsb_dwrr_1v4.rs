@@ -1,5 +1,7 @@
 //! Fig. 8: PMSB preserves 1:1 weighted fair sharing (1 vs 4 flows).
 fn main() {
     let quick = pmsb_bench::util::quick_flag();
-    pmsb_bench::figures::fig08(quick);
+    let mut out = String::new();
+    pmsb_bench::figures::fig08(&mut out, quick);
+    print!("{out}");
 }

@@ -1,5 +1,7 @@
 //! Fig. 9: RTT distribution of queue-2 flows under each scheme.
 fn main() {
     let quick = pmsb_bench::util::quick_flag();
-    pmsb_bench::figures::fig09(quick);
+    let mut out = String::new();
+    pmsb_bench::figures::fig09(&mut out, quick);
+    print!("{out}");
 }

@@ -1,5 +1,7 @@
 //! Fig. 10: PMSB holds fair sharing under heavy traffic (1 vs 100 flows).
 fn main() {
     let quick = pmsb_bench::util::quick_flag();
-    pmsb_bench::figures::fig10(quick);
+    let mut out = String::new();
+    pmsb_bench::figures::fig10(&mut out, quick);
+    print!("{out}");
 }

@@ -1,5 +1,7 @@
 //! Figs. 11/12: PMSB and PMSB(e) deliver congestion information early.
 fn main() {
     let quick = pmsb_bench::util::quick_flag();
-    pmsb_bench::figures::fig11_12(quick);
+    let mut out = String::new();
+    pmsb_bench::figures::fig11_12(&mut out, quick);
+    print!("{out}");
 }

@@ -1,5 +1,7 @@
 //! Fig. 13: PMSB preserves SP+WFQ scheduling (5 / 2.5 / 2.5 Gbps).
 fn main() {
     let quick = pmsb_bench::util::quick_flag();
-    pmsb_bench::figures::fig13(quick);
+    let mut out = String::new();
+    pmsb_bench::figures::fig13(&mut out, quick);
+    print!("{out}");
 }

@@ -1,5 +1,7 @@
 //! Fig. 14: PMSB preserves strict-priority scheduling (5 / 3 / 2 Gbps).
 fn main() {
     let quick = pmsb_bench::util::quick_flag();
-    pmsb_bench::figures::fig14(quick);
+    let mut out = String::new();
+    pmsb_bench::figures::fig14(&mut out, quick);
+    print!("{out}");
 }

@@ -1,5 +1,7 @@
 //! Fig. 15: PMSB preserves WFQ (10 Gbps solo, then 5 / 5 Gbps).
 fn main() {
     let quick = pmsb_bench::util::quick_flag();
-    pmsb_bench::figures::fig15(quick);
+    let mut out = String::new();
+    pmsb_bench::figures::fig15(&mut out, quick);
+    print!("{out}");
 }

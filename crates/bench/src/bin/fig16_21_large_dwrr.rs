@@ -1,5 +1,8 @@
 //! Figs. 16-21: large-scale leaf-spine FCT sweep under DWRR.
+//!
+//! Runs as a harness campaign: accepts `--quick`, `--jobs N`,
+//! `--results DIR`, `--quiet`; results persist under
+//! `results/large_scale_dwrr/` and completed jobs resume for free.
 fn main() {
-    let quick = pmsb_bench::util::quick_flag();
-    pmsb_bench::large_scale::fig16_21(quick);
+    pmsb_bench::campaigns::run_campaign_main("large-scale-dwrr");
 }

@@ -1,0 +1,9 @@
+//! Self-timed micro-benchmarks: marking decisions, scheduler ops, the
+//! event queue, DCTCP transfers, and a small end-to-end simulation.
+//! Pass `--quick` for a fast smoke run.
+fn main() {
+    let quick = pmsb_bench::util::quick_flag();
+    let mut out = String::new();
+    pmsb_bench::micro::run_all(&mut out, quick);
+    print!("{out}");
+}

@@ -1,4 +1,6 @@
 //! Table I: the qualitative capability matrix, generated from the code.
 fn main() {
-    pmsb_bench::figures::table1();
+    let mut out = String::new();
+    pmsb_bench::figures::table1(&mut out);
+    print!("{out}");
 }

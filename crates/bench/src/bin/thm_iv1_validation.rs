@@ -1,5 +1,7 @@
 //! Theorem IV.1: empirical threshold-bound validation.
 fn main() {
     let quick = pmsb_bench::util::quick_flag();
-    pmsb_bench::figures::thm_iv1(quick);
+    let mut out = String::new();
+    pmsb_bench::figures::thm_iv1(&mut out, quick);
+    print!("{out}");
 }

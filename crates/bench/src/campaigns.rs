@@ -1,0 +1,525 @@
+//! Harness campaigns: every experiment in the suite expressed as
+//! [`pmsb_harness`] jobs.
+//!
+//! Each figure/extension is one job whose record carries its headline
+//! metrics plus the full human-readable report; the large-scale sweeps
+//! and the seed-sensitivity study fan out one job per
+//! `(scheduler, scheme, load, seed)` cell, so `--jobs N` parallelizes
+//! the expensive part of `all_experiments` and interrupted runs resume
+//! from `results/<campaign>/records.jsonl`.
+
+use pmsb_harness::{Campaign, CampaignResult, Job, Record, RunOptions};
+use pmsb_netsim::experiment::SchedulerConfig;
+
+use crate::large_scale::{self, LsRow};
+use crate::util::banner;
+use crate::{extensions, figures, outln};
+
+/// The seed used by single-seed sweeps, matching the paper runs.
+pub const DEFAULT_SEED: u64 = 42;
+
+/// The seeds of the seed-sensitivity study.
+pub const SENSITIVITY_SEEDS: [u64; 3] = [42, 1337, 98765];
+
+/// Wraps an experiment function into a job: the function writes its
+/// report into a buffer and returns its headline metrics; the record
+/// stores both. Figure/extension experiments derive all randomness
+/// from fixed internal configuration, so the job seed is 0.
+fn report_job(
+    scenario: &'static str,
+    quick: bool,
+    f: impl FnOnce(&mut String) -> Record + Send + 'static,
+) -> Job {
+    Job::new(scenario, 0, move || {
+        let mut out = String::new();
+        let mut rec = f(&mut out);
+        rec.push("report", out);
+        rec
+    })
+    .param("quick", quick)
+}
+
+/// One job per static-flow experiment: Figs. 1–15, Table I, Thm. IV.1.
+pub fn figure_jobs(quick: bool) -> Vec<Job> {
+    let mut jobs = vec![
+        report_job("fig01", quick, move |out| {
+            let mut rec = Record::new();
+            for (nq, s) in figures::fig01(out, quick) {
+                rec.push(&format!("q{nq}_rtt_avg_us"), s.mean / 1e3);
+                rec.push(&format!("q{nq}_rtt_p99_us"), s.p99 / 1e3);
+            }
+            rec
+        }),
+        report_job("fig02", quick, move |out| {
+            let (full, frac) = figures::fig02(out, quick);
+            Record::new().field("gbps_k16", full).field("gbps_k2", frac)
+        }),
+        report_job("fig03", quick, move |out| {
+            share_record(&figures::fig03(out, quick))
+        }),
+        report_job("fig04", quick, move |out| {
+            let (enq, deq) = figures::fig04(out, quick);
+            Record::new()
+                .field("enqueue_peak_pkts", enq)
+                .field("dequeue_peak_pkts", deq)
+        }),
+        report_job("fig05", quick, move |out| {
+            Record::new().field("tcn_peak_pkts", figures::fig05(out, quick))
+        }),
+        report_job("fig06", quick, move |out| {
+            share_record(&figures::fig06(out, quick))
+        }),
+        report_job("fig07", quick, move |out| {
+            share_record(&figures::fig07(out, quick))
+        }),
+        report_job("fig08", quick, move |out| {
+            share_record(&figures::fig08(out, quick))
+        }),
+        report_job("fig09", quick, move |out| {
+            let mut rec = Record::new();
+            for (scheme, s) in figures::fig09(out, quick) {
+                rec.push(&format!("{scheme}_rtt_avg_us"), s.mean / 1e3);
+                rec.push(&format!("{scheme}_rtt_p99_us"), s.p99 / 1e3);
+            }
+            rec
+        }),
+        report_job("fig10", quick, move |out| {
+            share_record(&figures::fig10(out, quick))
+        }),
+        report_job("fig11_12", quick, move |out| {
+            let mut rec = Record::new();
+            for (scheme, enq, deq) in figures::fig11_12(out, quick) {
+                rec.push(&format!("{scheme}_enqueue_peak_pkts"), enq);
+                rec.push(&format!("{scheme}_dequeue_peak_pkts"), deq);
+            }
+            rec
+        }),
+        report_job("fig13", quick, move |out| {
+            queues_record(&figures::fig13(out, quick))
+        }),
+        report_job("fig14", quick, move |out| {
+            queues_record(&figures::fig14(out, quick))
+        }),
+        report_job("fig15", quick, move |out| {
+            let (solo, q1, q2) = figures::fig15(out, quick);
+            Record::new()
+                .field("solo_gbps", solo)
+                .field("final_q1_gbps", q1)
+                .field("final_q2_gbps", q2)
+        }),
+        report_job("thm_iv1", quick, move |out| {
+            let mut rec = Record::new();
+            for (ratio, k, util) in figures::thm_iv1(out, quick) {
+                rec.push(&format!("k{k}_ratio"), ratio);
+                rec.push(&format!("k{k}_utilization"), util);
+            }
+            rec
+        }),
+    ];
+    // Table I is configuration-independent, so no `quick` parameter: a
+    // quick run's record satisfies a full run too.
+    jobs.push(Job::new("table1", 0, || {
+        let mut out = String::new();
+        let mut rec = Record::new();
+        for (scheme, caps) in figures::table1(&mut out) {
+            let yn: String = caps.iter().map(|c| if *c { 'y' } else { 'n' }).collect();
+            rec.push(&scheme, yn);
+        }
+        rec.push("report", out);
+        rec
+    }));
+    jobs
+}
+
+fn share_record(r: &crate::util::ShareResult) -> Record {
+    let mut rec = Record::new();
+    for (q, g) in r.queue_gbps.iter().enumerate() {
+        rec.push(&format!("q{}_gbps", q + 1), *g);
+    }
+    rec.field("total_gbps", r.total_gbps)
+        .field("marks", r.marks)
+        .field("drops", r.drops)
+}
+
+fn queues_record(shares: &[f64]) -> Record {
+    let mut rec = Record::new();
+    for (q, g) in shares.iter().enumerate() {
+        rec.push(&format!("q{}_final_gbps", q + 1), *g);
+    }
+    rec
+}
+
+/// One job per extension / ablation experiment.
+pub fn extension_jobs(quick: bool) -> Vec<Job> {
+    vec![
+        report_job("ext_per_pool_violation", quick, move |out| {
+            let (pool, port) = extensions::ext_per_pool_violation(out, quick);
+            Record::new()
+                .field("per_pool_gbps", pool)
+                .field("per_port_gbps", port)
+        }),
+        report_job("ablation_port_threshold", quick, move |out| {
+            let mut rec = Record::new();
+            for (k, q1, p99) in extensions::ablation_port_threshold(out, quick) {
+                rec.push(&format!("k{k}_queue1_gbps"), q1);
+                rec.push(&format!("k{k}_rtt_p99_us"), p99);
+            }
+            rec
+        }),
+        report_job("ablation_pmsbe_threshold", quick, move |out| {
+            let mut rec = Record::new();
+            for (thr, victim, frac) in extensions::ablation_pmsbe_threshold(out, quick) {
+                rec.push(&format!("thr{thr:.0}us_victim_gbps"), victim);
+                rec.push(&format!("thr{thr:.0}us_ignored_frac"), frac);
+            }
+            rec
+        }),
+        report_job("ablation_red_vs_step", quick, move |out| {
+            let (red, step) = extensions::ablation_red_vs_step(out, quick);
+            Record::new()
+                .field("red_mice_p99_us", red)
+                .field("step_mice_p99_us", step)
+        }),
+        report_job("ablation_classic_ecn", quick, move |out| {
+            let (dctcp, classic) = extensions::ablation_classic_ecn(out, quick);
+            Record::new()
+                .field("dctcp_gbps", dctcp)
+                .field("classic_gbps", classic)
+        }),
+        report_job("ablation_delayed_acks", quick, move |out| {
+            let mut rec = Record::new();
+            for (m, p99, share) in extensions::ablation_delayed_acks(out, quick) {
+                rec.push(&format!("m{m}_small_p99_us"), p99);
+                rec.push(&format!("m{m}_victim_gbps"), share);
+            }
+            rec
+        }),
+        report_job("ext_dynamic_threshold", quick, move |out| {
+            let (stat, dt) = extensions::ext_dynamic_threshold(out, quick);
+            Record::new()
+                .field("static_mice_p99_us", stat)
+                .field("dt_mice_p99_us", dt)
+        }),
+        report_job("ext_websearch_workload", quick, move |out| {
+            let mut rec = Record::new();
+            for (scheme, p99) in extensions::ext_websearch_workload(out, quick) {
+                rec.push(&format!("{scheme}_small_p99_us"), p99);
+            }
+            rec
+        }),
+        report_job("ext_datamining_workload", quick, move |out| {
+            let mut rec = Record::new();
+            for (scheme, p99) in extensions::ext_datamining_workload(out, quick) {
+                rec.push(&format!("{scheme}_small_p99_us"), p99);
+            }
+            rec
+        }),
+        report_job("ext_incast", quick, move |out| {
+            let mut rec = Record::new();
+            for (scheme, last) in extensions::ext_incast(out, quick) {
+                rec.push(&format!("{scheme}_last_completion_us"), last);
+            }
+            rec
+        }),
+    ]
+}
+
+/// One job per `(scheme, load, seed)` cell of a large-scale sweep.
+/// `scheduler` is `"dwrr"` (Figs. 16–21, MQ-ECN included) or `"wfq"`
+/// (Figs. 22–27).
+pub fn large_scale_jobs(scheduler: &'static str, quick: bool, seeds: &[u64]) -> Vec<Job> {
+    let include_mq_ecn = scheduler == "dwrr";
+    let scenario = if include_mq_ecn {
+        "fig16_21"
+    } else {
+        "fig22_27"
+    };
+    let (loads, num_flows) = large_scale::loads_and_flows(quick);
+    let mut jobs = Vec::new();
+    for &seed in seeds {
+        for &load in loads {
+            for (name, marking, pmsbe, point) in large_scale::schemes(include_mq_ecn) {
+                jobs.push(
+                    Job::new(scenario, seed, move || {
+                        let sched = if include_mq_ecn {
+                            SchedulerConfig::Dwrr {
+                                weights: vec![1; 8],
+                            }
+                        } else {
+                            SchedulerConfig::Wfq {
+                                weights: vec![1; 8],
+                            }
+                        };
+                        large_scale::row_record(&large_scale::run_cell(
+                            sched, name, marking, pmsbe, point, load, num_flows, seed,
+                        ))
+                    })
+                    .param("scheduler", scheduler)
+                    .param("scheme", name)
+                    .param("load", load)
+                    .param("quick", quick),
+                );
+            }
+        }
+    }
+    jobs
+}
+
+/// One job per `(scheme, seed)` of the seed-sensitivity study: the
+/// headline PMSB-vs-TCN comparison (DWRR, load 0.5) across seeds.
+pub fn seed_sensitivity_jobs(quick: bool) -> Vec<Job> {
+    let num_flows = if quick { 250 } else { 800 };
+    let mut jobs = Vec::new();
+    for &seed in &SENSITIVITY_SEEDS {
+        for (name, marking, pmsbe, point) in large_scale::schemes(false) {
+            if name != "pmsb" && name != "tcn" {
+                continue;
+            }
+            jobs.push(
+                Job::new("seed_sensitivity", seed, move || {
+                    large_scale::row_record(&large_scale::run_cell(
+                        SchedulerConfig::Dwrr {
+                            weights: vec![1; 8],
+                        },
+                        name,
+                        marking,
+                        pmsbe,
+                        point,
+                        0.5,
+                        num_flows,
+                        seed,
+                    ))
+                })
+                .param("scheduler", "dwrr")
+                .param("scheme", name)
+                .param("load", 0.5)
+                .param("quick", quick),
+            );
+        }
+    }
+    jobs
+}
+
+fn campaign_from(name: &str, jobs: Vec<Job>) -> Campaign {
+    let mut c = Campaign::new(name);
+    for j in jobs {
+        c.push(j);
+    }
+    c
+}
+
+/// The full suite — every figure, extension, large-scale cell, and
+/// seed-sensitivity cell — as one campaign.
+pub fn all_experiments_campaign(quick: bool) -> Campaign {
+    let mut jobs = figure_jobs(quick);
+    jobs.extend(extension_jobs(quick));
+    jobs.extend(large_scale_jobs("dwrr", quick, &[DEFAULT_SEED]));
+    jobs.extend(large_scale_jobs("wfq", quick, &[DEFAULT_SEED]));
+    jobs.extend(seed_sensitivity_jobs(quick));
+    campaign_from("all_experiments", jobs)
+}
+
+/// Campaign names accepted by [`campaign_by_name`], beyond individual
+/// scenario names.
+pub const CAMPAIGN_NAMES: &[&str] = &[
+    "all",
+    "figures",
+    "extensions",
+    "large-scale-dwrr",
+    "large-scale-wfq",
+    "seed-sensitivity",
+];
+
+/// Resolves a campaign by name: one of [`CAMPAIGN_NAMES`] or any
+/// individual figure/extension scenario (e.g. `fig08`,
+/// `ablation_port_threshold`).
+pub fn campaign_by_name(name: &str, quick: bool) -> Option<Campaign> {
+    let canonical = name.replace('-', "_");
+    match canonical.as_str() {
+        "all" | "all_experiments" => Some(all_experiments_campaign(quick)),
+        "figures" => Some(campaign_from("figures", figure_jobs(quick))),
+        "extensions" => Some(campaign_from("extensions", extension_jobs(quick))),
+        "large_scale_dwrr" | "fig16_21" => Some(campaign_from(
+            "large_scale_dwrr",
+            large_scale_jobs("dwrr", quick, &[DEFAULT_SEED]),
+        )),
+        "large_scale_wfq" | "fig22_27" => Some(campaign_from(
+            "large_scale_wfq",
+            large_scale_jobs("wfq", quick, &[DEFAULT_SEED]),
+        )),
+        "seed_sensitivity" | "ext_seed_sensitivity" => Some(campaign_from(
+            "seed_sensitivity",
+            seed_sensitivity_jobs(quick),
+        )),
+        _ => {
+            let jobs: Vec<Job> = figure_jobs(quick)
+                .into_iter()
+                .chain(extension_jobs(quick))
+                .filter(|j| j.scenario() == canonical)
+                .collect();
+            if jobs.is_empty() {
+                None
+            } else {
+                Some(campaign_from(&canonical, jobs))
+            }
+        }
+    }
+}
+
+/// Writes the seed-sensitivity summary table from completed records.
+pub fn write_seed_sensitivity_report(out: &mut String, records: &[Record]) {
+    let cell = |seed: u64, scheme: &str| -> Option<f64> {
+        records
+            .iter()
+            .find(|r| {
+                r.get_str("scenario") == Some("seed_sensitivity")
+                    && r.get_f64("seed") == Some(seed as f64)
+                    && r.get_str("scheme") == Some(scheme)
+            })
+            .and_then(|r| r.get_f64("small_p99_us"))
+    };
+    banner(
+        out,
+        "Extension: seed sensitivity of the PMSB vs TCN small-flow p99 reduction",
+    );
+    outln!(out, "seed,pmsb_small_p99_us,tcn_small_p99_us,reduction");
+    for &seed in &SENSITIVITY_SEEDS {
+        if let (Some(p), Some(t)) = (cell(seed, "pmsb"), cell(seed, "tcn")) {
+            outln!(out, "{seed},{p:.1},{t:.1},{:.3}", 1.0 - p / t);
+        }
+    }
+    outln!(out, "# the reduction is stable across seeds");
+}
+
+/// Assembles and prints everything a finished campaign has to show:
+/// per-experiment reports in job order, then the large-scale sweep
+/// tables and the seed-sensitivity summary reconstructed from records.
+pub fn print_campaign_output(result: &CampaignResult) {
+    for report in result.reports() {
+        print!("{report}");
+    }
+    let mut out = String::new();
+    for (scenario, title) in [
+        ("fig16_21", large_scale::FIG16_21_TITLE),
+        ("fig22_27", large_scale::FIG22_27_TITLE),
+    ] {
+        let rows: Vec<LsRow> = result
+            .records
+            .iter()
+            .filter(|r| r.get_str("scenario") == Some(scenario))
+            .filter_map(large_scale::row_from_record)
+            .collect();
+        if !rows.is_empty() {
+            large_scale::write_sweep_report(&mut out, title, &rows);
+        }
+    }
+    if result
+        .records
+        .iter()
+        .any(|r| r.get_str("scenario") == Some("seed_sensitivity"))
+    {
+        write_seed_sensitivity_report(&mut out, &result.records);
+    }
+    print!("{out}");
+}
+
+/// Shared `main` for campaign binaries: parse harness flags plus
+/// `--quick`, run the named campaign, print its output, exit nonzero
+/// if any job failed.
+pub fn run_campaign_main(name: &str) {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (opts, rest) = match RunOptions::take_flags(args) {
+        Ok(x) => x,
+        Err(e) => {
+            eprintln!("{name}: {e}");
+            std::process::exit(2);
+        }
+    };
+    let mut quick = false;
+    for arg in rest {
+        match arg.as_str() {
+            "--quick" => quick = true,
+            other => {
+                eprintln!("{name}: unknown argument {other:?}");
+                std::process::exit(2);
+            }
+        }
+    }
+    let Some(campaign) = campaign_by_name(name, quick) else {
+        eprintln!("{name}: unknown campaign");
+        std::process::exit(2);
+    };
+    match campaign.run(&opts) {
+        Ok(result) => {
+            print_campaign_output(&result);
+            if !result.is_success() {
+                for f in &result.failures {
+                    eprintln!("{name}: job {} failed: {}", f.key, f.error);
+                }
+                std::process::exit(1);
+            }
+        }
+        Err(e) => {
+            eprintln!("{name}: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_experiments_job_counts_line_up() {
+        let c = all_experiments_campaign(true);
+        // 16 figures + 10 extensions + dwrr cells (2 loads x 4 schemes)
+        // + wfq cells (2 loads x 3 schemes) + sensitivity (3 seeds x 2).
+        assert_eq!(c.len(), 16 + 10 + 8 + 6 + 6);
+    }
+
+    #[test]
+    fn campaign_names_resolve() {
+        for name in CAMPAIGN_NAMES {
+            assert!(
+                campaign_by_name(name, true).is_some(),
+                "{name} must resolve"
+            );
+        }
+        assert!(campaign_by_name("fig08", true).is_some());
+        assert!(campaign_by_name("ablation_port_threshold", true).is_some());
+        assert!(campaign_by_name("no_such_campaign", true).is_none());
+    }
+
+    #[test]
+    fn large_scale_jobs_cover_the_grid() {
+        let jobs = large_scale_jobs("dwrr", true, &[1, 2]);
+        // 2 seeds x 2 loads x 4 schemes.
+        assert_eq!(jobs.len(), 16);
+        let keys: std::collections::HashSet<String> = jobs.iter().map(|j| j.key()).collect();
+        assert_eq!(keys.len(), 16, "keys must be unique");
+        assert!(keys
+            .iter()
+            .any(|k| k.contains("scheme=mq-ecn") && k.contains("seed=2")));
+    }
+
+    #[test]
+    fn seed_sensitivity_report_reconstructs_from_records() {
+        let mut records = Vec::new();
+        for &seed in &SENSITIVITY_SEEDS {
+            for (scheme, p99) in [("pmsb", 100.0), ("tcn", 200.0)] {
+                records.push(
+                    Record::new()
+                        .field("scenario", "seed_sensitivity")
+                        .field("seed", seed)
+                        .field("scheme", scheme)
+                        .field("small_p99_us", p99),
+                );
+            }
+        }
+        let mut out = String::new();
+        write_seed_sensitivity_report(&mut out, &records);
+        assert!(out.contains("42,100.0,200.0,0.500"), "report: {out}");
+        assert!(out.contains("98765,100.0,200.0,0.500"));
+    }
+}

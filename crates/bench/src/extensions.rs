@@ -11,6 +11,7 @@ use pmsb_simcore::rng::SimRng;
 use pmsb_workload::arrivals::{arrival_rate_for_load, PoissonArrivals};
 use pmsb_workload::{DataMining, FlowSizeDist, WebSearch};
 
+use crate::outln;
 use crate::util::{banner, weighted_share};
 
 /// §II-A's untested claim: per-service-pool marking lets queues of
@@ -18,8 +19,11 @@ use crate::util::{banner, weighted_share};
 /// one flow to receiver B shares only the buffer pool with them, yet
 /// backs off under per-pool marking. Returns
 /// `(b_gbps_per_pool, b_gbps_per_port)`.
-pub fn ext_per_pool_violation(quick: bool) -> (f64, f64) {
-    banner("Extension: per-service-pool marking couples unrelated ports");
+pub fn ext_per_pool_violation(out: &mut String, quick: bool) -> (f64, f64) {
+    banner(
+        out,
+        "Extension: per-service-pool marking couples unrelated ports",
+    );
     let millis = if quick { 15 } else { 50 };
     let run = |marking: MarkingConfig| -> f64 {
         let cfg = SwitchConfig {
@@ -54,10 +58,13 @@ pub fn ext_per_pool_violation(quick: bool) -> (f64, f64) {
     // naive shared-buffer configuration would.
     let pool = run(MarkingConfig::PerPool { threshold_pkts: 16 });
     let port = run(MarkingConfig::PerPort { threshold_pkts: 16 });
-    println!("marking,receiver_b_gbps");
-    println!("per-pool,{pool:.2}");
-    println!("per-port,{port:.2}");
-    println!("# per-pool marking victimizes traffic on an uncongested port");
+    outln!(out, "marking,receiver_b_gbps");
+    outln!(out, "per-pool,{pool:.2}");
+    outln!(out, "per-port,{port:.2}");
+    outln!(
+        out,
+        "# per-pool marking victimizes traffic on an uncongested port"
+    );
     (pool, port)
 }
 
@@ -65,11 +72,14 @@ pub fn ext_per_pool_violation(quick: bool) -> (f64, f64) {
 /// reports both fairness (the 1-vs-8 victim share) and the victim flows'
 /// RTT — the latency cost of larger thresholds. Returns
 /// `(port_k_pkts, queue1_gbps, rtt_p99_us_of_queue2)` rows.
-pub fn ablation_port_threshold(quick: bool) -> Vec<(u64, f64, f64)> {
-    banner("Ablation: PMSB port threshold sweep (fairness + latency)");
+pub fn ablation_port_threshold(out: &mut String, quick: bool) -> Vec<(u64, f64, f64)> {
+    banner(
+        out,
+        "Ablation: PMSB port threshold sweep (fairness + latency)",
+    );
     let millis = if quick { 12 } else { 40 };
     let mut rows = Vec::new();
-    println!("port_k_pkts,queue1_gbps,queue2_gbps,rtt_p99_us");
+    outln!(out, "port_k_pkts,queue1_gbps,queue2_gbps,rtt_p99_us");
     for k in [4u64, 8, 12, 24, 48, 65] {
         let share = weighted_share(
             MarkingConfig::Pmsb {
@@ -99,13 +109,18 @@ pub fn ablation_port_threshold(quick: bool) -> Vec<(u64, f64, f64)> {
         let p99 = pmsb_metrics::Summary::from_samples(samples)
             .map(|s| s.p99 / 1e3)
             .unwrap_or(f64::NAN);
-        println!(
+        outln!(
+            out,
             "{k},{:.2},{:.2},{p99:.1}",
-            share.queue_gbps[0], share.queue_gbps[1]
+            share.queue_gbps[0],
+            share.queue_gbps[1]
         );
         rows.push((k, share.queue_gbps[0], p99));
     }
-    println!("# small thresholds keep latency low; fairness holds across the sweep");
+    outln!(
+        out,
+        "# small thresholds keep latency low; fairness holds across the sweep"
+    );
     rows
 }
 
@@ -113,12 +128,15 @@ pub fn ablation_port_threshold(quick: bool) -> Vec<(u64, f64, f64)> {
 /// per-port marks (unfair); absurdly high and even genuinely congested
 /// flows ignore marks (queues grow). Returns
 /// `(threshold_us, victim_gbps, marks_ignored_fraction)` rows.
-pub fn ablation_pmsbe_threshold(quick: bool) -> Vec<(f64, f64, f64)> {
-    banner("Ablation: PMSB(e) RTT threshold sweep (1 vs 8 flows, per-port K=12)");
+pub fn ablation_pmsbe_threshold(out: &mut String, quick: bool) -> Vec<(f64, f64, f64)> {
+    banner(
+        out,
+        "Ablation: PMSB(e) RTT threshold sweep (1 vs 8 flows, per-port K=12)",
+    );
     let millis = if quick { 12 } else { 40 };
     // Dumbbell base RTT is ~23 us.
     let mut rows = Vec::new();
-    println!("rtt_threshold_us,victim_gbps,ignored_fraction");
+    outln!(out, "rtt_threshold_us,victim_gbps,ignored_fraction");
     for thr_us in [10.0f64, 25.0, 40.0, 80.0, 400.0] {
         let mut e = Experiment::dumbbell(9, 2)
             .marking(MarkingConfig::PerPort { threshold_pkts: 12 })
@@ -139,18 +157,24 @@ pub fn ablation_pmsbe_threshold(quick: bool) -> Vec<(f64, f64, f64)> {
         } else {
             ignored as f64 / seen as f64
         };
-        println!("{thr_us:.0},{victim:.2},{frac:.3}");
+        outln!(out, "{thr_us:.0},{victim:.2},{frac:.3}");
         rows.push((thr_us, victim, frac));
     }
-    println!("# below base RTT nothing is ignored (victim suffers); far above, everyone is blind");
+    outln!(
+        out,
+        "# below base RTT nothing is ignored (victim suffers); far above, everyone is blind"
+    );
     rows
 }
 
 /// Extension: RED's gentle probability ramp versus DCTCP's step threshold
 /// as the underlying per-queue marker for mice sharing a queue with
 /// elephants. Returns `(red_p99_us, step_p99_us)` for the mice.
-pub fn ablation_red_vs_step(quick: bool) -> (f64, f64) {
-    banner("Ablation: RED ramp vs DCTCP step marking (mice behind elephants)");
+pub fn ablation_red_vs_step(out: &mut String, quick: bool) -> (f64, f64) {
+    banner(
+        out,
+        "Ablation: RED ramp vs DCTCP step marking (mice behind elephants)",
+    );
     let millis = if quick { 25 } else { 80 };
     let run = |marking: MarkingConfig| -> f64 {
         let mut e = Experiment::dumbbell(3, 1).marking(marking);
@@ -168,33 +192,46 @@ pub fn ablation_red_vs_step(quick: bool) -> (f64, f64) {
         max_p: 0.25,
     });
     let step = run(MarkingConfig::PerQueueStandard { threshold_pkts: 16 });
-    println!("marker,mice_p99_us");
-    println!("red,{red:.1}");
-    println!("dctcp-step,{step:.1}");
+    outln!(out, "marker,mice_p99_us");
+    outln!(out, "red,{red:.1}");
+    outln!(out, "dctcp-step,{step:.1}");
     (red, step)
 }
 
 /// Extension: the large-scale comparison on the web-search workload
 /// (DCTCP paper) instead of the synthetic 60/30/10 mix. Returns
 /// `(scheme, small_p99_us)` rows.
-pub fn ext_websearch_workload(quick: bool) -> Vec<(&'static str, f64)> {
-    banner("Extension: web-search workload, leaf-spine, DWRR, load 0.5");
-    ext_workload(quick, Box::new(WebSearch::new()))
+pub fn ext_websearch_workload(out: &mut String, quick: bool) -> Vec<(&'static str, f64)> {
+    banner(
+        out,
+        "Extension: web-search workload, leaf-spine, DWRR, load 0.5",
+    );
+    ext_workload(out, quick, Box::new(WebSearch::new()))
 }
 
 /// Extension: the same comparison on the heavy-tailed data-mining
 /// workload (VL2 paper). Returns `(scheme, small_p99_us)` rows.
-pub fn ext_datamining_workload(quick: bool) -> Vec<(&'static str, f64)> {
-    banner("Extension: data-mining workload, leaf-spine, DWRR, load 0.5");
-    ext_workload(quick, Box::new(DataMining::new()))
+pub fn ext_datamining_workload(out: &mut String, quick: bool) -> Vec<(&'static str, f64)> {
+    banner(
+        out,
+        "Extension: data-mining workload, leaf-spine, DWRR, load 0.5",
+    );
+    ext_workload(out, quick, Box::new(DataMining::new()))
 }
 
-fn ext_workload(quick: bool, dist: Box<dyn FlowSizeDist>) -> Vec<(&'static str, f64)> {
+fn ext_workload(
+    out: &mut String,
+    quick: bool,
+    dist: Box<dyn FlowSizeDist>,
+) -> Vec<(&'static str, f64)> {
     let num_flows = if quick { 200 } else { 800 };
     let rate = arrival_rate_for_load(0.5, 48 * 10_000_000_000, dist.mean_bytes());
     let dist = &*dist;
     let mut rows = Vec::new();
-    println!("scheme,completed,small_avg_us,small_p99_us,large_avg_us");
+    outln!(
+        out,
+        "scheme,completed,small_avg_us,small_p99_us,large_avg_us"
+    );
     for (name, marking, pmsbe, point) in crate::large_scale::schemes(true) {
         let mut rng = SimRng::seed_from(1234);
         let mut arrivals = PoissonArrivals::with_rate(rate);
@@ -221,7 +258,8 @@ fn ext_workload(quick: bool, dist: Box<dyn FlowSizeDist>) -> Vec<(&'static str, 
         let small = res.fct.stats(SizeClass::Small);
         let large = res.fct.stats(SizeClass::Large);
         let p99 = small.map(|s| s.p99 / 1e3).unwrap_or(f64::NAN);
-        println!(
+        outln!(
+            out,
             "{name},{},{:.1},{:.1},{:.1}",
             res.fct.len(),
             small.map(|s| s.mean / 1e3).unwrap_or(f64::NAN),
@@ -239,8 +277,11 @@ fn ext_workload(quick: bool, dist: Box<dyn FlowSizeDist>) -> Vec<(&'static str, 
 /// throughput; DCTCP's proportional cut keeps the link full — the very
 /// reason datacenter ECN uses DCTCP. Returns
 /// `(dctcp_gbps, classic_gbps)`.
-pub fn ablation_classic_ecn(quick: bool) -> (f64, f64) {
-    banner("Ablation: DCTCP vs classic-ECN response, per-queue K=16, 2 flows");
+pub fn ablation_classic_ecn(out: &mut String, quick: bool) -> (f64, f64) {
+    banner(
+        out,
+        "Ablation: DCTCP vs classic-ECN response, per-queue K=16, 2 flows",
+    );
     let millis = if quick { 20 } else { 60 };
     let run = |resp: EcnResponse| -> f64 {
         let mut e = Experiment::dumbbell(2, 1)
@@ -260,10 +301,11 @@ pub fn ablation_classic_ecn(quick: bool) -> (f64, f64) {
     };
     let dctcp = run(EcnResponse::Dctcp);
     let classic = run(EcnResponse::Classic);
-    println!("response,throughput_gbps");
-    println!("dctcp,{dctcp:.3}");
-    println!("classic,{classic:.3}");
-    println!(
+    outln!(out, "response,throughput_gbps");
+    outln!(out, "dctcp,{dctcp:.3}");
+    outln!(out, "classic,{classic:.3}");
+    outln!(
+        out,
         "# classic halving loses {:.1}% throughput at this threshold",
         (1.0 - classic / dctcp) * 100.0
     );
@@ -274,11 +316,11 @@ pub fn ablation_classic_ecn(quick: bool) -> (f64, f64) {
 /// ACKs every packet; real stacks coalesce. Delayed ACKs halve the ACK
 /// rate but coarsen the DCTCP mark-fraction estimate and PMSB(e)'s RTT
 /// signal. Returns `(ack_every, small_p99_us, victim_gbps)` rows.
-pub fn ablation_delayed_acks(quick: bool) -> Vec<(u64, f64, f64)> {
-    banner("Ablation: ACK coalescing (m = 1 / 2 / 4), PMSB K=12");
+pub fn ablation_delayed_acks(out: &mut String, quick: bool) -> Vec<(u64, f64, f64)> {
+    banner(out, "Ablation: ACK coalescing (m = 1 / 2 / 4), PMSB K=12");
     let millis = if quick { 15 } else { 40 };
     let mut rows = Vec::new();
-    println!("ack_every,small_p99_us,victim_gbps");
+    outln!(out, "ack_every,small_p99_us,victim_gbps");
     for m in [1u64, 2, 4] {
         // Mice-behind-elephants latency under coalescing.
         let mut e = Experiment::dumbbell(3, 2)
@@ -320,10 +362,11 @@ pub fn ablation_delayed_acks(quick: bool) -> Vec<(u64, f64, f64)> {
             let bins = t.queue_throughput[0].num_bins();
             t.mean_queue_gbps(0, bins / 4, bins)
         };
-        println!("{m},{p99:.1},{share:.2}");
+        outln!(out, "{m},{p99:.1},{share:.2}");
         rows.push((m, p99, share));
     }
-    println!(
+    outln!(
+        out,
         "# PMSB's fairness survives ACK coalescing; mice whose tail segment \
          misses the coalescing quota pay up to the flush timeout (0.5 ms)"
     );
@@ -336,8 +379,11 @@ pub fn ablation_delayed_acks(quick: bool) -> Vec<(u64, f64, f64)> {
 /// and mice sharing only the *pool* (not the queue) get tail-dropped
 /// into retransmission timeouts; DT caps the hog queue. Returns
 /// `(static_mice_p99_us, dt_mice_p99_us)`.
-pub fn ext_dynamic_threshold(quick: bool) -> (f64, f64) {
-    banner("Extension: Dynamic Threshold vs static shared buffer (drop-tail)");
+pub fn ext_dynamic_threshold(out: &mut String, quick: bool) -> (f64, f64) {
+    banner(
+        out,
+        "Extension: Dynamic Threshold vs static shared buffer (drop-tail)",
+    );
     // Long enough for RTO-delayed mice to finish: truncating the run
     // would silently drop exactly the flows the experiment is about.
     let millis = if quick { 60 } else { 120 };
@@ -373,10 +419,13 @@ pub fn ext_dynamic_threshold(quick: bool) -> (f64, f64) {
     };
     let stat = run(None);
     let dt = run(Some(1.0));
-    println!("buffer_policy,mice_p99_us");
-    println!("static,{stat:.1}");
-    println!("dynamic-threshold,{dt:.1}");
-    println!("# DT keeps headroom for bursty queues even without ECN");
+    outln!(out, "buffer_policy,mice_p99_us");
+    outln!(out, "static,{stat:.1}");
+    outln!(out, "dynamic-threshold,{dt:.1}");
+    outln!(
+        out,
+        "# DT keeps headroom for bursty queues even without ECN"
+    );
     (stat, dt)
 }
 
@@ -384,13 +433,13 @@ pub fn ext_dynamic_threshold(quick: bool) -> (f64, f64) {
 /// response (256 KB) to a single receiver, the classic partition-
 /// aggregate pattern. Reports the time until the *last* response
 /// completes for each scheme. Returns `(scheme, completion_us)` rows.
-pub fn ext_incast(quick: bool) -> Vec<(&'static str, f64)> {
-    banner("Extension: 16-to-1 incast (256 KB responses)");
+pub fn ext_incast(out: &mut String, quick: bool) -> Vec<(&'static str, f64)> {
+    banner(out, "Extension: 16-to-1 incast (256 KB responses)");
     let n = 16usize;
     let resp = 256_000u64;
     let _ = quick; // the scenario is already small
     let mut rows = Vec::new();
-    println!("scheme,last_completion_us,drops,timeouts");
+    outln!(out, "scheme,last_completion_us,drops,timeouts");
     for (name, marking, pmsbe, point) in [
         (
             "pmsb",
@@ -440,59 +489,20 @@ pub fn ext_incast(quick: bool) -> Vec<(&'static str, f64)> {
             .max()
             .unwrap_or(u64::MAX);
         let timeouts: u64 = res.sender_stats.values().map(|s| s.timeouts).sum();
-        println!("{name},{:.1},{},{}", last as f64 / 1e3, res.drops, timeouts);
+        outln!(
+            out,
+            "{name},{:.1},{},{}",
+            last as f64 / 1e3,
+            res.drops,
+            timeouts
+        );
         rows.push((name, last as f64 / 1e3));
     }
-    println!("# ECN absorbs the synchronized burst; drop-tail pays RTOs");
+    outln!(
+        out,
+        "# ECN absorbs the synchronized burst; drop-tail pays RTOs"
+    );
     rows
-}
-
-/// Extension: seed sensitivity of the headline large-scale comparison —
-/// the PMSB-vs-TCN small-flow p99 reduction at load 0.5 across three
-/// seeds. Returns the reductions (fractions).
-pub fn ext_seed_sensitivity(quick: bool) -> Vec<f64> {
-    banner("Extension: seed sensitivity of the PMSB vs TCN small-flow p99 reduction");
-    let flows = if quick { 250 } else { 800 };
-    let mut reductions = Vec::new();
-    println!("seed,pmsb_small_p99_us,tcn_small_p99_us,reduction");
-    for seed in [42u64, 1337, 98765] {
-        let pmsb_row = crate::large_scale::run_cell(
-            SchedulerConfig::Dwrr {
-                weights: vec![1; 8],
-            },
-            "pmsb",
-            MarkingConfig::Pmsb {
-                port_threshold_pkts: 12,
-            },
-            None,
-            pmsb::MarkPoint::Enqueue,
-            0.5,
-            flows,
-            seed,
-        );
-        let tcn_row = crate::large_scale::run_cell(
-            SchedulerConfig::Dwrr {
-                weights: vec![1; 8],
-            },
-            "tcn",
-            MarkingConfig::Tcn {
-                threshold_nanos: 78_200,
-            },
-            None,
-            pmsb::MarkPoint::Dequeue,
-            0.5,
-            flows,
-            seed,
-        );
-        let red = 1.0 - pmsb_row.small_p99_us / tcn_row.small_p99_us;
-        println!(
-            "{seed},{:.1},{:.1},{:.3}",
-            pmsb_row.small_p99_us, tcn_row.small_p99_us, red
-        );
-        reductions.push(red);
-    }
-    println!("# the reduction is stable across seeds");
-    reductions
 }
 
 #[cfg(test)]
@@ -501,7 +511,7 @@ mod tests {
 
     #[test]
     fn per_pool_couples_ports_and_per_port_does_not() {
-        let (pool, port) = ext_per_pool_violation(true);
+        let (pool, port) = ext_per_pool_violation(&mut String::new(), true);
         assert!(
             pool < port * 0.75,
             "per-pool ({pool:.2}) must victimize receiver B vs per-port ({port:.2})"
@@ -511,7 +521,7 @@ mod tests {
 
     #[test]
     fn incast_ecn_beats_droptail() {
-        let rows = ext_incast(true);
+        let rows = ext_incast(&mut String::new(), true);
         let get = |n: &str| rows.iter().find(|(name, _)| *name == n).unwrap().1;
         assert!(
             get("pmsb") < get("drop-tail"),
@@ -521,7 +531,7 @@ mod tests {
 
     #[test]
     fn delayed_acks_keep_pmsb_fairness() {
-        let rows = ablation_delayed_acks(true);
+        let rows = ablation_delayed_acks(&mut String::new(), true);
         for (m, _p99, share) in &rows {
             assert!(
                 (*share - 5.0).abs() < 0.9,
@@ -532,7 +542,7 @@ mod tests {
 
     #[test]
     fn classic_halving_loses_throughput() {
-        let (dctcp, classic) = ablation_classic_ecn(true);
+        let (dctcp, classic) = ablation_classic_ecn(&mut String::new(), true);
         assert!(dctcp > 9.0, "dctcp should hold near line rate: {dctcp}");
         assert!(
             classic < dctcp - 0.3,
@@ -542,7 +552,7 @@ mod tests {
 
     #[test]
     fn pmsbe_threshold_sweep_shows_the_tradeoff() {
-        let rows = ablation_pmsbe_threshold(true);
+        let rows = ablation_pmsbe_threshold(&mut String::new(), true);
         // Far below base RTT: ~nothing ignored, victim suppressed.
         let low = &rows[0];
         // Generous threshold: victim recovers its fair share.

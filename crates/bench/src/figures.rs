@@ -6,17 +6,21 @@ use pmsb::MarkPoint;
 use pmsb_metrics::{Cdf, Summary};
 use pmsb_netsim::experiment::{Experiment, FlowDesc, MarkingConfig, SchedulerConfig};
 
+use crate::outln;
 use crate::util::{banner, weighted_share, ShareResult};
 
 /// Fig. 1 — per-queue marking with the standard threshold: RTT inflates
 /// with the number of active queues. Returns `(num_queues, rtt_summary)`
 /// rows (RTT in nanoseconds).
-pub fn fig01(quick: bool) -> Vec<(usize, Summary)> {
-    banner("Fig 1: per-queue marking, standard threshold K=16 pkts -- RTT vs #queues");
+pub fn fig01(out: &mut String, quick: bool) -> Vec<(usize, Summary)> {
+    banner(
+        out,
+        "Fig 1: per-queue marking, standard threshold K=16 pkts -- RTT vs #queues",
+    );
     let millis = if quick { 10 } else { 40 };
     let queue_counts = [1usize, 2, 4, 8];
     let mut rows = Vec::new();
-    println!("queues,rtt_avg_us,rtt_p50_us,rtt_p95_us,rtt_p99_us");
+    outln!(out, "queues,rtt_avg_us,rtt_p50_us,rtt_p95_us,rtt_p99_us");
     for &nq in &queue_counts {
         let mut e = Experiment::dumbbell(8, nq)
             .marking(MarkingConfig::PerQueueStandard { threshold_pkts: 16 })
@@ -31,7 +35,8 @@ pub fn fig01(quick: bool) -> Vec<(usize, Summary)> {
             samples.extend(v.iter().skip(v.len() / 4).map(|r| *r as f64));
         }
         let s = Summary::from_samples(samples.clone()).expect("rtt samples");
-        println!(
+        outln!(
+            out,
             "{nq},{:.1},{:.1},{:.1},{:.1}",
             s.mean / 1e3,
             s.p50 / 1e3,
@@ -39,7 +44,7 @@ pub fn fig01(quick: bool) -> Vec<(usize, Summary)> {
             s.p99 / 1e3
         );
         if !quick {
-            print_cdf(&format!("queues={nq}"), samples);
+            print_cdf(out, &format!("queues={nq}"), samples);
         }
         rows.push((nq, s));
     }
@@ -48,8 +53,11 @@ pub fn fig01(quick: bool) -> Vec<(usize, Summary)> {
 
 /// Fig. 2 — per-queue marking with a fractional threshold loses
 /// throughput for a lone flow. Returns `(gbps_at_k16, gbps_at_k2)`.
-pub fn fig02(quick: bool) -> (f64, f64) {
-    banner("Fig 2: per-queue fractional threshold -- lone-flow throughput, K=16 vs K=2 pkts");
+pub fn fig02(out: &mut String, quick: bool) -> (f64, f64) {
+    banner(
+        out,
+        "Fig 2: per-queue fractional threshold -- lone-flow throughput, K=16 vs K=2 pkts",
+    );
     let millis = if quick { 15 } else { 50 };
     let run = |k: u64| -> f64 {
         let mut e = Experiment::dumbbell(1, 8)
@@ -63,10 +71,11 @@ pub fn fig02(quick: bool) -> (f64, f64) {
     };
     let full = run(16);
     let frac = run(2);
-    println!("threshold_pkts,throughput_gbps");
-    println!("16,{full:.3}");
-    println!("2,{frac:.3}");
-    println!(
+    outln!(out, "threshold_pkts,throughput_gbps");
+    outln!(out, "16,{full:.3}");
+    outln!(out, "2,{frac:.3}");
+    outln!(
+        out,
         "# fractional threshold loses {:.1}% throughput",
         (1.0 - frac / full) * 100.0
     );
@@ -75,41 +84,50 @@ pub fn fig02(quick: bool) -> (f64, f64) {
 
 /// Fig. 3 — plain per-port marking (K=16) violates weighted fair sharing
 /// with 1 vs 8 flows. Paper: ≈2.49 / 7.51 Gbps.
-pub fn fig03(quick: bool) -> ShareResult {
-    banner("Fig 3: per-port K=16 pkts, queues 1:1, flows 1 vs 8 -- fair-share violation");
+pub fn fig03(out: &mut String, quick: bool) -> ShareResult {
+    banner(
+        out,
+        "Fig 3: per-port K=16 pkts, queues 1:1, flows 1 vs 8 -- fair-share violation",
+    );
     let r = weighted_share(
         MarkingConfig::PerPort { threshold_pkts: 16 },
         None,
         &[1, 8],
         if quick { 15 } else { 50 },
     );
-    print_share(&r);
+    print_share(out, &r);
     r
 }
 
 /// Fig. 4 — DCTCP enqueue vs dequeue marking: dequeue marking delivers
 /// congestion information earlier and lowers the slow-start buffer peak
 /// ≈25%. Returns `(enqueue_peak_pkts, dequeue_peak_pkts)`.
-pub fn fig04(quick: bool) -> (f64, f64) {
-    banner("Fig 4: DCTCP K=16 pkts at 1 Gbps, 4 flows -- enqueue vs dequeue marking peak");
+pub fn fig04(out: &mut String, quick: bool) -> (f64, f64) {
+    banner(
+        out,
+        "Fig 4: DCTCP K=16 pkts at 1 Gbps, 4 flows -- enqueue vs dequeue marking peak",
+    );
     let (enq, deq) = (
         slow_start_peak(
+            out,
             MarkingConfig::PerQueueStandard { threshold_pkts: 16 },
             MarkPoint::Enqueue,
             None,
             quick,
         ),
         slow_start_peak(
+            out,
             MarkingConfig::PerQueueStandard { threshold_pkts: 16 },
             MarkPoint::Dequeue,
             None,
             quick,
         ),
     );
-    println!("mark_point,peak_pkts");
-    println!("enqueue,{enq:.1}");
-    println!("dequeue,{deq:.1}");
-    println!(
+    outln!(out, "mark_point,peak_pkts");
+    outln!(out, "enqueue,{enq:.1}");
+    outln!(out, "dequeue,{deq:.1}");
+    outln!(
+        out,
         "# dequeue marking lowers the peak {:.1}%",
         (1.0 - deq / enq) * 100.0
     );
@@ -119,11 +137,15 @@ pub fn fig04(quick: bool) -> (f64, f64) {
 /// Fig. 5 — TCN cannot deliver congestion information early: its
 /// (necessarily dequeue-time) sojourn marking still shows the tall
 /// slow-start peak of enqueue-style DCTCP. Returns the TCN peak in pkts.
-pub fn fig05(quick: bool) -> f64 {
+pub fn fig05(out: &mut String, quick: bool) -> f64 {
     // The sojourn threshold matches Fig. 4's congestion level: the time
     // to drain 16 packets at the 1 Gbps bottleneck (192 us).
-    banner("Fig 5: TCN T_k=192 us at 1 Gbps, 4 flows -- no early notification");
+    banner(
+        out,
+        "Fig 5: TCN T_k=192 us at 1 Gbps, 4 flows -- no early notification",
+    );
     let peak = slow_start_peak(
+        out,
         MarkingConfig::Tcn {
             threshold_nanos: 192_000,
         },
@@ -131,43 +153,52 @@ pub fn fig05(quick: bool) -> f64 {
         None,
         quick,
     );
-    println!("scheme,peak_pkts");
-    println!("tcn,{peak:.1}");
+    outln!(out, "scheme,peak_pkts");
+    outln!(out, "tcn,{peak:.1}");
     peak
 }
 
 /// Fig. 6 — raising the port threshold to 65 pkts restores fairness for
 /// 1 vs 8 flows (marks become rare).
-pub fn fig06(quick: bool) -> ShareResult {
-    banner("Fig 6: per-port K=65 pkts, flows 1 vs 8 -- fairness restored");
+pub fn fig06(out: &mut String, quick: bool) -> ShareResult {
+    banner(
+        out,
+        "Fig 6: per-port K=65 pkts, flows 1 vs 8 -- fairness restored",
+    );
     let r = weighted_share(
         MarkingConfig::PerPort { threshold_pkts: 65 },
         None,
         &[1, 8],
         if quick { 15 } else { 50 },
     );
-    print_share(&r);
+    print_share(out, &r);
     r
 }
 
 /// Fig. 7 — but with 1 vs 40 flows the stable queue exceeds even 65 pkts
 /// and the violation returns: thresholds cannot be raised forever.
-pub fn fig07(quick: bool) -> ShareResult {
-    banner("Fig 7: per-port K=65 pkts, flows 1 vs 40 -- violation returns");
+pub fn fig07(out: &mut String, quick: bool) -> ShareResult {
+    banner(
+        out,
+        "Fig 7: per-port K=65 pkts, flows 1 vs 40 -- violation returns",
+    );
     let r = weighted_share(
         MarkingConfig::PerPort { threshold_pkts: 65 },
         None,
         &[1, 40],
         if quick { 15 } else { 50 },
     );
-    print_share(&r);
+    print_share(out, &r);
     r
 }
 
 /// Fig. 8 — PMSB (port K=12) preserves 1:1 weighted fair sharing with
 /// 1 vs 4 flows while using the whole link.
-pub fn fig08(quick: bool) -> ShareResult {
-    banner("Fig 8: PMSB port K=12 pkts, DWRR 1:1, flows 1 vs 4 -- fair sharing preserved");
+pub fn fig08(out: &mut String, quick: bool) -> ShareResult {
+    banner(
+        out,
+        "Fig 8: PMSB port K=12 pkts, DWRR 1:1, flows 1 vs 4 -- fair sharing preserved",
+    );
     let r = weighted_share(
         MarkingConfig::Pmsb {
             port_threshold_pkts: 12,
@@ -176,14 +207,17 @@ pub fn fig08(quick: bool) -> ShareResult {
         &[1, 4],
         if quick { 15 } else { 50 },
     );
-    print_share(&r);
+    print_share(out, &r);
     r
 }
 
 /// Fig. 9 — RTT distribution of the queue-2 (4-flow) traffic under each
 /// scheme. Returns `(scheme, rtt_summary)` rows.
-pub fn fig09(quick: bool) -> Vec<(&'static str, Summary)> {
-    banner("Fig 9: RTT of queue-2 flows -- PMSB / PMSB(e) / MQ-ECN / TCN / per-queue-std");
+pub fn fig09(out: &mut String, quick: bool) -> Vec<(&'static str, Summary)> {
+    banner(
+        out,
+        "Fig 9: RTT of queue-2 flows -- PMSB / PMSB(e) / MQ-ECN / TCN / per-queue-std",
+    );
     let millis = if quick { 15 } else { 50 };
     let schemes: Vec<(&'static str, MarkingConfig, Option<u64>, MarkPoint)> = vec![
         (
@@ -222,7 +256,7 @@ pub fn fig09(quick: bool) -> Vec<(&'static str, Summary)> {
         ),
     ];
     let mut rows = Vec::new();
-    println!("scheme,rtt_avg_us,rtt_p50_us,rtt_p95_us,rtt_p99_us");
+    outln!(out, "scheme,rtt_avg_us,rtt_p50_us,rtt_p95_us,rtt_p99_us");
     for (name, marking, pmsbe, point) in schemes {
         let mut e = Experiment::dumbbell(5, 2)
             .marking(marking)
@@ -244,7 +278,8 @@ pub fn fig09(quick: bool) -> Vec<(&'static str, Summary)> {
             }
         }
         let s = Summary::from_samples(samples.clone()).expect("rtt samples");
-        println!(
+        outln!(
+            out,
             "{name},{:.1},{:.1},{:.1},{:.1}",
             s.mean / 1e3,
             s.p50 / 1e3,
@@ -252,7 +287,7 @@ pub fn fig09(quick: bool) -> Vec<(&'static str, Summary)> {
             s.p99 / 1e3
         );
         if !quick {
-            print_cdf(name, samples);
+            print_cdf(out, name, samples);
         }
         rows.push((name, s));
     }
@@ -260,8 +295,11 @@ pub fn fig09(quick: bool) -> Vec<(&'static str, Summary)> {
 }
 
 /// Fig. 10 — PMSB keeps fair sharing even at 1 vs 100 flows.
-pub fn fig10(quick: bool) -> ShareResult {
-    banner("Fig 10: PMSB port K=12 pkts, flows 1 vs 100 -- heavy traffic");
+pub fn fig10(out: &mut String, quick: bool) -> ShareResult {
+    banner(
+        out,
+        "Fig 10: PMSB port K=12 pkts, flows 1 vs 100 -- heavy traffic",
+    );
     let r = weighted_share(
         MarkingConfig::Pmsb {
             port_threshold_pkts: 12,
@@ -270,17 +308,20 @@ pub fn fig10(quick: bool) -> ShareResult {
         &[1, 100],
         if quick { 15 } else { 50 },
     );
-    print_share(&r);
+    print_share(out, &r);
     r
 }
 
 /// Figs. 11/12 — PMSB and PMSB(e) deliver congestion information early:
 /// dequeue marking lowers the slow-start peak ≈20%. Returns
 /// `(scheme, enqueue_peak, dequeue_peak)` rows in packets.
-pub fn fig11_12(quick: bool) -> Vec<(&'static str, f64, f64)> {
-    banner("Figs 11/12: PMSB & PMSB(e) port K=12 pkts, 4 flows -- enqueue vs dequeue peaks");
+pub fn fig11_12(out: &mut String, quick: bool) -> Vec<(&'static str, f64, f64)> {
+    banner(
+        out,
+        "Figs 11/12: PMSB & PMSB(e) port K=12 pkts, 4 flows -- enqueue vs dequeue peaks",
+    );
     let mut rows = Vec::new();
-    println!("scheme,enqueue_peak_pkts,dequeue_peak_pkts");
+    outln!(out, "scheme,enqueue_peak_pkts,dequeue_peak_pkts");
     for (name, marking, pmsbe) in [
         (
             "pmsb",
@@ -295,9 +336,9 @@ pub fn fig11_12(quick: bool) -> Vec<(&'static str, f64, f64)> {
             Some(90_000u64),
         ),
     ] {
-        let enq = slow_start_peak(marking.clone(), MarkPoint::Enqueue, pmsbe, quick);
-        let deq = slow_start_peak(marking, MarkPoint::Dequeue, pmsbe, quick);
-        println!("{name},{enq:.1},{deq:.1}");
+        let enq = slow_start_peak(out, marking.clone(), MarkPoint::Enqueue, pmsbe, quick);
+        let deq = slow_start_peak(out, marking, MarkPoint::Dequeue, pmsbe, quick);
+        outln!(out, "{name},{enq:.1},{deq:.1}");
         rows.push((name, enq, deq));
     }
     rows
@@ -306,8 +347,11 @@ pub fn fig11_12(quick: bool) -> Vec<(&'static str, f64, f64)> {
 /// Fig. 13 — SP+WFQ with PMSB: queue 1 strictly above queues 2 and 3
 /// (1:1). Staged starts; final shares should be 5 / 2.5 / 2.5 Gbps.
 /// Returns the final per-queue Gbps.
-pub fn fig13(quick: bool) -> Vec<f64> {
-    banner("Fig 13: SP+WFQ under PMSB -- staged flows, expect 5 / 2.5 / 2.5 Gbps");
+pub fn fig13(out: &mut String, quick: bool) -> Vec<f64> {
+    banner(
+        out,
+        "Fig 13: SP+WFQ under PMSB -- staged flows, expect 5 / 2.5 / 2.5 Gbps",
+    );
     let (t1, t2, end) = stage_times(quick);
     let mut e = Experiment::dumbbell(6, 3)
         .scheduler(SchedulerConfig::SpWfq {
@@ -324,17 +368,20 @@ pub fn fig13(quick: bool) -> Vec<f64> {
         e.add_flow(FlowDesc::long_lived(s, 6, 2).starting_at(t2));
     }
     let shares = staged_shares(e, 6, 3, t2, end);
-    println!("queue,final_gbps");
+    outln!(out, "queue,final_gbps");
     for (q, g) in shares.iter().enumerate() {
-        println!("{},{g:.2}", q + 1);
+        outln!(out, "{},{g:.2}", q + 1);
     }
     shares
 }
 
 /// Fig. 14 — strict priority with PMSB: app-limited 5/3/10 Gbps flows in
 /// priority order; final shares should be 5 / 3 / 2 Gbps.
-pub fn fig14(quick: bool) -> Vec<f64> {
-    banner("Fig 14: SP under PMSB -- staged 5G/3G/10G flows, expect 5 / 3 / 2 Gbps");
+pub fn fig14(out: &mut String, quick: bool) -> Vec<f64> {
+    banner(
+        out,
+        "Fig 14: SP under PMSB -- staged 5G/3G/10G flows, expect 5 / 3 / 2 Gbps",
+    );
     let (t1, t2, end) = stage_times(quick);
     let mut e = Experiment::dumbbell(3, 3)
         .scheduler(SchedulerConfig::Sp { num_queues: 3 })
@@ -354,9 +401,9 @@ pub fn fig14(quick: bool) -> Vec<f64> {
             .starting_at(t2),
     );
     let shares = staged_shares(e, 3, 3, t2, end);
-    println!("queue,final_gbps");
+    outln!(out, "queue,final_gbps");
     for (q, g) in shares.iter().enumerate() {
-        println!("{},{g:.2}", q + 1);
+        outln!(out, "{},{g:.2}", q + 1);
     }
     shares
 }
@@ -364,8 +411,11 @@ pub fn fig14(quick: bool) -> Vec<f64> {
 /// Fig. 15 — WFQ with PMSB: a lone queue-1 flow takes the full link, then
 /// four queue-2 flows arrive and the split becomes 5 / 5 Gbps. Returns
 /// `(solo_gbps, final_q1, final_q2)`.
-pub fn fig15(quick: bool) -> (f64, f64, f64) {
-    banner("Fig 15: WFQ under PMSB -- 10 Gbps solo, then 5 / 5 Gbps split");
+pub fn fig15(out: &mut String, quick: bool) -> (f64, f64, f64) {
+    banner(
+        out,
+        "Fig 15: WFQ under PMSB -- 10 Gbps solo, then 5 / 5 Gbps split",
+    );
     let (t1, _t2, end) = stage_times(quick);
     let mut e = Experiment::dumbbell(5, 2)
         .scheduler(SchedulerConfig::Wfq {
@@ -388,15 +438,15 @@ pub fn fig15(quick: bool) -> (f64, f64, f64) {
     let from = (end - (end - t1) / 4) / bin;
     let q1 = trace.queue_throughput[0].mean_gbps(from as usize, (end / bin) as usize);
     let q2 = trace.queue_throughput[1].mean_gbps(from as usize, (end / bin) as usize);
-    println!("phase,q1_gbps,q2_gbps");
-    println!("solo,{solo:.2},0.00");
-    println!("shared,{q1:.2},{q2:.2}");
+    outln!(out, "phase,q1_gbps,q2_gbps");
+    outln!(out, "solo,{solo:.2},0.00");
+    outln!(out, "shared,{q1:.2},{q2:.2}");
     (solo, q1, q2)
 }
 
 /// Table I — the capability matrix, generated from the implementations.
-pub fn table1() -> Vec<(String, [bool; 4])> {
-    banner("Table I: capability matrix");
+pub fn table1(out: &mut String) -> Vec<(String, [bool; 4])> {
+    banner(out, "Table I: capability matrix");
     let schemes: Vec<(String, Box<dyn MarkingScheme>)> = vec![
         (
             "MQ-ECN".into(),
@@ -406,7 +456,10 @@ pub fn table1() -> Vec<(String, [bool; 4])> {
         ("PMSB".into(), Box::new(Pmsb::new(12 * 1500, vec![1; 8]))),
     ];
     let mut rows = Vec::new();
-    println!("scheme,generic_sched,round_based_sched,early_notification,no_switch_mod");
+    outln!(
+        out,
+        "scheme,generic_sched,round_based_sched,early_notification,no_switch_mod"
+    );
     for (name, s) in schemes {
         let c = s.capabilities();
         let row = [
@@ -415,7 +468,8 @@ pub fn table1() -> Vec<(String, [bool; 4])> {
             c.early_notification,
             c.no_switch_modification,
         ];
-        println!(
+        outln!(
+            out,
             "{name},{},{},{},{}",
             yn(row[0]),
             yn(row[1]),
@@ -427,7 +481,8 @@ pub fn table1() -> Vec<(String, [bool; 4])> {
     // PMSB(e) runs per-port marking at switches (no modification) and the
     // selective-blindness rule at end hosts.
     let row = [true, true, true, true];
-    println!(
+    outln!(
+        out,
         "PMSB(e),{},{},{},{}",
         yn(true),
         yn(true),
@@ -441,8 +496,11 @@ pub fn table1() -> Vec<(String, [bool; 4])> {
 /// Theorem IV.1 — empirical validation: sweep the per-queue threshold
 /// around the `γ·C·RTT/7` bound at the worst-case flow count and measure
 /// utilization. Returns `(k_over_bound, k_pkts, utilization)` rows.
-pub fn thm_iv1(quick: bool) -> Vec<(f64, u64, f64)> {
-    banner("Theorem IV.1: threshold sweep around gamma*C*RTT/7 at the worst-case flow count");
+pub fn thm_iv1(out: &mut String, quick: bool) -> Vec<(f64, u64, f64)> {
+    banner(
+        out,
+        "Theorem IV.1: threshold sweep around gamma*C*RTT/7 at the worst-case flow count",
+    );
     let millis = if quick { 20 } else { 60 };
     // Longer links make the bound land on convenient packet counts:
     // RTT ~= 8*25us prop + serialization ~= 104 us => BDP ~= 87 pkts.
@@ -451,8 +509,11 @@ pub fn thm_iv1(quick: bool) -> Vec<(f64, u64, f64)> {
     let bdp = analysis::bdp_segments(10_000_000_000, rtt_nanos, 1500);
     let bound = analysis::theorem_iv1_min_threshold_segments(bdp);
     let mut rows = Vec::new();
-    println!("# BDP ~= {bdp:.1} pkts, Theorem IV.1 bound ~= {bound:.1} pkts");
-    println!("k_over_bound,k_pkts,n_flows,utilization");
+    outln!(
+        out,
+        "# BDP ~= {bdp:.1} pkts, Theorem IV.1 bound ~= {bound:.1} pkts"
+    );
+    outln!(out, "k_over_bound,k_pkts,n_flows,utilization");
     for ratio in [0.35, 0.6, 1.0, 1.5, 2.5] {
         let k = ((bound * ratio).round() as u64).max(1);
         let n = analysis::worst_case_flow_count(bdp, k as f64)
@@ -469,7 +530,7 @@ pub fn thm_iv1(quick: bool) -> Vec<(f64, u64, f64)> {
         let t = &res.port_traces[&(0, n)];
         let bins = t.queue_throughput[0].num_bins();
         let util = t.mean_queue_gbps(0, bins / 3, bins) / 10.0;
-        println!("{ratio:.2},{k},{n},{util:.4}");
+        outln!(out, "{ratio:.2},{k},{n},{util:.4}");
         rows.push((ratio, k, util));
     }
     rows
@@ -481,14 +542,14 @@ pub fn thm_iv1(quick: bool) -> Vec<(f64, u64, f64)> {
 
 /// Prints an 11-point CDF of microsecond-converted samples — the data
 /// behind the paper's distribution plots.
-fn print_cdf(label: &str, samples_nanos: Vec<f64>) {
+fn print_cdf(out: &mut String, label: &str, samples_nanos: Vec<f64>) {
     if let Some(cdf) = Cdf::from_samples(samples_nanos) {
         let pts: Vec<String> = cdf
             .plot_points(11)
             .into_iter()
             .map(|(v, q)| format!("{q:.1}:{:.1}us", v / 1e3))
             .collect();
-        println!("# cdf {label}: {}", pts.join(" "));
+        outln!(out, "# cdf {label}: {}", pts.join(" "));
     }
 }
 
@@ -500,14 +561,17 @@ fn yn(b: bool) -> &'static str {
     }
 }
 
-fn print_share(r: &ShareResult) {
-    println!("queue,gbps");
+fn print_share(out: &mut String, r: &ShareResult) {
+    outln!(out, "queue,gbps");
     for (q, g) in r.queue_gbps.iter().enumerate() {
-        println!("{},{g:.2}", q + 1);
+        outln!(out, "{},{g:.2}", q + 1);
     }
-    println!(
+    outln!(
+        out,
         "# total {:.2} Gbps, {} marks, {} drops",
-        r.total_gbps, r.marks, r.drops
+        r.total_gbps,
+        r.marks,
+        r.drops
     );
 }
 
@@ -516,6 +580,7 @@ fn print_share(r: &ShareResult) {
 /// With `--series`, also dumps the occupancy-vs-time trace (the curve
 /// the paper plots).
 fn slow_start_peak(
+    out: &mut String,
     marking: MarkingConfig,
     point: MarkPoint,
     pmsbe: Option<u64>,
@@ -536,12 +601,13 @@ fn slow_start_peak(
     let res = e.run_for_millis(millis);
     let gauge = &res.port_traces[&(0, 4)].port_occupancy_pkts;
     if crate::util::series_flag() {
-        println!(
+        outln!(
+            out,
             "# series {}/{point} (time_us,occupancy_pkts)",
             marking.name()
         );
         for (t, v) in gauge.points() {
-            println!("{:.1},{v:.0}", *t as f64 / 1e3);
+            outln!(out, "{:.1},{v:.0}", *t as f64 / 1e3);
         }
     }
     gauge.peak().expect("occupancy samples")
@@ -589,13 +655,13 @@ mod tests {
 
     #[test]
     fn fig03_shows_violation_and_fig08_fixes_it() {
-        let violated = fig03(true);
+        let violated = fig03(&mut String::new(), true);
         assert!(
             violated.queue_gbps[0] < 4.0,
             "per-port K=16 must victimize queue 1: {:?}",
             violated.queue_gbps
         );
-        let fair = fig08(true);
+        let fair = fig08(&mut String::new(), true);
         assert!(
             (fair.queue_gbps[0] - 5.0).abs() < 0.8,
             "PMSB must restore ~5 Gbps: {:?}",
@@ -605,7 +671,7 @@ mod tests {
 
     #[test]
     fn table1_matches_paper() {
-        let rows = table1();
+        let rows = table1(&mut String::new());
         let get = |n: &str| rows.iter().find(|(name, _)| name == n).unwrap().1;
         assert_eq!(get("MQ-ECN"), [false, true, true, false]);
         assert_eq!(get("TCN"), [true, true, false, false]);

@@ -8,10 +8,12 @@
 //! scheme — the same series the paper plots.
 
 use pmsb::MarkPoint;
+use pmsb_harness::Record;
 use pmsb_netsim::experiment::{Experiment, FlowDesc, MarkingConfig, SchedulerConfig};
 use pmsb_simcore::rng::SimRng;
 use pmsb_workload::traffic::TrafficSpec;
 
+use crate::outln;
 use crate::util::banner;
 use pmsb_metrics::fct::SizeClass;
 
@@ -44,12 +46,16 @@ pub struct LsRow {
     pub marks: u64,
 }
 
+/// One scheme of the lineup: `(name, marking, PMSB(e) RTT threshold,
+/// mark point)`.
+pub type SchemeSpec = (&'static str, MarkingConfig, Option<u64>, MarkPoint);
+
 /// The scheme lineup for a scheduler, as configured in the paper:
 /// PMSB port K = 12 pkts; PMSB(e) = per-port K = 12 with an 85.2 µs RTT
 /// threshold; MQ-ECN standard K = 65 pkts (round-based schedulers only);
 /// TCN T_k = 78.2 µs (dequeue marking by nature).
-pub fn schemes(include_mq_ecn: bool) -> Vec<(&'static str, MarkingConfig, Option<u64>, MarkPoint)> {
-    let mut v: Vec<(&'static str, MarkingConfig, Option<u64>, MarkPoint)> = vec![
+pub fn schemes(include_mq_ecn: bool) -> Vec<SchemeSpec> {
+    let mut v: Vec<SchemeSpec> = vec![
         (
             "pmsb",
             MarkingConfig::Pmsb {
@@ -136,80 +142,98 @@ pub fn run_cell(
     }
 }
 
-fn sweep(title: &str, scheduler: SchedulerConfig, include_mq_ecn: bool, quick: bool) -> Vec<LsRow> {
-    banner(title);
-    let (loads, num_flows): (&[f64], usize) = if quick {
+/// The load points and flow count of the paper sweep (or the `--quick`
+/// smoke version).
+pub fn loads_and_flows(quick: bool) -> (&'static [f64], usize) {
+    if quick {
         (&[0.3, 0.6], 250)
     } else {
         (&[0.2, 0.4, 0.6, 0.8], 1200)
-    };
-    println!(
-        "scheme,load,completed,injected,overall_avg_us,large_avg_us,large_p99_us,\
-         small_avg_us,small_p95_us,small_p99_us,drops,marks"
-    );
-    let mut rows = Vec::new();
-    for &load in loads {
-        for (name, marking, pmsbe, point) in schemes(include_mq_ecn) {
-            let row = run_cell(
-                scheduler.clone(),
-                name,
-                marking,
-                pmsbe,
-                point,
-                load,
-                num_flows,
-                42,
-            );
-            println!(
-                "{},{:.1},{},{},{:.1},{:.1},{:.1},{:.1},{:.1},{:.1},{},{}",
-                row.scheme,
-                row.load,
-                row.completed,
-                row.injected,
-                row.overall_avg_us,
-                row.large_avg_us,
-                row.large_p99_us,
-                row.small_avg_us,
-                row.small_p95_us,
-                row.small_p99_us,
-                row.drops,
-                row.marks
-            );
-            rows.push(row);
-        }
     }
-    print_reductions(&rows);
-    rows
 }
 
-/// Figs. 16–21 — DWRR scheduler: PMSB vs PMSB(e) vs MQ-ECN vs TCN across
-/// loads.
-pub fn fig16_21(quick: bool) -> Vec<LsRow> {
-    sweep(
-        "Figs 16-21: large-scale leaf-spine, DWRR scheduler",
-        SchedulerConfig::Dwrr {
-            weights: vec![1; 8],
-        },
-        true,
-        quick,
+/// The CSV header matching [`csv_line`].
+pub const CSV_HEADER: &str = "scheme,load,completed,injected,overall_avg_us,large_avg_us,\
+                              large_p99_us,small_avg_us,small_p95_us,small_p99_us,drops,marks";
+
+/// One [`LsRow`] as a CSV line (no newline).
+pub fn csv_line(row: &LsRow) -> String {
+    format!(
+        "{},{:.1},{},{},{:.1},{:.1},{:.1},{:.1},{:.1},{:.1},{},{}",
+        row.scheme,
+        row.load,
+        row.completed,
+        row.injected,
+        row.overall_avg_us,
+        row.large_avg_us,
+        row.large_p99_us,
+        row.small_avg_us,
+        row.small_p95_us,
+        row.small_p99_us,
+        row.drops,
+        row.marks
     )
 }
 
-/// Figs. 22–27 — WFQ scheduler (MQ-ECN excluded: it needs rounds).
-pub fn fig22_27(quick: bool) -> Vec<LsRow> {
-    sweep(
-        "Figs 22-27: large-scale leaf-spine, WFQ scheduler (MQ-ECN excluded)",
-        SchedulerConfig::Wfq {
-            weights: vec![1; 8],
-        },
-        false,
-        quick,
-    )
+/// The harness-record payload of one cell — every [`LsRow`] metric.
+pub fn row_record(row: &LsRow) -> Record {
+    Record::new()
+        .field("completed", row.completed)
+        .field("injected", row.injected)
+        .field("overall_avg_us", row.overall_avg_us)
+        .field("large_avg_us", row.large_avg_us)
+        .field("large_p99_us", row.large_p99_us)
+        .field("small_avg_us", row.small_avg_us)
+        .field("small_p95_us", row.small_p95_us)
+        .field("small_p99_us", row.small_p99_us)
+        .field("drops", row.drops)
+        .field("marks", row.marks)
 }
 
-/// Prints the paper's headline comparisons: PMSB / PMSB(e) small-flow FCT
+/// Rebuilds an [`LsRow`] from a harness record written by
+/// [`row_record`] (with `scheme` and `load` job parameters). Returns
+/// `None` if a field is missing or the scheme name is unknown.
+pub fn row_from_record(rec: &Record) -> Option<LsRow> {
+    let scheme = ["pmsb", "pmsb(e)", "mq-ecn", "tcn"]
+        .into_iter()
+        .find(|s| rec.get_str("scheme") == Some(s))?;
+    let f = |k: &str| rec.get_f64(k);
+    Some(LsRow {
+        scheme,
+        load: rec.get_str("load")?.parse().ok()?,
+        completed: f("completed")? as usize,
+        injected: f("injected")? as usize,
+        overall_avg_us: f("overall_avg_us")?,
+        large_avg_us: f("large_avg_us")?,
+        large_p99_us: f("large_p99_us")?,
+        small_avg_us: f("small_avg_us")?,
+        small_p95_us: f("small_p95_us")?,
+        small_p99_us: f("small_p99_us")?,
+        drops: f("drops")? as u64,
+        marks: f("marks")? as u64,
+    })
+}
+
+/// Writes the sweep table (banner, CSV rows, headline reductions) for a
+/// completed set of cells.
+pub fn write_sweep_report(out: &mut String, title: &str, rows: &[LsRow]) {
+    banner(out, title);
+    outln!(out, "{CSV_HEADER}");
+    for row in rows {
+        outln!(out, "{}", csv_line(row));
+    }
+    write_reductions(out, rows);
+}
+
+/// The DWRR sweep title (Figs. 16–21).
+pub const FIG16_21_TITLE: &str = "Figs 16-21: large-scale leaf-spine, DWRR scheduler";
+/// The WFQ sweep title (Figs. 22–27).
+pub const FIG22_27_TITLE: &str =
+    "Figs 22-27: large-scale leaf-spine, WFQ scheduler (MQ-ECN excluded)";
+
+/// Writes the paper's headline comparisons: PMSB / PMSB(e) small-flow FCT
 /// reduction relative to each baseline, averaged across loads.
-fn print_reductions(rows: &[LsRow]) {
+pub fn write_reductions(out: &mut String, rows: &[LsRow]) {
     let mean_of = |scheme: &str, f: fn(&LsRow) -> f64| -> Option<f64> {
         let vals: Vec<f64> = rows
             .iter()
@@ -229,7 +253,8 @@ fn print_reductions(rows: &[LsRow]) {
                 ("large avg", |r: &LsRow| r.large_avg_us),
             ] {
                 if let (Some(b), Some(o)) = (mean_of(baseline, get), mean_of(ours, get)) {
-                    println!(
+                    outln!(
+                        out,
                         "# {ours} vs {baseline}: {metric} FCT change {:+.1}%",
                         (o / b - 1.0) * 100.0
                     );

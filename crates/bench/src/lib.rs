@@ -1,6 +1,6 @@
 #![warn(missing_docs)]
 
-//! The PMSB experiment harness.
+//! The PMSB experiment suite.
 //!
 //! Every table and figure of the paper's evaluation maps to one function
 //! here and one thin binary in `src/bin/`:
@@ -21,8 +21,8 @@
 //! | Fig. 13 | [`figures::fig13`] | `fig13_sp_wfq` |
 //! | Fig. 14 | [`figures::fig14`] | `fig14_sp` |
 //! | Fig. 15 | [`figures::fig15`] | `fig15_wfq` |
-//! | Figs. 16–21 | [`large_scale::fig16_21`] | `fig16_21_large_dwrr` |
-//! | Figs. 22–27 | [`large_scale::fig22_27`] | `fig22_27_large_wfq` |
+//! | Figs. 16–21 | [`campaigns::large_scale_jobs`] | `fig16_21_large_dwrr` |
+//! | Figs. 22–27 | [`campaigns::large_scale_jobs`] | `fig22_27_large_wfq` |
 //! | Table I | [`figures::table1`] | `table1_capabilities` |
 //! | Theorem IV.1 | [`figures::thm_iv1`] | `thm_iv1_validation` |
 //!
@@ -31,11 +31,18 @@
 //! for PMSB and PMSB(e), a RED-ramp comparison, and the web-search
 //! workload (binaries `ext_*` / `ablation_*`).
 //!
-//! All binaries accept `--quick` (shorter runs for smoke-testing) and
-//! print machine-readable CSV alongside a human-readable summary;
-//! `all_experiments` runs everything in sequence.
+//! Experiment functions write their human-readable report into a
+//! `&mut String` and return structured results. The [`campaigns`]
+//! module wraps everything as [`pmsb_harness`] jobs: `all_experiments`
+//! (and the other campaign binaries) fan cells across `--jobs N`
+//! workers, persist one JSONL record per job under
+//! `results/<campaign>/`, and resume completed jobs for free on rerun.
+//! All binaries accept `--quick` (shorter runs for smoke-testing);
+//! [`micro`] holds the self-timed micro-benchmarks (`microbench`).
 
+pub mod campaigns;
 pub mod extensions;
 pub mod figures;
 pub mod large_scale;
+pub mod micro;
 pub mod util;

@@ -1,7 +1,26 @@
-//! Shared experiment plumbing: CLI flags, weighted-share runs, printing.
+//! Shared experiment plumbing: CLI flags, weighted-share runs, report
+//! formatting.
+//!
+//! Experiment functions write their human-readable report into a
+//! `&mut String` (via [`outln!`](crate::outln)) instead of stdout, so
+//! the harness can run them on worker threads without interleaving
+//! output and persist the report as part of each job's record.
 
 use pmsb_metrics::Summary;
 use pmsb_netsim::experiment::{Experiment, FlowDesc, MarkingConfig, SchedulerConfig};
+
+/// Appends one formatted line to an experiment's report buffer —
+/// `println!`, but into a `String`.
+#[macro_export]
+macro_rules! outln {
+    ($out:expr) => {
+        $out.push('\n')
+    };
+    ($out:expr, $($arg:tt)*) => {{
+        use ::std::fmt::Write as _;
+        let _ = writeln!($out, $($arg)*);
+    }};
+}
 
 /// `true` when `--quick` was passed: shorten the run for smoke tests.
 pub fn quick_flag() -> bool {
@@ -76,11 +95,6 @@ pub fn weighted_share(
     }
 }
 
-/// Prints a `key,value,...` CSV line to stdout.
-pub fn csv_row(fields: &[String]) {
-    println!("{}", fields.join(","));
-}
-
 /// Formats a [`Summary`] of nanosecond samples as microseconds.
 pub fn fmt_us(s: &Summary) -> String {
     format!(
@@ -95,6 +109,6 @@ pub fn fmt_us(s: &Summary) -> String {
 }
 
 /// A separator + title block so `all_experiments` output stays readable.
-pub fn banner(title: &str) {
-    println!("\n=== {title} ===");
+pub fn banner(out: &mut String, title: &str) {
+    crate::outln!(out, "\n=== {title} ===");
 }

@@ -185,7 +185,7 @@ pub fn pmsb_port_threshold_bytes(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use pmsb_simcore::rng::SimRng;
 
     #[test]
     fn eq1_matches_paper_setups() {
@@ -249,59 +249,74 @@ mod tests {
         assert!(t2 > t);
     }
 
-    proptest! {
-        /// Eq.-10 bound really is a lower bound on Q_min for every n.
-        #[test]
-        fn bound_holds_for_all_n(
-            gamma_bdp in 0.1_f64..1000.0,
-            k in 0.1_f64..1000.0,
-            n in 0.5_f64..10_000.0,
-        ) {
+    /// Eq.-10 bound really is a lower bound on Q_min for every n.
+    #[test]
+    fn bound_holds_for_all_n() {
+        let mut rng = SimRng::seed_from(0xa0);
+        for _ in 0..64 {
+            let gamma_bdp = 0.1 + rng.uniform() * 999.9;
+            let k = 0.1 + rng.uniform() * 999.9;
+            let n = 0.5 + rng.uniform() * 9_999.5;
             let qm = q_min(n, gamma_bdp, k);
             let bound = q_min_lower_bound(gamma_bdp, k);
-            prop_assert!(qm >= bound - 1e-6, "q_min {qm} below bound {bound}");
+            assert!(qm >= bound - 1e-6, "q_min {qm} below bound {bound}");
         }
+    }
 
-        /// Theorem IV.1: thresholds above the bound keep Q_min positive for
-        /// every flow count.
-        #[test]
-        fn above_bound_never_underflows(
-            gamma_bdp in 0.5_f64..500.0,
-            slack in 0.01_f64..10.0,
-            n in 0.5_f64..10_000.0,
-        ) {
+    /// Theorem IV.1: thresholds above the bound keep Q_min positive for
+    /// every flow count.
+    #[test]
+    fn above_bound_never_underflows() {
+        let mut rng = SimRng::seed_from(0xa1);
+        for _ in 0..64 {
+            let gamma_bdp = 0.5 + rng.uniform() * 499.5;
+            let slack = 0.01 + rng.uniform() * 9.99;
+            let n = 0.5 + rng.uniform() * 9_999.5;
             let k = theorem_iv1_min_threshold_segments(gamma_bdp) + slack;
-            prop_assert!(q_min(n, gamma_bdp, k) > 0.0);
+            assert!(q_min(n, gamma_bdp, k) > 0.0);
         }
+    }
 
-        /// Converse: at the worst-case flow count, thresholds strictly
-        /// below the bound underflow.
-        #[test]
-        fn below_bound_underflows_at_worst_case(
-            gamma_bdp in 1.0_f64..500.0,
-            frac in 0.05_f64..0.95,
-        ) {
+    /// Converse: at the worst-case flow count, thresholds strictly
+    /// below the bound underflow.
+    #[test]
+    fn below_bound_underflows_at_worst_case() {
+        let mut rng = SimRng::seed_from(0xa2);
+        for _ in 0..64 {
+            let gamma_bdp = 1.0 + rng.uniform() * 499.0;
+            let frac = 0.05 + rng.uniform() * 0.9;
             let k = theorem_iv1_min_threshold_segments(gamma_bdp) * frac;
             let n = worst_case_flow_count(gamma_bdp, k);
-            prop_assert!(q_min(n, gamma_bdp, k) < 0.0);
+            assert!(q_min(n, gamma_bdp, k) < 0.0);
         }
+    }
 
-        /// BDP is linear in both rate and RTT.
-        #[test]
-        fn bdp_linearity(rate in 1_u64..100_000_000_000, rtt in 1_u64..10_000_000) {
+    /// BDP is linear in both rate and RTT.
+    #[test]
+    fn bdp_linearity() {
+        let mut rng = SimRng::seed_from(0xa3);
+        for _ in 0..64 {
+            let rate = 1 + rng.next_u64() % 100_000_000_000;
+            let rtt = 1 + rng.next_u64() % 10_000_000;
             let one = bdp_segments(rate, rtt, 1500);
             let double_rate = bdp_segments(rate * 2, rtt, 1500);
             let double_rtt = bdp_segments(rate, rtt * 2, 1500);
-            prop_assert!((double_rate - 2.0 * one).abs() < 1e-6 * one.max(1.0));
-            prop_assert!((double_rtt - 2.0 * one).abs() < 1e-6 * one.max(1.0));
+            assert!((double_rate - 2.0 * one).abs() < 1e-6 * one.max(1.0));
+            assert!((double_rtt - 2.0 * one).abs() < 1e-6 * one.max(1.0));
         }
+    }
 
-        /// The amplitude grows with the flow count (more synchronized flows
-        /// oscillate harder), and q_min eventually recovers for large n
-        /// (window floor).
-        #[test]
-        fn amplitude_monotone_in_n(gamma_bdp in 0.1_f64..100.0, k in 0.1_f64..100.0, n in 1.0_f64..1000.0) {
-            prop_assert!(amplitude(n + 1.0, gamma_bdp, k) > amplitude(n, gamma_bdp, k));
+    /// The amplitude grows with the flow count (more synchronized flows
+    /// oscillate harder), and q_min eventually recovers for large n
+    /// (window floor).
+    #[test]
+    fn amplitude_monotone_in_n() {
+        let mut rng = SimRng::seed_from(0xa4);
+        for _ in 0..64 {
+            let gamma_bdp = 0.1 + rng.uniform() * 99.9;
+            let k = 0.1 + rng.uniform() * 99.9;
+            let n = 1.0 + rng.uniform() * 999.0;
+            assert!(amplitude(n + 1.0, gamma_bdp, k) > amplitude(n, gamma_bdp, k));
         }
     }
 }

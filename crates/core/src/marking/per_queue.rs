@@ -107,7 +107,7 @@ impl MarkingScheme for PerQueue {
 mod tests {
     use super::*;
     use crate::PortSnapshot;
-    use proptest::prelude::*;
+    use pmsb_simcore::rng::SimRng;
 
     #[test]
     fn marks_only_over_threshold() {
@@ -157,30 +157,36 @@ mod tests {
         s.should_mark(&v, 0);
     }
 
-    proptest! {
-        /// Fractional thresholds never exceed the standard threshold and
-        /// sum to at most the standard threshold.
-        #[test]
-        fn fractional_is_a_partition(
-            k in 1_u64..10_000_000,
-            weights in proptest::collection::vec(1_u64..100, 1..8),
-        ) {
+    /// Fractional thresholds never exceed the standard threshold and sum
+    /// to at most the standard threshold.
+    #[test]
+    fn fractional_is_a_partition() {
+        let mut rng = SimRng::seed_from(0xF0);
+        for _ in 0..64 {
+            let k = 1 + rng.below(9_999_999) as u64;
+            let n = 1 + rng.below(7);
+            let weights: Vec<u64> = (0..n).map(|_| 1 + rng.below(99) as u64).collect();
             let s = PerQueue::fractional(k, &weights);
             let total: u64 = s.thresholds_bytes().iter().sum();
-            prop_assert!(total <= k);
+            assert!(total <= k);
             for t in s.thresholds_bytes() {
-                prop_assert!(*t <= k);
+                assert!(*t <= k);
             }
         }
+    }
 
-        /// Marking is monotone in the queue's own occupancy.
-        #[test]
-        fn monotone_in_occupancy(k in 1_u64..1_000_000, occ in 0_u64..2_000_000) {
+    /// Marking is monotone in the queue's own occupancy.
+    #[test]
+    fn monotone_in_occupancy() {
+        let mut rng = SimRng::seed_from(0xF1);
+        for _ in 0..64 {
+            let k = 1 + rng.below(999_999) as u64;
+            let occ = rng.below(2_000_000) as u64;
             let mut s = PerQueue::standard(k, 1);
             let below = PortSnapshot::builder(1).queue_bytes(0, occ).build();
             let above = PortSnapshot::builder(1).queue_bytes(0, occ + k).build();
             if s.should_mark(&below, 0).is_mark() {
-                prop_assert!(s.should_mark(&above, 0).is_mark());
+                assert!(s.should_mark(&above, 0).is_mark());
             }
         }
     }

@@ -129,7 +129,7 @@ mod tests {
     use super::*;
     use crate::marking::PerPort;
     use crate::PortSnapshot;
-    use proptest::prelude::*;
+    use pmsb_simcore::rng::SimRng;
 
     #[test]
     fn no_mark_below_port_threshold() {
@@ -176,15 +176,15 @@ mod tests {
         Pmsb::new(1000, vec![0, 0]);
     }
 
-    proptest! {
-        /// PMSB's marks are a subset of plain per-port marking's marks:
-        /// selective blindness only ever *removes* marks.
-        #[test]
-        fn marks_subset_of_per_port(
-            occ in proptest::collection::vec(0_u64..200_000, 1..8),
-            port_k in 1_u64..400_000,
-        ) {
-            let n = occ.len();
+    /// PMSB's marks are a subset of plain per-port marking's marks:
+    /// selective blindness only ever *removes* marks.
+    #[test]
+    fn marks_subset_of_per_port() {
+        let mut rng = SimRng::seed_from(0xb0);
+        for _ in 0..64 {
+            let n = 1 + rng.below(7);
+            let occ: Vec<u64> = (0..n).map(|_| rng.below(200_000) as u64).collect();
+            let port_k = 1 + rng.below(399_999) as u64;
             let mut pmsb = Pmsb::new(port_k, vec![1; n]);
             let mut pp = PerPort::new(port_k);
             let mut b = PortSnapshot::builder(n);
@@ -194,45 +194,55 @@ mod tests {
             let v = b.build();
             for q in 0..n {
                 if pmsb.should_mark(&v, q).is_mark() {
-                    prop_assert!(pp.should_mark(&v, q).is_mark());
+                    assert!(pp.should_mark(&v, q).is_mark());
                 }
             }
         }
+    }
 
-        /// With a single queue, PMSB degenerates to per-port marking
-        /// (queue occupancy == port occupancy, filter = full threshold).
-        #[test]
-        fn single_queue_equals_per_port(occ in 0_u64..200_000, k in 1_u64..200_000) {
+    /// With a single queue, PMSB degenerates to per-port marking
+    /// (queue occupancy == port occupancy, filter = full threshold).
+    #[test]
+    fn single_queue_equals_per_port() {
+        let mut rng = SimRng::seed_from(0xb1);
+        for _ in 0..64 {
+            let occ = rng.below(200_000) as u64;
+            let k = 1 + rng.below(199_999) as u64;
             let mut pmsb = Pmsb::new(k, vec![1]);
             let mut pp = PerPort::new(k);
             let v = PortSnapshot::builder(1).queue_bytes(0, occ).build();
-            prop_assert_eq!(pmsb.should_mark(&v, 0), pp.should_mark(&v, 0));
+            assert_eq!(pmsb.should_mark(&v, 0), pp.should_mark(&v, 0));
         }
+    }
 
-        /// Filter thresholds partition the port threshold: they sum to at
-        /// most port_threshold and are proportional to weight.
-        #[test]
-        fn filter_thresholds_partition(
-            weights in proptest::collection::vec(1_u64..64, 1..8),
-            port_k in 1_u64..1_000_000,
-        ) {
+    /// Filter thresholds partition the port threshold: they sum to at
+    /// most port_threshold and are proportional to weight.
+    #[test]
+    fn filter_thresholds_partition() {
+        let mut rng = SimRng::seed_from(0xb2);
+        for _ in 0..64 {
+            let n = 1 + rng.below(7);
+            let weights: Vec<u64> = (0..n).map(|_| 1 + rng.below(63) as u64).collect();
+            let port_k = 1 + rng.below(999_999) as u64;
             let s = Pmsb::new(port_k, weights.clone());
             let total: u64 = (0..weights.len()).map(|q| s.queue_threshold_bytes(q)).sum();
-            prop_assert!(total <= port_k);
+            assert!(total <= port_k);
             // Off by at most one packet-rounding per queue.
-            prop_assert!(port_k - total < weights.len() as u64 * 2);
+            assert!(port_k - total < weights.len() as u64 * 2);
         }
+    }
 
-        /// A queue whose occupancy is at least its weighted share of the
-        /// port occupancy is never a false negative when the port marks:
-        /// if queue_bytes >= (w_i/Σw)·port_bytes and port_bytes >= K_port,
-        /// then PMSB marks.
-        #[test]
-        fn congested_queue_always_marked(
-            occ in proptest::collection::vec(0_u64..200_000, 2..6),
-            port_k in 1_u64..100_000,
-        ) {
-            let n = occ.len();
+    /// A queue whose occupancy is at least its weighted share of the
+    /// port occupancy is never a false negative when the port marks:
+    /// if queue_bytes >= (w_i/Σw)·port_bytes and port_bytes >= K_port,
+    /// then PMSB marks.
+    #[test]
+    fn congested_queue_always_marked() {
+        let mut rng = SimRng::seed_from(0xb3);
+        for _ in 0..64 {
+            let n = 2 + rng.below(4);
+            let occ: Vec<u64> = (0..n).map(|_| rng.below(200_000) as u64).collect();
+            let port_k = 1 + rng.below(99_999) as u64;
             let mut s = Pmsb::new(port_k, vec![1; n]);
             let mut b = PortSnapshot::builder(n);
             for (i, o) in occ.iter().enumerate() {
@@ -244,7 +254,7 @@ mod tests {
                 for (q, o) in occ.iter().enumerate() {
                     // Queue holds >= its share of the *threshold* => marked.
                     if o * n as u64 >= port_k {
-                        prop_assert!(s.should_mark(&v, q).is_mark());
+                        assert!(s.should_mark(&v, q).is_mark());
                     }
                 }
             }

@@ -1,0 +1,168 @@
+//! A fixed-size worker pool for experiment jobs.
+//!
+//! Workers are plain `std::thread`s pulling boxed closures off a shared
+//! queue; each job runs under `catch_unwind` so a diverging experiment
+//! reports a failure instead of killing the whole campaign. Results
+//! come back tagged with the job's submission index, and [`run_all`]
+//! returns them sorted by that index — output order is deterministic no
+//! matter how many workers raced or which finished first.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::mpsc;
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// A unit of work: produces a `T` or panics.
+pub type BoxedJob<T> = Box<dyn FnOnce() -> T + Send + 'static>;
+
+/// What happened to one job.
+#[derive(Debug)]
+pub struct JobResult<T> {
+    /// Index of the job in the submission order.
+    pub index: usize,
+    /// The job's output, or the panic payload rendered as text.
+    pub result: Result<T, String>,
+    /// Wall-clock time the job ran for. Reporting only — never part of
+    /// any persisted record.
+    pub elapsed: Duration,
+}
+
+/// Resolves a worker count: explicit request, else available
+/// parallelism, else 1.
+pub fn resolve_workers(requested: Option<usize>) -> usize {
+    match requested {
+        Some(n) => n.max(1),
+        None => std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1),
+    }
+}
+
+/// Runs every job on a pool of `workers` threads and returns the
+/// results sorted by submission index.
+///
+/// `on_done` fires once per completed job, in completion order (not
+/// index order), from the submitting thread — use it for progress
+/// output.
+pub fn run_all<T: Send + 'static>(
+    jobs: Vec<BoxedJob<T>>,
+    workers: usize,
+    mut on_done: impl FnMut(&JobResult<T>),
+) -> Vec<JobResult<T>> {
+    let total = jobs.len();
+    if total == 0 {
+        return Vec::new();
+    }
+    let workers = workers.max(1).min(total);
+
+    let (job_tx, job_rx) = mpsc::channel::<(usize, BoxedJob<T>)>();
+    let (res_tx, res_rx) = mpsc::channel::<JobResult<T>>();
+    for (index, job) in jobs.into_iter().enumerate() {
+        job_tx.send((index, job)).expect("queue send");
+    }
+    drop(job_tx); // workers drain until the queue closes
+    let job_rx = Arc::new(Mutex::new(job_rx));
+
+    let handles: Vec<_> = (0..workers)
+        .map(|_| {
+            let job_rx = Arc::clone(&job_rx);
+            let res_tx = res_tx.clone();
+            std::thread::spawn(move || loop {
+                // Holding the lock only for the recv keeps pulls serialized
+                // while jobs themselves run in parallel.
+                let next = job_rx.lock().expect("queue lock").recv();
+                let Ok((index, job)) = next else { break };
+                let start = Instant::now();
+                let result = catch_unwind(AssertUnwindSafe(job)).map_err(|payload| {
+                    payload
+                        .downcast_ref::<String>()
+                        .map(String::as_str)
+                        .or_else(|| payload.downcast_ref::<&str>().copied())
+                        .unwrap_or("panic with non-string payload")
+                        .to_string()
+                });
+                let sent = res_tx.send(JobResult {
+                    index,
+                    result,
+                    elapsed: start.elapsed(),
+                });
+                if sent.is_err() {
+                    break; // collector is gone; nothing left to report to
+                }
+            })
+        })
+        .collect();
+    drop(res_tx);
+
+    let mut results: Vec<JobResult<T>> = Vec::with_capacity(total);
+    for res in res_rx {
+        on_done(&res);
+        results.push(res);
+    }
+    for h in handles {
+        let _ = h.join();
+    }
+    results.sort_by_key(|r| r.index);
+    results
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    fn squares(n: usize) -> Vec<BoxedJob<usize>> {
+        (0..n)
+            .map(|i| Box::new(move || i * i) as BoxedJob<usize>)
+            .collect()
+    }
+
+    #[test]
+    fn results_sorted_by_index_regardless_of_workers() {
+        for workers in [1, 2, 4, 16] {
+            let out = run_all(squares(33), workers, |_| {});
+            assert_eq!(out.len(), 33);
+            for (i, r) in out.iter().enumerate() {
+                assert_eq!(r.index, i);
+                assert_eq!(*r.result.as_ref().unwrap(), i * i);
+            }
+        }
+    }
+
+    #[test]
+    fn panic_is_isolated_to_its_job() {
+        let jobs: Vec<BoxedJob<usize>> = vec![
+            Box::new(|| 1),
+            Box::new(|| panic!("job two diverged")),
+            Box::new(|| 3),
+        ];
+        let out = run_all(jobs, 2, |_| {});
+        assert_eq!(*out[0].result.as_ref().unwrap(), 1);
+        assert_eq!(*out[2].result.as_ref().unwrap(), 3);
+        let err = out[1].result.as_ref().unwrap_err();
+        assert!(err.contains("job two diverged"), "got {err:?}");
+    }
+
+    #[test]
+    fn on_done_fires_once_per_job() {
+        let count = AtomicUsize::new(0);
+        let out = run_all(squares(20), 4, |_| {
+            count.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(out.len(), 20);
+        assert_eq!(count.load(Ordering::Relaxed), 20);
+    }
+
+    #[test]
+    fn empty_job_list_is_fine() {
+        let out: Vec<JobResult<u8>> = run_all(Vec::new(), 4, |_| {});
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn resolve_workers_prefers_explicit() {
+        assert_eq!(resolve_workers(Some(3)), 3);
+        assert_eq!(resolve_workers(Some(0)), 1);
+        assert!(resolve_workers(None) >= 1);
+    }
+}

@@ -1,0 +1,450 @@
+//! Hand-serialized flat result records.
+//!
+//! A [`Record`] is an ordered list of `(key, value)` pairs that
+//! round-trips through a single JSON object line. The serializer and
+//! parser live here, in ~150 lines, so the harness needs no external
+//! serialization crate and the byte layout of a record is fully under
+//! our control — a prerequisite for the determinism guarantee that the
+//! same job produces the same bytes regardless of worker count.
+//!
+//! Only flat objects are supported (no nesting, no arrays): every
+//! experiment result in this workspace is a bag of scalars.
+
+use std::fmt::Write as _;
+
+/// A single scalar field value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// UTF-8 text, JSON-escaped on output.
+    Str(String),
+    /// Signed integer (covers seeds, counts, byte totals in practice).
+    Int(i64),
+    /// IEEE double, printed with the shortest round-trip form.
+    /// Non-finite values serialize as `null`.
+    Float(f64),
+    /// Boolean.
+    Bool(bool),
+    /// Explicit null (also what non-finite floats parse back as).
+    Null,
+}
+
+impl Value {
+    /// Numeric view of the value, if it has one. Used by aggregation.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Int(i) => Some(*i as f64),
+            Value::Float(f) => Some(*f),
+            _ => None,
+        }
+    }
+}
+
+impl From<&str> for Value {
+    fn from(s: &str) -> Self {
+        Value::Str(s.to_string())
+    }
+}
+
+impl From<String> for Value {
+    fn from(s: String) -> Self {
+        Value::Str(s)
+    }
+}
+
+impl From<i64> for Value {
+    fn from(i: i64) -> Self {
+        Value::Int(i)
+    }
+}
+
+impl From<u64> for Value {
+    fn from(i: u64) -> Self {
+        Value::Int(i as i64)
+    }
+}
+
+impl From<usize> for Value {
+    fn from(i: usize) -> Self {
+        Value::Int(i as i64)
+    }
+}
+
+impl From<f64> for Value {
+    fn from(f: f64) -> Self {
+        Value::Float(f)
+    }
+}
+
+impl From<bool> for Value {
+    fn from(b: bool) -> Self {
+        Value::Bool(b)
+    }
+}
+
+/// An ordered set of named scalar fields; one experiment result.
+///
+/// Field order is preserved and significant: serialization emits fields
+/// in insertion order, so identical insert sequences give identical
+/// bytes.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Record {
+    fields: Vec<(String, Value)>,
+}
+
+impl Record {
+    /// An empty record.
+    pub fn new() -> Self {
+        Record::default()
+    }
+
+    /// Appends a field, builder style.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a duplicate key: silently shadowing a field would make
+    /// two jobs' records aggregate inconsistently.
+    pub fn field(mut self, key: &str, value: impl Into<Value>) -> Self {
+        self.push(key, value);
+        self
+    }
+
+    /// Appends a field in place.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a duplicate key.
+    pub fn push(&mut self, key: &str, value: impl Into<Value>) {
+        assert!(self.get(key).is_none(), "duplicate record field {key:?}");
+        self.fields.push((key.to_string(), value.into()));
+    }
+
+    /// Looks a field up by key.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        self.fields.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+    }
+
+    /// String view of a field, if it is a string.
+    pub fn get_str(&self, key: &str) -> Option<&str> {
+        match self.get(key) {
+            Some(Value::Str(s)) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Numeric view of a field, if it has one.
+    pub fn get_f64(&self, key: &str) -> Option<f64> {
+        self.get(key).and_then(Value::as_f64)
+    }
+
+    /// Iterates fields in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &Value)> {
+        self.fields.iter().map(|(k, v)| (k.as_str(), v))
+    }
+
+    /// Serializes to one JSON object on a single line (no trailing
+    /// newline). The output is a pure function of the field sequence.
+    pub fn to_json_line(&self) -> String {
+        let mut out = String::with_capacity(64 + 16 * self.fields.len());
+        out.push('{');
+        for (i, (k, v)) in self.fields.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            write_json_str(&mut out, k);
+            out.push(':');
+            match v {
+                Value::Str(s) => write_json_str(&mut out, s),
+                Value::Int(n) => {
+                    let _ = write!(out, "{n}");
+                }
+                Value::Float(f) if f.is_finite() => {
+                    // {:?} prints the shortest string that parses back
+                    // to the same f64, so round-trips are exact.
+                    let _ = write!(out, "{f:?}");
+                }
+                Value::Float(_) | Value::Null => out.push_str("null"),
+                Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            }
+        }
+        out.push('}');
+        out
+    }
+
+    /// Parses a line produced by [`Record::to_json_line`].
+    ///
+    /// Accepts exactly the flat-object subset this module emits; a
+    /// nested object or array is an error, as is trailing garbage.
+    pub fn parse(line: &str) -> Result<Record, String> {
+        let mut p = Parser {
+            bytes: line.as_bytes(),
+            pos: 0,
+        };
+        p.skip_ws();
+        p.expect(b'{')?;
+        let mut rec = Record::new();
+        p.skip_ws();
+        if p.peek() == Some(b'}') {
+            p.pos += 1;
+        } else {
+            loop {
+                p.skip_ws();
+                let key = p.parse_string()?;
+                p.skip_ws();
+                p.expect(b':')?;
+                p.skip_ws();
+                let value = p.parse_value()?;
+                if rec.get(&key).is_some() {
+                    return Err(format!("duplicate key {key:?}"));
+                }
+                rec.fields.push((key, value));
+                p.skip_ws();
+                match p.next() {
+                    Some(b',') => continue,
+                    Some(b'}') => break,
+                    other => return Err(format!("expected ',' or '}}', got {other:?}")),
+                }
+            }
+        }
+        p.skip_ws();
+        if p.pos != p.bytes.len() {
+            return Err(format!("trailing data at byte {}", p.pos));
+        }
+        Ok(rec)
+    }
+}
+
+fn write_json_str(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn next(&mut self) -> Option<u8> {
+        let b = self.peek()?;
+        self.pos += 1;
+        Some(b)
+    }
+
+    fn expect(&mut self, want: u8) -> Result<(), String> {
+        match self.next() {
+            Some(b) if b == want => Ok(()),
+            other => Err(format!("expected {:?}, got {other:?}", want as char)),
+        }
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn parse_string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            // Consume one UTF-8 scalar; the input is a &str so the
+            // byte stream is valid UTF-8 by construction.
+            let rest = std::str::from_utf8(&self.bytes[self.pos..]).map_err(|e| e.to_string())?;
+            let c = rest.chars().next().ok_or("unterminated string")?;
+            self.pos += c.len_utf8();
+            match c {
+                '"' => return Ok(out),
+                '\\' => {
+                    let esc = self.next().ok_or("unterminated escape")?;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'u' => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos..self.pos + 4)
+                                .ok_or("truncated \\u escape")?;
+                            self.pos += 4;
+                            let code = u32::from_str_radix(
+                                std::str::from_utf8(hex).map_err(|e| e.to_string())?,
+                                16,
+                            )
+                            .map_err(|e| e.to_string())?;
+                            // Records only escape control characters, which
+                            // are never surrogates, so no pair handling.
+                            out.push(
+                                char::from_u32(code)
+                                    .ok_or_else(|| format!("bad codepoint {code:#x}"))?,
+                            );
+                        }
+                        other => return Err(format!("bad escape \\{}", other as char)),
+                    }
+                }
+                c => out.push(c),
+            }
+        }
+    }
+
+    fn parse_value(&mut self) -> Result<Value, String> {
+        match self.peek().ok_or("unexpected end of input")? {
+            b'"' => Ok(Value::Str(self.parse_string()?)),
+            b't' => self.literal("true", Value::Bool(true)),
+            b'f' => self.literal("false", Value::Bool(false)),
+            b'n' => self.literal("null", Value::Null),
+            b'-' | b'0'..=b'9' => self.parse_number(),
+            other => Err(format!("unexpected value start {:?}", other as char)),
+        }
+    }
+
+    fn literal(&mut self, word: &str, value: Value) -> Result<Value, String> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(value)
+        } else {
+            Err(format!("expected literal {word:?}"))
+        }
+    }
+
+    fn parse_number(&mut self) -> Result<Value, String> {
+        let start = self.pos;
+        let mut is_float = false;
+        while let Some(b) = self.peek() {
+            match b {
+                b'0'..=b'9' | b'-' | b'+' => self.pos += 1,
+                b'.' | b'e' | b'E' => {
+                    is_float = true;
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).map_err(|e| e.to_string())?;
+        if is_float {
+            text.parse::<f64>()
+                .map(Value::Float)
+                .map_err(|e| format!("bad number {text:?}: {e}"))
+        } else {
+            text.parse::<i64>()
+                .map(Value::Int)
+                .map_err(|e| format!("bad integer {text:?}: {e}"))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Record {
+        Record::new()
+            .field("scenario", "fig16")
+            .field("seed", 42u64)
+            .field("load", 0.7)
+            .field("flows", 4096usize)
+            .field("ok", true)
+            .field("note", "a \"quoted\"\nline\twith\\slashes")
+            .field("missing", Value::Null)
+    }
+
+    #[test]
+    fn round_trips_exactly() {
+        let rec = sample();
+        let line = rec.to_json_line();
+        let back = Record::parse(&line).unwrap();
+        assert_eq!(back.to_json_line(), line);
+        assert_eq!(back.get_str("scenario"), Some("fig16"));
+        assert_eq!(back.get_f64("seed"), Some(42.0));
+        assert_eq!(back.get_f64("load"), Some(0.7));
+        assert_eq!(back.get("ok"), Some(&Value::Bool(true)));
+        assert_eq!(
+            back.get_str("note"),
+            Some("a \"quoted\"\nline\twith\\slashes")
+        );
+        assert_eq!(back.get("missing"), Some(&Value::Null));
+    }
+
+    #[test]
+    fn floats_use_shortest_round_trip_form() {
+        let line = Record::new().field("x", 0.1).to_json_line();
+        assert_eq!(line, "{\"x\":0.1}");
+        let back = Record::parse(&line).unwrap();
+        assert_eq!(back.get_f64("x"), Some(0.1));
+    }
+
+    #[test]
+    fn non_finite_floats_become_null() {
+        let line = Record::new()
+            .field("a", f64::NAN)
+            .field("b", f64::INFINITY)
+            .to_json_line();
+        assert_eq!(line, "{\"a\":null,\"b\":null}");
+        let back = Record::parse(&line).unwrap();
+        assert_eq!(back.get("a"), Some(&Value::Null));
+    }
+
+    #[test]
+    fn control_characters_escape_as_unicode() {
+        let line = Record::new().field("c", "\u{1}").to_json_line();
+        assert_eq!(line, "{\"c\":\"\\u0001\"}");
+        assert_eq!(Record::parse(&line).unwrap().get_str("c"), Some("\u{1}"));
+    }
+
+    #[test]
+    fn empty_object_parses() {
+        assert_eq!(Record::parse("{}").unwrap(), Record::new());
+        assert_eq!(Record::new().to_json_line(), "{}");
+    }
+
+    #[test]
+    fn rejects_malformed_lines() {
+        for bad in [
+            "",
+            "{",
+            "{\"a\":}",
+            "{\"a\":1,}",
+            "{\"a\":1} extra",
+            "{\"a\":[1]}",
+            "{\"a\":{}}",
+            "{\"a\":1,\"a\":2}",
+            "{\"a\":tru}",
+        ] {
+            assert!(Record::parse(bad).is_err(), "accepted {bad:?}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate record field")]
+    fn duplicate_push_panics() {
+        Record::new().field("k", 1i64).field("k", 2i64);
+    }
+
+    #[test]
+    fn unicode_text_round_trips() {
+        let rec = Record::new().field("s", "héllo — 队列");
+        let back = Record::parse(&rec.to_json_line()).unwrap();
+        assert_eq!(back, rec);
+    }
+}

@@ -1,0 +1,315 @@
+//! The resumable result store.
+//!
+//! Each campaign owns a directory `results/<campaign>/` holding
+//!
+//! * `records.jsonl` — one [`Record`] line per job, appended the moment
+//!   the job finishes (crash-safe) and rewritten in job-index order
+//!   when the campaign completes;
+//! * `aggregate.csv` — per-(scenario, parameters) statistics of every
+//!   numeric field across seeds, computed with
+//!   [`pmsb_metrics::Summary`].
+//!
+//! Resume works off `records.jsonl`: a job whose key already has a line
+//! is never re-executed; its cached line is reused byte-for-byte. A
+//! torn final line (the process died mid-write) fails to parse and is
+//! simply dropped, so that one job reruns.
+
+use std::collections::HashMap;
+use std::fs::{self, File, OpenOptions};
+use std::io::{self, BufRead, BufReader, Write};
+use std::path::{Path, PathBuf};
+
+use pmsb_metrics::Summary;
+
+use crate::record::Record;
+
+/// Name of the per-job record file inside a campaign directory.
+pub const RECORDS_FILE: &str = "records.jsonl";
+/// Name of the cross-seed aggregate file inside a campaign directory.
+pub const AGGREGATE_FILE: &str = "aggregate.csv";
+/// Record field that carries the job key (written by the campaign
+/// runner, read back on resume).
+pub const JOB_KEY_FIELD: &str = "job";
+
+/// On-disk store for one campaign's records.
+#[derive(Debug)]
+pub struct ResultStore {
+    dir: PathBuf,
+    cached: HashMap<String, String>,
+    appender: Option<File>,
+}
+
+impl ResultStore {
+    /// Opens (creating if needed) `root/<campaign>/` and loads any
+    /// existing records for resume.
+    pub fn open(root: &Path, campaign: &str) -> io::Result<ResultStore> {
+        let dir = root.join(campaign);
+        fs::create_dir_all(&dir)?;
+        let mut cached = HashMap::new();
+        let records = dir.join(RECORDS_FILE);
+        if records.exists() {
+            for line in BufReader::new(File::open(&records)?).lines() {
+                let line = line?;
+                if line.trim().is_empty() {
+                    continue;
+                }
+                // A malformed line (torn write) loses only that record.
+                let Ok(rec) = Record::parse(&line) else {
+                    eprintln!("harness: dropping malformed record line in {records:?}");
+                    continue;
+                };
+                if let Some(key) = rec.get_str(JOB_KEY_FIELD) {
+                    cached.insert(key.to_string(), line);
+                }
+            }
+        }
+        Ok(ResultStore {
+            dir,
+            cached,
+            appender: None,
+        })
+    }
+
+    /// The campaign directory this store writes into.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Number of records currently cached (loaded plus appended).
+    pub fn len(&self) -> usize {
+        self.cached.len()
+    }
+
+    /// Whether the store holds no records.
+    pub fn is_empty(&self) -> bool {
+        self.cached.is_empty()
+    }
+
+    /// The stored line for a job key, if one exists.
+    pub fn cached_line(&self, key: &str) -> Option<&str> {
+        self.cached.get(key).map(String::as_str)
+    }
+
+    /// Appends a freshly computed record line and flushes it to disk so
+    /// an interrupted campaign resumes past this job.
+    pub fn append(&mut self, key: &str, line: &str) -> io::Result<()> {
+        if self.appender.is_none() {
+            self.appender = Some(
+                OpenOptions::new()
+                    .create(true)
+                    .append(true)
+                    .open(self.dir.join(RECORDS_FILE))?,
+            );
+        }
+        let f = self.appender.as_mut().expect("appender just set");
+        f.write_all(line.as_bytes())?;
+        f.write_all(b"\n")?;
+        f.flush()?;
+        self.cached.insert(key.to_string(), line.to_string());
+        Ok(())
+    }
+
+    /// Rewrites `records.jsonl` with the given keys in order (the
+    /// campaign's job-index order), dropping any stale lines, via a
+    /// temp-file rename.
+    pub fn finalize(&mut self, ordered_keys: &[String]) -> io::Result<()> {
+        self.appender = None; // close before replacing the file
+        let mut body = String::new();
+        for key in ordered_keys {
+            if let Some(line) = self.cached.get(key) {
+                body.push_str(line);
+                body.push('\n');
+            }
+        }
+        let tmp = self.dir.join(format!("{RECORDS_FILE}.tmp"));
+        fs::write(&tmp, body)?;
+        fs::rename(&tmp, self.dir.join(RECORDS_FILE))
+    }
+
+    /// Writes `aggregate.csv` from grouped records. See
+    /// [`aggregate_csv`] for the format.
+    pub fn write_aggregates(&self, entries: &[(String, Record)]) -> io::Result<()> {
+        fs::write(self.dir.join(AGGREGATE_FILE), aggregate_csv(entries))
+    }
+}
+
+/// Builds the cross-seed aggregate table.
+///
+/// `entries` pairs a group label — scenario plus parameter point,
+/// seed excluded — with that job's record. For every numeric field
+/// (other than the job key and `seed`) the rows of a group are fed to
+/// [`Summary::from_samples`]; output columns are
+/// `group,metric,count,mean,stddev,min,max`.
+///
+/// Groups appear in first-appearance order and metrics in field order,
+/// so the CSV is deterministic.
+pub fn aggregate_csv(entries: &[(String, Record)]) -> String {
+    let mut group_order: Vec<&str> = Vec::new();
+    let mut metric_order: HashMap<&str, Vec<&str>> = HashMap::new();
+    let mut samples: HashMap<(&str, &str), Vec<f64>> = HashMap::new();
+
+    for (group, rec) in entries {
+        if !group_order.contains(&group.as_str()) {
+            group_order.push(group);
+        }
+        for (key, value) in rec.iter() {
+            if key == JOB_KEY_FIELD || key == "seed" || key == "scenario" {
+                continue;
+            }
+            let Some(x) = value.as_f64() else { continue };
+            let metrics = metric_order.entry(group).or_default();
+            if !metrics.contains(&key) {
+                metrics.push(key);
+            }
+            samples.entry((group, key)).or_default().push(x);
+        }
+    }
+
+    let mut out = String::from("group,metric,count,mean,stddev,min,max\n");
+    for group in group_order {
+        for metric in metric_order.get(group).map_or(&[][..], Vec::as_slice) {
+            let xs = samples[&(group, *metric)].clone();
+            let Some(s) = Summary::from_samples(xs) else {
+                continue;
+            };
+            out.push_str(&csv_field(group));
+            out.push(',');
+            out.push_str(&csv_field(metric));
+            out.push_str(&format!(
+                ",{},{:?},{:?},{:?},{:?}\n",
+                s.count, s.mean, s.stddev, s.min, s.max
+            ));
+        }
+    }
+    out
+}
+
+fn csv_field(s: &str) -> String {
+    if s.contains(',') || s.contains('"') || s.contains('\n') {
+        format!("\"{}\"", s.replace('"', "\"\""))
+    } else {
+        s.to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        static N: AtomicUsize = AtomicUsize::new(0);
+        let dir = std::env::temp_dir().join(format!(
+            "pmsb-harness-store-{}-{tag}-{}",
+            std::process::id(),
+            N.fetch_add(1, Ordering::Relaxed)
+        ));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn rec(key: &str, seed: u64, fct: f64) -> Record {
+        Record::new()
+            .field(JOB_KEY_FIELD, key)
+            .field("seed", seed)
+            .field("fct_us", fct)
+    }
+
+    #[test]
+    fn append_then_reopen_resumes() {
+        let root = temp_dir("resume");
+        let mut store = ResultStore::open(&root, "camp").unwrap();
+        assert!(store.is_empty());
+        store
+            .append("a#1", &rec("a#1", 1, 10.0).to_json_line())
+            .unwrap();
+        store
+            .append("a#2", &rec("a#2", 2, 12.0).to_json_line())
+            .unwrap();
+
+        let store2 = ResultStore::open(&root, "camp").unwrap();
+        assert_eq!(store2.len(), 2);
+        assert_eq!(
+            store2.cached_line("a#1"),
+            Some(rec("a#1", 1, 10.0).to_json_line().as_str())
+        );
+        fs::remove_dir_all(root).unwrap();
+    }
+
+    #[test]
+    fn torn_final_line_is_dropped_not_fatal() {
+        let root = temp_dir("torn");
+        let mut store = ResultStore::open(&root, "camp").unwrap();
+        store
+            .append("a#1", &rec("a#1", 1, 10.0).to_json_line())
+            .unwrap();
+        drop(store);
+        // Simulate a crash mid-append of a second record.
+        let mut f = OpenOptions::new()
+            .append(true)
+            .open(root.join("camp").join(RECORDS_FILE))
+            .unwrap();
+        f.write_all(b"{\"job\":\"a#2\",\"seed\":2,\"fct_us\":1")
+            .unwrap();
+        drop(f);
+
+        let store = ResultStore::open(&root, "camp").unwrap();
+        assert_eq!(store.len(), 1);
+        assert!(store.cached_line("a#2").is_none());
+        fs::remove_dir_all(root).unwrap();
+    }
+
+    #[test]
+    fn finalize_orders_and_drops_stale() {
+        let root = temp_dir("finalize");
+        let mut store = ResultStore::open(&root, "camp").unwrap();
+        // Completion order b, a; stale record c not in the job list.
+        store.append("b", &rec("b", 2, 2.0).to_json_line()).unwrap();
+        store.append("a", &rec("a", 1, 1.0).to_json_line()).unwrap();
+        store.append("c", &rec("c", 3, 3.0).to_json_line()).unwrap();
+        store.finalize(&["a".to_string(), "b".to_string()]).unwrap();
+
+        let body = fs::read_to_string(root.join("camp").join(RECORDS_FILE)).unwrap();
+        let lines: Vec<&str> = body.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert_eq!(lines[0], rec("a", 1, 1.0).to_json_line());
+        assert_eq!(lines[1], rec("b", 2, 2.0).to_json_line());
+        fs::remove_dir_all(root).unwrap();
+    }
+
+    #[test]
+    fn aggregate_groups_across_seeds() {
+        let entries = vec![
+            ("fig load=0.5".to_string(), rec("k1", 1, 10.0)),
+            ("fig load=0.5".to_string(), rec("k2", 2, 14.0)),
+            ("fig load=0.9".to_string(), rec("k3", 1, 30.0)),
+        ];
+        let csv = aggregate_csv(&entries);
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines[0], "group,metric,count,mean,stddev,min,max");
+        assert_eq!(lines[1], "fig load=0.5,fct_us,2,12.0,2.0,10.0,14.0");
+        assert_eq!(lines[2], "fig load=0.9,fct_us,1,30.0,0.0,30.0,30.0");
+    }
+
+    #[test]
+    fn aggregate_quotes_commas_in_group_labels() {
+        let entries = vec![("fig,load=0.5".to_string(), rec("k", 1, 5.0))];
+        let csv = aggregate_csv(&entries);
+        assert!(csv.contains("\"fig,load=0.5\",fct_us,1"), "csv: {csv}");
+    }
+
+    #[test]
+    fn aggregate_skips_non_numeric_and_identity_fields() {
+        let record = Record::new()
+            .field(JOB_KEY_FIELD, "k")
+            .field("scenario", "fig")
+            .field("seed", 7u64)
+            .field("label", "text")
+            .field("value", 1.5);
+        let csv = aggregate_csv(&[("g".to_string(), record)]);
+        assert!(!csv.contains("seed"));
+        assert!(!csv.contains("label"));
+        assert!(csv.contains("g,value,1,1.5,0.0,1.5,1.5"), "csv: {csv}");
+    }
+}

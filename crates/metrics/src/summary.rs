@@ -52,6 +52,8 @@ pub struct Summary {
     pub count: usize,
     /// Arithmetic mean.
     pub mean: f64,
+    /// Population standard deviation (zero for a single sample).
+    pub stddev: f64,
     /// Minimum.
     pub min: f64,
     /// Median (50th percentile).
@@ -74,9 +76,11 @@ impl Summary {
         samples.sort_by(|a, b| a.partial_cmp(b).expect("NaN sample"));
         let count = samples.len();
         let mean = samples.iter().sum::<f64>() / count as f64;
+        let variance = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / count as f64;
         Some(Summary {
             count,
             mean,
+            stddev: variance.sqrt(),
             min: samples[0],
             p50: percentile(&samples, 50.0),
             p95: percentile(&samples, 95.0),
@@ -99,12 +103,13 @@ impl std::fmt::Display for Summary {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use pmsb_simcore::rng::SimRng;
 
     #[test]
     fn single_sample_everything_equal() {
         let s = Summary::from_samples(vec![7.0]).unwrap();
         assert_eq!(s.mean, 7.0);
+        assert_eq!(s.stddev, 0.0);
         assert_eq!(s.p50, 7.0);
         assert_eq!(s.p99, 7.0);
         assert_eq!(s.min, 7.0);
@@ -125,6 +130,13 @@ mod tests {
     }
 
     #[test]
+    fn stddev_matches_population_formula() {
+        // Samples 2, 4, 4, 4, 5, 5, 7, 9: the textbook sigma = 2 example.
+        let s = Summary::from_samples(vec![2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]).unwrap();
+        assert!((s.stddev - 2.0).abs() < 1e-12, "got {}", s.stddev);
+    }
+
+    #[test]
     #[should_panic(expected = "empty")]
     fn percentile_rejects_empty() {
         percentile(&[], 50.0);
@@ -136,28 +148,24 @@ mod tests {
         percentile(&[1.0], 101.0);
     }
 
-    proptest! {
-        /// Percentiles are monotone in p and bounded by min/max.
-        #[test]
-        fn percentile_monotone(
-            mut xs in proptest::collection::vec(-1e6_f64..1e6, 1..100),
-            p1 in 0.0_f64..100.0,
-            p2 in 0.0_f64..100.0,
-        ) {
+    /// Percentiles are monotone in p and bounded by min/max, and the mean
+    /// lies within [min, max], for seeded-random sample sets.
+    #[test]
+    fn percentile_monotone_and_mean_bounded() {
+        let mut rng = SimRng::seed_from(0x51);
+        for _ in 0..64 {
+            let len = 1 + rng.below(99);
+            let mut xs: Vec<f64> = (0..len).map(|_| (rng.uniform() - 0.5) * 2e6).collect();
             xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            let (p1, p2) = (rng.uniform() * 100.0, rng.uniform() * 100.0);
             let (lo, hi) = if p1 <= p2 { (p1, p2) } else { (p2, p1) };
             let v1 = percentile(&xs, lo);
             let v2 = percentile(&xs, hi);
-            prop_assert!(v1 <= v2 + 1e-9);
-            prop_assert!(v1 >= xs[0] - 1e-9);
-            prop_assert!(v2 <= xs[xs.len()-1] + 1e-9);
-        }
-
-        /// The mean lies within [min, max].
-        #[test]
-        fn mean_bounded(xs in proptest::collection::vec(-1e6_f64..1e6, 1..100)) {
+            assert!(v1 <= v2 + 1e-9);
+            assert!(v1 >= xs[0] - 1e-9);
+            assert!(v2 <= xs[xs.len() - 1] + 1e-9);
             let s = Summary::from_samples(xs).unwrap();
-            prop_assert!(s.mean >= s.min - 1e-9 && s.mean <= s.max + 1e-9);
+            assert!(s.mean >= s.min - 1e-9 && s.mean <= s.max + 1e-9);
         }
     }
 }

@@ -1124,38 +1124,43 @@ mod tests {
 
     mod properties {
         use super::*;
-        use proptest::prelude::*;
+        use pmsb_simcore::rng::SimRng;
 
-        proptest! {
-            /// The receiver reassembles any arrival order of the segments
-            /// of a transfer, including duplicates, to the exact length.
-            #[test]
-            fn receiver_reassembles_any_permutation(
-                order in proptest::collection::vec(0_usize..20, 30..60),
-            ) {
+        /// The receiver reassembles any arrival order of the segments
+        /// of a transfer, including duplicates, to the exact length.
+        #[test]
+        fn receiver_reassembles_any_permutation() {
+            let mut rng = SimRng::seed_from(0x7a);
+            for _ in 0..32 {
                 let mss = 1460u64;
                 let total = 20 * mss;
                 let mut r = DctcpReceiver::new(9);
                 let mut delivered = [false; 20];
-                for idx in &order {
-                    delivered[*idx] = true;
-                    let p = Packet::data(9, 0, 1, 0, *idx as u64 * mss, mss, 0);
+                for _ in 0..(30 + rng.below(30)) {
+                    let idx = rng.below(20);
+                    delivered[idx] = true;
+                    let p = Packet::data(9, 0, 1, 0, idx as u64 * mss, mss, 0);
                     r.on_data(&p, 0);
                 }
-                // Deliver whatever the permutation missed, in order.
+                // Deliver whatever the random order missed, in order.
                 for (idx, seen) in delivered.iter().enumerate() {
                     if !seen {
                         let p = Packet::data(9, 0, 1, 0, idx as u64 * mss, mss, 0);
                         r.on_data(&p, 0);
                     }
                 }
-                prop_assert_eq!(r.rcv_nxt(), total);
+                assert_eq!(r.rcv_nxt(), total);
             }
+        }
 
-            /// Transfers complete in loopback under any deterministic
-            /// periodic marking pattern.
-            #[test]
-            fn completes_under_any_periodic_marking(period in 1_u64..20, segs in 1_u64..80) {
+        /// Transfers complete in loopback under any deterministic
+        /// periodic marking pattern.
+        #[test]
+        fn completes_under_any_periodic_marking() {
+            let mut rng = SimRng::seed_from(0x7b);
+            for _ in 0..12 {
+                let period = 1 + rng.below(19) as u64;
+                let segs = 1 + rng.below(79) as u64;
                 let s = sender(segs * 1460);
                 let mut n = 0u64;
                 run_loopback(s, move |_| {
@@ -1163,10 +1168,16 @@ mod tests {
                     n.is_multiple_of(period)
                 });
             }
+        }
 
-            /// cwnd never decays below one MSS no matter the marking.
-            #[test]
-            fn cwnd_floor_is_one_mss(marks in proptest::collection::vec(any::<bool>(), 1..200)) {
+        /// cwnd never decays below one MSS no matter the marking.
+        #[test]
+        fn cwnd_floor_is_one_mss() {
+            let mut rng = SimRng::seed_from(0x7c);
+            for _ in 0..8 {
+                let marks: Vec<bool> = (0..(1 + rng.below(199)))
+                    .map(|_| rng.below(2) == 1)
+                    .collect();
                 let mut s = sender(u64::MAX / 2);
                 let out = s.start(0);
                 let mut now = 100_000u64;
@@ -1176,11 +1187,13 @@ mod tests {
                 for _ in 0..30 {
                     let mut next = Vec::new();
                     for p in &packets {
-                        let PacketKind::Data { seq, len } = p.kind else { unreachable!() };
+                        let PacketKind::Data { seq, len } = p.kind else {
+                            unreachable!()
+                        };
                         cum = cum.max(seq + len);
                         let ece = *it.next().unwrap();
                         next.extend(s.on_ack(cum, ece, p.sent_at_nanos, now).packets);
-                        prop_assert!(s.cwnd_bytes() >= 1460.0);
+                        assert!(s.cwnd_bytes() >= 1460.0);
                     }
                     now += 100_000;
                     if next.is_empty() {
@@ -1189,10 +1202,16 @@ mod tests {
                     packets = next;
                 }
             }
+        }
 
-            /// Alpha stays a valid EWMA in [0, 1].
-            #[test]
-            fn alpha_stays_in_unit_interval(marks in proptest::collection::vec(any::<bool>(), 1..100)) {
+        /// Alpha stays a valid EWMA in [0, 1].
+        #[test]
+        fn alpha_stays_in_unit_interval() {
+            let mut rng = SimRng::seed_from(0x7d);
+            for _ in 0..8 {
+                let marks: Vec<bool> = (0..(1 + rng.below(99)))
+                    .map(|_| rng.below(2) == 1)
+                    .collect();
                 let mut s = sender(u64::MAX / 2);
                 let out = s.start(0);
                 let mut now = 100_000u64;
@@ -1202,10 +1221,15 @@ mod tests {
                 for _ in 0..20 {
                     let mut next = Vec::new();
                     for p in &packets {
-                        let PacketKind::Data { seq, len } = p.kind else { unreachable!() };
+                        let PacketKind::Data { seq, len } = p.kind else {
+                            unreachable!()
+                        };
                         cum = cum.max(seq + len);
-                        next.extend(s.on_ack(cum, *it.next().unwrap(), p.sent_at_nanos, now).packets);
-                        prop_assert!((0.0..=1.0).contains(&s.alpha()));
+                        next.extend(
+                            s.on_ack(cum, *it.next().unwrap(), p.sent_at_nanos, now)
+                                .packets,
+                        );
+                        assert!((0.0..=1.0).contains(&s.alpha()));
                     }
                     now += 100_000;
                     packets = next;

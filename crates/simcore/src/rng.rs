@@ -3,14 +3,27 @@
 //! All stochastic inputs to an experiment (flow arrivals, sizes,
 //! source/destination choices) draw from a [`SimRng`] created from an
 //! explicit seed, so every run is reproducible bit-for-bit.
+//!
+//! The generator is an in-tree xoshiro256\*\* seeded through splitmix64
+//! (Blackman & Vigna), so the workspace builds with no external
+//! dependencies and the stream for a given seed is stable across
+//! toolchains and platforms.
 
-use rand::rngs::StdRng;
-use rand::{Rng, RngCore, SeedableRng};
+/// One step of the splitmix64 sequence; used to expand a 64-bit seed
+/// into the 256-bit xoshiro state (the seeding procedure the xoshiro
+/// authors recommend).
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
 
 /// A seeded random-number generator for simulation inputs.
 ///
-/// Thin wrapper around [`rand::rngs::StdRng`] adding the distributions the
-/// experiments need (exponential inter-arrivals, discrete choice).
+/// xoshiro256\*\* core plus the distributions the experiments need
+/// (exponential inter-arrivals, discrete choice).
 ///
 /// # Example
 ///
@@ -23,42 +36,68 @@ use rand::{Rng, RngCore, SeedableRng};
 /// ```
 #[derive(Debug, Clone)]
 pub struct SimRng {
-    inner: StdRng,
+    state: [u64; 4],
 }
 
 impl SimRng {
     /// Creates a generator from a 64-bit seed.
     pub fn seed_from(seed: u64) -> Self {
-        SimRng {
-            inner: StdRng::seed_from_u64(seed),
+        let mut sm = seed;
+        let mut state = [0u64; 4];
+        for s in &mut state {
+            *s = splitmix64(&mut sm);
         }
+        // The all-zero state is the one fixed point of xoshiro; splitmix64
+        // expansion cannot realistically produce it, but guard anyway.
+        if state == [0; 4] {
+            state[0] = 0x9E37_79B9_7F4A_7C15;
+        }
+        SimRng { state }
     }
 
     /// Derives an independent child generator; used to give each traffic
     /// source its own stream so adding a source does not perturb others.
     pub fn fork(&mut self, salt: u64) -> SimRng {
-        let s = self.inner.gen::<u64>() ^ salt.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        let s = self.next_u64() ^ salt.wrapping_mul(0x9E37_79B9_7F4A_7C15);
         SimRng::seed_from(s)
     }
 
-    /// The next raw 64-bit value.
+    /// The next raw 64-bit value (xoshiro256\*\* step).
     pub fn next_u64(&mut self) -> u64 {
-        self.inner.next_u64()
+        let s = &mut self.state;
+        let result = s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
     }
 
-    /// A uniform float in `[0, 1)`.
+    /// A uniform float in `[0, 1)` (53 random mantissa bits).
     pub fn uniform(&mut self) -> f64 {
-        self.inner.gen::<f64>()
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
     }
 
-    /// A uniform integer in `[0, n)`.
+    /// A uniform integer in `[0, n)`, bias-free via rejection sampling.
     ///
     /// # Panics
     ///
     /// Panics if `n` is zero.
     pub fn below(&mut self, n: usize) -> usize {
         assert!(n > 0, "below(0) is meaningless");
-        self.inner.gen_range(0..n)
+        let n = n as u64;
+        // Reject the low `2^64 mod n` values so every residue is equally
+        // likely; at most one retry in expectation for any n.
+        let reject_below = n.wrapping_neg() % n;
+        loop {
+            let x = self.next_u64();
+            if x >= reject_below {
+                return (x % n) as usize;
+            }
+        }
     }
 
     /// An exponentially distributed value with the given mean (inverse
@@ -124,6 +163,13 @@ mod tests {
     }
 
     #[test]
+    fn zero_seed_is_usable() {
+        let mut rng = SimRng::seed_from(0);
+        let vals: Vec<u64> = (0..4).map(|_| rng.next_u64()).collect();
+        assert!(vals.iter().any(|v| *v != 0));
+    }
+
+    #[test]
     fn exponential_mean_close() {
         let mut rng = SimRng::seed_from(3);
         let n = 20_000;
@@ -146,11 +192,30 @@ mod tests {
     }
 
     #[test]
+    fn uniform_covers_both_halves() {
+        let mut rng = SimRng::seed_from(13);
+        let n = 10_000;
+        let low = (0..n).filter(|_| rng.uniform() < 0.5).count();
+        let frac = low as f64 / n as f64;
+        assert!((frac - 0.5).abs() < 0.03, "lower-half fraction {frac}");
+    }
+
+    #[test]
     fn below_bounds() {
         let mut rng = SimRng::seed_from(5);
         for _ in 0..1000 {
             assert!(rng.below(7) < 7);
         }
+    }
+
+    #[test]
+    fn below_hits_every_residue() {
+        let mut rng = SimRng::seed_from(17);
+        let mut seen = [false; 7];
+        for _ in 0..1000 {
+            seen[rng.below(7)] = true;
+        }
+        assert!(seen.iter().all(|s| *s), "all residues reachable: {seen:?}");
     }
 
     #[test]

@@ -241,7 +241,6 @@ impl FlowSizeDist for DataMining {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
 
     #[test]
     fn paper_mix_class_proportions() {
@@ -320,20 +319,20 @@ mod tests {
         EmpiricalCdf::new(vec![(2.0, 0.0), (1.0, 1.0)], "bad");
     }
 
-    proptest! {
-        /// Samples always fall within the distribution's support.
-        #[test]
-        fn samples_in_support(seed in 0_u64..1000) {
+    /// Samples always fall within the distribution's support.
+    #[test]
+    fn samples_in_support() {
+        for seed in 0..40u64 {
             let mut rng = SimRng::seed_from(seed);
             let ws = WebSearch::new();
             for _ in 0..50 {
                 let s = ws.sample(&mut rng);
-                prop_assert!((1_000..=30_000_000).contains(&s));
+                assert!((1_000..=30_000_000).contains(&s));
             }
             let mix = PaperMix::new();
             for _ in 0..50 {
                 let s = mix.sample(&mut rng);
-                prop_assert!((1_000..=100_000_000).contains(&s));
+                assert!((1_000..=100_000_000).contains(&s));
             }
         }
     }

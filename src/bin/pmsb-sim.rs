@@ -8,10 +8,12 @@
 //!     --scheduler dwrr:1,1,1,1,1,1,1,1 --seed 42
 //!
 //! pmsb-sim profile --rate-gbps 10 --rtt-us 85.2 --weights 1,1,1,1,1,1,1,1
+//!
+//! pmsb-sim campaign all --quick --jobs 4
 //! ```
 //!
 //! Sub-grammars (sizes, flows, schemes, schedulers) are documented in
-//! [`pmsb_repro::cli`].
+//! [`pmsb_repro::cli`]; campaigns come from [`pmsb_bench::campaigns`].
 
 use std::process::ExitCode;
 
@@ -37,6 +39,10 @@ USAGE:
                      [--scheduler SPEC] [--mark-point enq|deq] [--pmsbe-us X]
   pmsb-sim profile   --rtt-us X --weights W1,W2,... [--rate-gbps N]
                      [--lambda X] [--margin X]
+  pmsb-sim campaign  NAME [--quick] [--jobs N] [--results DIR] [--quiet]
+                     NAME: all | figures | extensions | large-scale-dwrr
+                     | large-scale-wfq | seed-sensitivity | any scenario
+                     (e.g. fig08, ablation_port_threshold)
   pmsb-sim help
 
 SPECS:
@@ -80,6 +86,11 @@ fn opt_parse<T: std::str::FromStr>(
 }
 
 fn run(args: &[String]) -> Result<(), ParseError> {
+    // `campaign` uses the harness flag grammar (valueless `--quick` /
+    // `--quiet`), so it is dispatched before `split_options`.
+    if args.first().map(String::as_str) == Some("campaign") {
+        return campaign(&args[1..]);
+    }
     let (positional, options) = split_options(args)?;
     match positional.first().map(String::as_str) {
         Some("dumbbell") => dumbbell(&options),
@@ -91,6 +102,50 @@ fn run(args: &[String]) -> Result<(), ParseError> {
         }
         Some(other) => Err(ParseError(format!("unknown command '{other}'"))),
     }
+}
+
+/// `pmsb-sim campaign NAME [--quick] [--jobs N] [--results DIR] [--quiet]`:
+/// runs a harness campaign (resumable, parallel) and prints its report.
+fn campaign(args: &[String]) -> Result<(), ParseError> {
+    let (opts, rest) = pmsb_harness::RunOptions::take_flags(args.to_vec()).map_err(ParseError)?;
+    let mut quick = false;
+    let mut name: Option<String> = None;
+    for arg in rest {
+        match arg.as_str() {
+            "--quick" => quick = true,
+            other if !other.starts_with("--") && name.is_none() => name = Some(other.to_string()),
+            other => {
+                return Err(ParseError(format!(
+                    "campaign: unexpected argument '{other}'"
+                )))
+            }
+        }
+    }
+    let Some(name) = name else {
+        return Err(ParseError(format!(
+            "campaign needs a name: {} or an individual scenario",
+            pmsb_bench::campaigns::CAMPAIGN_NAMES.join(" | ")
+        )));
+    };
+    let Some(c) = pmsb_bench::campaigns::campaign_by_name(&name, quick) else {
+        return Err(ParseError(format!(
+            "unknown campaign '{name}' (try {} or a scenario like fig08)",
+            pmsb_bench::campaigns::CAMPAIGN_NAMES.join(" | ")
+        )));
+    };
+    let total = c.len();
+    let result = c.run(&opts).map_err(|e| ParseError(e.to_string()))?;
+    pmsb_bench::campaigns::print_campaign_output(&result);
+    if !result.is_success() {
+        for f in &result.failures {
+            eprintln!("campaign: job {} failed: {}", f.key, f.error);
+        }
+        return Err(ParseError(format!(
+            "{} of {total} jobs failed",
+            result.failures.len()
+        )));
+    }
+    Ok(())
 }
 
 fn apply_common(mut e: Experiment, options: &[(String, String)]) -> Result<Experiment, ParseError> {

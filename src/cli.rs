@@ -245,17 +245,28 @@ pub fn parse_flow(s: &str) -> Result<FlowDesc, ParseError> {
 pub type SplitArgs = (Vec<String>, Vec<(String, String)>);
 
 /// Splits `args` into positional arguments and `--key value` options
-/// (flags repeatable; `--flow` collects into a list).
+/// (flags repeatable; `--flow` collects into a list). A token starting
+/// with `--` is never accepted as a value, so a forgotten value is
+/// reported against the right option instead of silently swallowing
+/// the next one.
 pub fn split_options(args: &[String]) -> Result<SplitArgs, ParseError> {
     let mut positional = Vec::new();
     let mut options = Vec::new();
     let mut it = args.iter().peekable();
     while let Some(a) = it.next() {
         if let Some(key) = a.strip_prefix("--") {
-            let Some(value) = it.next() else {
-                return err(format!("option --{key} needs a value"));
-            };
-            options.push((key.to_string(), value.clone()));
+            match it.peek() {
+                Some(value) if !value.starts_with("--") => {
+                    options.push((key.to_string(), it.next().unwrap().clone()));
+                }
+                Some(value) => {
+                    return err(format!(
+                        "option --{key} needs a value, but found option '{value}' \
+                         next (write --{key} VALUE)"
+                    ));
+                }
+                None => return err(format!("option --{key} needs a value")),
+            }
         } else {
             positional.push(a.clone());
         }
@@ -342,5 +353,23 @@ mod tests {
         assert_eq!(pos, vec!["dumbbell"]);
         assert_eq!(opts.len(), 2);
         assert!(split_options(std::slice::from_ref(&"--senders".to_string())).is_err());
+    }
+
+    #[test]
+    fn option_like_values_are_rejected() {
+        // `--senders` missing its value must not swallow `--queues`.
+        let args: Vec<String> = ["dumbbell", "--senders", "--queues", "2"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let e = split_options(&args).unwrap_err();
+        assert!(
+            e.0.contains("--senders") && e.0.contains("--queues"),
+            "error should name both the option and the stray token: {e}"
+        );
+        // A negative number is a legitimate value, not an option.
+        let args: Vec<String> = ["--offset", "-5"].iter().map(|s| s.to_string()).collect();
+        let (_, opts) = split_options(&args).unwrap();
+        assert_eq!(opts, vec![("offset".to_string(), "-5".to_string())]);
     }
 }

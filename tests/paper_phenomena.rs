@@ -6,7 +6,7 @@ use pmsb_bench::figures;
 #[test]
 fn per_port_marking_violates_fair_sharing_and_pmsb_restores_it() {
     // Fig. 3: the lone queue-1 flow is a victim under per-port K=16.
-    let violated = figures::fig03(true);
+    let violated = figures::fig03(&mut String::new(), true);
     assert!(
         violated.queue_gbps[0] < 3.5,
         "queue 1 should be victimized: {:?}",
@@ -18,7 +18,7 @@ fn per_port_marking_violates_fair_sharing_and_pmsb_restores_it() {
         violated.total_gbps
     );
     // Fig. 8: PMSB restores ~5/5.
-    let fair = figures::fig08(true);
+    let fair = figures::fig08(&mut String::new(), true);
     assert!(
         (fair.queue_gbps[0] - 5.0).abs() < 0.7 && (fair.queue_gbps[1] - 5.0).abs() < 0.7,
         "PMSB must restore the 1:1 split: {:?}",
@@ -30,14 +30,14 @@ fn per_port_marking_violates_fair_sharing_and_pmsb_restores_it() {
 #[test]
 fn raising_port_threshold_helps_until_flow_count_grows() {
     // Fig. 6: K=65 restores fairness at 1:8 ...
-    let ok = figures::fig06(true);
+    let ok = figures::fig06(&mut String::new(), true);
     assert!(
         (ok.queue_gbps[0] - 5.0).abs() < 0.8,
         "K=65 should restore fairness at 1:8: {:?}",
         ok.queue_gbps
     );
     // Fig. 7: ... but is violated again at 1:40.
-    let broken = figures::fig07(true);
+    let broken = figures::fig07(&mut String::new(), true);
     assert!(
         broken.queue_gbps[0] < 3.5,
         "K=65 must fail at 1:40: {:?}",
@@ -48,14 +48,14 @@ fn raising_port_threshold_helps_until_flow_count_grows() {
 #[test]
 fn dequeue_marking_delivers_congestion_information_early() {
     // Fig. 4: dequeue marking lowers the slow-start peak.
-    let (enq, deq) = figures::fig04(true);
+    let (enq, deq) = figures::fig04(&mut String::new(), true);
     assert!(
         deq < enq * 0.92,
         "dequeue peak {deq} should be well below enqueue peak {enq}"
     );
     // Fig. 5: TCN's sojourn marking cannot benefit — its peak stays at the
     // enqueue level.
-    let tcn = figures::fig05(true);
+    let tcn = figures::fig05(&mut String::new(), true);
     assert!(
         tcn > deq * 1.1,
         "TCN peak {tcn} should stay high (DCTCP dequeue peak {deq})"
@@ -65,7 +65,7 @@ fn dequeue_marking_delivers_congestion_information_early() {
 #[test]
 fn pmsb_keeps_fair_sharing_under_heavy_traffic() {
     // Fig. 10: 1 vs 100 flows.
-    let r = figures::fig10(true);
+    let r = figures::fig10(&mut String::new(), true);
     assert!(
         (r.queue_gbps[0] - 5.0).abs() < 0.8,
         "PMSB must hold 5/5 at 1:100: {:?}",
@@ -77,7 +77,7 @@ fn pmsb_keeps_fair_sharing_under_heavy_traffic() {
 fn pmsb_achieves_lowest_rtt_among_schemes() {
     // Fig. 9: PMSB < per-queue-standard in mean RTT; TCN and
     // per-queue-std are the high-latency schemes.
-    let rows = figures::fig09(true);
+    let rows = figures::fig09(&mut String::new(), true);
     let get = |n: &str| {
         rows.iter()
             .find(|(name, _)| *name == n)
@@ -96,12 +96,12 @@ fn pmsb_achieves_lowest_rtt_among_schemes() {
 #[test]
 fn generic_schedulers_are_preserved() {
     // Fig. 14: strict priority 5/3/2 under PMSB.
-    let shares = figures::fig14(true);
+    let shares = figures::fig14(&mut String::new(), true);
     assert!((shares[0] - 5.1).abs() < 0.5, "q1 {shares:?}");
     assert!((shares[1] - 3.1).abs() < 0.5, "q2 {shares:?}");
     assert!((shares[2] - 1.8).abs() < 0.6, "q3 {shares:?}");
     // Fig. 15: WFQ solo 10 Gbps then 5/5.
-    let (solo, q1, q2) = figures::fig15(true);
+    let (solo, q1, q2) = figures::fig15(&mut String::new(), true);
     assert!(solo > 9.0, "solo {solo}");
     assert!(
         (q1 - 5.0).abs() < 0.7 && (q2 - 5.0).abs() < 0.7,
@@ -111,7 +111,7 @@ fn generic_schedulers_are_preserved() {
 
 #[test]
 fn theorem_iv1_bound_predicts_throughput_recovery() {
-    let rows = figures::thm_iv1(true);
+    let rows = figures::thm_iv1(&mut String::new(), true);
     // Utilization is non-decreasing in the threshold and reaches ~full
     // above the bound.
     for w in rows.windows(2) {
