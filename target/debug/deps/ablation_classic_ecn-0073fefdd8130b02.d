@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_classic_ecn-0073fefdd8130b02.d: crates/bench/src/bin/ablation_classic_ecn.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_classic_ecn-0073fefdd8130b02.rmeta: crates/bench/src/bin/ablation_classic_ecn.rs Cargo.toml
+
+crates/bench/src/bin/ablation_classic_ecn.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_classic_ecn-a798ffc7bf43bb2d.d: crates/bench/src/bin/ablation_classic_ecn.rs
+
+/root/repo/target/debug/deps/ablation_classic_ecn-a798ffc7bf43bb2d: crates/bench/src/bin/ablation_classic_ecn.rs
+
+crates/bench/src/bin/ablation_classic_ecn.rs:

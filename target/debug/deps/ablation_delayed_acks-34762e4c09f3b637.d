@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_delayed_acks-34762e4c09f3b637.d: crates/bench/src/bin/ablation_delayed_acks.rs
+
+/root/repo/target/debug/deps/ablation_delayed_acks-34762e4c09f3b637: crates/bench/src/bin/ablation_delayed_acks.rs
+
+crates/bench/src/bin/ablation_delayed_acks.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_delayed_acks-5f2349d05b13343f.d: crates/bench/src/bin/ablation_delayed_acks.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_delayed_acks-5f2349d05b13343f.rmeta: crates/bench/src/bin/ablation_delayed_acks.rs Cargo.toml
+
+crates/bench/src/bin/ablation_delayed_acks.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_pmsbe_threshold-d22b5700ae057604.d: crates/bench/src/bin/ablation_pmsbe_threshold.rs
+
+/root/repo/target/debug/deps/ablation_pmsbe_threshold-d22b5700ae057604: crates/bench/src/bin/ablation_pmsbe_threshold.rs
+
+crates/bench/src/bin/ablation_pmsbe_threshold.rs:

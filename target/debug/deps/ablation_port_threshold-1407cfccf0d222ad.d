@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_port_threshold-1407cfccf0d222ad.d: crates/bench/src/bin/ablation_port_threshold.rs
+
+/root/repo/target/debug/deps/ablation_port_threshold-1407cfccf0d222ad: crates/bench/src/bin/ablation_port_threshold.rs
+
+crates/bench/src/bin/ablation_port_threshold.rs:

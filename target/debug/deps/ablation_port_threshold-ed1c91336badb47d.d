@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_port_threshold-ed1c91336badb47d.d: crates/bench/src/bin/ablation_port_threshold.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_port_threshold-ed1c91336badb47d.rmeta: crates/bench/src/bin/ablation_port_threshold.rs Cargo.toml
+
+crates/bench/src/bin/ablation_port_threshold.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

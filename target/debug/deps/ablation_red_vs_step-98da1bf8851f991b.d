@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_red_vs_step-98da1bf8851f991b.d: crates/bench/src/bin/ablation_red_vs_step.rs
+
+/root/repo/target/debug/deps/ablation_red_vs_step-98da1bf8851f991b: crates/bench/src/bin/ablation_red_vs_step.rs
+
+crates/bench/src/bin/ablation_red_vs_step.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_red_vs_step-d13b3780ed29779c.d: crates/bench/src/bin/ablation_red_vs_step.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_red_vs_step-d13b3780ed29779c.rmeta: crates/bench/src/bin/ablation_red_vs_step.rs Cargo.toml
+
+crates/bench/src/bin/ablation_red_vs_step.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/all_experiments-813bdabf5451ba09.d: crates/bench/src/bin/all_experiments.rs
+
+/root/repo/target/debug/deps/all_experiments-813bdabf5451ba09: crates/bench/src/bin/all_experiments.rs
+
+crates/bench/src/bin/all_experiments.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/all_experiments-9f58bf98b67c18be.d: crates/bench/src/bin/all_experiments.rs Cargo.toml
+
+/root/repo/target/debug/deps/liball_experiments-9f58bf98b67c18be.rmeta: crates/bench/src/bin/all_experiments.rs Cargo.toml
+
+crates/bench/src/bin/all_experiments.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

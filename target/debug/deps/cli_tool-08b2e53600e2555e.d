@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/cli_tool-08b2e53600e2555e.d: tests/cli_tool.rs
+
+/root/repo/target/debug/deps/cli_tool-08b2e53600e2555e: tests/cli_tool.rs
+
+tests/cli_tool.rs:
+
+# env-dep:CARGO_BIN_EXE_pmsb-sim=/root/repo/target/debug/pmsb-sim

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/cli_tool-9ade116f0e84c880.d: tests/cli_tool.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcli_tool-9ade116f0e84c880.rmeta: tests/cli_tool.rs Cargo.toml
+
+tests/cli_tool.rs:
+Cargo.toml:
+
+# env-dep:CARGO_BIN_EXE_pmsb-sim=placeholder:pmsb-sim
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/determinism-0973d791cb46c9ad.d: crates/harness/tests/determinism.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdeterminism-0973d791cb46c9ad.rmeta: crates/harness/tests/determinism.rs Cargo.toml
+
+crates/harness/tests/determinism.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

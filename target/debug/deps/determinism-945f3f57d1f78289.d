@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/determinism-945f3f57d1f78289.d: crates/harness/tests/determinism.rs
+
+/root/repo/target/debug/deps/determinism-945f3f57d1f78289: crates/harness/tests/determinism.rs
+
+crates/harness/tests/determinism.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end-641049993d6bc2ae.d: tests/end_to_end.rs
+
+/root/repo/target/debug/deps/end_to_end-641049993d6bc2ae: tests/end_to_end.rs
+
+tests/end_to_end.rs:

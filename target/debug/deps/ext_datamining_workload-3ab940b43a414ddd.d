@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ext_datamining_workload-3ab940b43a414ddd.d: crates/bench/src/bin/ext_datamining_workload.rs Cargo.toml
+
+/root/repo/target/debug/deps/libext_datamining_workload-3ab940b43a414ddd.rmeta: crates/bench/src/bin/ext_datamining_workload.rs Cargo.toml
+
+crates/bench/src/bin/ext_datamining_workload.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ext_datamining_workload-94926dd332ef4c8b.d: crates/bench/src/bin/ext_datamining_workload.rs Cargo.toml
+
+/root/repo/target/debug/deps/libext_datamining_workload-94926dd332ef4c8b.rmeta: crates/bench/src/bin/ext_datamining_workload.rs Cargo.toml
+
+crates/bench/src/bin/ext_datamining_workload.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ext_datamining_workload-957024cddf5124f3.d: crates/bench/src/bin/ext_datamining_workload.rs
+
+/root/repo/target/debug/deps/ext_datamining_workload-957024cddf5124f3: crates/bench/src/bin/ext_datamining_workload.rs
+
+crates/bench/src/bin/ext_datamining_workload.rs:

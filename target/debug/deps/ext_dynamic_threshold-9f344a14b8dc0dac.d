@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ext_dynamic_threshold-9f344a14b8dc0dac.d: crates/bench/src/bin/ext_dynamic_threshold.rs Cargo.toml
+
+/root/repo/target/debug/deps/libext_dynamic_threshold-9f344a14b8dc0dac.rmeta: crates/bench/src/bin/ext_dynamic_threshold.rs Cargo.toml
+
+crates/bench/src/bin/ext_dynamic_threshold.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

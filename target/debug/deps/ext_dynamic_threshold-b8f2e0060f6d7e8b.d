@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ext_dynamic_threshold-b8f2e0060f6d7e8b.d: crates/bench/src/bin/ext_dynamic_threshold.rs
+
+/root/repo/target/debug/deps/ext_dynamic_threshold-b8f2e0060f6d7e8b: crates/bench/src/bin/ext_dynamic_threshold.rs
+
+crates/bench/src/bin/ext_dynamic_threshold.rs:

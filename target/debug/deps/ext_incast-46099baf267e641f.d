@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ext_incast-46099baf267e641f.d: crates/bench/src/bin/ext_incast.rs Cargo.toml
+
+/root/repo/target/debug/deps/libext_incast-46099baf267e641f.rmeta: crates/bench/src/bin/ext_incast.rs Cargo.toml
+
+crates/bench/src/bin/ext_incast.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

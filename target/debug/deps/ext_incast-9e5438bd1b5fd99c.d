@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ext_incast-9e5438bd1b5fd99c.d: crates/bench/src/bin/ext_incast.rs Cargo.toml
+
+/root/repo/target/debug/deps/libext_incast-9e5438bd1b5fd99c.rmeta: crates/bench/src/bin/ext_incast.rs Cargo.toml
+
+crates/bench/src/bin/ext_incast.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ext_incast-e5fbde25ac81a6ab.d: crates/bench/src/bin/ext_incast.rs
+
+/root/repo/target/debug/deps/ext_incast-e5fbde25ac81a6ab: crates/bench/src/bin/ext_incast.rs
+
+crates/bench/src/bin/ext_incast.rs:

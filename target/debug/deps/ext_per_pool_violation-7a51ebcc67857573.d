@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ext_per_pool_violation-7a51ebcc67857573.d: crates/bench/src/bin/ext_per_pool_violation.rs Cargo.toml
+
+/root/repo/target/debug/deps/libext_per_pool_violation-7a51ebcc67857573.rmeta: crates/bench/src/bin/ext_per_pool_violation.rs Cargo.toml
+
+crates/bench/src/bin/ext_per_pool_violation.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

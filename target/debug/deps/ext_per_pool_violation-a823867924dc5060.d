@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ext_per_pool_violation-a823867924dc5060.d: crates/bench/src/bin/ext_per_pool_violation.rs
+
+/root/repo/target/debug/deps/ext_per_pool_violation-a823867924dc5060: crates/bench/src/bin/ext_per_pool_violation.rs
+
+crates/bench/src/bin/ext_per_pool_violation.rs:

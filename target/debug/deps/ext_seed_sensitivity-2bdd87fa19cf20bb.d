@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ext_seed_sensitivity-2bdd87fa19cf20bb.d: crates/bench/src/bin/ext_seed_sensitivity.rs
+
+/root/repo/target/debug/deps/ext_seed_sensitivity-2bdd87fa19cf20bb: crates/bench/src/bin/ext_seed_sensitivity.rs
+
+crates/bench/src/bin/ext_seed_sensitivity.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ext_seed_sensitivity-e27f682094a431b3.d: crates/bench/src/bin/ext_seed_sensitivity.rs Cargo.toml
+
+/root/repo/target/debug/deps/libext_seed_sensitivity-e27f682094a431b3.rmeta: crates/bench/src/bin/ext_seed_sensitivity.rs Cargo.toml
+
+crates/bench/src/bin/ext_seed_sensitivity.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ext_websearch_workload-3d90503ffef2926e.d: crates/bench/src/bin/ext_websearch_workload.rs
+
+/root/repo/target/debug/deps/ext_websearch_workload-3d90503ffef2926e: crates/bench/src/bin/ext_websearch_workload.rs
+
+crates/bench/src/bin/ext_websearch_workload.rs:

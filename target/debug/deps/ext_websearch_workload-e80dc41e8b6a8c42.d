@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ext_websearch_workload-e80dc41e8b6a8c42.d: crates/bench/src/bin/ext_websearch_workload.rs Cargo.toml
+
+/root/repo/target/debug/deps/libext_websearch_workload-e80dc41e8b6a8c42.rmeta: crates/bench/src/bin/ext_websearch_workload.rs Cargo.toml
+
+crates/bench/src/bin/ext_websearch_workload.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig01_per_queue_standard-7c9a9140986fb7fc.d: crates/bench/src/bin/fig01_per_queue_standard.rs
+
+/root/repo/target/debug/deps/fig01_per_queue_standard-7c9a9140986fb7fc: crates/bench/src/bin/fig01_per_queue_standard.rs
+
+crates/bench/src/bin/fig01_per_queue_standard.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig01_per_queue_standard-e343db1b09855d0f.d: crates/bench/src/bin/fig01_per_queue_standard.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig01_per_queue_standard-e343db1b09855d0f.rmeta: crates/bench/src/bin/fig01_per_queue_standard.rs Cargo.toml
+
+crates/bench/src/bin/fig01_per_queue_standard.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

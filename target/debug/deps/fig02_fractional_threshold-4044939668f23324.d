@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig02_fractional_threshold-4044939668f23324.d: crates/bench/src/bin/fig02_fractional_threshold.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig02_fractional_threshold-4044939668f23324.rmeta: crates/bench/src/bin/fig02_fractional_threshold.rs Cargo.toml
+
+crates/bench/src/bin/fig02_fractional_threshold.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

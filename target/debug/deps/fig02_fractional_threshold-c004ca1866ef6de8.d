@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig02_fractional_threshold-c004ca1866ef6de8.d: crates/bench/src/bin/fig02_fractional_threshold.rs
+
+/root/repo/target/debug/deps/fig02_fractional_threshold-c004ca1866ef6de8: crates/bench/src/bin/fig02_fractional_threshold.rs
+
+crates/bench/src/bin/fig02_fractional_threshold.rs:

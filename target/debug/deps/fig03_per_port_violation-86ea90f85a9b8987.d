@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig03_per_port_violation-86ea90f85a9b8987.d: crates/bench/src/bin/fig03_per_port_violation.rs
+
+/root/repo/target/debug/deps/fig03_per_port_violation-86ea90f85a9b8987: crates/bench/src/bin/fig03_per_port_violation.rs
+
+crates/bench/src/bin/fig03_per_port_violation.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig03_per_port_violation-fdad34842c9c3e7b.d: crates/bench/src/bin/fig03_per_port_violation.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig03_per_port_violation-fdad34842c9c3e7b.rmeta: crates/bench/src/bin/fig03_per_port_violation.rs Cargo.toml
+
+crates/bench/src/bin/fig03_per_port_violation.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

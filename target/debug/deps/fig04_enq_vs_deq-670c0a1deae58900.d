@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig04_enq_vs_deq-670c0a1deae58900.d: crates/bench/src/bin/fig04_enq_vs_deq.rs
+
+/root/repo/target/debug/deps/fig04_enq_vs_deq-670c0a1deae58900: crates/bench/src/bin/fig04_enq_vs_deq.rs
+
+crates/bench/src/bin/fig04_enq_vs_deq.rs:

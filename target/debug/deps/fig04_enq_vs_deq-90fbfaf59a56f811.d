@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig04_enq_vs_deq-90fbfaf59a56f811.d: crates/bench/src/bin/fig04_enq_vs_deq.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig04_enq_vs_deq-90fbfaf59a56f811.rmeta: crates/bench/src/bin/fig04_enq_vs_deq.rs Cargo.toml
+
+crates/bench/src/bin/fig04_enq_vs_deq.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

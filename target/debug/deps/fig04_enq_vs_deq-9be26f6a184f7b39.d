@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig04_enq_vs_deq-9be26f6a184f7b39.d: crates/bench/src/bin/fig04_enq_vs_deq.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig04_enq_vs_deq-9be26f6a184f7b39.rmeta: crates/bench/src/bin/fig04_enq_vs_deq.rs Cargo.toml
+
+crates/bench/src/bin/fig04_enq_vs_deq.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

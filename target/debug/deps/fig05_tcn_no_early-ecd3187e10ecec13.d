@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig05_tcn_no_early-ecd3187e10ecec13.d: crates/bench/src/bin/fig05_tcn_no_early.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig05_tcn_no_early-ecd3187e10ecec13.rmeta: crates/bench/src/bin/fig05_tcn_no_early.rs Cargo.toml
+
+crates/bench/src/bin/fig05_tcn_no_early.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

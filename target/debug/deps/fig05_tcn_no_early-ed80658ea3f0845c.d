@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig05_tcn_no_early-ed80658ea3f0845c.d: crates/bench/src/bin/fig05_tcn_no_early.rs
+
+/root/repo/target/debug/deps/fig05_tcn_no_early-ed80658ea3f0845c: crates/bench/src/bin/fig05_tcn_no_early.rs
+
+crates/bench/src/bin/fig05_tcn_no_early.rs:

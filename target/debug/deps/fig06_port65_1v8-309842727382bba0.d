@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig06_port65_1v8-309842727382bba0.d: crates/bench/src/bin/fig06_port65_1v8.rs
+
+/root/repo/target/debug/deps/fig06_port65_1v8-309842727382bba0: crates/bench/src/bin/fig06_port65_1v8.rs
+
+crates/bench/src/bin/fig06_port65_1v8.rs:

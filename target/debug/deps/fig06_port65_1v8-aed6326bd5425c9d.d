@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig06_port65_1v8-aed6326bd5425c9d.d: crates/bench/src/bin/fig06_port65_1v8.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig06_port65_1v8-aed6326bd5425c9d.rmeta: crates/bench/src/bin/fig06_port65_1v8.rs Cargo.toml
+
+crates/bench/src/bin/fig06_port65_1v8.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

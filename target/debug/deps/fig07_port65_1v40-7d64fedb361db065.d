@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig07_port65_1v40-7d64fedb361db065.d: crates/bench/src/bin/fig07_port65_1v40.rs
+
+/root/repo/target/debug/deps/fig07_port65_1v40-7d64fedb361db065: crates/bench/src/bin/fig07_port65_1v40.rs
+
+crates/bench/src/bin/fig07_port65_1v40.rs:

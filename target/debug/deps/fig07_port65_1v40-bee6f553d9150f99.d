@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig07_port65_1v40-bee6f553d9150f99.d: crates/bench/src/bin/fig07_port65_1v40.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig07_port65_1v40-bee6f553d9150f99.rmeta: crates/bench/src/bin/fig07_port65_1v40.rs Cargo.toml
+
+crates/bench/src/bin/fig07_port65_1v40.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig08_pmsb_dwrr_1v4-1f25887f18a08bdd.d: crates/bench/src/bin/fig08_pmsb_dwrr_1v4.rs
+
+/root/repo/target/debug/deps/fig08_pmsb_dwrr_1v4-1f25887f18a08bdd: crates/bench/src/bin/fig08_pmsb_dwrr_1v4.rs
+
+crates/bench/src/bin/fig08_pmsb_dwrr_1v4.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig08_pmsb_dwrr_1v4-b25718801ad672b7.d: crates/bench/src/bin/fig08_pmsb_dwrr_1v4.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig08_pmsb_dwrr_1v4-b25718801ad672b7.rmeta: crates/bench/src/bin/fig08_pmsb_dwrr_1v4.rs Cargo.toml
+
+crates/bench/src/bin/fig08_pmsb_dwrr_1v4.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

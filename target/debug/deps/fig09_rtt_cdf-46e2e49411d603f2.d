@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig09_rtt_cdf-46e2e49411d603f2.d: crates/bench/src/bin/fig09_rtt_cdf.rs
+
+/root/repo/target/debug/deps/fig09_rtt_cdf-46e2e49411d603f2: crates/bench/src/bin/fig09_rtt_cdf.rs
+
+crates/bench/src/bin/fig09_rtt_cdf.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig10_pmsb_1v100-3f2841479dbf48d0.d: crates/bench/src/bin/fig10_pmsb_1v100.rs
+
+/root/repo/target/debug/deps/fig10_pmsb_1v100-3f2841479dbf48d0: crates/bench/src/bin/fig10_pmsb_1v100.rs
+
+crates/bench/src/bin/fig10_pmsb_1v100.rs:

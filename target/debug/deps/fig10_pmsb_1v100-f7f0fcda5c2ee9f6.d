@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig10_pmsb_1v100-f7f0fcda5c2ee9f6.d: crates/bench/src/bin/fig10_pmsb_1v100.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig10_pmsb_1v100-f7f0fcda5c2ee9f6.rmeta: crates/bench/src/bin/fig10_pmsb_1v100.rs Cargo.toml
+
+crates/bench/src/bin/fig10_pmsb_1v100.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig11_12_early_notification-12d4887843e493b2.d: crates/bench/src/bin/fig11_12_early_notification.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig11_12_early_notification-12d4887843e493b2.rmeta: crates/bench/src/bin/fig11_12_early_notification.rs Cargo.toml
+
+crates/bench/src/bin/fig11_12_early_notification.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig11_12_early_notification-e244c9e3a8ade7e7.d: crates/bench/src/bin/fig11_12_early_notification.rs
+
+/root/repo/target/debug/deps/fig11_12_early_notification-e244c9e3a8ade7e7: crates/bench/src/bin/fig11_12_early_notification.rs
+
+crates/bench/src/bin/fig11_12_early_notification.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig13_sp_wfq-6698f6ed2e723f29.d: crates/bench/src/bin/fig13_sp_wfq.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig13_sp_wfq-6698f6ed2e723f29.rmeta: crates/bench/src/bin/fig13_sp_wfq.rs Cargo.toml
+
+crates/bench/src/bin/fig13_sp_wfq.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig13_sp_wfq-8c850f77c4c79e07.d: crates/bench/src/bin/fig13_sp_wfq.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig13_sp_wfq-8c850f77c4c79e07.rmeta: crates/bench/src/bin/fig13_sp_wfq.rs Cargo.toml
+
+crates/bench/src/bin/fig13_sp_wfq.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

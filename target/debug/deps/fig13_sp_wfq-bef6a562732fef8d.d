@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig13_sp_wfq-bef6a562732fef8d.d: crates/bench/src/bin/fig13_sp_wfq.rs
+
+/root/repo/target/debug/deps/fig13_sp_wfq-bef6a562732fef8d: crates/bench/src/bin/fig13_sp_wfq.rs
+
+crates/bench/src/bin/fig13_sp_wfq.rs:

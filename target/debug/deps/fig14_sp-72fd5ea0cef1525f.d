@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig14_sp-72fd5ea0cef1525f.d: crates/bench/src/bin/fig14_sp.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig14_sp-72fd5ea0cef1525f.rmeta: crates/bench/src/bin/fig14_sp.rs Cargo.toml
+
+crates/bench/src/bin/fig14_sp.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig14_sp-8bfc5d87815305ab.d: crates/bench/src/bin/fig14_sp.rs
+
+/root/repo/target/debug/deps/fig14_sp-8bfc5d87815305ab: crates/bench/src/bin/fig14_sp.rs
+
+crates/bench/src/bin/fig14_sp.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig15_wfq-38fb89a938d83c14.d: crates/bench/src/bin/fig15_wfq.rs
+
+/root/repo/target/debug/deps/fig15_wfq-38fb89a938d83c14: crates/bench/src/bin/fig15_wfq.rs
+
+crates/bench/src/bin/fig15_wfq.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig15_wfq-75fda3e4c9d5b4c7.d: crates/bench/src/bin/fig15_wfq.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig15_wfq-75fda3e4c9d5b4c7.rmeta: crates/bench/src/bin/fig15_wfq.rs Cargo.toml
+
+crates/bench/src/bin/fig15_wfq.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig16_21_large_dwrr-73726375e1de4e3c.d: crates/bench/src/bin/fig16_21_large_dwrr.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig16_21_large_dwrr-73726375e1de4e3c.rmeta: crates/bench/src/bin/fig16_21_large_dwrr.rs Cargo.toml
+
+crates/bench/src/bin/fig16_21_large_dwrr.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig16_21_large_dwrr-7e4c906c00432920.d: crates/bench/src/bin/fig16_21_large_dwrr.rs
+
+/root/repo/target/debug/deps/fig16_21_large_dwrr-7e4c906c00432920: crates/bench/src/bin/fig16_21_large_dwrr.rs
+
+crates/bench/src/bin/fig16_21_large_dwrr.rs:

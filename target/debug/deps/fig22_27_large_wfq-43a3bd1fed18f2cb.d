@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig22_27_large_wfq-43a3bd1fed18f2cb.d: crates/bench/src/bin/fig22_27_large_wfq.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig22_27_large_wfq-43a3bd1fed18f2cb.rmeta: crates/bench/src/bin/fig22_27_large_wfq.rs Cargo.toml
+
+crates/bench/src/bin/fig22_27_large_wfq.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

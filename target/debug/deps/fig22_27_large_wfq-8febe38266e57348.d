@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig22_27_large_wfq-8febe38266e57348.d: crates/bench/src/bin/fig22_27_large_wfq.rs
+
+/root/repo/target/debug/deps/fig22_27_large_wfq-8febe38266e57348: crates/bench/src/bin/fig22_27_large_wfq.rs
+
+crates/bench/src/bin/fig22_27_large_wfq.rs:

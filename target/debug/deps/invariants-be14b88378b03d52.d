@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/invariants-be14b88378b03d52.d: crates/netsim/tests/invariants.rs Cargo.toml
+
+/root/repo/target/debug/deps/libinvariants-be14b88378b03d52.rmeta: crates/netsim/tests/invariants.rs Cargo.toml
+
+crates/netsim/tests/invariants.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

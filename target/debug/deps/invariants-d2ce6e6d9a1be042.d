@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/invariants-d2ce6e6d9a1be042.d: crates/netsim/tests/invariants.rs
+
+/root/repo/target/debug/deps/invariants-d2ce6e6d9a1be042: crates/netsim/tests/invariants.rs
+
+crates/netsim/tests/invariants.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/library_pipeline-aec348a36250702f.d: tests/library_pipeline.rs Cargo.toml
+
+/root/repo/target/debug/deps/liblibrary_pipeline-aec348a36250702f.rmeta: tests/library_pipeline.rs Cargo.toml
+
+tests/library_pipeline.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/library_pipeline-c7a7debd12e7315d.d: tests/library_pipeline.rs
+
+/root/repo/target/debug/deps/library_pipeline-c7a7debd12e7315d: tests/library_pipeline.rs
+
+tests/library_pipeline.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/microbench-36dcd4cd638a67d5.d: crates/bench/src/bin/microbench.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmicrobench-36dcd4cd638a67d5.rmeta: crates/bench/src/bin/microbench.rs Cargo.toml
+
+crates/bench/src/bin/microbench.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/microbench-692865242237dc17.d: crates/bench/src/bin/microbench.rs
+
+/root/repo/target/debug/deps/microbench-692865242237dc17: crates/bench/src/bin/microbench.rs
+
+crates/bench/src/bin/microbench.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/microbench-b6a229c17543ad12.d: crates/bench/src/bin/microbench.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmicrobench-b6a229c17543ad12.rmeta: crates/bench/src/bin/microbench.rs Cargo.toml
+
+crates/bench/src/bin/microbench.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/paper_phenomena-97f8828e436874d2.d: tests/paper_phenomena.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpaper_phenomena-97f8828e436874d2.rmeta: tests/paper_phenomena.rs Cargo.toml
+
+tests/paper_phenomena.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

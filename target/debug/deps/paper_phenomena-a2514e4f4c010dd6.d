@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/paper_phenomena-a2514e4f4c010dd6.d: tests/paper_phenomena.rs
+
+/root/repo/target/debug/deps/paper_phenomena-a2514e4f4c010dd6: tests/paper_phenomena.rs
+
+tests/paper_phenomena.rs:

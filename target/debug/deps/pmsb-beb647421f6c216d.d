@@ -1,0 +1,21 @@
+/root/repo/target/debug/deps/pmsb-beb647421f6c216d.d: crates/core/src/lib.rs crates/core/src/analysis.rs crates/core/src/endpoint.rs crates/core/src/marking/mod.rs crates/core/src/marking/mq_ecn.rs crates/core/src/marking/per_port.rs crates/core/src/marking/per_queue.rs crates/core/src/marking/pmsb.rs crates/core/src/marking/pool.rs crates/core/src/marking/red.rs crates/core/src/marking/tcn.rs crates/core/src/profile.rs crates/core/src/view.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpmsb-beb647421f6c216d.rmeta: crates/core/src/lib.rs crates/core/src/analysis.rs crates/core/src/endpoint.rs crates/core/src/marking/mod.rs crates/core/src/marking/mq_ecn.rs crates/core/src/marking/per_port.rs crates/core/src/marking/per_queue.rs crates/core/src/marking/pmsb.rs crates/core/src/marking/pool.rs crates/core/src/marking/red.rs crates/core/src/marking/tcn.rs crates/core/src/profile.rs crates/core/src/view.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/analysis.rs:
+crates/core/src/endpoint.rs:
+crates/core/src/marking/mod.rs:
+crates/core/src/marking/mq_ecn.rs:
+crates/core/src/marking/per_port.rs:
+crates/core/src/marking/per_queue.rs:
+crates/core/src/marking/pmsb.rs:
+crates/core/src/marking/pool.rs:
+crates/core/src/marking/red.rs:
+crates/core/src/marking/tcn.rs:
+crates/core/src/profile.rs:
+crates/core/src/view.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,19 @@
+/root/repo/target/debug/deps/pmsb-d9a8c8d9ff99e33f.d: crates/core/src/lib.rs crates/core/src/analysis.rs crates/core/src/endpoint.rs crates/core/src/marking/mod.rs crates/core/src/marking/mq_ecn.rs crates/core/src/marking/per_port.rs crates/core/src/marking/per_queue.rs crates/core/src/marking/pmsb.rs crates/core/src/marking/pool.rs crates/core/src/marking/red.rs crates/core/src/marking/tcn.rs crates/core/src/profile.rs crates/core/src/view.rs
+
+/root/repo/target/debug/deps/libpmsb-d9a8c8d9ff99e33f.rlib: crates/core/src/lib.rs crates/core/src/analysis.rs crates/core/src/endpoint.rs crates/core/src/marking/mod.rs crates/core/src/marking/mq_ecn.rs crates/core/src/marking/per_port.rs crates/core/src/marking/per_queue.rs crates/core/src/marking/pmsb.rs crates/core/src/marking/pool.rs crates/core/src/marking/red.rs crates/core/src/marking/tcn.rs crates/core/src/profile.rs crates/core/src/view.rs
+
+/root/repo/target/debug/deps/libpmsb-d9a8c8d9ff99e33f.rmeta: crates/core/src/lib.rs crates/core/src/analysis.rs crates/core/src/endpoint.rs crates/core/src/marking/mod.rs crates/core/src/marking/mq_ecn.rs crates/core/src/marking/per_port.rs crates/core/src/marking/per_queue.rs crates/core/src/marking/pmsb.rs crates/core/src/marking/pool.rs crates/core/src/marking/red.rs crates/core/src/marking/tcn.rs crates/core/src/profile.rs crates/core/src/view.rs
+
+crates/core/src/lib.rs:
+crates/core/src/analysis.rs:
+crates/core/src/endpoint.rs:
+crates/core/src/marking/mod.rs:
+crates/core/src/marking/mq_ecn.rs:
+crates/core/src/marking/per_port.rs:
+crates/core/src/marking/per_queue.rs:
+crates/core/src/marking/pmsb.rs:
+crates/core/src/marking/pool.rs:
+crates/core/src/marking/red.rs:
+crates/core/src/marking/tcn.rs:
+crates/core/src/profile.rs:
+crates/core/src/view.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/pmsb_bench-2e7cded952974f6f.d: crates/bench/src/lib.rs crates/bench/src/campaigns.rs crates/bench/src/extensions.rs crates/bench/src/figures.rs crates/bench/src/large_scale.rs crates/bench/src/micro.rs crates/bench/src/util.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpmsb_bench-2e7cded952974f6f.rmeta: crates/bench/src/lib.rs crates/bench/src/campaigns.rs crates/bench/src/extensions.rs crates/bench/src/figures.rs crates/bench/src/large_scale.rs crates/bench/src/micro.rs crates/bench/src/util.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+crates/bench/src/campaigns.rs:
+crates/bench/src/extensions.rs:
+crates/bench/src/figures.rs:
+crates/bench/src/large_scale.rs:
+crates/bench/src/micro.rs:
+crates/bench/src/util.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

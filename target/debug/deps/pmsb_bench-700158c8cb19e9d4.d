@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/pmsb_bench-700158c8cb19e9d4.d: crates/bench/src/lib.rs crates/bench/src/campaigns.rs crates/bench/src/extensions.rs crates/bench/src/figures.rs crates/bench/src/large_scale.rs crates/bench/src/micro.rs crates/bench/src/util.rs
+
+/root/repo/target/debug/deps/pmsb_bench-700158c8cb19e9d4: crates/bench/src/lib.rs crates/bench/src/campaigns.rs crates/bench/src/extensions.rs crates/bench/src/figures.rs crates/bench/src/large_scale.rs crates/bench/src/micro.rs crates/bench/src/util.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/campaigns.rs:
+crates/bench/src/extensions.rs:
+crates/bench/src/figures.rs:
+crates/bench/src/large_scale.rs:
+crates/bench/src/micro.rs:
+crates/bench/src/util.rs:

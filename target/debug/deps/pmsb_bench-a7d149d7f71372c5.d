@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/pmsb_bench-a7d149d7f71372c5.d: crates/bench/src/lib.rs crates/bench/src/campaigns.rs crates/bench/src/extensions.rs crates/bench/src/figures.rs crates/bench/src/large_scale.rs crates/bench/src/micro.rs crates/bench/src/util.rs
+
+/root/repo/target/debug/deps/libpmsb_bench-a7d149d7f71372c5.rlib: crates/bench/src/lib.rs crates/bench/src/campaigns.rs crates/bench/src/extensions.rs crates/bench/src/figures.rs crates/bench/src/large_scale.rs crates/bench/src/micro.rs crates/bench/src/util.rs
+
+/root/repo/target/debug/deps/libpmsb_bench-a7d149d7f71372c5.rmeta: crates/bench/src/lib.rs crates/bench/src/campaigns.rs crates/bench/src/extensions.rs crates/bench/src/figures.rs crates/bench/src/large_scale.rs crates/bench/src/micro.rs crates/bench/src/util.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/campaigns.rs:
+crates/bench/src/extensions.rs:
+crates/bench/src/figures.rs:
+crates/bench/src/large_scale.rs:
+crates/bench/src/micro.rs:
+crates/bench/src/util.rs:

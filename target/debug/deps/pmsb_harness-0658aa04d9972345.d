@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/pmsb_harness-0658aa04d9972345.d: crates/harness/src/lib.rs crates/harness/src/pool.rs crates/harness/src/record.rs crates/harness/src/store.rs
+
+/root/repo/target/debug/deps/pmsb_harness-0658aa04d9972345: crates/harness/src/lib.rs crates/harness/src/pool.rs crates/harness/src/record.rs crates/harness/src/store.rs
+
+crates/harness/src/lib.rs:
+crates/harness/src/pool.rs:
+crates/harness/src/record.rs:
+crates/harness/src/store.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/pmsb_harness-817b6d984e31b83a.d: crates/harness/src/lib.rs crates/harness/src/pool.rs crates/harness/src/record.rs crates/harness/src/store.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpmsb_harness-817b6d984e31b83a.rmeta: crates/harness/src/lib.rs crates/harness/src/pool.rs crates/harness/src/record.rs crates/harness/src/store.rs Cargo.toml
+
+crates/harness/src/lib.rs:
+crates/harness/src/pool.rs:
+crates/harness/src/record.rs:
+crates/harness/src/store.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

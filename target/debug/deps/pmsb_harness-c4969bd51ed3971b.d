@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/pmsb_harness-c4969bd51ed3971b.d: crates/harness/src/lib.rs crates/harness/src/pool.rs crates/harness/src/record.rs crates/harness/src/store.rs
+
+/root/repo/target/debug/deps/libpmsb_harness-c4969bd51ed3971b.rlib: crates/harness/src/lib.rs crates/harness/src/pool.rs crates/harness/src/record.rs crates/harness/src/store.rs
+
+/root/repo/target/debug/deps/libpmsb_harness-c4969bd51ed3971b.rmeta: crates/harness/src/lib.rs crates/harness/src/pool.rs crates/harness/src/record.rs crates/harness/src/store.rs
+
+crates/harness/src/lib.rs:
+crates/harness/src/pool.rs:
+crates/harness/src/record.rs:
+crates/harness/src/store.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/pmsb_metrics-531d80f577c60266.d: crates/metrics/src/lib.rs crates/metrics/src/cdf.rs crates/metrics/src/fct.rs crates/metrics/src/series.rs crates/metrics/src/summary.rs
+
+/root/repo/target/debug/deps/pmsb_metrics-531d80f577c60266: crates/metrics/src/lib.rs crates/metrics/src/cdf.rs crates/metrics/src/fct.rs crates/metrics/src/series.rs crates/metrics/src/summary.rs
+
+crates/metrics/src/lib.rs:
+crates/metrics/src/cdf.rs:
+crates/metrics/src/fct.rs:
+crates/metrics/src/series.rs:
+crates/metrics/src/summary.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/pmsb_metrics-75219eb5f322fccf.d: crates/metrics/src/lib.rs crates/metrics/src/cdf.rs crates/metrics/src/fct.rs crates/metrics/src/series.rs crates/metrics/src/summary.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpmsb_metrics-75219eb5f322fccf.rmeta: crates/metrics/src/lib.rs crates/metrics/src/cdf.rs crates/metrics/src/fct.rs crates/metrics/src/series.rs crates/metrics/src/summary.rs Cargo.toml
+
+crates/metrics/src/lib.rs:
+crates/metrics/src/cdf.rs:
+crates/metrics/src/fct.rs:
+crates/metrics/src/series.rs:
+crates/metrics/src/summary.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/pmsb_metrics-a3b99c27cc12e6d7.d: crates/metrics/src/lib.rs crates/metrics/src/cdf.rs crates/metrics/src/fct.rs crates/metrics/src/series.rs crates/metrics/src/summary.rs
+
+/root/repo/target/debug/deps/libpmsb_metrics-a3b99c27cc12e6d7.rlib: crates/metrics/src/lib.rs crates/metrics/src/cdf.rs crates/metrics/src/fct.rs crates/metrics/src/series.rs crates/metrics/src/summary.rs
+
+/root/repo/target/debug/deps/libpmsb_metrics-a3b99c27cc12e6d7.rmeta: crates/metrics/src/lib.rs crates/metrics/src/cdf.rs crates/metrics/src/fct.rs crates/metrics/src/series.rs crates/metrics/src/summary.rs
+
+crates/metrics/src/lib.rs:
+crates/metrics/src/cdf.rs:
+crates/metrics/src/fct.rs:
+crates/metrics/src/series.rs:
+crates/metrics/src/summary.rs:

@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/pmsb_netsim-2d0a70fc5d7577e8.d: crates/netsim/src/lib.rs crates/netsim/src/config.rs crates/netsim/src/experiment.rs crates/netsim/src/packet.rs crates/netsim/src/routing.rs crates/netsim/src/topology.rs crates/netsim/src/trace.rs crates/netsim/src/transport.rs crates/netsim/src/world.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpmsb_netsim-2d0a70fc5d7577e8.rmeta: crates/netsim/src/lib.rs crates/netsim/src/config.rs crates/netsim/src/experiment.rs crates/netsim/src/packet.rs crates/netsim/src/routing.rs crates/netsim/src/topology.rs crates/netsim/src/trace.rs crates/netsim/src/transport.rs crates/netsim/src/world.rs Cargo.toml
+
+crates/netsim/src/lib.rs:
+crates/netsim/src/config.rs:
+crates/netsim/src/experiment.rs:
+crates/netsim/src/packet.rs:
+crates/netsim/src/routing.rs:
+crates/netsim/src/topology.rs:
+crates/netsim/src/trace.rs:
+crates/netsim/src/transport.rs:
+crates/netsim/src/world.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

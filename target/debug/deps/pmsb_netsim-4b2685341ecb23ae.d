@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/pmsb_netsim-4b2685341ecb23ae.d: crates/netsim/src/lib.rs crates/netsim/src/config.rs crates/netsim/src/experiment.rs crates/netsim/src/packet.rs crates/netsim/src/routing.rs crates/netsim/src/topology.rs crates/netsim/src/trace.rs crates/netsim/src/transport.rs crates/netsim/src/world.rs
+
+/root/repo/target/debug/deps/pmsb_netsim-4b2685341ecb23ae: crates/netsim/src/lib.rs crates/netsim/src/config.rs crates/netsim/src/experiment.rs crates/netsim/src/packet.rs crates/netsim/src/routing.rs crates/netsim/src/topology.rs crates/netsim/src/trace.rs crates/netsim/src/transport.rs crates/netsim/src/world.rs
+
+crates/netsim/src/lib.rs:
+crates/netsim/src/config.rs:
+crates/netsim/src/experiment.rs:
+crates/netsim/src/packet.rs:
+crates/netsim/src/routing.rs:
+crates/netsim/src/topology.rs:
+crates/netsim/src/trace.rs:
+crates/netsim/src/transport.rs:
+crates/netsim/src/world.rs:

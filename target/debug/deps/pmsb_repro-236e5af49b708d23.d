@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/pmsb_repro-236e5af49b708d23.d: src/lib.rs src/cli.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpmsb_repro-236e5af49b708d23.rmeta: src/lib.rs src/cli.rs Cargo.toml
+
+src/lib.rs:
+src/cli.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

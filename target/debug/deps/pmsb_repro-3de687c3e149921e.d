@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/pmsb_repro-3de687c3e149921e.d: src/lib.rs src/cli.rs
+
+/root/repo/target/debug/deps/libpmsb_repro-3de687c3e149921e.rlib: src/lib.rs src/cli.rs
+
+/root/repo/target/debug/deps/libpmsb_repro-3de687c3e149921e.rmeta: src/lib.rs src/cli.rs
+
+src/lib.rs:
+src/cli.rs:

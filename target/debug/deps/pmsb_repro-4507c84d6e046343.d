@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/pmsb_repro-4507c84d6e046343.d: src/lib.rs src/cli.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpmsb_repro-4507c84d6e046343.rmeta: src/lib.rs src/cli.rs Cargo.toml
+
+src/lib.rs:
+src/cli.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

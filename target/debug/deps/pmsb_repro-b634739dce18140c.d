@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/pmsb_repro-b634739dce18140c.d: src/lib.rs src/cli.rs
+
+/root/repo/target/debug/deps/pmsb_repro-b634739dce18140c: src/lib.rs src/cli.rs
+
+src/lib.rs:
+src/cli.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/pmsb_sched-22ed718cb15f5d33.d: crates/sched/src/lib.rs crates/sched/src/dwrr.rs crates/sched/src/fifo.rs crates/sched/src/hier.rs crates/sched/src/multi_queue.rs crates/sched/src/round.rs crates/sched/src/sp.rs crates/sched/src/wfq.rs crates/sched/src/wrr.rs
+
+/root/repo/target/debug/deps/libpmsb_sched-22ed718cb15f5d33.rlib: crates/sched/src/lib.rs crates/sched/src/dwrr.rs crates/sched/src/fifo.rs crates/sched/src/hier.rs crates/sched/src/multi_queue.rs crates/sched/src/round.rs crates/sched/src/sp.rs crates/sched/src/wfq.rs crates/sched/src/wrr.rs
+
+/root/repo/target/debug/deps/libpmsb_sched-22ed718cb15f5d33.rmeta: crates/sched/src/lib.rs crates/sched/src/dwrr.rs crates/sched/src/fifo.rs crates/sched/src/hier.rs crates/sched/src/multi_queue.rs crates/sched/src/round.rs crates/sched/src/sp.rs crates/sched/src/wfq.rs crates/sched/src/wrr.rs
+
+crates/sched/src/lib.rs:
+crates/sched/src/dwrr.rs:
+crates/sched/src/fifo.rs:
+crates/sched/src/hier.rs:
+crates/sched/src/multi_queue.rs:
+crates/sched/src/round.rs:
+crates/sched/src/sp.rs:
+crates/sched/src/wfq.rs:
+crates/sched/src/wrr.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/pmsb_sched-3c93456e61b6e59e.d: crates/sched/src/lib.rs crates/sched/src/dwrr.rs crates/sched/src/fifo.rs crates/sched/src/hier.rs crates/sched/src/multi_queue.rs crates/sched/src/round.rs crates/sched/src/sp.rs crates/sched/src/wfq.rs crates/sched/src/wrr.rs
+
+/root/repo/target/debug/deps/pmsb_sched-3c93456e61b6e59e: crates/sched/src/lib.rs crates/sched/src/dwrr.rs crates/sched/src/fifo.rs crates/sched/src/hier.rs crates/sched/src/multi_queue.rs crates/sched/src/round.rs crates/sched/src/sp.rs crates/sched/src/wfq.rs crates/sched/src/wrr.rs
+
+crates/sched/src/lib.rs:
+crates/sched/src/dwrr.rs:
+crates/sched/src/fifo.rs:
+crates/sched/src/hier.rs:
+crates/sched/src/multi_queue.rs:
+crates/sched/src/round.rs:
+crates/sched/src/sp.rs:
+crates/sched/src/wfq.rs:
+crates/sched/src/wrr.rs:

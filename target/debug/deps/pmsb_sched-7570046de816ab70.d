@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/pmsb_sched-7570046de816ab70.d: crates/sched/src/lib.rs crates/sched/src/dwrr.rs crates/sched/src/fifo.rs crates/sched/src/hier.rs crates/sched/src/multi_queue.rs crates/sched/src/round.rs crates/sched/src/sp.rs crates/sched/src/wfq.rs crates/sched/src/wrr.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpmsb_sched-7570046de816ab70.rmeta: crates/sched/src/lib.rs crates/sched/src/dwrr.rs crates/sched/src/fifo.rs crates/sched/src/hier.rs crates/sched/src/multi_queue.rs crates/sched/src/round.rs crates/sched/src/sp.rs crates/sched/src/wfq.rs crates/sched/src/wrr.rs Cargo.toml
+
+crates/sched/src/lib.rs:
+crates/sched/src/dwrr.rs:
+crates/sched/src/fifo.rs:
+crates/sched/src/hier.rs:
+crates/sched/src/multi_queue.rs:
+crates/sched/src/round.rs:
+crates/sched/src/sp.rs:
+crates/sched/src/wfq.rs:
+crates/sched/src/wrr.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/pmsb_sim-69f2f7695a1a2f1e.d: src/bin/pmsb-sim.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpmsb_sim-69f2f7695a1a2f1e.rmeta: src/bin/pmsb-sim.rs Cargo.toml
+
+src/bin/pmsb-sim.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/pmsb_sim-7900c258bd984387.d: src/bin/pmsb-sim.rs
+
+/root/repo/target/debug/deps/pmsb_sim-7900c258bd984387: src/bin/pmsb-sim.rs
+
+src/bin/pmsb-sim.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/pmsb_sim-99107b72f830b484.d: src/bin/pmsb-sim.rs
+
+/root/repo/target/debug/deps/pmsb_sim-99107b72f830b484: src/bin/pmsb-sim.rs
+
+src/bin/pmsb-sim.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/pmsb_simcore-0dbc12e4ce552508.d: crates/simcore/src/lib.rs crates/simcore/src/event.rs crates/simcore/src/rng.rs crates/simcore/src/time.rs
+
+/root/repo/target/debug/deps/libpmsb_simcore-0dbc12e4ce552508.rlib: crates/simcore/src/lib.rs crates/simcore/src/event.rs crates/simcore/src/rng.rs crates/simcore/src/time.rs
+
+/root/repo/target/debug/deps/libpmsb_simcore-0dbc12e4ce552508.rmeta: crates/simcore/src/lib.rs crates/simcore/src/event.rs crates/simcore/src/rng.rs crates/simcore/src/time.rs
+
+crates/simcore/src/lib.rs:
+crates/simcore/src/event.rs:
+crates/simcore/src/rng.rs:
+crates/simcore/src/time.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/pmsb_simcore-9d95762ded082449.d: crates/simcore/src/lib.rs crates/simcore/src/event.rs crates/simcore/src/rng.rs crates/simcore/src/time.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpmsb_simcore-9d95762ded082449.rmeta: crates/simcore/src/lib.rs crates/simcore/src/event.rs crates/simcore/src/rng.rs crates/simcore/src/time.rs Cargo.toml
+
+crates/simcore/src/lib.rs:
+crates/simcore/src/event.rs:
+crates/simcore/src/rng.rs:
+crates/simcore/src/time.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/pmsb_simcore-f241d1a8e3c72d1f.d: crates/simcore/src/lib.rs crates/simcore/src/event.rs crates/simcore/src/rng.rs crates/simcore/src/time.rs
+
+/root/repo/target/debug/deps/pmsb_simcore-f241d1a8e3c72d1f: crates/simcore/src/lib.rs crates/simcore/src/event.rs crates/simcore/src/rng.rs crates/simcore/src/time.rs
+
+crates/simcore/src/lib.rs:
+crates/simcore/src/event.rs:
+crates/simcore/src/rng.rs:
+crates/simcore/src/time.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/pmsb_workload-3ce9e8212a6686ef.d: crates/workload/src/lib.rs crates/workload/src/arrivals.rs crates/workload/src/size.rs crates/workload/src/traffic.rs
+
+/root/repo/target/debug/deps/pmsb_workload-3ce9e8212a6686ef: crates/workload/src/lib.rs crates/workload/src/arrivals.rs crates/workload/src/size.rs crates/workload/src/traffic.rs
+
+crates/workload/src/lib.rs:
+crates/workload/src/arrivals.rs:
+crates/workload/src/size.rs:
+crates/workload/src/traffic.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/pmsb_workload-805b773abe48df58.d: crates/workload/src/lib.rs crates/workload/src/arrivals.rs crates/workload/src/size.rs crates/workload/src/traffic.rs
+
+/root/repo/target/debug/deps/libpmsb_workload-805b773abe48df58.rlib: crates/workload/src/lib.rs crates/workload/src/arrivals.rs crates/workload/src/size.rs crates/workload/src/traffic.rs
+
+/root/repo/target/debug/deps/libpmsb_workload-805b773abe48df58.rmeta: crates/workload/src/lib.rs crates/workload/src/arrivals.rs crates/workload/src/size.rs crates/workload/src/traffic.rs
+
+crates/workload/src/lib.rs:
+crates/workload/src/arrivals.rs:
+crates/workload/src/size.rs:
+crates/workload/src/traffic.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/pmsb_workload-813b9b3f16a3ecab.d: crates/workload/src/lib.rs crates/workload/src/arrivals.rs crates/workload/src/size.rs crates/workload/src/traffic.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpmsb_workload-813b9b3f16a3ecab.rmeta: crates/workload/src/lib.rs crates/workload/src/arrivals.rs crates/workload/src/size.rs crates/workload/src/traffic.rs Cargo.toml
+
+crates/workload/src/lib.rs:
+crates/workload/src/arrivals.rs:
+crates/workload/src/size.rs:
+crates/workload/src/traffic.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/pmsb_workload-925a9de78d903b0d.d: crates/workload/src/lib.rs crates/workload/src/arrivals.rs crates/workload/src/size.rs crates/workload/src/traffic.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpmsb_workload-925a9de78d903b0d.rmeta: crates/workload/src/lib.rs crates/workload/src/arrivals.rs crates/workload/src/size.rs crates/workload/src/traffic.rs Cargo.toml
+
+crates/workload/src/lib.rs:
+crates/workload/src/arrivals.rs:
+crates/workload/src/size.rs:
+crates/workload/src/traffic.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table1_capabilities-7ad08371bd791a98.d: crates/bench/src/bin/table1_capabilities.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable1_capabilities-7ad08371bd791a98.rmeta: crates/bench/src/bin/table1_capabilities.rs Cargo.toml
+
+crates/bench/src/bin/table1_capabilities.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1_capabilities-b4ff735c048ca108.d: crates/bench/src/bin/table1_capabilities.rs
+
+/root/repo/target/debug/deps/table1_capabilities-b4ff735c048ca108: crates/bench/src/bin/table1_capabilities.rs
+
+crates/bench/src/bin/table1_capabilities.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/thm_iv1_validation-2dfbb6c7ea1f3192.d: crates/bench/src/bin/thm_iv1_validation.rs
+
+/root/repo/target/debug/deps/thm_iv1_validation-2dfbb6c7ea1f3192: crates/bench/src/bin/thm_iv1_validation.rs
+
+crates/bench/src/bin/thm_iv1_validation.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/thm_iv1_validation-a33214b1e4aadfbd.d: crates/bench/src/bin/thm_iv1_validation.rs Cargo.toml
+
+/root/repo/target/debug/deps/libthm_iv1_validation-a33214b1e4aadfbd.rmeta: crates/bench/src/bin/thm_iv1_validation.rs Cargo.toml
+
+crates/bench/src/bin/thm_iv1_validation.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

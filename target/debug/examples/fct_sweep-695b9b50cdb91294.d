@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/fct_sweep-695b9b50cdb91294.d: examples/fct_sweep.rs
+
+/root/repo/target/debug/examples/fct_sweep-695b9b50cdb91294: examples/fct_sweep.rs
+
+examples/fct_sweep.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/fct_sweep-81739386bedecfde.d: examples/fct_sweep.rs Cargo.toml
+
+/root/repo/target/debug/examples/libfct_sweep-81739386bedecfde.rmeta: examples/fct_sweep.rs Cargo.toml
+
+examples/fct_sweep.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-9d604fecde44118a.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-9d604fecde44118a: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/scheduler_zoo-57385f5e20a34562.d: examples/scheduler_zoo.rs Cargo.toml
+
+/root/repo/target/debug/examples/libscheduler_zoo-57385f5e20a34562.rmeta: examples/scheduler_zoo.rs Cargo.toml
+
+examples/scheduler_zoo.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/scheduler_zoo-ddd8593dfef4d808.d: examples/scheduler_zoo.rs
+
+/root/repo/target/debug/examples/scheduler_zoo-ddd8593dfef4d808: examples/scheduler_zoo.rs
+
+examples/scheduler_zoo.rs:

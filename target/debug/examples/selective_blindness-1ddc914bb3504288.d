@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/selective_blindness-1ddc914bb3504288.d: examples/selective_blindness.rs
+
+/root/repo/target/debug/examples/selective_blindness-1ddc914bb3504288: examples/selective_blindness.rs
+
+examples/selective_blindness.rs:

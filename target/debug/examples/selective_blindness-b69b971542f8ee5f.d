@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/selective_blindness-b69b971542f8ee5f.d: examples/selective_blindness.rs Cargo.toml
+
+/root/repo/target/debug/examples/libselective_blindness-b69b971542f8ee5f.rmeta: examples/selective_blindness.rs Cargo.toml
+
+examples/selective_blindness.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

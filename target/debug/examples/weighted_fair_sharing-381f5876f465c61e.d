@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/weighted_fair_sharing-381f5876f465c61e.d: examples/weighted_fair_sharing.rs Cargo.toml
+
+/root/repo/target/debug/examples/libweighted_fair_sharing-381f5876f465c61e.rmeta: examples/weighted_fair_sharing.rs Cargo.toml
+
+examples/weighted_fair_sharing.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/weighted_fair_sharing-7415fda88a1edaeb.d: examples/weighted_fair_sharing.rs
+
+/root/repo/target/debug/examples/weighted_fair_sharing-7415fda88a1edaeb: examples/weighted_fair_sharing.rs
+
+examples/weighted_fair_sharing.rs:

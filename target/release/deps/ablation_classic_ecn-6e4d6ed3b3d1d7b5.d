@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_classic_ecn-6e4d6ed3b3d1d7b5.d: crates/bench/src/bin/ablation_classic_ecn.rs
+
+/root/repo/target/release/deps/ablation_classic_ecn-6e4d6ed3b3d1d7b5: crates/bench/src/bin/ablation_classic_ecn.rs
+
+crates/bench/src/bin/ablation_classic_ecn.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_delayed_acks-a65b5999e757905a.d: crates/bench/src/bin/ablation_delayed_acks.rs
+
+/root/repo/target/release/deps/ablation_delayed_acks-a65b5999e757905a: crates/bench/src/bin/ablation_delayed_acks.rs
+
+crates/bench/src/bin/ablation_delayed_acks.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_pmsbe_threshold-264990355d4d360d.d: crates/bench/src/bin/ablation_pmsbe_threshold.rs
+
+/root/repo/target/release/deps/ablation_pmsbe_threshold-264990355d4d360d: crates/bench/src/bin/ablation_pmsbe_threshold.rs
+
+crates/bench/src/bin/ablation_pmsbe_threshold.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_port_threshold-a71fc45fc93d9128.d: crates/bench/src/bin/ablation_port_threshold.rs
+
+/root/repo/target/release/deps/ablation_port_threshold-a71fc45fc93d9128: crates/bench/src/bin/ablation_port_threshold.rs
+
+crates/bench/src/bin/ablation_port_threshold.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_red_vs_step-d1adaf99b38d9751.d: crates/bench/src/bin/ablation_red_vs_step.rs
+
+/root/repo/target/release/deps/ablation_red_vs_step-d1adaf99b38d9751: crates/bench/src/bin/ablation_red_vs_step.rs
+
+crates/bench/src/bin/ablation_red_vs_step.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/all_experiments-15f067274521c071.d: crates/bench/src/bin/all_experiments.rs
+
+/root/repo/target/release/deps/all_experiments-15f067274521c071: crates/bench/src/bin/all_experiments.rs
+
+crates/bench/src/bin/all_experiments.rs:

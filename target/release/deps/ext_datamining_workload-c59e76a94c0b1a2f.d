@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ext_datamining_workload-c59e76a94c0b1a2f.d: crates/bench/src/bin/ext_datamining_workload.rs
+
+/root/repo/target/release/deps/ext_datamining_workload-c59e76a94c0b1a2f: crates/bench/src/bin/ext_datamining_workload.rs
+
+crates/bench/src/bin/ext_datamining_workload.rs:

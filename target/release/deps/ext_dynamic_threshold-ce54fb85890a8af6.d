@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ext_dynamic_threshold-ce54fb85890a8af6.d: crates/bench/src/bin/ext_dynamic_threshold.rs
+
+/root/repo/target/release/deps/ext_dynamic_threshold-ce54fb85890a8af6: crates/bench/src/bin/ext_dynamic_threshold.rs
+
+crates/bench/src/bin/ext_dynamic_threshold.rs:

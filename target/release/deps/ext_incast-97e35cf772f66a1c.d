@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ext_incast-97e35cf772f66a1c.d: crates/bench/src/bin/ext_incast.rs
+
+/root/repo/target/release/deps/ext_incast-97e35cf772f66a1c: crates/bench/src/bin/ext_incast.rs
+
+crates/bench/src/bin/ext_incast.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ext_per_pool_violation-443e657e61e23fc0.d: crates/bench/src/bin/ext_per_pool_violation.rs
+
+/root/repo/target/release/deps/ext_per_pool_violation-443e657e61e23fc0: crates/bench/src/bin/ext_per_pool_violation.rs
+
+crates/bench/src/bin/ext_per_pool_violation.rs:

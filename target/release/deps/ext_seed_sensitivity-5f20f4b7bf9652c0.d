@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ext_seed_sensitivity-5f20f4b7bf9652c0.d: crates/bench/src/bin/ext_seed_sensitivity.rs
+
+/root/repo/target/release/deps/ext_seed_sensitivity-5f20f4b7bf9652c0: crates/bench/src/bin/ext_seed_sensitivity.rs
+
+crates/bench/src/bin/ext_seed_sensitivity.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ext_websearch_workload-4a0d89432b3e8c23.d: crates/bench/src/bin/ext_websearch_workload.rs
+
+/root/repo/target/release/deps/ext_websearch_workload-4a0d89432b3e8c23: crates/bench/src/bin/ext_websearch_workload.rs
+
+crates/bench/src/bin/ext_websearch_workload.rs:

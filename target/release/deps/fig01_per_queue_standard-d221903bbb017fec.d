@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig01_per_queue_standard-d221903bbb017fec.d: crates/bench/src/bin/fig01_per_queue_standard.rs
+
+/root/repo/target/release/deps/fig01_per_queue_standard-d221903bbb017fec: crates/bench/src/bin/fig01_per_queue_standard.rs
+
+crates/bench/src/bin/fig01_per_queue_standard.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig02_fractional_threshold-9e78a0c33f4f0b34.d: crates/bench/src/bin/fig02_fractional_threshold.rs
+
+/root/repo/target/release/deps/fig02_fractional_threshold-9e78a0c33f4f0b34: crates/bench/src/bin/fig02_fractional_threshold.rs
+
+crates/bench/src/bin/fig02_fractional_threshold.rs:

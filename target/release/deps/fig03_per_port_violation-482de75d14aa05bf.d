@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig03_per_port_violation-482de75d14aa05bf.d: crates/bench/src/bin/fig03_per_port_violation.rs
+
+/root/repo/target/release/deps/fig03_per_port_violation-482de75d14aa05bf: crates/bench/src/bin/fig03_per_port_violation.rs
+
+crates/bench/src/bin/fig03_per_port_violation.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig04_enq_vs_deq-d3c619e6eb8791c5.d: crates/bench/src/bin/fig04_enq_vs_deq.rs
+
+/root/repo/target/release/deps/fig04_enq_vs_deq-d3c619e6eb8791c5: crates/bench/src/bin/fig04_enq_vs_deq.rs
+
+crates/bench/src/bin/fig04_enq_vs_deq.rs:

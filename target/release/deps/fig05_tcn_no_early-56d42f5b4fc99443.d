@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig05_tcn_no_early-56d42f5b4fc99443.d: crates/bench/src/bin/fig05_tcn_no_early.rs
+
+/root/repo/target/release/deps/fig05_tcn_no_early-56d42f5b4fc99443: crates/bench/src/bin/fig05_tcn_no_early.rs
+
+crates/bench/src/bin/fig05_tcn_no_early.rs:

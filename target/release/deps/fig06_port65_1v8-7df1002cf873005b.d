@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig06_port65_1v8-7df1002cf873005b.d: crates/bench/src/bin/fig06_port65_1v8.rs
+
+/root/repo/target/release/deps/fig06_port65_1v8-7df1002cf873005b: crates/bench/src/bin/fig06_port65_1v8.rs
+
+crates/bench/src/bin/fig06_port65_1v8.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig07_port65_1v40-65af19a7cb484495.d: crates/bench/src/bin/fig07_port65_1v40.rs
+
+/root/repo/target/release/deps/fig07_port65_1v40-65af19a7cb484495: crates/bench/src/bin/fig07_port65_1v40.rs
+
+crates/bench/src/bin/fig07_port65_1v40.rs:

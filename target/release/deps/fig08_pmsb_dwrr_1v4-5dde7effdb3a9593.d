@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig08_pmsb_dwrr_1v4-5dde7effdb3a9593.d: crates/bench/src/bin/fig08_pmsb_dwrr_1v4.rs
+
+/root/repo/target/release/deps/fig08_pmsb_dwrr_1v4-5dde7effdb3a9593: crates/bench/src/bin/fig08_pmsb_dwrr_1v4.rs
+
+crates/bench/src/bin/fig08_pmsb_dwrr_1v4.rs:

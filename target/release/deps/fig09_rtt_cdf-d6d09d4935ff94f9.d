@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig09_rtt_cdf-d6d09d4935ff94f9.d: crates/bench/src/bin/fig09_rtt_cdf.rs
+
+/root/repo/target/release/deps/fig09_rtt_cdf-d6d09d4935ff94f9: crates/bench/src/bin/fig09_rtt_cdf.rs
+
+crates/bench/src/bin/fig09_rtt_cdf.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig10_pmsb_1v100-88289aef5238c698.d: crates/bench/src/bin/fig10_pmsb_1v100.rs
+
+/root/repo/target/release/deps/fig10_pmsb_1v100-88289aef5238c698: crates/bench/src/bin/fig10_pmsb_1v100.rs
+
+crates/bench/src/bin/fig10_pmsb_1v100.rs:

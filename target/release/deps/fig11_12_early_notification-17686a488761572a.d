@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig11_12_early_notification-17686a488761572a.d: crates/bench/src/bin/fig11_12_early_notification.rs
+
+/root/repo/target/release/deps/fig11_12_early_notification-17686a488761572a: crates/bench/src/bin/fig11_12_early_notification.rs
+
+crates/bench/src/bin/fig11_12_early_notification.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig13_sp_wfq-c8f3498f38980c0f.d: crates/bench/src/bin/fig13_sp_wfq.rs
+
+/root/repo/target/release/deps/fig13_sp_wfq-c8f3498f38980c0f: crates/bench/src/bin/fig13_sp_wfq.rs
+
+crates/bench/src/bin/fig13_sp_wfq.rs:

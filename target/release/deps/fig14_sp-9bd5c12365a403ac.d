@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig14_sp-9bd5c12365a403ac.d: crates/bench/src/bin/fig14_sp.rs
+
+/root/repo/target/release/deps/fig14_sp-9bd5c12365a403ac: crates/bench/src/bin/fig14_sp.rs
+
+crates/bench/src/bin/fig14_sp.rs:

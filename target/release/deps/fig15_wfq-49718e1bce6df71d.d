@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig15_wfq-49718e1bce6df71d.d: crates/bench/src/bin/fig15_wfq.rs
+
+/root/repo/target/release/deps/fig15_wfq-49718e1bce6df71d: crates/bench/src/bin/fig15_wfq.rs
+
+crates/bench/src/bin/fig15_wfq.rs:

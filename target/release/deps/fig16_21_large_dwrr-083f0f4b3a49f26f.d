@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig16_21_large_dwrr-083f0f4b3a49f26f.d: crates/bench/src/bin/fig16_21_large_dwrr.rs
+
+/root/repo/target/release/deps/fig16_21_large_dwrr-083f0f4b3a49f26f: crates/bench/src/bin/fig16_21_large_dwrr.rs
+
+crates/bench/src/bin/fig16_21_large_dwrr.rs:

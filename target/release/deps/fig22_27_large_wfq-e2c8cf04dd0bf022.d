@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig22_27_large_wfq-e2c8cf04dd0bf022.d: crates/bench/src/bin/fig22_27_large_wfq.rs
+
+/root/repo/target/release/deps/fig22_27_large_wfq-e2c8cf04dd0bf022: crates/bench/src/bin/fig22_27_large_wfq.rs
+
+crates/bench/src/bin/fig22_27_large_wfq.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/microbench-1d07261f83b451a5.d: crates/bench/src/bin/microbench.rs
+
+/root/repo/target/release/deps/microbench-1d07261f83b451a5: crates/bench/src/bin/microbench.rs
+
+crates/bench/src/bin/microbench.rs:

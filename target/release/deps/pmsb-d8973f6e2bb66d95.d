@@ -1,0 +1,19 @@
+/root/repo/target/release/deps/pmsb-d8973f6e2bb66d95.d: crates/core/src/lib.rs crates/core/src/analysis.rs crates/core/src/endpoint.rs crates/core/src/marking/mod.rs crates/core/src/marking/mq_ecn.rs crates/core/src/marking/per_port.rs crates/core/src/marking/per_queue.rs crates/core/src/marking/pmsb.rs crates/core/src/marking/pool.rs crates/core/src/marking/red.rs crates/core/src/marking/tcn.rs crates/core/src/profile.rs crates/core/src/view.rs
+
+/root/repo/target/release/deps/libpmsb-d8973f6e2bb66d95.rlib: crates/core/src/lib.rs crates/core/src/analysis.rs crates/core/src/endpoint.rs crates/core/src/marking/mod.rs crates/core/src/marking/mq_ecn.rs crates/core/src/marking/per_port.rs crates/core/src/marking/per_queue.rs crates/core/src/marking/pmsb.rs crates/core/src/marking/pool.rs crates/core/src/marking/red.rs crates/core/src/marking/tcn.rs crates/core/src/profile.rs crates/core/src/view.rs
+
+/root/repo/target/release/deps/libpmsb-d8973f6e2bb66d95.rmeta: crates/core/src/lib.rs crates/core/src/analysis.rs crates/core/src/endpoint.rs crates/core/src/marking/mod.rs crates/core/src/marking/mq_ecn.rs crates/core/src/marking/per_port.rs crates/core/src/marking/per_queue.rs crates/core/src/marking/pmsb.rs crates/core/src/marking/pool.rs crates/core/src/marking/red.rs crates/core/src/marking/tcn.rs crates/core/src/profile.rs crates/core/src/view.rs
+
+crates/core/src/lib.rs:
+crates/core/src/analysis.rs:
+crates/core/src/endpoint.rs:
+crates/core/src/marking/mod.rs:
+crates/core/src/marking/mq_ecn.rs:
+crates/core/src/marking/per_port.rs:
+crates/core/src/marking/per_queue.rs:
+crates/core/src/marking/pmsb.rs:
+crates/core/src/marking/pool.rs:
+crates/core/src/marking/red.rs:
+crates/core/src/marking/tcn.rs:
+crates/core/src/profile.rs:
+crates/core/src/view.rs:

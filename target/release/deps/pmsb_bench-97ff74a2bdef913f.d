@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/pmsb_bench-97ff74a2bdef913f.d: crates/bench/src/lib.rs crates/bench/src/campaigns.rs crates/bench/src/extensions.rs crates/bench/src/figures.rs crates/bench/src/large_scale.rs crates/bench/src/micro.rs crates/bench/src/util.rs
+
+/root/repo/target/release/deps/libpmsb_bench-97ff74a2bdef913f.rlib: crates/bench/src/lib.rs crates/bench/src/campaigns.rs crates/bench/src/extensions.rs crates/bench/src/figures.rs crates/bench/src/large_scale.rs crates/bench/src/micro.rs crates/bench/src/util.rs
+
+/root/repo/target/release/deps/libpmsb_bench-97ff74a2bdef913f.rmeta: crates/bench/src/lib.rs crates/bench/src/campaigns.rs crates/bench/src/extensions.rs crates/bench/src/figures.rs crates/bench/src/large_scale.rs crates/bench/src/micro.rs crates/bench/src/util.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/campaigns.rs:
+crates/bench/src/extensions.rs:
+crates/bench/src/figures.rs:
+crates/bench/src/large_scale.rs:
+crates/bench/src/micro.rs:
+crates/bench/src/util.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/pmsb_harness-35daab067e8314f5.d: crates/harness/src/lib.rs crates/harness/src/pool.rs crates/harness/src/record.rs crates/harness/src/store.rs
+
+/root/repo/target/release/deps/libpmsb_harness-35daab067e8314f5.rlib: crates/harness/src/lib.rs crates/harness/src/pool.rs crates/harness/src/record.rs crates/harness/src/store.rs
+
+/root/repo/target/release/deps/libpmsb_harness-35daab067e8314f5.rmeta: crates/harness/src/lib.rs crates/harness/src/pool.rs crates/harness/src/record.rs crates/harness/src/store.rs
+
+crates/harness/src/lib.rs:
+crates/harness/src/pool.rs:
+crates/harness/src/record.rs:
+crates/harness/src/store.rs:

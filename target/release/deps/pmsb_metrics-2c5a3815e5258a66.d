@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/pmsb_metrics-2c5a3815e5258a66.d: crates/metrics/src/lib.rs crates/metrics/src/cdf.rs crates/metrics/src/fct.rs crates/metrics/src/series.rs crates/metrics/src/summary.rs
+
+/root/repo/target/release/deps/libpmsb_metrics-2c5a3815e5258a66.rlib: crates/metrics/src/lib.rs crates/metrics/src/cdf.rs crates/metrics/src/fct.rs crates/metrics/src/series.rs crates/metrics/src/summary.rs
+
+/root/repo/target/release/deps/libpmsb_metrics-2c5a3815e5258a66.rmeta: crates/metrics/src/lib.rs crates/metrics/src/cdf.rs crates/metrics/src/fct.rs crates/metrics/src/series.rs crates/metrics/src/summary.rs
+
+crates/metrics/src/lib.rs:
+crates/metrics/src/cdf.rs:
+crates/metrics/src/fct.rs:
+crates/metrics/src/series.rs:
+crates/metrics/src/summary.rs:

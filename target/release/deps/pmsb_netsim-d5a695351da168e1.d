@@ -1,0 +1,15 @@
+/root/repo/target/release/deps/pmsb_netsim-d5a695351da168e1.d: crates/netsim/src/lib.rs crates/netsim/src/config.rs crates/netsim/src/experiment.rs crates/netsim/src/packet.rs crates/netsim/src/routing.rs crates/netsim/src/topology.rs crates/netsim/src/trace.rs crates/netsim/src/transport.rs crates/netsim/src/world.rs
+
+/root/repo/target/release/deps/libpmsb_netsim-d5a695351da168e1.rlib: crates/netsim/src/lib.rs crates/netsim/src/config.rs crates/netsim/src/experiment.rs crates/netsim/src/packet.rs crates/netsim/src/routing.rs crates/netsim/src/topology.rs crates/netsim/src/trace.rs crates/netsim/src/transport.rs crates/netsim/src/world.rs
+
+/root/repo/target/release/deps/libpmsb_netsim-d5a695351da168e1.rmeta: crates/netsim/src/lib.rs crates/netsim/src/config.rs crates/netsim/src/experiment.rs crates/netsim/src/packet.rs crates/netsim/src/routing.rs crates/netsim/src/topology.rs crates/netsim/src/trace.rs crates/netsim/src/transport.rs crates/netsim/src/world.rs
+
+crates/netsim/src/lib.rs:
+crates/netsim/src/config.rs:
+crates/netsim/src/experiment.rs:
+crates/netsim/src/packet.rs:
+crates/netsim/src/routing.rs:
+crates/netsim/src/topology.rs:
+crates/netsim/src/trace.rs:
+crates/netsim/src/transport.rs:
+crates/netsim/src/world.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/pmsb_repro-cc0b060fb340276b.d: src/lib.rs src/cli.rs
+
+/root/repo/target/release/deps/libpmsb_repro-cc0b060fb340276b.rlib: src/lib.rs src/cli.rs
+
+/root/repo/target/release/deps/libpmsb_repro-cc0b060fb340276b.rmeta: src/lib.rs src/cli.rs
+
+src/lib.rs:
+src/cli.rs:

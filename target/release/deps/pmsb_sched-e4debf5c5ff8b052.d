@@ -1,0 +1,15 @@
+/root/repo/target/release/deps/pmsb_sched-e4debf5c5ff8b052.d: crates/sched/src/lib.rs crates/sched/src/dwrr.rs crates/sched/src/fifo.rs crates/sched/src/hier.rs crates/sched/src/multi_queue.rs crates/sched/src/round.rs crates/sched/src/sp.rs crates/sched/src/wfq.rs crates/sched/src/wrr.rs
+
+/root/repo/target/release/deps/libpmsb_sched-e4debf5c5ff8b052.rlib: crates/sched/src/lib.rs crates/sched/src/dwrr.rs crates/sched/src/fifo.rs crates/sched/src/hier.rs crates/sched/src/multi_queue.rs crates/sched/src/round.rs crates/sched/src/sp.rs crates/sched/src/wfq.rs crates/sched/src/wrr.rs
+
+/root/repo/target/release/deps/libpmsb_sched-e4debf5c5ff8b052.rmeta: crates/sched/src/lib.rs crates/sched/src/dwrr.rs crates/sched/src/fifo.rs crates/sched/src/hier.rs crates/sched/src/multi_queue.rs crates/sched/src/round.rs crates/sched/src/sp.rs crates/sched/src/wfq.rs crates/sched/src/wrr.rs
+
+crates/sched/src/lib.rs:
+crates/sched/src/dwrr.rs:
+crates/sched/src/fifo.rs:
+crates/sched/src/hier.rs:
+crates/sched/src/multi_queue.rs:
+crates/sched/src/round.rs:
+crates/sched/src/sp.rs:
+crates/sched/src/wfq.rs:
+crates/sched/src/wrr.rs:

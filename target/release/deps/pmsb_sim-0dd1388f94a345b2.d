@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/pmsb_sim-0dd1388f94a345b2.d: src/bin/pmsb-sim.rs
+
+/root/repo/target/release/deps/pmsb_sim-0dd1388f94a345b2: src/bin/pmsb-sim.rs
+
+src/bin/pmsb-sim.rs:

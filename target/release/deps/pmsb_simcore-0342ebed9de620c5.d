@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/pmsb_simcore-0342ebed9de620c5.d: crates/simcore/src/lib.rs crates/simcore/src/event.rs crates/simcore/src/rng.rs crates/simcore/src/time.rs
+
+/root/repo/target/release/deps/libpmsb_simcore-0342ebed9de620c5.rlib: crates/simcore/src/lib.rs crates/simcore/src/event.rs crates/simcore/src/rng.rs crates/simcore/src/time.rs
+
+/root/repo/target/release/deps/libpmsb_simcore-0342ebed9de620c5.rmeta: crates/simcore/src/lib.rs crates/simcore/src/event.rs crates/simcore/src/rng.rs crates/simcore/src/time.rs
+
+crates/simcore/src/lib.rs:
+crates/simcore/src/event.rs:
+crates/simcore/src/rng.rs:
+crates/simcore/src/time.rs:

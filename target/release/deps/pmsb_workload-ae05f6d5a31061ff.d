@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/pmsb_workload-ae05f6d5a31061ff.d: crates/workload/src/lib.rs crates/workload/src/arrivals.rs crates/workload/src/size.rs crates/workload/src/traffic.rs
+
+/root/repo/target/release/deps/libpmsb_workload-ae05f6d5a31061ff.rlib: crates/workload/src/lib.rs crates/workload/src/arrivals.rs crates/workload/src/size.rs crates/workload/src/traffic.rs
+
+/root/repo/target/release/deps/libpmsb_workload-ae05f6d5a31061ff.rmeta: crates/workload/src/lib.rs crates/workload/src/arrivals.rs crates/workload/src/size.rs crates/workload/src/traffic.rs
+
+crates/workload/src/lib.rs:
+crates/workload/src/arrivals.rs:
+crates/workload/src/size.rs:
+crates/workload/src/traffic.rs:

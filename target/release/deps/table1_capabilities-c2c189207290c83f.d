@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table1_capabilities-c2c189207290c83f.d: crates/bench/src/bin/table1_capabilities.rs
+
+/root/repo/target/release/deps/table1_capabilities-c2c189207290c83f: crates/bench/src/bin/table1_capabilities.rs
+
+crates/bench/src/bin/table1_capabilities.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/thm_iv1_validation-cf13409f1c033e30.d: crates/bench/src/bin/thm_iv1_validation.rs
+
+/root/repo/target/release/deps/thm_iv1_validation-cf13409f1c033e30: crates/bench/src/bin/thm_iv1_validation.rs
+
+crates/bench/src/bin/thm_iv1_validation.rs:

@@ -1,0 +1,1 @@
+/root/repo/target/release/libpmsb_simcore.rlib: /root/repo/crates/simcore/src/event.rs /root/repo/crates/simcore/src/lib.rs /root/repo/crates/simcore/src/rng.rs /root/repo/crates/simcore/src/time.rs
