@@ -45,4 +45,5 @@ pub mod extensions;
 pub mod figures;
 pub mod large_scale;
 pub mod micro;
+pub mod report;
 pub mod util;

@@ -1,0 +1,411 @@
+//! Machine-readable benchmark reports (`BENCH_*.json`).
+//!
+//! The `microbench` binary emits one JSON document per run when passed
+//! `--json PATH`. Besides the raw per-case timings it records three
+//! derived hot-path metrics — event-queue ops/sec, end-to-end dumbbell
+//! packets/sec, and the wall-clock of a small in-process harness
+//! campaign — plus a determinism cross-check that the timing-wheel FEL
+//! pops the exact same sequence as the reference binary heap on
+//! randomized seeded workloads.
+//!
+//! Pass `--baseline PATH` (a `case,mean_ns,best_ns` CSV from a previous
+//! run, i.e. a captured stdout of `microbench`) to fold before/after
+//! numbers and per-case speedups into the report. The JSON is written
+//! by hand — no serialization dependency — and all floats are emitted
+//! with a fixed precision so reports diff cleanly.
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use pmsb_harness::{Campaign, Job, Record, RunOptions};
+use pmsb_netsim::experiment::{Experiment, FlowDesc, MarkingConfig};
+use pmsb_simcore::rng::SimRng;
+use pmsb_simcore::{EventQueue, HeapQueue, SimTime};
+
+use crate::micro::CaseResult;
+
+/// A baseline entry parsed from a previous run's CSV report.
+#[derive(Debug, Clone)]
+pub struct BaselineCase {
+    /// `group/name` label, matched against [`CaseResult::label`].
+    pub label: String,
+    /// Baseline mean nanoseconds per iteration.
+    pub mean_nanos: f64,
+    /// Baseline best-sample nanoseconds per iteration.
+    pub best_nanos: f64,
+}
+
+/// Parses a `case,mean_ns,best_ns` CSV (the `microbench` stdout format)
+/// into baseline entries, skipping the header and malformed lines.
+pub fn parse_baseline_csv(text: &str) -> Vec<BaselineCase> {
+    text.lines()
+        .filter_map(|line| {
+            let mut parts = line.trim().split(',');
+            let label = parts.next()?.to_string();
+            let mean_nanos: f64 = parts.next()?.trim().parse().ok()?;
+            let best_nanos: f64 = parts.next()?.trim().parse().ok()?;
+            Some(BaselineCase {
+                label,
+                mean_nanos,
+                best_nanos,
+            })
+        })
+        .collect()
+}
+
+/// Outcome of the in-report FEL determinism cross-check.
+#[derive(Debug, Clone)]
+pub struct DeterminismCheck {
+    /// `true` iff every workload popped identically on wheel and heap.
+    pub fel_matches_heap: bool,
+    /// Number of randomized workloads driven.
+    pub workloads: u32,
+    /// Total events pushed-and-popped across all workloads.
+    pub events_checked: u64,
+}
+
+/// Drives the timing-wheel [`EventQueue`] and the reference
+/// [`HeapQueue`] through identical randomized seeded workloads and
+/// checks that every popped `(time, payload)` pair matches. This is a
+/// cut-down in-binary version of the `fel_differential` test suite, so
+/// every `BENCH_*.json` carries its own proof that the measured queue
+/// still pops the heap's exact order.
+pub fn determinism_check() -> DeterminismCheck {
+    let mut ok = true;
+    let mut events_checked = 0u64;
+    let mut workloads = 0u32;
+    // (seed, far_shift): far_shift > 0 mixes in far-future times that
+    // cross the wheel horizon into the overflow heap.
+    for (seed, far_shift) in [(1u64, 0u32), (2, 0), (3, 26), (4, 28)] {
+        workloads += 1;
+        let mut rng = SimRng::seed_from(seed);
+        let mut wheel: EventQueue<u64> = EventQueue::new();
+        let mut heap: HeapQueue<u64> = HeapQueue::new();
+        for i in 0..5_000u64 {
+            let now = wheel.now().as_nanos();
+            let at = if far_shift > 0 && rng.below(8) == 0 {
+                now + (rng.next_u64() % (1 << far_shift))
+            } else {
+                now + rng.below(2_000) as u64
+            };
+            wheel.push(SimTime::from_nanos(at), i);
+            heap.push(SimTime::from_nanos(at), i);
+            if i % 3 == 0 {
+                ok &= wheel.pop() == heap.pop();
+                events_checked += 1;
+            }
+        }
+        loop {
+            let (w, h) = (wheel.pop(), heap.pop());
+            ok &= w == h;
+            if w.is_none() {
+                break;
+            }
+            events_checked += 1;
+        }
+    }
+    DeterminismCheck {
+        fel_matches_heap: ok,
+        workloads,
+        events_checked,
+    }
+}
+
+/// Hot-path metrics derived from one representative run, rather than
+/// from timed closures.
+#[derive(Debug, Clone)]
+pub struct DerivedMetrics {
+    /// Events processed by one `dumbbell_4x500KB/pmsb` run.
+    pub dumbbell_events: u64,
+    /// Per-hop packet deliveries in that run.
+    pub dumbbell_deliveries: u64,
+    /// FEL push+pop operations per second, from `event_queue/push_pop_1k`.
+    pub event_queue_ops_per_sec: f64,
+    /// Simulated packet deliveries per wall-clock second, from the
+    /// best `dumbbell_4x500KB/pmsb` sample.
+    pub dumbbell_packets_per_sec: f64,
+    /// Events processed per wall-clock second on the same sample.
+    pub dumbbell_events_per_sec: f64,
+    /// Wall-clock of a 4-cell in-process harness campaign, ms.
+    pub campaign_wall_clock_ms: f64,
+}
+
+/// Runs the `dumbbell_4x500KB/pmsb` scenario once and returns its
+/// `(events, deliveries)` counters.
+fn dumbbell_counts() -> (u64, u64) {
+    let mut e = Experiment::dumbbell(4, 2).marking(MarkingConfig::Pmsb {
+        port_threshold_pkts: 12,
+    });
+    for s in 0..4 {
+        e.add_flow(FlowDesc::bulk(s, 4, s % 2, 500_000));
+    }
+    let res = e.run_for_millis(10);
+    (res.events, res.deliveries)
+}
+
+/// Times one 4-cell dumbbell campaign (one cell per marking scheme)
+/// through the harness, end to end including the result store.
+fn campaign_wall_clock_ms() -> f64 {
+    let cells: Vec<(&'static str, MarkingConfig)> = vec![
+        (
+            "pmsb",
+            MarkingConfig::Pmsb {
+                port_threshold_pkts: 12,
+            },
+        ),
+        ("per_port", MarkingConfig::PerPort { threshold_pkts: 16 }),
+        ("mq_ecn", MarkingConfig::MqEcn { standard_pkts: 16 }),
+        (
+            "tcn",
+            MarkingConfig::Tcn {
+                threshold_nanos: 39_000,
+            },
+        ),
+    ];
+    let mut campaign = Campaign::new("bench_wallclock");
+    for (scheme, marking) in cells {
+        campaign.push(
+            Job::new("dumbbell_4x500KB", 0, move || {
+                let mut e = Experiment::dumbbell(4, 2).marking(marking);
+                for s in 0..4 {
+                    e.add_flow(FlowDesc::bulk(s, 4, s % 2, 500_000));
+                }
+                let res = e.run_for_millis(10);
+                Record::new()
+                    .field("flows_done", res.fct.len())
+                    .field("marks", res.marks)
+            })
+            .param("scheme", scheme),
+        );
+    }
+    let root = std::env::temp_dir().join(format!("pmsb-bench-wallclock-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&root);
+    let t0 = Instant::now();
+    let out = campaign.run(&RunOptions {
+        jobs: Some(1),
+        results_root: root.clone(),
+        quiet: true,
+    });
+    let elapsed = t0.elapsed().as_secs_f64() * 1e3;
+    let _ = std::fs::remove_dir_all(&root);
+    match out {
+        Ok(r) if r.is_success() => elapsed,
+        _ => f64::NAN,
+    }
+}
+
+fn find_best(results: &[CaseResult], label: &str) -> Option<f64> {
+    results
+        .iter()
+        .find(|r| r.label == label)
+        .map(|r| r.best_nanos)
+}
+
+/// Computes the derived hot-path metrics from the timed case results.
+pub fn derive_metrics(results: &[CaseResult]) -> DerivedMetrics {
+    let (events, deliveries) = dumbbell_counts();
+    // push_pop_1k performs 1000 pushes + 1000 pops per iteration.
+    let eq_ops = find_best(results, "event_queue/push_pop_1k")
+        .map(|best| 2_000.0 / (best * 1e-9))
+        .unwrap_or(f64::NAN);
+    let dumbbell_best = find_best(results, "dumbbell_4x500KB/pmsb").unwrap_or(f64::NAN);
+    DerivedMetrics {
+        dumbbell_events: events,
+        dumbbell_deliveries: deliveries,
+        event_queue_ops_per_sec: eq_ops,
+        dumbbell_packets_per_sec: deliveries as f64 / (dumbbell_best * 1e-9),
+        dumbbell_events_per_sec: events as f64 / (dumbbell_best * 1e-9),
+        campaign_wall_clock_ms: campaign_wall_clock_ms(),
+    }
+}
+
+fn push_json_str(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn push_f64(out: &mut String, v: f64) {
+    if v.is_finite() {
+        let _ = write!(out, "{v:.1}");
+    } else {
+        out.push_str("null");
+    }
+}
+
+/// Renders the full report as a pretty-printed JSON document.
+///
+/// Layout:
+/// ```json
+/// {
+///   "schema": "pmsb-bench/v1",
+///   "quick": false,
+///   "cases": [ {"label", "mean_ns", "best_ns",
+///               "baseline_best_ns"?, "speedup"?}, ... ],
+///   "derived": { ... },
+///   "determinism": { ... }
+/// }
+/// ```
+/// `speedup` is `baseline_best_ns / best_ns` (>1 means this run is
+/// faster than the baseline) and appears only when `--baseline` was
+/// given and the label matched.
+pub fn render_json(
+    results: &[CaseResult],
+    baseline: &[BaselineCase],
+    derived: &DerivedMetrics,
+    determinism: &DeterminismCheck,
+    quick: bool,
+) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    let _ = writeln!(out, "  \"schema\": \"pmsb-bench/v1\",");
+    let _ = writeln!(out, "  \"quick\": {quick},");
+    out.push_str("  \"cases\": [\n");
+    for (i, r) in results.iter().enumerate() {
+        out.push_str("    {\"label\": ");
+        push_json_str(&mut out, &r.label);
+        out.push_str(", \"mean_ns\": ");
+        push_f64(&mut out, r.mean_nanos);
+        out.push_str(", \"best_ns\": ");
+        push_f64(&mut out, r.best_nanos);
+        if let Some(b) = baseline.iter().find(|b| b.label == r.label) {
+            out.push_str(", \"baseline_best_ns\": ");
+            push_f64(&mut out, b.best_nanos);
+            out.push_str(", \"speedup\": ");
+            if r.best_nanos > 0.0 {
+                let _ = write!(out, "{:.3}", b.best_nanos / r.best_nanos);
+            } else {
+                out.push_str("null");
+            }
+        }
+        out.push('}');
+        if i + 1 < results.len() {
+            out.push(',');
+        }
+        out.push('\n');
+    }
+    out.push_str("  ],\n");
+    out.push_str("  \"derived\": {\n");
+    let _ = writeln!(
+        out,
+        "    \"dumbbell_events_per_run\": {},",
+        derived.dumbbell_events
+    );
+    let _ = writeln!(
+        out,
+        "    \"dumbbell_deliveries_per_run\": {},",
+        derived.dumbbell_deliveries
+    );
+    out.push_str("    \"event_queue_ops_per_sec\": ");
+    push_f64(&mut out, derived.event_queue_ops_per_sec);
+    out.push_str(",\n    \"dumbbell_packets_per_sec\": ");
+    push_f64(&mut out, derived.dumbbell_packets_per_sec);
+    out.push_str(",\n    \"dumbbell_events_per_sec\": ");
+    push_f64(&mut out, derived.dumbbell_events_per_sec);
+    out.push_str(",\n    \"campaign_wall_clock_ms\": ");
+    push_f64(&mut out, derived.campaign_wall_clock_ms);
+    out.push_str("\n  },\n");
+    out.push_str("  \"determinism\": {\n");
+    let _ = writeln!(
+        out,
+        "    \"fel_matches_heap\": {},",
+        determinism.fel_matches_heap
+    );
+    let _ = writeln!(out, "    \"workloads\": {},", determinism.workloads);
+    let _ = writeln!(
+        out,
+        "    \"events_checked\": {}",
+        determinism.events_checked
+    );
+    out.push_str("  }\n}\n");
+    out
+}
+
+/// Builds the complete JSON report: derived metrics, determinism
+/// cross-check, and (when `baseline_csv` is given) per-case speedups.
+pub fn build(results: &[CaseResult], baseline_csv: Option<&str>, quick: bool) -> String {
+    let baseline = baseline_csv.map(parse_baseline_csv).unwrap_or_default();
+    let derived = derive_metrics(results);
+    let determinism = determinism_check();
+    render_json(results, &baseline, &derived, &determinism, quick)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn baseline_csv_parses_and_skips_header() {
+        let parsed = parse_baseline_csv(
+            "case,mean_ns,best_ns\nevent_queue/push_pop_1k,100.5,90.0\nbad line\n",
+        );
+        assert_eq!(parsed.len(), 1);
+        assert_eq!(parsed[0].label, "event_queue/push_pop_1k");
+        assert_eq!(parsed[0].best_nanos, 90.0);
+    }
+
+    #[test]
+    fn determinism_check_passes() {
+        let check = determinism_check();
+        assert!(check.fel_matches_heap);
+        assert!(check.events_checked > 10_000);
+        assert_eq!(check.workloads, 4);
+    }
+
+    #[test]
+    fn report_is_valid_shape_with_baseline_speedups() {
+        let results = vec![
+            CaseResult {
+                label: "event_queue/push_pop_1k".into(),
+                mean_nanos: 110.0,
+                best_nanos: 100.0,
+            },
+            CaseResult {
+                label: "dumbbell_4x500KB/pmsb".into(),
+                mean_nanos: 2_200.0,
+                best_nanos: 2_000.0,
+            },
+        ];
+        let baseline =
+            parse_baseline_csv("case,mean_ns,best_ns\nevent_queue/push_pop_1k,160.0,150.0\n");
+        let derived = DerivedMetrics {
+            dumbbell_events: 12_000,
+            dumbbell_deliveries: 6_000,
+            event_queue_ops_per_sec: 1e9,
+            dumbbell_packets_per_sec: 3e9,
+            dumbbell_events_per_sec: 6e9,
+            campaign_wall_clock_ms: 42.0,
+        };
+        let determinism = DeterminismCheck {
+            fel_matches_heap: true,
+            workloads: 4,
+            events_checked: 20_000,
+        };
+        let json = render_json(&results, &baseline, &derived, &determinism, true);
+        assert!(json.contains("\"speedup\": 1.500"));
+        assert!(json.contains("\"baseline_best_ns\": 150.0"));
+        assert!(json.contains("\"fel_matches_heap\": true"));
+        assert!(json.contains("\"campaign_wall_clock_ms\": 42.0"));
+        // The dumbbell case had no baseline entry: no speedup key on it.
+        let dumbbell_line = json
+            .lines()
+            .find(|l| l.contains("dumbbell_4x500KB/pmsb"))
+            .unwrap();
+        assert!(!dumbbell_line.contains("speedup"));
+        // Shape sanity: balanced braces and brackets.
+        assert_eq!(
+            json.matches('{').count(),
+            json.matches('}').count(),
+            "unbalanced braces in: {json}"
+        );
+    }
+}

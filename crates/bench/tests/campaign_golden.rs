@@ -1,0 +1,104 @@
+//! Harness-level determinism gate for the simulator hot path.
+//!
+//! The golden file `tests/golden/campaign_records.jsonl` was produced by
+//! the PR-1 simulator (BinaryHeap future-event list, HashMap host
+//! tables). Any rework of the event queue or the per-event path must
+//! leave campaign records **byte-identical**: same pop order, same
+//! marking decisions, same flow completion times, same serialized
+//! bytes. Regenerate deliberately with
+//! `UPDATE_GOLDEN=1 cargo test -p pmsb-bench --test campaign_golden`.
+
+use std::fs;
+use std::path::PathBuf;
+
+use pmsb_harness::{Campaign, Job, Record, RunOptions, RECORDS_FILE};
+use pmsb_netsim::experiment::{Experiment, FlowDesc, MarkingConfig};
+
+fn golden_path() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests")
+        .join("golden")
+        .join("campaign_records.jsonl")
+}
+
+/// One deterministic dumbbell cell per marking scheme. Records carry
+/// only integer fields, so the serialized bytes are platform-stable.
+fn golden_campaign() -> Campaign {
+    let cells: Vec<(&'static str, MarkingConfig)> = vec![
+        (
+            "pmsb",
+            MarkingConfig::Pmsb {
+                port_threshold_pkts: 12,
+            },
+        ),
+        ("per_port", MarkingConfig::PerPort { threshold_pkts: 16 }),
+        ("mq_ecn", MarkingConfig::MqEcn { standard_pkts: 16 }),
+        (
+            "tcn",
+            MarkingConfig::Tcn {
+                threshold_nanos: 39_000,
+            },
+        ),
+    ];
+    let mut campaign = Campaign::new("golden");
+    for (scheme, marking) in cells {
+        campaign.push(
+            Job::new("dumbbell_4x200KB", 0, move || {
+                let mut e = Experiment::dumbbell(4, 2).marking(marking);
+                for s in 0..4 {
+                    e.add_flow(FlowDesc::bulk(s, 4, s % 2, 200_000));
+                }
+                let res = e.run_for_millis(20);
+                let mut fct_sum = 0u64;
+                let mut end_last = 0u64;
+                for r in res.fct.records() {
+                    fct_sum += r.fct_nanos();
+                    end_last = end_last.max(r.end_nanos);
+                }
+                Record::new()
+                    .field("flows_done", res.fct.len())
+                    .field("fct_sum_nanos", fct_sum)
+                    .field("last_end_nanos", end_last)
+                    .field("marks", res.marks)
+                    .field("drops", res.drops)
+            })
+            .param("scheme", scheme),
+        );
+    }
+    campaign
+}
+
+#[test]
+fn campaign_records_byte_identical_to_heap_baseline() {
+    let root = std::env::temp_dir().join(format!("pmsb-golden-{}", std::process::id()));
+    let _ = fs::remove_dir_all(&root);
+    let out = golden_campaign()
+        .run(&RunOptions {
+            jobs: Some(2),
+            results_root: root.clone(),
+            quiet: true,
+        })
+        .unwrap();
+    assert!(
+        out.is_success(),
+        "golden campaign failed: {:?}",
+        out.failures
+    );
+    let produced = fs::read_to_string(root.join("golden").join(RECORDS_FILE)).unwrap();
+    fs::remove_dir_all(&root).ok();
+
+    let golden = golden_path();
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        fs::create_dir_all(golden.parent().unwrap()).unwrap();
+        fs::write(&golden, &produced).unwrap();
+        eprintln!("golden file updated: {}", golden.display());
+        return;
+    }
+    let expected = fs::read_to_string(&golden)
+        .unwrap_or_else(|e| panic!("missing golden file {}: {e}", golden.display()));
+    assert_eq!(
+        produced, expected,
+        "campaign records diverged from the heap-FEL baseline — the \
+         simulator is no longer bit-for-bit deterministic vs PR 1"
+    );
+}

@@ -114,6 +114,13 @@ pub trait MarkingScheme: std::fmt::Debug + Send {
     /// view's queue count does not match the scheme's configured weights.
     fn should_mark(&mut self, view: &dyn PortView, queue: usize) -> MarkDecision;
 
+    /// `true` iff the scheme reads [`PortView::pool_bytes`], letting
+    /// callers skip computing cross-port pool occupancy for the (common)
+    /// schemes that only look at their own port.
+    fn reads_pool(&self) -> bool {
+        false
+    }
+
     /// Short machine-readable scheme name (e.g. `"pmsb"`, `"tcn"`).
     fn name(&self) -> &'static str;
 

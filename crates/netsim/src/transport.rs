@@ -101,11 +101,16 @@ pub struct DctcpSender {
     backoff: u32,
     rto_gen: u64,
     rto_armed: bool,
+    rto_deadline_nanos: u64,
     app_gen: u64,
     completed: bool,
     // Optional RTT trace.
     rtt_samples: Option<Vec<u64>>,
     stats: SenderStats,
+    /// Recycled packet buffer handed out through [`SenderOutput::packets`]
+    /// and returned via [`DctcpSender::recycle`], so the steady-state
+    /// event path does not allocate per ACK.
+    spare_buf: Vec<Packet>,
 }
 
 impl DctcpSender {
@@ -158,10 +163,28 @@ impl DctcpSender {
             backoff: 0,
             rto_gen: 0,
             rto_armed: false,
+            rto_deadline_nanos: 0,
             app_gen: 0,
             completed: false,
             rtt_samples: None,
             stats: SenderStats::default(),
+            spare_buf: Vec::new(),
+        }
+    }
+
+    /// A fresh [`SenderOutput`] backed by the recycled packet buffer.
+    fn new_output(&mut self) -> SenderOutput {
+        SenderOutput {
+            packets: std::mem::take(&mut self.spare_buf),
+            ..SenderOutput::default()
+        }
+    }
+
+    /// Hands a drained [`SenderOutput::packets`] buffer back for reuse.
+    pub fn recycle(&mut self, mut buf: Vec<Packet>) {
+        buf.clear();
+        if buf.capacity() > self.spare_buf.capacity() {
+            self.spare_buf = buf;
         }
     }
 
@@ -217,7 +240,7 @@ impl DctcpSender {
 
     /// Begins transmission: the initial-window burst plus timers.
     pub fn start(&mut self, now_nanos: u64) -> SenderOutput {
-        let mut out = SenderOutput::default();
+        let mut out = self.new_output();
         self.emit_new(now_nanos, &mut out);
         self.win_end = self.snd_nxt;
         self.arm_rto(now_nanos, &mut out);
@@ -233,7 +256,7 @@ impl DctcpSender {
         echo_sent_at_nanos: u64,
         now_nanos: u64,
     ) -> SenderOutput {
-        let mut out = SenderOutput::default();
+        let mut out = self.new_output();
         if self.completed {
             return out;
         }
@@ -312,7 +335,7 @@ impl DctcpSender {
 
     /// Handles a retransmission timeout with generation `gen`.
     pub fn on_rto(&mut self, gen: u64, now_nanos: u64) -> SenderOutput {
-        let mut out = SenderOutput::default();
+        let mut out = self.new_output();
         if self.completed || gen != self.rto_gen || !self.rto_armed {
             return out; // stale timer
         }
@@ -329,7 +352,7 @@ impl DctcpSender {
 
     /// Handles an application-rate resume tick with generation `gen`.
     pub fn on_app_resume(&mut self, gen: u64, now_nanos: u64) -> SenderOutput {
-        let mut out = SenderOutput::default();
+        let mut out = self.new_output();
         if self.completed || gen != self.app_gen {
             return out;
         }
@@ -455,10 +478,29 @@ impl DctcpSender {
         self.rto_gen += 1;
         self.rto_armed = true;
         let deadline = now_nanos + (self.rto_nanos << self.backoff).min(4_000_000_000);
+        self.rto_deadline_nanos = deadline;
         out.rto = Some(TimerArm {
             gen: self.rto_gen,
             at_nanos: deadline,
         });
+    }
+
+    /// The currently armed retransmission deadline, if any.
+    ///
+    /// Lets a driver keep a single outstanding timer event per flow:
+    /// when a timer event fires with a stale generation, consult this to
+    /// re-arm at the live deadline instead of scheduling one event per
+    /// ACK (the common ACK-clocked case re-arms on every ACK, which
+    /// would otherwise flood the future-event list with no-op events).
+    pub fn rto_deadline(&self) -> Option<TimerArm> {
+        if self.rto_armed && !self.completed {
+            Some(TimerArm {
+                gen: self.rto_gen,
+                at_nanos: self.rto_deadline_nanos,
+            })
+        } else {
+            None
+        }
     }
 
     fn cancel_timers(&mut self) {

@@ -148,8 +148,6 @@ struct Host {
     nic_mark_point: MarkPoint,
     nic_busy: bool,
     link: Option<LinkAttach>,
-    senders: HashMap<u64, DctcpSender>,
-    receivers: HashMap<u64, DctcpReceiver>,
 }
 
 struct SwitchPort {
@@ -216,6 +214,11 @@ pub struct RunResults {
     pub marks: u64,
     /// Simulated time at the end of the run, nanoseconds.
     pub end_nanos: u64,
+    /// Total events scheduled on the FEL over the run (simulator work,
+    /// the denominator for events/sec benchmarks).
+    pub events: u64,
+    /// Packets delivered to a node (host or switch hop) over the run.
+    pub deliveries: u64,
 }
 
 /// The simulated network. Build with the `wire_*` methods (or the
@@ -226,9 +229,22 @@ pub struct World {
     transport: TransportConfig,
     trace: TraceConfig,
     flows: Vec<FlowDesc>,
+    /// Dense per-flow transport state, indexed by flow id (flow ids are
+    /// `0..flows.len()`). Slot tables instead of per-host `HashMap`s keep
+    /// hash lookups out of the per-event path; `HashMap`s reappear only at
+    /// the result-export boundary in [`World::harvest`].
+    senders: Vec<Option<DctcpSender>>,
+    receivers: Vec<Option<DctcpReceiver>>,
+    /// Fire time of the earliest outstanding [`Event::Rto`] per flow
+    /// (`u64::MAX` when none). Senders re-arm the retransmission timer on
+    /// every ACK; instead of scheduling one event per re-arm, at most one
+    /// timer event stays in flight per flow and a stale fire re-arms at
+    /// the sender's live deadline ([`DctcpSender::rto_deadline`]).
+    rto_next_fire: Vec<u64>,
     fct: FctRecorder,
     marks: u64,
     end_nanos: u64,
+    deliveries: u64,
 }
 
 impl World {
@@ -240,9 +256,13 @@ impl World {
             transport,
             trace: TraceConfig::off(),
             flows: Vec::new(),
+            senders: Vec::new(),
+            receivers: Vec::new(),
+            rto_next_fire: Vec::new(),
             fct: FctRecorder::new(),
             marks: 0,
             end_nanos: 0,
+            deliveries: 0,
         }
     }
 
@@ -254,8 +274,6 @@ impl World {
             nic_mark_point: cfg.nic_mark_point,
             nic_busy: false,
             link: None,
-            senders: HashMap::new(),
-            receivers: HashMap::new(),
         });
         self.hosts.len() - 1
     }
@@ -379,7 +397,24 @@ impl World {
     /// results. Consumes the world.
     pub fn run_until_nanos(mut self, end_nanos: u64) -> RunResults {
         self.end_nanos = end_nanos;
+        self.senders.resize_with(self.flows.len(), || None);
+        self.receivers.resize_with(self.flows.len(), || None);
+        self.rto_next_fire.resize(self.flows.len(), u64::MAX);
+        // Pre-size the hot-path storage: the FEL for the in-flight event
+        // population (a generous per-flow share plus trace/timer headroom)
+        // and every port's ring buffers for a congested queue's worth of
+        // packets, so the steady state never grows a buffer.
+        let queue_capacity = 256 + 16 * self.flows.len();
+        for h in &mut self.hosts {
+            h.nic.reserve(64);
+        }
+        for sw in &mut self.switches {
+            for p in &mut sw.ports {
+                p.mq.reserve(64);
+            }
+        }
         let mut sim = Simulation::new(self);
+        sim.queue.reserve(queue_capacity);
         for (id, f) in sim.handler.flows.iter().enumerate() {
             sim.queue.push(
                 SimTime::from_nanos(f.start_nanos),
@@ -391,20 +426,22 @@ impl World {
                 .push(SimTime::from_nanos(interval), Event::TraceSample);
         }
         sim.run_until(SimTime::from_nanos(end_nanos));
-        sim.handler.harvest(end_nanos)
+        let events = sim.queue.scheduled_count();
+        sim.handler.harvest(end_nanos, events)
     }
 
-    fn harvest(mut self, end_nanos: u64) -> RunResults {
+    fn harvest(mut self, end_nanos: u64, events: u64) -> RunResults {
         let mut rtt = HashMap::new();
         let mut stats = HashMap::new();
         let mut drops = 0u64;
-        for h in &mut self.hosts {
+        for h in &self.hosts {
             drops += h.nic.dropped_items();
-            for (id, s) in &h.senders {
-                stats.insert(*id, s.stats());
-                if let Some(samples) = s.rtt_samples() {
-                    rtt.insert(*id, samples.to_vec());
-                }
+        }
+        for (id, s) in self.senders.iter().enumerate() {
+            let Some(s) = s else { continue };
+            stats.insert(id as u64, s.stats());
+            if let Some(samples) = s.rtt_samples() {
+                rtt.insert(id as u64, samples.to_vec());
             }
         }
         let mut traces = HashMap::new();
@@ -424,6 +461,8 @@ impl World {
             drops,
             marks: self.marks,
             end_nanos,
+            events,
+            deliveries: self.deliveries,
         }
     }
 
@@ -439,18 +478,29 @@ impl World {
         now: u64,
         queue: &mut EventQueue<Event>,
     ) {
-        for pkt in out.packets {
+        let mut packets = out.packets;
+        for pkt in packets.drain(..) {
             self.host_enqueue(host, pkt, now, queue);
         }
+        if let Some(s) = self.senders[flow_id as usize].as_mut() {
+            s.recycle(packets);
+        }
         if let Some(arm) = out.rto {
-            queue.push(
-                SimTime::from_nanos(arm.at_nanos.max(now)),
-                Event::Rto {
-                    host,
-                    flow_id,
-                    gen: arm.gen,
-                },
-            );
+            // At most one timer event in flight per flow: skip the push
+            // when an earlier (or equal) fire is already scheduled — that
+            // fire re-arms lazily from the sender's live deadline.
+            let at = arm.at_nanos.max(now);
+            if at < self.rto_next_fire[flow_id as usize] {
+                self.rto_next_fire[flow_id as usize] = at;
+                queue.push(
+                    SimTime::from_nanos(at),
+                    Event::Rto {
+                        host,
+                        flow_id,
+                        gen: arm.gen,
+                    },
+                );
+            }
         }
         if let Some(arm) = out.app_resume {
             queue.push(
@@ -463,7 +513,9 @@ impl World {
             );
         }
         if out.completed {
-            let s = &self.hosts[host].senders[&flow_id];
+            let s = self.senders[flow_id as usize]
+                .as_ref()
+                .expect("completed flow has a sender");
             self.fct.record(FlowRecord {
                 flow_id,
                 bytes: s.size_bytes(),
@@ -608,12 +660,16 @@ impl World {
         let out_port = self.switches[switch]
             .routes
             .port_for(pkt.dst_host, pkt.flow_id);
-        // Pool occupancy across all ports of this switch (per-pool marking).
-        let pool: u64 = self.switches[switch]
-            .ports
-            .iter()
-            .map(|p| p.mq.port_bytes())
-            .sum();
+        // Pool occupancy across all ports of this switch — only summed for
+        // the per-pool scheme; every other scheme looks at its own port.
+        let pool: u64 = match &self.switches[switch].ports[out_port].marker {
+            Some(m) if m.reads_pool() => self.switches[switch]
+                .ports
+                .iter()
+                .map(|p| p.mq.port_bytes())
+                .sum(),
+            _ => 0,
+        };
         let marks = &mut self.marks;
         let p = &mut self.switches[switch].ports[out_port];
         let q = pkt.service % p.mq.num_queues();
@@ -647,16 +703,13 @@ impl World {
         match pkt.kind {
             PacketKind::Data { .. } => {
                 let transport = self.transport;
-                let receiver = self.hosts[host]
-                    .receivers
-                    .entry(pkt.flow_id)
-                    .or_insert_with(|| {
-                        DctcpReceiver::with_delack(
-                            pkt.flow_id,
-                            transport.ack_every_packets,
-                            transport.delack_timeout_nanos,
-                        )
-                    });
+                let receiver = self.receivers[pkt.flow_id as usize].get_or_insert_with(|| {
+                    DctcpReceiver::with_delack(
+                        pkt.flow_id,
+                        transport.ack_every_packets,
+                        transport.delack_timeout_nanos,
+                    )
+                });
                 let out = receiver.on_data(&pkt, now);
                 if let Some(arm) = out.delack {
                     queue.push(
@@ -673,8 +726,8 @@ impl World {
                 }
             }
             PacketKind::Ack { cum_ack, ece } => {
-                let Some(sender) = self.hosts[host].senders.get_mut(&pkt.flow_id) else {
-                    return; // flow unknown here (stale ACK after harvest)
+                let Some(sender) = self.senders[pkt.flow_id as usize].as_mut() else {
+                    return; // flow not started yet (stale ACK)
                 };
                 let out = sender.on_ack(cum_ack, ece, pkt.sent_at_nanos, now);
                 self.process_sender_output(host, pkt.flow_id, out, now, queue);
@@ -721,13 +774,16 @@ impl EventHandler for World {
                     sender.enable_rtt_trace();
                 }
                 let out = sender.start(now);
-                self.hosts[desc.src_host].senders.insert(flow_id, sender);
+                self.senders[flow_id as usize] = Some(sender);
                 self.process_sender_output(desc.src_host, flow_id, out, now, queue);
             }
-            Event::Deliver { node, packet } => match node {
-                NodeRef::Host(h) => self.deliver_to_host(h, packet, now, queue),
-                NodeRef::Switch(s) => self.deliver_to_switch(s, packet, now, queue),
-            },
+            Event::Deliver { node, packet } => {
+                self.deliveries += 1;
+                match node {
+                    NodeRef::Host(h) => self.deliver_to_host(h, packet, now, queue),
+                    NodeRef::Switch(s) => self.deliver_to_switch(s, packet, now, queue),
+                }
+            }
             Event::TransmitDone { node, port } => match node {
                 NodeRef::Host(h) => {
                     self.hosts[h].nic_busy = false;
@@ -738,21 +794,52 @@ impl EventHandler for World {
                     self.try_transmit_switch(s, port, now, queue);
                 }
             },
-            Event::Rto { host, flow_id, gen } => {
-                if let Some(sender) = self.hosts[host].senders.get_mut(&flow_id) {
-                    let out = sender.on_rto(gen, now);
-                    self.process_sender_output(host, flow_id, out, now, queue);
+            Event::Rto {
+                host,
+                flow_id,
+                gen: _,
+            } => {
+                self.rto_next_fire[flow_id as usize] = u64::MAX;
+                // The event's generation may predate later re-arms, so the
+                // sender's live deadline decides what this fire means.
+                let deadline = self.senders[flow_id as usize]
+                    .as_ref()
+                    .and_then(|s| s.rto_deadline());
+                match deadline {
+                    // Live deadline reached: a genuine timeout.
+                    Some(arm) if arm.at_nanos <= now => {
+                        let sender = self.senders[flow_id as usize]
+                            .as_mut()
+                            .expect("armed timer has a sender");
+                        let out = sender.on_rto(arm.gen, now);
+                        self.process_sender_output(host, flow_id, out, now, queue);
+                    }
+                    // The deadline moved while this event was in flight:
+                    // walk the single timer event forward to it.
+                    Some(arm) => {
+                        self.rto_next_fire[flow_id as usize] = arm.at_nanos;
+                        queue.push(
+                            SimTime::from_nanos(arm.at_nanos),
+                            Event::Rto {
+                                host,
+                                flow_id,
+                                gen: arm.gen,
+                            },
+                        );
+                    }
+                    // Timer disarmed (all data ACKed or flow done).
+                    None => {}
                 }
             }
             Event::DelAck { host, flow_id, gen } => {
-                if let Some(receiver) = self.hosts[host].receivers.get_mut(&flow_id) {
+                if let Some(receiver) = self.receivers[flow_id as usize].as_mut() {
                     if let Some(ack) = receiver.on_delack_timer(gen) {
                         self.host_enqueue(host, ack, now, queue);
                     }
                 }
             }
             Event::AppResume { host, flow_id, gen } => {
-                if let Some(sender) = self.hosts[host].senders.get_mut(&flow_id) {
+                if let Some(sender) = self.senders[flow_id as usize].as_mut() {
                     let out = sender.on_app_resume(gen, now);
                     self.process_sender_output(host, flow_id, out, now, queue);
                 }

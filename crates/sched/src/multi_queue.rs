@@ -82,6 +82,9 @@ pub struct MultiQueue<T: SchedItem> {
     dropped_items: u64,
     dropped_bytes: u64,
     scheduler: Box<dyn Scheduler>,
+    /// Reused per-dequeue head-size snapshot, so the hot path never
+    /// allocates.
+    head_scratch: Vec<Option<u64>>,
 }
 
 impl<T: SchedItem> MultiQueue<T> {
@@ -116,6 +119,15 @@ impl<T: SchedItem> MultiQueue<T> {
             dropped_items: 0,
             dropped_bytes: 0,
             scheduler,
+            head_scratch: Vec::with_capacity(n),
+        }
+    }
+
+    /// Pre-sizes every service queue for `items_per_queue` buffered items,
+    /// so steady-state operation does not grow ring buffers.
+    pub fn reserve(&mut self, items_per_queue: usize) {
+        for q in &mut self.queues {
+            q.reserve(items_per_queue);
         }
     }
 
@@ -149,14 +161,12 @@ impl<T: SchedItem> MultiQueue<T> {
     /// Removes and returns the next item chosen by the scheduler, together
     /// with the queue it came from. `None` when all queues are empty.
     pub fn dequeue(&mut self, now_nanos: u64) -> Option<(usize, T)> {
-        let heads: Vec<Option<u64>> = self
-            .queues
-            .iter()
-            .map(|q| q.front().map(|i| i.len_bytes()))
-            .collect();
+        self.head_scratch.clear();
+        self.head_scratch
+            .extend(self.queues.iter().map(|q| q.front().map(|i| i.len_bytes())));
         let state = QueueState {
             bytes: &self.queue_bytes,
-            heads: &heads,
+            heads: &self.head_scratch,
         };
         if state.all_empty() {
             return None;

@@ -3,38 +3,34 @@
 //! [`EventQueue`] is a priority queue ordered by event time with ties broken
 //! by insertion order, which makes runs fully deterministic: two simulations
 //! that schedule the same events in the same order execute them identically.
+//!
+//! Internally it is a hierarchical timing wheel rather than a binary heap:
+//! near-future events land in per-nanosecond buckets whose push and pop are
+//! amortized `O(1)`, and only events beyond the wheel horizon (~16.7 ms)
+//! fall back to a heap. See `DESIGN.md` §"Future-event list" for the layout
+//! and the determinism argument; `crate::heap_fel::HeapQueue` is the
+//! reference implementation the wheel is differentially tested against.
 
-use std::cmp::Ordering;
-use std::collections::BinaryHeap;
+use std::collections::{BinaryHeap, VecDeque};
 
+use crate::heap_fel::Scheduled;
 use crate::{EventHandler, SimTime};
 
-struct Scheduled<E> {
-    at: SimTime,
+/// log2 of the slot count per wheel level.
+const SLOT_BITS: u32 = 6;
+/// Slots per level (64).
+const SLOTS: usize = 1 << SLOT_BITS;
+/// Wheel levels. Level `k` slots are `2^(6k)` ns wide; level 0 slots are a
+/// single nanosecond, so one slot holds events of exactly one timestamp.
+const LEVELS: usize = 4;
+/// Bits covered by the wheel. Events more than `2^24` ns (~16.7 ms) past
+/// the clock's current `2^24` ns window go to the overflow heap.
+const WHEEL_BITS: u32 = SLOT_BITS * LEVELS as u32;
+
+struct Entry<E> {
+    at: u64,
     seq: u64,
     event: E,
-}
-
-impl<E> PartialEq for Scheduled<E> {
-    fn eq(&self, other: &Self) -> bool {
-        self.at == other.at && self.seq == other.seq
-    }
-}
-impl<E> Eq for Scheduled<E> {}
-impl<E> PartialOrd for Scheduled<E> {
-    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-        Some(self.cmp(other))
-    }
-}
-impl<E> Ord for Scheduled<E> {
-    fn cmp(&self, other: &Self) -> Ordering {
-        // BinaryHeap is a max-heap; invert so the earliest (time, seq) pops
-        // first.
-        other
-            .at
-            .cmp(&self.at)
-            .then_with(|| other.seq.cmp(&self.seq))
-    }
 }
 
 /// A deterministic future-event list.
@@ -54,21 +50,68 @@ impl<E> Ord for Scheduled<E> {
 /// let order: Vec<char> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
 /// assert_eq!(order, vec!['a', 'b', 'c']);
 /// ```
-#[derive(Default)]
 pub struct EventQueue<E> {
-    heap: BinaryHeap<Scheduled<E>>,
+    /// `slots[level * SLOTS + i]` holds events whose time agrees with the
+    /// clock above bit `6 * (level + 1)` and whose level-`level` digit is
+    /// `i`. Invariant: every stored event is strictly later than `now`, so
+    /// a slot at or below the clock's digit on its level is always empty.
+    slots: Box<[Vec<Entry<E>>]>,
+    /// Bit `i` of `occupied[level]` is set iff `slots[level * SLOTS + i]`
+    /// is non-empty.
+    occupied: [u64; LEVELS],
+    /// Events beyond the wheel horizon. Always strictly later than every
+    /// event in the wheel, so they only need inspecting when the wheel
+    /// drains or the clock approaches them.
+    overflow: BinaryHeap<Scheduled<E>>,
+    /// Events at exactly `now`, in seq (= FIFO) order. `pop` serves from
+    /// here; pushes at the current instant append here directly.
+    batch: VecDeque<Entry<E>>,
+    now: u64,
     next_seq: u64,
-    now: SimTime,
+    len: usize,
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
 }
 
 impl<E> EventQueue<E> {
     /// Creates an empty queue with the clock at [`SimTime::ZERO`].
     pub fn new() -> Self {
         EventQueue {
-            heap: BinaryHeap::new(),
+            slots: (0..LEVELS * SLOTS).map(|_| Vec::new()).collect(),
+            occupied: [0; LEVELS],
+            overflow: BinaryHeap::new(),
+            batch: VecDeque::new(),
+            now: 0,
             next_seq: 0,
-            now: SimTime::ZERO,
+            len: 0,
         }
+    }
+
+    /// Creates an empty queue sized for roughly `events` concurrently
+    /// pending events (see [`EventQueue::reserve`]).
+    pub fn with_capacity(events: usize) -> Self {
+        let mut q = Self::new();
+        q.reserve(events);
+        q
+    }
+
+    /// Pre-sizes internal storage for `additional` more concurrently
+    /// pending events, so steady-state operation does not grow buffers.
+    ///
+    /// This is a hint: the near-future buckets and the live batch get a
+    /// per-bucket share, the overflow heap room for the full count (the
+    /// worst case when everything is scheduled past the wheel horizon).
+    pub fn reserve(&mut self, additional: usize) {
+        self.overflow.reserve(additional);
+        let per_slot = additional.div_ceil(SLOTS).min(1 << 16);
+        for slot in self.slots[..SLOTS].iter_mut() {
+            slot.reserve(per_slot);
+        }
+        self.batch.reserve(per_slot.max(SLOTS));
     }
 
     /// Schedules `event` to occur at absolute time `at`.
@@ -79,41 +122,234 @@ impl<E> EventQueue<E> {
     /// a logic error in the model.
     pub fn push(&mut self, at: SimTime, event: E) {
         debug_assert!(
-            at >= self.now,
+            at.as_nanos() >= self.now,
             "scheduling into the past: at={at} now={}",
-            self.now
+            SimTime::from_nanos(self.now)
         );
+        // Release builds clamp instead of corrupting the wheel.
+        let at = at.as_nanos().max(self.now);
         let seq = self.next_seq;
         self.next_seq += 1;
-        self.heap.push(Scheduled { at, seq, event });
+        self.len += 1;
+        self.place(Entry { at, seq, event });
+    }
+
+    /// Files an entry into the batch, a wheel slot, or the overflow heap,
+    /// always relative to the current clock.
+    fn place(&mut self, e: Entry<E>) {
+        let x = e.at ^ self.now;
+        if x == 0 {
+            // At the current instant: `e.seq` is the largest seq at this
+            // time, so appending to the live batch keeps FIFO order.
+            self.batch.push_back(e);
+        } else if x >> WHEEL_BITS != 0 {
+            self.overflow.push(Scheduled {
+                at: SimTime::from_nanos(e.at),
+                seq: e.seq,
+                event: e.event,
+            });
+        } else {
+            // Highest bit where `e.at` differs from the clock picks the
+            // level; the event's digit on that level picks the slot.
+            let level = ((63 - x.leading_zeros()) / SLOT_BITS) as usize;
+            let slot = ((e.at >> (SLOT_BITS * level as u32)) & (SLOTS as u64 - 1)) as usize;
+            self.slots[level * SLOTS + slot].push(e);
+            self.occupied[level] |= 1 << slot;
+        }
     }
 
     /// Removes and returns the earliest event, advancing the clock to its
     /// timestamp. Returns `None` when the queue is empty.
     pub fn pop(&mut self) -> Option<(SimTime, E)> {
-        let s = self.heap.pop()?;
-        self.now = s.at;
-        Some((s.at, s.event))
+        if self.batch.is_empty() && !self.refill() {
+            return None;
+        }
+        let e = self.batch.pop_front().expect("refill produced a batch");
+        debug_assert_eq!(e.at, self.now);
+        self.len -= 1;
+        Some((SimTime::from_nanos(e.at), e.event))
     }
 
-    /// The time of the earliest pending event, if any.
+    /// Like [`pop`](Self::pop), but returns `None` (leaving the event
+    /// queued) when the earliest event is strictly after `deadline`.
+    ///
+    /// This is the driver-loop primitive: it locates the next event once,
+    /// where a `peek_time` + `pop` pair would scan the wheel twice. When
+    /// it declines past-deadline work the clock may still have advanced to
+    /// that pending event's timestamp — the same instant `pop` would
+    /// report — so subsequent pushes must not target earlier times, which
+    /// holds for any handler that only schedules at or after the events it
+    /// receives.
+    pub fn pop_at_or_before(&mut self, deadline: SimTime) -> Option<(SimTime, E)> {
+        if self.batch.is_empty() && !self.refill() {
+            return None;
+        }
+        if self.now > deadline.as_nanos() {
+            return None;
+        }
+        let e = self.batch.pop_front().expect("refill produced a batch");
+        debug_assert_eq!(e.at, self.now);
+        self.len -= 1;
+        Some((SimTime::from_nanos(e.at), e.event))
+    }
+
+    /// Advances the clock to the earliest pending timestamp and moves that
+    /// instant's events (seq-sorted) into the batch. Returns `false` iff
+    /// the queue is empty.
+    fn refill(&mut self) -> bool {
+        debug_assert!(self.batch.is_empty());
+        loop {
+            // A migration or cascade from a previous round may have
+            // deposited events at exactly `now`; they arrive out of seq
+            // order, so sort.
+            if !self.batch.is_empty() {
+                self.batch.make_contiguous().sort_unstable_by_key(|e| e.seq);
+                return true;
+            }
+            // Empty wheel: serve the overflow heap directly instead of
+            // round-tripping events through slots. The heap ties on seq,
+            // so same-instant events already pop FIFO. Later in-window
+            // overflow events stay put; the migration pass below (and the
+            // overflow comparison in `peek_time`) keeps them ordered
+            // against anything pushed into the wheel meanwhile.
+            if self.occupied == [0u64; LEVELS] {
+                let Some(s) = self.overflow.pop() else {
+                    debug_assert_eq!(self.len, 0);
+                    return false;
+                };
+                self.now = s.at.as_nanos();
+                self.batch.push_back(Entry {
+                    at: self.now,
+                    seq: s.seq,
+                    event: s.event,
+                });
+                while self
+                    .overflow
+                    .peek()
+                    .is_some_and(|t| t.at.as_nanos() == self.now)
+                {
+                    let s = self.overflow.pop().expect("peeked entry pops");
+                    self.batch.push_back(Entry {
+                        at: self.now,
+                        seq: s.seq,
+                        event: s.event,
+                    });
+                }
+                return true;
+            }
+            // Pull overflow events that have entered the wheel horizon so
+            // wheel order alone decides the next slot.
+            while self
+                .overflow
+                .peek()
+                .is_some_and(|top| (top.at.as_nanos() ^ self.now) >> WHEEL_BITS == 0)
+            {
+                let s = self.overflow.pop().expect("peeked entry pops");
+                self.place(Entry {
+                    at: s.at.as_nanos(),
+                    seq: s.seq,
+                    event: s.event,
+                });
+            }
+            if !self.batch.is_empty() {
+                self.batch.make_contiguous().sort_unstable_by_key(|e| e.seq);
+                return true;
+            }
+            // Level 0: the slot index *is* the timestamp's low 6 bits, so
+            // the first occupied slot at/after the cursor is the minimum.
+            let m0 = self.occupied[0] & (!0u64 << (self.now & 63) as u32);
+            debug_assert_eq!(m0, self.occupied[0], "level-0 slot in the past");
+            if m0 != 0 {
+                let s = m0.trailing_zeros() as usize;
+                self.occupied[0] &= !(1u64 << s);
+                self.now = (self.now & !63) | s as u64;
+                let slot = &mut self.slots[s];
+                slot.sort_unstable_by_key(|e| e.seq);
+                self.batch.extend(slot.drain(..));
+                return true;
+            }
+            // Cascade: take the earliest occupied slot of the lowest
+            // non-empty level, jump the clock to its start (nothing can
+            // exist before it), and redistribute at finer granularity.
+            let mut cascaded = false;
+            for level in 1..LEVELS {
+                let shift = SLOT_BITS * level as u32;
+                let m = self.occupied[level] & (!0u64 << ((self.now >> shift) & 63) as u32);
+                debug_assert_eq!(m, self.occupied[level], "wheel slot in the past");
+                if m == 0 {
+                    continue;
+                }
+                let s = m.trailing_zeros() as usize;
+                let window_mask = (1u64 << (shift + SLOT_BITS)) - 1;
+                let start = (self.now & !window_mask) | ((s as u64) << shift);
+                debug_assert!(start > self.now);
+                self.now = start;
+                self.occupied[level] &= !(1u64 << s);
+                let mut drained = std::mem::take(&mut self.slots[level * SLOTS + s]);
+                for e in drained.drain(..) {
+                    self.place(e);
+                }
+                self.slots[level * SLOTS + s] = drained; // keep the buffer
+                cascaded = true;
+                break;
+            }
+            debug_assert!(cascaded, "non-empty wheel must yield a slot");
+        }
+    }
+
+    /// The time of the earliest pending event, if any. Never advances the
+    /// clock or reorganizes the wheel.
     pub fn peek_time(&self) -> Option<SimTime> {
-        self.heap.peek().map(|s| s.at)
+        if !self.batch.is_empty() {
+            return Some(SimTime::from_nanos(self.now));
+        }
+        // The overflow heap can hold events inside the current window
+        // (left behind by the empty-wheel fast path in `refill`), so the
+        // wheel minimum must be compared against the overflow top.
+        let over = self.overflow.peek().map(|s| s.at);
+        let wheel = self.wheel_min_time();
+        match (wheel, over) {
+            (Some(w), Some(o)) => Some(w.min(o)),
+            (w, o) => w.or(o),
+        }
+    }
+
+    /// The earliest timestamp stored in the wheel slots, if any.
+    fn wheel_min_time(&self) -> Option<SimTime> {
+        let m0 = self.occupied[0] & (!0u64 << (self.now & 63) as u32);
+        if m0 != 0 {
+            let s = m0.trailing_zeros() as u64;
+            return Some(SimTime::from_nanos((self.now & !63) | s));
+        }
+        for level in 1..LEVELS {
+            let shift = SLOT_BITS * level as u32;
+            let m = self.occupied[level] & (!0u64 << ((self.now >> shift) & 63) as u32);
+            if m != 0 {
+                // Events on lower levels always precede higher ones, and
+                // slots within a level are time-ordered, so the earliest
+                // event sits in this slot; its entries are unordered.
+                let s = m.trailing_zeros() as usize;
+                let slot = &self.slots[level * SLOTS + s];
+                let min = slot.iter().map(|e| e.at).min().expect("slot is occupied");
+                return Some(SimTime::from_nanos(min));
+            }
+        }
+        None
     }
 
     /// The current simulation clock: the timestamp of the last popped event.
     pub fn now(&self) -> SimTime {
-        self.now
+        SimTime::from_nanos(self.now)
     }
 
     /// Number of pending events.
     pub fn len(&self) -> usize {
-        self.heap.len()
+        self.len
     }
 
     /// `true` if no events are pending.
     pub fn is_empty(&self) -> bool {
-        self.heap.is_empty()
+        self.len == 0
     }
 
     /// Total number of events ever scheduled (a cheap progress/complexity
@@ -126,8 +362,8 @@ impl<E> EventQueue<E> {
 impl<E> std::fmt::Debug for EventQueue<E> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("EventQueue")
-            .field("pending", &self.heap.len())
-            .field("now", &self.now)
+            .field("pending", &self.len)
+            .field("now", &SimTime::from_nanos(self.now))
             .finish()
     }
 }
@@ -175,11 +411,7 @@ impl<H: EventHandler> Simulation<H> {
     /// `deadline`. Returns the number of events processed.
     pub fn run_until(&mut self, deadline: SimTime) -> u64 {
         let mut processed = 0;
-        while let Some(at) = self.queue.peek_time() {
-            if at > deadline {
-                break;
-            }
-            let (now, ev) = self.queue.pop().expect("peeked event must pop");
+        while let Some((now, ev)) = self.queue.pop_at_or_before(deadline) {
             self.handler.handle(now, ev, &mut self.queue);
             processed += 1;
         }
@@ -226,6 +458,10 @@ mod tests {
     }
 
     #[test]
+    #[cfg_attr(
+        not(debug_assertions),
+        ignore = "past-scheduling is a debug_assert; release builds clamp"
+    )]
     #[should_panic(expected = "scheduling into the past")]
     fn rejects_past_scheduling() {
         let mut q = EventQueue::new();
@@ -255,5 +491,73 @@ mod tests {
     fn debug_is_nonempty() {
         let q: EventQueue<()> = EventQueue::new();
         assert!(!format!("{q:?}").is_empty());
+    }
+
+    #[test]
+    fn push_at_current_instant_pops_after_pending_ties() {
+        let mut q = EventQueue::new();
+        q.push(SimTime::from_nanos(5), 1);
+        q.push(SimTime::from_nanos(5), 2);
+        assert_eq!(q.pop().unwrap().1, 1);
+        // Clock is now at 5; scheduling more work at 5 is legal and must
+        // run after the already-pending event at 5.
+        q.push(SimTime::from_nanos(5), 3);
+        assert_eq!(q.pop().unwrap().1, 2);
+        assert_eq!(q.pop().unwrap().1, 3);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn far_future_events_cross_the_overflow_horizon() {
+        let mut q = EventQueue::new();
+        // Far beyond the 2^24 ns wheel horizon (RTO-style deadlines).
+        q.push(SimTime::from_nanos(4_000_000_000), "rto");
+        q.push(SimTime::from_nanos(100_000_000), "late");
+        q.push(SimTime::from_nanos(30), "soon");
+        assert_eq!(q.peek_time(), Some(SimTime::from_nanos(30)));
+        assert_eq!(q.pop().unwrap(), (SimTime::from_nanos(30), "soon"));
+        assert_eq!(q.peek_time(), Some(SimTime::from_nanos(100_000_000)));
+        assert_eq!(q.pop().unwrap(), (SimTime::from_nanos(100_000_000), "late"));
+        assert_eq!(
+            q.pop().unwrap(),
+            (SimTime::from_nanos(4_000_000_000), "rto")
+        );
+        assert!(q.pop().is_none());
+        assert_eq!(q.len(), 0);
+    }
+
+    #[test]
+    fn interleaved_pushes_preserve_order_across_cascades() {
+        // Alternate pops with pushes that straddle level boundaries so
+        // events must survive redistribution; order must stay (time, seq).
+        let mut q = EventQueue::with_capacity(64);
+        let mut expect = Vec::new();
+        for i in 0u64..32 {
+            let t = 1 + i * 97; // crosses several level-0/1 windows
+            q.push(SimTime::from_nanos(t), (t, i));
+            expect.push((t, i));
+        }
+        expect.sort_unstable();
+        let mut got = Vec::new();
+        while let Some((_, e)) = q.pop() {
+            got.push(e);
+        }
+        assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn len_tracks_batch_wheel_and_overflow() {
+        let mut q = EventQueue::new();
+        q.push(SimTime::from_nanos(1), ());
+        q.push(SimTime::from_nanos(1_000), ());
+        q.push(SimTime::from_nanos(1_000_000_000), ());
+        assert_eq!(q.len(), 3);
+        q.pop();
+        q.push(SimTime::from_nanos(1), ()); // at the current instant
+        assert_eq!(q.len(), 3);
+        while q.pop().is_some() {}
+        assert_eq!(q.len(), 0);
+        assert!(q.is_empty());
+        assert_eq!(q.scheduled_count(), 4);
     }
 }

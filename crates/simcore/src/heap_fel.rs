@@ -1,0 +1,139 @@
+//! The reference binary-heap future-event list.
+//!
+//! This is the PR-1 `EventQueue` implementation, kept as the oracle for
+//! differential testing: [`HeapQueue`] pops events in exactly the
+//! (time, seq) order the simulator contract demands, with none of the
+//! timing-wheel machinery. The production [`crate::EventQueue`] must
+//! pop the *identical* sequence on any workload — see
+//! `tests/fel_differential.rs` and the `microbench` determinism
+//! cross-check.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::SimTime;
+
+pub(crate) struct Scheduled<E> {
+    pub(crate) at: SimTime,
+    pub(crate) seq: u64,
+    pub(crate) event: E,
+}
+
+impl<E> PartialEq for Scheduled<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<E> Eq for Scheduled<E> {}
+impl<E> PartialOrd for Scheduled<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<E> Ord for Scheduled<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert so the earliest (time, seq) pops
+        // first.
+        other
+            .at
+            .cmp(&self.at)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// The straightforward deterministic FEL: a binary heap ordered by
+/// (time, insertion seq). Same pop contract as [`crate::EventQueue`];
+/// `O(log n)` per operation instead of amortized `O(1)`.
+#[derive(Default)]
+pub struct HeapQueue<E> {
+    heap: BinaryHeap<Scheduled<E>>,
+    next_seq: u64,
+    now: SimTime,
+}
+
+impl<E> HeapQueue<E> {
+    /// Creates an empty queue with the clock at [`SimTime::ZERO`].
+    pub fn new() -> Self {
+        HeapQueue {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+            now: SimTime::ZERO,
+        }
+    }
+
+    /// Schedules `event` to occur at absolute time `at`.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds when scheduling into the past.
+    pub fn push(&mut self, at: SimTime, event: E) {
+        debug_assert!(
+            at >= self.now,
+            "scheduling into the past: at={at} now={}",
+            self.now
+        );
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Scheduled { at, seq, event });
+    }
+
+    /// Removes and returns the earliest event, advancing the clock.
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        let s = self.heap.pop()?;
+        self.now = s.at;
+        Some((s.at, s.event))
+    }
+
+    /// The time of the earliest pending event, if any.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|s| s.at)
+    }
+
+    /// The timestamp of the last popped event.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// `true` if no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Total number of events ever scheduled.
+    pub fn scheduled_count(&self) -> u64 {
+        self.next_seq
+    }
+}
+
+impl<E> std::fmt::Debug for HeapQueue<E> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("HeapQueue")
+            .field("pending", &self.heap.len())
+            .field("now", &self.now)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_then_fifo_order() {
+        let mut q = HeapQueue::new();
+        q.push(SimTime::from_nanos(30), 3);
+        q.push(SimTime::from_nanos(10), 1);
+        q.push(SimTime::from_nanos(10), 2);
+        assert_eq!(q.pop().unwrap().1, 1);
+        assert_eq!(q.pop().unwrap().1, 2);
+        assert_eq!(q.peek_time(), Some(SimTime::from_nanos(30)));
+        assert_eq!(q.pop().unwrap().1, 3);
+        assert!(q.pop().is_none());
+        assert_eq!(q.scheduled_count(), 3);
+    }
+}

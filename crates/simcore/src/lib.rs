@@ -28,10 +28,12 @@
 //! [`pmsb-netsim`]: https://example.invalid/pmsb
 
 pub mod event;
+pub mod heap_fel;
 pub mod rng;
 pub mod time;
 
 pub use event::{EventQueue, Simulation};
+pub use heap_fel::HeapQueue;
 pub use time::{SimDuration, SimTime};
 
 /// Types implementing this trait drive a [`Simulation`]: every popped event

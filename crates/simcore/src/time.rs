@@ -45,11 +45,13 @@ impl SimTime {
     pub const MAX: SimTime = SimTime(u64::MAX);
 
     /// Creates an instant `nanos` nanoseconds after the start of the run.
+    #[inline]
     pub const fn from_nanos(nanos: u64) -> Self {
         SimTime(nanos)
     }
 
     /// Nanoseconds since the start of the run.
+    #[inline]
     pub const fn as_nanos(self) -> u64 {
         self.0
     }
@@ -69,6 +71,7 @@ impl SimTime {
     /// # Panics
     ///
     /// Panics in debug builds if `earlier` is later than `self`.
+    #[inline]
     pub fn duration_since(self, earlier: SimTime) -> SimDuration {
         debug_assert!(
             earlier.0 <= self.0,
@@ -90,6 +93,7 @@ impl SimDuration {
     pub const MAX: SimDuration = SimDuration(u64::MAX);
 
     /// Creates a duration of `nanos` nanoseconds.
+    #[inline]
     pub const fn from_nanos(nanos: u64) -> Self {
         SimDuration(nanos)
     }
@@ -131,6 +135,7 @@ impl SimDuration {
     }
 
     /// Nanoseconds in this duration.
+    #[inline]
     pub const fn as_nanos(self) -> u64 {
         self.0
     }
@@ -167,6 +172,7 @@ impl SimDuration {
 
 impl Add<SimDuration> for SimTime {
     type Output = SimTime;
+    #[inline]
     fn add(self, rhs: SimDuration) -> SimTime {
         SimTime(self.0 + rhs.0)
     }
@@ -187,6 +193,7 @@ impl Sub<SimDuration> for SimTime {
 
 impl Sub<SimTime> for SimTime {
     type Output = SimDuration;
+    #[inline]
     fn sub(self, rhs: SimTime) -> SimDuration {
         SimDuration(self.0 - rhs.0)
     }

@@ -1,0 +1,135 @@
+//! Differential test: the timing-wheel [`EventQueue`] must pop the exact
+//! same (time, payload) sequence as the reference binary-heap
+//! [`HeapQueue`] on randomized seeded workloads.
+//!
+//! The generators below deliberately exercise every structural path of the
+//! wheel: same-instant bursts (FIFO tie-break), pushes at the just-popped
+//! timestamp, jumps across level windows (cascades), far-future times
+//! (overflow heap + migration back into the wheel), and interleaved
+//! push/pop schedules where placement happens against a moving clock.
+
+use pmsb_simcore::rng::SimRng;
+use pmsb_simcore::{EventQueue, HeapQueue, SimTime};
+
+/// Drives both queues through the same schedule and asserts every popped
+/// (time, payload) pair matches. `next_at` gets the current clock and the
+/// RNG and returns the next absolute timestamp (must be >= the clock).
+fn run_differential(
+    label: &str,
+    seed: u64,
+    ops: usize,
+    pop_every: usize,
+    mut next_at: impl FnMut(u64, &mut SimRng) -> u64,
+) {
+    let mut rng = SimRng::seed_from(seed);
+    let mut wheel: EventQueue<u64> = EventQueue::new();
+    let mut heap: HeapQueue<u64> = HeapQueue::new();
+    for op in 0..ops {
+        let at = SimTime::from_nanos(next_at(wheel.now().as_nanos(), &mut rng));
+        wheel.push(at, op as u64);
+        heap.push(at, op as u64);
+        if pop_every > 0 && op % pop_every == pop_every - 1 {
+            let w = wheel.pop();
+            let h = heap.pop();
+            assert_eq!(w, h, "[{label} seed={seed}] interleaved pop diverged");
+            assert_eq!(
+                wheel.peek_time(),
+                heap.peek_time(),
+                "[{label} seed={seed}] peek diverged"
+            );
+        }
+    }
+    let mut drained = 0usize;
+    loop {
+        let w = wheel.pop();
+        let h = heap.pop();
+        assert_eq!(
+            w, h,
+            "[{label} seed={seed}] drain diverged at pop #{drained}"
+        );
+        if w.is_none() {
+            break;
+        }
+        drained += 1;
+        assert_eq!(
+            wheel.now(),
+            heap.now(),
+            "[{label} seed={seed}] clock diverged"
+        );
+    }
+    assert_eq!(wheel.len(), 0);
+    assert_eq!(wheel.scheduled_count(), heap.scheduled_count());
+}
+
+#[test]
+fn near_future_workload_matches_heap() {
+    // Dense near-future times: the common netsim case, all level 0/1.
+    for seed in [1, 2, 3] {
+        run_differential("near", seed, 10_000, 3, |now, rng| {
+            now + rng.below(200) as u64
+        });
+    }
+}
+
+#[test]
+fn tie_heavy_workload_matches_heap() {
+    // Many events at identical instants: FIFO tie-break is load-bearing.
+    for seed in [10, 11] {
+        run_differential("ties", seed, 10_000, 4, |now, rng| {
+            now + (rng.below(4) as u64) * 50
+        });
+    }
+}
+
+#[test]
+fn cascade_workload_matches_heap() {
+    // Spans that force placements on every wheel level and frequent
+    // cascades as the clock crosses 64^k boundaries.
+    for seed in [20, 21, 22] {
+        run_differential("cascade", seed, 10_000, 2, |now, rng| {
+            let level = rng.below(4) as u32;
+            now + ((rng.below(64) as u64) << (6 * level))
+        });
+    }
+}
+
+#[test]
+fn overflow_workload_matches_heap() {
+    // Mix of near times and far-future deadlines (RTO-style, beyond the
+    // ~16.7 ms wheel horizon) so events migrate overflow -> wheel.
+    for seed in [30, 31] {
+        run_differential("overflow", seed, 10_000, 5, |now, rng| {
+            if rng.below(8) == 0 {
+                now + (1 << 24) + rng.next_u64() % (1 << 28)
+            } else {
+                now + rng.below(5_000) as u64
+            }
+        });
+    }
+}
+
+#[test]
+fn batch_then_drain_matches_heap() {
+    // Pure batch load (no interleaved pops): everything is placed against
+    // a clock stuck at zero, then drained in one go.
+    for seed in [40, 41] {
+        run_differential("batch", seed, 10_000, 0, |_, rng| {
+            rng.next_u64() % (1 << 30)
+        });
+    }
+}
+
+#[test]
+fn push_at_now_matches_heap() {
+    // Every fourth push lands exactly on the just-popped instant, the
+    // "schedule follow-up work at the current time" pattern handlers use.
+    for seed in [50, 51] {
+        run_differential("at-now", seed, 10_000, 2, |now, rng| {
+            if rng.below(4) == 0 {
+                now
+            } else {
+                now + rng.below(300) as u64
+            }
+        });
+    }
+}
