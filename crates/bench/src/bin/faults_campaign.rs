@@ -1,0 +1,9 @@
+//! Fault-injection sweep: marking schemes under link flaps and 0.1%
+//! random loss on a small leaf-spine.
+//!
+//! Runs as a harness campaign: accepts `--quick`, `--jobs N`,
+//! `--results DIR`, `--quiet`; results persist under
+//! `results/faults/` and completed jobs resume for free.
+fn main() {
+    pmsb_bench::campaigns::run_campaign_main("faults");
+}

@@ -13,7 +13,7 @@ use pmsb_netsim::experiment::SchedulerConfig;
 
 use crate::large_scale::{self, LsRow};
 use crate::util::banner;
-use crate::{extensions, figures, outln};
+use crate::{extensions, faults, figures, outln};
 
 /// The seed used by single-seed sweeps, matching the paper runs.
 pub const DEFAULT_SEED: u64 = 42;
@@ -265,6 +265,39 @@ pub fn large_scale_jobs(scheduler: &'static str, quick: bool, seeds: &[u64]) -> 
     jobs
 }
 
+/// One job per `(scheme, fault profile)` cell of the fault-injection
+/// sweep (see [`crate::faults`]).
+pub fn fault_jobs(quick: bool, seed: u64) -> Vec<Job> {
+    let num_flows = faults::num_flows(quick);
+    let mut jobs = Vec::new();
+    for (name, marking) in faults::schemes() {
+        for profile in faults::PROFILES {
+            let marking = marking.clone();
+            jobs.push(
+                Job::new("faults", seed, move || {
+                    faults::row_record(&faults::run_cell(name, marking, profile, num_flows, seed))
+                })
+                .param("scheme", name)
+                .param("profile", *profile)
+                .param("quick", quick),
+            );
+        }
+    }
+    jobs
+}
+
+/// Writes the fault-sweep table from completed records.
+pub fn write_faults_report(out: &mut String, records: &[Record]) {
+    let rows: Vec<faults::FaultRow> = records
+        .iter()
+        .filter(|r| r.get_str("scenario") == Some("faults"))
+        .filter_map(faults::row_from_record)
+        .collect();
+    if !rows.is_empty() {
+        faults::write_report(out, &rows);
+    }
+}
+
 /// One job per `(scheme, seed)` of the seed-sensitivity study: the
 /// headline PMSB-vs-TCN comparison (DWRR, load 0.5) across seeds.
 pub fn seed_sensitivity_jobs(quick: bool) -> Vec<Job> {
@@ -328,6 +361,7 @@ pub const CAMPAIGN_NAMES: &[&str] = &[
     "large-scale-dwrr",
     "large-scale-wfq",
     "seed-sensitivity",
+    "faults",
 ];
 
 /// Resolves a campaign by name: one of [`CAMPAIGN_NAMES`] or any
@@ -351,6 +385,7 @@ pub fn campaign_by_name(name: &str, quick: bool) -> Option<Campaign> {
             "seed_sensitivity",
             seed_sensitivity_jobs(quick),
         )),
+        "faults" => Some(campaign_from("faults", fault_jobs(quick, DEFAULT_SEED))),
         _ => {
             let jobs: Vec<Job> = figure_jobs(quick)
                 .into_iter()
@@ -420,6 +455,7 @@ pub fn print_campaign_output(result: &CampaignResult) {
     {
         write_seed_sensitivity_report(&mut out, &result.records);
     }
+    write_faults_report(&mut out, &result.records);
     print!("{out}");
 }
 

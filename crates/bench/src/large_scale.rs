@@ -16,6 +16,7 @@ use pmsb_workload::traffic::TrafficSpec;
 use crate::outln;
 use crate::util::banner;
 use pmsb_metrics::fct::SizeClass;
+use pmsb_metrics::robustness::{FlowRobustness, RobustnessSummary};
 
 /// One `(scheme, load)` cell of the large-scale tables.
 #[derive(Debug, Clone)]
@@ -44,6 +45,15 @@ pub struct LsRow {
     pub drops: u64,
     /// CE marks applied.
     pub marks: u64,
+    /// Segments retransmitted across all senders.
+    pub retransmissions: u64,
+    /// Retransmission timeouts across all senders.
+    pub timeouts: u64,
+    /// Loss-recovery episodes across all senders.
+    pub loss_episodes: u64,
+    /// Mean per-flow loss-recovery time (lossy flows only), µs; 0 when
+    /// no flow lost anything.
+    pub mean_recovery_us: f64,
 }
 
 /// One scheme of the lineup: `(name, marking, PMSB(e) RTT threshold,
@@ -126,6 +136,12 @@ pub fn run_cell(
     let stat = |c: SizeClass, f: fn(&pmsb_metrics::Summary) -> f64| {
         res.fct.stats(c).map(|s| f(&s) / 1e3).unwrap_or(f64::NAN)
     };
+    let rob = RobustnessSummary::collect(res.sender_stats.values().map(|s| FlowRobustness {
+        retransmissions: s.retransmissions,
+        timeouts: s.timeouts,
+        loss_episodes: s.loss_episodes,
+        recovery_nanos: s.recovery_nanos,
+    }));
     LsRow {
         scheme,
         load,
@@ -139,6 +155,10 @@ pub fn run_cell(
         small_p99_us: stat(SizeClass::Small, |s| s.p99),
         drops: res.drops,
         marks: res.marks,
+        retransmissions: rob.retransmissions,
+        timeouts: rob.timeouts,
+        loss_episodes: rob.loss_episodes,
+        mean_recovery_us: rob.mean_recovery_nanos() / 1e3,
     }
 }
 
@@ -154,12 +174,13 @@ pub fn loads_and_flows(quick: bool) -> (&'static [f64], usize) {
 
 /// The CSV header matching [`csv_line`].
 pub const CSV_HEADER: &str = "scheme,load,completed,injected,overall_avg_us,large_avg_us,\
-                              large_p99_us,small_avg_us,small_p95_us,small_p99_us,drops,marks";
+                              large_p99_us,small_avg_us,small_p95_us,small_p99_us,drops,marks,\
+                              retransmissions,timeouts,loss_episodes,mean_recovery_us";
 
 /// One [`LsRow`] as a CSV line (no newline).
 pub fn csv_line(row: &LsRow) -> String {
     format!(
-        "{},{:.1},{},{},{:.1},{:.1},{:.1},{:.1},{:.1},{:.1},{},{}",
+        "{},{:.1},{},{},{:.1},{:.1},{:.1},{:.1},{:.1},{:.1},{},{},{},{},{},{:.1}",
         row.scheme,
         row.load,
         row.completed,
@@ -171,7 +192,11 @@ pub fn csv_line(row: &LsRow) -> String {
         row.small_p95_us,
         row.small_p99_us,
         row.drops,
-        row.marks
+        row.marks,
+        row.retransmissions,
+        row.timeouts,
+        row.loss_episodes,
+        row.mean_recovery_us
     )
 }
 
@@ -188,6 +213,10 @@ pub fn row_record(row: &LsRow) -> Record {
         .field("small_p99_us", row.small_p99_us)
         .field("drops", row.drops)
         .field("marks", row.marks)
+        .field("retransmissions", row.retransmissions)
+        .field("timeouts", row.timeouts)
+        .field("loss_episodes", row.loss_episodes)
+        .field("mean_recovery_us", row.mean_recovery_us)
 }
 
 /// Rebuilds an [`LsRow`] from a harness record written by
@@ -211,6 +240,12 @@ pub fn row_from_record(rec: &Record) -> Option<LsRow> {
         small_p99_us: f("small_p99_us")?,
         drops: f("drops")? as u64,
         marks: f("marks")? as u64,
+        // Absent in records written before the robustness columns
+        // existed: surface as zero rather than dropping the row.
+        retransmissions: f("retransmissions").unwrap_or(0.0) as u64,
+        timeouts: f("timeouts").unwrap_or(0.0) as u64,
+        loss_episodes: f("loss_episodes").unwrap_or(0.0) as u64,
+        mean_recovery_us: f("mean_recovery_us").unwrap_or(0.0),
     })
 }
 

@@ -42,6 +42,7 @@
 
 pub mod campaigns;
 pub mod extensions;
+pub mod faults;
 pub mod figures;
 pub mod large_scale;
 pub mod micro;

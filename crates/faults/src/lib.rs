@@ -1,0 +1,396 @@
+#![warn(missing_docs)]
+
+//! Deterministic fault injection for the PMSB simulator.
+//!
+//! The paper evaluates PMSB on ideal links; this crate supplies the
+//! misbehaving network. A [`FaultSchedule`] is a declarative list of
+//! timed [`FaultEvent`]s — link down/up, rate degradation, probabilistic
+//! per-link packet loss and corruption, and switch buffer shrink — that
+//! the simulator (`pmsb-netsim`) replays while a workload runs.
+//!
+//! Two properties make schedules safe to use in campaigns:
+//!
+//! * **Determinism.** All randomness (the loss/corruption coin flips)
+//!   comes from the schedule's own xoshiro256** streams, derived from
+//!   [`FaultSchedule::seed`] via [`FaultSchedule::stream`]: one
+//!   independent stream per directed link, consumed in event order.
+//!   Workload RNG is never touched, so the same seed + schedule replays
+//!   byte-identically, and attaching a loss probability to one link does
+//!   not perturb the coin flips of another.
+//! * **Serializability.** A schedule round-trips through a line-oriented
+//!   text format ([`FaultSchedule::to_text`] / [`FaultSchedule::parse`]),
+//!   so campaigns can store the fault scenario next to their results and
+//!   the CLI can load one with `--fault-schedule <file>`.
+//!
+//! # Example
+//!
+//! ```
+//! use pmsb_faults::{FaultSchedule, FaultTarget};
+//!
+//! let uplink = FaultTarget::SwitchLink { switch: 0, port: 12 };
+//! let mut sched = FaultSchedule::new(7);
+//! sched.loss(uplink, 0, 0.001); // 0.1% loss from t=0
+//! sched.link_flap(uplink, 10_000_000, 20_000_000); // down 10ms..20ms
+//! let text = sched.to_text();
+//! assert_eq!(FaultSchedule::parse(&text).unwrap(), sched);
+//! ```
+
+use pmsb_simcore::rng::SimRng;
+
+mod text;
+
+/// Which link (or switch) a fault applies to.
+///
+/// Link targets name one *end* of a bidirectional link; the injector
+/// applies the fault to both directions (a failed cable fails both ways).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultTarget {
+    /// The access link of host `h` (host NIC ↔ its edge switch).
+    HostLink(usize),
+    /// The link attached to port `port` of switch `switch`.
+    SwitchLink {
+        /// Switch index.
+        switch: usize,
+        /// Port index on that switch.
+        port: usize,
+    },
+    /// A whole switch (valid only for [`FaultKind::BufferBytes`]).
+    Switch(usize),
+}
+
+/// What happens to the target at the event's time.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum FaultKind {
+    /// The link goes down: both ends stop serializing new packets
+    /// (queued packets wait; packets already on the wire still arrive).
+    LinkDown,
+    /// The link comes back up and resumes draining its queues. ECMP
+    /// re-converges: flows hash back onto their original paths.
+    LinkUp,
+    /// Overrides the link rate in bits/second (`None` restores the
+    /// configured rate). Models auto-negotiation drops or brown-outs.
+    Rate(Option<u64>),
+    /// Independent per-packet loss probability in `[0, 1]` on this link
+    /// (`0` disables). Lost packets vanish after serialization.
+    Loss(f64),
+    /// Independent per-packet corruption probability in `[0, 1]`.
+    /// Corrupted packets are delivered but fail the next hop's checksum
+    /// and are discarded there (they consume wire bandwidth; lost
+    /// packets also do in this store-and-forward model, but the two are
+    /// counted separately).
+    Corrupt(f64),
+    /// Shrinks (or grows) every port buffer of the target switch to
+    /// this many bytes. Already-buffered packets are not evicted; the
+    /// new cap gates admission only.
+    BufferBytes(u64),
+}
+
+/// One timed fault: at `at_nanos`, apply `kind` to `target`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultEvent {
+    /// Absolute simulation time in nanoseconds.
+    pub at_nanos: u64,
+    /// The link or switch affected.
+    pub target: FaultTarget,
+    /// The state change.
+    pub kind: FaultKind,
+}
+
+/// A declarative, serializable schedule of timed fault events.
+///
+/// Events may be declared in any order; the injector replays them in
+/// time order (stable for ties, i.e. declaration order breaks them).
+/// See the [crate docs](self) for the determinism contract and an
+/// example, and [`FaultSchedule::parse`] for the text format.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultSchedule {
+    seed: u64,
+    events: Vec<FaultEvent>,
+}
+
+impl FaultSchedule {
+    /// An empty schedule whose loss/corruption streams derive from
+    /// `seed`.
+    pub fn new(seed: u64) -> Self {
+        FaultSchedule {
+            seed,
+            events: Vec::new(),
+        }
+    }
+
+    /// The seed all fault randomness derives from.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// The events in declaration order.
+    pub fn events(&self) -> &[FaultEvent] {
+        &self.events
+    }
+
+    /// The events sorted by time (stable: declaration order breaks
+    /// ties) — the order the injector replays them in.
+    pub fn sorted_events(&self) -> Vec<FaultEvent> {
+        let mut evs = self.events.clone();
+        evs.sort_by_key(|e| e.at_nanos);
+        evs
+    }
+
+    /// Number of declared events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// `true` when no events are declared.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// The independent random stream for `salt` (one per directed link,
+    /// by the injector's convention). Streams for different salts are
+    /// statistically independent and never touch workload RNG.
+    pub fn stream(&self, salt: u64) -> SimRng {
+        SimRng::seed_from(self.seed).fork(salt)
+    }
+
+    /// Adds a validated event.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a probability is outside `[0, 1]` or not finite, if a
+    /// rate override is zero, or if the target/kind combination is
+    /// invalid ([`FaultTarget::Switch`] pairs only with
+    /// [`FaultKind::BufferBytes`], and vice versa).
+    pub fn push(&mut self, event: FaultEvent) {
+        if let Err(e) = validate(&event) {
+            panic!("invalid fault event: {e}");
+        }
+        self.events.push(event);
+    }
+
+    /// Takes the link down at `at_nanos`.
+    pub fn link_down(&mut self, target: FaultTarget, at_nanos: u64) {
+        self.push(FaultEvent {
+            at_nanos,
+            target,
+            kind: FaultKind::LinkDown,
+        });
+    }
+
+    /// Brings the link up at `at_nanos`.
+    pub fn link_up(&mut self, target: FaultTarget, at_nanos: u64) {
+        self.push(FaultEvent {
+            at_nanos,
+            target,
+            kind: FaultKind::LinkUp,
+        });
+    }
+
+    /// One down/up cycle: down at `down_nanos`, back up at `up_nanos`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `down_nanos < up_nanos`.
+    pub fn link_flap(&mut self, target: FaultTarget, down_nanos: u64, up_nanos: u64) {
+        assert!(
+            down_nanos < up_nanos,
+            "flap must come back up after it goes down ({down_nanos} >= {up_nanos})"
+        );
+        self.link_down(target, down_nanos);
+        self.link_up(target, up_nanos);
+    }
+
+    /// Degrades the link to `rate_bps` at `at_nanos`.
+    pub fn rate_limit(&mut self, target: FaultTarget, at_nanos: u64, rate_bps: u64) {
+        self.push(FaultEvent {
+            at_nanos,
+            target,
+            kind: FaultKind::Rate(Some(rate_bps)),
+        });
+    }
+
+    /// Restores the configured link rate at `at_nanos`.
+    pub fn restore_rate(&mut self, target: FaultTarget, at_nanos: u64) {
+        self.push(FaultEvent {
+            at_nanos,
+            target,
+            kind: FaultKind::Rate(None),
+        });
+    }
+
+    /// Sets the link's per-packet loss probability from `at_nanos` on.
+    pub fn loss(&mut self, target: FaultTarget, at_nanos: u64, probability: f64) {
+        self.push(FaultEvent {
+            at_nanos,
+            target,
+            kind: FaultKind::Loss(probability),
+        });
+    }
+
+    /// Sets the link's per-packet corruption probability from
+    /// `at_nanos` on.
+    pub fn corrupt(&mut self, target: FaultTarget, at_nanos: u64, probability: f64) {
+        self.push(FaultEvent {
+            at_nanos,
+            target,
+            kind: FaultKind::Corrupt(probability),
+        });
+    }
+
+    /// Caps every port buffer of `switch` at `bytes` from `at_nanos` on.
+    pub fn shrink_buffer(&mut self, switch: usize, at_nanos: u64, bytes: u64) {
+        self.push(FaultEvent {
+            at_nanos,
+            target: FaultTarget::Switch(switch),
+            kind: FaultKind::BufferBytes(bytes),
+        });
+    }
+
+    /// Parses the text format produced by [`FaultSchedule::to_text`].
+    ///
+    /// The format is line-oriented; `#` starts a comment and blank
+    /// lines are ignored:
+    ///
+    /// ```text
+    /// seed 7
+    /// at 10ms  link-down switch:0:12
+    /// at 20ms  link-up   switch:0:12
+    /// at 0     loss      switch:0:13 0.001
+    /// at 0     corrupt   host:3      0.0001
+    /// at 5ms   rate      host:3      1gbps
+    /// at 8ms   rate      host:3      restore
+    /// at 30ms  buffer    switch:1    150000
+    /// ```
+    ///
+    /// Times accept `ns` (default), `us`, `ms`, `s` suffixes; rates
+    /// accept plain bits/second or `kbps`/`mbps`/`gbps`. Targets are
+    /// `host:<h>`, `switch:<s>:<p>` (a link), or `switch:<s>` (buffer
+    /// events only).
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the offending line on any syntax or
+    /// validation error.
+    pub fn parse(input: &str) -> Result<FaultSchedule, String> {
+        text::parse(input)
+    }
+
+    /// Serializes to the canonical text form (`parse(to_text(s)) == s`).
+    pub fn to_text(&self) -> String {
+        text::to_text(self)
+    }
+
+    pub(crate) fn from_parts(seed: u64, events: Vec<FaultEvent>) -> Result<Self, String> {
+        for (i, e) in events.iter().enumerate() {
+            validate(e).map_err(|msg| format!("event {i}: {msg}"))?;
+        }
+        Ok(FaultSchedule { seed, events })
+    }
+}
+
+fn validate(event: &FaultEvent) -> Result<(), String> {
+    let switch_wide = matches!(event.target, FaultTarget::Switch(_));
+    let buffer_kind = matches!(event.kind, FaultKind::BufferBytes(_));
+    if switch_wide != buffer_kind {
+        return Err(format!(
+            "target {:?} cannot carry {:?}: whole-switch targets pair only \
+             with buffer events",
+            event.target, event.kind
+        ));
+    }
+    match event.kind {
+        FaultKind::Loss(p) | FaultKind::Corrupt(p)
+            if !p.is_finite() || !(0.0..=1.0).contains(&p) =>
+        {
+            return Err(format!("probability {p} outside [0, 1]"));
+        }
+        FaultKind::Rate(Some(0)) => {
+            return Err("rate override must be positive (use link-down for a dead link)".into());
+        }
+        _ => {}
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn uplink() -> FaultTarget {
+        FaultTarget::SwitchLink { switch: 0, port: 4 }
+    }
+
+    #[test]
+    fn builders_accumulate_events_in_declaration_order() {
+        let mut s = FaultSchedule::new(1);
+        s.link_flap(uplink(), 10, 20);
+        s.loss(FaultTarget::HostLink(3), 0, 0.5);
+        s.shrink_buffer(1, 30, 4096);
+        assert_eq!(s.len(), 4);
+        assert_eq!(s.events()[0].kind, FaultKind::LinkDown);
+        assert_eq!(s.events()[1].kind, FaultKind::LinkUp);
+        assert_eq!(s.events()[2].kind, FaultKind::Loss(0.5));
+        assert_eq!(s.events()[3].kind, FaultKind::BufferBytes(4096));
+    }
+
+    #[test]
+    fn sorted_events_is_stable_on_ties() {
+        let mut s = FaultSchedule::new(1);
+        s.loss(uplink(), 5, 0.1);
+        s.corrupt(uplink(), 5, 0.2);
+        s.link_down(uplink(), 2);
+        let sorted = s.sorted_events();
+        assert_eq!(sorted[0].kind, FaultKind::LinkDown);
+        assert_eq!(sorted[1].kind, FaultKind::Loss(0.1));
+        assert_eq!(sorted[2].kind, FaultKind::Corrupt(0.2));
+    }
+
+    #[test]
+    fn streams_are_deterministic_and_independent_per_salt() {
+        let s = FaultSchedule::new(42);
+        let a: Vec<u64> = (0..8)
+            .map({
+                let mut r = s.stream(1);
+                move |_| r.next_u64()
+            })
+            .collect();
+        let a2: Vec<u64> = (0..8)
+            .map({
+                let mut r = s.stream(1);
+                move |_| r.next_u64()
+            })
+            .collect();
+        let b: Vec<u64> = (0..8)
+            .map({
+                let mut r = s.stream(2);
+                move |_| r.next_u64()
+            })
+            .collect();
+        assert_eq!(a, a2, "same salt replays the same stream");
+        assert_ne!(a, b, "different salts are independent");
+    }
+
+    #[test]
+    #[should_panic(expected = "probability")]
+    fn rejects_out_of_range_probability() {
+        FaultSchedule::new(0).loss(uplink(), 0, 1.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "whole-switch")]
+    fn rejects_link_kind_on_switch_target() {
+        FaultSchedule::new(0).link_down(FaultTarget::Switch(0), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "rate override must be positive")]
+    fn rejects_zero_rate() {
+        FaultSchedule::new(0).rate_limit(uplink(), 0, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "flap must come back up")]
+    fn rejects_inverted_flap() {
+        FaultSchedule::new(0).link_flap(uplink(), 20, 10);
+    }
+}

@@ -1,0 +1,283 @@
+//! The line-oriented schedule text format (see
+//! [`FaultSchedule::parse`] for the grammar).
+
+use crate::{FaultEvent, FaultKind, FaultSchedule, FaultTarget};
+
+pub(crate) fn parse(input: &str) -> Result<FaultSchedule, String> {
+    let mut seed = 0u64;
+    let mut events = Vec::new();
+    for (lineno, raw) in input.lines().enumerate() {
+        let lineno = lineno + 1;
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let mut words = line.split_whitespace();
+        match words.next() {
+            Some("seed") => {
+                let v = words
+                    .next()
+                    .ok_or_else(|| format!("line {lineno}: seed needs a value"))?;
+                seed = v
+                    .parse()
+                    .map_err(|_| format!("line {lineno}: bad seed {v:?}"))?;
+            }
+            Some("at") => {
+                events.push(parse_event(lineno, &mut words)?);
+            }
+            Some(other) => {
+                return Err(format!(
+                    "line {lineno}: expected `seed` or `at`, got {other:?}"
+                ));
+            }
+            None => unreachable!("non-empty line has a first word"),
+        }
+        if let Some(extra) = words.next() {
+            return Err(format!("line {lineno}: trailing {extra:?}"));
+        }
+    }
+    FaultSchedule::from_parts(seed, events)
+}
+
+fn parse_event<'a>(
+    lineno: usize,
+    words: &mut impl Iterator<Item = &'a str>,
+) -> Result<FaultEvent, String> {
+    let time = words
+        .next()
+        .ok_or_else(|| format!("line {lineno}: `at` needs a time"))?;
+    let at_nanos = parse_time_nanos(time).map_err(|e| format!("line {lineno}: {e}"))?;
+    let verb = words
+        .next()
+        .ok_or_else(|| format!("line {lineno}: missing event kind"))?;
+    let target_word = words
+        .next()
+        .ok_or_else(|| format!("line {lineno}: missing target"))?;
+    let target = parse_target(target_word).map_err(|e| format!("line {lineno}: {e}"))?;
+    let mut arg = || {
+        words
+            .next()
+            .ok_or_else(|| format!("line {lineno}: {verb} needs an argument"))
+    };
+    let kind = match verb {
+        "link-down" => FaultKind::LinkDown,
+        "link-up" => FaultKind::LinkUp,
+        "rate" => {
+            let a = arg()?;
+            if a == "restore" {
+                FaultKind::Rate(None)
+            } else {
+                FaultKind::Rate(Some(
+                    parse_rate_bps(a).map_err(|e| format!("line {lineno}: {e}"))?,
+                ))
+            }
+        }
+        "loss" => FaultKind::Loss(parse_probability(lineno, arg()?)?),
+        "corrupt" => FaultKind::Corrupt(parse_probability(lineno, arg()?)?),
+        "buffer" => {
+            let a = arg()?;
+            FaultKind::BufferBytes(
+                a.parse()
+                    .map_err(|_| format!("line {lineno}: bad byte count {a:?}"))?,
+            )
+        }
+        other => {
+            return Err(format!(
+                "line {lineno}: unknown event {other:?} (expected link-down, \
+                 link-up, rate, loss, corrupt, or buffer)"
+            ));
+        }
+    };
+    Ok(FaultEvent {
+        at_nanos,
+        target,
+        kind,
+    })
+}
+
+fn parse_probability(lineno: usize, word: &str) -> Result<f64, String> {
+    word.parse::<f64>()
+        .map_err(|_| format!("line {lineno}: bad probability {word:?}"))
+}
+
+fn parse_target(word: &str) -> Result<FaultTarget, String> {
+    let mut parts = word.split(':');
+    let kind = parts.next().unwrap_or("");
+    let index = |p: Option<&str>| -> Result<usize, String> {
+        let p = p.ok_or_else(|| format!("target {word:?} is missing an index"))?;
+        p.parse()
+            .map_err(|_| format!("bad index {p:?} in target {word:?}"))
+    };
+    let target = match kind {
+        "host" => FaultTarget::HostLink(index(parts.next())?),
+        "switch" => {
+            let switch = index(parts.next())?;
+            match parts.next() {
+                Some(p) => FaultTarget::SwitchLink {
+                    switch,
+                    port: p
+                        .parse()
+                        .map_err(|_| format!("bad port {p:?} in target {word:?}"))?,
+                },
+                None => FaultTarget::Switch(switch),
+            }
+        }
+        _ => {
+            return Err(format!(
+                "target {word:?} must start with `host:` or `switch:`"
+            ));
+        }
+    };
+    if parts.next().is_some() {
+        return Err(format!("target {word:?} has too many components"));
+    }
+    Ok(target)
+}
+
+/// `123`, `123ns`, `5us`, `10ms`, `2s` → nanoseconds.
+fn parse_time_nanos(word: &str) -> Result<u64, String> {
+    let (digits, mult) = match word {
+        w if w.ends_with("ns") => (&w[..w.len() - 2], 1u64),
+        w if w.ends_with("us") => (&w[..w.len() - 2], 1_000),
+        w if w.ends_with("ms") => (&w[..w.len() - 2], 1_000_000),
+        w if w.ends_with('s') => (&w[..w.len() - 1], 1_000_000_000),
+        w => (w, 1),
+    };
+    let n: u64 = digits
+        .parse()
+        .map_err(|_| format!("bad time {word:?} (use e.g. 1500, 5us, 10ms)"))?;
+    n.checked_mul(mult)
+        .ok_or_else(|| format!("time {word:?} overflows nanoseconds"))
+}
+
+/// `1000000000`, `10kbps`, `100mbps`, `1gbps` → bits/second.
+fn parse_rate_bps(word: &str) -> Result<u64, String> {
+    let lower = word.to_ascii_lowercase();
+    let (digits, mult) = match lower.as_str() {
+        w if w.ends_with("gbps") => (&w[..w.len() - 4], 1_000_000_000u64),
+        w if w.ends_with("mbps") => (&w[..w.len() - 4], 1_000_000),
+        w if w.ends_with("kbps") => (&w[..w.len() - 4], 1_000),
+        w if w.ends_with("bps") => (&w[..w.len() - 3], 1),
+        w => (w, 1),
+    };
+    let n: u64 = digits
+        .parse()
+        .map_err(|_| format!("bad rate {word:?} (use e.g. 1gbps, 100mbps, 1000000)"))?;
+    n.checked_mul(mult)
+        .ok_or_else(|| format!("rate {word:?} overflows"))
+}
+
+pub(crate) fn to_text(sched: &FaultSchedule) -> String {
+    let mut out = String::from("# pmsb-faults schedule\n");
+    out.push_str(&format!("seed {}\n", sched.seed()));
+    for e in sched.events() {
+        let target = match e.target {
+            FaultTarget::HostLink(h) => format!("host:{h}"),
+            FaultTarget::SwitchLink { switch, port } => format!("switch:{switch}:{port}"),
+            FaultTarget::Switch(s) => format!("switch:{s}"),
+        };
+        let line = match e.kind {
+            FaultKind::LinkDown => format!("at {} link-down {target}", e.at_nanos),
+            FaultKind::LinkUp => format!("at {} link-up {target}", e.at_nanos),
+            FaultKind::Rate(Some(bps)) => format!("at {} rate {target} {bps}", e.at_nanos),
+            FaultKind::Rate(None) => format!("at {} rate {target} restore", e.at_nanos),
+            FaultKind::Loss(p) => format!("at {} loss {target} {p:?}", e.at_nanos),
+            FaultKind::Corrupt(p) => format!("at {} corrupt {target} {p:?}", e.at_nanos),
+            FaultKind::BufferBytes(b) => format!("at {} buffer {target} {b}", e.at_nanos),
+        };
+        out.push_str(&line);
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn full_schedule() -> FaultSchedule {
+        let up = FaultTarget::SwitchLink {
+            switch: 0,
+            port: 12,
+        };
+        let mut s = FaultSchedule::new(99);
+        s.loss(up, 0, 0.001);
+        s.corrupt(FaultTarget::HostLink(3), 1_000, 0.0001);
+        s.link_flap(up, 10_000_000, 20_000_000);
+        s.rate_limit(FaultTarget::HostLink(2), 5_000, 1_000_000_000);
+        s.restore_rate(FaultTarget::HostLink(2), 9_000);
+        s.shrink_buffer(1, 30_000_000, 150_000);
+        s
+    }
+
+    #[test]
+    fn round_trips_through_text() {
+        let s = full_schedule();
+        let text = s.to_text();
+        let back = FaultSchedule::parse(&text).expect("canonical text parses");
+        assert_eq!(back, s);
+        // And the canonical form is a fixed point.
+        assert_eq!(back.to_text(), text);
+    }
+
+    #[test]
+    fn parses_suffixes_comments_and_whitespace() {
+        let text = "
+            # a fault scenario
+            seed 7
+            at 10ms   link-down switch:0:12   # uplink dies
+            at 20ms   link-up   switch:0:12
+            at 0      loss      switch:0:13 0.001
+            at 5us    rate      host:3      1gbps
+            at 8000ns rate      host:3      restore
+            at 1s     buffer    switch:1    4096
+        ";
+        let s = FaultSchedule::parse(text).unwrap();
+        assert_eq!(s.seed(), 7);
+        assert_eq!(s.len(), 6);
+        assert_eq!(s.events()[0].at_nanos, 10_000_000);
+        assert_eq!(s.events()[3].at_nanos, 5_000);
+        assert_eq!(s.events()[3].kind, FaultKind::Rate(Some(1_000_000_000)));
+        assert_eq!(s.events()[4].at_nanos, 8_000);
+        assert_eq!(s.events()[5].at_nanos, 1_000_000_000);
+        assert_eq!(
+            s.events()[5].target,
+            FaultTarget::Switch(1),
+            "two-part switch target is switch-wide"
+        );
+    }
+
+    #[test]
+    fn rejects_malformed_lines() {
+        for (bad, needle) in [
+            ("at", "needs a time"),
+            ("at 5xs link-down host:0", "bad time"),
+            ("at 5 explode host:0", "unknown event"),
+            ("at 5 link-down rack:0", "must start with"),
+            ("at 5 link-down host:0 extra", "trailing"),
+            ("at 5 loss host:0 nan0", "bad probability"),
+            ("at 5 loss host:0 2.0", "outside [0, 1]"),
+            ("at 5 loss switch:1 0.1", "whole-switch"),
+            ("at 5 buffer switch:1:2 99", "whole-switch"),
+            ("at 5 rate host:0 0", "must be positive"),
+            ("at 5 rate host:0", "needs an argument"),
+            ("seed", "needs a value"),
+            ("frob 1", "expected `seed` or `at`"),
+            ("at 5 link-down switch:1:2:3", "too many components"),
+        ] {
+            let err = FaultSchedule::parse(bad).unwrap_err();
+            assert!(
+                err.contains(needle),
+                "{bad:?} should fail with {needle:?}, got {err:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn probability_text_preserves_shortest_round_trip() {
+        let mut s = FaultSchedule::new(0);
+        s.loss(FaultTarget::HostLink(0), 0, 0.1 + 0.2); // 0.30000000000000004
+        let back = FaultSchedule::parse(&s.to_text()).unwrap();
+        assert_eq!(back, s, "f64 probabilities survive exactly");
+    }
+}

@@ -6,6 +6,8 @@
 //! * [`Cdf`] — empirical CDFs (the paper's RTT distribution figures),
 //! * [`fct`] — flow-completion-time records bucketed into the paper's size
 //!   classes (small < 100 KB, medium 100 KB–10 MB, large > 10 MB),
+//! * [`robustness`] — retransmit/RTO/recovery-time aggregation for fault
+//!   campaigns ([`robustness::RobustnessSummary`]),
 //! * [`ThroughputSeries`] / [`GaugeSeries`] — binned throughput and sampled
 //!   queue-occupancy time series (the paper's throughput/buffer figures).
 //!
@@ -24,6 +26,7 @@
 
 pub mod cdf;
 pub mod fct;
+pub mod robustness;
 pub mod series;
 mod summary;
 

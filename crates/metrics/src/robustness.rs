@@ -1,0 +1,143 @@
+//! Robustness metrics for fault campaigns.
+//!
+//! Under injected faults (`pmsb-faults`) the interesting question shifts
+//! from "how fast do flows complete" to "how hard does the transport
+//! fight": retransmissions, timeouts, time spent recovering, and whether
+//! congestion was signalled by ECN marks or by drops. This module folds
+//! the per-flow counters the transport exports into one record-friendly
+//! aggregate.
+
+use crate::summary::Summary;
+
+/// Per-flow robustness counters (mirrors the transport's sender stats).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FlowRobustness {
+    /// Segments retransmitted.
+    pub retransmissions: u64,
+    /// Retransmission timeouts fired.
+    pub timeouts: u64,
+    /// Loss episodes (first loss signal → outstanding window re-acked).
+    pub loss_episodes: u64,
+    /// Total nanoseconds spent inside loss episodes.
+    pub recovery_nanos: u64,
+}
+
+/// Aggregated robustness over all flows of a run, plus the run's
+/// marks-vs-drops balance.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RobustnessSummary {
+    /// Flows aggregated.
+    pub flows: u64,
+    /// Flows that hit at least one loss episode.
+    pub flows_with_loss: u64,
+    /// Total retransmitted segments.
+    pub retransmissions: u64,
+    /// Total timeouts.
+    pub timeouts: u64,
+    /// Total loss episodes.
+    pub loss_episodes: u64,
+    /// Order statistics of per-flow recovery time in nanoseconds, over
+    /// the flows that had at least one episode (`None` when no flow
+    /// lost anything).
+    pub recovery_nanos: Option<Summary>,
+}
+
+impl RobustnessSummary {
+    /// Aggregates per-flow counters.
+    pub fn collect(flows: impl IntoIterator<Item = FlowRobustness>) -> Self {
+        let mut out = RobustnessSummary {
+            flows: 0,
+            flows_with_loss: 0,
+            retransmissions: 0,
+            timeouts: 0,
+            loss_episodes: 0,
+            recovery_nanos: None,
+        };
+        let mut recovery = Vec::new();
+        for f in flows {
+            out.flows += 1;
+            out.retransmissions += f.retransmissions;
+            out.timeouts += f.timeouts;
+            out.loss_episodes += f.loss_episodes;
+            if f.loss_episodes > 0 {
+                out.flows_with_loss += 1;
+                recovery.push(f.recovery_nanos as f64);
+            }
+        }
+        out.recovery_nanos = Summary::from_samples(recovery);
+        out
+    }
+
+    /// Mean per-flow recovery time in nanoseconds (0 when nothing was
+    /// lost) — the headline "recovery time" column of fault campaigns.
+    pub fn mean_recovery_nanos(&self) -> f64 {
+        self.recovery_nanos.as_ref().map_or(0.0, |s| s.mean)
+    }
+
+    /// Worst per-flow recovery time in nanoseconds (0 when nothing was
+    /// lost).
+    pub fn max_recovery_nanos(&self) -> f64 {
+        self.recovery_nanos.as_ref().map_or(0.0, |s| s.max)
+    }
+}
+
+/// CE marks applied per packet lost (marks ÷ drops): how much of the
+/// congestion signal arrived as ECN rather than as loss. `marks` when
+/// nothing was dropped (every signal was a mark), 0 when neither.
+pub fn marks_per_drop(marks: u64, drops: u64) -> f64 {
+    if drops == 0 {
+        marks as f64
+    } else {
+        marks as f64 / drops as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn aggregates_and_summarizes_lossy_flows_only() {
+        let flows = [
+            FlowRobustness::default(),
+            FlowRobustness {
+                retransmissions: 3,
+                timeouts: 1,
+                loss_episodes: 2,
+                recovery_nanos: 100_000,
+            },
+            FlowRobustness {
+                retransmissions: 1,
+                timeouts: 0,
+                loss_episodes: 1,
+                recovery_nanos: 300_000,
+            },
+        ];
+        let s = RobustnessSummary::collect(flows);
+        assert_eq!(s.flows, 3);
+        assert_eq!(s.flows_with_loss, 2);
+        assert_eq!(s.retransmissions, 4);
+        assert_eq!(s.timeouts, 1);
+        assert_eq!(s.loss_episodes, 3);
+        let rec = s.recovery_nanos.as_ref().unwrap();
+        assert_eq!(rec.count, 2);
+        assert_eq!(rec.mean, 200_000.0);
+        assert_eq!(s.max_recovery_nanos(), 300_000.0);
+    }
+
+    #[test]
+    fn clean_run_has_no_recovery_summary() {
+        let s = RobustnessSummary::collect([FlowRobustness::default(); 4]);
+        assert_eq!(s.flows, 4);
+        assert_eq!(s.flows_with_loss, 0);
+        assert!(s.recovery_nanos.is_none());
+        assert_eq!(s.mean_recovery_nanos(), 0.0);
+    }
+
+    #[test]
+    fn marks_per_drop_handles_zero_drops() {
+        assert_eq!(marks_per_drop(120, 0), 120.0);
+        assert_eq!(marks_per_drop(120, 40), 3.0);
+        assert_eq!(marks_per_drop(0, 0), 0.0);
+    }
+}

@@ -8,6 +8,7 @@ pub use crate::config::{
 };
 pub use crate::trace::TraceConfig;
 pub use crate::world::{FlowDesc, RunResults};
+pub use pmsb_faults::{FaultEvent, FaultKind, FaultSchedule, FaultTarget};
 
 /// What a finished experiment returns; see [`RunResults`] for the fields.
 pub type ExperimentResult = RunResults;
@@ -53,6 +54,7 @@ pub struct Experiment {
     /// `None` = mirror the switch marking onto host NICs (the NS-3-style
     /// default); `Some(cfg)` overrides it.
     host_nic_marking: Option<MarkingConfig>,
+    faults: Option<FaultSchedule>,
 }
 
 impl Experiment {
@@ -76,6 +78,7 @@ impl Experiment {
             trace: TraceConfig::off(),
             flows: Vec::new(),
             host_nic_marking: None,
+            faults: None,
         }
     }
 
@@ -104,6 +107,7 @@ impl Experiment {
             trace: TraceConfig::off(),
             flows: Vec::new(),
             host_nic_marking: None,
+            faults: None,
         }
     }
 
@@ -178,6 +182,14 @@ impl Experiment {
     /// Installs a trace configuration.
     pub fn trace(mut self, trace: TraceConfig) -> Self {
         self.trace = trace;
+        self
+    }
+
+    /// Attaches a fault schedule (link dynamics, loss, corruption, buffer
+    /// shrink). Targets are validated against the topology when the world
+    /// is built; an out-of-range target panics at run start.
+    pub fn faults(mut self, schedule: FaultSchedule) -> Self {
+        self.faults = Some(schedule);
         self
     }
 
@@ -262,6 +274,9 @@ impl Experiment {
             ),
         };
         world.set_trace(self.trace);
+        if let Some(schedule) = self.faults {
+            world.set_faults(schedule);
+        }
         for f in self.flows {
             world.add_flow(f);
         }

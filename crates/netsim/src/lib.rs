@@ -14,6 +14,10 @@
 //! * point-to-point **links** with serialization and propagation delay,
 //! * static routing with per-flow **ECMP**, and the paper's topologies
 //!   ([`topology::dumbbell`], [`topology::leaf_spine`]),
+//! * deterministic **fault injection** ([`pmsb_faults::FaultSchedule`]
+//!   via [`experiment::Experiment::faults`]): link down/up, rate
+//!   degradation, probabilistic loss/corruption, buffer shrink — with
+//!   ECMP re-hashing around dead links,
 //! * tracing: per-queue throughput, buffer occupancy, RTT samples, flow
 //!   completion times.
 //!

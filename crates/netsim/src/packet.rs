@@ -53,6 +53,9 @@ pub struct Packet {
     pub ect: bool,
     /// Congestion Experienced: set by a switch's marking scheme.
     pub ce: bool,
+    /// Payload damaged in flight (fault injection): the next hop's
+    /// checksum fails and the packet is discarded on arrival.
+    pub corrupted: bool,
     /// When the data sender emitted the segment this packet (or the
     /// segment an ACK acknowledges) left the sender; echoed in ACKs.
     pub sent_at_nanos: u64,
@@ -81,6 +84,7 @@ impl Packet {
             wire_bytes: len + HEADER_BYTES,
             ect: true,
             ce: false,
+            corrupted: false,
             sent_at_nanos: now_nanos,
             enqueued_at_nanos: now_nanos,
             kind: PacketKind::Data { seq, len },
@@ -106,6 +110,7 @@ impl Packet {
             wire_bytes: ACK_WIRE_BYTES,
             ect: false,
             ce: false,
+            corrupted: false,
             sent_at_nanos: echo_sent_at_nanos,
             enqueued_at_nanos: echo_sent_at_nanos,
             kind: PacketKind::Ack { cum_ack, ece },

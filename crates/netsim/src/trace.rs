@@ -46,6 +46,38 @@ impl TraceConfig {
     }
 }
 
+/// What fault injection did to a run: injector counters plus a
+/// timestamped log of every applied fault event. Present in
+/// [`crate::world::RunResults`] only when a schedule was attached, so
+/// fault-free runs carry no trace of the machinery.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FaultReport {
+    /// Packets destroyed by injected loss (after serialization, before
+    /// delivery). Not counted in the buffer-drop total.
+    pub injected_drops: u64,
+    /// Packets corrupted in flight and discarded at the next hop's
+    /// checksum.
+    pub corrupt_drops: u64,
+    /// Packets dropped at a switch because every ECMP candidate towards
+    /// the destination was down.
+    pub unroutable_drops: u64,
+    /// Link-down events applied.
+    pub link_down_events: u64,
+    /// Link-up events applied.
+    pub link_up_events: u64,
+    /// Every applied fault event as `(at_nanos, description)`, in
+    /// application order — the run's fault timeline for reports.
+    pub log: Vec<(u64, String)>,
+}
+
+impl FaultReport {
+    /// All packets the injector itself destroyed (loss + corruption +
+    /// unroutable), as opposed to congestive buffer drops.
+    pub fn fault_drops(&self) -> u64 {
+        self.injected_drops + self.corrupt_drops + self.unroutable_drops
+    }
+}
+
 /// Everything collected at one watched switch port.
 #[derive(Debug, Clone)]
 pub struct PortTrace {

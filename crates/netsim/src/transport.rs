@@ -58,6 +58,13 @@ pub struct SenderStats {
     pub retransmissions: u64,
     /// Retransmission timeouts fired.
     pub timeouts: u64,
+    /// Loss episodes: contiguous stretches from a first loss signal
+    /// (fast retransmit or RTO) until the window outstanding at that
+    /// moment was fully acknowledged.
+    pub loss_episodes: u64,
+    /// Total nanoseconds spent inside loss episodes — the flow's
+    /// recovery time under faults.
+    pub recovery_nanos: u64,
 }
 
 /// The DCTCP sender state machine for one flow.
@@ -86,6 +93,9 @@ pub struct DctcpSender {
     dup_acks: u32,
     in_recovery: bool,
     recover: u64,
+    /// Open loss episode, if any: `(start_nanos, target)` — closed (and
+    /// counted into [`SenderStats`]) once `snd_una` reaches `target`.
+    episode: Option<(u64, u64)>,
     // DCTCP alpha accounting, one observation window per RTT.
     alpha: f64,
     win_end: u64,
@@ -152,6 +162,7 @@ impl DctcpSender {
             dup_acks: 0,
             in_recovery: false,
             recover: 0,
+            episode: None,
             alpha: 0.0,
             win_end: 0,
             acked_in_win: 0,
@@ -283,6 +294,15 @@ impl DctcpSender {
             self.snd_una = cum_ack;
             self.dup_acks = 0;
             self.backoff = 0;
+            // Close the loss episode once the window outstanding at its
+            // start is fully acknowledged: recovery is complete.
+            if let Some((start, target)) = self.episode {
+                if self.snd_una >= target {
+                    self.stats.loss_episodes += 1;
+                    self.stats.recovery_nanos += now_nanos.saturating_sub(start);
+                    self.episode = None;
+                }
+            }
             // DCTCP per-window mark fraction.
             self.acked_in_win += newly;
             if mark {
@@ -324,6 +344,7 @@ impl DctcpSender {
             if self.dup_acks == 3 && !self.in_recovery && self.snd_nxt > self.snd_una {
                 self.in_recovery = true;
                 self.recover = self.snd_nxt;
+                self.begin_episode(now_nanos);
                 self.ssthresh = (self.cwnd / 2.0).max(2.0 * self.mss as f64);
                 self.cwnd = self.ssthresh;
                 self.retransmit_head(now_nanos, &mut out);
@@ -340,6 +361,7 @@ impl DctcpSender {
             return out; // stale timer
         }
         self.stats.timeouts += 1;
+        self.begin_episode(now_nanos);
         self.ssthresh = (self.cwnd / 2.0).max(2.0 * self.mss as f64);
         self.cwnd = self.mss as f64;
         self.in_recovery = false;
@@ -411,6 +433,14 @@ impl DctcpSender {
                 gen: self.app_gen,
                 at_nanos: at.max(now_nanos + 1),
             });
+        }
+    }
+
+    /// Opens a loss episode at the first loss signal; a signal during an
+    /// open episode extends nothing (the episode already covers it).
+    fn begin_episode(&mut self, now_nanos: u64) {
+        if self.episode.is_none() {
+            self.episode = Some((now_nanos, self.snd_nxt));
         }
     }
 
@@ -873,6 +903,31 @@ mod tests {
         assert!(fired.rto.is_some());
         assert_eq!(s.stats().timeouts, 1);
         assert_eq!(s.cwnd_bytes(), 1460.0, "RTO collapses cwnd to 1 MSS");
+    }
+
+    #[test]
+    fn loss_episode_measures_recovery_time() {
+        let mut s = sender(u64::MAX / 2);
+        let out = s.start(0);
+        assert_eq!(out.packets.len(), 2);
+        let ts = out.packets[0].sent_at_nanos;
+        // Head lost: the third dup ACK opens an episode at t=1200 with
+        // target snd_nxt = 2 segments.
+        s.on_ack(0, false, ts, 1000);
+        s.on_ack(0, false, ts, 1100);
+        s.on_ack(0, false, ts, 1200);
+        assert_eq!(s.stats().loss_episodes, 0, "episode still open");
+        // An RTO during the open episode must not restart the clock.
+        let arm = s.rto_deadline().unwrap();
+        s.on_rto(arm.gen, 10_000);
+        // The cumulative ACK covering the outstanding window closes it.
+        s.on_ack(2 * 1460, false, ts, 51_200);
+        let st = s.stats();
+        assert_eq!(st.loss_episodes, 1);
+        assert_eq!(st.recovery_nanos, 50_000, "measured from the first signal");
+        // Clean traffic afterwards opens no new episode.
+        s.on_ack(3 * 1460, false, ts, 60_000);
+        assert_eq!(s.stats().loss_episodes, 1);
     }
 
     #[test]

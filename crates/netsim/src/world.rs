@@ -14,14 +14,16 @@ use std::collections::HashMap;
 
 use pmsb::marking::MarkingScheme;
 use pmsb::{MarkPoint, PortView};
+use pmsb_faults::{FaultEvent, FaultKind, FaultSchedule, FaultTarget};
 use pmsb_metrics::fct::{FctRecorder, FlowRecord};
 use pmsb_sched::{Fifo, MultiQueue};
+use pmsb_simcore::rng::SimRng;
 use pmsb_simcore::{EventHandler, EventQueue, SimDuration, SimTime, Simulation};
 
 use crate::config::{HostConfig, SwitchConfig, TransportConfig};
 use crate::packet::{Packet, PacketKind, MTU_WIRE_BYTES};
 use crate::routing::RouteTable;
-use crate::trace::{PortTrace, TraceConfig};
+use crate::trace::{FaultReport, PortTrace, TraceConfig};
 use crate::transport::{DctcpReceiver, DctcpSender, SenderOutput, SenderStats};
 
 /// A node address: hosts and switches live in separate index spaces.
@@ -37,8 +39,99 @@ pub enum NodeRef {
 #[derive(Debug, Clone, Copy)]
 struct LinkAttach {
     peer: NodeRef,
+    /// Port index on the peer that faces back at this end (0 when the
+    /// peer is a host). Lets fault injection resolve one cable to both of
+    /// its directed ends.
+    peer_port: usize,
     rate_bps: u64,
     delay_nanos: u64,
+}
+
+/// One directed end of a cable, for fault resolution.
+#[derive(Debug, Clone, Copy)]
+enum LinkEnd {
+    /// A host's NIC-side end.
+    Host(usize),
+    /// `(switch, port)` end.
+    SwitchPort(usize, usize),
+}
+
+/// What the injector decided for one serialized packet.
+#[derive(Debug, Clone, Copy)]
+enum Fate {
+    Clean,
+    Lost,
+    Corrupted,
+}
+
+/// Live fault state of one directed link end.
+struct LinkFaultState {
+    up: bool,
+    /// Degraded rate override (`None` = the wired rate).
+    rate_bps: Option<u64>,
+    loss_p: f64,
+    corrupt_p: f64,
+    /// This end's private random stream; only consumed while a loss or
+    /// corruption probability is active, so inactive links draw nothing.
+    rng: SimRng,
+}
+
+impl LinkFaultState {
+    fn new(rng: SimRng) -> Self {
+        LinkFaultState {
+            up: true,
+            rate_bps: None,
+            loss_p: 0.0,
+            corrupt_p: 0.0,
+            rng,
+        }
+    }
+
+    /// One admission decision per serialized packet.
+    fn fate(&mut self) -> Fate {
+        if self.loss_p > 0.0 && self.rng.uniform() < self.loss_p {
+            return Fate::Lost;
+        }
+        if self.corrupt_p > 0.0 && self.rng.uniform() < self.corrupt_p {
+            return Fate::Corrupted;
+        }
+        Fate::Clean
+    }
+}
+
+/// Runtime the world carries only when a [`FaultSchedule`] is attached:
+/// the sorted event list, per-directed-link state, and the report.
+/// Fault-free runs hold `None` and pay a single branch per packet.
+struct FaultRuntime {
+    /// Schedule events sorted by time; applied in order by `next`.
+    events: Vec<FaultEvent>,
+    next: usize,
+    hosts: Vec<LinkFaultState>,
+    /// `switches[s][p]` = state of switch `s` port `p`'s outgoing side.
+    switches: Vec<Vec<LinkFaultState>>,
+    report: FaultReport,
+}
+
+/// Salt namespace separating switch-port fault streams from host
+/// streams (hosts use their index directly).
+const SWITCH_FAULT_SALT: u64 = 1 << 40;
+
+/// One line of the fault timeline log.
+fn fault_desc(ev: &FaultEvent) -> String {
+    let target = match ev.target {
+        FaultTarget::HostLink(h) => format!("host:{h}"),
+        FaultTarget::SwitchLink { switch, port } => format!("switch:{switch}:{port}"),
+        FaultTarget::Switch(s) => format!("switch:{s}"),
+    };
+    match ev.kind {
+        FaultKind::LinkDown => format!("link-down {target}"),
+        FaultKind::LinkUp => format!("link-up {target}"),
+        FaultKind::Rate(Some(bps)) => format!("rate {target} {bps}"),
+        FaultKind::Rate(None) => format!("rate {target} restore"),
+        FaultKind::Loss(p) => format!("loss {target} {p}"),
+        FaultKind::Corrupt(p) => format!("corrupt {target} {p}"),
+        FaultKind::BufferBytes(b) => format!("buffer {target} {b}"),
+    }
 }
 
 /// A flow to inject at a given time.
@@ -140,6 +233,9 @@ pub enum Event {
     },
     /// Periodic trace sampling tick.
     TraceSample,
+    /// The next scheduled fault event fires (events apply in schedule
+    /// order, so the variant carries no payload).
+    Fault,
 }
 
 struct Host {
@@ -219,6 +315,10 @@ pub struct RunResults {
     pub events: u64,
     /// Packets delivered to a node (host or switch hop) over the run.
     pub deliveries: u64,
+    /// What fault injection did; `None` when no schedule was attached
+    /// (`drops` stays congestive buffer drops only — injected losses are
+    /// counted here).
+    pub faults: Option<FaultReport>,
 }
 
 /// The simulated network. Build with the `wire_*` methods (or the
@@ -245,6 +345,9 @@ pub struct World {
     marks: u64,
     end_nanos: u64,
     deliveries: u64,
+    /// Present only when a fault schedule is attached; boxed so the
+    /// common fault-free world stays small.
+    faults: Option<Box<FaultRuntime>>,
 }
 
 impl World {
@@ -263,6 +366,7 @@ impl World {
             marks: 0,
             end_nanos: 0,
             deliveries: 0,
+            faults: None,
         }
     }
 
@@ -318,11 +422,13 @@ impl World {
         let port_idx = self.switches[switch].ports.len();
         self.hosts[host].link = Some(LinkAttach {
             peer: NodeRef::Switch(switch),
+            peer_port: port_idx,
             rate_bps,
             delay_nanos,
         });
         let link = LinkAttach {
             peer: NodeRef::Host(host),
+            peer_port: 0,
             rate_bps,
             delay_nanos,
         };
@@ -345,11 +451,13 @@ impl World {
         let pb = self.switches[b].ports.len();
         let link_ab = LinkAttach {
             peer: NodeRef::Switch(b),
+            peer_port: pb,
             rate_bps,
             delay_nanos,
         };
         let link_ba = LinkAttach {
             peer: NodeRef::Switch(a),
+            peer_port: pa,
             rate_bps,
             delay_nanos,
         };
@@ -379,6 +487,147 @@ impl World {
             ));
         }
         self.trace = trace;
+    }
+
+    /// Attaches a fault schedule (call after wiring, before the run).
+    ///
+    /// Every directed link end gets its own random stream forked from the
+    /// schedule's seed, so fault randomness is deterministic and fully
+    /// independent of the workload RNG. Without a schedule the run takes
+    /// no fault branches beyond a `None` check per packet.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an event targets a host, switch, or port that does not
+    /// exist, or a host that is not wired.
+    pub fn set_faults(&mut self, schedule: FaultSchedule) {
+        let events = schedule.sorted_events();
+        for ev in &events {
+            self.validate_fault_target(ev);
+        }
+        let hosts = (0..self.hosts.len())
+            .map(|h| LinkFaultState::new(schedule.stream(h as u64)))
+            .collect();
+        let switches = self
+            .switches
+            .iter()
+            .enumerate()
+            .map(|(s, sw)| {
+                (0..sw.ports.len())
+                    .map(|p| {
+                        let salt = SWITCH_FAULT_SALT | ((s as u64) << 20) | p as u64;
+                        LinkFaultState::new(schedule.stream(salt))
+                    })
+                    .collect()
+            })
+            .collect();
+        self.faults = Some(Box::new(FaultRuntime {
+            events,
+            next: 0,
+            hosts,
+            switches,
+            report: FaultReport::default(),
+        }));
+    }
+
+    fn validate_fault_target(&self, ev: &FaultEvent) {
+        match ev.target {
+            FaultTarget::HostLink(h) => {
+                assert!(h < self.hosts.len(), "fault targets unknown host {h}");
+                assert!(
+                    self.hosts[h].link.is_some(),
+                    "fault targets unwired host {h}"
+                );
+            }
+            FaultTarget::SwitchLink { switch, port } => {
+                assert!(
+                    switch < self.switches.len(),
+                    "fault targets unknown switch {switch}"
+                );
+                assert!(
+                    port < self.switches[switch].ports.len(),
+                    "fault targets unknown port {port} on switch {switch}"
+                );
+            }
+            FaultTarget::Switch(s) => {
+                assert!(s < self.switches.len(), "fault targets unknown switch {s}");
+            }
+        }
+    }
+
+    /// Both directed ends of the cable a link-scoped fault names.
+    fn link_ends(&self, target: FaultTarget) -> [LinkEnd; 2] {
+        match target {
+            FaultTarget::HostLink(h) => {
+                let link = self.hosts[h].link.expect("validated: host is wired");
+                let NodeRef::Switch(s) = link.peer else {
+                    unreachable!("hosts attach to switches");
+                };
+                [LinkEnd::Host(h), LinkEnd::SwitchPort(s, link.peer_port)]
+            }
+            FaultTarget::SwitchLink { switch, port } => {
+                let link = self.switches[switch].ports[port].link;
+                let far = match link.peer {
+                    NodeRef::Host(h) => LinkEnd::Host(h),
+                    NodeRef::Switch(t) => LinkEnd::SwitchPort(t, link.peer_port),
+                };
+                [LinkEnd::SwitchPort(switch, port), far]
+            }
+            FaultTarget::Switch(_) => unreachable!("switch-wide faults have no link ends"),
+        }
+    }
+
+    /// Applies the next scheduled fault event.
+    fn apply_next_fault(&mut self, now: u64, queue: &mut EventQueue<Event>) {
+        let rt = self
+            .faults
+            .as_deref_mut()
+            .expect("fault event without a schedule");
+        let ev = rt.events[rt.next];
+        rt.next += 1;
+        rt.report.log.push((now, fault_desc(&ev)));
+        if let FaultKind::BufferBytes(bytes) = ev.kind {
+            let FaultTarget::Switch(s) = ev.target else {
+                unreachable!("validated: buffer faults are switch-wide");
+            };
+            for port in &mut self.switches[s].ports {
+                port.mq.set_cap_bytes(bytes);
+            }
+            return;
+        }
+        // A link-scoped fault: both directed ends of the cable change
+        // together (a cut cable is cut both ways).
+        let ends = self.link_ends(ev.target);
+        let rt = self.faults.as_deref_mut().expect("checked above");
+        for end in ends {
+            let st = match end {
+                LinkEnd::Host(h) => &mut rt.hosts[h],
+                LinkEnd::SwitchPort(s, p) => &mut rt.switches[s][p],
+            };
+            match ev.kind {
+                FaultKind::LinkDown => st.up = false,
+                FaultKind::LinkUp => st.up = true,
+                FaultKind::Rate(r) => st.rate_bps = r,
+                FaultKind::Loss(p) => st.loss_p = p,
+                FaultKind::Corrupt(p) => st.corrupt_p = p,
+                FaultKind::BufferBytes(_) => unreachable!("handled above"),
+            }
+        }
+        match ev.kind {
+            FaultKind::LinkDown => rt.report.link_down_events += 1,
+            FaultKind::LinkUp => {
+                rt.report.link_up_events += 1;
+                // Restart both ends: packets queued while the link was
+                // down are waiting for a transmit kick.
+                for end in ends {
+                    match end {
+                        LinkEnd::Host(h) => self.try_transmit_host(h, now, queue),
+                        LinkEnd::SwitchPort(s, p) => self.try_transmit_switch(s, p, now, queue),
+                    }
+                }
+            }
+            _ => {}
+        }
     }
 
     /// Registers a flow; returns its id.
@@ -425,6 +674,15 @@ impl World {
             sim.queue
                 .push(SimTime::from_nanos(interval), Event::TraceSample);
         }
+        if let Some(rt) = sim.handler.faults.as_deref() {
+            // Pre-sorted and pushed in order: the FEL's (time, seq) FIFO
+            // keeps same-time events aligned with the sequential `next`
+            // cursor in [`World::apply_next_fault`].
+            for ev in &rt.events {
+                sim.queue
+                    .push(SimTime::from_nanos(ev.at_nanos), Event::Fault);
+            }
+        }
         sim.run_until(SimTime::from_nanos(end_nanos));
         let events = sim.queue.scheduled_count();
         sim.handler.harvest(end_nanos, events)
@@ -463,6 +721,7 @@ impl World {
             end_nanos,
             events,
             deliveries: self.deliveries,
+            faults: self.faults.map(|rt| rt.report),
         }
     }
 
@@ -556,6 +815,11 @@ impl World {
     }
 
     fn try_transmit_host(&mut self, host: usize, now: u64, queue: &mut EventQueue<Event>) {
+        if let Some(rt) = self.faults.as_deref() {
+            if !rt.hosts[host].up {
+                return; // link down: packets stay parked in the NIC queue
+            }
+        }
         let marks = &mut self.marks;
         let h = &mut self.hosts[host];
         if h.nic_busy {
@@ -581,7 +845,19 @@ impl World {
         }
         let link = h.link.expect("host transmits without a link");
         h.nic_busy = true;
-        let ser = SimDuration::for_bytes(pkt.wire_bytes, link.rate_bps).as_nanos();
+        let mut rate_bps = link.rate_bps;
+        let mut fate = Fate::Clean;
+        if let Some(rt) = self.faults.as_deref_mut() {
+            let st = &mut rt.hosts[host];
+            if let Some(r) = st.rate_bps {
+                rate_bps = r;
+            }
+            fate = st.fate();
+            if matches!(fate, Fate::Lost) {
+                rt.report.injected_drops += 1;
+            }
+        }
+        let ser = SimDuration::for_bytes(pkt.wire_bytes, rate_bps).as_nanos();
         queue.push(
             SimTime::from_nanos(now + ser),
             Event::TransmitDone {
@@ -589,13 +865,22 @@ impl World {
                 port: 0,
             },
         );
-        queue.push(
-            SimTime::from_nanos(now + ser + link.delay_nanos),
-            Event::Deliver {
-                node: link.peer,
-                packet: pkt,
-            },
-        );
+        match fate {
+            // The wire time was spent but the packet never arrives.
+            Fate::Lost => {}
+            fate => {
+                if matches!(fate, Fate::Corrupted) {
+                    pkt.corrupted = true;
+                }
+                queue.push(
+                    SimTime::from_nanos(now + ser + link.delay_nanos),
+                    Event::Deliver {
+                        node: link.peer,
+                        packet: pkt,
+                    },
+                );
+            }
+        }
     }
 
     fn try_transmit_switch(
@@ -605,6 +890,11 @@ impl World {
         now: u64,
         queue: &mut EventQueue<Event>,
     ) {
+        if let Some(rt) = self.faults.as_deref() {
+            if !rt.switches[switch][port].up {
+                return; // port's link is down: leave the queue parked
+            }
+        }
         let marks = &mut self.marks;
         let p = &mut self.switches[switch].ports[port];
         if p.busy {
@@ -633,7 +923,19 @@ impl World {
         }
         p.busy = true;
         let link = p.link;
-        let ser = SimDuration::for_bytes(pkt.wire_bytes, link.rate_bps).as_nanos();
+        let mut rate_bps = link.rate_bps;
+        let mut fate = Fate::Clean;
+        if let Some(rt) = self.faults.as_deref_mut() {
+            let st = &mut rt.switches[switch][port];
+            if let Some(r) = st.rate_bps {
+                rate_bps = r;
+            }
+            fate = st.fate();
+            if matches!(fate, Fate::Lost) {
+                rt.report.injected_drops += 1;
+            }
+        }
+        let ser = SimDuration::for_bytes(pkt.wire_bytes, rate_bps).as_nanos();
         queue.push(
             SimTime::from_nanos(now + ser),
             Event::TransmitDone {
@@ -641,13 +943,22 @@ impl World {
                 port,
             },
         );
-        queue.push(
-            SimTime::from_nanos(now + ser + link.delay_nanos),
-            Event::Deliver {
-                node: link.peer,
-                packet: pkt,
-            },
-        );
+        match fate {
+            // The wire time was spent but the packet never arrives.
+            Fate::Lost => {}
+            fate => {
+                if matches!(fate, Fate::Corrupted) {
+                    pkt.corrupted = true;
+                }
+                queue.push(
+                    SimTime::from_nanos(now + ser + link.delay_nanos),
+                    Event::Deliver {
+                        node: link.peer,
+                        packet: pkt,
+                    },
+                );
+            }
+        }
     }
 
     fn deliver_to_switch(
@@ -657,9 +968,26 @@ impl World {
         now: u64,
         queue: &mut EventQueue<Event>,
     ) {
-        let out_port = self.switches[switch]
-            .routes
-            .port_for(pkt.dst_host, pkt.flow_id);
+        let out_port = match self.faults.as_deref_mut() {
+            None => self.switches[switch]
+                .routes
+                .port_for(pkt.dst_host, pkt.flow_id),
+            // ECMP re-hashes deterministically over the live candidates;
+            // with everything up this equals the unmasked choice.
+            Some(rt) => {
+                let up = &rt.switches[switch];
+                match self.switches[switch]
+                    .routes
+                    .port_for_masked(pkt.dst_host, pkt.flow_id, |p| up[p].up)
+                {
+                    Some(p) => p,
+                    None => {
+                        rt.report.unroutable_drops += 1;
+                        return; // every candidate towards dst is down
+                    }
+                }
+            }
+        };
         // Pool occupancy across all ports of this switch — only summed for
         // the per-pool scheme; every other scheme looks at its own port.
         let pool: u64 = match &self.switches[switch].ports[out_port].marker {
@@ -779,6 +1107,13 @@ impl EventHandler for World {
             }
             Event::Deliver { node, packet } => {
                 self.deliveries += 1;
+                if packet.corrupted {
+                    // The checksum fails on arrival; the hop discards it.
+                    if let Some(rt) = self.faults.as_deref_mut() {
+                        rt.report.corrupt_drops += 1;
+                    }
+                    return;
+                }
                 match node {
                     NodeRef::Host(h) => self.deliver_to_host(h, packet, now, queue),
                     NodeRef::Switch(s) => self.deliver_to_switch(s, packet, now, queue),
@@ -852,6 +1187,7 @@ impl EventHandler for World {
                     }
                 }
             }
+            Event::Fault => self.apply_next_fault(now, queue),
         }
     }
 }

@@ -1,0 +1,247 @@
+//! End-to-end fault-injection behaviour: determinism, zero-cost gating,
+//! link dynamics, loss/corruption, ECMP rerouting, and recovery metrics.
+
+use pmsb_netsim::experiment::{
+    Experiment, FaultSchedule, FaultTarget, FlowDesc, MarkingConfig, RunResults,
+};
+
+fn dumbbell_two_flows() -> Experiment {
+    let mut e = Experiment::dumbbell(2, 2).marking(MarkingConfig::Pmsb {
+        port_threshold_pkts: 12,
+    });
+    e.add_flow(FlowDesc::bulk(0, 2, 0, 2_000_000));
+    e.add_flow(FlowDesc::bulk(1, 2, 1, 1_000_000).starting_at(200_000));
+    e
+}
+
+/// Per-flow `(flow_id, end_nanos)` plus the global counters — the full
+/// observable outcome of a run for equality checks.
+fn fingerprint(res: &RunResults) -> (Vec<(u64, u64)>, u64, u64, u64, u64) {
+    let mut fct: Vec<(u64, u64)> = res
+        .fct
+        .records()
+        .iter()
+        .map(|r| (r.flow_id, r.end_nanos))
+        .collect();
+    fct.sort_unstable();
+    (fct, res.marks, res.drops, res.deliveries, res.events)
+}
+
+/// An attached-but-empty schedule must not perturb the run at all: the
+/// injector arms no events and draws no randomness, so every observable
+/// (FCTs, marks, drops, deliveries, even the FEL event count) matches
+/// the no-schedule run exactly.
+#[test]
+fn empty_schedule_is_invisible() {
+    let bare = dumbbell_two_flows().run_for_millis(100);
+    let faulted = dumbbell_two_flows()
+        .faults(FaultSchedule::new(7))
+        .run_for_millis(100);
+    assert_eq!(fingerprint(&bare), fingerprint(&faulted));
+    assert!(bare.faults.is_none());
+    let report = faulted.faults.expect("schedule attached => report present");
+    assert_eq!(report.fault_drops(), 0);
+    assert!(report.log.is_empty());
+}
+
+/// A link flap mid-transfer: the flow stalls (RTOs), recovers when the
+/// link returns, and completes; the recovery metrics record the episode.
+#[test]
+fn link_flap_stalls_then_recovers() {
+    let mut schedule = FaultSchedule::new(1);
+    schedule.link_flap(FaultTarget::HostLink(0), 500_000, 5_000_000); // host 0 dark for 4.5 ms
+    let mut e = Experiment::dumbbell(2, 2).marking(MarkingConfig::Pmsb {
+        port_threshold_pkts: 12,
+    });
+    e.add_flow(FlowDesc::bulk(0, 2, 0, 2_000_000));
+    let res = e.faults(schedule).run_for_millis(200);
+    assert_eq!(res.fct.len(), 1, "flow must complete after the flap");
+    let st = &res.sender_stats[&0];
+    assert!(st.timeouts > 0, "a 4.5 ms outage must RTO: {st:?}");
+    assert!(
+        st.loss_episodes >= 1,
+        "the outage is a loss episode: {st:?}"
+    );
+    assert!(
+        st.recovery_nanos > 1_000_000,
+        "recovery spans the outage: {st:?}"
+    );
+    let report = res.faults.unwrap();
+    assert_eq!(report.link_down_events, 1);
+    assert_eq!(report.link_up_events, 1);
+    assert_eq!(report.log.len(), 2, "both flap events logged");
+    // The flap outlasts the flow's loss-free FCT (~1.7 ms): completion
+    // must come after the link returned.
+    assert!(res.fct.records()[0].end_nanos > 5_000_000);
+}
+
+/// Probabilistic loss: retransmissions appear, drops are attributed to
+/// the injector (not the buffers), and the flow still completes.
+#[test]
+fn random_loss_retransmits_and_completes() {
+    let mut schedule = FaultSchedule::new(2);
+    schedule.loss(FaultTarget::HostLink(0), 0, 0.01); // 1% on host 0's link, both directions
+    let mut e = Experiment::dumbbell(2, 2).marking(MarkingConfig::Pmsb {
+        port_threshold_pkts: 12,
+    });
+    e.add_flow(FlowDesc::bulk(0, 2, 0, 2_000_000));
+    let res = e.faults(schedule).run_for_millis(500);
+    assert_eq!(res.fct.len(), 1, "flow must survive 1% loss");
+    let st = &res.sender_stats[&0];
+    assert!(st.retransmissions > 0, "1% over ~1400 pkts: {st:?}");
+    assert!(st.loss_episodes >= 1);
+    assert!(st.recovery_nanos > 0);
+    let report = res.faults.unwrap();
+    assert!(report.injected_drops > 0);
+    assert_eq!(report.corrupt_drops, 0);
+    assert_eq!(res.drops, 0, "injected losses are not buffer drops");
+}
+
+/// Corruption consumes wire time and is discarded at the next hop's
+/// checksum — counted separately from clean loss.
+#[test]
+fn corruption_is_dropped_at_next_hop() {
+    let mut schedule = FaultSchedule::new(3);
+    schedule.corrupt(FaultTarget::HostLink(0), 0, 0.01);
+    let mut e = Experiment::dumbbell(2, 2).marking(MarkingConfig::Pmsb {
+        port_threshold_pkts: 12,
+    });
+    e.add_flow(FlowDesc::bulk(0, 2, 0, 2_000_000));
+    let res = e.faults(schedule).run_for_millis(500);
+    assert_eq!(res.fct.len(), 1);
+    let report = res.faults.unwrap();
+    assert!(report.corrupt_drops > 0);
+    assert_eq!(report.injected_drops, 0);
+    assert!(res.sender_stats[&0].retransmissions > 0);
+}
+
+/// Degrading a link's rate slows the flow down; restoring it mid-run
+/// lets it finish. The FCT must exceed what the full-rate fabric gives.
+#[test]
+fn rate_degradation_slows_the_flow() {
+    let baseline = {
+        let mut e = Experiment::dumbbell(2, 2).marking(MarkingConfig::Pmsb {
+            port_threshold_pkts: 12,
+        });
+        e.add_flow(FlowDesc::bulk(0, 2, 0, 2_000_000));
+        e.run_for_millis(100)
+    };
+    let mut schedule = FaultSchedule::new(4);
+    schedule.rate_limit(FaultTarget::HostLink(0), 0, 1_000_000_000); // 10 Gbps -> 1 Gbps
+    let mut e = Experiment::dumbbell(2, 2).marking(MarkingConfig::Pmsb {
+        port_threshold_pkts: 12,
+    });
+    e.add_flow(FlowDesc::bulk(0, 2, 0, 2_000_000));
+    let degraded = e.faults(schedule).run_for_millis(100);
+    assert_eq!(degraded.fct.len(), 1);
+    let fast = baseline.fct.records()[0].fct_nanos();
+    let slow = degraded.fct.records()[0].fct_nanos();
+    assert!(
+        slow > 5 * fast,
+        "1 Gbps must be ~10x slower: {fast} ns vs {slow} ns"
+    );
+}
+
+/// A leaf uplink flap in a leaf–spine fabric: ECMP re-hashes data around
+/// the dead link at the leaf, ACKs arriving at the far spine blackhole
+/// (no routing-protocol propagation — a local mask only), and everything
+/// re-converges and completes once the link returns.
+#[test]
+fn uplink_flap_reroutes_and_reconverges() {
+    let hosts_per_leaf = 2;
+    let mut schedule = FaultSchedule::new(5);
+    // Leaf 0's uplink to spine 0 (leaf port hosts_per_leaf + 0).
+    schedule.link_flap(
+        FaultTarget::SwitchLink {
+            switch: 0,
+            port: hosts_per_leaf,
+        },
+        1_000_000,
+        8_000_000,
+    );
+    let mut e = Experiment::leaf_spine(2, 2, hosts_per_leaf);
+    // Inter-rack flows from every leaf-0 host to every leaf-1 host.
+    let mut id = 0;
+    for src in 0..hosts_per_leaf {
+        for dst in hosts_per_leaf..2 * hosts_per_leaf {
+            e.add_flow(FlowDesc::bulk(src, dst, id % 8, 1_000_000));
+            id += 1;
+        }
+    }
+    let res = e.faults(schedule).run_for_millis(300);
+    assert_eq!(
+        res.fct.len(),
+        hosts_per_leaf * hosts_per_leaf,
+        "every flow completes after the flap"
+    );
+    let report = res.faults.unwrap();
+    assert_eq!(report.link_down_events, 1);
+    assert_eq!(report.link_up_events, 1);
+}
+
+/// Shrinking a switch's shared buffer mid-run causes tail drops a
+/// full-size buffer would have absorbed.
+#[test]
+fn buffer_shrink_causes_drops() {
+    let run = |shrink: bool| {
+        let mut e = Experiment::dumbbell(2, 2).marking(MarkingConfig::None);
+        e.add_flow(FlowDesc::bulk(0, 2, 0, 1_000_000));
+        e.add_flow(FlowDesc::bulk(1, 2, 1, 1_000_000));
+        if shrink {
+            let mut schedule = FaultSchedule::new(6);
+            schedule.shrink_buffer(0, 0, 3 * 1500); // 3 packets
+            e = e.faults(schedule);
+        }
+        e.run_for_millis(500)
+    };
+    let full = run(false);
+    let tiny = run(true);
+    assert_eq!(full.drops, 0, "ample buffer absorbs both flows");
+    assert!(tiny.drops > 0, "3-packet buffer must tail-drop");
+    assert_eq!(tiny.fct.len(), 2, "flows survive the tiny buffer");
+}
+
+/// The whole faulted run is deterministic: identical seeds and schedules
+/// reproduce every observable, including the injector's own counters.
+#[test]
+fn faulted_runs_are_deterministic() {
+    let run = || {
+        let mut schedule = FaultSchedule::new(11);
+        schedule.loss(FaultTarget::HostLink(0), 0, 0.02);
+        schedule.link_flap(FaultTarget::HostLink(1), 2_000_000, 4_000_000);
+        let mut e = dumbbell_two_flows();
+        e = e.faults(schedule);
+        e.run_for_millis(300)
+    };
+    let (a, b) = (run(), run());
+    assert_eq!(fingerprint(&a), fingerprint(&b));
+    assert_eq!(a.faults, b.faults);
+    assert_eq!(
+        a.sender_stats[&0].retransmissions,
+        b.sender_stats[&0].retransmissions
+    );
+}
+
+/// Different fault seeds change only the fault randomness — the loss
+/// pattern moves, proving the injector draws from its own stream.
+#[test]
+fn fault_seed_steers_only_the_fault_stream() {
+    let run = |seed: u64| {
+        let mut schedule = FaultSchedule::new(seed);
+        schedule.loss(FaultTarget::HostLink(0), 0, 0.02);
+        let mut e = Experiment::dumbbell(2, 2).marking(MarkingConfig::Pmsb {
+            port_threshold_pkts: 12,
+        });
+        e.add_flow(FlowDesc::bulk(0, 2, 0, 2_000_000));
+        e.faults(schedule).run_for_millis(500)
+    };
+    let (a, b) = (run(1), run(2));
+    // Both complete; the realized loss pattern differs.
+    assert_eq!(a.fct.len(), 1);
+    assert_eq!(b.fct.len(), 1);
+    assert_ne!(
+        fingerprint(&a),
+        fingerprint(&b),
+        "different fault seeds must realize different loss patterns"
+    );
+}

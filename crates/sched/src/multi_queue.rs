@@ -215,6 +215,19 @@ impl<T: SchedItem> MultiQueue<T> {
         self.policy.cap_bytes()
     }
 
+    /// Re-caps the shared buffer at `cap_bytes`, keeping the admission
+    /// policy (fault injection's buffer-shrink event). Items already
+    /// buffered beyond a smaller cap are not evicted — the new cap only
+    /// gates admission, like reprogramming a real switch's pool size.
+    pub fn set_cap_bytes(&mut self, cap_bytes: u64) {
+        self.policy = match self.policy {
+            BufferPolicy::SharedStatic { .. } => BufferPolicy::SharedStatic { cap_bytes },
+            BufferPolicy::DynamicThreshold { alpha, .. } => {
+                BufferPolicy::DynamicThreshold { cap_bytes, alpha }
+            }
+        };
+    }
+
     /// The buffer admission policy.
     pub fn buffer_policy(&self) -> BufferPolicy {
         self.policy
@@ -288,6 +301,20 @@ mod tests {
         // A smaller item still fits.
         mq.enqueue(0, B(50), 0).unwrap();
         assert_eq!(mq.port_bytes(), 250);
+    }
+
+    #[test]
+    fn shrinking_cap_gates_admission_without_evicting() {
+        let mut mq = MultiQueue::new(Box::new(Fifo::new()), 1000);
+        mq.enqueue(0, B(400), 0).unwrap();
+        mq.enqueue(0, B(400), 0).unwrap();
+        mq.set_cap_bytes(500);
+        assert_eq!(mq.port_bytes(), 800, "shrink evicts nothing");
+        assert!(mq.enqueue(0, B(100), 1).is_err(), "over the new cap");
+        // Drain below the new cap: admission resumes.
+        mq.dequeue(2).unwrap();
+        assert!(mq.enqueue(0, B(100), 3).is_ok());
+        assert_eq!(mq.cap_bytes(), 500);
     }
 
     #[test]

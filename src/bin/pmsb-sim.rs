@@ -7,6 +7,9 @@
 //! pmsb-sim leaf-spine --load 0.5 --flows 400 --marking tcn:78200 \
 //!     --scheduler dwrr:1,1,1,1,1,1,1,1 --seed 42
 //!
+//! pmsb-sim leaf-spine --load 0.3 --flows 400 \
+//!     --fault-schedule examples/uplink_flap.faults
+//!
 //! pmsb-sim profile --rate-gbps 10 --rtt-us 85.2 --weights 1,1,1,1,1,1,1,1
 //!
 //! pmsb-sim campaign all --quick --jobs 4
@@ -20,7 +23,7 @@ use std::process::ExitCode;
 use pmsb::profile::PmsbProfile;
 use pmsb::MarkPoint;
 use pmsb_metrics::fct::SizeClass;
-use pmsb_netsim::experiment::{Experiment, FlowDesc};
+use pmsb_netsim::experiment::{Experiment, FaultSchedule, FlowDesc};
 use pmsb_repro::cli::{
     parse_flow, parse_marking, parse_scheduler, parse_weights, split_options, ParseError,
 };
@@ -34,9 +37,11 @@ USAGE:
   pmsb-sim dumbbell  [--senders N] [--queues N] [--marking SPEC]
                      [--scheduler SPEC] [--mark-point enq|deq]
                      [--pmsbe-us X] [--rate-gbps N] [--delay-ns N]
-                     [--millis N] [--watch true] --flow SPEC [--flow SPEC ...]
+                     [--millis N] [--watch true] [--fault-schedule FILE]
+                     --flow SPEC [--flow SPEC ...]
   pmsb-sim leaf-spine [--load X] [--flows N] [--seed N] [--marking SPEC]
                      [--scheduler SPEC] [--mark-point enq|deq] [--pmsbe-us X]
+                     [--fault-schedule FILE]
   pmsb-sim profile   --rtt-us X --weights W1,W2,... [--rate-gbps N]
                      [--lambda X] [--margin X]
   pmsb-sim campaign  NAME [--quick] [--jobs N] [--results DIR] [--quiet]
@@ -51,6 +56,8 @@ SPECS:
   scheduler  fifo | sp:N | wrr:W,.. | dwrr:W,.. | wfq:W,.. | spwfq:G,..;W,..
   flow       SRC>DST:SERVICE:SIZE[@START_US][/RATE_GBPS]
              SIZE takes K/M/G suffixes or 'u' for long-lived
+  fault file line-oriented: 'seed N' then 'at TIME VERB TARGET [ARG]' lines,
+             e.g. 'at 10ms link-down switch:0:4' — see examples/*.faults
 ";
 
 fn main() -> ExitCode {
@@ -166,6 +173,13 @@ fn apply_common(mut e: Experiment, options: &[(String, String)]) -> Result<Exper
             .map_err(|_| ParseError(format!("bad --pmsbe-us '{us}'")))?;
         e = e.pmsbe_rtt_threshold_nanos((v * 1e3) as u64);
     }
+    if let Some(path) = opt(options, "fault-schedule") {
+        let text = std::fs::read_to_string(path)
+            .map_err(|io| ParseError(format!("cannot read fault schedule '{path}': {io}")))?;
+        let schedule = FaultSchedule::parse(&text)
+            .map_err(|e| ParseError(format!("fault schedule '{path}': {e}")))?;
+        e = e.faults(schedule);
+    }
     Ok(e)
 }
 
@@ -173,6 +187,18 @@ fn report(res: &pmsb_netsim::experiment::ExperimentResult) {
     println!("completed_flows,{}", res.fct.len());
     println!("marks,{}", res.marks);
     println!("drops,{}", res.drops);
+    if let Some(fr) = &res.faults {
+        println!("fault_injected_drops,{}", fr.injected_drops);
+        println!("fault_corrupt_drops,{}", fr.corrupt_drops);
+        println!("fault_unroutable_drops,{}", fr.unroutable_drops);
+        println!(
+            "fault_link_events,down={},up={}",
+            fr.link_down_events, fr.link_up_events
+        );
+        for (nanos, desc) in &fr.log {
+            println!("fault_log,{:.3}ms,{desc}", *nanos as f64 / 1e6);
+        }
+    }
     for class in [
         SizeClass::Small,
         SizeClass::Medium,
