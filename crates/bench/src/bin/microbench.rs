@@ -6,9 +6,10 @@
 //! * `--json PATH` — additionally write a machine-readable report
 //!   (see `pmsb_bench::report`) with derived hot-path metrics and the
 //!   FEL determinism cross-check;
-//! * `--baseline PATH` — a `case,mean_ns,best_ns` CSV from a previous
-//!   run (captured stdout); folds before/after numbers and per-case
-//!   speedups into the JSON report.
+//! * `--baseline PATH` — a previous run to compare against: either a
+//!   committed `BENCH_*.json` report (schema `pmsb-bench/v1`) or the
+//!   legacy `case,mean_ns,best_ns` CSV (captured stdout); folds
+//!   before/after numbers and per-case speedups into the JSON report.
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let flag_value = |name: &str| -> Option<String> {
@@ -28,9 +29,15 @@ fn main() {
     if let Some(path) = json_path {
         let baseline = baseline_path.map(|p| {
             std::fs::read_to_string(&p)
-                .unwrap_or_else(|e| panic!("cannot read baseline CSV {p}: {e}"))
+                .unwrap_or_else(|e| panic!("cannot read baseline {p}: {e}"))
         });
-        let report = pmsb_bench::report::build(&results, baseline.as_deref(), quick);
+        let report = match pmsb_bench::report::build(&results, baseline.as_deref(), quick) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("microbench: {e}");
+                std::process::exit(2);
+            }
+        };
         std::fs::write(&path, report)
             .unwrap_or_else(|e| panic!("cannot write JSON report {path}: {e}"));
         eprintln!("wrote {path}");

@@ -251,7 +251,15 @@ pub fn large_scale_jobs(scheduler: &'static str, quick: bool, seeds: &[u64]) -> 
                             }
                         };
                         large_scale::row_record(&large_scale::run_cell(
-                            sched, name, marking, pmsbe, point, load, num_flows, seed,
+                            sched,
+                            name,
+                            marking,
+                            pmsbe,
+                            point,
+                            load,
+                            num_flows,
+                            seed,
+                            crate::util::sim_threads(),
                         ))
                     })
                     .param("scheduler", scheduler)
@@ -321,6 +329,7 @@ pub fn seed_sensitivity_jobs(quick: bool) -> Vec<Job> {
                         0.5,
                         num_flows,
                         seed,
+                        crate::util::sim_threads(),
                     ))
                 })
                 .param("scheduler", "dwrr")
@@ -472,9 +481,19 @@ pub fn run_campaign_main(name: &str) {
         }
     };
     let mut quick = false;
-    for arg in rest {
+    let mut rest = rest.into_iter();
+    while let Some(arg) = rest.next() {
         match arg.as_str() {
             "--quick" => quick = true,
+            // Out-of-band on purpose: thread count changes wall clock
+            // only, never records, so it must stay out of job keys.
+            "--sim-threads" => match rest.next().map(|v| v.parse::<usize>()) {
+                Some(Ok(n)) if n >= 1 => crate::util::set_sim_threads(n),
+                _ => {
+                    eprintln!("{name}: --sim-threads needs an integer >= 1");
+                    std::process::exit(2);
+                }
+            },
             other => {
                 eprintln!("{name}: unknown argument {other:?}");
                 std::process::exit(2);

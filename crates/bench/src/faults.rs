@@ -121,7 +121,9 @@ pub fn run_cell(
     let spec = TrafficSpec::paper_large_scale(num_hosts, 0.3);
     let mut rng = SimRng::seed_from(seed);
     let flows = spec.generate(num_flows, &mut rng);
-    let mut e = Experiment::leaf_spine(LEAVES, SPINES, HOSTS_PER_LEAF).marking(marking);
+    let mut e = Experiment::leaf_spine(LEAVES, SPINES, HOSTS_PER_LEAF)
+        .marking(marking)
+        .sim_threads(crate::util::sim_threads());
     // The fault stream is salted off the workload seed so different
     // seeds move both the traffic and the loss pattern, while equal
     // seeds reproduce the run exactly.

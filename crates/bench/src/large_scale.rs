@@ -103,7 +103,9 @@ pub fn schemes(include_mq_ecn: bool) -> Vec<SchemeSpec> {
     v
 }
 
-/// Runs one `(scheduler, scheme, load)` cell.
+/// Runs one `(scheduler, scheme, load)` cell on `sim_threads` shards
+/// (1 = sequential; the records are identical either way, see
+/// DESIGN.md §8).
 #[allow(clippy::too_many_arguments)]
 pub fn run_cell(
     scheduler: SchedulerConfig,
@@ -114,6 +116,7 @@ pub fn run_cell(
     load: f64,
     num_flows: usize,
     seed: u64,
+    sim_threads: usize,
 ) -> LsRow {
     let spec = TrafficSpec::paper_large_scale(48, load);
     let mut rng = SimRng::seed_from(seed);
@@ -121,7 +124,8 @@ pub fn run_cell(
     let mut e = Experiment::paper_leaf_spine()
         .scheduler(scheduler)
         .marking(marking)
-        .mark_point(mark_point);
+        .mark_point(mark_point)
+        .sim_threads(sim_threads);
     if let Some(thr) = pmsbe {
         e = e.pmsbe_rtt_threshold_nanos(thr);
     }

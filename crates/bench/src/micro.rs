@@ -9,7 +9,9 @@
 //! * `scheduler_ops/*` — enqueue+dequeue cost per scheduler;
 //! * `event_queue/*` — future-event-list throughput;
 //! * `dctcp_transfer/*` — sender/receiver state-machine cost;
-//! * `dumbbell_4x500KB/*` — end-to-end simulator throughput.
+//! * `dumbbell_4x500KB/*` — end-to-end simulator throughput;
+//! * `large_scale_parallel/threads_*` — one leaf–spine cell sharded
+//!   across 1/2/4 worker threads (wall-clock scaling of `--sim-threads`).
 
 use std::hint::black_box;
 use std::time::Instant;
@@ -21,7 +23,7 @@ use pmsb_netsim::experiment::{Experiment, FlowDesc, MarkingConfig};
 use pmsb_netsim::packet::PacketKind;
 use pmsb_netsim::transport::{DctcpReceiver, DctcpSender};
 use pmsb_sched::{Dwrr, HierSpWfq, MultiQueue, SchedItem, Scheduler, StrictPriority, Wfq, Wrr};
-use pmsb_simcore::{EventQueue, SimTime};
+use pmsb_simcore::{EventQueue, HeapQueue, SimTime};
 
 use crate::outln;
 
@@ -171,49 +173,82 @@ fn scheduler_cases(out: &mut String, iters: u32, samples: u32) -> Vec<CaseResult
         .collect()
 }
 
+/// Minimal FEL facade so the wheel and the reference heap run the exact
+/// same benchmark workloads in the same process (the PR-2 baseline CSV
+/// was captured on different hardware, so same-machine twins are the
+/// honest comparison).
+trait BenchFel {
+    fn push(&mut self, at: u64, e: u64);
+    fn pop(&mut self) -> Option<(u64, u64)>;
+}
+
+impl BenchFel for EventQueue<u64> {
+    fn push(&mut self, at: u64, e: u64) {
+        EventQueue::push(self, SimTime::from_nanos(at), e);
+    }
+    fn pop(&mut self) -> Option<(u64, u64)> {
+        EventQueue::pop(self).map(|(t, e)| (t.as_nanos(), e))
+    }
+}
+
+impl BenchFel for HeapQueue<u64> {
+    fn push(&mut self, at: u64, e: u64) {
+        HeapQueue::push(self, SimTime::from_nanos(at), e);
+    }
+    fn pop(&mut self) -> Option<(u64, u64)> {
+        HeapQueue::pop(self).map(|(t, e)| (t.as_nanos(), e))
+    }
+}
+
+/// 1000 pushes at pseudo-random (deterministic) times, then full drain.
+fn push_pop_1k_workload<Q: BenchFel>(q: &mut Q) {
+    let mut t = 12345u64;
+    for i in 0..1000u64 {
+        t = t.wrapping_mul(6364136223846793005).wrapping_add(1);
+        q.push(t >> 20, i);
+    }
+    let mut sum = 0u64;
+    while let Some((_, e)) = q.pop() {
+        sum += e;
+    }
+    black_box(sum);
+}
+
+/// Steady-state pattern: pop one, push one 64 ns out, 64 resident.
+fn interleaved_hold_64_workload<Q: BenchFel>(q: &mut Q) {
+    for i in 0..64u64 {
+        q.push(i, i);
+    }
+    let mut sum = 0u64;
+    for _ in 0..1000 {
+        let (at, e) = q.pop().unwrap();
+        sum += e;
+        q.push(at + 64, e);
+    }
+    black_box(sum);
+}
+
 fn event_queue_cases(out: &mut String, iters: u32, samples: u32) -> Vec<CaseResult> {
-    let mut results = Vec::new();
-    results.push(run_case(
-        out,
-        "event_queue/push_pop_1k",
-        iters,
-        samples,
-        || {
-            let mut q = EventQueue::new();
-            // Pseudo-random but deterministic times.
-            let mut t = 12345u64;
-            for i in 0..1000u64 {
-                t = t.wrapping_mul(6364136223846793005).wrapping_add(1);
-                q.push(SimTime::from_nanos(t >> 20), i);
-            }
-            let mut sum = 0u64;
-            while let Some((_, e)) = q.pop() {
-                sum += e;
-            }
-            black_box(sum);
-        },
-    ));
-    results.push(run_case(
-        out,
-        "event_queue/interleaved_hold_64",
-        iters,
-        samples,
-        || {
-            // Steady-state pattern: pop one, push one, 64 resident.
-            let mut q = EventQueue::new();
-            for i in 0..64u64 {
-                q.push(SimTime::from_nanos(i), i);
-            }
-            let mut sum = 0u64;
-            for _ in 0..1000 {
-                let (at, e) = q.pop().unwrap();
-                sum += e;
-                q.push(at + pmsb_simcore::SimDuration::from_nanos(64), e);
-            }
-            black_box(sum);
-        },
-    ));
-    results
+    vec![
+        run_case(out, "event_queue/push_pop_1k", iters, samples, || {
+            push_pop_1k_workload(&mut EventQueue::new());
+        }),
+        run_case(out, "event_queue/interleaved_hold_64", iters, samples, || {
+            interleaved_hold_64_workload(&mut EventQueue::new());
+        }),
+        run_case(out, "event_queue/push_pop_1k_heap", iters, samples, || {
+            push_pop_1k_workload(&mut HeapQueue::new());
+        }),
+        run_case(
+            out,
+            "event_queue/interleaved_hold_64_heap",
+            iters,
+            samples,
+            || {
+                interleaved_hold_64_workload(&mut HeapQueue::new());
+            },
+        ),
+    ]
 }
 
 /// One complete in-memory transfer: sender and receiver joined directly.
@@ -308,6 +343,42 @@ fn small_sim_cases(out: &mut String, iters: u32, samples: u32) -> Vec<CaseResult
     .collect()
 }
 
+/// Large-scale leaf–spine cell at `sim_threads` shards: the workload
+/// the parallel runtime exists for (one 48-host fabric, paper flow
+/// mix). `quick` shrinks the flow count so the smoke suite stays fast.
+fn parallel_cases(out: &mut String, quick: bool, samples: u32) -> Vec<CaseResult> {
+    let num_flows = if quick { 60 } else { 600 };
+    [1usize, 2, 4]
+        .into_iter()
+        .map(|threads| {
+            run_case(
+                out,
+                &format!("large_scale_parallel/threads_{threads}"),
+                1,
+                samples,
+                || {
+                    let row = crate::large_scale::run_cell(
+                        pmsb_netsim::experiment::SchedulerConfig::Dwrr {
+                            weights: vec![1; 8],
+                        },
+                        "pmsb",
+                        MarkingConfig::Pmsb {
+                            port_threshold_pkts: 12,
+                        },
+                        None,
+                        pmsb::MarkPoint::Enqueue,
+                        0.6,
+                        num_flows,
+                        42,
+                        threads,
+                    );
+                    black_box(row.completed);
+                },
+            )
+        })
+        .collect()
+}
+
 /// Runs the whole micro-benchmark suite, appending a
 /// `case,mean_ns,best_ns` CSV to `out`. `quick` shrinks iteration
 /// counts for smoke runs.
@@ -320,6 +391,7 @@ pub fn run_all(out: &mut String, quick: bool) -> Vec<CaseResult> {
     results.extend(event_queue_cases(out, fast_iters, samples));
     results.extend(transport_cases(out, slow_iters, samples));
     results.extend(small_sim_cases(out, slow_iters, samples));
+    results.extend(parallel_cases(out, quick, samples));
     results
 }
 
@@ -331,7 +403,7 @@ mod tests {
     fn quick_suite_times_every_case() {
         let mut out = String::new();
         let results = run_all(&mut out, true);
-        assert_eq!(results.len(), 5 + 5 + 2 + 2 + 4);
+        assert_eq!(results.len(), 5 + 5 + 4 + 2 + 4 + 3);
         for r in &results {
             assert!(
                 r.best_nanos > 0.0 && r.best_nanos.is_finite(),

@@ -53,6 +53,81 @@ pub fn parse_baseline_csv(text: &str) -> Vec<BaselineCase> {
         .collect()
 }
 
+/// The first JSON string literal in `s`, assuming no escapes (true for
+/// every label this report family emits).
+fn leading_json_string(s: &str) -> Option<String> {
+    let s = s.trim_start().strip_prefix('"')?;
+    Some(s[..s.find('"')?].to_string())
+}
+
+/// The number following the first occurrence of `key` in `s`. The
+/// leading quote in keys like `"best_ns":` keeps `"baseline_best_ns":`
+/// from matching.
+fn number_after(s: &str, key: &str) -> Option<f64> {
+    let tail = s[s.find(key)? + key.len()..].trim_start();
+    let end = tail
+        .find(|c: char| !(c.is_ascii_digit() || "+-.eE".contains(c)))
+        .unwrap_or(tail.len());
+    tail[..end].parse().ok()
+}
+
+/// Parses a previous run's `pmsb-bench/v1` JSON report (a committed
+/// `BENCH_*.json`) into baseline entries. Fails with a descriptive
+/// message when the document declares a different — or no — schema,
+/// so a stale or foreign report is rejected instead of silently
+/// producing an empty baseline.
+pub fn parse_baseline_json(text: &str) -> Result<Vec<BaselineCase>, String> {
+    match text
+        .find("\"schema\":")
+        .and_then(|pos| leading_json_string(&text[pos + "\"schema\":".len()..]))
+    {
+        Some(s) if s == "pmsb-bench/v1" => {}
+        Some(s) => {
+            return Err(format!(
+                "baseline JSON declares schema '{s}', expected 'pmsb-bench/v1'; \
+                 regenerate the baseline with this microbench's --json flag"
+            ))
+        }
+        None => {
+            return Err(
+                "baseline JSON has no \"schema\" field; expected a 'pmsb-bench/v1' report \
+                 (or pass a case,mean_ns,best_ns CSV)"
+                    .into(),
+            )
+        }
+    }
+    let mut cases = Vec::new();
+    let mut rest = text;
+    while let Some(pos) = rest.find("\"label\":") {
+        rest = &rest[pos + "\"label\":".len()..];
+        // The case's numbers sit between this label and the next one.
+        let obj = &rest[..rest.find("\"label\":").unwrap_or(rest.len())];
+        if let (Some(label), Some(mean_nanos), Some(best_nanos)) = (
+            leading_json_string(rest),
+            number_after(obj, "\"mean_ns\":"),
+            number_after(obj, "\"best_ns\":"),
+        ) {
+            cases.push(BaselineCase {
+                label,
+                mean_nanos,
+                best_nanos,
+            });
+        }
+    }
+    Ok(cases)
+}
+
+/// Parses `--baseline` input in either supported format, dispatching on
+/// the leading `{`: a committed `pmsb-bench/v1` JSON report, or the
+/// legacy `case,mean_ns,best_ns` CSV capture of microbench stdout.
+pub fn parse_baseline(text: &str) -> Result<Vec<BaselineCase>, String> {
+    if text.trim_start().starts_with('{') {
+        parse_baseline_json(text)
+    } else {
+        Ok(parse_baseline_csv(text))
+    }
+}
+
 /// Outcome of the in-report FEL determinism cross-check.
 #[derive(Debug, Clone)]
 pub struct DeterminismCheck {
@@ -128,6 +203,12 @@ pub struct DerivedMetrics {
     pub dumbbell_events_per_sec: f64,
     /// Wall-clock of a 4-cell in-process harness campaign, ms.
     pub campaign_wall_clock_ms: f64,
+    /// Sharded large-scale run speedup at 2 threads vs sequential, from
+    /// the `large_scale_parallel/threads_*` best samples (NaN when the
+    /// cases were not run).
+    pub parallel_speedup_t2: f64,
+    /// Same at 4 threads.
+    pub parallel_speedup_t4: f64,
 }
 
 /// Runs the `dumbbell_4x500KB/pmsb` scenario once and returns its
@@ -209,6 +290,11 @@ pub fn derive_metrics(results: &[CaseResult]) -> DerivedMetrics {
         .map(|best| 2_000.0 / (best * 1e-9))
         .unwrap_or(f64::NAN);
     let dumbbell_best = find_best(results, "dumbbell_4x500KB/pmsb").unwrap_or(f64::NAN);
+    let seq = find_best(results, "large_scale_parallel/threads_1");
+    let speedup_vs_seq = |label: &str| match (seq, find_best(results, label)) {
+        (Some(a), Some(b)) if b > 0.0 => a / b,
+        _ => f64::NAN,
+    };
     DerivedMetrics {
         dumbbell_events: events,
         dumbbell_deliveries: deliveries,
@@ -216,6 +302,8 @@ pub fn derive_metrics(results: &[CaseResult]) -> DerivedMetrics {
         dumbbell_packets_per_sec: deliveries as f64 / (dumbbell_best * 1e-9),
         dumbbell_events_per_sec: events as f64 / (dumbbell_best * 1e-9),
         campaign_wall_clock_ms: campaign_wall_clock_ms(),
+        parallel_speedup_t2: speedup_vs_seq("large_scale_parallel/threads_2"),
+        parallel_speedup_t4: speedup_vs_seq("large_scale_parallel/threads_4"),
     }
 }
 
@@ -237,6 +325,15 @@ fn push_json_str(out: &mut String, s: &str) {
 fn push_f64(out: &mut String, v: f64) {
     if v.is_finite() {
         let _ = write!(out, "{v:.1}");
+    } else {
+        out.push_str("null");
+    }
+}
+
+/// Like [`push_f64`] but with ratio precision (speedup factors).
+fn push_ratio(out: &mut String, v: f64) {
+    if v.is_finite() {
+        let _ = write!(out, "{v:.3}");
     } else {
         out.push_str("null");
     }
@@ -313,6 +410,10 @@ pub fn render_json(
     push_f64(&mut out, derived.dumbbell_events_per_sec);
     out.push_str(",\n    \"campaign_wall_clock_ms\": ");
     push_f64(&mut out, derived.campaign_wall_clock_ms);
+    out.push_str(",\n    \"parallel_speedup_t2\": ");
+    push_ratio(&mut out, derived.parallel_speedup_t2);
+    out.push_str(",\n    \"parallel_speedup_t4\": ");
+    push_ratio(&mut out, derived.parallel_speedup_t4);
     out.push_str("\n  },\n");
     out.push_str("  \"determinism\": {\n");
     let _ = writeln!(
@@ -331,12 +432,24 @@ pub fn render_json(
 }
 
 /// Builds the complete JSON report: derived metrics, determinism
-/// cross-check, and (when `baseline_csv` is given) per-case speedups.
-pub fn build(results: &[CaseResult], baseline_csv: Option<&str>, quick: bool) -> String {
-    let baseline = baseline_csv.map(parse_baseline_csv).unwrap_or_default();
+/// cross-check, and (when `baseline_text` is given — JSON report or
+/// legacy CSV, see [`parse_baseline`]) per-case speedups. Fails when
+/// the baseline text is a JSON document of the wrong schema.
+pub fn build(
+    results: &[CaseResult],
+    baseline_text: Option<&str>,
+    quick: bool,
+) -> Result<String, String> {
+    let baseline = baseline_text.map(parse_baseline).transpose()?.unwrap_or_default();
     let derived = derive_metrics(results);
     let determinism = determinism_check();
-    render_json(results, &baseline, &derived, &determinism, quick)
+    Ok(render_json(
+        results,
+        &baseline,
+        &derived,
+        &determinism,
+        quick,
+    ))
 }
 
 #[cfg(test)]
@@ -351,6 +464,64 @@ mod tests {
         assert_eq!(parsed.len(), 1);
         assert_eq!(parsed[0].label, "event_queue/push_pop_1k");
         assert_eq!(parsed[0].best_nanos, 90.0);
+    }
+
+    #[test]
+    fn json_baseline_round_trips_from_a_rendered_report() {
+        let results = vec![
+            CaseResult {
+                label: "event_queue/push_pop_1k".into(),
+                mean_nanos: 110.0,
+                best_nanos: 100.0,
+            },
+            CaseResult {
+                label: "dumbbell_4x500KB/pmsb".into(),
+                mean_nanos: 2_200.0,
+                best_nanos: 2_000.0,
+            },
+        ];
+        // Give the first case baseline fields, so the parser must not
+        // confuse "baseline_best_ns" with "best_ns".
+        let baseline =
+            parse_baseline_csv("case,mean_ns,best_ns\nevent_queue/push_pop_1k,160.0,150.0\n");
+        let derived = DerivedMetrics {
+            dumbbell_events: 0,
+            dumbbell_deliveries: 0,
+            event_queue_ops_per_sec: f64::NAN,
+            dumbbell_packets_per_sec: f64::NAN,
+            dumbbell_events_per_sec: f64::NAN,
+            campaign_wall_clock_ms: f64::NAN,
+            parallel_speedup_t2: f64::NAN,
+            parallel_speedup_t4: f64::NAN,
+        };
+        let determinism = DeterminismCheck {
+            fel_matches_heap: true,
+            workloads: 4,
+            events_checked: 20_000,
+        };
+        let json = render_json(&results, &baseline, &derived, &determinism, true);
+        let parsed = parse_baseline(&json).expect("own report parses as a baseline");
+        assert_eq!(parsed.len(), 2);
+        assert_eq!(parsed[0].label, "event_queue/push_pop_1k");
+        assert_eq!(parsed[0].mean_nanos, 110.0);
+        assert_eq!(parsed[0].best_nanos, 100.0);
+        assert_eq!(parsed[1].label, "dumbbell_4x500KB/pmsb");
+        assert_eq!(parsed[1].best_nanos, 2_000.0);
+    }
+
+    #[test]
+    fn json_baseline_rejects_wrong_or_missing_schema() {
+        let err = parse_baseline_json("{\"schema\": \"pmsb-bench/v2\", \"cases\": []}")
+            .expect_err("wrong schema must fail");
+        assert!(err.contains("pmsb-bench/v1"), "unhelpful error: {err}");
+        assert!(err.contains("pmsb-bench/v2"), "should name the found schema: {err}");
+        let err = parse_baseline_json("{\"cases\": []}").expect_err("missing schema must fail");
+        assert!(err.contains("schema"), "unhelpful error: {err}");
+        // CSV input never hits the JSON path.
+        assert_eq!(
+            parse_baseline("case,mean_ns,best_ns\nx,2.0,1.0\n").unwrap().len(),
+            1
+        );
     }
 
     #[test]
@@ -384,6 +555,8 @@ mod tests {
             dumbbell_packets_per_sec: 3e9,
             dumbbell_events_per_sec: 6e9,
             campaign_wall_clock_ms: 42.0,
+            parallel_speedup_t2: 1.4,
+            parallel_speedup_t4: f64::NAN,
         };
         let determinism = DeterminismCheck {
             fel_matches_heap: true,
@@ -395,6 +568,8 @@ mod tests {
         assert!(json.contains("\"baseline_best_ns\": 150.0"));
         assert!(json.contains("\"fel_matches_heap\": true"));
         assert!(json.contains("\"campaign_wall_clock_ms\": 42.0"));
+        assert!(json.contains("\"parallel_speedup_t2\": 1.400"));
+        assert!(json.contains("\"parallel_speedup_t4\": null"));
         // The dumbbell case had no baseline entry: no speedup key on it.
         let dumbbell_line = json
             .lines()

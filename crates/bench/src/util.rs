@@ -27,6 +27,23 @@ pub fn quick_flag() -> bool {
     std::env::args().any(|a| a == "--quick")
 }
 
+/// Worker threads per simulation run (`--sim-threads N`). A process-wide
+/// setting rather than a job parameter: thread count must never enter a
+/// campaign job key, because the records are byte-identical across
+/// thread counts and resumable result stores are shared between them.
+static SIM_THREADS: std::sync::atomic::AtomicUsize = std::sync::atomic::AtomicUsize::new(1);
+
+/// Sets the intra-run shard count used by subsequently started
+/// experiment cells (1 = sequential).
+pub fn set_sim_threads(n: usize) {
+    SIM_THREADS.store(n.max(1), std::sync::atomic::Ordering::Relaxed);
+}
+
+/// The current intra-run shard count (defaults to 1, sequential).
+pub fn sim_threads() -> usize {
+    SIM_THREADS.load(std::sync::atomic::Ordering::Relaxed)
+}
+
 /// `true` when `--series` was passed: figure binaries additionally dump
 /// raw time series (occupancy vs time) for plotting.
 pub fn series_flag() -> bool {

@@ -55,6 +55,9 @@ pub struct Experiment {
     /// default); `Some(cfg)` overrides it.
     host_nic_marking: Option<MarkingConfig>,
     faults: Option<FaultSchedule>,
+    /// Worker threads for the run itself (conservative parallel DES,
+    /// DESIGN.md §8). 1 = the plain sequential event loop.
+    sim_threads: usize,
 }
 
 impl Experiment {
@@ -79,6 +82,7 @@ impl Experiment {
             flows: Vec::new(),
             host_nic_marking: None,
             faults: None,
+            sim_threads: 1,
         }
     }
 
@@ -108,6 +112,7 @@ impl Experiment {
             flows: Vec::new(),
             host_nic_marking: None,
             faults: None,
+            sim_threads: 1,
         }
     }
 
@@ -193,6 +198,16 @@ impl Experiment {
         self
     }
 
+    /// Runs the simulation itself on `n` worker threads (conservative
+    /// parallel DES with deterministic lookahead windows, DESIGN.md §8).
+    /// Results are byte-identical for any value; `1` (the default) takes
+    /// the plain sequential event loop. Capped at the switch count — a
+    /// dumbbell always runs sequentially.
+    pub fn sim_threads(mut self, n: usize) -> Self {
+        self.sim_threads = n.max(1);
+        self
+    }
+
     /// Dumbbell only: watches the bottleneck (receiver-facing) port with
     /// the given occupancy sample interval, keeping any other trace
     /// settings.
@@ -249,6 +264,22 @@ impl Experiment {
             .take()
             .unwrap_or_else(|| self.switch_cfg.marking.clone());
         self.host_cfg.nic_mark_point = self.switch_cfg.mark_point;
+        let num_switches = match self.topology {
+            Topology::Dumbbell { .. } => 1,
+            Topology::LeafSpine { leaves, spines, .. } => leaves + spines,
+        };
+        let threads = self.sim_threads.min(num_switches);
+        if threads > 1 {
+            return crate::parallel::run_sharded(&self, threads, end_nanos);
+        }
+        self.build_world().run_until_nanos(end_nanos)
+    }
+
+    /// Builds one fully wired, traced, faulted, flow-loaded world from
+    /// this spec. Callable repeatedly: the parallel runner builds one
+    /// world per logical process. Expects `host_cfg.nic_marking` to have
+    /// been resolved by [`Experiment::run_until_nanos`].
+    pub(crate) fn build_world(&self) -> crate::world::World {
         let mut world = match self.topology {
             Topology::Dumbbell { num_senders } => topology::dumbbell(
                 num_senders,
@@ -273,14 +304,14 @@ impl Experiment {
                 self.transport,
             ),
         };
-        world.set_trace(self.trace);
-        if let Some(schedule) = self.faults {
-            world.set_faults(schedule);
+        world.set_trace(self.trace.clone());
+        if let Some(schedule) = &self.faults {
+            world.set_faults(schedule.clone());
         }
-        for f in self.flows {
-            world.add_flow(f);
+        for f in &self.flows {
+            world.add_flow(*f);
         }
-        world.run_until_nanos(end_nanos)
+        world
     }
 
     /// Builds the world and runs for `millis` simulated milliseconds.

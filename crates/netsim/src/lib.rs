@@ -39,6 +39,7 @@
 pub mod config;
 pub mod experiment;
 pub mod packet;
+mod parallel;
 pub mod routing;
 pub mod topology;
 pub mod trace;

@@ -1,0 +1,162 @@
+//! Conservative parallel execution of a sharded [`World`] (DESIGN.md §8).
+//!
+//! The network is partitioned by switch into logical processes — every LP
+//! owns a contiguous switch range plus the hosts attached to it — and
+//! driven by [`pmsb_simcore::run_conservative`]: barrier-synchronized
+//! lookahead windows, with cross-LP packets exchanged as timestamped
+//! messages at each barrier. The minimum propagation delay over the cut
+//! links bounds how far ahead of the global minimum any LP may safely
+//! simulate, and the deterministic `(time, src_lp, emission order)`
+//! message merge makes the event schedule — and therefore every record —
+//! byte-identical to the sequential run for any thread count.
+
+use pmsb_metrics::fct::{FctRecorder, FlowRecord};
+use pmsb_simcore::{
+    run_conservative, EventHandler, LogicalProcess, LpMessage, SimDuration, SimTime, Simulation,
+    TieKey,
+};
+
+use crate::experiment::Experiment;
+use crate::world::{Event, RunResults, World};
+
+/// One logical process: a full [`World`] copy that simulates only its
+/// own partition, with its private FEL.
+struct ShardLp {
+    sim: Simulation<World>,
+}
+
+impl LogicalProcess for ShardLp {
+    /// A packet delivery tagged with the sender-side tie key; replaying
+    /// the key on insertion sorts the message among same-time local
+    /// events exactly where the sequential run's push (made mid-handling
+    /// at the send instant) would have placed it.
+    type Message = (TieKey, Event);
+
+    fn next_time(&self) -> Option<SimTime> {
+        self.sim.queue.peek_time()
+    }
+
+    fn run_window(&mut self, horizon: SimTime, outbox: &mut Vec<LpMessage<(TieKey, Event)>>) {
+        // Peek-then-pop (not `pop_at_or_before`): a declined pop must not
+        // advance the FEL clock past the horizon, or the messages pushed
+        // at the next barrier would land in this LP's past.
+        while self.sim.queue.peek_time().is_some_and(|t| t < horizon) {
+            let (now, event) = self.sim.queue.pop().expect("peeked a pending event");
+            self.sim.handler.handle(now, event, &mut self.sim.queue);
+        }
+        self.sim.handler.drain_outbox(outbox);
+    }
+
+    fn receive(&mut self, at: SimTime, src: u32, (key, event): (TieKey, Event)) {
+        self.sim.queue.push_ordered(at, key, src, event);
+    }
+}
+
+/// Owning LP per switch: `k` contiguous ranges, remainder spread over
+/// the first ranges (sizes differ by at most one).
+fn contiguous_partition(num_switches: usize, k: usize) -> Vec<u32> {
+    let base = num_switches / k;
+    let extra = num_switches % k;
+    let mut owner = Vec::with_capacity(num_switches);
+    for lp in 0..k {
+        let size = base + usize::from(lp < extra);
+        owner.extend(std::iter::repeat_n(lp as u32, size));
+    }
+    owner
+}
+
+/// Runs `exp` to `end_nanos` on `k` logical processes. Falls back to the
+/// sequential path when the partition cuts no positive-delay link (no
+/// safe lookahead window exists).
+pub(crate) fn run_sharded(exp: &Experiment, k: usize, end_nanos: u64) -> RunResults {
+    let mut worlds: Vec<World> = (0..k).map(|_| exp.build_world()).collect();
+    let owner = contiguous_partition(worlds[0].num_switches(), k);
+    let lookahead = worlds[0].min_cross_shard_delay(&owner).unwrap_or(0);
+    if lookahead == 0 {
+        return worlds.swap_remove(0).run_until_nanos(end_nanos);
+    }
+    let mut lps: Vec<ShardLp> = worlds
+        .into_iter()
+        .enumerate()
+        .map(|(lp, mut w)| {
+            w.set_shard(lp, owner.clone());
+            ShardLp {
+                sim: w.prepare(end_nanos),
+            }
+        })
+        .collect();
+    run_conservative(
+        &mut lps,
+        SimDuration::from_nanos(lookahead),
+        SimTime::from_nanos(end_nanos),
+    );
+    // The tie-key window resolves cross-LP message order wherever the
+    // causal chains differ within it, but two chains in lockstep (e.g.
+    // ports serializing identical packets at the same instants) can
+    // collide through any bounded window. Every such collision is
+    // counted at pop time; zero collisions proves the schedule matched
+    // the sequential run, so a non-zero count discards the sharded
+    // results and reruns sequentially — correctness over speed.
+    let ambiguous: u64 = lps.iter().map(|lp| lp.sim.queue.ambiguous_ties()).sum();
+    if ambiguous > 0 {
+        return exp.build_world().run_until_nanos(end_nanos);
+    }
+    let parts = lps
+        .into_iter()
+        .map(|lp| {
+            // Subtract the pushes a sequential run would not have made
+            // (replicated fault events, duplicate trace chains) so the
+            // merged total matches the sequential `events` exactly.
+            let events = lp.sim.queue.scheduled_count() - lp.sim.handler.shard_extra_pushes();
+            lp.sim.handler.harvest(end_nanos, events)
+        })
+        .collect();
+    merge(parts)
+}
+
+/// Folds per-LP results into the sequential run's shape. Ownership is
+/// disjoint — each flow, sender, and watched port is harvested by
+/// exactly one LP — so maps union, counters sum, and the completion
+/// records re-sort into the sequential `(end, flow)` order. Fault
+/// schedule bookkeeping (timeline log, link up/down counts) is identical
+/// on every LP; per-packet fault drops happen on one LP each and sum.
+fn merge(parts: Vec<RunResults>) -> RunResults {
+    let mut it = parts.into_iter();
+    let mut acc = it.next().expect("at least one LP");
+    let mut records: Vec<FlowRecord> = acc.fct.records().to_vec();
+    for p in it {
+        records.extend_from_slice(p.fct.records());
+        acc.rtt_nanos_by_flow.extend(p.rtt_nanos_by_flow);
+        acc.port_traces.extend(p.port_traces);
+        acc.sender_stats.extend(p.sender_stats);
+        acc.drops += p.drops;
+        acc.marks += p.marks;
+        acc.events += p.events;
+        acc.deliveries += p.deliveries;
+        if let (Some(a), Some(b)) = (acc.faults.as_mut(), p.faults.as_ref()) {
+            a.injected_drops += b.injected_drops;
+            a.corrupt_drops += b.corrupt_drops;
+            a.unroutable_drops += b.unroutable_drops;
+        }
+    }
+    records.sort_unstable_by_key(|r| (r.end_nanos, r.flow_id));
+    let mut fct = FctRecorder::new();
+    for r in records {
+        fct.record(r);
+    }
+    acc.fct = fct;
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn partition_is_contiguous_and_balanced() {
+        assert_eq!(contiguous_partition(8, 4), vec![0, 0, 1, 1, 2, 2, 3, 3]);
+        assert_eq!(contiguous_partition(5, 2), vec![0, 0, 0, 1, 1]);
+        assert_eq!(contiguous_partition(3, 3), vec![0, 1, 2]);
+        assert_eq!(contiguous_partition(7, 3), vec![0, 0, 0, 1, 1, 2, 2]);
+    }
+}

@@ -18,7 +18,7 @@ use pmsb_faults::{FaultEvent, FaultKind, FaultSchedule, FaultTarget};
 use pmsb_metrics::fct::{FctRecorder, FlowRecord};
 use pmsb_sched::{Fifo, MultiQueue};
 use pmsb_simcore::rng::SimRng;
-use pmsb_simcore::{EventHandler, EventQueue, SimDuration, SimTime, Simulation};
+use pmsb_simcore::{EventHandler, EventQueue, LpMessage, SimDuration, SimTime, Simulation, TieKey};
 
 use crate::config::{HostConfig, SwitchConfig, TransportConfig};
 use crate::packet::{Packet, PacketKind, MTU_WIRE_BYTES};
@@ -115,6 +115,35 @@ struct FaultRuntime {
 /// Salt namespace separating switch-port fault streams from host
 /// streams (hosts use their index directly).
 const SWITCH_FAULT_SALT: u64 = 1 << 40;
+
+/// Sharding state carried only by a world participating in a parallel
+/// run (DESIGN.md §8): which logical process this instance is, which LP
+/// owns each node, and the outbox of cross-LP packets produced during
+/// the current window. Sequential worlds hold `None` and pay one branch
+/// per scheduled delivery.
+pub(crate) struct Shard {
+    my_lp: usize,
+    /// Owning LP of each switch (contiguous ranges by construction).
+    switch_owner: Vec<u32>,
+    /// Owning LP of each host (= the owner of its attached switch).
+    host_owner: Vec<u32>,
+    /// Whether this LP runs the periodic [`Event::TraceSample`] chain
+    /// (it owns a watched port, or is LP 0 when nothing is watched).
+    runs_trace_chain: bool,
+    /// Whether this LP is the designated counter of the trace chain.
+    /// Several LPs may each run a chain (one per owned watched port
+    /// group); only the lowest-numbered one lets its pushes count, so
+    /// the merged event total matches the sequential run's single chain.
+    canonical_trace_chain: bool,
+    /// FEL pushes a sequential run would not have made on this LP
+    /// (replicated fault events, duplicate trace chains); subtracted
+    /// from `scheduled_count` before results merge.
+    extra_pushes: u64,
+    /// Cross-LP deliveries produced since the last drain, each tagged
+    /// with the sender-side tie key (its position in the sequential
+    /// push order, replayed on insertion at the destination LP).
+    outbox: Vec<LpMessage<(TieKey, Event)>>,
+}
 
 /// One line of the fault timeline log.
 fn fault_desc(ev: &FaultEvent) -> String {
@@ -348,6 +377,8 @@ pub struct World {
     /// Present only when a fault schedule is attached; boxed so the
     /// common fault-free world stays small.
     faults: Option<Box<FaultRuntime>>,
+    /// Present only on worlds driven as one LP of a parallel run.
+    shard: Option<Box<Shard>>,
 }
 
 impl World {
@@ -367,7 +398,13 @@ impl World {
             end_nanos: 0,
             deliveries: 0,
             faults: None,
+            shard: None,
         }
+    }
+
+    /// Number of switches in the network.
+    pub fn num_switches(&self) -> usize {
+        self.switches.len()
     }
 
     /// Adds a host; returns its index.
@@ -577,6 +614,141 @@ impl World {
         }
     }
 
+    // ------------------------------------------------------------------
+    // Sharding (conservative parallel runs, DESIGN.md §8).
+    // ------------------------------------------------------------------
+
+    /// Marks this world as LP `my_lp` of a parallel run partitioned by
+    /// `switch_owner` (owning LP per switch). Call after wiring and
+    /// trace/fault installation, before [`World::prepare`].
+    ///
+    /// Every LP holds a full copy of the network, but only simulates its
+    /// own nodes; traces of non-owned ports are stripped here so the
+    /// merged results carry exactly the owner's copy of each.
+    pub(crate) fn set_shard(&mut self, my_lp: usize, switch_owner: Vec<u32>) {
+        let host_owner = self
+            .hosts
+            .iter()
+            .map(|h| {
+                let link = h.link.expect("set_shard before wiring");
+                let NodeRef::Switch(s) = link.peer else {
+                    unreachable!("hosts attach to switches");
+                };
+                switch_owner[s]
+            })
+            .collect();
+        for (s, sw) in self.switches.iter_mut().enumerate() {
+            if switch_owner[s] as usize != my_lp {
+                for p in &mut sw.ports {
+                    p.trace = None;
+                }
+            }
+        }
+        let watched_owners: Vec<u32> = self
+            .trace
+            .watch_ports
+            .iter()
+            .map(|(s, _)| switch_owner[*s])
+            .collect();
+        let (runs_trace_chain, canonical_trace_chain) = if watched_owners.is_empty() {
+            // Nothing watched: sampling is a no-op, but the sequential
+            // run still schedules the chain — mirror it on LP 0 alone.
+            (my_lp == 0, true)
+        } else {
+            let mine = watched_owners.contains(&(my_lp as u32));
+            let lowest = *watched_owners.iter().min().expect("nonempty") as usize;
+            (mine, my_lp == lowest)
+        };
+        self.shard = Some(Box::new(Shard {
+            my_lp,
+            switch_owner,
+            host_owner,
+            runs_trace_chain,
+            canonical_trace_chain,
+            extra_pushes: 0,
+            outbox: Vec::new(),
+        }));
+    }
+
+    fn owns_host(&self, host: usize) -> bool {
+        self.shard
+            .as_deref()
+            .is_none_or(|sh| sh.host_owner[host] as usize == sh.my_lp)
+    }
+
+    fn owns_switch(&self, switch: usize) -> bool {
+        self.shard
+            .as_deref()
+            .is_none_or(|sh| sh.switch_owner[switch] as usize == sh.my_lp)
+    }
+
+    /// The minimum propagation delay over links whose two switch ends
+    /// land in different partitions — the conservative lookahead bound.
+    /// `None` when the partition cuts no switch-to-switch link.
+    pub(crate) fn min_cross_shard_delay(&self, switch_owner: &[u32]) -> Option<u64> {
+        let mut min = None;
+        for (s, sw) in self.switches.iter().enumerate() {
+            for p in &sw.ports {
+                if let NodeRef::Switch(t) = p.link.peer {
+                    if switch_owner[t] != switch_owner[s] {
+                        let d = p.link.delay_nanos;
+                        min = Some(min.map_or(d, |m: u64| m.min(d)));
+                    }
+                }
+            }
+        }
+        min
+    }
+
+    /// Moves the cross-LP deliveries produced this window into `out`.
+    pub(crate) fn drain_outbox(&mut self, out: &mut Vec<LpMessage<(TieKey, Event)>>) {
+        if let Some(sh) = self.shard.as_deref_mut() {
+            out.append(&mut sh.outbox);
+        }
+    }
+
+    /// FEL pushes the sequential run would not have made on this LP.
+    pub(crate) fn shard_extra_pushes(&self) -> u64 {
+        self.shard.as_deref().map_or(0, |sh| sh.extra_pushes)
+    }
+
+    /// Counts a trace-chain push as replicated unless this LP's chain is
+    /// the canonical one.
+    fn note_trace_push(&mut self) {
+        if let Some(sh) = self.shard.as_deref_mut() {
+            if !sh.canonical_trace_chain {
+                sh.extra_pushes += 1;
+            }
+        }
+    }
+
+    /// Schedules a packet arrival, diverting it to the shard outbox when
+    /// the destination node lives on another LP. An associated function
+    /// (not a method) so call sites keep their disjoint field borrows.
+    fn push_deliver(
+        shard: &mut Option<Box<Shard>>,
+        queue: &mut EventQueue<Event>,
+        at_nanos: u64,
+        node: NodeRef,
+        packet: Packet,
+    ) {
+        if let Some(sh) = shard.as_deref_mut() {
+            let owner = match node {
+                NodeRef::Host(h) => sh.host_owner[h],
+                NodeRef::Switch(s) => sh.switch_owner[s],
+            } as usize;
+            if owner != sh.my_lp {
+                sh.outbox.push(LpMessage {
+                    at: SimTime::from_nanos(at_nanos),
+                    dst: owner,
+                    payload: (queue.current_tie_key(), Event::Deliver { node, packet }),
+                });
+                return;
+            }
+        }
+        queue.push(SimTime::from_nanos(at_nanos), Event::Deliver { node, packet });
+    }
+
     /// Applies the next scheduled fault event.
     fn apply_next_fault(&mut self, now: u64, queue: &mut EventQueue<Event>) {
         let rt = self
@@ -618,11 +790,18 @@ impl World {
             FaultKind::LinkUp => {
                 rt.report.link_up_events += 1;
                 // Restart both ends: packets queued while the link was
-                // down are waiting for a transmit kick.
+                // down are waiting for a transmit kick. In a sharded run
+                // every LP applies the state flip but only the owner of
+                // an end holds its queued packets — kick owned ends only.
                 for end in ends {
                     match end {
-                        LinkEnd::Host(h) => self.try_transmit_host(h, now, queue),
-                        LinkEnd::SwitchPort(s, p) => self.try_transmit_switch(s, p, now, queue),
+                        LinkEnd::Host(h) if self.owns_host(h) => {
+                            self.try_transmit_host(h, now, queue);
+                        }
+                        LinkEnd::SwitchPort(s, p) if self.owns_switch(s) => {
+                            self.try_transmit_switch(s, p, now, queue);
+                        }
+                        _ => {}
                     }
                 }
             }
@@ -644,7 +823,20 @@ impl World {
 
     /// Runs the simulation until `end_nanos`, returning the harvested
     /// results. Consumes the world.
-    pub fn run_until_nanos(mut self, end_nanos: u64) -> RunResults {
+    pub fn run_until_nanos(self, end_nanos: u64) -> RunResults {
+        let mut sim = self.prepare(end_nanos);
+        sim.run_until(SimTime::from_nanos(end_nanos));
+        let events = sim.queue.scheduled_count();
+        sim.handler.harvest(end_nanos, events)
+    }
+
+    /// Sizes the hot-path storage and seeds the FEL with the initial
+    /// events, returning the simulation ready to drive. On a sharded
+    /// world only owned flows start here and only the designated LPs run
+    /// the trace chain; fault events are seeded everywhere (each LP
+    /// applies the full schedule to keep link state coherent) with the
+    /// replication accounted in [`World::shard_extra_pushes`].
+    pub(crate) fn prepare(mut self, end_nanos: u64) -> Simulation<World> {
         self.end_nanos = end_nanos;
         self.senders.resize_with(self.flows.len(), || None);
         self.receivers.resize_with(self.flows.len(), || None);
@@ -664,17 +856,29 @@ impl World {
         }
         let mut sim = Simulation::new(self);
         sim.queue.reserve(queue_capacity);
-        for (id, f) in sim.handler.flows.iter().enumerate() {
+        for id in 0..sim.handler.flows.len() {
+            let f = sim.handler.flows[id];
+            if !sim.handler.owns_host(f.src_host) {
+                continue;
+            }
             sim.queue.push(
                 SimTime::from_nanos(f.start_nanos),
                 Event::FlowStart { flow_id: id as u64 },
             );
         }
         if let Some(interval) = sim.handler.trace.sample_interval_nanos {
-            sim.queue
-                .push(SimTime::from_nanos(interval), Event::TraceSample);
+            let runs_chain = sim
+                .handler
+                .shard
+                .as_deref()
+                .is_none_or(|sh| sh.runs_trace_chain);
+            if runs_chain {
+                sim.queue
+                    .push(SimTime::from_nanos(interval), Event::TraceSample);
+                sim.handler.note_trace_push();
+            }
         }
-        if let Some(rt) = sim.handler.faults.as_deref() {
+        let fault_events = sim.handler.faults.as_deref().map_or(0, |rt| {
             // Pre-sorted and pushed in order: the FEL's (time, seq) FIFO
             // keeps same-time events aligned with the sequential `next`
             // cursor in [`World::apply_next_fault`].
@@ -682,13 +886,18 @@ impl World {
                 sim.queue
                     .push(SimTime::from_nanos(ev.at_nanos), Event::Fault);
             }
+            rt.events.len() as u64
+        });
+        if let Some(sh) = sim.handler.shard.as_deref_mut() {
+            if sh.my_lp != 0 {
+                // LP 0 is the canonical holder of the replicated faults.
+                sh.extra_pushes += fault_events;
+            }
         }
-        sim.run_until(SimTime::from_nanos(end_nanos));
-        let events = sim.queue.scheduled_count();
-        sim.handler.harvest(end_nanos, events)
+        sim
     }
 
-    fn harvest(mut self, end_nanos: u64, events: u64) -> RunResults {
+    pub(crate) fn harvest(mut self, end_nanos: u64, events: u64) -> RunResults {
         let mut rtt = HashMap::new();
         let mut stats = HashMap::new();
         let mut drops = 0u64;
@@ -872,12 +1081,12 @@ impl World {
                 if matches!(fate, Fate::Corrupted) {
                     pkt.corrupted = true;
                 }
-                queue.push(
-                    SimTime::from_nanos(now + ser + link.delay_nanos),
-                    Event::Deliver {
-                        node: link.peer,
-                        packet: pkt,
-                    },
+                Self::push_deliver(
+                    &mut self.shard,
+                    queue,
+                    now + ser + link.delay_nanos,
+                    link.peer,
+                    pkt,
                 );
             }
         }
@@ -950,12 +1159,12 @@ impl World {
                 if matches!(fate, Fate::Corrupted) {
                     pkt.corrupted = true;
                 }
-                queue.push(
-                    SimTime::from_nanos(now + ser + link.delay_nanos),
-                    Event::Deliver {
-                        node: link.peer,
-                        packet: pkt,
-                    },
+                Self::push_deliver(
+                    &mut self.shard,
+                    queue,
+                    now + ser + link.delay_nanos,
+                    link.peer,
+                    pkt,
                 );
             }
         }
@@ -1184,6 +1393,7 @@ impl EventHandler for World {
                 if let Some(interval) = self.trace.sample_interval_nanos {
                     if now + interval <= self.end_nanos {
                         queue.push(SimTime::from_nanos(now + interval), Event::TraceSample);
+                        self.note_trace_push();
                     }
                 }
             }

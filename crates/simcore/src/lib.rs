@@ -10,6 +10,8 @@
 //!   insertion order, so identical seeds give identical runs),
 //! * [`Simulation`] — a minimal driver that pops events and hands them to an
 //!   [`EventHandler`],
+//! * [`lp`] — conservative parallel execution: [`LogicalProcess`] shards
+//!   driven in deterministic lookahead windows by [`run_conservative`],
 //! * [`rng`] — seeded random-number helpers (exponential, empirical CDFs).
 //!
 //! # Example
@@ -29,11 +31,13 @@
 
 pub mod event;
 pub mod heap_fel;
+pub mod lp;
 pub mod rng;
 pub mod time;
 
-pub use event::{EventQueue, Simulation};
+pub use event::{EventQueue, Simulation, TieKey};
 pub use heap_fel::HeapQueue;
+pub use lp::{run_conservative, LogicalProcess, LpMessage};
 pub use time::{SimDuration, SimTime};
 
 /// Types implementing this trait drive a [`Simulation`]: every popped event

@@ -38,17 +38,22 @@ USAGE:
                      [--scheduler SPEC] [--mark-point enq|deq]
                      [--pmsbe-us X] [--rate-gbps N] [--delay-ns N]
                      [--millis N] [--watch true] [--fault-schedule FILE]
-                     --flow SPEC [--flow SPEC ...]
+                     [--sim-threads N] --flow SPEC [--flow SPEC ...]
   pmsb-sim leaf-spine [--load X] [--flows N] [--seed N] [--marking SPEC]
                      [--scheduler SPEC] [--mark-point enq|deq] [--pmsbe-us X]
-                     [--fault-schedule FILE]
+                     [--fault-schedule FILE] [--sim-threads N]
   pmsb-sim profile   --rtt-us X --weights W1,W2,... [--rate-gbps N]
                      [--lambda X] [--margin X]
   pmsb-sim campaign  NAME [--quick] [--jobs N] [--results DIR] [--quiet]
+                     [--sim-threads N]
                      NAME: all | figures | extensions | large-scale-dwrr
                      | large-scale-wfq | seed-sensitivity | any scenario
                      (e.g. fig08, ablation_port_threshold)
   pmsb-sim help
+
+  --sim-threads N shards one simulation across N worker threads
+  (conservative lookahead windows; results are byte-identical to
+  --sim-threads 1, see DESIGN.md section 8).
 
 SPECS:
   marking    none | pmsb:K | per-port:K | per-queue:K | per-queue-frac:K
@@ -117,9 +122,18 @@ fn campaign(args: &[String]) -> Result<(), ParseError> {
     let (opts, rest) = pmsb_harness::RunOptions::take_flags(args.to_vec()).map_err(ParseError)?;
     let mut quick = false;
     let mut name: Option<String> = None;
-    for arg in rest {
+    let mut rest = rest.into_iter();
+    while let Some(arg) = rest.next() {
         match arg.as_str() {
             "--quick" => quick = true,
+            "--sim-threads" => match rest.next().map(|v| v.parse::<usize>()) {
+                Some(Ok(n)) if n >= 1 => pmsb_bench::util::set_sim_threads(n),
+                _ => {
+                    return Err(ParseError(
+                        "campaign: --sim-threads needs an integer >= 1".into(),
+                    ))
+                }
+            },
             other if !other.starts_with("--") && name.is_none() => name = Some(other.to_string()),
             other => {
                 return Err(ParseError(format!(
@@ -180,6 +194,11 @@ fn apply_common(mut e: Experiment, options: &[(String, String)]) -> Result<Exper
             .map_err(|e| ParseError(format!("fault schedule '{path}': {e}")))?;
         e = e.faults(schedule);
     }
+    let threads: usize = opt_parse(options, "sim-threads", 1)?;
+    if threads == 0 {
+        return Err(ParseError("--sim-threads must be >= 1".into()));
+    }
+    e = e.sim_threads(threads);
     Ok(e)
 }
 
