@@ -28,8 +28,7 @@ fn main() {
 
     if let Some(path) = json_path {
         let baseline = baseline_path.map(|p| {
-            std::fs::read_to_string(&p)
-                .unwrap_or_else(|e| panic!("cannot read baseline {p}: {e}"))
+            std::fs::read_to_string(&p).unwrap_or_else(|e| panic!("cannot read baseline {p}: {e}"))
         });
         let report = match pmsb_bench::report::build(&results, baseline.as_deref(), quick) {
             Ok(r) => r,

@@ -1,0 +1,6 @@
+//! Runs the transport campaign: DCTCP vs classic-ECN NewReno across the
+//! marking lineup on the small leaf–spine. See `crate::transport`.
+
+fn main() {
+    pmsb_bench::campaigns::run_campaign_main("transport");
+}

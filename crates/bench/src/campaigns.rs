@@ -13,7 +13,7 @@ use pmsb_netsim::experiment::SchedulerConfig;
 
 use crate::large_scale::{self, LsRow};
 use crate::util::banner;
-use crate::{extensions, faults, figures, outln};
+use crate::{extensions, faults, figures, outln, transport};
 
 /// The seed used by single-seed sweeps, matching the paper runs.
 pub const DEFAULT_SEED: u64 = 42;
@@ -306,6 +306,40 @@ pub fn write_faults_report(out: &mut String, records: &[Record]) {
     }
 }
 
+/// One job per `(transport, scheme)` cell of the transport sweep (see
+/// [`crate::transport`]).
+pub fn transport_jobs(quick: bool, seed: u64) -> Vec<Job> {
+    let num_flows = transport::num_flows(quick);
+    let mut jobs = Vec::new();
+    for &kind in transport::TRANSPORTS {
+        for (name, marking, pmsbe) in transport::schemes() {
+            jobs.push(
+                Job::new("transport", seed, move || {
+                    transport::row_record(&transport::run_cell(
+                        kind, name, marking, pmsbe, num_flows, seed,
+                    ))
+                })
+                .param("transport", kind.name())
+                .param("scheme", name)
+                .param("quick", quick),
+            );
+        }
+    }
+    jobs
+}
+
+/// Writes the transport-sweep table from completed records.
+pub fn write_transport_report(out: &mut String, records: &[Record]) {
+    let rows: Vec<transport::TransportRow> = records
+        .iter()
+        .filter(|r| r.get_str("scenario") == Some("transport"))
+        .filter_map(transport::row_from_record)
+        .collect();
+    if !rows.is_empty() {
+        transport::write_report(out, &rows);
+    }
+}
+
 /// One job per `(scheme, seed)` of the seed-sensitivity study: the
 /// headline PMSB-vs-TCN comparison (DWRR, load 0.5) across seeds.
 pub fn seed_sensitivity_jobs(quick: bool) -> Vec<Job> {
@@ -371,6 +405,7 @@ pub const CAMPAIGN_NAMES: &[&str] = &[
     "large-scale-wfq",
     "seed-sensitivity",
     "faults",
+    "transport",
 ];
 
 /// Resolves a campaign by name: one of [`CAMPAIGN_NAMES`] or any
@@ -395,6 +430,10 @@ pub fn campaign_by_name(name: &str, quick: bool) -> Option<Campaign> {
             seed_sensitivity_jobs(quick),
         )),
         "faults" => Some(campaign_from("faults", fault_jobs(quick, DEFAULT_SEED))),
+        "transport" => Some(campaign_from(
+            "transport",
+            transport_jobs(quick, DEFAULT_SEED),
+        )),
         _ => {
             let jobs: Vec<Job> = figure_jobs(quick)
                 .into_iter()
@@ -465,6 +504,7 @@ pub fn print_campaign_output(result: &CampaignResult) {
         write_seed_sensitivity_report(&mut out, &result.records);
     }
     write_faults_report(&mut out, &result.records);
+    write_transport_report(&mut out, &result.records);
     print!("{out}");
 }
 
@@ -544,6 +584,18 @@ mod tests {
         assert!(campaign_by_name("fig08", true).is_some());
         assert!(campaign_by_name("ablation_port_threshold", true).is_some());
         assert!(campaign_by_name("no_such_campaign", true).is_none());
+    }
+
+    #[test]
+    fn transport_jobs_cover_the_grid() {
+        let jobs = transport_jobs(true, DEFAULT_SEED);
+        // 2 transports x 4 schemes.
+        assert_eq!(jobs.len(), 8);
+        let keys: std::collections::HashSet<String> = jobs.iter().map(|j| j.key()).collect();
+        assert_eq!(keys.len(), 8, "keys must be unique");
+        assert!(keys
+            .iter()
+            .any(|k| k.contains("transport=newreno") && k.contains("scheme=pmsb(e)")));
     }
 
     #[test]

@@ -45,6 +45,11 @@ pub struct LsRow {
     pub drops: u64,
     /// CE marks applied.
     pub marks: u64,
+    /// ECE marks senders saw across all flows.
+    pub marks_seen: u64,
+    /// ECE marks PMSB(e) suppressed (0 for schemes without a threshold) —
+    /// the blindness rate is `marks_ignored / marks_seen`.
+    pub marks_ignored: u64,
     /// Segments retransmitted across all senders.
     pub retransmissions: u64,
     /// Retransmission timeouts across all senders.
@@ -159,6 +164,8 @@ pub fn run_cell(
         small_p99_us: stat(SizeClass::Small, |s| s.p99),
         drops: res.drops,
         marks: res.marks,
+        marks_seen: res.sender_stats.values().map(|s| s.marks_seen).sum(),
+        marks_ignored: res.sender_stats.values().map(|s| s.marks_ignored).sum(),
         retransmissions: rob.retransmissions,
         timeouts: rob.timeouts,
         loss_episodes: rob.loss_episodes,
@@ -179,12 +186,13 @@ pub fn loads_and_flows(quick: bool) -> (&'static [f64], usize) {
 /// The CSV header matching [`csv_line`].
 pub const CSV_HEADER: &str = "scheme,load,completed,injected,overall_avg_us,large_avg_us,\
                               large_p99_us,small_avg_us,small_p95_us,small_p99_us,drops,marks,\
-                              retransmissions,timeouts,loss_episodes,mean_recovery_us";
+                              marks_seen,marks_ignored,retransmissions,timeouts,loss_episodes,\
+                              mean_recovery_us";
 
 /// One [`LsRow`] as a CSV line (no newline).
 pub fn csv_line(row: &LsRow) -> String {
     format!(
-        "{},{:.1},{},{},{:.1},{:.1},{:.1},{:.1},{:.1},{:.1},{},{},{},{},{},{:.1}",
+        "{},{:.1},{},{},{:.1},{:.1},{:.1},{:.1},{:.1},{:.1},{},{},{},{},{},{},{},{:.1}",
         row.scheme,
         row.load,
         row.completed,
@@ -197,6 +205,8 @@ pub fn csv_line(row: &LsRow) -> String {
         row.small_p99_us,
         row.drops,
         row.marks,
+        row.marks_seen,
+        row.marks_ignored,
         row.retransmissions,
         row.timeouts,
         row.loss_episodes,
@@ -217,6 +227,8 @@ pub fn row_record(row: &LsRow) -> Record {
         .field("small_p99_us", row.small_p99_us)
         .field("drops", row.drops)
         .field("marks", row.marks)
+        .field("marks_seen", row.marks_seen)
+        .field("marks_ignored", row.marks_ignored)
         .field("retransmissions", row.retransmissions)
         .field("timeouts", row.timeouts)
         .field("loss_episodes", row.loss_episodes)
@@ -244,8 +256,10 @@ pub fn row_from_record(rec: &Record) -> Option<LsRow> {
         small_p99_us: f("small_p99_us")?,
         drops: f("drops")? as u64,
         marks: f("marks")? as u64,
-        // Absent in records written before the robustness columns
-        // existed: surface as zero rather than dropping the row.
+        // Absent in records written before these columns existed:
+        // surface as zero rather than dropping the row.
+        marks_seen: f("marks_seen").unwrap_or(0.0) as u64,
+        marks_ignored: f("marks_ignored").unwrap_or(0.0) as u64,
         retransmissions: f("retransmissions").unwrap_or(0.0) as u64,
         timeouts: f("timeouts").unwrap_or(0.0) as u64,
         loss_episodes: f("loss_episodes").unwrap_or(0.0) as u64,

@@ -47,4 +47,5 @@ pub mod figures;
 pub mod large_scale;
 pub mod micro;
 pub mod report;
+pub mod transport;
 pub mod util;

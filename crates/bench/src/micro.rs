@@ -9,6 +9,7 @@
 //! * `scheduler_ops/*` — enqueue+dequeue cost per scheduler;
 //! * `event_queue/*` — future-event-list throughput;
 //! * `dctcp_transfer/*` — sender/receiver state-machine cost;
+//! * `transport_newreno/*` — the same loopback on the NewReno transport;
 //! * `dumbbell_4x500KB/*` — end-to-end simulator throughput;
 //! * `large_scale_parallel/threads_*` — one leaf–spine cell sharded
 //!   across 1/2/4 worker threads (wall-clock scaling of `--sim-threads`).
@@ -18,10 +19,10 @@ use std::time::Instant;
 
 use pmsb::marking::{MarkingScheme, MqEcn, PerPort, PerQueue, Pmsb, Tcn};
 use pmsb::PortSnapshot;
-use pmsb_netsim::config::TransportConfig;
+use pmsb_netsim::config::{TransportConfig, TransportKind};
 use pmsb_netsim::experiment::{Experiment, FlowDesc, MarkingConfig};
 use pmsb_netsim::packet::PacketKind;
-use pmsb_netsim::transport::{DctcpReceiver, DctcpSender};
+use pmsb_netsim::transport::{Receiver as _, Sender as _, TransportReceiver, TransportSender};
 use pmsb_sched::{Dwrr, HierSpWfq, MultiQueue, SchedItem, Scheduler, StrictPriority, Wfq, Wrr};
 use pmsb_simcore::{EventQueue, HeapQueue, SimTime};
 
@@ -233,9 +234,15 @@ fn event_queue_cases(out: &mut String, iters: u32, samples: u32) -> Vec<CaseResu
         run_case(out, "event_queue/push_pop_1k", iters, samples, || {
             push_pop_1k_workload(&mut EventQueue::new());
         }),
-        run_case(out, "event_queue/interleaved_hold_64", iters, samples, || {
-            interleaved_hold_64_workload(&mut EventQueue::new());
-        }),
+        run_case(
+            out,
+            "event_queue/interleaved_hold_64",
+            iters,
+            samples,
+            || {
+                interleaved_hold_64_workload(&mut EventQueue::new());
+            },
+        ),
         run_case(out, "event_queue/push_pop_1k_heap", iters, samples, || {
             push_pop_1k_workload(&mut HeapQueue::new());
         }),
@@ -252,10 +259,15 @@ fn event_queue_cases(out: &mut String, iters: u32, samples: u32) -> Vec<CaseResu
 }
 
 /// One complete in-memory transfer: sender and receiver joined directly.
-fn transfer(bytes: u64, mark_every: u64) -> u64 {
-    let cfg = TransportConfig::default();
-    let mut s = DctcpSender::new(1, 0, 1, 0, bytes, None, 0, &cfg);
-    let mut r = DctcpReceiver::new(1);
+/// `kind` picks the transport state machine (the `TransportConfig`
+/// defaults keep per-packet ACKs, so the loopback below holds for both).
+fn transfer_with(kind: TransportKind, bytes: u64, mark_every: u64) -> u64 {
+    let cfg = TransportConfig {
+        kind,
+        ..TransportConfig::default()
+    };
+    let mut s = TransportSender::new(1, 0, 1, 0, bytes, None, 0, &cfg);
+    let mut r = TransportReceiver::new(1, &cfg);
     let mut now = 0u64;
     let mut in_flight = s.start(now).packets;
     let mut count = 0u64;
@@ -285,6 +297,11 @@ fn transfer(bytes: u64, mark_every: u64) -> u64 {
     count
 }
 
+/// The DCTCP loopback transfer (the PR-2 baseline case).
+fn transfer(bytes: u64, mark_every: u64) -> u64 {
+    transfer_with(TransportKind::Dctcp, bytes, mark_every)
+}
+
 fn transport_cases(out: &mut String, iters: u32, samples: u32) -> Vec<CaseResult> {
     vec![
         run_case(out, "dctcp_transfer/1mb_unmarked", iters, samples, || {
@@ -297,6 +314,15 @@ fn transport_cases(out: &mut String, iters: u32, samples: u32) -> Vec<CaseResult
             samples,
             || {
                 black_box(transfer(1_000_000, 8));
+            },
+        ),
+        run_case(
+            out,
+            "transport_newreno/1mb_marked_every_8",
+            iters,
+            samples,
+            || {
+                black_box(transfer_with(TransportKind::NewReno, 1_000_000, 8));
             },
         ),
     ]
@@ -403,7 +429,7 @@ mod tests {
     fn quick_suite_times_every_case() {
         let mut out = String::new();
         let results = run_all(&mut out, true);
-        assert_eq!(results.len(), 5 + 5 + 4 + 2 + 4 + 3);
+        assert_eq!(results.len(), 5 + 5 + 4 + 3 + 4 + 3);
         for r in &results {
             assert!(
                 r.best_nanos > 0.0 && r.best_nanos.is_finite(),
@@ -419,5 +445,11 @@ mod tests {
     fn transfer_completes_marked_and_unmarked() {
         assert!(transfer(100_000, 0) > 0);
         assert!(transfer(100_000, 8) > transfer(100_000, 0) / 2);
+    }
+
+    #[test]
+    fn newreno_loopback_transfer_completes() {
+        assert!(transfer_with(TransportKind::NewReno, 100_000, 0) > 0);
+        assert!(transfer_with(TransportKind::NewReno, 100_000, 8) > 0);
     }
 }

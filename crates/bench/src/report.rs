@@ -440,7 +440,10 @@ pub fn build(
     baseline_text: Option<&str>,
     quick: bool,
 ) -> Result<String, String> {
-    let baseline = baseline_text.map(parse_baseline).transpose()?.unwrap_or_default();
+    let baseline = baseline_text
+        .map(parse_baseline)
+        .transpose()?
+        .unwrap_or_default();
     let derived = derive_metrics(results);
     let determinism = determinism_check();
     Ok(render_json(
@@ -514,12 +517,17 @@ mod tests {
         let err = parse_baseline_json("{\"schema\": \"pmsb-bench/v2\", \"cases\": []}")
             .expect_err("wrong schema must fail");
         assert!(err.contains("pmsb-bench/v1"), "unhelpful error: {err}");
-        assert!(err.contains("pmsb-bench/v2"), "should name the found schema: {err}");
+        assert!(
+            err.contains("pmsb-bench/v2"),
+            "should name the found schema: {err}"
+        );
         let err = parse_baseline_json("{\"cases\": []}").expect_err("missing schema must fail");
         assert!(err.contains("schema"), "unhelpful error: {err}");
         // CSV input never hits the JSON path.
         assert_eq!(
-            parse_baseline("case,mean_ns,best_ns\nx,2.0,1.0\n").unwrap().len(),
+            parse_baseline("case,mean_ns,best_ns\nx,2.0,1.0\n")
+                .unwrap()
+                .len(),
             1
         );
     }

@@ -291,9 +291,37 @@ pub enum EcnResponse {
     Classic,
 }
 
-/// DCTCP transport parameters.
+/// Which end-host transport the simulation runs.
+///
+/// Selects the concrete state machine behind
+/// [`TransportSender`](crate::transport::TransportSender) /
+/// [`TransportReceiver`](crate::transport::TransportReceiver); enum
+/// dispatch keeps the per-event hot path monomorphic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum TransportKind {
+    /// DCTCP: per-window `alpha` EWMA with gentle multiplicative decrease.
+    #[default]
+    Dctcp,
+    /// TCP NewReno with the classic RFC 3168 ECN response: halve at most
+    /// once per RTT on ECN-Echo, CWR signalling, no `alpha` estimator.
+    NewReno,
+}
+
+impl TransportKind {
+    /// Short name for reports and CLI values.
+    pub fn name(&self) -> &'static str {
+        match self {
+            TransportKind::Dctcp => "dctcp",
+            TransportKind::NewReno => "newreno",
+        }
+    }
+}
+
+/// Transport parameters (shared across transport kinds).
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct TransportConfig {
+    /// Which transport state machine endpoints run.
+    pub kind: TransportKind,
     /// Maximum segment size (payload bytes).
     pub mss: u64,
     /// Initial congestion window in segments (the paper uses 16).
@@ -324,6 +352,7 @@ pub struct TransportConfig {
 impl Default for TransportConfig {
     fn default() -> Self {
         TransportConfig {
+            kind: TransportKind::default(),
             mss: crate::packet::DEFAULT_MSS,
             init_cwnd_pkts: 16,
             g: 1.0 / 16.0,
@@ -449,6 +478,9 @@ mod tests {
     #[test]
     fn defaults_are_sane() {
         let t = TransportConfig::default();
+        assert_eq!(t.kind, TransportKind::Dctcp);
+        assert_eq!(t.kind.name(), "dctcp");
+        assert_eq!(TransportKind::NewReno.name(), "newreno");
         assert_eq!(t.mss, 1460);
         assert_eq!(t.init_cwnd_pkts, 16);
         assert!(t.pmsbe_rtt_threshold_nanos.is_none());

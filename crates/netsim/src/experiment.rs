@@ -4,7 +4,7 @@ use crate::topology;
 use pmsb::MarkPoint;
 
 pub use crate::config::{
-    HostConfig, MarkingConfig, SchedulerConfig, SwitchConfig, TransportConfig,
+    HostConfig, MarkingConfig, SchedulerConfig, SwitchConfig, TransportConfig, TransportKind,
 };
 pub use crate::trace::TraceConfig;
 pub use crate::world::{FlowDesc, RunResults};
@@ -163,6 +163,13 @@ impl Experiment {
     /// Enables PMSB(e) at every sender with the given RTT threshold.
     pub fn pmsbe_rtt_threshold_nanos(mut self, nanos: u64) -> Self {
         self.transport.pmsbe_rtt_threshold_nanos = Some(nanos);
+        self
+    }
+
+    /// Selects the transport state machine endpoints run (default DCTCP),
+    /// keeping the other transport parameters.
+    pub fn transport_kind(mut self, kind: TransportKind) -> Self {
+        self.transport.kind = kind;
         self
     }
 

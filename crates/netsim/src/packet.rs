@@ -53,6 +53,10 @@ pub struct Packet {
     pub ect: bool,
     /// Congestion Experienced: set by a switch's marking scheme.
     pub ce: bool,
+    /// Congestion Window Reduced (RFC 3168): set by a classic-ECN sender
+    /// on the first data segment after a reduction, telling the receiver
+    /// to stop echoing ECE. DCTCP does not use it.
+    pub cwr: bool,
     /// Payload damaged in flight (fault injection): the next hop's
     /// checksum fails and the packet is discarded on arrival.
     pub corrupted: bool,
@@ -84,6 +88,7 @@ impl Packet {
             wire_bytes: len + HEADER_BYTES,
             ect: true,
             ce: false,
+            cwr: false,
             corrupted: false,
             sent_at_nanos: now_nanos,
             enqueued_at_nanos: now_nanos,
@@ -110,6 +115,7 @@ impl Packet {
             wire_bytes: ACK_WIRE_BYTES,
             ect: false,
             ce: false,
+            cwr: false,
             corrupted: false,
             sent_at_nanos: echo_sent_at_nanos,
             enqueued_at_nanos: echo_sent_at_nanos,

@@ -8,64 +8,16 @@
 //! reassembles out-of-order arrivals, and echoes both the CE codepoint
 //! (ECN-Echo) and the sender's timestamp (exact per-ACK RTT).
 //!
-//! When [`TransportConfig::pmsbe_rtt_threshold_nanos`] is set the sender
-//! applies **PMSB(e)** (Algorithm 2 of the paper) before honouring an
-//! ECN-Echo: a mark whose measured RTT is below the threshold is ignored —
-//! the flow is a victim of per-port marking, not actually congested.
-//!
-//! The endpoints are pure state machines: methods consume events and
-//! return [`SenderOutput`] describing packets to emit and timers to arm,
-//! so the whole transport is unit-testable without the simulator.
+//! PMSB(e) filtering is *not* implemented here: the
+//! [`TransportSender`](super::TransportSender) wrapper applies selective
+//! blindness to the ECN-Echo flag before any transport sees the ACK.
 
 use std::collections::BTreeMap;
-
-use pmsb::endpoint::SelectiveBlindness;
 
 use crate::config::{EcnResponse, TransportConfig};
 use crate::packet::{Packet, PacketKind};
 
-/// A timer (re)arm request: fire `RtoTimer`/`AppResume` with this
-/// generation at the given absolute time. Stale generations are ignored.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub struct TimerArm {
-    /// Generation to match when the timer fires.
-    pub gen: u64,
-    /// Absolute deadline in nanoseconds.
-    pub at_nanos: u64,
-}
-
-/// What a sender wants done after processing an event.
-#[derive(Debug, Default)]
-pub struct SenderOutput {
-    /// Packets to hand to the host NIC.
-    pub packets: Vec<Packet>,
-    /// Rearm the retransmission timer (if `Some`).
-    pub rto: Option<TimerArm>,
-    /// Schedule an application-rate resume tick (if `Some`).
-    pub app_resume: Option<TimerArm>,
-    /// The flow just completed (all bytes acknowledged).
-    pub completed: bool,
-}
-
-/// Counters the experiments report per flow.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
-pub struct SenderStats {
-    /// ECN-Echo marks seen on ACKs.
-    pub marks_seen: u64,
-    /// Marks ignored by the PMSB(e) rule.
-    pub marks_ignored: u64,
-    /// Segments retransmitted (fast retransmit + partial ACKs).
-    pub retransmissions: u64,
-    /// Retransmission timeouts fired.
-    pub timeouts: u64,
-    /// Loss episodes: contiguous stretches from a first loss signal
-    /// (fast retransmit or RTO) until the window outstanding at that
-    /// moment was fully acknowledged.
-    pub loss_episodes: u64,
-    /// Total nanoseconds spent inside loss episodes — the flow's
-    /// recovery time under faults.
-    pub recovery_nanos: u64,
-}
+use super::{Receiver, ReceiverOutput, Sender, SenderOutput, SenderStats, TimerArm};
 
 /// The DCTCP sender state machine for one flow.
 #[derive(Debug)]
@@ -84,7 +36,6 @@ pub struct DctcpSender {
     rto_min_nanos: u64,
     max_cwnd: f64,
     ecn_response: EcnResponse,
-    pmsbe: Option<SelectiveBlindness>,
     // Congestion state (bytes).
     cwnd: f64,
     ssthresh: f64,
@@ -152,9 +103,6 @@ impl DctcpSender {
             rto_min_nanos: config.rto_min_nanos,
             max_cwnd: config.max_cwnd_bytes.max(config.mss) as f64,
             ecn_response: config.ecn_response,
-            pmsbe: config
-                .pmsbe_rtt_threshold_nanos
-                .map(SelectiveBlindness::new),
             cwnd: init_cwnd,
             ssthresh: f64::INFINITY,
             snd_nxt: 0,
@@ -277,17 +225,6 @@ impl DctcpSender {
         if let Some(samples) = self.rtt_samples.as_mut() {
             samples.push(rtt);
         }
-        // PMSB(e), Algorithm 2: ignore the mark if our RTT is low.
-        let mut mark = ece;
-        if ece {
-            self.stats.marks_seen += 1;
-            if let Some(rule) = self.pmsbe {
-                if rule.ignore_mark(true, rtt) {
-                    mark = false;
-                    self.stats.marks_ignored += 1;
-                }
-            }
-        }
 
         if cum_ack > self.snd_una {
             let newly = cum_ack - self.snd_una;
@@ -305,7 +242,7 @@ impl DctcpSender {
             }
             // DCTCP per-window mark fraction.
             self.acked_in_win += newly;
-            if mark {
+            if ece {
                 self.marked_in_win += newly;
                 self.cwr_this_win = true;
             }
@@ -540,13 +477,72 @@ impl DctcpSender {
     }
 }
 
-/// What a receiver wants done after an event.
-#[derive(Debug, Default)]
-pub struct ReceiverOutput {
-    /// ACK to send back, if any.
-    pub ack: Option<Packet>,
-    /// Arm the delayed-ACK flush timer (if `Some`).
-    pub delack: Option<TimerArm>,
+impl Sender for DctcpSender {
+    fn start(&mut self, now_nanos: u64) -> SenderOutput {
+        DctcpSender::start(self, now_nanos)
+    }
+
+    fn on_ack(
+        &mut self,
+        cum_ack: u64,
+        ece: bool,
+        echo_sent_at_nanos: u64,
+        now_nanos: u64,
+    ) -> SenderOutput {
+        DctcpSender::on_ack(self, cum_ack, ece, echo_sent_at_nanos, now_nanos)
+    }
+
+    fn on_rto(&mut self, gen: u64, now_nanos: u64) -> SenderOutput {
+        DctcpSender::on_rto(self, gen, now_nanos)
+    }
+
+    fn on_app_resume(&mut self, gen: u64, now_nanos: u64) -> SenderOutput {
+        DctcpSender::on_app_resume(self, gen, now_nanos)
+    }
+
+    fn rto_deadline(&self) -> Option<TimerArm> {
+        DctcpSender::rto_deadline(self)
+    }
+
+    fn recycle(&mut self, buf: Vec<Packet>) {
+        DctcpSender::recycle(self, buf)
+    }
+
+    fn enable_rtt_trace(&mut self) {
+        DctcpSender::enable_rtt_trace(self)
+    }
+
+    fn rtt_samples(&self) -> Option<&[u64]> {
+        DctcpSender::rtt_samples(self)
+    }
+
+    fn stats(&self) -> SenderStats {
+        DctcpSender::stats(self)
+    }
+
+    fn stats_mut(&mut self) -> &mut SenderStats {
+        &mut self.stats
+    }
+
+    fn flow_id(&self) -> u64 {
+        DctcpSender::flow_id(self)
+    }
+
+    fn size_bytes(&self) -> u64 {
+        DctcpSender::size_bytes(self)
+    }
+
+    fn start_nanos(&self) -> u64 {
+        DctcpSender::start_nanos(self)
+    }
+
+    fn is_completed(&self) -> bool {
+        DctcpSender::is_completed(self)
+    }
+
+    fn cwnd_bytes(&self) -> f64 {
+        DctcpSender::cwnd_bytes(self)
+    }
 }
 
 /// The DCTCP receiver for one flow: reassembles segments and generates
@@ -638,6 +634,7 @@ impl DctcpReceiver {
             self.ce_received += 1;
         }
         let in_order = seq == self.rcv_nxt;
+        let had_gap = !self.ooo.is_empty();
         let end = seq + len;
         if end > self.rcv_nxt {
             // Record the new interval (may overlap existing ones).
@@ -660,12 +657,15 @@ impl DctcpReceiver {
         self.pending += 1;
         // Immediate-ACK triggers: per-packet mode, coalescing quota
         // reached, CE state change (the DCTCP ECE machine), or anything
-        // that looks like loss/reordering (dup or gap-fill) — those ACKs
-        // drive fast retransmit and must not be delayed.
+        // that looks like loss/reordering (dup, gap, or gap-fill) —
+        // those ACKs drive fast retransmit and must not be delayed.
         let ce_changed = pkt.ce != self.ce_state;
         self.ce_state = pkt.ce;
-        let immediate =
-            self.pending >= self.ack_every || ce_changed || !in_order || !self.ooo.is_empty();
+        let immediate = self.pending >= self.ack_every
+            || ce_changed
+            || !in_order
+            || had_gap
+            || !self.ooo.is_empty();
         if immediate {
             ReceiverOutput {
                 ack: Some(self.make_ack(pkt.ce)),
@@ -702,6 +702,20 @@ impl DctcpReceiver {
             .expect("ACK generated before any data packet");
         // ACK travels dst -> src, echoing CE (ECN-Echo) and the timestamp.
         Packet::ack(self.flow_id, dst, src, service, self.rcv_nxt, ece, sent_at)
+    }
+}
+
+impl Receiver for DctcpReceiver {
+    fn on_data(&mut self, pkt: &Packet, now_nanos: u64) -> ReceiverOutput {
+        DctcpReceiver::on_data(self, pkt, now_nanos)
+    }
+
+    fn on_delack_timer(&mut self, gen: u64) -> Option<Packet> {
+        DctcpReceiver::on_delack_timer(self, gen)
+    }
+
+    fn rcv_nxt(&self) -> u64 {
+        DctcpReceiver::rcv_nxt(self)
     }
 }
 
@@ -982,54 +996,6 @@ mod tests {
         }
         assert!(s.stats().retransmissions > 0);
         assert_eq!(r.rcv_nxt(), 200 * 1460);
-    }
-
-    #[test]
-    fn pmsbe_ignores_low_rtt_marks() {
-        let cfg = TransportConfig {
-            init_cwnd_pkts: 4,
-            pmsbe_rtt_threshold_nanos: Some(50_000),
-            ..TransportConfig::default()
-        };
-        let mut s = DctcpSender::new(1, 0, 9, 0, u64::MAX / 2, None, 0, &cfg);
-        let out = s.start(0);
-        let before = s.cwnd_bytes();
-        let mut cum = 0;
-        // All ACKs marked but RTT is only 20 us (< 50 us threshold):
-        // PMSB(e) ignores every mark, so cwnd grows as if unmarked.
-        for p in &out.packets {
-            let PacketKind::Data { seq, len } = p.kind else {
-                unreachable!()
-            };
-            cum = cum.max(seq + len);
-            s.on_ack(cum, true, p.sent_at_nanos, p.sent_at_nanos + 20_000);
-        }
-        assert!(s.cwnd_bytes() > before, "marks must be ignored");
-        assert_eq!(s.stats().marks_seen, 4);
-        assert_eq!(s.stats().marks_ignored, 4);
-        assert_eq!(s.alpha(), 0.0);
-    }
-
-    #[test]
-    fn pmsbe_honours_high_rtt_marks() {
-        let cfg = TransportConfig {
-            init_cwnd_pkts: 4,
-            pmsbe_rtt_threshold_nanos: Some(50_000),
-            ..TransportConfig::default()
-        };
-        let mut s = DctcpSender::new(1, 0, 9, 0, u64::MAX / 2, None, 0, &cfg);
-        let out = s.start(0);
-        let mut cum = 0;
-        for p in &out.packets {
-            let PacketKind::Data { seq, len } = p.kind else {
-                unreachable!()
-            };
-            cum = cum.max(seq + len);
-            // RTT 200 us >= threshold: honour.
-            s.on_ack(cum, true, p.sent_at_nanos, p.sent_at_nanos + 200_000);
-        }
-        assert!(s.alpha() > 0.0, "marks must be honoured");
-        assert_eq!(s.stats().marks_ignored, 0);
     }
 
     #[test]

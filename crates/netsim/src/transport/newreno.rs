@@ -1,0 +1,994 @@
+//! TCP NewReno endpoints with the classic RFC 3168 ECN response.
+//!
+//! [`NewRenoSender`] shares DCTCP's loss machinery — slow start,
+//! congestion avoidance, fast retransmit/recovery on triple duplicate
+//! ACKs, NewReno partial ACKs, RTO with exponential backoff, loss-episode
+//! accounting — but responds to ECN the way RFC 3168 §6.1.2 prescribes:
+//! on an ECN-Echo the congestion window is **halved**, at most once per
+//! round trip (tracked by `cwr_end`, the `snd_nxt` at the reduction), and
+//! the next outgoing data segment carries the CWR flag so the receiver
+//! stops echoing. There is no `alpha` estimator: every honoured mark
+//! costs half the window, which is exactly the over-reaction PMSB's
+//! per-port marking inflicts on short-RTT flows — and what PMSB(e)'s
+//! selective blindness (applied by the
+//! [`TransportSender`](super::TransportSender) wrapper) repairs.
+//!
+//! [`NewRenoReceiver`] reassembles like the DCTCP receiver but implements
+//! the RFC 3168 ECE latch: once a CE-marked segment arrives, every ACK
+//! carries ECN-Echo until a data segment with CWR set is received. The
+//! latch survives ACK coalescing, so (unlike DCTCP's ECE state machine)
+//! a CE transition does not need to force an immediate ACK.
+
+use std::collections::BTreeMap;
+
+use crate::config::TransportConfig;
+use crate::packet::{Packet, PacketKind};
+
+use super::{Receiver, ReceiverOutput, Sender, SenderOutput, SenderStats, TimerArm};
+
+/// The TCP NewReno sender state machine for one flow.
+#[derive(Debug)]
+pub struct NewRenoSender {
+    // Identity.
+    flow_id: u64,
+    src_host: usize,
+    dst_host: usize,
+    service: usize,
+    size_bytes: u64,
+    app_rate_bps: Option<u64>,
+    start_nanos: u64,
+    // Configuration.
+    mss: u64,
+    rto_min_nanos: u64,
+    max_cwnd: f64,
+    // Congestion state (bytes).
+    cwnd: f64,
+    ssthresh: f64,
+    snd_nxt: u64,
+    snd_una: u64,
+    dup_acks: u32,
+    in_recovery: bool,
+    recover: u64,
+    /// Open loss episode, if any: `(start_nanos, target)` — closed (and
+    /// counted into [`SenderStats`]) once `snd_una` reaches `target`.
+    episode: Option<(u64, u64)>,
+    /// The window was already reduced this round trip: while
+    /// `snd_una < cwr_end` further ECN-Echo is ignored and growth stays
+    /// suspended (RFC 3168: react at most once per window of data).
+    cwr_end: u64,
+    /// Set after an ECE-triggered reduction: the next outgoing data
+    /// segment carries CWR so the receiver stops echoing.
+    signal_cwr: bool,
+    // RTT estimation / RTO.
+    srtt_nanos: Option<f64>,
+    rttvar_nanos: f64,
+    rto_nanos: u64,
+    backoff: u32,
+    rto_gen: u64,
+    rto_armed: bool,
+    rto_deadline_nanos: u64,
+    app_gen: u64,
+    completed: bool,
+    // Optional RTT trace.
+    rtt_samples: Option<Vec<u64>>,
+    stats: SenderStats,
+    /// Recycled packet buffer, as in the DCTCP sender: the steady-state
+    /// event path does not allocate per ACK.
+    spare_buf: Vec<Packet>,
+}
+
+impl NewRenoSender {
+    /// Creates a sender for a flow of `size_bytes` (use [`u64::MAX`] for a
+    /// long-lived flow) starting at `start_nanos`. `app_rate_bps` caps the
+    /// application's offered rate.
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        flow_id: u64,
+        src_host: usize,
+        dst_host: usize,
+        service: usize,
+        size_bytes: u64,
+        app_rate_bps: Option<u64>,
+        start_nanos: u64,
+        config: &TransportConfig,
+    ) -> Self {
+        let init_cwnd = (config.init_cwnd_pkts * config.mss) as f64;
+        NewRenoSender {
+            flow_id,
+            src_host,
+            dst_host,
+            service,
+            size_bytes,
+            app_rate_bps,
+            start_nanos,
+            mss: config.mss,
+            rto_min_nanos: config.rto_min_nanos,
+            max_cwnd: config.max_cwnd_bytes.max(config.mss) as f64,
+            cwnd: init_cwnd,
+            ssthresh: f64::INFINITY,
+            snd_nxt: 0,
+            snd_una: 0,
+            dup_acks: 0,
+            in_recovery: false,
+            recover: 0,
+            episode: None,
+            cwr_end: 0,
+            signal_cwr: false,
+            srtt_nanos: None,
+            rttvar_nanos: 0.0,
+            rto_nanos: config.rto_init_nanos,
+            backoff: 0,
+            rto_gen: 0,
+            rto_armed: false,
+            rto_deadline_nanos: 0,
+            app_gen: 0,
+            completed: false,
+            rtt_samples: None,
+            stats: SenderStats::default(),
+            spare_buf: Vec::new(),
+        }
+    }
+
+    /// A fresh [`SenderOutput`] backed by the recycled packet buffer.
+    fn new_output(&mut self) -> SenderOutput {
+        SenderOutput {
+            packets: std::mem::take(&mut self.spare_buf),
+            ..SenderOutput::default()
+        }
+    }
+
+    /// Hands a drained [`SenderOutput::packets`] buffer back for reuse.
+    pub fn recycle(&mut self, mut buf: Vec<Packet>) {
+        buf.clear();
+        if buf.capacity() > self.spare_buf.capacity() {
+            self.spare_buf = buf;
+        }
+    }
+
+    /// Turns on per-ACK RTT sampling.
+    pub fn enable_rtt_trace(&mut self) {
+        self.rtt_samples = Some(Vec::new());
+    }
+
+    /// Collected RTT samples in nanoseconds, if tracing was enabled.
+    pub fn rtt_samples(&self) -> Option<&[u64]> {
+        self.rtt_samples.as_deref()
+    }
+
+    /// Per-flow counters.
+    pub fn stats(&self) -> SenderStats {
+        self.stats
+    }
+
+    /// The flow identifier.
+    pub fn flow_id(&self) -> u64 {
+        self.flow_id
+    }
+
+    /// Total bytes this flow transfers (`u64::MAX` = unbounded).
+    pub fn size_bytes(&self) -> u64 {
+        self.size_bytes
+    }
+
+    /// The flow's start time in nanoseconds.
+    pub fn start_nanos(&self) -> u64 {
+        self.start_nanos
+    }
+
+    /// `true` once every byte has been acknowledged.
+    pub fn is_completed(&self) -> bool {
+        self.completed
+    }
+
+    /// Current congestion window in bytes (for tests/diagnostics).
+    pub fn cwnd_bytes(&self) -> f64 {
+        self.cwnd
+    }
+
+    /// Smoothed RTT in nanoseconds, if any sample arrived.
+    pub fn srtt_nanos(&self) -> Option<f64> {
+        self.srtt_nanos
+    }
+
+    /// Begins transmission: the initial-window burst plus timers.
+    pub fn start(&mut self, now_nanos: u64) -> SenderOutput {
+        let mut out = self.new_output();
+        self.emit_new(now_nanos, &mut out);
+        self.arm_rto(now_nanos, &mut out);
+        out
+    }
+
+    /// Processes a cumulative ACK (`cum_ack`, ECN-Echo `ece`, echoed send
+    /// timestamp `echo_sent_at_nanos`) arriving at `now_nanos`.
+    pub fn on_ack(
+        &mut self,
+        cum_ack: u64,
+        ece: bool,
+        echo_sent_at_nanos: u64,
+        now_nanos: u64,
+    ) -> SenderOutput {
+        let mut out = self.new_output();
+        if self.completed {
+            return out;
+        }
+        // Exact per-ACK RTT from the timestamp echo.
+        let rtt = now_nanos.saturating_sub(echo_sent_at_nanos);
+        self.update_rtt(rtt);
+        if let Some(samples) = self.rtt_samples.as_mut() {
+            samples.push(rtt);
+        }
+        // RFC 3168 §6.1.2: halve on ECN-Echo, at most once per round
+        // trip. Loss recovery already reduced the window, so an ECE
+        // during recovery adds nothing.
+        let mut reduced_now = false;
+        if ece && !self.in_recovery && self.snd_una >= self.cwr_end {
+            self.ssthresh = (self.cwnd / 2.0).max(2.0 * self.mss as f64);
+            self.cwnd = self.ssthresh;
+            self.cwr_end = self.snd_nxt;
+            self.signal_cwr = true;
+            reduced_now = true;
+        }
+
+        if cum_ack > self.snd_una {
+            let newly = cum_ack - self.snd_una;
+            self.snd_una = cum_ack;
+            self.dup_acks = 0;
+            self.backoff = 0;
+            // Close the loss episode once the window outstanding at its
+            // start is fully acknowledged: recovery is complete.
+            if let Some((start, target)) = self.episode {
+                if self.snd_una >= target {
+                    self.stats.loss_episodes += 1;
+                    self.stats.recovery_nanos += now_nanos.saturating_sub(start);
+                    self.episode = None;
+                }
+            }
+            if self.in_recovery {
+                if self.snd_una >= self.recover {
+                    self.in_recovery = false;
+                    // Deflate to ssthresh after recovery.
+                    self.cwnd = self.ssthresh.max(self.mss as f64);
+                } else {
+                    // NewReno partial ACK: the next segment is also lost.
+                    self.retransmit_head(now_nanos, &mut out);
+                }
+            } else if reduced_now || self.snd_una < self.cwr_end {
+                // The window was reduced this round trip (CWR): no
+                // growth until the reduced window is fully acknowledged.
+            } else if self.cwnd < self.ssthresh {
+                self.cwnd += newly as f64; // slow start
+            } else {
+                self.cwnd += self.mss as f64 * newly as f64 / self.cwnd; // CA
+            }
+            self.cwnd = self.cwnd.min(self.max_cwnd);
+            if self.snd_una >= self.size_bytes {
+                self.completed = true;
+                self.cancel_timers();
+                out.completed = true;
+                return out;
+            }
+            self.emit_new(now_nanos, &mut out);
+            self.arm_rto(now_nanos, &mut out);
+        } else {
+            // Duplicate ACK.
+            self.dup_acks += 1;
+            if self.dup_acks == 3 && !self.in_recovery && self.snd_nxt > self.snd_una {
+                self.in_recovery = true;
+                self.recover = self.snd_nxt;
+                self.begin_episode(now_nanos);
+                self.ssthresh = (self.cwnd / 2.0).max(2.0 * self.mss as f64);
+                self.cwnd = self.ssthresh;
+                // The loss reduction covers this window of data: a
+                // subsequent ECE before `recover` must not halve again.
+                self.cwr_end = self.recover;
+                self.retransmit_head(now_nanos, &mut out);
+                self.arm_rto(now_nanos, &mut out);
+            }
+        }
+        out
+    }
+
+    /// Handles a retransmission timeout with generation `gen`.
+    pub fn on_rto(&mut self, gen: u64, now_nanos: u64) -> SenderOutput {
+        let mut out = self.new_output();
+        if self.completed || gen != self.rto_gen || !self.rto_armed {
+            return out; // stale timer
+        }
+        self.stats.timeouts += 1;
+        self.begin_episode(now_nanos);
+        self.ssthresh = (self.cwnd / 2.0).max(2.0 * self.mss as f64);
+        self.cwnd = self.mss as f64;
+        self.in_recovery = false;
+        self.dup_acks = 0;
+        // The collapse to one MSS is a reduction for this window too.
+        self.cwr_end = self.snd_nxt;
+        self.backoff = (self.backoff + 1).min(10);
+        self.retransmit_head(now_nanos, &mut out);
+        self.arm_rto(now_nanos, &mut out);
+        out
+    }
+
+    /// Handles an application-rate resume tick with generation `gen`.
+    pub fn on_app_resume(&mut self, gen: u64, now_nanos: u64) -> SenderOutput {
+        let mut out = self.new_output();
+        if self.completed || gen != self.app_gen {
+            return out;
+        }
+        self.emit_new(now_nanos, &mut out);
+        if self.snd_nxt > self.snd_una {
+            self.arm_rto(now_nanos, &mut out);
+        }
+        out
+    }
+
+    /// Bytes the application has made available by `now` (rate-limited
+    /// sources accrue credit linearly; unbounded otherwise).
+    fn app_allowed_bytes(&self, now_nanos: u64) -> u64 {
+        match self.app_rate_bps {
+            None => self.size_bytes,
+            Some(rate) => {
+                let elapsed = now_nanos.saturating_sub(self.start_nanos) as u128;
+                let bytes = rate as u128 * elapsed / 8 / 1_000_000_000;
+                (bytes.min(self.size_bytes as u128)) as u64
+            }
+        }
+    }
+
+    /// Stamps CWR on `pkt` if a reduction is waiting to be signalled.
+    fn stamp_cwr(&mut self, pkt: &mut Packet) {
+        if self.signal_cwr {
+            pkt.cwr = true;
+            self.signal_cwr = false;
+        }
+    }
+
+    /// Emits as many new full segments as the window and application
+    /// allow; schedules an app-resume tick if the application is the
+    /// binding constraint.
+    fn emit_new(&mut self, now_nanos: u64, out: &mut SenderOutput) {
+        let win_limit = self.snd_una + self.cwnd.min(self.max_cwnd) as u64;
+        let app_limit = self.app_allowed_bytes(now_nanos);
+        loop {
+            let len = self.mss.min(self.size_bytes - self.snd_nxt);
+            if len == 0 || self.snd_nxt + len > win_limit {
+                return; // done, or window-limited (ACK clock will resume)
+            }
+            if self.snd_nxt + len > app_limit {
+                break; // application-limited: need a timer
+            }
+            let mut pkt = Packet::data(
+                self.flow_id,
+                self.src_host,
+                self.dst_host,
+                self.service,
+                self.snd_nxt,
+                len,
+                now_nanos,
+            );
+            self.stamp_cwr(&mut pkt);
+            out.packets.push(pkt);
+            self.snd_nxt += len;
+        }
+        // Application-limited: wake when credit for one segment accrues.
+        if let Some(rate) = self.app_rate_bps {
+            let target = self.snd_nxt + self.mss.min(self.size_bytes - self.snd_nxt);
+            let at =
+                self.start_nanos + (target as u128 * 8 * 1_000_000_000 / rate as u128) as u64 + 1;
+            self.app_gen += 1;
+            out.app_resume = Some(TimerArm {
+                gen: self.app_gen,
+                at_nanos: at.max(now_nanos + 1),
+            });
+        }
+    }
+
+    /// Opens a loss episode at the first loss signal; a signal during an
+    /// open episode extends nothing (the episode already covers it).
+    fn begin_episode(&mut self, now_nanos: u64) {
+        if self.episode.is_none() {
+            self.episode = Some((now_nanos, self.snd_nxt));
+        }
+    }
+
+    /// Retransmits the segment at `snd_una`.
+    fn retransmit_head(&mut self, now_nanos: u64, out: &mut SenderOutput) {
+        let len = self.mss.min(self.size_bytes - self.snd_una);
+        debug_assert!(len > 0, "retransmit with nothing outstanding");
+        let mut pkt = Packet::data(
+            self.flow_id,
+            self.src_host,
+            self.dst_host,
+            self.service,
+            self.snd_una,
+            len,
+            now_nanos,
+        );
+        self.stamp_cwr(&mut pkt);
+        out.packets.push(pkt);
+        self.stats.retransmissions += 1;
+    }
+
+    fn update_rtt(&mut self, rtt_nanos: u64) {
+        let r = rtt_nanos as f64;
+        match self.srtt_nanos {
+            None => {
+                self.srtt_nanos = Some(r);
+                self.rttvar_nanos = r / 2.0;
+            }
+            Some(srtt) => {
+                self.rttvar_nanos = 0.75 * self.rttvar_nanos + 0.25 * (srtt - r).abs();
+                self.srtt_nanos = Some(0.875 * srtt + 0.125 * r);
+            }
+        }
+        let base = self.srtt_nanos.unwrap() + 4.0 * self.rttvar_nanos;
+        self.rto_nanos = (base as u64).max(self.rto_min_nanos).min(1_000_000_000);
+    }
+
+    fn arm_rto(&mut self, now_nanos: u64, out: &mut SenderOutput) {
+        if self.snd_nxt == self.snd_una {
+            // Nothing outstanding: no timer.
+            self.rto_armed = false;
+            self.rto_gen += 1;
+            return;
+        }
+        self.rto_gen += 1;
+        self.rto_armed = true;
+        let deadline = now_nanos + (self.rto_nanos << self.backoff).min(4_000_000_000);
+        self.rto_deadline_nanos = deadline;
+        out.rto = Some(TimerArm {
+            gen: self.rto_gen,
+            at_nanos: deadline,
+        });
+    }
+
+    /// The currently armed retransmission deadline, if any (see
+    /// [`DctcpSender::rto_deadline`](super::DctcpSender::rto_deadline)).
+    pub fn rto_deadline(&self) -> Option<TimerArm> {
+        if self.rto_armed && !self.completed {
+            Some(TimerArm {
+                gen: self.rto_gen,
+                at_nanos: self.rto_deadline_nanos,
+            })
+        } else {
+            None
+        }
+    }
+
+    fn cancel_timers(&mut self) {
+        self.rto_gen += 1;
+        self.rto_armed = false;
+        self.app_gen += 1;
+    }
+}
+
+impl Sender for NewRenoSender {
+    fn start(&mut self, now_nanos: u64) -> SenderOutput {
+        NewRenoSender::start(self, now_nanos)
+    }
+
+    fn on_ack(
+        &mut self,
+        cum_ack: u64,
+        ece: bool,
+        echo_sent_at_nanos: u64,
+        now_nanos: u64,
+    ) -> SenderOutput {
+        NewRenoSender::on_ack(self, cum_ack, ece, echo_sent_at_nanos, now_nanos)
+    }
+
+    fn on_rto(&mut self, gen: u64, now_nanos: u64) -> SenderOutput {
+        NewRenoSender::on_rto(self, gen, now_nanos)
+    }
+
+    fn on_app_resume(&mut self, gen: u64, now_nanos: u64) -> SenderOutput {
+        NewRenoSender::on_app_resume(self, gen, now_nanos)
+    }
+
+    fn rto_deadline(&self) -> Option<TimerArm> {
+        NewRenoSender::rto_deadline(self)
+    }
+
+    fn recycle(&mut self, buf: Vec<Packet>) {
+        NewRenoSender::recycle(self, buf)
+    }
+
+    fn enable_rtt_trace(&mut self) {
+        NewRenoSender::enable_rtt_trace(self)
+    }
+
+    fn rtt_samples(&self) -> Option<&[u64]> {
+        NewRenoSender::rtt_samples(self)
+    }
+
+    fn stats(&self) -> SenderStats {
+        NewRenoSender::stats(self)
+    }
+
+    fn stats_mut(&mut self) -> &mut SenderStats {
+        &mut self.stats
+    }
+
+    fn flow_id(&self) -> u64 {
+        NewRenoSender::flow_id(self)
+    }
+
+    fn size_bytes(&self) -> u64 {
+        NewRenoSender::size_bytes(self)
+    }
+
+    fn start_nanos(&self) -> u64 {
+        NewRenoSender::start_nanos(self)
+    }
+
+    fn is_completed(&self) -> bool {
+        NewRenoSender::is_completed(self)
+    }
+
+    fn cwnd_bytes(&self) -> f64 {
+        NewRenoSender::cwnd_bytes(self)
+    }
+}
+
+/// The NewReno receiver for one flow: reassembles segments and generates
+/// cumulative ACKs with the RFC 3168 ECE latch.
+///
+/// Once a CE-marked segment arrives, every ACK carries ECN-Echo until a
+/// data segment with CWR set is received; the latch (not a per-packet CE
+/// echo) is what makes classic ECN robust to ACK coalescing.
+#[derive(Debug)]
+pub struct NewRenoReceiver {
+    flow_id: u64,
+    rcv_nxt: u64,
+    /// Out-of-order intervals `start → end` beyond `rcv_nxt`.
+    ooo: BTreeMap<u64, u64>,
+    bytes_in_order: u64,
+    ce_received: u64,
+    packets_received: u64,
+    // Delayed-ACK state.
+    ack_every: u64,
+    delack_timeout_nanos: u64,
+    pending: u64,
+    /// RFC 3168 ECE latch: set by CE, cleared by CWR.
+    ece_latched: bool,
+    delack_gen: u64,
+    /// Addressing/timestamp template from the latest data packet, for
+    /// timer-generated ACKs: `(src, dst, service, sent_at)`.
+    last_data: Option<(usize, usize, usize, u64)>,
+}
+
+impl NewRenoReceiver {
+    /// Creates a receiver for `flow_id` that ACKs every packet.
+    pub fn new(flow_id: u64) -> Self {
+        NewRenoReceiver::with_delack(flow_id, 1, 500_000)
+    }
+
+    /// Creates a receiver coalescing ACKs to one per `ack_every` data
+    /// packets, flushed after `delack_timeout_nanos` of silence.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ack_every` is zero.
+    pub fn with_delack(flow_id: u64, ack_every: u64, delack_timeout_nanos: u64) -> Self {
+        assert!(ack_every > 0, "ack_every must be at least 1");
+        NewRenoReceiver {
+            flow_id,
+            rcv_nxt: 0,
+            ooo: BTreeMap::new(),
+            bytes_in_order: 0,
+            ce_received: 0,
+            packets_received: 0,
+            ack_every,
+            delack_timeout_nanos,
+            pending: 0,
+            ece_latched: false,
+            delack_gen: 0,
+            last_data: None,
+        }
+    }
+
+    /// Highest in-order byte received so far.
+    pub fn rcv_nxt(&self) -> u64 {
+        self.rcv_nxt
+    }
+
+    /// Data packets that arrived CE-marked.
+    pub fn ce_received(&self) -> u64 {
+        self.ce_received
+    }
+
+    /// Total data packets received.
+    pub fn packets_received(&self) -> u64 {
+        self.packets_received
+    }
+
+    /// Processes a data packet arriving at `now_nanos`; returns the ACK
+    /// to send (if any) and a delayed-ACK timer to arm.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the packet is not a data segment of this flow.
+    pub fn on_data(&mut self, pkt: &Packet, now_nanos: u64) -> ReceiverOutput {
+        assert_eq!(pkt.flow_id, self.flow_id, "packet for wrong flow");
+        let PacketKind::Data { seq, len } = pkt.kind else {
+            panic!("receiver got a non-data packet");
+        };
+        self.packets_received += 1;
+        if pkt.ce {
+            self.ce_received += 1;
+        }
+        // RFC 3168: CWR acknowledges the echo (clear first, so a segment
+        // carrying both CWR and a fresh CE mark re-latches).
+        if pkt.cwr {
+            self.ece_latched = false;
+        }
+        if pkt.ce {
+            self.ece_latched = true;
+        }
+        let in_order = seq == self.rcv_nxt;
+        let had_gap = !self.ooo.is_empty();
+        let end = seq + len;
+        if end > self.rcv_nxt {
+            // Record the new interval (may overlap existing ones).
+            let entry = self.ooo.entry(seq.max(self.rcv_nxt)).or_insert(0);
+            *entry = (*entry).max(end);
+            // Advance rcv_nxt over any now-contiguous intervals.
+            while let Some((&s, &e)) = self.ooo.first_key_value() {
+                if s <= self.rcv_nxt {
+                    if e > self.rcv_nxt {
+                        self.bytes_in_order += e - self.rcv_nxt;
+                        self.rcv_nxt = e;
+                    }
+                    self.ooo.pop_first();
+                } else {
+                    break;
+                }
+            }
+        }
+        self.last_data = Some((pkt.src_host, pkt.dst_host, pkt.service, pkt.sent_at_nanos));
+        self.pending += 1;
+        // Immediate-ACK triggers: per-packet mode, coalescing quota
+        // reached, or anything that looks like loss/reordering (dup,
+        // gap, or gap-fill) — those ACKs drive fast retransmit and must
+        // not be delayed. Unlike DCTCP there is no CE-transition
+        // trigger: the latch carries the signal through coalescing.
+        let immediate =
+            self.pending >= self.ack_every || !in_order || had_gap || !self.ooo.is_empty();
+        if immediate {
+            ReceiverOutput {
+                ack: Some(self.make_ack()),
+                delack: None,
+            }
+        } else {
+            self.delack_gen += 1;
+            ReceiverOutput {
+                ack: None,
+                delack: Some(TimerArm {
+                    gen: self.delack_gen,
+                    at_nanos: now_nanos + self.delack_timeout_nanos,
+                }),
+            }
+        }
+    }
+
+    /// Handles the delayed-ACK flush timer; emits the pending ACK if the
+    /// generation is current and packets are still unacknowledged.
+    pub fn on_delack_timer(&mut self, gen: u64) -> Option<Packet> {
+        if gen != self.delack_gen || self.pending == 0 {
+            return None;
+        }
+        Some(self.make_ack())
+    }
+
+    /// Builds a cumulative ACK carrying the current ECE latch, consuming
+    /// the pending count and invalidating any armed timer.
+    fn make_ack(&mut self) -> Packet {
+        self.pending = 0;
+        self.delack_gen += 1;
+        let (src, dst, service, sent_at) = self
+            .last_data
+            .expect("ACK generated before any data packet");
+        // ACK travels dst -> src, echoing the latch and the timestamp.
+        Packet::ack(
+            self.flow_id,
+            dst,
+            src,
+            service,
+            self.rcv_nxt,
+            self.ece_latched,
+            sent_at,
+        )
+    }
+}
+
+impl Receiver for NewRenoReceiver {
+    fn on_data(&mut self, pkt: &Packet, now_nanos: u64) -> ReceiverOutput {
+        NewRenoReceiver::on_data(self, pkt, now_nanos)
+    }
+
+    fn on_delack_timer(&mut self, gen: u64) -> Option<Packet> {
+        NewRenoReceiver::on_delack_timer(self, gen)
+    }
+
+    fn rcv_nxt(&self) -> u64 {
+        NewRenoReceiver::rcv_nxt(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sender(size: u64) -> NewRenoSender {
+        let cfg = TransportConfig {
+            init_cwnd_pkts: 2,
+            ..TransportConfig::default()
+        };
+        NewRenoSender::new(1, 0, 9, 0, size, None, 0, &cfg)
+    }
+
+    /// Drives sender + receiver back-to-back with a fixed one-way delay,
+    /// CE-marking data packets per `marks`, until completion.
+    fn run_loopback(mut s: NewRenoSender, mut marks: impl FnMut(u64) -> bool) -> u64 {
+        let mut r = NewRenoReceiver::new(1);
+        let mut now = 0u64;
+        let mut in_flight: Vec<Packet> = s.start(now).packets;
+        let mut rounds = 0;
+        while !s.is_completed() {
+            rounds += 1;
+            assert!(rounds < 100_000, "transfer did not complete");
+            now += 10_000; // 10 us one-way
+            let mut acks = Vec::new();
+            for mut p in in_flight.drain(..) {
+                if p.ect && marks(now) {
+                    p.ce = true;
+                }
+                acks.push(r.on_data(&p, now).ack.expect("per-packet ACKs"));
+            }
+            now += 10_000;
+            let mut next = Vec::new();
+            for a in acks {
+                let PacketKind::Ack { cum_ack, ece } = a.kind else {
+                    unreachable!()
+                };
+                let out = s.on_ack(cum_ack, ece, a.sent_at_nanos, now);
+                next.extend(out.packets);
+            }
+            in_flight = next;
+        }
+        rounds
+    }
+
+    #[test]
+    fn initial_window_burst() {
+        let mut s = sender(100 * 1460);
+        let out = s.start(0);
+        assert_eq!(out.packets.len(), 2, "init cwnd of 2 segments");
+        assert!(out.rto.is_some());
+        assert!(!out.completed);
+    }
+
+    #[test]
+    fn completes_short_flow_in_loopback() {
+        let s = sender(10 * 1460);
+        let rounds = run_loopback(s, |_| false);
+        assert!(rounds < 20, "10 segments with doubling cwnd: few rounds");
+    }
+
+    #[test]
+    fn completes_under_continuous_marking() {
+        // Every packet CE-marked: halving once per RTT never deadlocks.
+        let s = sender(50 * 1460);
+        run_loopback(s, |_| true);
+    }
+
+    #[test]
+    fn ece_halves_cwnd_at_most_once_per_rtt() {
+        let mut s = sender(u64::MAX / 2);
+        let out = s.start(0);
+        // Grow unmarked for several windows.
+        let mut now = 100_000;
+        let mut cum = 0u64;
+        let mut packets = out.packets;
+        for _ in 0..6 {
+            let mut next = Vec::new();
+            for p in &packets {
+                let PacketKind::Data { seq, len } = p.kind else {
+                    unreachable!()
+                };
+                cum = cum.max(seq + len);
+                next.extend(s.on_ack(cum, false, p.sent_at_nanos, now).packets);
+            }
+            now += 100_000;
+            packets = next;
+        }
+        let before = s.cwnd_bytes();
+        assert!(packets.len() >= 4, "window should have opened up");
+        // EVERY ACK of this window carries ECE: exactly one halving.
+        for p in &packets {
+            let PacketKind::Data { seq, len } = p.kind else {
+                unreachable!()
+            };
+            cum = cum.max(seq + len);
+            s.on_ack(cum, true, p.sent_at_nanos, now);
+        }
+        let ratio = s.cwnd_bytes() / before;
+        assert!(
+            (ratio - 0.5).abs() < 0.01,
+            "one halving per RTT, got ratio {ratio}"
+        );
+    }
+
+    #[test]
+    fn second_rtt_with_ece_halves_again() {
+        let mut s = sender(u64::MAX / 2);
+        let out = s.start(0);
+        let mut now = 100_000;
+        let mut cum = 0u64;
+        let mut packets = out.packets;
+        for _ in 0..6 {
+            let mut next = Vec::new();
+            for p in &packets {
+                let PacketKind::Data { seq, len } = p.kind else {
+                    unreachable!()
+                };
+                cum = cum.max(seq + len);
+                next.extend(s.on_ack(cum, false, p.sent_at_nanos, now).packets);
+            }
+            now += 100_000;
+            packets = next;
+        }
+        let before = s.cwnd_bytes();
+        // Two full marked round trips: two halvings compound.
+        for _ in 0..2 {
+            let mut next = Vec::new();
+            for p in &packets {
+                let PacketKind::Data { seq, len } = p.kind else {
+                    unreachable!()
+                };
+                cum = cum.max(seq + len);
+                next.extend(s.on_ack(cum, true, p.sent_at_nanos, now).packets);
+            }
+            now += 100_000;
+            packets = next;
+            assert!(!packets.is_empty(), "window must never stall");
+        }
+        let ratio = s.cwnd_bytes() / before;
+        assert!(
+            (0.2..=0.3).contains(&ratio),
+            "two RTTs of marks halve twice, got ratio {ratio}"
+        );
+    }
+
+    #[test]
+    fn cwr_is_signalled_once_after_a_reduction() {
+        let mut s = sender(u64::MAX / 2);
+        let out = s.start(0);
+        let p = &out.packets[0];
+        assert!(!p.cwr, "no reduction yet");
+        let PacketKind::Data { seq, len } = p.kind else {
+            unreachable!()
+        };
+        // A marked ACK triggers the halving; the next data segment must
+        // carry CWR, and only that one.
+        let out = s.on_ack(seq + len, true, p.sent_at_nanos, 100_000);
+        let sent: Vec<bool> = out.packets.iter().map(|p| p.cwr).collect();
+        assert!(!sent.is_empty(), "reduced window still sends");
+        assert!(sent[0], "first segment after reduction carries CWR");
+        assert!(
+            sent[1..].iter().all(|c| !c),
+            "CWR is a one-shot signal: {sent:?}"
+        );
+    }
+
+    #[test]
+    fn receiver_latches_ece_until_cwr() {
+        let mut r = NewRenoReceiver::new(7);
+        let mut p0 = Packet::data(7, 0, 1, 0, 0, 1460, 0);
+        p0.ce = true;
+        let ack = r.on_data(&p0, 0).ack.unwrap();
+        match ack.kind {
+            PacketKind::Ack { ece, .. } => assert!(ece, "CE latches ECE"),
+            _ => panic!(),
+        }
+        // An unmarked segment without CWR: the latch holds.
+        let p1 = Packet::data(7, 0, 1, 0, 1460, 1460, 1);
+        let ack = r.on_data(&p1, 1).ack.unwrap();
+        match ack.kind {
+            PacketKind::Ack { ece, .. } => assert!(ece, "latch holds until CWR"),
+            _ => panic!(),
+        }
+        // CWR clears the latch.
+        let mut p2 = Packet::data(7, 0, 1, 0, 2 * 1460, 1460, 2);
+        p2.cwr = true;
+        let ack = r.on_data(&p2, 2).ack.unwrap();
+        match ack.kind {
+            PacketKind::Ack { ece, .. } => assert!(!ece, "CWR clears the latch"),
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn cwr_with_fresh_ce_relatches() {
+        // A segment carrying both CWR and a new CE mark must leave the
+        // latch set: the new mark happened after the sender reduced.
+        let mut r = NewRenoReceiver::new(7);
+        let mut p = Packet::data(7, 0, 1, 0, 0, 1460, 0);
+        p.cwr = true;
+        p.ce = true;
+        let ack = r.on_data(&p, 0).ack.unwrap();
+        match ack.kind {
+            PacketKind::Ack { ece, .. } => assert!(ece, "fresh CE wins over CWR"),
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn loss_reduction_suppresses_ece_for_the_same_window() {
+        let mut s = sender(u64::MAX / 2);
+        let out = s.start(0);
+        let ts = out.packets[0].sent_at_nanos;
+        // Triple dup-ACK: fast retransmit halves the window.
+        s.on_ack(0, false, ts, 1_000);
+        s.on_ack(0, false, ts, 1_100);
+        s.on_ack(0, false, ts, 1_200);
+        let halved = s.cwnd_bytes();
+        assert_eq!(s.stats().retransmissions, 1);
+        // A marked partial/duplicate ACK inside the same window must not
+        // halve again on top of the loss response.
+        s.on_ack(0, true, ts, 1_300);
+        assert_eq!(s.cwnd_bytes(), halved, "no double reduction");
+    }
+
+    #[test]
+    fn ece_on_the_recovery_exit_ack_does_not_double_cut() {
+        let mut s = sender(u64::MAX / 2);
+        let out = s.start(0);
+        let ts = out.packets[0].sent_at_nanos;
+        s.on_ack(0, false, ts, 1_000);
+        s.on_ack(0, false, ts, 1_100);
+        s.on_ack(0, false, ts, 1_200);
+        let halved = s.cwnd_bytes();
+        // The cumulative ACK that exits recovery carries ECE; the loss
+        // reduction already covered this window of data.
+        let out = s.on_ack(2 * 1460, true, ts, 50_000);
+        assert!(!out.packets.is_empty(), "sending resumes after recovery");
+        assert!(
+            s.cwnd_bytes() >= halved * 0.99,
+            "recovery exit must not halve again"
+        );
+    }
+
+    #[test]
+    fn app_rate_limited_flow_paces() {
+        let cfg = TransportConfig::default();
+        let mut s = NewRenoSender::new(1, 0, 9, 0, u64::MAX / 2, Some(1_000_000_000), 0, &cfg);
+        let out = s.start(0);
+        assert!(out.packets.is_empty());
+        let arm = out.app_resume.expect("app resume timer");
+        let out = s.on_app_resume(arm.gen, arm.at_nanos);
+        assert_eq!(out.packets.len(), 1);
+    }
+
+    #[test]
+    fn delayed_acks_preserve_the_latch() {
+        // Coalescing must not lose the congestion signal: a CE mark on a
+        // coalesced packet surfaces on the eventual cumulative ACK.
+        let mut r = NewRenoReceiver::with_delack(7, 4, 500_000);
+        let mut p0 = Packet::data(7, 0, 1, 0, 0, 1460, 0);
+        p0.ce = true;
+        assert!(r.on_data(&p0, 0).ack.is_none(), "coalesced despite CE");
+        for i in 1..3u64 {
+            let p = Packet::data(7, 0, 1, 0, i * 1460, 1460, i);
+            assert!(r.on_data(&p, i).ack.is_none());
+        }
+        let p3 = Packet::data(7, 0, 1, 0, 3 * 1460, 1460, 3);
+        let ack = r.on_data(&p3, 3).ack.expect("quota reached");
+        match ack.kind {
+            PacketKind::Ack { cum_ack, ece } => {
+                assert_eq!(cum_ack, 4 * 1460);
+                assert!(ece, "the latch must survive coalescing");
+            }
+            _ => panic!(),
+        }
+    }
+}

@@ -1,30 +1,43 @@
 //! The simulated network: hosts, switches, links, and the event loop.
 //!
-//! A [`World`] owns every node and implements [`EventHandler`]; running it
-//! under [`Simulation`] executes the packet-level model:
+//! A [`World`] owns every node and implements
+//! [`EventHandler`](pmsb_simcore::EventHandler); running it under
+//! [`Simulation`] executes the packet-level model:
 //!
-//! * hosts emit DCTCP segments through a FIFO NIC,
+//! * hosts emit transport segments through a FIFO NIC,
 //! * switches classify arriving packets onto service queues, apply the
 //!   configured ECN marking at enqueue and/or dequeue, schedule with the
 //!   configured policy, and forward over links with serialization +
 //!   propagation delay,
 //! * ACKs flow back and drive the senders' congestion control.
+//!
+//! The module splits by layer: this file holds the network structure
+//! (wiring, fault/trace installation, sharding, run lifecycle),
+//! [`host`](self) holds the endpoint/NIC layer, `switch` the port layer,
+//! and `events` the event pump. The transport the endpoints run is
+//! selected by [`TransportConfig::kind`] — see [`crate::transport`].
+
+mod events;
+mod host;
+mod switch;
+
+pub use events::Event;
 
 use std::collections::HashMap;
 
-use pmsb::marking::MarkingScheme;
-use pmsb::{MarkPoint, PortView};
 use pmsb_faults::{FaultEvent, FaultKind, FaultSchedule, FaultTarget};
-use pmsb_metrics::fct::{FctRecorder, FlowRecord};
+use pmsb_metrics::fct::FctRecorder;
 use pmsb_sched::{Fifo, MultiQueue};
 use pmsb_simcore::rng::SimRng;
-use pmsb_simcore::{EventHandler, EventQueue, LpMessage, SimDuration, SimTime, Simulation, TieKey};
+use pmsb_simcore::{EventQueue, LpMessage, SimTime, Simulation, TieKey};
 
 use crate::config::{HostConfig, SwitchConfig, TransportConfig};
-use crate::packet::{Packet, PacketKind, MTU_WIRE_BYTES};
-use crate::routing::RouteTable;
+use crate::packet::Packet;
 use crate::trace::{FaultReport, PortTrace, TraceConfig};
-use crate::transport::{DctcpReceiver, DctcpSender, SenderOutput, SenderStats};
+use crate::transport::{Sender as _, SenderStats, TransportReceiver, TransportSender};
+
+use host::Host;
+use switch::{Switch, SwitchPort};
 
 /// A node address: hosts and switches live in separate index spaces.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -211,117 +224,6 @@ impl FlowDesc {
     }
 }
 
-/// Simulator events.
-#[derive(Debug)]
-pub enum Event {
-    /// A flow begins transmitting.
-    FlowStart {
-        /// Index into the world's flow table.
-        flow_id: u64,
-    },
-    /// A packet finishes propagating and arrives at a node.
-    Deliver {
-        /// Arriving node.
-        node: NodeRef,
-        /// Packet delivered.
-        packet: Packet,
-    },
-    /// A port finished serializing a packet; it may start the next.
-    TransmitDone {
-        /// Transmitting node.
-        node: NodeRef,
-        /// Port index (always 0 for hosts).
-        port: usize,
-    },
-    /// A sender's retransmission timer.
-    Rto {
-        /// Host owning the sender.
-        host: usize,
-        /// Flow whose timer fired.
-        flow_id: u64,
-        /// Generation (stale generations are ignored).
-        gen: u64,
-    },
-    /// A receiver's delayed-ACK flush timer.
-    DelAck {
-        /// Host owning the receiver.
-        host: usize,
-        /// Flow whose timer fired.
-        flow_id: u64,
-        /// Generation (stale generations are ignored).
-        gen: u64,
-    },
-    /// A rate-limited application's resume tick.
-    AppResume {
-        /// Host owning the sender.
-        host: usize,
-        /// Flow to resume.
-        flow_id: u64,
-        /// Generation (stale generations are ignored).
-        gen: u64,
-    },
-    /// Periodic trace sampling tick.
-    TraceSample,
-    /// The next scheduled fault event fires (events apply in schedule
-    /// order, so the variant carries no payload).
-    Fault,
-}
-
-struct Host {
-    nic: MultiQueue<Packet>,
-    nic_marker: Option<Box<dyn MarkingScheme>>,
-    nic_mark_point: MarkPoint,
-    nic_busy: bool,
-    link: Option<LinkAttach>,
-}
-
-struct SwitchPort {
-    mq: MultiQueue<Packet>,
-    marker: Option<Box<dyn MarkingScheme>>,
-    mark_point: MarkPoint,
-    busy: bool,
-    link: LinkAttach,
-    trace: Option<PortTrace>,
-}
-
-struct Switch {
-    ports: Vec<SwitchPort>,
-    routes: RouteTable,
-}
-
-/// Adapter exposing a switch port's state as a [`PortView`] for the
-/// marking schemes.
-struct SwitchPortView<'a> {
-    mq: &'a MultiQueue<Packet>,
-    link_rate_bps: u64,
-    pool_bytes: u64,
-    sojourn_nanos: Option<u64>,
-}
-
-impl PortView for SwitchPortView<'_> {
-    fn num_queues(&self) -> usize {
-        self.mq.num_queues()
-    }
-    fn port_bytes(&self) -> u64 {
-        self.mq.port_bytes()
-    }
-    fn queue_bytes(&self, q: usize) -> u64 {
-        self.mq.queue_bytes(q)
-    }
-    fn pool_bytes(&self) -> u64 {
-        self.pool_bytes
-    }
-    fn link_rate_bps(&self) -> u64 {
-        self.link_rate_bps
-    }
-    fn packet_sojourn_nanos(&self) -> Option<u64> {
-        self.sojourn_nanos
-    }
-    fn round_time_nanos(&self) -> Option<u64> {
-        self.mq.scheduler().round_time_nanos()
-    }
-}
-
 /// Results harvested from a finished run.
 #[derive(Debug)]
 pub struct RunResults {
@@ -362,13 +264,14 @@ pub struct World {
     /// `0..flows.len()`). Slot tables instead of per-host `HashMap`s keep
     /// hash lookups out of the per-event path; `HashMap`s reappear only at
     /// the result-export boundary in [`World::harvest`].
-    senders: Vec<Option<DctcpSender>>,
-    receivers: Vec<Option<DctcpReceiver>>,
+    senders: Vec<Option<TransportSender>>,
+    receivers: Vec<Option<TransportReceiver>>,
     /// Fire time of the earliest outstanding [`Event::Rto`] per flow
     /// (`u64::MAX` when none). Senders re-arm the retransmission timer on
     /// every ACK; instead of scheduling one event per re-arm, at most one
     /// timer event stays in flight per flow and a stale fire re-arms at
-    /// the sender's live deadline ([`DctcpSender::rto_deadline`]).
+    /// the sender's live deadline
+    /// ([`Sender::rto_deadline`](crate::transport::Sender::rto_deadline)).
     rto_next_fire: Vec<u64>,
     fct: FctRecorder,
     marks: u64,
@@ -423,7 +326,7 @@ impl World {
     pub fn add_switch(&mut self) -> usize {
         self.switches.push(Switch {
             ports: Vec::new(),
-            routes: RouteTable::new(0),
+            routes: crate::routing::RouteTable::new(0),
         });
         self.switches.len() - 1
     }
@@ -746,67 +649,10 @@ impl World {
                 return;
             }
         }
-        queue.push(SimTime::from_nanos(at_nanos), Event::Deliver { node, packet });
-    }
-
-    /// Applies the next scheduled fault event.
-    fn apply_next_fault(&mut self, now: u64, queue: &mut EventQueue<Event>) {
-        let rt = self
-            .faults
-            .as_deref_mut()
-            .expect("fault event without a schedule");
-        let ev = rt.events[rt.next];
-        rt.next += 1;
-        rt.report.log.push((now, fault_desc(&ev)));
-        if let FaultKind::BufferBytes(bytes) = ev.kind {
-            let FaultTarget::Switch(s) = ev.target else {
-                unreachable!("validated: buffer faults are switch-wide");
-            };
-            for port in &mut self.switches[s].ports {
-                port.mq.set_cap_bytes(bytes);
-            }
-            return;
-        }
-        // A link-scoped fault: both directed ends of the cable change
-        // together (a cut cable is cut both ways).
-        let ends = self.link_ends(ev.target);
-        let rt = self.faults.as_deref_mut().expect("checked above");
-        for end in ends {
-            let st = match end {
-                LinkEnd::Host(h) => &mut rt.hosts[h],
-                LinkEnd::SwitchPort(s, p) => &mut rt.switches[s][p],
-            };
-            match ev.kind {
-                FaultKind::LinkDown => st.up = false,
-                FaultKind::LinkUp => st.up = true,
-                FaultKind::Rate(r) => st.rate_bps = r,
-                FaultKind::Loss(p) => st.loss_p = p,
-                FaultKind::Corrupt(p) => st.corrupt_p = p,
-                FaultKind::BufferBytes(_) => unreachable!("handled above"),
-            }
-        }
-        match ev.kind {
-            FaultKind::LinkDown => rt.report.link_down_events += 1,
-            FaultKind::LinkUp => {
-                rt.report.link_up_events += 1;
-                // Restart both ends: packets queued while the link was
-                // down are waiting for a transmit kick. In a sharded run
-                // every LP applies the state flip but only the owner of
-                // an end holds its queued packets — kick owned ends only.
-                for end in ends {
-                    match end {
-                        LinkEnd::Host(h) if self.owns_host(h) => {
-                            self.try_transmit_host(h, now, queue);
-                        }
-                        LinkEnd::SwitchPort(s, p) if self.owns_switch(s) => {
-                            self.try_transmit_switch(s, p, now, queue);
-                        }
-                        _ => {}
-                    }
-                }
-            }
-            _ => {}
-        }
+        queue.push(
+            SimTime::from_nanos(at_nanos),
+            Event::Deliver { node, packet },
+        );
     }
 
     /// Registers a flow; returns its id.
@@ -933,479 +779,12 @@ impl World {
             faults: self.faults.map(|rt| rt.report),
         }
     }
-
-    // ------------------------------------------------------------------
-    // Event machinery.
-    // ------------------------------------------------------------------
-
-    fn process_sender_output(
-        &mut self,
-        host: usize,
-        flow_id: u64,
-        out: SenderOutput,
-        now: u64,
-        queue: &mut EventQueue<Event>,
-    ) {
-        let mut packets = out.packets;
-        for pkt in packets.drain(..) {
-            self.host_enqueue(host, pkt, now, queue);
-        }
-        if let Some(s) = self.senders[flow_id as usize].as_mut() {
-            s.recycle(packets);
-        }
-        if let Some(arm) = out.rto {
-            // At most one timer event in flight per flow: skip the push
-            // when an earlier (or equal) fire is already scheduled — that
-            // fire re-arms lazily from the sender's live deadline.
-            let at = arm.at_nanos.max(now);
-            if at < self.rto_next_fire[flow_id as usize] {
-                self.rto_next_fire[flow_id as usize] = at;
-                queue.push(
-                    SimTime::from_nanos(at),
-                    Event::Rto {
-                        host,
-                        flow_id,
-                        gen: arm.gen,
-                    },
-                );
-            }
-        }
-        if let Some(arm) = out.app_resume {
-            queue.push(
-                SimTime::from_nanos(arm.at_nanos.max(now)),
-                Event::AppResume {
-                    host,
-                    flow_id,
-                    gen: arm.gen,
-                },
-            );
-        }
-        if out.completed {
-            let s = self.senders[flow_id as usize]
-                .as_ref()
-                .expect("completed flow has a sender");
-            self.fct.record(FlowRecord {
-                flow_id,
-                bytes: s.size_bytes(),
-                start_nanos: s.start_nanos(),
-                end_nanos: now,
-            });
-        }
-    }
-
-    fn host_enqueue(
-        &mut self,
-        host: usize,
-        mut pkt: Packet,
-        now: u64,
-        queue: &mut EventQueue<Event>,
-    ) {
-        pkt.enqueued_at_nanos = now;
-        let h = &mut self.hosts[host];
-        // NIC-level ECN (one-queue port), mirroring NS-3's per-device
-        // queue discs.
-        if h.nic_mark_point == MarkPoint::Enqueue && pkt.ect && !pkt.ce {
-            if let Some(marker) = h.nic_marker.as_mut() {
-                let rate = h.link.map(|l| l.rate_bps).unwrap_or(10_000_000_000);
-                let view = SwitchPortView {
-                    mq: &h.nic,
-                    link_rate_bps: rate,
-                    pool_bytes: h.nic.port_bytes(),
-                    sojourn_nanos: None,
-                };
-                if marker.should_mark(&view, 0).is_mark() {
-                    pkt.ce = true;
-                    self.marks += 1;
-                }
-            }
-        }
-        let _ = self.hosts[host].nic.enqueue(0, pkt, now);
-        self.try_transmit_host(host, now, queue);
-    }
-
-    fn try_transmit_host(&mut self, host: usize, now: u64, queue: &mut EventQueue<Event>) {
-        if let Some(rt) = self.faults.as_deref() {
-            if !rt.hosts[host].up {
-                return; // link down: packets stay parked in the NIC queue
-            }
-        }
-        let marks = &mut self.marks;
-        let h = &mut self.hosts[host];
-        if h.nic_busy {
-            return;
-        }
-        let Some((_, mut pkt)) = h.nic.dequeue(now) else {
-            return;
-        };
-        if h.nic_mark_point == MarkPoint::Dequeue && pkt.ect && !pkt.ce {
-            if let Some(marker) = h.nic_marker.as_mut() {
-                let rate = h.link.map(|l| l.rate_bps).unwrap_or(10_000_000_000);
-                let view = SwitchPortView {
-                    mq: &h.nic,
-                    link_rate_bps: rate,
-                    pool_bytes: h.nic.port_bytes(),
-                    sojourn_nanos: Some(now.saturating_sub(pkt.enqueued_at_nanos)),
-                };
-                if marker.should_mark(&view, 0).is_mark() {
-                    pkt.ce = true;
-                    *marks += 1;
-                }
-            }
-        }
-        let link = h.link.expect("host transmits without a link");
-        h.nic_busy = true;
-        let mut rate_bps = link.rate_bps;
-        let mut fate = Fate::Clean;
-        if let Some(rt) = self.faults.as_deref_mut() {
-            let st = &mut rt.hosts[host];
-            if let Some(r) = st.rate_bps {
-                rate_bps = r;
-            }
-            fate = st.fate();
-            if matches!(fate, Fate::Lost) {
-                rt.report.injected_drops += 1;
-            }
-        }
-        let ser = SimDuration::for_bytes(pkt.wire_bytes, rate_bps).as_nanos();
-        queue.push(
-            SimTime::from_nanos(now + ser),
-            Event::TransmitDone {
-                node: NodeRef::Host(host),
-                port: 0,
-            },
-        );
-        match fate {
-            // The wire time was spent but the packet never arrives.
-            Fate::Lost => {}
-            fate => {
-                if matches!(fate, Fate::Corrupted) {
-                    pkt.corrupted = true;
-                }
-                Self::push_deliver(
-                    &mut self.shard,
-                    queue,
-                    now + ser + link.delay_nanos,
-                    link.peer,
-                    pkt,
-                );
-            }
-        }
-    }
-
-    fn try_transmit_switch(
-        &mut self,
-        switch: usize,
-        port: usize,
-        now: u64,
-        queue: &mut EventQueue<Event>,
-    ) {
-        if let Some(rt) = self.faults.as_deref() {
-            if !rt.switches[switch][port].up {
-                return; // port's link is down: leave the queue parked
-            }
-        }
-        let marks = &mut self.marks;
-        let p = &mut self.switches[switch].ports[port];
-        if p.busy {
-            return;
-        }
-        let Some((q, mut pkt)) = p.mq.dequeue(now) else {
-            return;
-        };
-        // Dequeue-point marking (PMSB/TCN early-notification experiments).
-        if p.mark_point == MarkPoint::Dequeue && pkt.ect && !pkt.ce {
-            if let Some(marker) = p.marker.as_mut() {
-                let view = SwitchPortView {
-                    mq: &p.mq,
-                    link_rate_bps: p.link.rate_bps,
-                    pool_bytes: p.mq.port_bytes(),
-                    sojourn_nanos: Some(now.saturating_sub(pkt.enqueued_at_nanos)),
-                };
-                if marker.should_mark(&view, q).is_mark() {
-                    pkt.ce = true;
-                    *marks += 1;
-                }
-            }
-        }
-        if let Some(tr) = p.trace.as_mut() {
-            tr.queue_throughput[q].add(now, pkt.wire_bytes);
-        }
-        p.busy = true;
-        let link = p.link;
-        let mut rate_bps = link.rate_bps;
-        let mut fate = Fate::Clean;
-        if let Some(rt) = self.faults.as_deref_mut() {
-            let st = &mut rt.switches[switch][port];
-            if let Some(r) = st.rate_bps {
-                rate_bps = r;
-            }
-            fate = st.fate();
-            if matches!(fate, Fate::Lost) {
-                rt.report.injected_drops += 1;
-            }
-        }
-        let ser = SimDuration::for_bytes(pkt.wire_bytes, rate_bps).as_nanos();
-        queue.push(
-            SimTime::from_nanos(now + ser),
-            Event::TransmitDone {
-                node: NodeRef::Switch(switch),
-                port,
-            },
-        );
-        match fate {
-            // The wire time was spent but the packet never arrives.
-            Fate::Lost => {}
-            fate => {
-                if matches!(fate, Fate::Corrupted) {
-                    pkt.corrupted = true;
-                }
-                Self::push_deliver(
-                    &mut self.shard,
-                    queue,
-                    now + ser + link.delay_nanos,
-                    link.peer,
-                    pkt,
-                );
-            }
-        }
-    }
-
-    fn deliver_to_switch(
-        &mut self,
-        switch: usize,
-        mut pkt: Packet,
-        now: u64,
-        queue: &mut EventQueue<Event>,
-    ) {
-        let out_port = match self.faults.as_deref_mut() {
-            None => self.switches[switch]
-                .routes
-                .port_for(pkt.dst_host, pkt.flow_id),
-            // ECMP re-hashes deterministically over the live candidates;
-            // with everything up this equals the unmasked choice.
-            Some(rt) => {
-                let up = &rt.switches[switch];
-                match self.switches[switch]
-                    .routes
-                    .port_for_masked(pkt.dst_host, pkt.flow_id, |p| up[p].up)
-                {
-                    Some(p) => p,
-                    None => {
-                        rt.report.unroutable_drops += 1;
-                        return; // every candidate towards dst is down
-                    }
-                }
-            }
-        };
-        // Pool occupancy across all ports of this switch — only summed for
-        // the per-pool scheme; every other scheme looks at its own port.
-        let pool: u64 = match &self.switches[switch].ports[out_port].marker {
-            Some(m) if m.reads_pool() => self.switches[switch]
-                .ports
-                .iter()
-                .map(|p| p.mq.port_bytes())
-                .sum(),
-            _ => 0,
-        };
-        let marks = &mut self.marks;
-        let p = &mut self.switches[switch].ports[out_port];
-        let q = pkt.service % p.mq.num_queues();
-        pkt.enqueued_at_nanos = now;
-        // Enqueue-point marking: decide on the occupancy the packet meets.
-        if p.mark_point == MarkPoint::Enqueue && pkt.ect && !pkt.ce {
-            if let Some(marker) = p.marker.as_mut() {
-                let view = SwitchPortView {
-                    mq: &p.mq,
-                    link_rate_bps: p.link.rate_bps,
-                    pool_bytes: pool,
-                    sojourn_nanos: None,
-                };
-                if marker.should_mark(&view, q).is_mark() {
-                    pkt.ce = true;
-                    *marks += 1;
-                }
-            }
-        }
-        let _ = p.mq.enqueue(q, pkt, now); // drop counted in the MultiQueue
-        self.try_transmit_switch(switch, out_port, now, queue);
-    }
-
-    fn deliver_to_host(
-        &mut self,
-        host: usize,
-        pkt: Packet,
-        now: u64,
-        queue: &mut EventQueue<Event>,
-    ) {
-        match pkt.kind {
-            PacketKind::Data { .. } => {
-                let transport = self.transport;
-                let receiver = self.receivers[pkt.flow_id as usize].get_or_insert_with(|| {
-                    DctcpReceiver::with_delack(
-                        pkt.flow_id,
-                        transport.ack_every_packets,
-                        transport.delack_timeout_nanos,
-                    )
-                });
-                let out = receiver.on_data(&pkt, now);
-                if let Some(arm) = out.delack {
-                    queue.push(
-                        SimTime::from_nanos(arm.at_nanos.max(now)),
-                        Event::DelAck {
-                            host,
-                            flow_id: pkt.flow_id,
-                            gen: arm.gen,
-                        },
-                    );
-                }
-                if let Some(ack) = out.ack {
-                    self.host_enqueue(host, ack, now, queue);
-                }
-            }
-            PacketKind::Ack { cum_ack, ece } => {
-                let Some(sender) = self.senders[pkt.flow_id as usize].as_mut() else {
-                    return; // flow not started yet (stale ACK)
-                };
-                let out = sender.on_ack(cum_ack, ece, pkt.sent_at_nanos, now);
-                self.process_sender_output(host, pkt.flow_id, out, now, queue);
-            }
-        }
-    }
-
-    fn sample_traces(&mut self, now: u64) {
-        for sw in &mut self.switches {
-            for port in &mut sw.ports {
-                if let Some(tr) = port.trace.as_mut() {
-                    let mut total = 0.0;
-                    for q in 0..port.mq.num_queues() {
-                        let pkts = port.mq.queue_bytes(q) as f64 / MTU_WIRE_BYTES as f64;
-                        tr.queue_occupancy_pkts[q].sample(now, pkts);
-                        total += pkts;
-                    }
-                    tr.port_occupancy_pkts.sample(now, total);
-                }
-            }
-        }
-    }
-}
-
-impl EventHandler for World {
-    type Event = Event;
-
-    fn handle(&mut self, now: SimTime, event: Event, queue: &mut EventQueue<Event>) {
-        let now = now.as_nanos();
-        match event {
-            Event::FlowStart { flow_id } => {
-                let desc = self.flows[flow_id as usize];
-                let mut sender = DctcpSender::new(
-                    flow_id,
-                    desc.src_host,
-                    desc.dst_host,
-                    desc.service,
-                    desc.size_bytes,
-                    desc.app_rate_bps,
-                    now,
-                    &self.transport,
-                );
-                if self.trace.record_rtt {
-                    sender.enable_rtt_trace();
-                }
-                let out = sender.start(now);
-                self.senders[flow_id as usize] = Some(sender);
-                self.process_sender_output(desc.src_host, flow_id, out, now, queue);
-            }
-            Event::Deliver { node, packet } => {
-                self.deliveries += 1;
-                if packet.corrupted {
-                    // The checksum fails on arrival; the hop discards it.
-                    if let Some(rt) = self.faults.as_deref_mut() {
-                        rt.report.corrupt_drops += 1;
-                    }
-                    return;
-                }
-                match node {
-                    NodeRef::Host(h) => self.deliver_to_host(h, packet, now, queue),
-                    NodeRef::Switch(s) => self.deliver_to_switch(s, packet, now, queue),
-                }
-            }
-            Event::TransmitDone { node, port } => match node {
-                NodeRef::Host(h) => {
-                    self.hosts[h].nic_busy = false;
-                    self.try_transmit_host(h, now, queue);
-                }
-                NodeRef::Switch(s) => {
-                    self.switches[s].ports[port].busy = false;
-                    self.try_transmit_switch(s, port, now, queue);
-                }
-            },
-            Event::Rto {
-                host,
-                flow_id,
-                gen: _,
-            } => {
-                self.rto_next_fire[flow_id as usize] = u64::MAX;
-                // The event's generation may predate later re-arms, so the
-                // sender's live deadline decides what this fire means.
-                let deadline = self.senders[flow_id as usize]
-                    .as_ref()
-                    .and_then(|s| s.rto_deadline());
-                match deadline {
-                    // Live deadline reached: a genuine timeout.
-                    Some(arm) if arm.at_nanos <= now => {
-                        let sender = self.senders[flow_id as usize]
-                            .as_mut()
-                            .expect("armed timer has a sender");
-                        let out = sender.on_rto(arm.gen, now);
-                        self.process_sender_output(host, flow_id, out, now, queue);
-                    }
-                    // The deadline moved while this event was in flight:
-                    // walk the single timer event forward to it.
-                    Some(arm) => {
-                        self.rto_next_fire[flow_id as usize] = arm.at_nanos;
-                        queue.push(
-                            SimTime::from_nanos(arm.at_nanos),
-                            Event::Rto {
-                                host,
-                                flow_id,
-                                gen: arm.gen,
-                            },
-                        );
-                    }
-                    // Timer disarmed (all data ACKed or flow done).
-                    None => {}
-                }
-            }
-            Event::DelAck { host, flow_id, gen } => {
-                if let Some(receiver) = self.receivers[flow_id as usize].as_mut() {
-                    if let Some(ack) = receiver.on_delack_timer(gen) {
-                        self.host_enqueue(host, ack, now, queue);
-                    }
-                }
-            }
-            Event::AppResume { host, flow_id, gen } => {
-                if let Some(sender) = self.senders[flow_id as usize].as_mut() {
-                    let out = sender.on_app_resume(gen, now);
-                    self.process_sender_output(host, flow_id, out, now, queue);
-                }
-            }
-            Event::TraceSample => {
-                self.sample_traces(now);
-                if let Some(interval) = self.trace.sample_interval_nanos {
-                    if now + interval <= self.end_nanos {
-                        queue.push(SimTime::from_nanos(now + interval), Event::TraceSample);
-                        self.note_trace_push();
-                    }
-                }
-            }
-            Event::Fault => self.apply_next_fault(now, queue),
-        }
-    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::config::{MarkingConfig, SchedulerConfig};
+    use crate::config::{MarkingConfig, SchedulerConfig, TransportKind};
 
     /// `num_senders` sender hosts plus one receiver (the last host) on a
     /// single switch; host NICs mirror the switch marking.
@@ -1614,6 +993,48 @@ mod tests {
         for st in res.sender_stats.values() {
             assert_eq!(st.timeouts, 0, "delack flush must prevent RTOs: {st:?}");
         }
+    }
+
+    #[test]
+    fn newreno_transport_completes_flows_end_to_end() {
+        // The same fabric with the second transport: flows complete and
+        // congestion still draws marks.
+        let mut w = star_world(
+            2,
+            MarkingConfig::Pmsb {
+                port_threshold_pkts: 12,
+            },
+        );
+        w.transport.kind = TransportKind::NewReno;
+        w.add_flow(FlowDesc::bulk(0, 2, 0, 5_000_000));
+        w.add_flow(FlowDesc::bulk(1, 2, 1, 5_000_000));
+        let res = w.run_until_nanos(200_000_000);
+        assert_eq!(res.fct.len(), 2, "both NewReno flows complete");
+        assert!(res.marks > 0, "congestion must trigger ECN marks");
+    }
+
+    #[test]
+    fn newreno_and_dctcp_runs_differ() {
+        // The transport axis must actually change the dynamics: same
+        // workload, different transport, different completion schedule.
+        let run = |kind: TransportKind| {
+            let mut w = star_world(2, MarkingConfig::PerPort { threshold_pkts: 16 });
+            w.transport.kind = kind;
+            w.add_flow(FlowDesc::bulk(0, 2, 0, 10_000_000));
+            w.add_flow(FlowDesc::bulk(1, 2, 1, 10_000_000));
+            let res = w.run_until_nanos(500_000_000);
+            assert_eq!(res.fct.len(), 2, "{kind:?} flows complete");
+            res.fct
+                .records()
+                .iter()
+                .map(|r| r.end_nanos)
+                .collect::<Vec<_>>()
+        };
+        assert_ne!(
+            run(TransportKind::Dctcp),
+            run(TransportKind::NewReno),
+            "transports must produce different schedules"
+        );
     }
 
     #[test]

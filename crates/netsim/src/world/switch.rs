@@ -1,0 +1,218 @@
+//! The switch layer: multi-queue ports, ECN marking at enqueue/dequeue,
+//! ECMP forwarding, and trace sampling.
+
+use pmsb::marking::MarkingScheme;
+use pmsb::{MarkPoint, PortView};
+use pmsb_sched::MultiQueue;
+use pmsb_simcore::{EventQueue, SimDuration, SimTime};
+
+use crate::packet::{Packet, MTU_WIRE_BYTES};
+use crate::routing::RouteTable;
+use crate::trace::PortTrace;
+
+use super::{Event, Fate, LinkAttach, NodeRef, World};
+
+/// One output port: service queues, marking scheme, and the outgoing link.
+pub(super) struct SwitchPort {
+    pub(super) mq: MultiQueue<Packet>,
+    pub(super) marker: Option<Box<dyn MarkingScheme>>,
+    pub(super) mark_point: MarkPoint,
+    pub(super) busy: bool,
+    pub(super) link: LinkAttach,
+    pub(super) trace: Option<PortTrace>,
+}
+
+/// A switch: its ports plus the routing table towards each host.
+pub(super) struct Switch {
+    pub(super) ports: Vec<SwitchPort>,
+    pub(super) routes: RouteTable,
+}
+
+/// Adapter exposing a switch port's state as a [`PortView`] for the
+/// marking schemes.
+pub(super) struct SwitchPortView<'a> {
+    pub(super) mq: &'a MultiQueue<Packet>,
+    pub(super) link_rate_bps: u64,
+    pub(super) pool_bytes: u64,
+    pub(super) sojourn_nanos: Option<u64>,
+}
+
+impl PortView for SwitchPortView<'_> {
+    fn num_queues(&self) -> usize {
+        self.mq.num_queues()
+    }
+    fn port_bytes(&self) -> u64 {
+        self.mq.port_bytes()
+    }
+    fn queue_bytes(&self, q: usize) -> u64 {
+        self.mq.queue_bytes(q)
+    }
+    fn pool_bytes(&self) -> u64 {
+        self.pool_bytes
+    }
+    fn link_rate_bps(&self) -> u64 {
+        self.link_rate_bps
+    }
+    fn packet_sojourn_nanos(&self) -> Option<u64> {
+        self.sojourn_nanos
+    }
+    fn round_time_nanos(&self) -> Option<u64> {
+        self.mq.scheduler().round_time_nanos()
+    }
+}
+
+impl World {
+    pub(super) fn try_transmit_switch(
+        &mut self,
+        switch: usize,
+        port: usize,
+        now: u64,
+        queue: &mut EventQueue<Event>,
+    ) {
+        if let Some(rt) = self.faults.as_deref() {
+            if !rt.switches[switch][port].up {
+                return; // port's link is down: leave the queue parked
+            }
+        }
+        let marks = &mut self.marks;
+        let p = &mut self.switches[switch].ports[port];
+        if p.busy {
+            return;
+        }
+        let Some((q, mut pkt)) = p.mq.dequeue(now) else {
+            return;
+        };
+        // Dequeue-point marking (PMSB/TCN early-notification experiments).
+        if p.mark_point == MarkPoint::Dequeue && pkt.ect && !pkt.ce {
+            if let Some(marker) = p.marker.as_mut() {
+                let view = SwitchPortView {
+                    mq: &p.mq,
+                    link_rate_bps: p.link.rate_bps,
+                    pool_bytes: p.mq.port_bytes(),
+                    sojourn_nanos: Some(now.saturating_sub(pkt.enqueued_at_nanos)),
+                };
+                if marker.should_mark(&view, q).is_mark() {
+                    pkt.ce = true;
+                    *marks += 1;
+                }
+            }
+        }
+        if let Some(tr) = p.trace.as_mut() {
+            tr.queue_throughput[q].add(now, pkt.wire_bytes);
+        }
+        p.busy = true;
+        let link = p.link;
+        let mut rate_bps = link.rate_bps;
+        let mut fate = Fate::Clean;
+        if let Some(rt) = self.faults.as_deref_mut() {
+            let st = &mut rt.switches[switch][port];
+            if let Some(r) = st.rate_bps {
+                rate_bps = r;
+            }
+            fate = st.fate();
+            if matches!(fate, Fate::Lost) {
+                rt.report.injected_drops += 1;
+            }
+        }
+        let ser = SimDuration::for_bytes(pkt.wire_bytes, rate_bps).as_nanos();
+        queue.push(
+            SimTime::from_nanos(now + ser),
+            Event::TransmitDone {
+                node: NodeRef::Switch(switch),
+                port,
+            },
+        );
+        match fate {
+            // The wire time was spent but the packet never arrives.
+            Fate::Lost => {}
+            fate => {
+                if matches!(fate, Fate::Corrupted) {
+                    pkt.corrupted = true;
+                }
+                Self::push_deliver(
+                    &mut self.shard,
+                    queue,
+                    now + ser + link.delay_nanos,
+                    link.peer,
+                    pkt,
+                );
+            }
+        }
+    }
+
+    pub(super) fn deliver_to_switch(
+        &mut self,
+        switch: usize,
+        mut pkt: Packet,
+        now: u64,
+        queue: &mut EventQueue<Event>,
+    ) {
+        let out_port = match self.faults.as_deref_mut() {
+            None => self.switches[switch]
+                .routes
+                .port_for(pkt.dst_host, pkt.flow_id),
+            // ECMP re-hashes deterministically over the live candidates;
+            // with everything up this equals the unmasked choice.
+            Some(rt) => {
+                let up = &rt.switches[switch];
+                match self.switches[switch]
+                    .routes
+                    .port_for_masked(pkt.dst_host, pkt.flow_id, |p| up[p].up)
+                {
+                    Some(p) => p,
+                    None => {
+                        rt.report.unroutable_drops += 1;
+                        return; // every candidate towards dst is down
+                    }
+                }
+            }
+        };
+        // Pool occupancy across all ports of this switch — only summed for
+        // the per-pool scheme; every other scheme looks at its own port.
+        let pool: u64 = match &self.switches[switch].ports[out_port].marker {
+            Some(m) if m.reads_pool() => self.switches[switch]
+                .ports
+                .iter()
+                .map(|p| p.mq.port_bytes())
+                .sum(),
+            _ => 0,
+        };
+        let marks = &mut self.marks;
+        let p = &mut self.switches[switch].ports[out_port];
+        let q = pkt.service % p.mq.num_queues();
+        pkt.enqueued_at_nanos = now;
+        // Enqueue-point marking: decide on the occupancy the packet meets.
+        if p.mark_point == MarkPoint::Enqueue && pkt.ect && !pkt.ce {
+            if let Some(marker) = p.marker.as_mut() {
+                let view = SwitchPortView {
+                    mq: &p.mq,
+                    link_rate_bps: p.link.rate_bps,
+                    pool_bytes: pool,
+                    sojourn_nanos: None,
+                };
+                if marker.should_mark(&view, q).is_mark() {
+                    pkt.ce = true;
+                    *marks += 1;
+                }
+            }
+        }
+        let _ = p.mq.enqueue(q, pkt, now); // drop counted in the MultiQueue
+        self.try_transmit_switch(switch, out_port, now, queue);
+    }
+
+    pub(super) fn sample_traces(&mut self, now: u64) {
+        for sw in &mut self.switches {
+            for port in &mut sw.ports {
+                if let Some(tr) = port.trace.as_mut() {
+                    let mut total = 0.0;
+                    for q in 0..port.mq.num_queues() {
+                        let pkts = port.mq.queue_bytes(q) as f64 / MTU_WIRE_BYTES as f64;
+                        tr.queue_occupancy_pkts[q].sample(now, pkts);
+                        total += pkts;
+                    }
+                    tr.port_occupancy_pkts.sample(now, total);
+                }
+            }
+        }
+    }
+}

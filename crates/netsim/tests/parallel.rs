@@ -144,7 +144,8 @@ fn uplink_flap_schedule_matches_sequential() {
             let src = 12 + (i * 5 % 36) as usize;
             let dst = (i % 12) as usize;
             e.add_flow(
-                FlowDesc::bulk(src, dst, (i % 8) as usize, 300_000).starting_at(2_000_000 + i * 500_000),
+                FlowDesc::bulk(src, dst, (i % 8) as usize, 300_000)
+                    .starting_at(2_000_000 + i * 500_000),
             );
         }
         e

@@ -227,7 +227,8 @@ impl<E> EventQueue<E> {
     pub fn reserve(&mut self, additional: usize) {
         self.arena.reserve(additional);
         self.ensure_heads();
-        self.batch.reserve(additional.div_ceil(L0_SLOTS).max(UP_SLOTS));
+        self.batch
+            .reserve(additional.div_ceil(L0_SLOTS).max(UP_SLOTS));
     }
 
     /// Schedules `event` to occur at absolute time `at`.
@@ -334,7 +335,10 @@ impl<E> EventQueue<E> {
             return self.push(SimTime::from_nanos(at), event);
         }
         self.tagged = true;
-        debug_assert!(self.next_seq >> SEQ_COUNTER_BITS == 0, "seq counter overflow");
+        debug_assert!(
+            self.next_seq >> SEQ_COUNTER_BITS == 0,
+            "seq counter overflow"
+        );
         let seq = SEQ_MSG_BIT | u64::from(stream) << SEQ_COUNTER_BITS | self.next_seq;
         self.next_seq += 1;
         let x = at ^ self.now;
@@ -978,7 +982,10 @@ mod tests {
         assert_eq!(q.peek_time(), Some(SimTime::from_nanos(30)));
         assert_eq!(q.pop().unwrap(), (SimTime::from_nanos(30), "soon"));
         assert_eq!(q.peek_time(), Some(SimTime::from_nanos(4_000_000_000)));
-        assert_eq!(q.pop().unwrap(), (SimTime::from_nanos(4_000_000_000), "rto"));
+        assert_eq!(
+            q.pop().unwrap(),
+            (SimTime::from_nanos(4_000_000_000), "rto")
+        );
         assert_eq!(
             q.pop().unwrap(),
             (SimTime::from_nanos(20_000_000_000_000), "idle timer")
@@ -1035,7 +1042,12 @@ mod tests {
         let sent_at_10 = q.current_tie_key();
         assert_eq!(q.pop().unwrap().1, "late handler");
         q.push(SimTime::from_nanos(100), "local push at 20");
-        q.push_ordered(SimTime::from_nanos(100), sent_at_10, 1, "message sent at 10");
+        q.push_ordered(
+            SimTime::from_nanos(100),
+            sent_at_10,
+            1,
+            "message sent at 10",
+        );
         assert_eq!(q.pop().unwrap().1, "message sent at 10");
         assert_eq!(q.pop().unwrap().1, "local push at 20");
         assert!(q.is_empty());

@@ -97,13 +97,14 @@ impl SpinBarrier {
         let gen = self.generation.load(Ordering::Acquire);
         if self.count.fetch_add(1, Ordering::AcqRel) + 1 == self.total {
             self.count.store(0, Ordering::Relaxed);
-            self.generation.store(gen.wrapping_add(1), Ordering::Release);
+            self.generation
+                .store(gen.wrapping_add(1), Ordering::Release);
         } else {
             let mut spins = 0u32;
             while self.generation.load(Ordering::Acquire) == gen {
                 std::hint::spin_loop();
                 spins += 1;
-                if spins % 4096 == 0 {
+                if spins.is_multiple_of(4096) {
                     std::thread::yield_now();
                 }
             }
@@ -215,8 +216,10 @@ pub fn run_conservative<L: LogicalProcess>(
                         lp.receive(at, src, payload);
                     }
                     lp.run_window(SimTime::from_nanos(cap), &mut outbox);
-                    ch.next_time
-                        .store(lp.next_time().map_or(IDLE, SimTime::as_nanos), Ordering::Release);
+                    ch.next_time.store(
+                        lp.next_time().map_or(IDLE, SimTime::as_nanos),
+                        Ordering::Release,
+                    );
                     ch.outbox.lock().expect("outbox lock").append(&mut outbox);
                     // (2) Window complete; hand control to the coordinator.
                     barrier.wait();
@@ -250,11 +253,11 @@ pub fn run_conservative<L: LogicalProcess>(
             // irrelevant.
             pending.sort_unstable_by_key(|(at, src, idx, _, _)| (*at, *src, *idx));
             for (at, src, _, dst, payload) in pending.drain(..) {
-                channels[dst]
-                    .inbox
-                    .lock()
-                    .expect("inbox lock")
-                    .push((SimTime::from_nanos(at), src as u32, payload));
+                channels[dst].inbox.lock().expect("inbox lock").push((
+                    SimTime::from_nanos(at),
+                    src as u32,
+                    payload,
+                ));
             }
             let cap = min
                 .saturating_add(lookahead.as_nanos())
@@ -362,10 +365,7 @@ mod tests {
         // between the two LPs starting at LP 0.
         let fired: usize = lps.iter().map(|lp| lp.log.len()).sum();
         assert_eq!(fired, 51);
-        assert!(lps
-            .iter()
-            .flat_map(|lp| &lp.log)
-            .all(|&(t, _)| t <= 501));
+        assert!(lps.iter().flat_map(|lp| &lp.log).all(|&(t, _)| t <= 501));
     }
 
     #[test]
@@ -421,8 +421,14 @@ mod tests {
         // by source id, not arrival timing.
         for _ in 0..16 {
             let mut lps = vec![
-                Lp::S(Sender { id: 0, fired: false }),
-                Lp::S(Sender { id: 1, fired: false }),
+                Lp::S(Sender {
+                    id: 0,
+                    fired: false,
+                }),
+                Lp::S(Sender {
+                    id: 1,
+                    fired: false,
+                }),
                 Lp::C(Collector(Vec::new())),
             ];
             run_conservative(
@@ -430,7 +436,9 @@ mod tests {
                 SimDuration::from_nanos(10),
                 SimTime::from_nanos(100),
             );
-            let Lp::C(c) = &lps[2] else { panic!("collector") };
+            let Lp::C(c) = &lps[2] else {
+                panic!("collector")
+            };
             assert_eq!(c.0, vec![0, 1]);
         }
     }

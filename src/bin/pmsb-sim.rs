@@ -25,7 +25,8 @@ use pmsb::MarkPoint;
 use pmsb_metrics::fct::SizeClass;
 use pmsb_netsim::experiment::{Experiment, FaultSchedule, FlowDesc};
 use pmsb_repro::cli::{
-    parse_flow, parse_marking, parse_scheduler, parse_weights, split_options, ParseError,
+    parse_flow, parse_marking, parse_scheduler, parse_transport, parse_weights, split_options,
+    ParseError,
 };
 use pmsb_simcore::rng::SimRng;
 use pmsb_workload::traffic::TrafficSpec;
@@ -36,18 +37,21 @@ pmsb-sim — PMSB datacenter ECN experiments
 USAGE:
   pmsb-sim dumbbell  [--senders N] [--queues N] [--marking SPEC]
                      [--scheduler SPEC] [--mark-point enq|deq]
-                     [--pmsbe-us X] [--rate-gbps N] [--delay-ns N]
+                     [--pmsbe-us X] [--transport dctcp|newreno]
+                     [--rate-gbps N] [--delay-ns N]
                      [--millis N] [--watch true] [--fault-schedule FILE]
                      [--sim-threads N] --flow SPEC [--flow SPEC ...]
   pmsb-sim leaf-spine [--load X] [--flows N] [--seed N] [--marking SPEC]
                      [--scheduler SPEC] [--mark-point enq|deq] [--pmsbe-us X]
+                     [--transport dctcp|newreno]
                      [--fault-schedule FILE] [--sim-threads N]
   pmsb-sim profile   --rtt-us X --weights W1,W2,... [--rate-gbps N]
                      [--lambda X] [--margin X]
   pmsb-sim campaign  NAME [--quick] [--jobs N] [--results DIR] [--quiet]
                      [--sim-threads N]
                      NAME: all | figures | extensions | large-scale-dwrr
-                     | large-scale-wfq | seed-sensitivity | any scenario
+                     | large-scale-wfq | seed-sensitivity | faults
+                     | transport | any scenario
                      (e.g. fig08, ablation_port_threshold)
   pmsb-sim help
 
@@ -186,6 +190,9 @@ fn apply_common(mut e: Experiment, options: &[(String, String)]) -> Result<Exper
             .parse()
             .map_err(|_| ParseError(format!("bad --pmsbe-us '{us}'")))?;
         e = e.pmsbe_rtt_threshold_nanos((v * 1e3) as u64);
+    }
+    if let Some(t) = opt(options, "transport") {
+        e = e.transport_kind(parse_transport(t)?);
     }
     if let Some(path) = opt(options, "fault-schedule") {
         let text = std::fs::read_to_string(path)

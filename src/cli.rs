@@ -4,7 +4,7 @@
 //! parser with unit tests. See `src/bin/pmsb-sim.rs` for the binary and
 //! `pmsb-sim help` for the surface syntax.
 
-use pmsb_netsim::experiment::{FlowDesc, MarkingConfig, SchedulerConfig};
+use pmsb_netsim::experiment::{FlowDesc, MarkingConfig, SchedulerConfig, TransportKind};
 
 /// A parse failure with a human-readable reason.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -189,6 +189,25 @@ pub fn parse_scheduler(s: &str) -> Result<SchedulerConfig, ParseError> {
     }
 }
 
+/// Parses a transport name: `dctcp` (the default) or `newreno` (classic
+/// RFC 3168 ECN: halve once per RTT on ECE, no DCTCP alpha estimator).
+///
+/// # Example
+///
+/// ```
+/// use pmsb_repro::cli::parse_transport;
+/// use pmsb_netsim::experiment::TransportKind;
+///
+/// assert_eq!(parse_transport("newreno").unwrap(), TransportKind::NewReno);
+/// ```
+pub fn parse_transport(s: &str) -> Result<TransportKind, ParseError> {
+    match s {
+        "dctcp" => Ok(TransportKind::Dctcp),
+        "newreno" => Ok(TransportKind::NewReno),
+        other => err(format!("unknown transport '{other}' (dctcp|newreno)")),
+    }
+}
+
 /// Parses one flow spec `SRC>DST:SERVICE:SIZE[@START_US][/RATE_GBPS]`,
 /// e.g. `0>8:1:64K`, `2>8:0:u/5` (unbounded at 5 Gbps),
 /// `1>4:3:1M@2500` (1 MB starting at t = 2.5 ms).
@@ -329,6 +348,33 @@ mod tests {
         );
         assert!(parse_scheduler("sp").is_err());
         assert!(parse_scheduler("dwrr:0,1").is_err());
+    }
+
+    #[test]
+    fn transports_parse() {
+        assert_eq!(parse_transport("dctcp").unwrap(), TransportKind::Dctcp);
+        assert_eq!(parse_transport("newreno").unwrap(), TransportKind::NewReno);
+    }
+
+    #[test]
+    fn unknown_transport_lists_the_accepted_names() {
+        let e = parse_transport("cubic").unwrap_err();
+        assert!(e.0.contains("cubic"), "names the bad input: {e}");
+        assert!(e.0.contains("dctcp|newreno"), "lists the variants: {e}");
+    }
+
+    #[test]
+    fn unknown_marking_and_scheduler_list_the_accepted_names() {
+        let e = parse_marking("wat:1").unwrap_err();
+        assert!(
+            e.0.contains("none|pmsb|per-port|per-queue|per-queue-frac|pool|mq-ecn|tcn|red"),
+            "marking error lists variants: {e}"
+        );
+        let e = parse_scheduler("wat").unwrap_err();
+        assert!(
+            e.0.contains("fifo|sp|wrr|dwrr|wfq|spwfq"),
+            "scheduler error lists variants: {e}"
+        );
     }
 
     #[test]
