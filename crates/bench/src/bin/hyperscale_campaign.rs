@@ -1,0 +1,10 @@
+//! Hyperscale fat-tree sweep: marking schemes under streamed incast,
+//! shuffle, and hot-service patterns with slab flow state and sketch
+//! telemetry.
+//!
+//! Runs as a harness campaign: accepts `--quick`, `--jobs N`,
+//! `--results DIR`, `--quiet`, `--sim-threads N`; results persist under
+//! `results/hyperscale/` and completed jobs resume for free.
+fn main() {
+    pmsb_bench::campaigns::run_campaign_main("hyperscale");
+}

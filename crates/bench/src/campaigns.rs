@@ -13,7 +13,7 @@ use pmsb_netsim::experiment::SchedulerConfig;
 
 use crate::large_scale::{self, LsRow};
 use crate::util::banner;
-use crate::{extensions, faults, figures, outln, transport};
+use crate::{extensions, faults, figures, hyperscale, outln, transport};
 
 /// The seed used by single-seed sweeps, matching the paper runs.
 pub const DEFAULT_SEED: u64 = 42;
@@ -306,6 +306,50 @@ pub fn write_faults_report(out: &mut String, records: &[Record]) {
     }
 }
 
+/// One job per `(scheme, pattern)` cell of the hyperscale fat-tree
+/// sweep (see [`crate::hyperscale`]). Streaming cells: the record holds
+/// sketch percentiles and the slab high-water mark, never a per-flow
+/// sample store.
+pub fn hyperscale_jobs(quick: bool, seed: u64) -> Vec<Job> {
+    let (k, total_flows) = hyperscale::fabric_and_flows(quick);
+    let mut jobs = Vec::new();
+    for scheme in hyperscale::schemes() {
+        for pattern in hyperscale::patterns(quick) {
+            let name = scheme.0;
+            let pattern_name = pattern.0;
+            let scheme = scheme.clone();
+            jobs.push(
+                Job::new("hyperscale", seed, move || {
+                    hyperscale::row_record(&hyperscale::run_cell(
+                        &scheme,
+                        &pattern,
+                        k,
+                        total_flows,
+                        seed,
+                        crate::util::sim_threads(),
+                    ))
+                })
+                .param("scheme", name)
+                .param("pattern", pattern_name)
+                .param("quick", quick),
+            );
+        }
+    }
+    jobs
+}
+
+/// Writes the hyperscale table from completed records.
+pub fn write_hyperscale_report(out: &mut String, records: &[Record]) {
+    let rows: Vec<hyperscale::HsRow> = records
+        .iter()
+        .filter(|r| r.get_str("scenario") == Some("hyperscale"))
+        .filter_map(hyperscale::row_from_record)
+        .collect();
+    if !rows.is_empty() {
+        hyperscale::write_report(out, &rows);
+    }
+}
+
 /// One job per `(transport, scheme)` cell of the transport sweep (see
 /// [`crate::transport`]).
 pub fn transport_jobs(quick: bool, seed: u64) -> Vec<Job> {
@@ -406,6 +450,7 @@ pub const CAMPAIGN_NAMES: &[&str] = &[
     "seed-sensitivity",
     "faults",
     "transport",
+    "hyperscale",
 ];
 
 /// Resolves a campaign by name: one of [`CAMPAIGN_NAMES`] or any
@@ -433,6 +478,10 @@ pub fn campaign_by_name(name: &str, quick: bool) -> Option<Campaign> {
         "transport" => Some(campaign_from(
             "transport",
             transport_jobs(quick, DEFAULT_SEED),
+        )),
+        "hyperscale" => Some(campaign_from(
+            "hyperscale",
+            hyperscale_jobs(quick, DEFAULT_SEED),
         )),
         _ => {
             let jobs: Vec<Job> = figure_jobs(quick)
@@ -505,6 +554,7 @@ pub fn print_campaign_output(result: &CampaignResult) {
     }
     write_faults_report(&mut out, &result.records);
     write_transport_report(&mut out, &result.records);
+    write_hyperscale_report(&mut out, &result.records);
     print!("{out}");
 }
 
@@ -596,6 +646,18 @@ mod tests {
         assert!(keys
             .iter()
             .any(|k| k.contains("transport=newreno") && k.contains("scheme=pmsb(e)")));
+    }
+
+    #[test]
+    fn hyperscale_jobs_cover_the_grid() {
+        let jobs = hyperscale_jobs(true, DEFAULT_SEED);
+        // 4 schemes x 3 patterns.
+        assert_eq!(jobs.len(), 12);
+        let keys: std::collections::HashSet<String> = jobs.iter().map(|j| j.key()).collect();
+        assert_eq!(keys.len(), 12, "keys must be unique");
+        assert!(keys
+            .iter()
+            .any(|k| k.contains("scheme=pmsb(e)") && k.contains("pattern=hotservice")));
     }
 
     #[test]

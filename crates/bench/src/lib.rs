@@ -44,6 +44,7 @@ pub mod campaigns;
 pub mod extensions;
 pub mod faults;
 pub mod figures;
+pub mod hyperscale;
 pub mod large_scale;
 pub mod micro;
 pub mod report;

@@ -12,7 +12,9 @@
 //! * `transport_newreno/*` — the same loopback on the NewReno transport;
 //! * `dumbbell_4x500KB/*` — end-to-end simulator throughput;
 //! * `large_scale_parallel/threads_*` — one leaf–spine cell sharded
-//!   across 1/2/4 worker threads (wall-clock scaling of `--sim-threads`).
+//!   across 1/2/4 worker threads (wall-clock scaling of `--sim-threads`);
+//! * `hyperscale/fat_tree_k4_stream` — a streamed mixed workload through
+//!   the slab flow state on the smoke fat-tree.
 
 use std::hint::black_box;
 use std::time::Instant;
@@ -405,6 +407,39 @@ fn parallel_cases(out: &mut String, quick: bool, samples: u32) -> Vec<CaseResult
         .collect()
 }
 
+/// Streaming fat-tree cell through the slab flow state: a k=4 fabric
+/// under a mixed incast+shuffle stream, timed end to end (one iteration
+/// = one full run). The per-flow cost here is the unit the million-flow
+/// throughput in `BENCH_pr6.json` scales up (see
+/// `report::hyperscale_run`).
+fn hyperscale_cases(out: &mut String, quick: bool, samples: u32) -> Vec<CaseResult> {
+    let total_flows = if quick { 1_000 } else { 10_000 };
+    let scheme = (
+        "pmsb",
+        MarkingConfig::Pmsb {
+            port_threshold_pkts: 12,
+        },
+        None,
+    );
+    let pattern = (
+        "mix",
+        pmsb_workload::PatternSpec::Mix(vec![
+            pmsb_workload::PatternSpec::incast(8),
+            pmsb_workload::PatternSpec::shuffle(),
+        ]),
+    );
+    vec![run_case(
+        out,
+        "hyperscale/fat_tree_k4_stream",
+        1,
+        samples,
+        || {
+            let row = crate::hyperscale::run_cell(&scheme, &pattern, 4, total_flows, 42, 1);
+            black_box(row.completed);
+        },
+    )]
+}
+
 /// Runs the whole micro-benchmark suite, appending a
 /// `case,mean_ns,best_ns` CSV to `out`. `quick` shrinks iteration
 /// counts for smoke runs.
@@ -418,6 +453,7 @@ pub fn run_all(out: &mut String, quick: bool) -> Vec<CaseResult> {
     results.extend(transport_cases(out, slow_iters, samples));
     results.extend(small_sim_cases(out, slow_iters, samples));
     results.extend(parallel_cases(out, quick, samples));
+    results.extend(hyperscale_cases(out, quick, samples));
     results
 }
 
@@ -429,7 +465,7 @@ mod tests {
     fn quick_suite_times_every_case() {
         let mut out = String::new();
         let results = run_all(&mut out, true);
-        assert_eq!(results.len(), 5 + 5 + 4 + 3 + 4 + 3);
+        assert_eq!(results.len(), 5 + 5 + 4 + 3 + 4 + 3 + 1);
         for r in &results {
             assert!(
                 r.best_nanos > 0.0 && r.best_nanos.is_finite(),

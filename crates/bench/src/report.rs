@@ -209,6 +209,67 @@ pub struct DerivedMetrics {
     pub parallel_speedup_t2: f64,
     /// Same at 4 threads.
     pub parallel_speedup_t4: f64,
+    /// The hyperscale representative run (quick: 20k flows on a k=4
+    /// fat-tree; full: one million flows on k=16).
+    pub hyperscale: HyperscaleRun,
+}
+
+/// Metrics of one representative streaming fat-tree run: the wall-clock
+/// flow throughput and the live-slab high-water mark that bound the
+/// memory claim of DESIGN.md §10.
+#[derive(Debug, Clone)]
+pub struct HyperscaleRun {
+    /// Fat-tree parameter `k` of the fabric.
+    pub fabric_k: usize,
+    /// Flows injected from the stream.
+    pub flows: u64,
+    /// Flows completed before the horizon.
+    pub completed: u64,
+    /// Completed flows per wall-clock second.
+    pub flows_per_sec: f64,
+    /// Peak simultaneously-allocated flow slots (the resident-memory
+    /// proxy: flow state is bounded by this, not by `flows`).
+    pub slab_high_water: u64,
+    /// Sketch 99th-percentile FCT, µs.
+    pub fct_p99_us: f64,
+}
+
+/// Runs the representative hyperscale cell once — a mixed incast+shuffle
+/// stream of 20 KB flows over a fat-tree, PMSB marking — and times it.
+/// `quick` uses 20 000 flows on k=4; the full run is the BENCH headline:
+/// one million flows on the 1024-host k=16 fabric.
+pub fn hyperscale_run(quick: bool) -> HyperscaleRun {
+    let (k, flows) = if quick { (4, 20_000) } else { (16, 1_000_000) };
+    use pmsb_workload::PatternSpec;
+    let pattern = PatternSpec::Mix(vec![
+        PatternSpec::Incast {
+            fan_in: 64,
+            epoch_nanos: 500_000,
+            request_bytes: 20_000,
+        },
+        PatternSpec::Shuffle {
+            flow_bytes: 20_000,
+            wave_gap_nanos: 1_000_000,
+        },
+    ]);
+    let scheme = (
+        "pmsb",
+        MarkingConfig::Pmsb {
+            port_threshold_pkts: 12,
+        },
+        None,
+    );
+    let t0 = Instant::now();
+    let row = crate::hyperscale::run_cell(&scheme, &("mix", pattern), k, flows, 42, 1);
+    let secs = t0.elapsed().as_secs_f64();
+    HyperscaleRun {
+        fabric_k: k,
+        flows: row.injected,
+        completed: row.completed,
+        flows_per_sec: row.completed as f64 / secs,
+        slab_high_water: row.slab_high_water,
+        fct_p99_us: row.fct_p99_us,
+    }
 }
 
 /// Runs the `dumbbell_4x500KB/pmsb` scenario once and returns its
@@ -283,7 +344,8 @@ fn find_best(results: &[CaseResult], label: &str) -> Option<f64> {
 }
 
 /// Computes the derived hot-path metrics from the timed case results.
-pub fn derive_metrics(results: &[CaseResult]) -> DerivedMetrics {
+/// `quick` sizes the representative hyperscale run.
+pub fn derive_metrics(results: &[CaseResult], quick: bool) -> DerivedMetrics {
     let (events, deliveries) = dumbbell_counts();
     // push_pop_1k performs 1000 pushes + 1000 pops per iteration.
     let eq_ops = find_best(results, "event_queue/push_pop_1k")
@@ -304,6 +366,7 @@ pub fn derive_metrics(results: &[CaseResult]) -> DerivedMetrics {
         campaign_wall_clock_ms: campaign_wall_clock_ms(),
         parallel_speedup_t2: speedup_vs_seq("large_scale_parallel/threads_2"),
         parallel_speedup_t4: speedup_vs_seq("large_scale_parallel/threads_4"),
+        hyperscale: hyperscale_run(quick),
     }
 }
 
@@ -414,7 +477,17 @@ pub fn render_json(
     push_ratio(&mut out, derived.parallel_speedup_t2);
     out.push_str(",\n    \"parallel_speedup_t4\": ");
     push_ratio(&mut out, derived.parallel_speedup_t4);
-    out.push_str("\n  },\n");
+    out.push_str(",\n    \"hyperscale\": {\n");
+    let hs = &derived.hyperscale;
+    let _ = writeln!(out, "      \"fabric_k\": {},", hs.fabric_k);
+    let _ = writeln!(out, "      \"flows\": {},", hs.flows);
+    let _ = writeln!(out, "      \"completed\": {},", hs.completed);
+    out.push_str("      \"flows_per_sec\": ");
+    push_f64(&mut out, hs.flows_per_sec);
+    let _ = writeln!(out, ",\n      \"slab_high_water\": {},", hs.slab_high_water);
+    out.push_str("      \"fct_p99_us\": ");
+    push_f64(&mut out, hs.fct_p99_us);
+    out.push_str("\n    }\n  },\n");
     out.push_str("  \"determinism\": {\n");
     let _ = writeln!(
         out,
@@ -444,7 +517,7 @@ pub fn build(
         .map(parse_baseline)
         .transpose()?
         .unwrap_or_default();
-    let derived = derive_metrics(results);
+    let derived = derive_metrics(results, quick);
     let determinism = determinism_check();
     Ok(render_json(
         results,
@@ -458,6 +531,17 @@ pub fn build(
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    fn test_hyperscale() -> HyperscaleRun {
+        HyperscaleRun {
+            fabric_k: 4,
+            flows: 20_000,
+            completed: 19_900,
+            flows_per_sec: 50_000.0,
+            slab_high_water: 96,
+            fct_p99_us: 250.0,
+        }
+    }
 
     #[test]
     fn baseline_csv_parses_and_skips_header() {
@@ -496,6 +580,7 @@ mod tests {
             campaign_wall_clock_ms: f64::NAN,
             parallel_speedup_t2: f64::NAN,
             parallel_speedup_t4: f64::NAN,
+            hyperscale: test_hyperscale(),
         };
         let determinism = DeterminismCheck {
             fel_matches_heap: true,
@@ -565,6 +650,7 @@ mod tests {
             campaign_wall_clock_ms: 42.0,
             parallel_speedup_t2: 1.4,
             parallel_speedup_t4: f64::NAN,
+            hyperscale: test_hyperscale(),
         };
         let determinism = DeterminismCheck {
             fel_matches_heap: true,
@@ -578,6 +664,9 @@ mod tests {
         assert!(json.contains("\"campaign_wall_clock_ms\": 42.0"));
         assert!(json.contains("\"parallel_speedup_t2\": 1.400"));
         assert!(json.contains("\"parallel_speedup_t4\": null"));
+        assert!(json.contains("\"slab_high_water\": 96"));
+        assert!(json.contains("\"flows_per_sec\": 50000.0"));
+        assert!(json.contains("\"fabric_k\": 4"));
         // The dumbbell case had no baseline entry: no speedup key on it.
         let dumbbell_line = json
             .lines()

@@ -8,6 +8,8 @@
 //!   classes (small < 100 KB, medium 100 KB–10 MB, large > 10 MB),
 //! * [`robustness`] — retransmit/RTO/recovery-time aggregation for fault
 //!   campaigns ([`robustness::RobustnessSummary`]),
+//! * [`QuantileSketch`] — fixed-size mergeable log-bucketed FCT sketch for
+//!   million-flow streaming runs (hyperscale campaigns),
 //! * [`ThroughputSeries`] / [`GaugeSeries`] — binned throughput and sampled
 //!   queue-occupancy time series (the paper's throughput/buffer figures).
 //!
@@ -28,8 +30,10 @@ pub mod cdf;
 pub mod fct;
 pub mod robustness;
 pub mod series;
+pub mod sketch;
 mod summary;
 
 pub use cdf::Cdf;
 pub use series::{GaugeSeries, ThroughputSeries};
+pub use sketch::QuantileSketch;
 pub use summary::{percentile, Summary};

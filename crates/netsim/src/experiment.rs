@@ -2,12 +2,13 @@
 
 use crate::topology;
 use pmsb::MarkPoint;
+use pmsb_workload::PatternSpec;
 
 pub use crate::config::{
     HostConfig, MarkingConfig, SchedulerConfig, SwitchConfig, TransportConfig, TransportKind,
 };
 pub use crate::trace::TraceConfig;
-pub use crate::world::{FlowDesc, RunResults};
+pub use crate::world::{FlowDesc, RunResults, StreamStats};
 pub use pmsb_faults::{FaultEvent, FaultKind, FaultSchedule, FaultTarget};
 
 /// What a finished experiment returns; see [`RunResults`] for the fields.
@@ -24,6 +25,18 @@ enum Topology {
         spines: usize,
         hosts_per_leaf: usize,
     },
+    /// Three-tier fat-tree with parameter `k` (`k³/4` hosts).
+    FatTree { k: usize },
+}
+
+/// A streaming workload attached to an experiment (see
+/// [`Experiment::stream`]).
+#[derive(Debug, Clone)]
+struct StreamSpec {
+    pattern: PatternSpec,
+    seed: u64,
+    total_flows: u64,
+    record_exact: bool,
 }
 
 /// A declarative experiment: pick a topology, a marking scheme, a
@@ -55,6 +68,8 @@ pub struct Experiment {
     /// default); `Some(cfg)` overrides it.
     host_nic_marking: Option<MarkingConfig>,
     faults: Option<FaultSchedule>,
+    /// Streaming workload; `None` = the static `flows` list.
+    stream: Option<StreamSpec>,
     /// Worker threads for the run itself (conservative parallel DES,
     /// DESIGN.md §8). 1 = the plain sequential event loop.
     sim_threads: usize,
@@ -82,6 +97,7 @@ impl Experiment {
             flows: Vec::new(),
             host_nic_marking: None,
             faults: None,
+            stream: None,
             sim_threads: 1,
         }
     }
@@ -112,8 +128,27 @@ impl Experiment {
             flows: Vec::new(),
             host_nic_marking: None,
             faults: None,
+            stream: None,
             sim_threads: 1,
         }
+    }
+
+    /// A `k`-ary fat-tree fabric ([`topology::fat_tree`]): `k³/4` hosts,
+    /// `(5/4)k²` switches, full bisection bandwidth with per-flow ECMP
+    /// over the `(k/2)²` equal-cost core paths. 10 Gbps links with 1 µs
+    /// propagation, 8 equal-weight DWRR queues — the maximum inter-pod
+    /// unloaded RTT (12 link traversals ≈ 12 µs plus serialization) stays
+    /// well under the PMSB(e) threshold scale, so the selective-blindness
+    /// rule keeps its meaning on the deeper fabric.
+    ///
+    /// # Panics
+    ///
+    /// Panics (at build time) unless `k` is even and at least 4.
+    pub fn fat_tree(k: usize) -> Self {
+        let mut e = Experiment::paper_leaf_spine();
+        e.topology = Topology::FatTree { k };
+        e.link_delay_nanos = 1_000;
+        e
     }
 
     /// A custom leaf–spine fabric.
@@ -251,7 +286,38 @@ impl Experiment {
                 hosts_per_leaf,
                 ..
             } => leaves * hosts_per_leaf,
+            Topology::FatTree { k } => k * k * k / 4,
         }
+    }
+
+    /// Attaches a streaming workload: `total_flows` flows drawn lazily
+    /// from `pattern` with `seed`, injected as they arrive and torn down
+    /// as they complete, so memory is bounded by the concurrent flow
+    /// population. Mutually exclusive with [`Experiment::add_flow`];
+    /// results come back in [`RunResults::stream`].
+    pub fn stream(mut self, pattern: PatternSpec, seed: u64, total_flows: u64) -> Self {
+        assert!(
+            self.flows.is_empty(),
+            "stream() and add_flow() are mutually exclusive"
+        );
+        self.stream = Some(StreamSpec {
+            pattern,
+            seed,
+            total_flows,
+            record_exact: false,
+        });
+        self
+    }
+
+    /// Additionally records every streamed FCT in the exhaustive
+    /// recorder — for differential sketch-vs-exact validation on small
+    /// runs. Call after [`Experiment::stream`].
+    pub fn stream_record_exact(mut self) -> Self {
+        self.stream
+            .as_mut()
+            .expect("stream_record_exact() requires stream()")
+            .record_exact = true;
+        self
     }
 
     /// Registers a flow.
@@ -274,6 +340,7 @@ impl Experiment {
         let num_switches = match self.topology {
             Topology::Dumbbell { .. } => 1,
             Topology::LeafSpine { leaves, spines, .. } => leaves + spines,
+            Topology::FatTree { k } => 5 * k * k / 4,
         };
         let threads = self.sim_threads.min(num_switches);
         if threads > 1 {
@@ -310,6 +377,14 @@ impl Experiment {
                 &self.host_cfg,
                 self.transport,
             ),
+            Topology::FatTree { k } => topology::fat_tree(
+                k,
+                self.link_rate_bps,
+                self.link_delay_nanos,
+                &self.switch_cfg,
+                &self.host_cfg,
+                self.transport,
+            ),
         };
         world.set_trace(self.trace.clone());
         if let Some(schedule) = &self.faults {
@@ -317,6 +392,20 @@ impl Experiment {
         }
         for f in &self.flows {
             world.add_flow(*f);
+        }
+        if let Some(sp) = &self.stream {
+            let source = sp
+                .pattern
+                .flows(self.num_hosts(), sp.seed, sp.total_flows)
+                .map(|f| FlowDesc {
+                    src_host: f.src_host,
+                    dst_host: f.dst_host,
+                    service: f.service,
+                    size_bytes: f.size_bytes,
+                    app_rate_bps: None,
+                    start_nanos: f.start_nanos,
+                });
+            world.set_stream(Box::new(source), sp.record_exact);
         }
         world
     }

@@ -49,4 +49,4 @@ pub mod world;
 pub use config::{HostConfig, MarkingConfig, SchedulerConfig, SwitchConfig, TransportConfig};
 pub use experiment::{Experiment, ExperimentResult, FlowDesc};
 pub use packet::{Packet, PacketKind};
-pub use world::{Event, World};
+pub use world::{Event, StreamStats, World};

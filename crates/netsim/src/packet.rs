@@ -29,6 +29,14 @@ pub enum PacketKind {
         /// ECN-Echo: the acknowledged segment carried a CE mark.
         ece: bool,
     },
+    /// Connection teardown notice (streaming mode only). Sent by the
+    /// source host once its sender half has completed, so the destination
+    /// host can free the receiver half of the flow's slab slot. Fins ride
+    /// the normal data path — same routing, queueing and tie-breaking as
+    /// every other packet — which is what keeps slot reclamation
+    /// byte-identical between sequential and sharded runs. A dropped Fin
+    /// merely leaks one slot, identically in both modes.
+    Fin,
 }
 
 /// One packet in flight.
@@ -120,6 +128,31 @@ impl Packet {
             sent_at_nanos: echo_sent_at_nanos,
             enqueued_at_nanos: echo_sent_at_nanos,
             kind: PacketKind::Ack { cum_ack, ece },
+        }
+    }
+
+    /// Builds a teardown notice for a completed flow. Fin packets are
+    /// ACK-sized and, like ACKs, not ECT.
+    pub fn fin(
+        flow_id: u64,
+        src_host: usize,
+        dst_host: usize,
+        service: usize,
+        now_nanos: u64,
+    ) -> Packet {
+        Packet {
+            flow_id,
+            src_host,
+            dst_host,
+            service,
+            wire_bytes: ACK_WIRE_BYTES,
+            ect: false,
+            ce: false,
+            cwr: false,
+            corrupted: false,
+            sent_at_nanos: now_nanos,
+            enqueued_at_nanos: now_nanos,
+            kind: PacketKind::Fin,
         }
     }
 

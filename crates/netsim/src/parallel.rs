@@ -138,6 +138,18 @@ fn merge(parts: Vec<RunResults>) -> RunResults {
             a.corrupt_drops += b.corrupt_drops;
             a.unroutable_drops += b.unroutable_drops;
         }
+        if let (Some(a), Some(b)) = (acc.stream.as_mut(), p.stream.as_ref()) {
+            // Each flow's sender lives on exactly one LP, so counts sum
+            // and the sketches merge losslessly (order-independent). The
+            // high-water marks peak at different instants per LP; their
+            // sum is an upper bound on the global concurrent population.
+            a.sketch.merge(&b.sketch);
+            a.injected += b.injected;
+            a.completed += b.completed;
+            a.bytes_completed += b.bytes_completed;
+            crate::world::add_sender_stats(&mut a.agg_sender, &b.agg_sender);
+            a.slab_high_water += b.slab_high_water;
+        }
     }
     records.sort_unstable_by_key(|r| (r.end_nanos, r.flow_id));
     let mut fct = FctRecorder::new();

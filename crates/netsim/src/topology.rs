@@ -1,4 +1,5 @@
-//! Topology builders: the paper's dumbbell and leaf–spine fabrics.
+//! Topology builders: the paper's dumbbell and leaf–spine fabrics, plus
+//! the hyperscale `fat_tree(k)` Clos.
 
 use crate::config::{HostConfig, SwitchConfig, TransportConfig};
 use crate::world::World;
@@ -108,6 +109,111 @@ pub fn leaf_spine(
     w
 }
 
+/// Builds a `k`-ary fat tree (Al-Fares et al.): `k` pods of `k/2` edge
+/// and `k/2` aggregation switches plus `(k/2)²` cores — `k³/4` hosts on
+/// `(5/4)k²` switches, with full per-flow ECMP over the `(k/2)²`
+/// equal-cost core paths between hosts in different pods. `fat_tree(4)`
+/// is the 16-host smoke fabric; `fat_tree(16)` is the 1024-host
+/// hyperscale fabric.
+///
+/// Index layout (all dense, pods outermost):
+///
+/// * host `h`: pod `h / (k²/4)`, edge `(h % (k²/4)) / (k/2)` within the
+///   pod, edge port `h % (k/2)`,
+/// * switch `p·(k/2)+i` = edge `i` of pod `p`; switch `k²/2 + p·(k/2)+j`
+///   = aggregation `j` of pod `p`; switch `k² + j·(k/2)+c` = core
+///   `(j, c)` — reachable from aggregation `j` of every pod,
+/// * edge ports `0..k/2` face hosts, `k/2..k` face aggregations `0..k/2`;
+///   aggregation ports `0..k/2` face edges `0..k/2`, `k/2..k` face cores
+///   `(j, 0..k/2)`; core `(j, c)` port `p` faces pod `p`.
+///
+/// Every link runs at `rate_bps` — a non-blocking (1:1 oversubscription)
+/// Clos, like the paper's leaf–spine.
+///
+/// # Panics
+///
+/// Panics unless `k` is even and at least 4.
+pub fn fat_tree(
+    k: usize,
+    rate_bps: u64,
+    delay_nanos: u64,
+    switch_cfg: &SwitchConfig,
+    host_cfg: &HostConfig,
+    transport: TransportConfig,
+) -> World {
+    assert!(
+        k >= 4 && k.is_multiple_of(2),
+        "fat-tree k must be even and >= 4, got {k}"
+    );
+    let half = k / 2;
+    let hosts_per_pod = half * half;
+    let num_hosts = k * hosts_per_pod;
+    let mut w = World::new(transport);
+    for _ in 0..num_hosts {
+        w.add_host(host_cfg.clone());
+    }
+    // Switch index ranges (see the layout above).
+    let edge = |p: usize, i: usize| p * half + i;
+    let agg = |p: usize, j: usize| k * half + p * half + j;
+    let core = |j: usize, c: usize| k * k + j * half + c;
+    for _ in 0..(k * half * 2 + half * half) {
+        w.add_switch();
+    }
+    // Host downlinks first, so edge ports 0..k/2 are host-facing.
+    for h in 0..num_hosts {
+        let p = h / hosts_per_pod;
+        let i = (h % hosts_per_pod) / half;
+        w.wire_host(h, edge(p, i), rate_bps, delay_nanos, switch_cfg);
+    }
+    // Pod meshes: edge i port k/2+j <-> aggregation j port i.
+    for p in 0..k {
+        for i in 0..half {
+            for j in 0..half {
+                w.wire_switch_pair(edge(p, i), agg(p, j), rate_bps, delay_nanos, switch_cfg);
+            }
+        }
+    }
+    // Core uplinks: aggregation j port k/2+c <-> core (j, c) port p.
+    for p in 0..k {
+        for j in 0..half {
+            for c in 0..half {
+                w.wire_switch_pair(agg(p, j), core(j, c), rate_bps, delay_nanos, switch_cfg);
+            }
+        }
+    }
+    // Routes: downward paths are unique, upward paths fan out over every
+    // uplink (per-flow ECMP picks one deterministically by flow id).
+    let uplinks: Vec<usize> = (half..k).collect();
+    for dst in 0..num_hosts {
+        let dp = dst / hosts_per_pod;
+        let di = (dst % hosts_per_pod) / half;
+        for p in 0..k {
+            for i in 0..half {
+                let e = edge(p, i);
+                if p == dp && i == di {
+                    w.set_route(e, dst, vec![dst % half]);
+                } else {
+                    w.set_route(e, dst, uplinks.clone());
+                }
+            }
+            for j in 0..half {
+                let a = agg(p, j);
+                if p == dp {
+                    w.set_route(a, dst, vec![di]);
+                } else {
+                    w.set_route(a, dst, uplinks.clone());
+                }
+            }
+        }
+        for j in 0..half {
+            for c in 0..half {
+                w.set_route(core(j, c), dst, vec![dp]);
+            }
+        }
+    }
+    w
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -182,6 +288,39 @@ mod tests {
         w.add_flow(FlowDesc::bulk(0, 47, 7, 1_000_000));
         let res = w.run_until_nanos(100_000_000);
         assert_eq!(res.fct.len(), 1);
+    }
+
+    #[test]
+    fn fat_tree_smoke_all_tiers_route() {
+        let mut w = fat_tree(
+            4,
+            10_000_000_000,
+            5_000,
+            &cfg(),
+            &HostConfig::default(),
+            TransportConfig::default(),
+        );
+        // Same edge, same pod different edge, different pods.
+        w.add_flow(FlowDesc::bulk(0, 1, 0, 100_000));
+        w.add_flow(FlowDesc::bulk(0, 3, 1, 100_000));
+        w.add_flow(FlowDesc::bulk(0, 15, 2, 100_000));
+        w.add_flow(FlowDesc::bulk(14, 2, 3, 100_000));
+        let res = w.run_until_nanos(100_000_000);
+        assert_eq!(res.fct.len(), 4, "all tiers deliver");
+        assert_eq!(res.drops, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "even")]
+    fn fat_tree_rejects_odd_k() {
+        fat_tree(
+            5,
+            10_000_000_000,
+            5_000,
+            &cfg(),
+            &HostConfig::default(),
+            TransportConfig::default(),
+        );
     }
 
     #[test]

@@ -7,7 +7,7 @@ use pmsb_simcore::{EventHandler, EventQueue, SimTime};
 use crate::packet::Packet;
 use crate::transport::{Receiver as _, Sender as _, TransportSender};
 
-use super::{fault_desc, LinkEnd, NodeRef, World};
+use super::{fault_desc, LinkEnd, NodeRef, SlotRef, World};
 
 /// Simulator events.
 #[derive(Debug)]
@@ -17,6 +17,10 @@ pub enum Event {
         /// Index into the world's flow table.
         flow_id: u64,
     },
+    /// The next streaming flow arrives (streaming mode only). The world
+    /// holds at most one arrival in flight: handling it pulls the next
+    /// flow from the source and chains the following arrival.
+    FlowArrival,
     /// A packet finishes propagating and arrives at a node.
     Deliver {
         /// Arriving node.
@@ -149,9 +153,13 @@ impl EventHandler for World {
                     sender.enable_rtt_trace();
                 }
                 let out = sender.start(now);
-                self.senders[flow_id as usize] = Some(sender);
+                let SlotRef::Live(slot) = self.slot_ref(flow_id) else {
+                    unreachable!("static flows are pre-slotted in prepare");
+                };
+                self.slots[slot].sender = Some(sender);
                 self.process_sender_output(desc.src_host, flow_id, out, now, queue);
             }
+            Event::FlowArrival => self.inject_next_flow(now, queue),
             Event::Deliver { node, packet } => {
                 self.deliveries += 1;
                 if packet.corrupted {
@@ -181,16 +189,22 @@ impl EventHandler for World {
                 flow_id,
                 gen: _,
             } => {
-                self.rto_next_fire[flow_id as usize] = u64::MAX;
+                // A timer outliving its flow's slot is stale by definition.
+                let SlotRef::Live(slot) = self.slot_ref(flow_id) else {
+                    return;
+                };
+                self.slots[slot].rto_next_fire = u64::MAX;
                 // The event's generation may predate later re-arms, so the
                 // sender's live deadline decides what this fire means.
-                let deadline = self.senders[flow_id as usize]
+                let deadline = self.slots[slot]
+                    .sender
                     .as_ref()
                     .and_then(|s| s.rto_deadline());
                 match deadline {
                     // Live deadline reached: a genuine timeout.
                     Some(arm) if arm.at_nanos <= now => {
-                        let sender = self.senders[flow_id as usize]
+                        let sender = self.slots[slot]
+                            .sender
                             .as_mut()
                             .expect("armed timer has a sender");
                         let out = sender.on_rto(arm.gen, now);
@@ -199,7 +213,7 @@ impl EventHandler for World {
                     // The deadline moved while this event was in flight:
                     // walk the single timer event forward to it.
                     Some(arm) => {
-                        self.rto_next_fire[flow_id as usize] = arm.at_nanos;
+                        self.slots[slot].rto_next_fire = arm.at_nanos;
                         queue.push(
                             SimTime::from_nanos(arm.at_nanos),
                             Event::Rto {
@@ -214,14 +228,17 @@ impl EventHandler for World {
                 }
             }
             Event::DelAck { host, flow_id, gen } => {
-                if let Some(receiver) = self.receivers[flow_id as usize].as_mut() {
+                let SlotRef::Live(slot) = self.slot_ref(flow_id) else {
+                    return;
+                };
+                if let Some(receiver) = self.slots[slot].receiver.as_mut() {
                     if let Some(ack) = receiver.on_delack_timer(gen) {
                         self.host_enqueue(host, ack, now, queue);
                     }
                 }
             }
             Event::AppResume { host, flow_id, gen } => {
-                if let Some(sender) = self.senders[flow_id as usize].as_mut() {
+                if let Some(sender) = self.sender_mut(flow_id) {
                     let out = sender.on_app_resume(gen, now);
                     self.process_sender_output(host, flow_id, out, now, queue);
                 }

@@ -11,7 +11,7 @@ use crate::packet::{Packet, PacketKind};
 use crate::transport::{Receiver as _, Sender as _, SenderOutput, TransportReceiver};
 
 use super::switch::SwitchPortView;
-use super::{Event, Fate, LinkAttach, NodeRef, World};
+use super::{Event, Fate, LinkAttach, NodeRef, SlotRef, World};
 
 /// An endpoint: one NIC queue towards its access switch, plus optional
 /// NIC-level ECN marking.
@@ -36,7 +36,7 @@ impl World {
         for pkt in packets.drain(..) {
             self.host_enqueue(host, pkt, now, queue);
         }
-        if let Some(s) = self.senders[flow_id as usize].as_mut() {
+        if let Some(s) = self.sender_mut(flow_id) {
             s.recycle(packets);
         }
         if let Some(arm) = out.rto {
@@ -44,16 +44,18 @@ impl World {
             // when an earlier (or equal) fire is already scheduled — that
             // fire re-arms lazily from the sender's live deadline.
             let at = arm.at_nanos.max(now);
-            if at < self.rto_next_fire[flow_id as usize] {
-                self.rto_next_fire[flow_id as usize] = at;
-                queue.push(
-                    SimTime::from_nanos(at),
-                    Event::Rto {
-                        host,
-                        flow_id,
-                        gen: arm.gen,
-                    },
-                );
+            if let SlotRef::Live(slot) = self.slot_ref(flow_id) {
+                if at < self.slots[slot].rto_next_fire {
+                    self.slots[slot].rto_next_fire = at;
+                    queue.push(
+                        SimTime::from_nanos(at),
+                        Event::Rto {
+                            host,
+                            flow_id,
+                            gen: arm.gen,
+                        },
+                    );
+                }
             }
         }
         if let Some(arm) = out.app_resume {
@@ -67,16 +69,51 @@ impl World {
             );
         }
         if out.completed {
-            let s = self.senders[flow_id as usize]
-                .as_ref()
-                .expect("completed flow has a sender");
-            self.fct.record(FlowRecord {
-                flow_id,
-                bytes: s.size_bytes(),
-                start_nanos: s.start_nanos(),
-                end_nanos: now,
-            });
+            self.finish_flow(host, flow_id, now, queue);
         }
+    }
+
+    /// Records a completed flow. In streaming mode this also tears down
+    /// the sender half and sends a [`PacketKind::Fin`] through the
+    /// network so the destination can free the receiver half: the Fin
+    /// rides the normal delivery path (routing, queueing, cross-shard
+    /// tie keys), which keeps slot reclamation byte-identical between
+    /// sequential and sharded runs. Static mode records and returns —
+    /// no Fins, no reclamation, no change to golden records.
+    fn finish_flow(&mut self, host: usize, flow_id: u64, now: u64, queue: &mut EventQueue<Event>) {
+        let SlotRef::Live(slot) = self.slot_ref(flow_id) else {
+            unreachable!("completed flow has a slot");
+        };
+        let s = self.slots[slot]
+            .sender
+            .as_ref()
+            .expect("completed flow has a sender");
+        let rec = FlowRecord {
+            flow_id,
+            bytes: s.size_bytes(),
+            start_nanos: s.start_nanos(),
+            end_nanos: now,
+        };
+        if self.stream.is_none() {
+            self.fct.record(rec);
+            return;
+        }
+        let sender = self.slots[slot].sender.take().expect("taken once");
+        let (dst, service) = (
+            self.slots[slot].dst_host as usize,
+            self.slots[slot].service as usize,
+        );
+        let st = self.stream.as_deref_mut().expect("streaming mode");
+        st.completed += 1;
+        st.bytes_completed += rec.bytes;
+        st.sketch.insert(rec.fct_nanos());
+        super::add_sender_stats(&mut st.agg, &sender.stats());
+        if st.record_exact {
+            self.fct.record(rec);
+        }
+        let fin = Packet::fin(flow_id, host, dst, service, now);
+        self.host_enqueue(host, fin, now, queue);
+        self.retire_slot_if_done(flow_id);
     }
 
     pub(super) fn host_enqueue(
@@ -192,8 +229,18 @@ impl World {
     ) {
         match pkt.kind {
             PacketKind::Data { .. } => {
+                let slot = match self.slot_ref(pkt.flow_id) {
+                    SlotRef::Live(s) => s,
+                    // Straggler data after teardown (e.g. a retransmit
+                    // whose original was ACKed before the Fin): drop.
+                    SlotRef::Retired => return,
+                    // First data of a streaming flow at its destination:
+                    // the receiver half claims a slot lazily.
+                    SlotRef::Absent => self.alloc_slot(pkt.flow_id),
+                };
                 let transport = self.transport;
-                let receiver = self.receivers[pkt.flow_id as usize]
+                let receiver = self.slots[slot]
+                    .receiver
                     .get_or_insert_with(|| TransportReceiver::new(pkt.flow_id, &transport));
                 let out = receiver.on_data(&pkt, now);
                 if let Some(arm) = out.delack {
@@ -211,11 +258,17 @@ impl World {
                 }
             }
             PacketKind::Ack { cum_ack, ece } => {
-                let Some(sender) = self.senders[pkt.flow_id as usize].as_mut() else {
-                    return; // flow not started yet (stale ACK)
+                let Some(sender) = self.sender_mut(pkt.flow_id) else {
+                    return; // flow not started yet, or already torn down
                 };
                 let out = sender.on_ack(cum_ack, ece, pkt.sent_at_nanos, now);
                 self.process_sender_output(host, pkt.flow_id, out, now, queue);
+            }
+            PacketKind::Fin => {
+                if let SlotRef::Live(slot) = self.slot_ref(pkt.flow_id) {
+                    self.slots[slot].receiver = None;
+                    self.retire_slot_if_done(pkt.flow_id);
+                }
             }
         }
     }

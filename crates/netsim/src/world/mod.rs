@@ -27,6 +27,7 @@ use std::collections::HashMap;
 
 use pmsb_faults::{FaultEvent, FaultKind, FaultSchedule, FaultTarget};
 use pmsb_metrics::fct::FctRecorder;
+use pmsb_metrics::QuantileSketch;
 use pmsb_sched::{Fifo, MultiQueue};
 use pmsb_simcore::rng::SimRng;
 use pmsb_simcore::{EventQueue, LpMessage, SimTime, Simulation, TieKey};
@@ -224,6 +225,105 @@ impl FlowDesc {
     }
 }
 
+/// Sentinel in [`World::flow_slot`]: the flow has no slab slot yet.
+const SLOT_NONE: u32 = u32::MAX;
+/// Sentinel in [`World::flow_slot`]: the flow's slot was reclaimed.
+const SLOT_RETIRED: u32 = u32::MAX - 1;
+
+/// One slab slot of per-flow transport state. In static mode every
+/// registered flow holds its slot (slot index == flow id) for the whole
+/// run; in streaming mode slots are allocated at flow arrival and
+/// recycled through [`World::free_slots`] once both halves are done, so
+/// resident memory is bounded by the *concurrent* flow population, not
+/// the total flow count.
+struct FlowSlot {
+    sender: Option<TransportSender>,
+    receiver: Option<TransportReceiver>,
+    /// Fire time of the earliest outstanding [`Event::Rto`] for this flow
+    /// (`u64::MAX` when none). Senders re-arm the retransmission timer on
+    /// every ACK; instead of scheduling one event per re-arm, at most one
+    /// timer event stays in flight per flow and a stale fire re-arms at
+    /// the sender's live deadline
+    /// ([`Sender::rto_deadline`](crate::transport::Sender::rto_deadline)).
+    rto_next_fire: u64,
+    /// Destination host and service, kept here so streaming teardown can
+    /// address the Fin without a getter on the transport.
+    dst_host: u32,
+    service: u16,
+}
+
+impl FlowSlot {
+    fn empty() -> Self {
+        FlowSlot {
+            sender: None,
+            receiver: None,
+            rto_next_fire: u64::MAX,
+            dst_host: 0,
+            service: 0,
+        }
+    }
+}
+
+/// Where a flow id currently points in the slab.
+enum SlotRef {
+    /// Index into [`World::slots`].
+    Live(usize),
+    /// Both halves finished and the slot was recycled.
+    Retired,
+    /// Never seen (streaming: not yet arrived here).
+    Absent,
+}
+
+/// Runtime carried only by a world in streaming mode: the lazy flow
+/// source plus the bounded-memory result aggregates that replace the
+/// per-flow maps of a static run.
+struct StreamRuntime {
+    /// Flows in nondecreasing `start_nanos` order, pulled one at a time.
+    source: Box<dyn Iterator<Item = FlowDesc> + Send>,
+    /// The flow pulled from the source whose arrival event is in flight.
+    next_desc: Option<FlowDesc>,
+    /// Next global flow id; every LP of a sharded run replays the same
+    /// arrival chain, so ids agree without coordination.
+    next_flow_id: u64,
+    /// Also record every completed flow in the exhaustive [`FctRecorder`]
+    /// (for differential sketch-vs-exact validation on small runs).
+    record_exact: bool,
+    injected: u64,
+    completed: u64,
+    bytes_completed: u64,
+    agg: SenderStats,
+    sketch: QuantileSketch,
+}
+
+/// Bounded-size results of a streaming run (see [`World::set_stream`]).
+#[derive(Debug, Clone)]
+pub struct StreamStats {
+    /// Mergeable FCT quantile sketch over every completed flow.
+    pub sketch: QuantileSketch,
+    /// Flows whose sender was instantiated (started) during the run.
+    pub injected: u64,
+    /// Flows fully acknowledged before the end of the run.
+    pub completed: u64,
+    /// Payload bytes of completed flows.
+    pub bytes_completed: u64,
+    /// Sender counters summed over all flows (completed and live).
+    pub agg_sender: SenderStats,
+    /// Peak live slab population — the memory high-water mark in flow
+    /// slots. On a sharded run this is the sum of per-LP peaks (an upper
+    /// bound; exact for sequential runs).
+    pub slab_high_water: u64,
+}
+
+/// Folds one sender's counters into an aggregate.
+pub(crate) fn add_sender_stats(agg: &mut SenderStats, s: &SenderStats) {
+    agg.marks_seen += s.marks_seen;
+    agg.marks_ignored += s.marks_ignored;
+    agg.retransmissions += s.retransmissions;
+    agg.timeouts += s.timeouts;
+    agg.loss_episodes += s.loss_episodes;
+    agg.recovery_nanos += s.recovery_nanos;
+}
+
 /// Results harvested from a finished run.
 #[derive(Debug)]
 pub struct RunResults {
@@ -250,6 +350,10 @@ pub struct RunResults {
     /// (`drops` stays congestive buffer drops only — injected losses are
     /// counted here).
     pub faults: Option<FaultReport>,
+    /// Streaming-mode aggregates; `None` on a static run. When present,
+    /// the per-flow maps above stay empty (that is the point: bounded
+    /// memory) and `fct` holds records only if exact recording was on.
+    pub stream: Option<StreamStats>,
 }
 
 /// The simulated network. Build with the `wire_*` methods (or the
@@ -260,19 +364,24 @@ pub struct World {
     transport: TransportConfig,
     trace: TraceConfig,
     flows: Vec<FlowDesc>,
-    /// Dense per-flow transport state, indexed by flow id (flow ids are
-    /// `0..flows.len()`). Slot tables instead of per-host `HashMap`s keep
-    /// hash lookups out of the per-event path; `HashMap`s reappear only at
-    /// the result-export boundary in [`World::harvest`].
-    senders: Vec<Option<TransportSender>>,
-    receivers: Vec<Option<TransportReceiver>>,
-    /// Fire time of the earliest outstanding [`Event::Rto`] per flow
-    /// (`u64::MAX` when none). Senders re-arm the retransmission timer on
-    /// every ACK; instead of scheduling one event per re-arm, at most one
-    /// timer event stays in flight per flow and a stale fire re-arms at
-    /// the sender's live deadline
-    /// ([`Sender::rto_deadline`](crate::transport::Sender::rto_deadline)).
-    rto_next_fire: Vec<u64>,
+    /// Per-flow transport slab. Slot tables instead of per-host
+    /// `HashMap`s keep hash lookups out of the per-event path;
+    /// `HashMap`s reappear only at the result-export boundary in
+    /// [`World::harvest`]. Static runs identity-map flow id → slot in
+    /// [`World::prepare`] and never free; streaming runs allocate at
+    /// arrival and recycle through `free_slots` at teardown.
+    slots: Vec<FlowSlot>,
+    /// Recycled slot indices (streaming mode only).
+    free_slots: Vec<u32>,
+    /// Flow id → slot index, with [`SLOT_NONE`]/[`SLOT_RETIRED`]
+    /// sentinels. Four bytes per flow ever seen — the only per-flow cost
+    /// that scales with the total (not concurrent) flow count.
+    flow_slot: Vec<u32>,
+    /// Currently allocated slots and the run's peak.
+    live_slots: usize,
+    slab_high_water: usize,
+    /// Present only in streaming mode; boxed so static worlds stay small.
+    stream: Option<Box<StreamRuntime>>,
     fct: FctRecorder,
     marks: u64,
     end_nanos: u64,
@@ -293,9 +402,12 @@ impl World {
             transport,
             trace: TraceConfig::off(),
             flows: Vec::new(),
-            senders: Vec::new(),
-            receivers: Vec::new(),
-            rto_next_fire: Vec::new(),
+            slots: Vec::new(),
+            free_slots: Vec::new(),
+            flow_slot: Vec::new(),
+            live_slots: 0,
+            slab_high_water: 0,
+            stream: None,
             fct: FctRecorder::new(),
             marks: 0,
             end_nanos: 0,
@@ -308,6 +420,41 @@ impl World {
     /// Number of switches in the network.
     pub fn num_switches(&self) -> usize {
         self.switches.len()
+    }
+
+    /// Number of hosts in the network.
+    pub fn num_hosts(&self) -> usize {
+        self.hosts.len()
+    }
+
+    /// Candidate output ports on `switch` towards `dst_host` (for
+    /// topology validation and tests).
+    pub fn route_candidates(&self, switch: usize, dst_host: usize) -> &[usize] {
+        self.switches[switch].routes.candidates(dst_host)
+    }
+
+    /// The node at the far end of `switch`'s `port`.
+    pub fn port_peer(&self, switch: usize, port: usize) -> NodeRef {
+        self.switches[switch].ports[port].link.peer
+    }
+
+    /// The ECMP-selected output port on `switch` towards `dst_host` for
+    /// `flow_id` (for path-diversity tests).
+    pub fn route_port_for(&self, switch: usize, dst_host: usize, flow_id: u64) -> usize {
+        self.switches[switch].routes.port_for(dst_host, flow_id)
+    }
+
+    /// The switch a wired host attaches to.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the host is not wired.
+    pub fn host_switch(&self, host: usize) -> usize {
+        let link = self.hosts[host].link.expect("host not wired");
+        let NodeRef::Switch(s) = link.peer else {
+            unreachable!("hosts attach to switches");
+        };
+        s
     }
 
     /// Adds a host; returns its index.
@@ -663,8 +810,174 @@ impl World {
     pub fn add_flow(&mut self, desc: FlowDesc) -> u64 {
         assert!(desc.size_bytes > 0, "flow must carry at least one byte");
         assert_ne!(desc.src_host, desc.dst_host, "flow to self");
+        assert!(
+            self.stream.is_none(),
+            "add_flow and set_stream are mutually exclusive"
+        );
         self.flows.push(desc);
         (self.flows.len() - 1) as u64
+    }
+
+    // ------------------------------------------------------------------
+    // Streaming mode: lazy flow injection with slab reclamation.
+    // ------------------------------------------------------------------
+
+    /// Switches the world into streaming mode: flows are pulled lazily
+    /// from `source` (which must yield nondecreasing `start_nanos`) and
+    /// their transport state is recycled at completion, so resident
+    /// memory is bounded by the concurrent flow population. Results come
+    /// back as [`RunResults::stream`] aggregates instead of per-flow
+    /// maps; `record_exact` additionally records every FCT in the
+    /// exhaustive recorder (for differential validation on small runs —
+    /// never on million-flow campaigns).
+    ///
+    /// # Panics
+    ///
+    /// Panics if flows were already registered with [`World::add_flow`].
+    pub fn set_stream(
+        &mut self,
+        source: Box<dyn Iterator<Item = FlowDesc> + Send>,
+        record_exact: bool,
+    ) {
+        assert!(
+            self.flows.is_empty(),
+            "add_flow and set_stream are mutually exclusive"
+        );
+        self.stream = Some(Box::new(StreamRuntime {
+            source,
+            next_desc: None,
+            next_flow_id: 0,
+            record_exact,
+            injected: 0,
+            completed: 0,
+            bytes_completed: 0,
+            agg: SenderStats::default(),
+            sketch: QuantileSketch::new(),
+        }));
+    }
+
+    /// Where `flow_id` currently points in the slab.
+    fn slot_ref(&self, flow_id: u64) -> SlotRef {
+        match self.flow_slot.get(flow_id as usize) {
+            Some(&SLOT_RETIRED) => SlotRef::Retired,
+            Some(&SLOT_NONE) | None => SlotRef::Absent,
+            Some(&s) => SlotRef::Live(s as usize),
+        }
+    }
+
+    /// The live sender of `flow_id`, if any.
+    pub(super) fn sender_mut(&mut self, flow_id: u64) -> Option<&mut TransportSender> {
+        match self.slot_ref(flow_id) {
+            SlotRef::Live(s) => self.slots[s].sender.as_mut(),
+            _ => None,
+        }
+    }
+
+    /// Binds a fresh slot to `flow_id`, reusing a freed one when
+    /// available, and tracks the live high-water mark.
+    fn alloc_slot(&mut self, flow_id: u64) -> usize {
+        let fid = flow_id as usize;
+        if self.flow_slot.len() <= fid {
+            self.flow_slot.resize(fid + 1, SLOT_NONE);
+        }
+        debug_assert_eq!(
+            self.flow_slot[fid], SLOT_NONE,
+            "flow {flow_id} already slotted"
+        );
+        let slot = match self.free_slots.pop() {
+            Some(s) => s as usize,
+            None => {
+                self.slots.push(FlowSlot::empty());
+                self.slots.len() - 1
+            }
+        };
+        self.flow_slot[fid] = slot as u32;
+        self.live_slots += 1;
+        self.slab_high_water = self.slab_high_water.max(self.live_slots);
+        slot
+    }
+
+    /// Recycles the flow's slot once both halves are gone. A no-op in
+    /// static mode, where slots live for the whole run (that is what
+    /// keeps static runs byte-identical to the pre-slab simulator).
+    fn retire_slot_if_done(&mut self, flow_id: u64) {
+        if self.stream.is_none() {
+            return;
+        }
+        let fid = flow_id as usize;
+        let s = self.flow_slot[fid];
+        if s >= SLOT_RETIRED {
+            return;
+        }
+        let slot = &mut self.slots[s as usize];
+        if slot.sender.is_some() || slot.receiver.is_some() {
+            return;
+        }
+        slot.rto_next_fire = u64::MAX;
+        self.free_slots.push(s);
+        self.flow_slot[fid] = SLOT_RETIRED;
+        self.live_slots -= 1;
+    }
+
+    /// Counts a streaming-arrival push as replicated on every LP but
+    /// LP 0: each LP replays the identical arrival chain (so global flow
+    /// ids agree without coordination), and LP 0 is the canonical
+    /// counter, mirroring the fault-event accounting.
+    fn note_stream_push(&mut self) {
+        if let Some(sh) = self.shard.as_deref_mut() {
+            if sh.my_lp != 0 {
+                sh.extra_pushes += 1;
+            }
+        }
+    }
+
+    /// Handles [`Event::FlowArrival`]: assigns the next global flow id,
+    /// chains the following arrival, and — when this LP owns the source
+    /// host — instantiates the sender in a fresh slab slot.
+    pub(super) fn inject_next_flow(&mut self, now: u64, queue: &mut EventQueue<Event>) {
+        let (desc, flow_id, next_at) = {
+            let st = self
+                .stream
+                .as_deref_mut()
+                .expect("flow arrival without a streaming source");
+            let desc = st.next_desc.take().expect("arrival without a pulled flow");
+            let flow_id = st.next_flow_id;
+            st.next_flow_id += 1;
+            let next_at = st.source.next().map(|next| {
+                debug_assert!(
+                    next.start_nanos >= desc.start_nanos,
+                    "stream must be time-ordered"
+                );
+                let at = next.start_nanos;
+                st.next_desc = Some(next);
+                at
+            });
+            (desc, flow_id, next_at)
+        };
+        if let Some(at) = next_at {
+            queue.push(SimTime::from_nanos(at.max(now)), Event::FlowArrival);
+            self.note_stream_push();
+        }
+        if !self.owns_host(desc.src_host) {
+            return;
+        }
+        let mut sender = TransportSender::new(
+            flow_id,
+            desc.src_host,
+            desc.dst_host,
+            desc.service,
+            desc.size_bytes,
+            desc.app_rate_bps,
+            now,
+            &self.transport,
+        );
+        let out = sender.start(now);
+        let slot = self.alloc_slot(flow_id);
+        self.slots[slot].sender = Some(sender);
+        self.slots[slot].dst_host = desc.dst_host as u32;
+        self.slots[slot].service = desc.service as u16;
+        self.stream.as_deref_mut().expect("checked above").injected += 1;
+        self.process_sender_output(desc.src_host, flow_id, out, now, queue);
     }
 
     /// Runs the simulation until `end_nanos`, returning the harvested
@@ -684,14 +997,25 @@ impl World {
     /// replication accounted in [`World::shard_extra_pushes`].
     pub(crate) fn prepare(mut self, end_nanos: u64) -> Simulation<World> {
         self.end_nanos = end_nanos;
-        self.senders.resize_with(self.flows.len(), || None);
-        self.receivers.resize_with(self.flows.len(), || None);
-        self.rto_next_fire.resize(self.flows.len(), u64::MAX);
+        if self.stream.is_none() {
+            // Static mode: identity flow → slot mapping, pre-sized and
+            // never freed, so slot index == flow id for the whole run.
+            self.slots.resize_with(self.flows.len(), FlowSlot::empty);
+            self.flow_slot = (0..self.flows.len() as u32).collect();
+            self.live_slots = self.flows.len();
+            self.slab_high_water = self.flows.len();
+        }
         // Pre-size the hot-path storage: the FEL for the in-flight event
         // population (a generous per-flow share plus trace/timer headroom)
         // and every port's ring buffers for a congested queue's worth of
-        // packets, so the steady state never grows a buffer.
-        let queue_capacity = 256 + 16 * self.flows.len();
+        // packets, so the steady state never grows a buffer. Streaming
+        // runs hold one arrival plus the concurrent flows' events — a
+        // flat reserve, independent of the total flow count.
+        let queue_capacity = if self.stream.is_some() {
+            4096
+        } else {
+            256 + 16 * self.flows.len()
+        };
         for h in &mut self.hosts {
             h.nic.reserve(64);
         }
@@ -702,6 +1026,15 @@ impl World {
         }
         let mut sim = Simulation::new(self);
         sim.queue.reserve(queue_capacity);
+        if sim.handler.stream.is_some() {
+            let st = sim.handler.stream.as_deref_mut().expect("checked");
+            if let Some(first) = st.source.next() {
+                let at = first.start_nanos;
+                st.next_desc = Some(first);
+                sim.queue.push(SimTime::from_nanos(at), Event::FlowArrival);
+                sim.handler.note_stream_push();
+            }
+        }
         for id in 0..sim.handler.flows.len() {
             let f = sim.handler.flows[id];
             if !sim.handler.owns_host(f.src_host) {
@@ -750,13 +1083,35 @@ impl World {
         for h in &self.hosts {
             drops += h.nic.dropped_items();
         }
-        for (id, s) in self.senders.iter().enumerate() {
-            let Some(s) = s else { continue };
-            stats.insert(id as u64, s.stats());
-            if let Some(samples) = s.rtt_samples() {
-                rtt.insert(id as u64, samples.to_vec());
+        if self.stream.is_none() {
+            for slot in &self.slots {
+                let Some(s) = slot.sender.as_ref() else {
+                    continue;
+                };
+                stats.insert(s.flow_id(), s.stats());
+                if let Some(samples) = s.rtt_samples() {
+                    rtt.insert(s.flow_id(), samples.to_vec());
+                }
             }
         }
+        let slab_high_water = self.slab_high_water as u64;
+        let stream = self.stream.take().map(|mut st| {
+            // Flows still live at the cutoff never reached `finish_flow`;
+            // their counters belong in the aggregate too.
+            for slot in &self.slots {
+                if let Some(s) = slot.sender.as_ref() {
+                    add_sender_stats(&mut st.agg, &s.stats());
+                }
+            }
+            StreamStats {
+                sketch: st.sketch,
+                injected: st.injected,
+                completed: st.completed,
+                bytes_completed: st.bytes_completed,
+                agg_sender: st.agg,
+                slab_high_water,
+            }
+        });
         let mut traces = HashMap::new();
         for (si, sw) in self.switches.iter_mut().enumerate() {
             for (pi, port) in sw.ports.iter_mut().enumerate() {
@@ -777,6 +1132,7 @@ impl World {
             events,
             deliveries: self.deliveries,
             faults: self.faults.map(|rt| rt.report),
+            stream,
         }
     }
 }

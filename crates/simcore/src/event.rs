@@ -385,6 +385,14 @@ impl<E> EventQueue<E> {
             idx
         } else {
             let idx = self.arena.len() as u32;
+            if self.arena.capacity() < 64 {
+                // Skip the smallest rungs of the doubling ladder: a queue
+                // that wheel-places anything almost always holds tens of
+                // events, and the early grow-and-copy rounds are a
+                // measurable share of cold-queue push cost (~64 nodes is
+                // ~3 KiB, cheaper than four reallocation memcpys).
+                self.arena.reserve(64 - self.arena.len());
+            }
             self.arena.push(Node {
                 at,
                 key,

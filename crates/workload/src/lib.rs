@@ -13,7 +13,10 @@
 //! * [`arrivals`] — Poisson arrival processes with open-loop load
 //!   calibration,
 //! * [`traffic`] — full traffic matrices: who talks to whom, in which
-//!   service class, when, and how much.
+//!   service class, when, and how much,
+//! * [`pattern`] — hyperscale streaming patterns (synchronized incast,
+//!   all-to-all shuffle, Zipf hot-service, mixes) generated lazily so a
+//!   million-flow schedule is never materialised.
 //!
 //! # Example
 //!
@@ -30,9 +33,11 @@
 //! ```
 
 pub mod arrivals;
+pub mod pattern;
 pub mod size;
 pub mod traffic;
 
 pub use arrivals::{arrival_rate_for_load, PoissonArrivals};
+pub use pattern::{PatternFlows, PatternSpec};
 pub use size::{DataMining, FlowSizeDist, PaperMix, WebSearch};
 pub use traffic::{FlowSpec, TrafficSpec};

@@ -25,8 +25,8 @@ use pmsb::MarkPoint;
 use pmsb_metrics::fct::SizeClass;
 use pmsb_netsim::experiment::{Experiment, FaultSchedule, FlowDesc};
 use pmsb_repro::cli::{
-    parse_flow, parse_marking, parse_scheduler, parse_transport, parse_weights, split_options,
-    ParseError,
+    parse_flow, parse_marking, parse_pattern, parse_scheduler, parse_topology, parse_transport,
+    parse_weights, split_options, ParseError, TopologySpec,
 };
 use pmsb_simcore::rng::SimRng;
 use pmsb_workload::traffic::TrafficSpec;
@@ -45,13 +45,17 @@ USAGE:
                      [--scheduler SPEC] [--mark-point enq|deq] [--pmsbe-us X]
                      [--transport dctcp|newreno]
                      [--fault-schedule FILE] [--sim-threads N]
+  pmsb-sim fabric    [--topology leaf-spine|fat-tree:K] [--pattern SPEC]
+                     [--flows N] [--seed N] [--exact true] [--drain-ms N]
+                     [--marking SPEC] [--scheduler SPEC] [--pmsbe-us X]
+                     [--transport dctcp|newreno] [--sim-threads N]
   pmsb-sim profile   --rtt-us X --weights W1,W2,... [--rate-gbps N]
                      [--lambda X] [--margin X]
   pmsb-sim campaign  NAME [--quick] [--jobs N] [--results DIR] [--quiet]
                      [--sim-threads N]
                      NAME: all | figures | extensions | large-scale-dwrr
                      | large-scale-wfq | seed-sensitivity | faults
-                     | transport | any scenario
+                     | transport | hyperscale | any scenario
                      (e.g. fig08, ablation_port_threshold)
   pmsb-sim help
 
@@ -59,10 +63,17 @@ USAGE:
   (conservative lookahead windows; results are byte-identical to
   --sim-threads 1, see DESIGN.md section 8).
 
+  fabric streams a traffic pattern (lazy flow injection, slab flow
+  state, sketch FCT percentiles) over the chosen topology; --exact true
+  additionally records every flow and prints one 'flow,...' line each
+  (the byte-comparable determinism witness used by CI).
+
 SPECS:
   marking    none | pmsb:K | per-port:K | per-queue:K | per-queue-frac:K
              | pool:K | mq-ecn:K | tcn:NANOS | red:MIN,MAX,P     (K in packets)
   scheduler  fifo | sp:N | wrr:W,.. | dwrr:W,.. | wfq:W,.. | spwfq:G,..;W,..
+  topology   leaf-spine | fat-tree:K            (K even >= 4; k=16 is 1024 hosts)
+  pattern    incast[:FAN] | shuffle | hotservice[:EXP] | mix
   flow       SRC>DST:SERVICE:SIZE[@START_US][/RATE_GBPS]
              SIZE takes K/M/G suffixes or 'u' for long-lived
   fault file line-oriented: 'seed N' then 'at TIME VERB TARGET [ARG]' lines,
@@ -111,6 +122,7 @@ fn run(args: &[String]) -> Result<(), ParseError> {
     match positional.first().map(String::as_str) {
         Some("dumbbell") => dumbbell(&options),
         Some("leaf-spine") => leaf_spine(&options),
+        Some("fabric") => fabric(&options),
         Some("profile") => profile(&options),
         Some("help") | None => {
             println!("{HELP}");
@@ -316,6 +328,74 @@ fn leaf_spine(options: &[(String, String)]) -> Result<(), ParseError> {
     }
     let res = e.run_until_nanos(last + 1_000_000_000);
     report(&res);
+    Ok(())
+}
+
+/// `pmsb-sim fabric`: stream a traffic pattern over a topology. Per-flow
+/// state lives in the recycled slab and FCTs go into the quantile
+/// sketch, so memory is bounded by *concurrent* flows — `--flows` can be
+/// millions. `--exact true` additionally records every completed flow
+/// exhaustively and prints one `flow,...` line each; CI byte-compares
+/// that output across `--sim-threads` values.
+fn fabric(options: &[(String, String)]) -> Result<(), ParseError> {
+    let topo = match opt(options, "topology") {
+        Some(t) => parse_topology(t)?,
+        None => TopologySpec::FatTree { k: 4 },
+    };
+    let pattern = match opt(options, "pattern") {
+        Some(p) => parse_pattern(p)?,
+        None => parse_pattern("incast")?,
+    };
+    let flows: u64 = opt_parse(options, "flows", 2_000)?;
+    let seed: u64 = opt_parse(options, "seed", 42)?;
+    let exact: bool = opt_parse(options, "exact", false)?;
+    let drain_ms: u64 = opt_parse(options, "drain-ms", 50)?;
+    if flows == 0 {
+        return Err(ParseError("--flows must be >= 1".into()));
+    }
+    let e = match topo {
+        TopologySpec::LeafSpine => Experiment::paper_leaf_spine(),
+        TopologySpec::FatTree { k } => Experiment::fat_tree(k),
+    };
+    let mut e = apply_common(e, options)?;
+    let num_hosts = e.num_hosts();
+    let last = pattern
+        .flows(num_hosts, seed, flows)
+        .last()
+        .map(|f| f.start_nanos)
+        .unwrap_or(0);
+    e = e.stream(pattern, seed, flows);
+    if exact {
+        e = e.stream_record_exact();
+    }
+    let res = e.run_until_nanos(last + drain_ms * 1_000_000);
+    let s = res.stream.as_ref().expect("fabric runs in streaming mode");
+    println!("hosts,{num_hosts}");
+    println!("injected,{}", s.injected);
+    println!("completed,{}", s.completed);
+    println!("bytes_completed,{}", s.bytes_completed);
+    for (name, p) in [("p50", 0.5), ("p90", 0.9), ("p99", 0.99)] {
+        match s.sketch.quantile(p) {
+            Some(n) => println!("fct_{name}_us,{:.1}", n as f64 / 1e3),
+            None => println!("fct_{name}_us,nan"),
+        }
+    }
+    println!("marks,{}", res.marks);
+    println!("drops,{}", res.drops);
+    println!("marks_seen,{}", s.agg_sender.marks_seen);
+    println!("marks_ignored,{}", s.agg_sender.marks_ignored);
+    if exact {
+        for r in res.fct.records() {
+            println!(
+                "flow,{},{},{},{}",
+                r.flow_id, r.bytes, r.start_nanos, r.end_nanos
+            );
+        }
+    }
+    // Stderr, not stdout: on sharded runs this is the sum of per-shard
+    // peaks (an upper bound taken at different instants), the one number
+    // that may differ across --sim-threads values.
+    eprintln!("slab_high_water,{}", s.slab_high_water);
     Ok(())
 }
 

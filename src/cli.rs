@@ -5,6 +5,7 @@
 //! `pmsb-sim help` for the surface syntax.
 
 use pmsb_netsim::experiment::{FlowDesc, MarkingConfig, SchedulerConfig, TransportKind};
+use pmsb_workload::PatternSpec;
 
 /// A parse failure with a human-readable reason.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -185,6 +186,111 @@ pub fn parse_scheduler(s: &str) -> Result<SchedulerConfig, ParseError> {
         }
         other => err(format!(
             "unknown scheduler '{other}' (fifo|sp|wrr|dwrr|wfq|spwfq)"
+        )),
+    }
+}
+
+/// A topology selection for the `fabric` subcommand.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TopologySpec {
+    /// The paper's 48-host leaf–spine.
+    LeafSpine,
+    /// A `k`-ary fat-tree: `k³/4` hosts, `(5/4)k²` switches.
+    FatTree {
+        /// The fat-tree parameter (even, at least 4).
+        k: usize,
+    },
+}
+
+/// Parses a topology spec: `leaf-spine` or `fat-tree:K` (K even, >= 4).
+/// Unknown names and bad `K` values get errors that list what is
+/// accepted.
+///
+/// # Example
+///
+/// ```
+/// use pmsb_repro::cli::{parse_topology, TopologySpec};
+///
+/// assert_eq!(parse_topology("fat-tree:8").unwrap(), TopologySpec::FatTree { k: 8 });
+/// assert_eq!(parse_topology("leaf-spine").unwrap(), TopologySpec::LeafSpine);
+/// ```
+pub fn parse_topology(s: &str) -> Result<TopologySpec, ParseError> {
+    let (kind, arg) = match s.split_once(':') {
+        Some((k, a)) => (k, Some(a)),
+        None => (s, None),
+    };
+    match kind {
+        "leaf-spine" => match arg {
+            None => Ok(TopologySpec::LeafSpine),
+            Some(a) => err(format!("leaf-spine takes no parameter, got ':{a}'")),
+        },
+        "fat-tree" => {
+            let Some(a) = arg else {
+                return err("fat-tree needs a size, e.g. fat-tree:8");
+            };
+            match a.trim().parse::<usize>() {
+                Ok(k) if k >= 4 && k.is_multiple_of(2) => Ok(TopologySpec::FatTree { k }),
+                Ok(k) => err(format!(
+                    "fat-tree k must be even and >= 4, got {k} \
+                     (a k-ary fat-tree pairs k/2 uplinks with k/2 downlinks per switch)"
+                )),
+                Err(_) => err(format!("fat-tree needs an integer k, got '{a}'")),
+            }
+        }
+        other => err(format!(
+            "unknown topology '{other}' (leaf-spine|fat-tree:K)"
+        )),
+    }
+}
+
+/// Parses a traffic-pattern spec for the `fabric` subcommand:
+///
+/// | Spec | Pattern |
+/// |---|---|
+/// | `incast[:FAN]` | synchronized N-to-1, fan-in FAN (default 32) |
+/// | `shuffle` | all-to-all waves, 100 KB flows |
+/// | `hotservice[:EXP]` | Zipf(EXP) hot service (default 1.2) |
+/// | `mix` | start-time merge of incast(32) and shuffle |
+///
+/// # Example
+///
+/// ```
+/// use pmsb_repro::cli::parse_pattern;
+/// use pmsb_workload::PatternSpec;
+///
+/// assert_eq!(parse_pattern("incast:16").unwrap(), PatternSpec::incast(16));
+/// ```
+pub fn parse_pattern(s: &str) -> Result<PatternSpec, ParseError> {
+    let (kind, arg) = match s.split_once(':') {
+        Some((k, a)) => (k, Some(a)),
+        None => (s, None),
+    };
+    let no_arg = |p: PatternSpec| match arg {
+        None => Ok(p),
+        Some(a) => err(format!("pattern '{kind}' takes no parameter, got ':{a}'")),
+    };
+    match kind {
+        "incast" => match arg {
+            None => Ok(PatternSpec::incast(32)),
+            Some(a) => match a.trim().parse::<usize>() {
+                Ok(f) if f >= 1 => Ok(PatternSpec::incast(f)),
+                _ => err(format!("incast needs a fan-in >= 1, got '{a}'")),
+            },
+        },
+        "shuffle" => no_arg(PatternSpec::shuffle()),
+        "hotservice" => match arg {
+            None => Ok(PatternSpec::hotservice(1.2)),
+            Some(a) => match a.trim().parse::<f64>() {
+                Ok(e) if e >= 0.0 && e.is_finite() => Ok(PatternSpec::hotservice(e)),
+                _ => err(format!("hotservice needs an exponent >= 0, got '{a}'")),
+            },
+        },
+        "mix" => no_arg(PatternSpec::Mix(vec![
+            PatternSpec::incast(32),
+            PatternSpec::shuffle(),
+        ])),
+        other => err(format!(
+            "unknown pattern '{other}' (incast[:FAN]|shuffle|hotservice[:EXP]|mix)"
         )),
     }
 }
@@ -375,6 +481,63 @@ mod tests {
             e.0.contains("fifo|sp|wrr|dwrr|wfq|spwfq"),
             "scheduler error lists variants: {e}"
         );
+    }
+
+    #[test]
+    fn topologies_parse() {
+        assert_eq!(
+            parse_topology("leaf-spine").unwrap(),
+            TopologySpec::LeafSpine
+        );
+        assert_eq!(
+            parse_topology("fat-tree:16").unwrap(),
+            TopologySpec::FatTree { k: 16 }
+        );
+        let e = parse_topology("fat-tree:5").unwrap_err();
+        assert!(
+            e.0.contains("even") && e.0.contains('5'),
+            "odd k gets a clear error: {e}"
+        );
+        let e = parse_topology("fat-tree:2").unwrap_err();
+        assert!(e.0.contains("even and >= 4"), "tiny k rejected: {e}");
+        let e = parse_topology("fat-tree:x").unwrap_err();
+        assert!(e.0.contains("integer"), "non-numeric k rejected: {e}");
+        assert!(parse_topology("fat-tree").is_err(), "missing k rejected");
+        assert!(parse_topology("leaf-spine:4").is_err(), "stray parameter");
+    }
+
+    #[test]
+    fn unknown_topology_and_pattern_list_the_accepted_names() {
+        let e = parse_topology("torus").unwrap_err();
+        assert!(e.0.contains("torus"), "names the bad input: {e}");
+        assert!(
+            e.0.contains("leaf-spine|fat-tree:K"),
+            "lists the variants: {e}"
+        );
+        let e = parse_pattern("websearch").unwrap_err();
+        assert!(e.0.contains("websearch"), "names the bad input: {e}");
+        assert!(
+            e.0.contains("incast[:FAN]|shuffle|hotservice[:EXP]|mix"),
+            "lists the variants: {e}"
+        );
+    }
+
+    #[test]
+    fn patterns_parse() {
+        assert_eq!(parse_pattern("incast").unwrap(), PatternSpec::incast(32));
+        assert_eq!(parse_pattern("incast:8").unwrap(), PatternSpec::incast(8));
+        assert_eq!(parse_pattern("shuffle").unwrap(), PatternSpec::shuffle());
+        assert_eq!(
+            parse_pattern("hotservice:1.1").unwrap(),
+            PatternSpec::hotservice(1.1)
+        );
+        assert_eq!(
+            parse_pattern("mix").unwrap(),
+            PatternSpec::Mix(vec![PatternSpec::incast(32), PatternSpec::shuffle()])
+        );
+        assert!(parse_pattern("incast:0").is_err(), "zero fan-in rejected");
+        assert!(parse_pattern("hotservice:-1").is_err(), "negative exponent");
+        assert!(parse_pattern("shuffle:3").is_err(), "stray parameter");
     }
 
     #[test]
