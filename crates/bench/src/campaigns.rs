@@ -312,27 +312,35 @@ pub fn write_faults_report(out: &mut String, records: &[Record]) {
 /// sample store.
 pub fn hyperscale_jobs(quick: bool, seed: u64) -> Vec<Job> {
     let (k, total_flows) = hyperscale::fabric_and_flows(quick);
+    // Captured at job-construction time (`--engine` is parsed before the
+    // campaign is built). Non-packet engines are tagged with an `engine`
+    // parameter so their records never collide with the packet-engine
+    // golden records; packet jobs keep their historical keys.
+    let engine = crate::util::engine();
     let mut jobs = Vec::new();
     for scheme in hyperscale::schemes() {
         for pattern in hyperscale::patterns(quick) {
             let name = scheme.0;
             let pattern_name = pattern.0;
             let scheme = scheme.clone();
-            jobs.push(
-                Job::new("hyperscale", seed, move || {
-                    hyperscale::row_record(&hyperscale::run_cell(
-                        &scheme,
-                        &pattern,
-                        k,
-                        total_flows,
-                        seed,
-                        crate::util::sim_threads(),
-                    ))
-                })
-                .param("scheme", name)
-                .param("pattern", pattern_name)
-                .param("quick", quick),
-            );
+            let mut job = Job::new("hyperscale", seed, move || {
+                hyperscale::row_record(&hyperscale::run_cell(
+                    &scheme,
+                    &pattern,
+                    k,
+                    total_flows,
+                    seed,
+                    crate::util::sim_threads(),
+                    engine,
+                ))
+            })
+            .param("scheme", name)
+            .param("pattern", pattern_name)
+            .param("quick", quick);
+            if engine != pmsb_netsim::EngineKind::Packet {
+                job = job.param("engine", engine.name());
+            }
+            jobs.push(job);
         }
     }
     jobs

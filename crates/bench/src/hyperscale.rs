@@ -10,6 +10,7 @@
 
 use pmsb_harness::Record;
 use pmsb_netsim::experiment::{Experiment, MarkingConfig};
+use pmsb_netsim::EngineKind;
 use pmsb_workload::PatternSpec;
 
 use crate::outln;
@@ -115,8 +116,11 @@ pub fn fabric_and_flows(quick: bool) -> (usize, u64) {
 }
 
 /// Runs one `(scheme, pattern)` streaming cell on a `fat_tree(k)`
-/// fabric across `sim_threads` shards. The horizon is the stream's last
-/// arrival plus a 50 ms drain window.
+/// fabric across `sim_threads` shards, under the chosen simulation
+/// `engine` (the fluid/hybrid engines ignore `sim_threads`; they are
+/// single-threaded by design). The horizon is the stream's last arrival
+/// plus a 50 ms drain window.
+#[allow(clippy::too_many_arguments)]
 pub fn run_cell(
     scheme_spec: &SchemeSpec,
     pattern_spec: &(&'static str, PatternSpec),
@@ -124,6 +128,7 @@ pub fn run_cell(
     total_flows: u64,
     seed: u64,
     sim_threads: usize,
+    engine: EngineKind,
 ) -> HsRow {
     let (scheme, marking, pmsbe) = scheme_spec.clone();
     let (pattern_name, pattern) = pattern_spec;
@@ -136,7 +141,8 @@ pub fn run_cell(
     let mut e = Experiment::fat_tree(k)
         .marking(marking)
         .stream(pattern.clone(), seed, total_flows)
-        .sim_threads(sim_threads);
+        .sim_threads(sim_threads)
+        .engine(engine);
     if let Some(thr) = pmsbe {
         e = e.pmsbe_rtt_threshold_nanos(thr);
     }

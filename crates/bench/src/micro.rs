@@ -14,7 +14,10 @@
 //! * `large_scale_parallel/threads_*` — one leaf–spine cell sharded
 //!   across 1/2/4 worker threads (wall-clock scaling of `--sim-threads`);
 //! * `hyperscale/fat_tree_k4_stream` — a streamed mixed workload through
-//!   the slab flow state on the smoke fat-tree.
+//!   the slab flow state on the smoke fat-tree;
+//! * `fluid/*` — the same streamed cell under the flow-level fluid and
+//!   hybrid engines, plus a fluid dumbbell (the fast path of DESIGN.md
+//!   §11).
 
 use std::hint::black_box;
 use std::time::Instant;
@@ -434,10 +437,72 @@ fn hyperscale_cases(out: &mut String, quick: bool, samples: u32) -> Vec<CaseResu
         1,
         samples,
         || {
-            let row = crate::hyperscale::run_cell(&scheme, &pattern, 4, total_flows, 42, 1);
+            let row = crate::hyperscale::run_cell(
+                &scheme,
+                &pattern,
+                4,
+                total_flows,
+                42,
+                1,
+                pmsb_netsim::EngineKind::Packet,
+            );
             black_box(row.completed);
         },
     )]
+}
+
+/// The same streaming cell under the flow-level engines: `fluid` (pure
+/// closed-form marking) and `hybrid` (per-port packet micro-sim
+/// calibration), plus the dumbbell scenario on the fluid path. The
+/// per-iteration ratio of `fat_tree_k4_stream` to its `_fluid`/`_hybrid`
+/// twins is the in-suite view of `derived.hyperscale.fluid_speedup`.
+fn fluid_cases(out: &mut String, quick: bool, samples: u32) -> Vec<CaseResult> {
+    use pmsb_netsim::EngineKind;
+    let total_flows = if quick { 1_000 } else { 10_000 };
+    let scheme = (
+        "pmsb",
+        MarkingConfig::Pmsb {
+            port_threshold_pkts: 12,
+        },
+        None,
+    );
+    let pattern = (
+        "mix",
+        pmsb_workload::PatternSpec::Mix(vec![
+            pmsb_workload::PatternSpec::incast(8),
+            pmsb_workload::PatternSpec::shuffle(),
+        ]),
+    );
+    let mut results: Vec<CaseResult> = [
+        ("fluid/fat_tree_k4_stream_fluid", EngineKind::Fluid),
+        ("fluid/fat_tree_k4_stream_hybrid", EngineKind::Hybrid),
+    ]
+    .into_iter()
+    .map(|(label, engine)| {
+        run_case(out, label, 1, samples, || {
+            let row = crate::hyperscale::run_cell(&scheme, &pattern, 4, total_flows, 42, 1, engine);
+            black_box(row.completed);
+        })
+    })
+    .collect();
+    results.push(run_case(
+        out,
+        "fluid/dumbbell_4x500KB_fluid",
+        if quick { 20 } else { 200 },
+        samples,
+        || {
+            let mut e = Experiment::dumbbell(4, 2)
+                .marking(MarkingConfig::Pmsb {
+                    port_threshold_pkts: 12,
+                })
+                .engine(pmsb_netsim::EngineKind::Fluid);
+            for s in 0..4 {
+                e.add_flow(FlowDesc::bulk(s, 4, s % 2, 500_000));
+            }
+            black_box(e.run_for_millis(10).fct.len());
+        },
+    ));
+    results
 }
 
 /// Runs the whole micro-benchmark suite, appending a
@@ -454,6 +519,7 @@ pub fn run_all(out: &mut String, quick: bool) -> Vec<CaseResult> {
     results.extend(small_sim_cases(out, slow_iters, samples));
     results.extend(parallel_cases(out, quick, samples));
     results.extend(hyperscale_cases(out, quick, samples));
+    results.extend(fluid_cases(out, quick, samples));
     results
 }
 
@@ -465,7 +531,7 @@ mod tests {
     fn quick_suite_times_every_case() {
         let mut out = String::new();
         let results = run_all(&mut out, true);
-        assert_eq!(results.len(), 5 + 5 + 4 + 3 + 4 + 3 + 1);
+        assert_eq!(results.len(), 5 + 5 + 4 + 3 + 4 + 3 + 1 + 3);
         for r in &results {
             assert!(
                 r.best_nanos > 0.0 && r.best_nanos.is_finite(),

@@ -216,31 +216,50 @@ pub struct DerivedMetrics {
 
 /// Metrics of one representative streaming fat-tree run: the wall-clock
 /// flow throughput and the live-slab high-water mark that bound the
-/// memory claim of DESIGN.md §10.
+/// memory claim of DESIGN.md §10, under both the packet engine and the
+/// hybrid packet/fluid fast path (DESIGN.md §11).
 #[derive(Debug, Clone)]
 pub struct HyperscaleRun {
     /// Fat-tree parameter `k` of the fabric.
     pub fabric_k: usize,
     /// Flows injected from the stream.
     pub flows: u64,
-    /// Flows completed before the horizon.
+    /// Flows completed before the horizon (packet engine).
     pub completed: u64,
-    /// Completed flows per wall-clock second.
+    /// Completed flows per wall-clock second (packet engine).
     pub flows_per_sec: f64,
     /// Peak simultaneously-allocated flow slots (the resident-memory
     /// proxy: flow state is bounded by this, not by `flows`).
     pub slab_high_water: u64,
-    /// Sketch 99th-percentile FCT, µs.
+    /// Sketch 99th-percentile FCT, µs (packet engine).
     pub fct_p99_us: f64,
+    /// Flows completed before the horizon under `--engine hybrid`.
+    pub hybrid_completed: u64,
+    /// Completed flows per wall-clock second under `--engine hybrid`.
+    pub hybrid_flows_per_sec: f64,
+    /// Sketch 99th-percentile FCT under `--engine hybrid`, µs.
+    pub hybrid_fct_p99_us: f64,
+    /// `hybrid_flows_per_sec / flows_per_sec` — the hybrid fast path's
+    /// wall-clock advantage on the same cell.
+    pub fluid_speedup: f64,
+    /// Conservative windows the packet run's sharded executor stepped
+    /// (0 on the sequential fallback; see `pmsb_simcore::lp`).
+    pub lp_windows: u64,
+    /// Cross-shard messages it delivered.
+    pub lp_messages: u64,
+    /// Coordinator wall-clock spent on window barriers, ms.
+    pub lp_barrier_wait_ms: f64,
 }
 
-/// Runs the representative hyperscale cell once — a mixed incast+shuffle
-/// stream of 20 KB flows over a fat-tree, PMSB marking — and times it.
-/// `quick` uses 20 000 flows on k=4; the full run is the BENCH headline:
-/// one million flows on the 1024-host k=16 fabric.
+/// Runs the representative hyperscale cell — a mixed incast+shuffle
+/// stream of 20 KB flows over a fat-tree, PMSB marking — once per
+/// engine (packet, then hybrid) and times both. `quick` uses 20 000
+/// flows on k=4; the full run is the BENCH headline: one million flows
+/// on the 1024-host k=16 fabric.
 pub fn hyperscale_run(quick: bool) -> HyperscaleRun {
-    let (k, flows) = if quick { (4, 20_000) } else { (16, 1_000_000) };
+    use pmsb_netsim::EngineKind;
     use pmsb_workload::PatternSpec;
+    let (k, flows) = if quick { (4, 20_000) } else { (16, 1_000_000) };
     let pattern = PatternSpec::Mix(vec![
         PatternSpec::Incast {
             fan_in: 64,
@@ -259,16 +278,38 @@ pub fn hyperscale_run(quick: bool) -> HyperscaleRun {
         },
         None,
     );
-    let t0 = Instant::now();
-    let row = crate::hyperscale::run_cell(&scheme, &("mix", pattern), k, flows, 42, 1);
-    let secs = t0.elapsed().as_secs_f64();
+    let cell = |engine| {
+        let t0 = Instant::now();
+        let row = crate::hyperscale::run_cell(
+            &scheme,
+            &("mix", pattern.clone()),
+            k,
+            flows,
+            42,
+            crate::util::sim_threads(),
+            engine,
+        );
+        (row, t0.elapsed().as_secs_f64())
+    };
+    let (row, secs) = cell(EngineKind::Packet);
+    let lp = pmsb_simcore::lp::last_run_profile();
+    let (hybrid, hybrid_secs) = cell(EngineKind::Hybrid);
+    let packet_fps = row.completed as f64 / secs;
+    let hybrid_fps = hybrid.completed as f64 / hybrid_secs;
     HyperscaleRun {
         fabric_k: k,
         flows: row.injected,
         completed: row.completed,
-        flows_per_sec: row.completed as f64 / secs,
+        flows_per_sec: packet_fps,
         slab_high_water: row.slab_high_water,
         fct_p99_us: row.fct_p99_us,
+        hybrid_completed: hybrid.completed,
+        hybrid_flows_per_sec: hybrid_fps,
+        hybrid_fct_p99_us: hybrid.fct_p99_us,
+        fluid_speedup: hybrid_fps / packet_fps,
+        lp_windows: lp.windows,
+        lp_messages: lp.messages,
+        lp_barrier_wait_ms: lp.barrier_wait_nanos as f64 / 1e6,
     }
 }
 
@@ -487,6 +528,21 @@ pub fn render_json(
     let _ = writeln!(out, ",\n      \"slab_high_water\": {},", hs.slab_high_water);
     out.push_str("      \"fct_p99_us\": ");
     push_f64(&mut out, hs.fct_p99_us);
+    let _ = writeln!(
+        out,
+        ",\n      \"hybrid_completed\": {},",
+        hs.hybrid_completed
+    );
+    out.push_str("      \"hybrid_flows_per_sec\": ");
+    push_f64(&mut out, hs.hybrid_flows_per_sec);
+    out.push_str(",\n      \"hybrid_fct_p99_us\": ");
+    push_f64(&mut out, hs.hybrid_fct_p99_us);
+    out.push_str(",\n      \"fluid_speedup\": ");
+    push_ratio(&mut out, hs.fluid_speedup);
+    let _ = writeln!(out, ",\n      \"lp_windows\": {},", hs.lp_windows);
+    let _ = writeln!(out, "      \"lp_messages\": {},", hs.lp_messages);
+    out.push_str("      \"lp_barrier_wait_ms\": ");
+    push_f64(&mut out, hs.lp_barrier_wait_ms);
     out.push_str("\n    }\n  },\n");
     out.push_str("  \"determinism\": {\n");
     let _ = writeln!(
@@ -540,6 +596,13 @@ mod tests {
             flows_per_sec: 50_000.0,
             slab_high_water: 96,
             fct_p99_us: 250.0,
+            hybrid_completed: 19_900,
+            hybrid_flows_per_sec: 600_000.0,
+            hybrid_fct_p99_us: 245.0,
+            fluid_speedup: 12.0,
+            lp_windows: 0,
+            lp_messages: 0,
+            lp_barrier_wait_ms: 0.0,
         }
     }
 
@@ -667,6 +730,10 @@ mod tests {
         assert!(json.contains("\"slab_high_water\": 96"));
         assert!(json.contains("\"flows_per_sec\": 50000.0"));
         assert!(json.contains("\"fabric_k\": 4"));
+        assert!(json.contains("\"hybrid_flows_per_sec\": 600000.0"));
+        assert!(json.contains("\"fluid_speedup\": 12.000"));
+        assert!(json.contains("\"lp_windows\": 0"));
+        assert!(json.contains("\"lp_barrier_wait_ms\": 0.0"));
         // The dumbbell case had no baseline entry: no speedup key on it.
         let dumbbell_line = json
             .lines()

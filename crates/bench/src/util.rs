@@ -44,6 +44,34 @@ pub fn sim_threads() -> usize {
     SIM_THREADS.load(std::sync::atomic::Ordering::Relaxed)
 }
 
+/// Simulation engine for subsequently started experiment cells
+/// (`--engine packet|fluid|hybrid`). Process-wide like
+/// [`sim_threads`]; unlike thread count the engine *does* change
+/// results, so campaigns tag non-packet records with an `engine` job
+/// parameter to keep result stores disjoint.
+static ENGINE: std::sync::atomic::AtomicUsize = std::sync::atomic::AtomicUsize::new(0);
+
+/// Sets the engine used by subsequently started experiment cells.
+pub fn set_engine(engine: pmsb_netsim::EngineKind) {
+    use pmsb_netsim::EngineKind;
+    let v = match engine {
+        EngineKind::Packet => 0,
+        EngineKind::Fluid => 1,
+        EngineKind::Hybrid => 2,
+    };
+    ENGINE.store(v, std::sync::atomic::Ordering::Relaxed);
+}
+
+/// The current simulation engine (defaults to the packet engine).
+pub fn engine() -> pmsb_netsim::EngineKind {
+    use pmsb_netsim::EngineKind;
+    match ENGINE.load(std::sync::atomic::Ordering::Relaxed) {
+        1 => EngineKind::Fluid,
+        2 => EngineKind::Hybrid,
+        _ => EngineKind::Packet,
+    }
+}
+
 /// `true` when `--series` was passed: figure binaries additionally dump
 /// raw time series (occupancy vs time) for plotting.
 pub fn series_flag() -> bool {

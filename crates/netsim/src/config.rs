@@ -279,6 +279,37 @@ impl Default for HostConfig {
     }
 }
 
+/// Which simulation engine an [`Experiment`](crate::Experiment) runs.
+///
+/// The packet engine simulates every segment through the full
+/// switch/transport machinery; the fluid engine replaces the whole run
+/// with a flow-level max-min rate solve plus steady-state
+/// congestion-control response curves (DESIGN.md §11); the hybrid
+/// engine is fluid everywhere except that saturated ports are
+/// calibrated by per-port packet micro-simulations running the real
+/// scheduler and marking scheme.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum EngineKind {
+    /// Full packet-level discrete-event simulation (the default).
+    #[default]
+    Packet,
+    /// Flow-level fluid model with closed-form marking onset.
+    Fluid,
+    /// Fluid model with packet micro-simulated saturated ports.
+    Hybrid,
+}
+
+impl EngineKind {
+    /// Short name for reports and CLI values.
+    pub fn name(&self) -> &'static str {
+        match self {
+            EngineKind::Packet => "packet",
+            EngineKind::Fluid => "fluid",
+            EngineKind::Hybrid => "hybrid",
+        }
+    }
+}
+
 /// How a sender responds to honoured ECN-Echo signals.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum EcnResponse {

@@ -5,7 +5,8 @@ use pmsb::MarkPoint;
 use pmsb_workload::PatternSpec;
 
 pub use crate::config::{
-    HostConfig, MarkingConfig, SchedulerConfig, SwitchConfig, TransportConfig, TransportKind,
+    EngineKind, HostConfig, MarkingConfig, SchedulerConfig, SwitchConfig, TransportConfig,
+    TransportKind,
 };
 pub use crate::trace::TraceConfig;
 pub use crate::world::{FlowDesc, RunResults, StreamStats};
@@ -16,7 +17,7 @@ pub type ExperimentResult = RunResults;
 
 /// Which fabric the experiment runs on.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum Topology {
+pub(crate) enum Topology {
     /// `num_senders` senders → 1 receiver through one switch.
     Dumbbell { num_senders: usize },
     /// Leaf–spine fabric.
@@ -32,11 +33,11 @@ enum Topology {
 /// A streaming workload attached to an experiment (see
 /// [`Experiment::stream`]).
 #[derive(Debug, Clone)]
-struct StreamSpec {
-    pattern: PatternSpec,
-    seed: u64,
-    total_flows: u64,
-    record_exact: bool,
+pub(crate) struct StreamSpec {
+    pub(crate) pattern: PatternSpec,
+    pub(crate) seed: u64,
+    pub(crate) total_flows: u64,
+    pub(crate) record_exact: bool,
 }
 
 /// A declarative experiment: pick a topology, a marking scheme, a
@@ -56,23 +57,25 @@ struct StreamSpec {
 /// ```
 #[derive(Debug)]
 pub struct Experiment {
-    topology: Topology,
-    switch_cfg: SwitchConfig,
-    host_cfg: HostConfig,
-    transport: TransportConfig,
-    link_rate_bps: u64,
-    link_delay_nanos: u64,
+    pub(crate) topology: Topology,
+    pub(crate) switch_cfg: SwitchConfig,
+    pub(crate) host_cfg: HostConfig,
+    pub(crate) transport: TransportConfig,
+    pub(crate) link_rate_bps: u64,
+    pub(crate) link_delay_nanos: u64,
     trace: TraceConfig,
-    flows: Vec<FlowDesc>,
+    pub(crate) flows: Vec<FlowDesc>,
     /// `None` = mirror the switch marking onto host NICs (the NS-3-style
     /// default); `Some(cfg)` overrides it.
     host_nic_marking: Option<MarkingConfig>,
     faults: Option<FaultSchedule>,
     /// Streaming workload; `None` = the static `flows` list.
-    stream: Option<StreamSpec>,
+    pub(crate) stream: Option<StreamSpec>,
     /// Worker threads for the run itself (conservative parallel DES,
     /// DESIGN.md §8). 1 = the plain sequential event loop.
     sim_threads: usize,
+    /// Which engine executes the run (DESIGN.md §11).
+    pub(crate) engine: EngineKind,
 }
 
 impl Experiment {
@@ -99,6 +102,7 @@ impl Experiment {
             faults: None,
             stream: None,
             sim_threads: 1,
+            engine: EngineKind::Packet,
         }
     }
 
@@ -130,6 +134,7 @@ impl Experiment {
             faults: None,
             stream: None,
             sim_threads: 1,
+            engine: EngineKind::Packet,
         }
     }
 
@@ -250,6 +255,19 @@ impl Experiment {
         self
     }
 
+    /// Selects the simulation engine (default [`EngineKind::Packet`]).
+    /// The fluid and hybrid engines replace per-packet simulation with a
+    /// flow-level max-min rate solve (DESIGN.md §11); they support
+    /// static and streaming workloads but not fault schedules or port
+    /// traces, and they run single-threaded (`sim_threads` is ignored —
+    /// the solve is already orders of magnitude faster than the packet
+    /// engine, and ignoring it keeps results byte-identical across
+    /// thread counts by construction).
+    pub fn engine(mut self, engine: EngineKind) -> Self {
+        self.engine = engine;
+        self
+    }
+
     /// Dumbbell only: watches the bottleneck (receiver-facing) port with
     /// the given occupancy sample interval, keeping any other trace
     /// settings.
@@ -337,6 +355,13 @@ impl Experiment {
             .take()
             .unwrap_or_else(|| self.switch_cfg.marking.clone());
         self.host_cfg.nic_mark_point = self.switch_cfg.mark_point;
+        if self.engine != EngineKind::Packet {
+            assert!(
+                self.faults.is_none(),
+                "the fluid/hybrid engines do not support fault schedules"
+            );
+            return crate::fluid::run(&self, end_nanos);
+        }
         let num_switches = match self.topology {
             Topology::Dumbbell { .. } => 1,
             Topology::LeafSpine { leaves, spines, .. } => leaves + spines,

@@ -38,6 +38,7 @@
 
 pub mod config;
 pub mod experiment;
+pub mod fluid;
 pub mod packet;
 mod parallel;
 pub mod routing;
@@ -46,7 +47,9 @@ pub mod trace;
 pub mod transport;
 pub mod world;
 
-pub use config::{HostConfig, MarkingConfig, SchedulerConfig, SwitchConfig, TransportConfig};
+pub use config::{
+    EngineKind, HostConfig, MarkingConfig, SchedulerConfig, SwitchConfig, TransportConfig,
+};
 pub use experiment::{Experiment, ExperimentResult, FlowDesc};
 pub use packet::{Packet, PacketKind};
 pub use world::{Event, StreamStats, World};

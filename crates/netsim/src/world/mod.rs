@@ -427,6 +427,11 @@ impl World {
         self.hosts.len()
     }
 
+    /// Number of ports on `switch`.
+    pub fn num_ports(&self, switch: usize) -> usize {
+        self.switches[switch].ports.len()
+    }
+
     /// Candidate output ports on `switch` towards `dst_host` (for
     /// topology validation and tests).
     pub fn route_candidates(&self, switch: usize, dst_host: usize) -> &[usize] {

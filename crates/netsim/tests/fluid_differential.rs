@@ -1,0 +1,202 @@
+//! Differential tests: the fluid/hybrid engines against the packet
+//! engine on the same experiments.
+//!
+//! The fluid model trades per-packet fidelity for throughput, so these
+//! are *tolerance* checks, not byte-compares: mean FCTs must land
+//! within a stated band of the packet engine's (the fluid engine skips
+//! slow-start and models marking as a steady-state curve, so it runs a
+//! little optimistic on short flows), and the *ordering* of marking
+//! rates across schemes — the relation the paper's comparisons rest
+//! on — must be preserved. The steady-state standing-queue closed forms
+//! get exact unit checks against the heavy-traffic limits.
+
+use pmsb_netsim::experiment::{Experiment, FlowDesc};
+use pmsb_netsim::{EngineKind, MarkingConfig, SchedulerConfig};
+
+/// Mean FCT in nanoseconds over all completed flows.
+fn mean_fct_nanos(e: Experiment, horizon_ms: u64, expect_flows: usize) -> (f64, u64) {
+    let res = e.run_for_millis(horizon_ms);
+    assert_eq!(
+        res.fct.len(),
+        expect_flows,
+        "every flow must complete before the horizon"
+    );
+    let sum: u128 = res
+        .fct
+        .records()
+        .iter()
+        .map(|r| r.fct_nanos() as u128)
+        .sum();
+    (sum as f64 / expect_flows as f64, res.marks)
+}
+
+fn dumbbell_case(engine: EngineKind, marking: MarkingConfig) -> (f64, u64) {
+    let mut e = Experiment::dumbbell(4, 4).marking(marking).engine(engine);
+    for i in 0..4 {
+        // 1 MB bulk flows: bandwidth-dominated, so the fluid model's
+        // missing slow-start phase stays a second-order effect.
+        e.add_flow(FlowDesc::bulk(i, 4, i, 1_000_000));
+    }
+    mean_fct_nanos(e, 100, 4)
+}
+
+fn leaf_spine_case(engine: EngineKind, marking: MarkingConfig) -> (f64, u64) {
+    // 2 leaves x 2 spines x 4 hosts: cross-leaf flows share the leaf
+    // uplinks and downlinks, exercising multi-hop paths and ECMP.
+    let mut e = Experiment::leaf_spine(2, 2, 4)
+        .marking(marking)
+        .engine(engine);
+    for i in 0..4 {
+        e.add_flow(FlowDesc::bulk(i, 4 + i, i, 1_000_000));
+    }
+    mean_fct_nanos(e, 100, 4)
+}
+
+fn assert_within(fluid: f64, packet: f64, lo: f64, hi: f64, what: &str) {
+    let ratio = fluid / packet;
+    assert!(
+        ratio >= lo && ratio <= hi,
+        "{what}: fluid mean FCT {:.1} us vs packet {:.1} us (ratio {ratio:.2}, \
+         tolerance [{lo}, {hi}])",
+        fluid / 1e3,
+        packet / 1e3,
+    );
+}
+
+#[test]
+fn dumbbell_fct_means_agree_within_tolerance() {
+    let pmsb = MarkingConfig::Pmsb {
+        port_threshold_pkts: 12,
+    };
+    let (packet, _) = dumbbell_case(EngineKind::Packet, pmsb.clone());
+    let (fluid, _) = dumbbell_case(EngineKind::Fluid, pmsb.clone());
+    let (hybrid, _) = dumbbell_case(EngineKind::Hybrid, pmsb);
+    assert_within(fluid, packet, 0.5, 2.0, "dumbbell fluid");
+    assert_within(hybrid, packet, 0.5, 2.0, "dumbbell hybrid");
+}
+
+#[test]
+fn leaf_spine_fct_means_agree_within_tolerance() {
+    let pmsb = MarkingConfig::Pmsb {
+        port_threshold_pkts: 12,
+    };
+    let (packet, _) = leaf_spine_case(EngineKind::Packet, pmsb.clone());
+    let (fluid, _) = leaf_spine_case(EngineKind::Fluid, pmsb.clone());
+    let (hybrid, _) = leaf_spine_case(EngineKind::Hybrid, pmsb);
+    assert_within(fluid, packet, 0.5, 2.0, "leaf-spine fluid");
+    assert_within(hybrid, packet, 0.5, 2.0, "leaf-spine hybrid");
+}
+
+/// The relation the scheme sweeps rest on: within a marking family, a
+/// lower threshold means a shorter standing queue, a smaller window,
+/// and therefore a *higher* steady-state marking fraction — so the
+/// aggressive threshold must out-mark the permissive one under both
+/// engines, on both topologies. Long (10 MB) flows keep the packet
+/// engine in its AIMD steady state, where this monotonicity holds; on
+/// short transient-dominated runs the packet counts hinge on slow-start
+/// overshoot, which the fluid model deliberately does not carry. The
+/// fluid engine must also agree on "no marking scheme, no marks".
+#[test]
+fn marking_rate_ordering_is_preserved() {
+    let aggressive = MarkingConfig::PerPort { threshold_pkts: 4 };
+    let permissive = MarkingConfig::PerPort { threshold_pkts: 12 };
+    let marks = |topo: &str, engine, marking| {
+        let mut e = match topo {
+            "dumbbell" => Experiment::dumbbell(4, 4),
+            _ => Experiment::leaf_spine(2, 2, 4),
+        }
+        .marking(marking)
+        .engine(engine);
+        for i in 0..4 {
+            let dst = if topo == "dumbbell" { 4 } else { 4 + i };
+            e.add_flow(FlowDesc::bulk(i, dst, i, 10_000_000));
+        }
+        let res = e.run_for_millis(500);
+        assert_eq!(res.fct.len(), 4, "{topo}: all flows complete");
+        res.marks
+    };
+    for topo in ["dumbbell", "leaf-spine"] {
+        let packet_lo = marks(topo, EngineKind::Packet, aggressive.clone());
+        let packet_hi = marks(topo, EngineKind::Packet, permissive.clone());
+        let fluid_lo = marks(topo, EngineKind::Fluid, aggressive.clone());
+        let fluid_hi = marks(topo, EngineKind::Fluid, permissive.clone());
+        assert!(
+            packet_lo > packet_hi,
+            "{topo} packet: K4 ({packet_lo}) must out-mark K12 ({packet_hi})"
+        );
+        assert!(
+            fluid_lo > fluid_hi,
+            "{topo} fluid: K4 ({fluid_lo}) must out-mark K12 ({fluid_hi})"
+        );
+    }
+    let mut e = Experiment::dumbbell(2, 2)
+        .marking(MarkingConfig::None)
+        .engine(EngineKind::Fluid);
+    e.add_flow(FlowDesc::bulk(0, 2, 0, 1_000_000));
+    e.add_flow(FlowDesc::bulk(1, 2, 1, 1_000_000));
+    assert_eq!(e.run_for_millis(100).marks, 0, "no scheme, no marks");
+}
+
+/// The fluid standing-queue closed forms against the heavy-traffic
+/// limits for a saturated port serving two queues: per-queue marking
+/// holds each of the `m` backlogged queues at its threshold `K`, so the
+/// port converges to `m*K`; per-port marking caps the *sum* at `K`
+/// regardless of how many queues share it. This is the saturated
+/// two-queue ("2-port" in the MaxWeight sense: both service classes
+/// backlogged) fixed point of the max-weight heavy-traffic analysis —
+/// total backlog scales with the number of contending classes for
+/// per-queue thresholds and is invariant for port-level ones.
+#[test]
+fn steady_state_queues_match_heavy_traffic_closed_forms() {
+    use pmsb_netsim::fluid::steady_state_queue_bytes;
+    let sched = SchedulerConfig::Dwrr {
+        weights: vec![1; 8],
+    };
+    let rate = 10_000_000_000;
+    let buf = 2 * 1024 * 1024;
+    let k = 65u64 * 1500;
+    let per_queue = MarkingConfig::PerQueueStandard { threshold_pkts: 65 };
+    let one = steady_state_queue_bytes(&per_queue, &sched, rate, buf, &[0]);
+    let two = steady_state_queue_bytes(&per_queue, &sched, rate, buf, &[0, 1]);
+    assert_eq!(one, k, "one backlogged queue sits at its own threshold");
+    // Two saturated queues: the port fixed point is 2K (the scan steps
+    // in whole MTUs split across queues, so allow one MTU of rounding).
+    assert!(
+        two >= 2 * k - 2 * 1500 && two <= 2 * k + 2 * 1500,
+        "two backlogged queues must sit at ~2K: got {two}, want ~{}",
+        2 * k
+    );
+    let per_port = MarkingConfig::PerPort { threshold_pkts: 12 };
+    let pp_one = steady_state_queue_bytes(&per_port, &sched, rate, buf, &[0]);
+    let pp_two = steady_state_queue_bytes(&per_port, &sched, rate, buf, &[0, 1]);
+    assert_eq!(pp_one, 12 * 1500, "port threshold is the port fixed point");
+    assert_eq!(pp_two, pp_one, "invariant in the number of active classes");
+}
+
+/// `--sim-threads` must not change fluid/hybrid results: the engines
+/// are single-threaded by design, so a sharded request falls through to
+/// the same deterministic run (this is what CI's byte-compare rests on).
+#[test]
+fn hybrid_results_are_identical_across_sim_threads() {
+    let run = |threads: usize| {
+        let mut e = Experiment::dumbbell(4, 4)
+            .marking(MarkingConfig::Pmsb {
+                port_threshold_pkts: 12,
+            })
+            .engine(EngineKind::Hybrid)
+            .sim_threads(threads);
+        for i in 0..4 {
+            e.add_flow(FlowDesc::bulk(i, 4, i, 1_000_000));
+        }
+        let res = e.run_for_millis(100);
+        (
+            res.fct
+                .records()
+                .iter()
+                .map(|r| (r.flow_id, r.end_nanos))
+                .collect::<Vec<_>>(),
+            res.marks,
+        )
+    };
+    assert_eq!(run(1), run(4));
+}

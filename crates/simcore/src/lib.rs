@@ -37,7 +37,7 @@ pub mod time;
 
 pub use event::{EventQueue, Simulation, TieKey};
 pub use heap_fel::HeapQueue;
-pub use lp::{run_conservative, LogicalProcess, LpMessage};
+pub use lp::{last_run_profile, run_conservative, LogicalProcess, LpMessage, LpRunProfile};
 pub use time::{SimDuration, SimTime};
 
 /// Types implementing this trait drive a [`Simulation`]: every popped event

@@ -146,6 +146,40 @@ impl WindowBarrier {
 /// Sentinel for "no pending event" in the published-time atomics.
 const IDLE: u64 = u64::MAX;
 
+/// Wall-clock profile of the last [`run_conservative`] call on this
+/// process: window count, cross-LP messages delivered, and the
+/// coordinator's cumulative barrier-wait time. The counters are written
+/// by the coordinator only (never the workers), cost two `Instant`
+/// reads per window, and have no effect on the schedule — they exist so
+/// the bench harness can report how the conservative protocol spends
+/// its time (windows per run, events per window, barrier overhead).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LpRunProfile {
+    /// Conservative windows executed.
+    pub windows: u64,
+    /// Cross-LP messages delivered across all windows.
+    pub messages: u64,
+    /// Wall-clock nanoseconds the coordinator spent waiting on the
+    /// window barriers (includes the workers' window execution time, so
+    /// this is coordinator idle time, not pure barrier overhead).
+    pub barrier_wait_nanos: u64,
+}
+
+static PROFILE_WINDOWS: AtomicU64 = AtomicU64::new(0);
+static PROFILE_MESSAGES: AtomicU64 = AtomicU64::new(0);
+static PROFILE_BARRIER_NANOS: AtomicU64 = AtomicU64::new(0);
+
+/// The profile of the most recent [`run_conservative`] call. Process-wide
+/// and overwritten by every run (concurrent runs interleave), so read it
+/// immediately after the run of interest.
+pub fn last_run_profile() -> LpRunProfile {
+    LpRunProfile {
+        windows: PROFILE_WINDOWS.load(Ordering::Acquire),
+        messages: PROFILE_MESSAGES.load(Ordering::Acquire),
+        barrier_wait_nanos: PROFILE_BARRIER_NANOS.load(Ordering::Acquire),
+    }
+}
+
 /// Per-LP mailboxes shared between the coordinator and one worker.
 /// The barrier protocol alternates exclusive access, so the mutexes are
 /// never contended; they exist to keep the sharing safe.
@@ -195,6 +229,11 @@ pub fn run_conservative<L: LogicalProcess>(
     let barrier = WindowBarrier::new(k + 1);
     // The window horizon for the next epoch; IDLE signals termination.
     let horizon = AtomicU64::new(IDLE);
+    // Coordinator-side profile counters (wall clock only; published to
+    // the process-wide statics after the run).
+    let mut prof_windows = 0u64;
+    let mut prof_messages = 0u64;
+    let mut prof_barrier_nanos = 0u64;
 
     std::thread::scope(|scope| {
         for (i, lp) in lps.iter_mut().enumerate() {
@@ -252,6 +291,7 @@ pub fn run_conservative<L: LogicalProcess>(
             // order). The sort is total, so thread scheduling is
             // irrelevant.
             pending.sort_unstable_by_key(|(at, src, idx, _, _)| (*at, *src, *idx));
+            prof_messages += pending.len() as u64;
             for (at, src, _, dst, payload) in pending.drain(..) {
                 channels[dst].inbox.lock().expect("inbox lock").push((
                     SimTime::from_nanos(at),
@@ -263,10 +303,16 @@ pub fn run_conservative<L: LogicalProcess>(
                 .saturating_add(lookahead.as_nanos())
                 .min(deadline.as_nanos().saturating_add(1));
             horizon.store(cap, Ordering::Release);
+            prof_windows += 1;
+            let waited = std::time::Instant::now();
             barrier.wait(); // (1) start the window
             barrier.wait(); // (2) wait for every worker to finish it
+            prof_barrier_nanos += waited.elapsed().as_nanos() as u64;
         }
     });
+    PROFILE_WINDOWS.store(prof_windows, Ordering::Release);
+    PROFILE_MESSAGES.store(prof_messages, Ordering::Release);
+    PROFILE_BARRIER_NANOS.store(prof_barrier_nanos, Ordering::Release);
 }
 
 #[cfg(test)]
@@ -366,6 +412,27 @@ mod tests {
         let fired: usize = lps.iter().map(|lp| lp.log.len()).sum();
         assert_eq!(fired, 51);
         assert!(lps.iter().flat_map(|lp| &lp.log).all(|&(t, _)| t <= 501));
+    }
+
+    #[test]
+    fn profile_counts_windows_and_messages() {
+        let tokens = 50;
+        let mut lps = ring(2, 10, tokens);
+        run_conservative(
+            &mut lps,
+            SimDuration::from_nanos(10),
+            SimTime::from_nanos(u64::MAX - 1),
+        );
+        let p = last_run_profile();
+        // Every token hop is one cross-LP message; each is delivered in
+        // its own lookahead window here (hops are exactly one lookahead
+        // apart), plus the initial window.
+        assert_eq!(p.messages, tokens);
+        assert!(
+            p.windows >= tokens && p.windows <= tokens + 2,
+            "windows {}",
+            p.windows
+        );
     }
 
     #[test]

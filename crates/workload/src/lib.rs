@@ -39,5 +39,5 @@ pub mod traffic;
 
 pub use arrivals::{arrival_rate_for_load, PoissonArrivals};
 pub use pattern::{PatternFlows, PatternSpec};
-pub use size::{DataMining, FlowSizeDist, PaperMix, WebSearch};
+pub use size::{DataMining, FlowSizeDist, PaperMix, SizeDistSpec, WebSearch};
 pub use traffic::{FlowSpec, TrafficSpec};

@@ -28,6 +28,7 @@
 use pmsb_simcore::rng::SimRng;
 
 use crate::arrivals::PoissonArrivals;
+use crate::size::{FlowSizeDist, SizeDistSpec};
 use crate::traffic::FlowSpec;
 
 /// Service classes the patterns spread flows over (matching the paper's
@@ -74,6 +75,18 @@ pub enum PatternSpec {
     /// earlier part). Each part gets an independent RNG stream forked
     /// from the seed.
     Mix(Vec<PatternSpec>),
+    /// The wrapped pattern with its fixed per-flow sizes replaced by
+    /// draws from a named empirical distribution ([`SizeDistSpec`]):
+    /// arrival times, endpoints, and services are untouched, so the
+    /// shape keeps its synchronization structure while sizes follow the
+    /// paper's web-search/data-mining CDFs. The size RNG is forked from
+    /// the seed independently of the wrapped pattern's stream.
+    Sized {
+        /// The pattern supplying arrivals and endpoints.
+        pattern: Box<PatternSpec>,
+        /// The distribution supplying flow sizes.
+        dist: SizeDistSpec,
+    },
 }
 
 impl PatternSpec {
@@ -84,6 +97,18 @@ impl PatternSpec {
             PatternSpec::Shuffle { .. } => "shuffle",
             PatternSpec::HotService { .. } => "hotservice",
             PatternSpec::Mix(_) => "mix",
+            // A sized wrapper keeps the wrapped shape's name: reports
+            // group by traffic shape, and the size distribution is
+            // reported separately where it matters.
+            PatternSpec::Sized { pattern, .. } => pattern.name(),
+        }
+    }
+
+    /// Wraps `pattern` so flow sizes are drawn from `dist`.
+    pub fn sized(pattern: PatternSpec, dist: SizeDistSpec) -> Self {
+        PatternSpec::Sized {
+            pattern: Box::new(pattern),
+            dist,
         }
     }
 
@@ -198,6 +223,14 @@ impl PatternSpec {
                 let peeked = parts.iter().map(|_| None).collect();
                 Inner::Mix { parts, peeked }
             }
+            PatternSpec::Sized { pattern, dist } => Inner::Sized {
+                inner: Box::new(pattern.build(num_hosts, seed)),
+                dist: dist.build(),
+                // A distinct deterministic stream for sizes, so the
+                // wrapped pattern emits exactly the arrivals it would
+                // emit unwrapped.
+                rng: SimRng::seed_from(seed.wrapping_add(0xa5a5_5a5a_c3c3_3c3c)),
+            },
         }
     }
 }
@@ -255,6 +288,11 @@ enum Inner {
     Mix {
         parts: Vec<Inner>,
         peeked: Vec<Option<FlowSpec>>,
+    },
+    Sized {
+        inner: Box<Inner>,
+        dist: Box<dyn FlowSizeDist>,
+        rng: SimRng,
     },
 }
 
@@ -357,6 +395,11 @@ impl Inner {
                     .map(|(i, _)| i)
                     .expect("mix is nonempty");
                 peeked[winner].take().expect("winner peeked")
+            }
+            Inner::Sized { inner, dist, rng } => {
+                let mut spec = inner.gen();
+                spec.size_bytes = dist.sample(rng).max(1);
+                spec
             }
         }
     }
@@ -537,6 +580,45 @@ mod tests {
         let big = flows.iter().filter(|f| f.size_bytes == 50_000).count();
         assert_eq!(small + big, 500);
         assert!(small > 100 && big > 100, "both parts flow: {small}/{big}");
+    }
+
+    #[test]
+    fn sized_wrapper_keeps_arrivals_and_redraws_sizes() {
+        let base = PatternSpec::incast(8);
+        let sized = PatternSpec::sized(base.clone(), SizeDistSpec::WebSearch);
+        assert_eq!(sized.name(), "incast");
+        let a = collect(&base, 16, 7, 300);
+        let b = collect(&sized, 16, 7, 300);
+        assert_eq!(a.len(), b.len());
+        check_valid(&b, 16);
+        let mut distinct = std::collections::HashSet::new();
+        for (x, y) in a.iter().zip(&b) {
+            // Everything but the size is the wrapped pattern's output.
+            assert_eq!(x.start_nanos, y.start_nanos);
+            assert_eq!(x.src_host, y.src_host);
+            assert_eq!(x.dst_host, y.dst_host);
+            assert_eq!(x.service, y.service);
+            assert!((1_000..=30_000_000).contains(&y.size_bytes));
+            distinct.insert(y.size_bytes);
+        }
+        assert!(distinct.len() > 50, "sizes vary: {}", distinct.len());
+        // Deterministic under the same seed, distinct under another.
+        assert_eq!(b, collect(&sized, 16, 7, 300));
+        assert_ne!(b, collect(&sized, 16, 8, 300));
+    }
+
+    #[test]
+    fn sized_wrapper_composes_with_mix() {
+        let spec = PatternSpec::sized(
+            PatternSpec::Mix(vec![PatternSpec::incast(4), PatternSpec::shuffle()]),
+            SizeDistSpec::DataMining,
+        );
+        assert_eq!(spec.name(), "mix");
+        let flows = collect(&spec, 8, 5, 200);
+        check_valid(&flows, 8);
+        // Heavy-tailed draws: fixed 20 KB / 100 KB sizes are gone.
+        assert!(flows.iter().any(|f| f.size_bytes < 2_000));
+        assert!(flows.iter().any(|f| f.size_bytes > 1_000_000));
     }
 
     #[test]

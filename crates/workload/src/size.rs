@@ -3,7 +3,10 @@
 use pmsb_simcore::rng::SimRng;
 
 /// A distribution over flow sizes in bytes.
-pub trait FlowSizeDist: std::fmt::Debug {
+///
+/// `Send` so boxed distributions can ride inside streaming flow sources
+/// handed to worker shards.
+pub trait FlowSizeDist: std::fmt::Debug + Send {
     /// Draws one flow size.
     fn sample(&self, rng: &mut SimRng) -> u64;
 
@@ -238,9 +241,57 @@ impl FlowSizeDist for DataMining {
     }
 }
 
+/// A cloneable, comparable handle naming one of the built-in flow-size
+/// distributions — the configuration-side counterpart of
+/// [`FlowSizeDist`], usable inside `PartialEq` specs such as
+/// [`crate::PatternSpec`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SizeDistSpec {
+    /// The web-search CDF ([`WebSearch`]).
+    WebSearch,
+    /// The data-mining CDF ([`DataMining`]).
+    DataMining,
+    /// The paper's three-class mix ([`PaperMix`]).
+    PaperMix,
+}
+
+impl SizeDistSpec {
+    /// Short name for reports and CLI errors.
+    pub fn name(&self) -> &'static str {
+        match self {
+            SizeDistSpec::WebSearch => "web-search",
+            SizeDistSpec::DataMining => "data-mining",
+            SizeDistSpec::PaperMix => "paper-mix",
+        }
+    }
+
+    /// Instantiates the named distribution.
+    pub fn build(&self) -> Box<dyn FlowSizeDist> {
+        match self {
+            SizeDistSpec::WebSearch => Box::new(WebSearch::new()),
+            SizeDistSpec::DataMining => Box::new(DataMining::new()),
+            SizeDistSpec::PaperMix => Box::new(PaperMix::new()),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn size_dist_spec_builds_the_named_distribution() {
+        for spec in [
+            SizeDistSpec::WebSearch,
+            SizeDistSpec::DataMining,
+            SizeDistSpec::PaperMix,
+        ] {
+            let dist = spec.build();
+            assert_eq!(dist.name(), spec.name());
+            let mut rng = SimRng::seed_from(3);
+            assert!(dist.sample(&mut rng) >= 1);
+        }
+    }
 
     #[test]
     fn paper_mix_class_proportions() {

@@ -25,8 +25,8 @@ use pmsb::MarkPoint;
 use pmsb_metrics::fct::SizeClass;
 use pmsb_netsim::experiment::{Experiment, FaultSchedule, FlowDesc};
 use pmsb_repro::cli::{
-    parse_flow, parse_marking, parse_pattern, parse_scheduler, parse_topology, parse_transport,
-    parse_weights, split_options, ParseError, TopologySpec,
+    parse_engine, parse_flow, parse_marking, parse_pattern, parse_scheduler, parse_topology,
+    parse_transport, parse_weights, split_options, ParseError, TopologySpec,
 };
 use pmsb_simcore::rng::SimRng;
 use pmsb_workload::traffic::TrafficSpec;
@@ -38,21 +38,23 @@ USAGE:
   pmsb-sim dumbbell  [--senders N] [--queues N] [--marking SPEC]
                      [--scheduler SPEC] [--mark-point enq|deq]
                      [--pmsbe-us X] [--transport dctcp|newreno]
+                     [--engine packet|fluid|hybrid]
                      [--rate-gbps N] [--delay-ns N]
                      [--millis N] [--watch true] [--fault-schedule FILE]
                      [--sim-threads N] --flow SPEC [--flow SPEC ...]
   pmsb-sim leaf-spine [--load X] [--flows N] [--seed N] [--marking SPEC]
                      [--scheduler SPEC] [--mark-point enq|deq] [--pmsbe-us X]
-                     [--transport dctcp|newreno]
+                     [--transport dctcp|newreno] [--engine packet|fluid|hybrid]
                      [--fault-schedule FILE] [--sim-threads N]
   pmsb-sim fabric    [--topology leaf-spine|fat-tree:K] [--pattern SPEC]
                      [--flows N] [--seed N] [--exact true] [--drain-ms N]
                      [--marking SPEC] [--scheduler SPEC] [--pmsbe-us X]
-                     [--transport dctcp|newreno] [--sim-threads N]
+                     [--transport dctcp|newreno] [--engine packet|fluid|hybrid]
+                     [--sim-threads N]
   pmsb-sim profile   --rtt-us X --weights W1,W2,... [--rate-gbps N]
                      [--lambda X] [--margin X]
   pmsb-sim campaign  NAME [--quick] [--jobs N] [--results DIR] [--quiet]
-                     [--sim-threads N]
+                     [--sim-threads N] [--engine packet|fluid|hybrid]
                      NAME: all | figures | extensions | large-scale-dwrr
                      | large-scale-wfq | seed-sensitivity | faults
                      | transport | hyperscale | any scenario
@@ -62,6 +64,13 @@ USAGE:
   --sim-threads N shards one simulation across N worker threads
   (conservative lookahead windows; results are byte-identical to
   --sim-threads 1, see DESIGN.md section 8).
+
+  --engine picks the simulation engine: 'packet' (default, event per
+  packet), 'fluid' (flow-level max-min rates with steady-state marking
+  curves), or 'hybrid' (fluid rates plus per-port packet micro-sims
+  calibrating the marking — the 10-100x hyperscale fast path, DESIGN.md
+  section 11). The fluid/hybrid engines do not support fault schedules
+  and ignore --sim-threads (they are single-threaded and deterministic).
 
   fabric streams a traffic pattern (lazy flow injection, slab flow
   state, sketch FCT percentiles) over the chosen topology; --exact true
@@ -73,7 +82,9 @@ SPECS:
              | pool:K | mq-ecn:K | tcn:NANOS | red:MIN,MAX,P     (K in packets)
   scheduler  fifo | sp:N | wrr:W,.. | dwrr:W,.. | wfq:W,.. | spwfq:G,..;W,..
   topology   leaf-spine | fat-tree:K            (K even >= 4; k=16 is 1024 hosts)
-  pattern    incast[:FAN] | shuffle | hotservice[:EXP] | mix
+  pattern    incast[:FAN] | shuffle | hotservice[:EXP] | mix    each may take
+             an @DIST size suffix: @web-search | @data-mining | @paper-mix
+             (flow sizes drawn from the paper's CDFs, e.g. shuffle@web-search)
   flow       SRC>DST:SERVICE:SIZE[@START_US][/RATE_GBPS]
              SIZE takes K/M/G suffixes or 'u' for long-lived
   fault file line-oriented: 'seed N' then 'at TIME VERB TARGET [ARG]' lines,
@@ -150,6 +161,14 @@ fn campaign(args: &[String]) -> Result<(), ParseError> {
                     ))
                 }
             },
+            "--engine" => match rest.next() {
+                Some(v) => pmsb_bench::util::set_engine(parse_engine(&v)?),
+                None => {
+                    return Err(ParseError(
+                        "campaign: --engine needs packet|fluid|hybrid".into(),
+                    ))
+                }
+            },
             other if !other.starts_with("--") && name.is_none() => name = Some(other.to_string()),
             other => {
                 return Err(ParseError(format!(
@@ -205,6 +224,9 @@ fn apply_common(mut e: Experiment, options: &[(String, String)]) -> Result<Exper
     }
     if let Some(t) = opt(options, "transport") {
         e = e.transport_kind(parse_transport(t)?);
+    }
+    if let Some(en) = opt(options, "engine") {
+        e = e.engine(parse_engine(en)?);
     }
     if let Some(path) = opt(options, "fault-schedule") {
         let text = std::fs::read_to_string(path)

@@ -5,7 +5,8 @@
 //! `pmsb-sim help` for the surface syntax.
 
 use pmsb_netsim::experiment::{FlowDesc, MarkingConfig, SchedulerConfig, TransportKind};
-use pmsb_workload::PatternSpec;
+use pmsb_netsim::EngineKind;
+use pmsb_workload::{PatternSpec, SizeDistSpec};
 
 /// A parse failure with a human-readable reason.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -252,15 +253,38 @@ pub fn parse_topology(s: &str) -> Result<TopologySpec, ParseError> {
 /// | `hotservice[:EXP]` | Zipf(EXP) hot service (default 1.2) |
 /// | `mix` | start-time merge of incast(32) and shuffle |
 ///
+/// Any pattern may carry an `@DIST` suffix that replaces its fixed flow
+/// sizes with draws from a measured CDF: `@web-search`, `@data-mining`,
+/// or `@paper-mix` — e.g. `shuffle@web-search`, `incast:16@paper-mix`.
+///
 /// # Example
 ///
 /// ```
 /// use pmsb_repro::cli::parse_pattern;
-/// use pmsb_workload::PatternSpec;
+/// use pmsb_workload::{PatternSpec, SizeDistSpec};
 ///
 /// assert_eq!(parse_pattern("incast:16").unwrap(), PatternSpec::incast(16));
+/// assert_eq!(
+///     parse_pattern("shuffle@web-search").unwrap(),
+///     PatternSpec::sized(PatternSpec::shuffle(), SizeDistSpec::WebSearch)
+/// );
 /// ```
 pub fn parse_pattern(s: &str) -> Result<PatternSpec, ParseError> {
+    // `@DIST` binds loosest: `incast:16@paper-mix` sizes incast(16).
+    if let Some((base, dist)) = s.rsplit_once('@') {
+        let dist = match dist {
+            "web-search" => SizeDistSpec::WebSearch,
+            "data-mining" => SizeDistSpec::DataMining,
+            "paper-mix" => SizeDistSpec::PaperMix,
+            other => {
+                return err(format!(
+                    "unknown size distribution '@{other}' \
+                     (@web-search|@data-mining|@paper-mix)"
+                ))
+            }
+        };
+        return Ok(PatternSpec::sized(parse_pattern(base)?, dist));
+    }
     let (kind, arg) = match s.split_once(':') {
         Some((k, a)) => (k, Some(a)),
         None => (s, None),
@@ -292,6 +316,28 @@ pub fn parse_pattern(s: &str) -> Result<PatternSpec, ParseError> {
         other => err(format!(
             "unknown pattern '{other}' (incast[:FAN]|shuffle|hotservice[:EXP]|mix)"
         )),
+    }
+}
+
+/// Parses a simulation-engine name: `packet` (the default event-per-
+/// packet engine), `fluid` (flow-level max-min rate solve with
+/// steady-state marking curves), or `hybrid` (fluid rates plus per-port
+/// packet micro-simulations calibrating the marking behaviour).
+///
+/// # Example
+///
+/// ```
+/// use pmsb_repro::cli::parse_engine;
+/// use pmsb_netsim::EngineKind;
+///
+/// assert_eq!(parse_engine("hybrid").unwrap(), EngineKind::Hybrid);
+/// ```
+pub fn parse_engine(s: &str) -> Result<EngineKind, ParseError> {
+    match s {
+        "packet" => Ok(EngineKind::Packet),
+        "fluid" => Ok(EngineKind::Fluid),
+        "hybrid" => Ok(EngineKind::Hybrid),
+        other => err(format!("unknown engine '{other}' (packet|fluid|hybrid)")),
     }
 }
 
@@ -538,6 +584,44 @@ mod tests {
         assert!(parse_pattern("incast:0").is_err(), "zero fan-in rejected");
         assert!(parse_pattern("hotservice:-1").is_err(), "negative exponent");
         assert!(parse_pattern("shuffle:3").is_err(), "stray parameter");
+    }
+
+    #[test]
+    fn size_dist_suffix_parses() {
+        assert_eq!(
+            parse_pattern("shuffle@web-search").unwrap(),
+            PatternSpec::sized(PatternSpec::shuffle(), SizeDistSpec::WebSearch)
+        );
+        assert_eq!(
+            parse_pattern("incast:16@paper-mix").unwrap(),
+            PatternSpec::sized(PatternSpec::incast(16), SizeDistSpec::PaperMix)
+        );
+        assert_eq!(
+            parse_pattern("mix@data-mining").unwrap(),
+            PatternSpec::sized(
+                PatternSpec::Mix(vec![PatternSpec::incast(32), PatternSpec::shuffle()]),
+                SizeDistSpec::DataMining
+            )
+        );
+        let e = parse_pattern("shuffle@pareto").unwrap_err();
+        assert!(e.0.contains("pareto"), "names the bad input: {e}");
+        assert!(
+            e.0.contains("@web-search|@data-mining|@paper-mix"),
+            "lists the variants: {e}"
+        );
+    }
+
+    #[test]
+    fn engines_parse() {
+        assert_eq!(parse_engine("packet").unwrap(), EngineKind::Packet);
+        assert_eq!(parse_engine("fluid").unwrap(), EngineKind::Fluid);
+        assert_eq!(parse_engine("hybrid").unwrap(), EngineKind::Hybrid);
+        let e = parse_engine("quantum").unwrap_err();
+        assert!(e.0.contains("quantum"), "names the bad input: {e}");
+        assert!(
+            e.0.contains("packet|fluid|hybrid"),
+            "lists the variants: {e}"
+        );
     }
 
     #[test]
