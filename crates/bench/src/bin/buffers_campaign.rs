@@ -1,0 +1,6 @@
+//! The buffer-contention campaign: marking schemes under shared-pool
+//! buffer policies (see `pmsb_bench::buffers`).
+
+fn main() {
+    pmsb_bench::campaigns::run_campaign_main("buffers");
+}

@@ -13,7 +13,7 @@ use pmsb_netsim::experiment::SchedulerConfig;
 
 use crate::large_scale::{self, LsRow};
 use crate::util::banner;
-use crate::{extensions, faults, figures, hyperscale, outln, transport};
+use crate::{buffers, extensions, faults, figures, hyperscale, outln, transport};
 
 /// The seed used by single-seed sweeps, matching the paper runs.
 pub const DEFAULT_SEED: u64 = 42;
@@ -224,6 +224,19 @@ pub fn extension_jobs(quick: bool) -> Vec<Job> {
     ]
 }
 
+/// Tags a sweep job with a `buffer` parameter when a non-default
+/// (shared) buffer policy is active, so its records never collide with
+/// the static-buffer golden records (same convention as the `engine`
+/// parameter: default-policy jobs keep their historical keys).
+fn tag_buffer(job: Job) -> Job {
+    let buffer = crate::util::buffer_policy();
+    if buffer.is_shared() {
+        job.param("buffer", buffer.name())
+    } else {
+        job
+    }
+}
+
 /// One job per `(scheme, load, seed)` cell of a large-scale sweep.
 /// `scheduler` is `"dwrr"` (Figs. 16–21, MQ-ECN included) or `"wfq"`
 /// (Figs. 22–27).
@@ -239,7 +252,7 @@ pub fn large_scale_jobs(scheduler: &'static str, quick: bool, seeds: &[u64]) -> 
     for &seed in seeds {
         for &load in loads {
             for (name, marking, pmsbe, point) in large_scale::schemes(include_mq_ecn) {
-                jobs.push(
+                jobs.push(tag_buffer(
                     Job::new(scenario, seed, move || {
                         let sched = if include_mq_ecn {
                             SchedulerConfig::Dwrr {
@@ -266,7 +279,7 @@ pub fn large_scale_jobs(scheduler: &'static str, quick: bool, seeds: &[u64]) -> 
                     .param("scheme", name)
                     .param("load", load)
                     .param("quick", quick),
-                );
+                ));
             }
         }
     }
@@ -281,14 +294,14 @@ pub fn fault_jobs(quick: bool, seed: u64) -> Vec<Job> {
     for (name, marking) in faults::schemes() {
         for profile in faults::PROFILES {
             let marking = marking.clone();
-            jobs.push(
+            jobs.push(tag_buffer(
                 Job::new("faults", seed, move || {
                     faults::row_record(&faults::run_cell(name, marking, profile, num_flows, seed))
                 })
                 .param("scheme", name)
                 .param("profile", *profile)
                 .param("quick", quick),
-            );
+            ));
         }
     }
     jobs
@@ -340,7 +353,7 @@ pub fn hyperscale_jobs(quick: bool, seed: u64) -> Vec<Job> {
             if engine != pmsb_netsim::EngineKind::Packet {
                 job = job.param("engine", engine.name());
             }
-            jobs.push(job);
+            jobs.push(tag_buffer(job));
         }
     }
     jobs
@@ -365,7 +378,7 @@ pub fn transport_jobs(quick: bool, seed: u64) -> Vec<Job> {
     let mut jobs = Vec::new();
     for &kind in transport::TRANSPORTS {
         for (name, marking, pmsbe) in transport::schemes() {
-            jobs.push(
+            jobs.push(tag_buffer(
                 Job::new("transport", seed, move || {
                     transport::row_record(&transport::run_cell(
                         kind, name, marking, pmsbe, num_flows, seed,
@@ -374,7 +387,7 @@ pub fn transport_jobs(quick: bool, seed: u64) -> Vec<Job> {
                 .param("transport", kind.name())
                 .param("scheme", name)
                 .param("quick", quick),
-            );
+            ));
         }
     }
     jobs
@@ -392,6 +405,47 @@ pub fn write_transport_report(out: &mut String, records: &[Record]) {
     }
 }
 
+/// One job per `(scheme, buffer policy, memory regime)` cell of the
+/// buffer-contention sweep (see [`crate::buffers`]). Unlike the other
+/// sweeps this campaign pins its own buffer policy per cell, so the
+/// process-wide `--buffer` override does not apply to it; the flow
+/// pattern is a deterministic incast schedule, so the job seed is 0.
+pub fn buffer_jobs(quick: bool) -> Vec<Job> {
+    let epochs = buffers::num_epochs(quick);
+    let mut jobs = Vec::new();
+    for (scheme, marking, pmsbe) in transport::schemes() {
+        for policy in buffers::policies() {
+            for (regime, port_bytes) in buffers::regimes() {
+                let marking = marking.clone();
+                jobs.push(
+                    Job::new("buffers", 0, move || {
+                        buffers::row_record(&buffers::run_cell(
+                            scheme, marking, pmsbe, policy, regime, port_bytes, epochs,
+                        ))
+                    })
+                    .param("scheme", scheme)
+                    .param("buffer", policy.name())
+                    .param("regime", regime)
+                    .param("quick", quick),
+                );
+            }
+        }
+    }
+    jobs
+}
+
+/// Writes the buffer-contention table from completed records.
+pub fn write_buffers_report(out: &mut String, records: &[Record]) {
+    let rows: Vec<buffers::BufRow> = records
+        .iter()
+        .filter(|r| r.get_str("scenario") == Some("buffers"))
+        .filter_map(buffers::row_from_record)
+        .collect();
+    if !rows.is_empty() {
+        buffers::write_report(out, &rows);
+    }
+}
+
 /// One job per `(scheme, seed)` of the seed-sensitivity study: the
 /// headline PMSB-vs-TCN comparison (DWRR, load 0.5) across seeds.
 pub fn seed_sensitivity_jobs(quick: bool) -> Vec<Job> {
@@ -402,7 +456,7 @@ pub fn seed_sensitivity_jobs(quick: bool) -> Vec<Job> {
             if name != "pmsb" && name != "tcn" {
                 continue;
             }
-            jobs.push(
+            jobs.push(tag_buffer(
                 Job::new("seed_sensitivity", seed, move || {
                     large_scale::row_record(&large_scale::run_cell(
                         SchedulerConfig::Dwrr {
@@ -422,7 +476,7 @@ pub fn seed_sensitivity_jobs(quick: bool) -> Vec<Job> {
                 .param("scheme", name)
                 .param("load", 0.5)
                 .param("quick", quick),
-            );
+            ));
         }
     }
     jobs
@@ -459,6 +513,7 @@ pub const CAMPAIGN_NAMES: &[&str] = &[
     "faults",
     "transport",
     "hyperscale",
+    "buffers",
 ];
 
 /// Resolves a campaign by name: one of [`CAMPAIGN_NAMES`] or any
@@ -491,6 +546,7 @@ pub fn campaign_by_name(name: &str, quick: bool) -> Option<Campaign> {
             "hyperscale",
             hyperscale_jobs(quick, DEFAULT_SEED),
         )),
+        "buffers" => Some(campaign_from("buffers", buffer_jobs(quick))),
         _ => {
             let jobs: Vec<Job> = figure_jobs(quick)
                 .into_iter()
@@ -563,6 +619,7 @@ pub fn print_campaign_output(result: &CampaignResult) {
     write_faults_report(&mut out, &result.records);
     write_transport_report(&mut out, &result.records);
     write_hyperscale_report(&mut out, &result.records);
+    write_buffers_report(&mut out, &result.records);
     print!("{out}");
 }
 
@@ -589,6 +646,20 @@ pub fn run_campaign_main(name: &str) {
                 Some(Ok(n)) if n >= 1 => crate::util::set_sim_threads(n),
                 _ => {
                     eprintln!("{name}: --sim-threads needs an integer >= 1");
+                    std::process::exit(2);
+                }
+            },
+            // Applies to the sweep campaigns (non-static records are
+            // tagged with a `buffer` job parameter); the `buffers`
+            // campaign pins its own policy per cell and ignores this.
+            "--buffer" => match rest.next().map(|v| pmsb_netsim::BufferPolicy::parse(&v)) {
+                Some(Ok(p)) => crate::util::set_buffer_policy(p),
+                Some(Err(e)) => {
+                    eprintln!("{name}: {e}");
+                    std::process::exit(2);
+                }
+                None => {
+                    eprintln!("{name}: --buffer needs static|dt:ALPHA|delay[:MICROS]");
                     std::process::exit(2);
                 }
             },
@@ -666,6 +737,18 @@ mod tests {
         assert!(keys
             .iter()
             .any(|k| k.contains("scheme=pmsb(e)") && k.contains("pattern=hotservice")));
+    }
+
+    #[test]
+    fn buffer_jobs_cover_the_grid() {
+        let jobs = buffer_jobs(true);
+        // 4 schemes x 3 policies x 2 regimes.
+        assert_eq!(jobs.len(), 24);
+        let keys: std::collections::HashSet<String> = jobs.iter().map(|j| j.key()).collect();
+        assert_eq!(keys.len(), 24, "keys must be unique");
+        assert!(keys.iter().any(|k| k.contains("scheme=pmsb(e)")
+            && k.contains("buffer=delay:100")
+            && k.contains("regime=tiny")));
     }
 
     #[test]

@@ -395,7 +395,9 @@ pub fn ext_dynamic_threshold(out: &mut String, quick: bool) -> (f64, f64) {
             },
             marking: MarkingConfig::None,
             buffer_bytes: 48 * 1500,
-            buffer_dt_alpha: dt_alpha,
+            buffer: dt_alpha.map_or(pmsb_netsim::BufferPolicy::Static, |alpha| {
+                pmsb_netsim::BufferPolicy::DynamicThreshold { alpha }
+            }),
             ..SwitchConfig::default()
         };
         for _ in 0..4 {

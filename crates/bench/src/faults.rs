@@ -123,6 +123,7 @@ pub fn run_cell(
     let flows = spec.generate(num_flows, &mut rng);
     let mut e = Experiment::leaf_spine(LEAVES, SPINES, HOSTS_PER_LEAF)
         .marking(marking)
+        .buffer(crate::util::buffer_policy())
         .sim_threads(crate::util::sim_threads());
     // The fault stream is salted off the workload seed so different
     // seeds move both the traffic and the loss pattern, while equal

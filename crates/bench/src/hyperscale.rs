@@ -141,6 +141,7 @@ pub fn run_cell(
     let mut e = Experiment::fat_tree(k)
         .marking(marking)
         .stream(pattern.clone(), seed, total_flows)
+        .buffer(crate::util::buffer_policy())
         .sim_threads(sim_threads)
         .engine(engine);
     if let Some(thr) = pmsbe {

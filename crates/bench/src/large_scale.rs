@@ -130,6 +130,7 @@ pub fn run_cell(
         .scheduler(scheduler)
         .marking(marking)
         .mark_point(mark_point)
+        .buffer(crate::util::buffer_policy())
         .sim_threads(sim_threads);
     if let Some(thr) = pmsbe {
         e = e.pmsbe_rtt_threshold_nanos(thr);

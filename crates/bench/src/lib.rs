@@ -40,6 +40,7 @@
 //! All binaries accept `--quick` (shorter runs for smoke-testing);
 //! [`micro`] holds the self-timed micro-benchmarks (`microbench`).
 
+pub mod buffers;
 pub mod campaigns;
 pub mod extensions;
 pub mod faults;

@@ -212,6 +212,63 @@ pub struct DerivedMetrics {
     /// The hyperscale representative run (quick: 20k flows on a k=4
     /// fat-tree; full: one million flows on k=16).
     pub hyperscale: HyperscaleRun,
+    /// The `fat_tree(24)` streaming smoke pass — the largest fabric the
+    /// suite drives end to end (3456 hosts, 720 switches).
+    pub k24: K24Smoke,
+}
+
+/// One streaming shuffle pass over the 3456-host `fat_tree(24)` fabric:
+/// proof the suite builds and drives k=24 end to end, with the
+/// wall-clock flow throughput it sustains there.
+#[derive(Debug, Clone)]
+pub struct K24Smoke {
+    /// Fat-tree parameter (always 24).
+    pub fabric_k: usize,
+    /// Host count of the fabric (`k^3/4`).
+    pub hosts: usize,
+    /// Flows injected from the stream.
+    pub flows: u64,
+    /// Flows completed before the horizon.
+    pub completed: u64,
+    /// Completed flows per wall-clock second.
+    pub flows_per_sec: f64,
+    /// Peak simultaneously-allocated flow slots.
+    pub slab_high_water: u64,
+}
+
+/// Runs the k=24 streaming smoke pass (quick: 5 000 flows; full:
+/// 50 000) and times it.
+pub fn k24_smoke(quick: bool) -> K24Smoke {
+    use pmsb_netsim::EngineKind;
+    use pmsb_workload::PatternSpec;
+    let k = 24usize;
+    let flows = if quick { 5_000 } else { 50_000 };
+    let scheme = (
+        "pmsb",
+        MarkingConfig::Pmsb {
+            port_threshold_pkts: 12,
+        },
+        None,
+    );
+    let t0 = Instant::now();
+    let row = crate::hyperscale::run_cell(
+        &scheme,
+        &("shuffle", PatternSpec::shuffle()),
+        k,
+        flows,
+        42,
+        crate::util::sim_threads(),
+        EngineKind::Packet,
+    );
+    let secs = t0.elapsed().as_secs_f64();
+    K24Smoke {
+        fabric_k: k,
+        hosts: k * k * k / 4,
+        flows: row.injected,
+        completed: row.completed,
+        flows_per_sec: row.completed as f64 / secs,
+        slab_high_water: row.slab_high_water,
+    }
 }
 
 /// Metrics of one representative streaming fat-tree run: the wall-clock
@@ -408,6 +465,7 @@ pub fn derive_metrics(results: &[CaseResult], quick: bool) -> DerivedMetrics {
         parallel_speedup_t2: speedup_vs_seq("large_scale_parallel/threads_2"),
         parallel_speedup_t4: speedup_vs_seq("large_scale_parallel/threads_4"),
         hyperscale: hyperscale_run(quick),
+        k24: k24_smoke(quick),
     }
 }
 
@@ -543,7 +601,16 @@ pub fn render_json(
     let _ = writeln!(out, "      \"lp_messages\": {},", hs.lp_messages);
     out.push_str("      \"lp_barrier_wait_ms\": ");
     push_f64(&mut out, hs.lp_barrier_wait_ms);
-    out.push_str("\n    }\n  },\n");
+    out.push_str("\n    },\n    \"k24_smoke\": {\n");
+    let k24 = &derived.k24;
+    let _ = writeln!(out, "      \"fabric_k\": {},", k24.fabric_k);
+    let _ = writeln!(out, "      \"hosts\": {},", k24.hosts);
+    let _ = writeln!(out, "      \"flows\": {},", k24.flows);
+    let _ = writeln!(out, "      \"completed\": {},", k24.completed);
+    out.push_str("      \"flows_per_sec\": ");
+    push_f64(&mut out, k24.flows_per_sec);
+    let _ = writeln!(out, ",\n      \"slab_high_water\": {}", k24.slab_high_water);
+    out.push_str("    }\n  },\n");
     out.push_str("  \"determinism\": {\n");
     let _ = writeln!(
         out,
@@ -606,6 +673,17 @@ mod tests {
         }
     }
 
+    fn test_k24() -> K24Smoke {
+        K24Smoke {
+            fabric_k: 24,
+            hosts: 3_456,
+            flows: 5_000,
+            completed: 4_990,
+            flows_per_sec: 12_000.0,
+            slab_high_water: 210,
+        }
+    }
+
     #[test]
     fn baseline_csv_parses_and_skips_header() {
         let parsed = parse_baseline_csv(
@@ -644,6 +722,7 @@ mod tests {
             parallel_speedup_t2: f64::NAN,
             parallel_speedup_t4: f64::NAN,
             hyperscale: test_hyperscale(),
+            k24: test_k24(),
         };
         let determinism = DeterminismCheck {
             fel_matches_heap: true,
@@ -714,6 +793,7 @@ mod tests {
             parallel_speedup_t2: 1.4,
             parallel_speedup_t4: f64::NAN,
             hyperscale: test_hyperscale(),
+            k24: test_k24(),
         };
         let determinism = DeterminismCheck {
             fel_matches_heap: true,
@@ -734,6 +814,9 @@ mod tests {
         assert!(json.contains("\"fluid_speedup\": 12.000"));
         assert!(json.contains("\"lp_windows\": 0"));
         assert!(json.contains("\"lp_barrier_wait_ms\": 0.0"));
+        assert!(json.contains("\"k24_smoke\""));
+        assert!(json.contains("\"fabric_k\": 24"));
+        assert!(json.contains("\"hosts\": 3456"));
         // The dumbbell case had no baseline entry: no speedup key on it.
         let dumbbell_line = json
             .lines()

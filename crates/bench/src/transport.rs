@@ -106,6 +106,7 @@ pub fn run_cell(
     let mut e = Experiment::leaf_spine(LEAVES, SPINES, HOSTS_PER_LEAF)
         .marking(marking)
         .transport_kind(kind)
+        .buffer(crate::util::buffer_policy())
         .sim_threads(crate::util::sim_threads());
     if let Some(thr) = pmsbe {
         e = e.pmsbe_rtt_threshold_nanos(thr);

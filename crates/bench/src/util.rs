@@ -72,6 +72,27 @@ pub fn engine() -> pmsb_netsim::EngineKind {
     }
 }
 
+/// Switch buffer allocation policy for subsequently started experiment
+/// cells (`--buffer static|dt:ALPHA|delay[:MICROS]`). Process-wide like
+/// [`engine`], and like the engine it *does* change results, so
+/// campaigns tag non-static records with a `buffer` job parameter to
+/// keep result stores disjoint. A `Mutex` rather than an atomic because
+/// the policy carries an `f64`/`u64` payload; it is read once per cell,
+/// never on a hot path.
+static BUFFER: std::sync::Mutex<pmsb_netsim::BufferPolicy> =
+    std::sync::Mutex::new(pmsb_netsim::BufferPolicy::Static);
+
+/// Sets the buffer policy used by subsequently started experiment cells.
+pub fn set_buffer_policy(policy: pmsb_netsim::BufferPolicy) {
+    *BUFFER.lock().unwrap() = policy;
+}
+
+/// The current buffer policy (defaults to `Static`, private per-port
+/// buffers — the golden-record behaviour).
+pub fn buffer_policy() -> pmsb_netsim::BufferPolicy {
+    *BUFFER.lock().unwrap()
+}
+
 /// `true` when `--series` was passed: figure binaries additionally dump
 /// raw time series (occupancy vs time) for plotting.
 pub fn series_flag() -> bool {

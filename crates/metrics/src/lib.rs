@@ -8,6 +8,8 @@
 //!   classes (small < 100 KB, medium 100 KB–10 MB, large > 10 MB),
 //! * [`robustness`] — retransmit/RTO/recovery-time aggregation for fault
 //!   campaigns ([`robustness::RobustnessSummary`]),
+//! * [`contention`] — shared-buffer pool counters for buffer-contention
+//!   campaigns ([`contention::ContentionSummary`]),
 //! * [`QuantileSketch`] — fixed-size mergeable log-bucketed FCT sketch for
 //!   million-flow streaming runs (hyperscale campaigns),
 //! * [`ThroughputSeries`] / [`GaugeSeries`] — binned throughput and sampled
@@ -27,6 +29,7 @@
 //! ```
 
 pub mod cdf;
+pub mod contention;
 pub mod fct;
 pub mod robustness;
 pub mod series;

@@ -212,23 +212,29 @@ pub struct SwitchConfig {
     pub marking: MarkingConfig,
     /// Where the marking decision runs.
     pub mark_point: MarkPoint,
-    /// Shared buffer per output port, in bytes.
+    /// Buffer budget per output port, in bytes. Under
+    /// [`crate::buffer::BufferPolicy::Static`] each port owns this
+    /// privately; under the shared policies the switch pool's total is
+    /// the sum of its ports' budgets (equal total memory either way).
     pub buffer_bytes: u64,
-    /// Dynamic-Threshold scale factor for buffer admission; `None` uses a
-    /// plain static shared buffer.
-    pub buffer_dt_alpha: Option<f64>,
+    /// How the switch's memory is allocated to queues (DESIGN.md §12):
+    /// private per-port buffers (the default) or a shared pool with
+    /// Dynamic-Threshold or delay-driven admission.
+    pub buffer: crate::buffer::BufferPolicy,
 }
 
 impl SwitchConfig {
-    /// The buffer admission policy this configuration implies.
-    pub fn buffer_policy(&self) -> BufferPolicy {
-        match self.buffer_dt_alpha {
-            None => BufferPolicy::SharedStatic {
-                cap_bytes: self.buffer_bytes,
-            },
-            Some(alpha) => BufferPolicy::DynamicThreshold {
-                cap_bytes: self.buffer_bytes,
-                alpha,
+    /// The per-port [`pmsb_sched`] buffer policy this configuration
+    /// implies. Under [`crate::buffer::BufferPolicy::Static`] the port
+    /// keeps its private tail-drop cap; under the shared policies the
+    /// per-port cap is lifted and the switch's [`crate::buffer::SharedPool`]
+    /// owns every admission decision instead.
+    pub fn port_buffer_policy(&self) -> BufferPolicy {
+        BufferPolicy::SharedStatic {
+            cap_bytes: if self.buffer.is_shared() {
+                u64::MAX
+            } else {
+                self.buffer_bytes
             },
         }
     }
@@ -247,7 +253,7 @@ impl Default for SwitchConfig {
             // 2 MB shared per port: generous for DCTCP's shallow standing
             // queues, small enough that slow-start bursts can drop.
             buffer_bytes: 2 * 1024 * 1024,
-            buffer_dt_alpha: None,
+            buffer: crate::buffer::BufferPolicy::Static,
         }
     }
 }
@@ -518,5 +524,23 @@ mod tests {
         let s = SwitchConfig::default();
         assert_eq!(s.mark_point, MarkPoint::Enqueue);
         assert!(s.buffer_bytes > 0);
+        assert_eq!(s.buffer, crate::buffer::BufferPolicy::Static);
+        assert_eq!(
+            s.port_buffer_policy(),
+            BufferPolicy::SharedStatic {
+                cap_bytes: s.buffer_bytes
+            }
+        );
+        let shared = SwitchConfig {
+            buffer: crate::buffer::BufferPolicy::DynamicThreshold { alpha: 1.0 },
+            ..SwitchConfig::default()
+        };
+        assert_eq!(
+            shared.port_buffer_policy(),
+            BufferPolicy::SharedStatic {
+                cap_bytes: u64::MAX
+            },
+            "shared policies lift the per-port cap; the pool admits instead"
+        );
     }
 }

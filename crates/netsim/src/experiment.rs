@@ -225,9 +225,21 @@ impl Experiment {
         self
     }
 
-    /// Sets the per-port shared buffer size in bytes.
+    /// Sets the per-port buffer budget in bytes (under a shared
+    /// [`crate::buffer::BufferPolicy`] the switch pool totals the sum of
+    /// its ports' budgets, so policies compare at equal memory).
     pub fn buffer_bytes(mut self, bytes: u64) -> Self {
         self.switch_cfg.buffer_bytes = bytes;
+        self
+    }
+
+    /// Selects the switch buffer allocation policy (default
+    /// [`crate::buffer::BufferPolicy::Static`]: private per-port buffers,
+    /// byte-identical to the pre-pool simulator). The shared policies —
+    /// Dynamic Threshold and delay-driven — route every enqueue through
+    /// the switch's memory pool (DESIGN.md §12). Packet engine only.
+    pub fn buffer(mut self, policy: crate::buffer::BufferPolicy) -> Self {
+        self.switch_cfg.buffer = policy;
         self
     }
 
@@ -359,6 +371,13 @@ impl Experiment {
             assert!(
                 self.faults.is_none(),
                 "the fluid/hybrid engines do not support fault schedules"
+            );
+            assert!(
+                !self.switch_cfg.buffer.is_shared(),
+                "the fluid/hybrid engines support only the 'static' buffer policy, \
+                 got '{}' (accepted: static|dt:ALPHA|delay[:MICROS] on the packet engine, \
+                 static only on fluid/hybrid)",
+                self.switch_cfg.buffer.name()
             );
             return crate::fluid::run(&self, end_nanos);
         }

@@ -674,6 +674,8 @@ pub(crate) fn run(e: &Experiment, end_nanos: u64) -> RunResults {
         } else {
             None
         },
+        // Fluid/hybrid runs reject shared buffer policies up front.
+        shared_buffer: None,
     }
 }
 

@@ -6,8 +6,10 @@
 //! the paper. It models:
 //!
 //! * store-and-forward **switches** with multi-queue output ports
-//!   ([`pmsb_sched`] schedulers), shared-buffer tail drop, and pluggable
-//!   ECN marking ([`pmsb::marking`]) at enqueue or dequeue,
+//!   ([`pmsb_sched`] schedulers), per-switch shared memory pools with
+//!   pluggable allocation ([`buffer::BufferPolicy`]: static, Dynamic
+//!   Threshold, delay-driven), and pluggable ECN marking
+//!   ([`pmsb::marking`]) at enqueue or dequeue,
 //! * **hosts** running DCTCP ([`transport`]) with per-packet ACKs,
 //!   timestamp-echo RTT measurement, fast retransmit/recovery and RTO,
 //!   optionally applying the PMSB(e) end-host rule,
@@ -36,6 +38,7 @@
 //! assert_eq!(result.fct.len(), 2); // both flows completed
 //! ```
 
+pub mod buffer;
 pub mod config;
 pub mod experiment;
 pub mod fluid;
@@ -47,6 +50,7 @@ pub mod trace;
 pub mod transport;
 pub mod world;
 
+pub use buffer::BufferPolicy;
 pub use config::{
     EngineKind, HostConfig, MarkingConfig, SchedulerConfig, SwitchConfig, TransportConfig,
 };

@@ -133,6 +133,11 @@ fn merge(parts: Vec<RunResults>) -> RunResults {
         acc.marks += p.marks;
         acc.events += p.events;
         acc.deliveries += p.deliveries;
+        if let (Some(a), Some(b)) = (acc.shared_buffer.as_mut(), p.shared_buffer.as_ref()) {
+            // Each switch's pool sees traffic on exactly one LP (the
+            // owner); other LPs fold zeros. Drops sum, peaks max.
+            a.absorb(b);
+        }
         if let (Some(a), Some(b)) = (acc.faults.as_mut(), p.faults.as_ref()) {
             a.injected_drops += b.injected_drops;
             a.corrupt_drops += b.corrupt_drops;

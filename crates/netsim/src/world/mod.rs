@@ -354,6 +354,11 @@ pub struct RunResults {
     /// the per-flow maps above stay empty (that is the point: bounded
     /// memory) and `fct` holds records only if exact recording was on.
     pub stream: Option<StreamStats>,
+    /// Shared-buffer pool contention counters, folded over every switch
+    /// running a shared policy; `None` under the default
+    /// [`crate::buffer::BufferPolicy::Static`] (no pools in play). Pool
+    /// rejections are already included in `drops`.
+    pub shared_buffer: Option<pmsb_metrics::contention::ContentionSummary>,
 }
 
 /// The simulated network. Build with the `wire_*` methods (or the
@@ -478,6 +483,7 @@ impl World {
     pub fn add_switch(&mut self) -> usize {
         self.switches.push(Switch {
             ports: Vec::new(),
+            pool: crate::buffer::SharedPool::new(crate::buffer::BufferPolicy::Static),
             routes: crate::routing::RouteTable::new(0),
         });
         self.switches.len() - 1
@@ -486,13 +492,24 @@ impl World {
     fn build_port(&self, cfg: &SwitchConfig, link: LinkAttach) -> SwitchPort {
         let weights = cfg.scheduler.weights();
         SwitchPort {
-            mq: MultiQueue::with_policy(cfg.scheduler.build(), cfg.buffer_policy()),
+            mq: MultiQueue::with_policy(cfg.scheduler.build(), cfg.port_buffer_policy()),
             marker: cfg.marking.build(&weights),
             mark_point: cfg.mark_point,
             busy: false,
             link,
             trace: None,
         }
+    }
+
+    /// Books a freshly-wired port's buffer budget into its switch's
+    /// shared pool (a no-op pass-through under `Static`).
+    fn pool_attach(&mut self, switch: usize, cfg: &SwitchConfig, rate_bps: u64) {
+        self.switches[switch].pool.attach_port(
+            cfg.buffer,
+            cfg.buffer_bytes,
+            cfg.scheduler.num_queues(),
+            rate_bps,
+        );
     }
 
     /// Connects `host` to `switch` with a bidirectional link; the switch
@@ -526,6 +543,7 @@ impl World {
         };
         let port = self.build_port(cfg, link);
         self.switches[switch].ports.push(port);
+        self.pool_attach(switch, cfg, rate_bps);
         port_idx
     }
 
@@ -557,6 +575,8 @@ impl World {
         let port_b = self.build_port(cfg, link_ba);
         self.switches[a].ports.push(port_a);
         self.switches[b].ports.push(port_b);
+        self.pool_attach(a, cfg, rate_bps);
+        self.pool_attach(b, cfg, rate_bps);
         (pa, pb)
     }
 
@@ -1118,12 +1138,24 @@ impl World {
             }
         });
         let mut traces = HashMap::new();
+        let mut shared_buffer = None;
         for (si, sw) in self.switches.iter_mut().enumerate() {
             for (pi, port) in sw.ports.iter_mut().enumerate() {
                 drops += port.mq.dropped_items();
                 if let Some(t) = port.trace.take() {
                     traces.insert((si, pi), t);
                 }
+            }
+            if sw.pool.is_shared() {
+                // Pool rejections are real drops. Non-owned switches of a
+                // sharded run contribute zeros (their pools never see
+                // traffic), so every LP folds every switch and the merge
+                // just absorbs — Some-ness depends only on the config,
+                // which all LPs share.
+                drops += sw.pool.shared_drops();
+                shared_buffer
+                    .get_or_insert_with(pmsb_metrics::contention::ContentionSummary::default)
+                    .absorb(&sw.pool.summary());
             }
         }
         RunResults {
@@ -1138,6 +1170,7 @@ impl World {
             deliveries: self.deliveries,
             faults: self.faults.map(|rt| rt.report),
             stream,
+            shared_buffer,
         }
     }
 }
@@ -1290,10 +1323,11 @@ mod tests {
 
     #[test]
     fn dynamic_threshold_shields_mice_from_pool_hogging() {
-        // Drop-tail (no ECN), mice in queue 1 sharing the pool with two
-        // elephants in queue 0. A static pool lets the elephants fill the
-        // whole buffer and the mice's packets get tail-dropped; DT caps
-        // the elephant queue and leaves room.
+        // Drop-tail (no ECN), mice in queue 1 sharing the buffer with two
+        // elephants in queue 0. Static private port buffers let the
+        // elephants fill the receiver port and the mice's packets get
+        // tail-dropped; the shared pool's DT policy caps the elephant
+        // queue against the remaining free pool and leaves room.
         let run = |dt_alpha: Option<f64>| {
             let mut w = World::new(TransportConfig::default());
             let cfg = SwitchConfig {
@@ -1302,7 +1336,9 @@ mod tests {
                 },
                 marking: MarkingConfig::None,
                 buffer_bytes: 48 * 1500,
-                buffer_dt_alpha: dt_alpha,
+                buffer: dt_alpha.map_or(crate::buffer::BufferPolicy::Static, |alpha| {
+                    crate::buffer::BufferPolicy::DynamicThreshold { alpha }
+                }),
                 ..SwitchConfig::default()
             };
             let host_cfg = HostConfig::default();

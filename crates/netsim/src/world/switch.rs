@@ -6,6 +6,7 @@ use pmsb::{MarkPoint, PortView};
 use pmsb_sched::MultiQueue;
 use pmsb_simcore::{EventQueue, SimDuration, SimTime};
 
+use crate::buffer::{Admit, SharedPool};
 use crate::packet::{Packet, MTU_WIRE_BYTES};
 use crate::routing::RouteTable;
 use crate::trace::PortTrace;
@@ -22,9 +23,12 @@ pub(super) struct SwitchPort {
     pub(super) trace: Option<PortTrace>,
 }
 
-/// A switch: its ports plus the routing table towards each host.
+/// A switch: its ports, the shared memory pool they carve their backlog
+/// from (a pass-through under [`crate::buffer::BufferPolicy::Static`]),
+/// and the routing table towards each host.
 pub(super) struct Switch {
     pub(super) ports: Vec<SwitchPort>,
+    pub(super) pool: SharedPool,
     pub(super) routes: RouteTable,
 }
 
@@ -75,20 +79,28 @@ impl World {
             }
         }
         let marks = &mut self.marks;
-        let p = &mut self.switches[switch].ports[port];
+        let Switch { ports, pool, .. } = &mut self.switches[switch];
+        let p = &mut ports[port];
         if p.busy {
             return;
         }
         let Some((q, mut pkt)) = p.mq.dequeue(now) else {
             return;
         };
+        if pool.is_shared() {
+            pool.on_dequeue(port, q, pkt.wire_bytes, now);
+        }
         // Dequeue-point marking (PMSB/TCN early-notification experiments).
         if p.mark_point == MarkPoint::Dequeue && pkt.ect && !pkt.ce {
             if let Some(marker) = p.marker.as_mut() {
                 let view = SwitchPortView {
                     mq: &p.mq,
                     link_rate_bps: p.link.rate_bps,
-                    pool_bytes: p.mq.port_bytes(),
+                    pool_bytes: if pool.is_shared() {
+                        pool.used_bytes()
+                    } else {
+                        p.mq.port_bytes()
+                    },
                     sojourn_nanos: Some(now.saturating_sub(pkt.enqueued_at_nanos)),
                 };
                 if marker.should_mark(&view, q).is_mark() {
@@ -167,27 +179,35 @@ impl World {
                 }
             }
         };
-        // Pool occupancy across all ports of this switch — only summed for
-        // the per-pool scheme; every other scheme looks at its own port.
-        let pool: u64 = match &self.switches[switch].ports[out_port].marker {
-            Some(m) if m.reads_pool() => self.switches[switch]
-                .ports
-                .iter()
-                .map(|p| p.mq.port_bytes())
-                .sum(),
-            _ => 0,
+        // Pool occupancy across all ports of this switch. With a shared
+        // pool it is the pool's O(1) book-keeping; under `Static` it is
+        // only summed for the per-pool scheme — every other scheme looks
+        // at its own port.
+        let pool_occ: u64 = {
+            let sw = &self.switches[switch];
+            if sw.pool.is_shared() {
+                sw.pool.used_bytes()
+            } else {
+                match &sw.ports[out_port].marker {
+                    Some(m) if m.reads_pool() => sw.ports.iter().map(|p| p.mq.port_bytes()).sum(),
+                    _ => 0,
+                }
+            }
         };
         let marks = &mut self.marks;
-        let p = &mut self.switches[switch].ports[out_port];
+        let Switch { ports, pool, .. } = &mut self.switches[switch];
+        let p = &mut ports[out_port];
         let q = pkt.service % p.mq.num_queues();
         pkt.enqueued_at_nanos = now;
         // Enqueue-point marking: decide on the occupancy the packet meets.
+        // Marking runs before admission (the ASIC marks what it accepts;
+        // what it rejects never carries a signal anywhere).
         if p.mark_point == MarkPoint::Enqueue && pkt.ect && !pkt.ce {
             if let Some(marker) = p.marker.as_mut() {
                 let view = SwitchPortView {
                     mq: &p.mq,
                     link_rate_bps: p.link.rate_bps,
-                    pool_bytes: pool,
+                    pool_bytes: pool_occ,
                     sojourn_nanos: None,
                 };
                 if marker.should_mark(&view, q).is_mark() {
@@ -196,7 +216,20 @@ impl World {
                 }
             }
         }
-        let _ = p.mq.enqueue(q, pkt, now); // drop counted in the MultiQueue
+        if pool.is_shared() {
+            // The pool owns admission: the per-port cap is lifted, so an
+            // admitted packet's enqueue cannot fail except under a
+            // fault-shrunk port cap — in which case the MultiQueue counts
+            // the drop and the pool must not book the bytes.
+            let wire = pkt.wire_bytes;
+            if pool.try_admit(out_port, q, p.mq.queue_bytes(q), wire) == Admit::Ok
+                && p.mq.enqueue(q, pkt, now).is_ok()
+            {
+                pool.commit(wire);
+            }
+        } else {
+            let _ = p.mq.enqueue(q, pkt, now); // drop counted in the MultiQueue
+        }
         self.try_transmit_switch(switch, out_port, now, queue);
     }
 

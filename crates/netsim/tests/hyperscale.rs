@@ -63,11 +63,37 @@ fn count_paths(w: &World, src: usize, dst: usize) -> usize {
 
 #[test]
 fn fat_tree_structural_invariants() {
-    for k in [4usize, 6] {
+    for k in [4usize, 6, 24] {
         let w = build_fat_tree(k);
         assert_eq!(w.num_hosts(), k * k * k / 4, "k={k} host count");
         assert_eq!(w.num_switches(), 5 * k * k / 4, "k={k} switch count");
     }
+}
+
+/// The last hyperscale ROADMAP remnant: `fat_tree(24)` — 3456 hosts,
+/// 720 switches — must build and stream a workload end to end, with
+/// flows actually crossing pods and the slab staying bounded.
+#[test]
+fn fat_tree_k24_streams_a_quick_smoke() {
+    let total = 500u64;
+    let exp = Experiment::fat_tree(24)
+        .marking(MarkingConfig::Pmsb {
+            port_threshold_pkts: 12,
+        })
+        .stream(PatternSpec::shuffle(), 9, total);
+    let res = exp.run_until_nanos(50_000_000);
+    let stream = res.stream.as_ref().expect("streaming run");
+    assert_eq!(stream.injected, total, "all flows must be injected");
+    assert!(
+        stream.completed >= total * 9 / 10,
+        "shuffle must drain on k=24: {} of {total} completed",
+        stream.completed
+    );
+    assert!(res.deliveries > 0);
+    assert!(
+        stream.slab_high_water <= total,
+        "slab must stay bounded on the big fabric"
+    );
 }
 
 #[test]

@@ -25,8 +25,8 @@ use pmsb::MarkPoint;
 use pmsb_metrics::fct::SizeClass;
 use pmsb_netsim::experiment::{Experiment, FaultSchedule, FlowDesc};
 use pmsb_repro::cli::{
-    parse_engine, parse_flow, parse_marking, parse_pattern, parse_scheduler, parse_topology,
-    parse_transport, parse_weights, split_options, ParseError, TopologySpec,
+    parse_buffer, parse_engine, parse_flow, parse_marking, parse_pattern, parse_scheduler,
+    parse_topology, parse_transport, parse_weights, split_options, ParseError, TopologySpec,
 };
 use pmsb_simcore::rng::SimRng;
 use pmsb_workload::traffic::TrafficSpec;
@@ -38,26 +38,27 @@ USAGE:
   pmsb-sim dumbbell  [--senders N] [--queues N] [--marking SPEC]
                      [--scheduler SPEC] [--mark-point enq|deq]
                      [--pmsbe-us X] [--transport dctcp|newreno]
-                     [--engine packet|fluid|hybrid]
+                     [--engine packet|fluid|hybrid] [--buffer SPEC]
                      [--rate-gbps N] [--delay-ns N]
                      [--millis N] [--watch true] [--fault-schedule FILE]
                      [--sim-threads N] --flow SPEC [--flow SPEC ...]
   pmsb-sim leaf-spine [--load X] [--flows N] [--seed N] [--marking SPEC]
                      [--scheduler SPEC] [--mark-point enq|deq] [--pmsbe-us X]
                      [--transport dctcp|newreno] [--engine packet|fluid|hybrid]
-                     [--fault-schedule FILE] [--sim-threads N]
+                     [--buffer SPEC] [--fault-schedule FILE] [--sim-threads N]
   pmsb-sim fabric    [--topology leaf-spine|fat-tree:K] [--pattern SPEC]
                      [--flows N] [--seed N] [--exact true] [--drain-ms N]
                      [--marking SPEC] [--scheduler SPEC] [--pmsbe-us X]
                      [--transport dctcp|newreno] [--engine packet|fluid|hybrid]
-                     [--sim-threads N]
+                     [--buffer SPEC] [--sim-threads N]
   pmsb-sim profile   --rtt-us X --weights W1,W2,... [--rate-gbps N]
                      [--lambda X] [--margin X]
   pmsb-sim campaign  NAME [--quick] [--jobs N] [--results DIR] [--quiet]
                      [--sim-threads N] [--engine packet|fluid|hybrid]
+                     [--buffer SPEC]
                      NAME: all | figures | extensions | large-scale-dwrr
                      | large-scale-wfq | seed-sensitivity | faults
-                     | transport | hyperscale | any scenario
+                     | transport | hyperscale | buffers | any scenario
                      (e.g. fig08, ablation_port_threshold)
   pmsb-sim help
 
@@ -72,6 +73,12 @@ USAGE:
   section 11). The fluid/hybrid engines do not support fault schedules
   and ignore --sim-threads (they are single-threaded and deterministic).
 
+  --buffer picks the switch buffer allocation (DESIGN.md section 12):
+  'static' (default, private per-port buffers), 'dt:ALPHA' (per-switch
+  shared pool, Dynamic-Threshold admission), or 'delay[:MICROS]'
+  (shared pool, BShare-style delay-driven caps, default 100 us). The
+  shared policies need the packet engine.
+
   fabric streams a traffic pattern (lazy flow injection, slab flow
   state, sketch FCT percentiles) over the chosen topology; --exact true
   additionally records every flow and prints one 'flow,...' line each
@@ -81,6 +88,7 @@ SPECS:
   marking    none | pmsb:K | per-port:K | per-queue:K | per-queue-frac:K
              | pool:K | mq-ecn:K | tcn:NANOS | red:MIN,MAX,P     (K in packets)
   scheduler  fifo | sp:N | wrr:W,.. | dwrr:W,.. | wfq:W,.. | spwfq:G,..;W,..
+  buffer     static | dt:ALPHA | delay[:MICROS]
   topology   leaf-spine | fat-tree:K            (K even >= 4; k=16 is 1024 hosts)
   pattern    incast[:FAN] | shuffle | hotservice[:EXP] | mix    each may take
              an @DIST size suffix: @web-search | @data-mining | @paper-mix
@@ -169,6 +177,14 @@ fn campaign(args: &[String]) -> Result<(), ParseError> {
                     ))
                 }
             },
+            "--buffer" => match rest.next() {
+                Some(v) => pmsb_bench::util::set_buffer_policy(parse_buffer(&v)?),
+                None => {
+                    return Err(ParseError(
+                        "campaign: --buffer needs static|dt:ALPHA|delay[:MICROS]".into(),
+                    ))
+                }
+            },
             other if !other.starts_with("--") && name.is_none() => name = Some(other.to_string()),
             other => {
                 return Err(ParseError(format!(
@@ -228,6 +244,9 @@ fn apply_common(mut e: Experiment, options: &[(String, String)]) -> Result<Exper
     if let Some(en) = opt(options, "engine") {
         e = e.engine(parse_engine(en)?);
     }
+    if let Some(b) = opt(options, "buffer") {
+        e = e.buffer(parse_buffer(b)?);
+    }
     if let Some(path) = opt(options, "fault-schedule") {
         let text = std::fs::read_to_string(path)
             .map_err(|io| ParseError(format!("cannot read fault schedule '{path}': {io}")))?;
@@ -247,6 +266,14 @@ fn report(res: &pmsb_netsim::experiment::ExperimentResult) {
     println!("completed_flows,{}", res.fct.len());
     println!("marks,{}", res.marks);
     println!("drops,{}", res.drops);
+    if let Some(sb) = &res.shared_buffer {
+        println!("shared_drops,{}", sb.shared_drops);
+        println!("admit_rejects,{}", sb.admit_rejects);
+        println!(
+            "pool_high_water,{}/{}",
+            sb.pool_high_water_bytes, sb.pool_total_bytes
+        );
+    }
     if let Some(fr) = &res.faults {
         println!("fault_injected_drops,{}", fr.injected_drops);
         println!("fault_corrupt_drops,{}", fr.corrupt_drops);
@@ -406,6 +433,14 @@ fn fabric(options: &[(String, String)]) -> Result<(), ParseError> {
     println!("drops,{}", res.drops);
     println!("marks_seen,{}", s.agg_sender.marks_seen);
     println!("marks_ignored,{}", s.agg_sender.marks_ignored);
+    if let Some(sb) = &res.shared_buffer {
+        println!("shared_drops,{}", sb.shared_drops);
+        println!("admit_rejects,{}", sb.admit_rejects);
+        println!(
+            "pool_high_water,{}/{}",
+            sb.pool_high_water_bytes, sb.pool_total_bytes
+        );
+    }
     if exact {
         for r in res.fct.records() {
             println!(

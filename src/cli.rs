@@ -5,7 +5,7 @@
 //! `pmsb-sim help` for the surface syntax.
 
 use pmsb_netsim::experiment::{FlowDesc, MarkingConfig, SchedulerConfig, TransportKind};
-use pmsb_netsim::EngineKind;
+use pmsb_netsim::{BufferPolicy, EngineKind};
 use pmsb_workload::{PatternSpec, SizeDistSpec};
 
 /// A parse failure with a human-readable reason.
@@ -341,6 +341,24 @@ pub fn parse_engine(s: &str) -> Result<EngineKind, ParseError> {
     }
 }
 
+/// Parses a switch buffer-policy spec: `static` (private per-port
+/// buffers, the default), `dt:ALPHA` (per-switch shared pool with
+/// Dynamic-Threshold admission at the given positive scale factor), or
+/// `delay[:MICROS]` (shared pool with BShare-style delay-driven caps,
+/// target queueing delay in microseconds, default 100).
+///
+/// # Example
+///
+/// ```
+/// use pmsb_repro::cli::parse_buffer;
+/// use pmsb_netsim::BufferPolicy;
+///
+/// assert_eq!(parse_buffer("dt:1").unwrap(), BufferPolicy::DynamicThreshold { alpha: 1.0 });
+/// ```
+pub fn parse_buffer(s: &str) -> Result<BufferPolicy, ParseError> {
+    BufferPolicy::parse(s).map_err(ParseError)
+}
+
 /// Parses a transport name: `dctcp` (the default) or `newreno` (classic
 /// RFC 3168 ECN: halve once per RTT on ECE, no DCTCP alpha estimator).
 ///
@@ -620,6 +638,39 @@ mod tests {
         assert!(e.0.contains("quantum"), "names the bad input: {e}");
         assert!(
             e.0.contains("packet|fluid|hybrid"),
+            "lists the variants: {e}"
+        );
+    }
+
+    #[test]
+    fn buffers_parse() {
+        assert_eq!(parse_buffer("static").unwrap(), BufferPolicy::Static);
+        assert_eq!(
+            parse_buffer("dt:0.5").unwrap(),
+            BufferPolicy::DynamicThreshold { alpha: 0.5 }
+        );
+        assert_eq!(
+            parse_buffer("delay").unwrap(),
+            BufferPolicy::DelayDriven {
+                target_delay_nanos: 100_000
+            }
+        );
+        assert_eq!(
+            parse_buffer("delay:250").unwrap(),
+            BufferPolicy::DelayDriven {
+                target_delay_nanos: 250_000
+            }
+        );
+        assert!(parse_buffer("dt:0").is_err(), "alpha must be positive");
+        assert!(parse_buffer("delay:0").is_err(), "zero target rejected");
+    }
+
+    #[test]
+    fn unknown_buffer_policy_lists_the_accepted_names() {
+        let e = parse_buffer("shared").unwrap_err();
+        assert!(e.0.contains("shared"), "names the bad input: {e}");
+        assert!(
+            e.0.contains("static|dt:ALPHA|delay[:MICROS]"),
             "lists the variants: {e}"
         );
     }
