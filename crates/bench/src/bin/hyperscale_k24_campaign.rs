@@ -1,0 +1,11 @@
+//! Hyperscale k=24 cells: PMSB vs plain per-port on the 3456-host
+//! `fat_tree(24)` fabric under streamed shuffle and web-search-sized
+//! mix patterns, on the hybrid flow-level engine.
+//!
+//! Runs as a harness campaign: accepts `--quick`, `--jobs N`,
+//! `--results DIR`, `--quiet`, `--sim-threads N|auto`,
+//! `--partition traffic|contiguous`; results persist under
+//! `results/hyperscale_k24/` and completed jobs resume for free.
+fn main() {
+    pmsb_bench::campaigns::run_campaign_main("hyperscale-k24");
+}

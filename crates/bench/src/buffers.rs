@@ -125,7 +125,8 @@ pub fn run_cell(
         .marking(marking)
         .buffer(policy)
         .buffer_bytes(port_bytes)
-        .sim_threads(crate::util::sim_threads());
+        .sim_threads(crate::util::sim_threads())
+        .partition(crate::util::partition());
     if let Some(thr) = pmsbe {
         e = e.pmsbe_rtt_threshold_nanos(thr);
     }

@@ -371,6 +371,53 @@ pub fn write_hyperscale_report(out: &mut String, records: &[Record]) {
     }
 }
 
+/// One job per `(scheme, pattern)` cell of the k=24 grid — the ROADMAP's
+/// largest-fabric remnant. The engine is pinned to hybrid per cell (the
+/// flow-level fast path is what makes 3456 hosts affordable as a
+/// campaign cell), so `--engine` does not apply; records carry an
+/// explicit `engine=hybrid` parameter.
+pub fn hyperscale_k24_jobs(quick: bool, seed: u64) -> Vec<Job> {
+    let total_flows = hyperscale::k24_flows(quick);
+    let mut jobs = Vec::new();
+    for scheme in hyperscale::k24_schemes() {
+        for pattern in hyperscale::k24_patterns() {
+            let name = scheme.0;
+            let pattern_name = pattern.0;
+            let scheme = scheme.clone();
+            jobs.push(tag_buffer(
+                Job::new("hyperscale_k24", seed, move || {
+                    hyperscale::row_record(&hyperscale::run_cell(
+                        &scheme,
+                        &pattern,
+                        hyperscale::K24_FABRIC,
+                        total_flows,
+                        seed,
+                        crate::util::sim_threads(),
+                        pmsb_netsim::EngineKind::Hybrid,
+                    ))
+                })
+                .param("scheme", name)
+                .param("pattern", pattern_name)
+                .param("engine", "hybrid")
+                .param("quick", quick),
+            ));
+        }
+    }
+    jobs
+}
+
+/// Writes the k=24 table from completed records.
+pub fn write_hyperscale_k24_report(out: &mut String, records: &[Record]) {
+    let rows: Vec<hyperscale::HsRow> = records
+        .iter()
+        .filter(|r| r.get_str("scenario") == Some("hyperscale_k24"))
+        .filter_map(hyperscale::row_from_record)
+        .collect();
+    if !rows.is_empty() {
+        hyperscale::write_k24_report(out, &rows);
+    }
+}
+
 /// One job per `(transport, scheme)` cell of the transport sweep (see
 /// [`crate::transport`]).
 pub fn transport_jobs(quick: bool, seed: u64) -> Vec<Job> {
@@ -513,6 +560,7 @@ pub const CAMPAIGN_NAMES: &[&str] = &[
     "faults",
     "transport",
     "hyperscale",
+    "hyperscale-k24",
     "buffers",
 ];
 
@@ -545,6 +593,10 @@ pub fn campaign_by_name(name: &str, quick: bool) -> Option<Campaign> {
         "hyperscale" => Some(campaign_from(
             "hyperscale",
             hyperscale_jobs(quick, DEFAULT_SEED),
+        )),
+        "hyperscale_k24" => Some(campaign_from(
+            "hyperscale_k24",
+            hyperscale_k24_jobs(quick, DEFAULT_SEED),
         )),
         "buffers" => Some(campaign_from("buffers", buffer_jobs(quick))),
         _ => {
@@ -619,6 +671,7 @@ pub fn print_campaign_output(result: &CampaignResult) {
     write_faults_report(&mut out, &result.records);
     write_transport_report(&mut out, &result.records);
     write_hyperscale_report(&mut out, &result.records);
+    write_hyperscale_k24_report(&mut out, &result.records);
     write_buffers_report(&mut out, &result.records);
     print!("{out}");
 }
@@ -642,10 +695,30 @@ pub fn run_campaign_main(name: &str) {
             "--quick" => quick = true,
             // Out-of-band on purpose: thread count changes wall clock
             // only, never records, so it must stay out of job keys.
-            "--sim-threads" => match rest.next().map(|v| v.parse::<usize>()) {
-                Some(Ok(n)) if n >= 1 => crate::util::set_sim_threads(n),
+            "--sim-threads" => match rest.next().as_deref() {
+                Some(v) if v.eq_ignore_ascii_case("auto") => crate::util::set_sim_threads(
+                    std::thread::available_parallelism().map_or(1, |n| n.get()),
+                ),
+                Some(v) if v.parse::<usize>().map_or(false, |n| n >= 1) => {
+                    crate::util::set_sim_threads(v.parse().unwrap())
+                }
                 _ => {
-                    eprintln!("{name}: --sim-threads needs an integer >= 1");
+                    eprintln!("{name}: --sim-threads needs an integer >= 1, or auto");
+                    std::process::exit(2);
+                }
+            },
+            // Out-of-band for the same reason: the conservative protocol
+            // is byte-identical under any partition, so the strategy
+            // must never enter a job key.
+            "--partition" => match rest.next().as_deref() {
+                Some("traffic") => {
+                    crate::util::set_partition(pmsb_netsim::PartitionStrategy::Traffic)
+                }
+                Some("contiguous") => {
+                    crate::util::set_partition(pmsb_netsim::PartitionStrategy::Contiguous)
+                }
+                _ => {
+                    eprintln!("{name}: --partition needs traffic|contiguous");
                     std::process::exit(2);
                 }
             },
@@ -737,6 +810,18 @@ mod tests {
         assert!(keys
             .iter()
             .any(|k| k.contains("scheme=pmsb(e)") && k.contains("pattern=hotservice")));
+    }
+
+    #[test]
+    fn hyperscale_k24_jobs_cover_the_grid() {
+        let jobs = hyperscale_k24_jobs(true, DEFAULT_SEED);
+        // 2 schemes x 2 patterns.
+        assert_eq!(jobs.len(), 4);
+        let keys: std::collections::HashSet<String> = jobs.iter().map(|j| j.key()).collect();
+        assert_eq!(keys.len(), 4, "keys must be unique");
+        assert!(keys.iter().any(|k| k.contains("scheme=per-port")
+            && k.contains("pattern=mix-websearch")
+            && k.contains("engine=hybrid")));
     }
 
     #[test]

@@ -124,7 +124,8 @@ pub fn run_cell(
     let mut e = Experiment::leaf_spine(LEAVES, SPINES, HOSTS_PER_LEAF)
         .marking(marking)
         .buffer(crate::util::buffer_policy())
-        .sim_threads(crate::util::sim_threads());
+        .sim_threads(crate::util::sim_threads())
+        .partition(crate::util::partition());
     // The fault stream is salted off the workload seed so different
     // seeds move both the traffic and the loss pattern, while equal
     // seeds reproduce the run exactly.

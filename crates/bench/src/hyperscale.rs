@@ -115,6 +115,46 @@ pub fn fabric_and_flows(quick: bool) -> (usize, u64) {
     }
 }
 
+/// Fat-tree parameter of the k=24 campaign cells (3456 hosts,
+/// 720 switches — the largest fabric the suite drives).
+pub const K24_FABRIC: usize = 24;
+
+/// Per-cell flow count of the k=24 campaign (`--quick` shrinks it).
+pub fn k24_flows(quick: bool) -> u64 {
+    if quick {
+        2_000
+    } else {
+        20_000
+    }
+}
+
+/// The scheme lineup of the k=24 cells: the paper scheme against its
+/// closest per-port baseline (the per-queue/PMSB(e) columns stay on the
+/// k=8 grid; at 3456 hosts two schemes keep the cell count honest).
+pub fn k24_schemes() -> Vec<SchemeSpec> {
+    schemes()
+        .into_iter()
+        .filter(|(name, _, _)| *name == "pmsb" || *name == "per-port")
+        .collect()
+}
+
+/// The traffic patterns of the k=24 cells: the plain shuffle plus an
+/// incast+shuffle mix drawing flow sizes from the web-search
+/// distribution.
+pub fn k24_patterns() -> Vec<(&'static str, PatternSpec)> {
+    use pmsb_workload::SizeDistSpec;
+    vec![
+        ("shuffle", PatternSpec::shuffle()),
+        (
+            "mix-websearch",
+            PatternSpec::sized(
+                PatternSpec::Mix(vec![PatternSpec::incast(32), PatternSpec::shuffle()]),
+                SizeDistSpec::WebSearch,
+            ),
+        ),
+    ]
+}
+
 /// Runs one `(scheme, pattern)` streaming cell on a `fat_tree(k)`
 /// fabric across `sim_threads` shards, under the chosen simulation
 /// `engine` (the fluid/hybrid engines ignore `sim_threads`; they are
@@ -143,6 +183,7 @@ pub fn run_cell(
         .stream(pattern.clone(), seed, total_flows)
         .buffer(crate::util::buffer_policy())
         .sim_threads(sim_threads)
+        .partition(crate::util::partition())
         .engine(engine);
     if let Some(thr) = pmsbe {
         e = e.pmsbe_rtt_threshold_nanos(thr);
@@ -216,7 +257,7 @@ pub fn row_from_record(rec: &Record) -> Option<HsRow> {
     let scheme = ["pmsb", "per-port", "per-queue", "pmsb(e)"]
         .into_iter()
         .find(|s| rec.get_str("scheme") == Some(s))?;
-    let pattern = ["incast", "shuffle", "hotservice"]
+    let pattern = ["incast", "shuffle", "hotservice", "mix-websearch"]
         .into_iter()
         .find(|p| rec.get_str("pattern") == Some(p))?;
     let f = |k: &str| rec.get_f64(k);
@@ -265,6 +306,34 @@ pub fn write_report(out: &mut String, rows: &[HsRow]) {
                     (o / base - 1.0) * 100.0
                 );
             }
+        }
+    }
+}
+
+/// Writes the k=24 table plus the per-pattern PMSB-vs-per-port p99
+/// comparison (there is no per-queue column on this grid).
+pub fn write_k24_report(out: &mut String, rows: &[HsRow]) {
+    banner(
+        out,
+        "Hyperscale k=24: fat_tree(24) streaming cells (hybrid engine)",
+    );
+    outln!(out, "{CSV_HEADER}");
+    for row in rows {
+        outln!(out, "{}", csv_line(row));
+    }
+    for (pattern, _) in k24_patterns() {
+        let cell = |scheme: &str| {
+            rows.iter()
+                .find(|r| r.scheme == scheme && r.pattern == pattern)
+                .map(|r| r.fct_p99_us)
+                .filter(|v| v.is_finite())
+        };
+        if let (Some(ours), Some(base)) = (cell("pmsb"), cell("per-port")) {
+            outln!(
+                out,
+                "# {pattern}: pmsb vs per-port p99 FCT change {:+.1}%",
+                (ours / base - 1.0) * 100.0
+            );
         }
     }
 }
@@ -339,5 +408,57 @@ mod tests {
         let (k, flows) = fabric_and_flows(true);
         assert_eq!(k, 4);
         assert!(flows >= 1_000);
+    }
+
+    #[test]
+    fn k24_grid_is_the_roadmap_cell() {
+        let schemes: Vec<_> = k24_schemes().iter().map(|(n, _, _)| *n).collect();
+        assert_eq!(schemes, ["pmsb", "per-port"]);
+        let patterns: Vec<_> = k24_patterns().iter().map(|(n, _)| *n).collect();
+        assert_eq!(patterns, ["shuffle", "mix-websearch"]);
+        assert_eq!(K24_FABRIC, 24);
+        // A k=24 record must survive the round trip (the pattern name is
+        // new on this grid).
+        let rec = Record::new()
+            .field("scheme", "per-port")
+            .field("pattern", "mix-websearch")
+            .field("injected", 10u64)
+            .field("completed", 10u64)
+            .field("bytes_completed", 1_000u64)
+            .field("fct_p50_us", 1.0)
+            .field("fct_p90_us", 2.0)
+            .field("fct_p99_us", 3.0)
+            .field("drops", 0u64)
+            .field("marks", 0u64)
+            .field("marks_seen", 0u64)
+            .field("marks_ignored", 0u64);
+        let row = row_from_record(&rec).expect("k24 rows must round-trip");
+        assert_eq!(row.pattern, "mix-websearch");
+    }
+
+    #[test]
+    fn k24_report_compares_pmsb_to_per_port() {
+        let mk = |scheme: &'static str, p99: f64| HsRow {
+            scheme,
+            pattern: "shuffle",
+            injected: 10,
+            completed: 10,
+            bytes_completed: 1_000,
+            fct_p50_us: p99 / 2.0,
+            fct_p90_us: p99,
+            fct_p99_us: p99,
+            drops: 0,
+            marks: 0,
+            marks_seen: 0,
+            marks_ignored: 0,
+            slab_high_water: 5,
+        };
+        let rows = vec![mk("pmsb", 90.0), mk("per-port", 100.0)];
+        let mut out = String::new();
+        write_k24_report(&mut out, &rows);
+        assert!(
+            out.contains("shuffle: pmsb vs per-port p99 FCT change -10.0%"),
+            "report: {out}"
+        );
     }
 }

@@ -131,7 +131,8 @@ pub fn run_cell(
         .marking(marking)
         .mark_point(mark_point)
         .buffer(crate::util::buffer_policy())
-        .sim_threads(sim_threads);
+        .sim_threads(sim_threads)
+        .partition(crate::util::partition());
     if let Some(thr) = pmsbe {
         e = e.pmsbe_rtt_threshold_nanos(thr);
     }

@@ -374,12 +374,25 @@ fn small_sim_cases(out: &mut String, iters: u32, samples: u32) -> Vec<CaseResult
     .collect()
 }
 
+/// The conservative-protocol profile of the last sharded run in
+/// [`parallel_cases`] (the `threads_4` case). `report::derive_metrics`
+/// reads this to surface `derived.parallel.*` without re-running the
+/// cell; `None` until the parallel cases have run in this process.
+static PARALLEL_PROFILE: std::sync::Mutex<Option<pmsb_simcore::lp::LpRunProfile>> =
+    std::sync::Mutex::new(None);
+
+/// The profile captured after the `large_scale_parallel/threads_4`
+/// benchmark case, if the parallel cases ran in this process.
+pub fn parallel_profile() -> Option<pmsb_simcore::lp::LpRunProfile> {
+    PARALLEL_PROFILE.lock().expect("profile lock").clone()
+}
+
 /// Large-scale leaf–spine cell at `sim_threads` shards: the workload
 /// the parallel runtime exists for (one 48-host fabric, paper flow
 /// mix). `quick` shrinks the flow count so the smoke suite stays fast.
 fn parallel_cases(out: &mut String, quick: bool, samples: u32) -> Vec<CaseResult> {
     let num_flows = if quick { 60 } else { 600 };
-    [1usize, 2, 4]
+    let results = [1usize, 2, 4]
         .into_iter()
         .map(|threads| {
             run_case(
@@ -407,7 +420,12 @@ fn parallel_cases(out: &mut String, quick: bool, samples: u32) -> Vec<CaseResult
                 },
             )
         })
-        .collect()
+        .collect();
+    // The last sharded run above was a `threads_4` sample (`threads_1`
+    // takes the sequential path and never touches the profile), so the
+    // process-wide last-run profile describes exactly that case.
+    *PARALLEL_PROFILE.lock().expect("profile lock") = Some(pmsb_simcore::lp::last_run_profile());
+    results
 }
 
 /// Streaming fat-tree cell through the slab flow state: a k=4 fabric

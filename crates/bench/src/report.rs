@@ -209,12 +209,34 @@ pub struct DerivedMetrics {
     pub parallel_speedup_t2: f64,
     /// Same at 4 threads.
     pub parallel_speedup_t4: f64,
+    /// Conservative-protocol health of the `threads_4` case (window
+    /// count, per-window batching, barrier overhead, LP balance).
+    pub parallel: ParallelProtocol,
     /// The hyperscale representative run (quick: 20k flows on a k=4
     /// fat-tree; full: one million flows on k=16).
     pub hyperscale: HyperscaleRun,
     /// The `fat_tree(24)` streaming smoke pass — the largest fabric the
     /// suite drives end to end (3456 hosts, 720 switches).
     pub k24: K24Smoke,
+}
+
+/// How the conservative protocol spent the `large_scale_parallel/
+/// threads_4` benchmark case (the sharded paper fabric), from the
+/// [`pmsb_simcore::lp::LpRunProfile`] captured right after that case.
+/// All zeros when the parallel cases did not run in this process.
+#[derive(Debug, Clone, Default)]
+pub struct ParallelProtocol {
+    /// Conservative windows the run stepped (fewer is better: each
+    /// window costs two barriers).
+    pub windows: u64,
+    /// Cross-LP messages delivered across all windows.
+    pub messages: u64,
+    /// Messages batched into each window on average.
+    pub msgs_per_window: f64,
+    /// Coordinator barrier-wait share of the run's wall clock.
+    pub barrier_wait_share: f64,
+    /// Max-over-mean per-LP busy time (1.0 = perfectly balanced).
+    pub lp_imbalance: f64,
 }
 
 /// One streaming shuffle pass over the 3456-host `fat_tree(24)` fabric:
@@ -464,6 +486,15 @@ pub fn derive_metrics(results: &[CaseResult], quick: bool) -> DerivedMetrics {
         campaign_wall_clock_ms: campaign_wall_clock_ms(),
         parallel_speedup_t2: speedup_vs_seq("large_scale_parallel/threads_2"),
         parallel_speedup_t4: speedup_vs_seq("large_scale_parallel/threads_4"),
+        parallel: crate::micro::parallel_profile()
+            .map(|p| ParallelProtocol {
+                windows: p.windows,
+                messages: p.messages,
+                msgs_per_window: p.msgs_per_window(),
+                barrier_wait_share: p.barrier_wait_share(),
+                lp_imbalance: p.lp_imbalance(),
+            })
+            .unwrap_or_default(),
         hyperscale: hyperscale_run(quick),
         k24: k24_smoke(quick),
     }
@@ -576,7 +607,17 @@ pub fn render_json(
     push_ratio(&mut out, derived.parallel_speedup_t2);
     out.push_str(",\n    \"parallel_speedup_t4\": ");
     push_ratio(&mut out, derived.parallel_speedup_t4);
-    out.push_str(",\n    \"hyperscale\": {\n");
+    out.push_str(",\n    \"parallel\": {\n");
+    let pp = &derived.parallel;
+    let _ = writeln!(out, "      \"windows\": {},", pp.windows);
+    let _ = writeln!(out, "      \"messages\": {},", pp.messages);
+    out.push_str("      \"msgs_per_window\": ");
+    push_f64(&mut out, pp.msgs_per_window);
+    out.push_str(",\n      \"barrier_wait_share\": ");
+    push_ratio(&mut out, pp.barrier_wait_share);
+    out.push_str(",\n      \"lp_imbalance\": ");
+    push_ratio(&mut out, pp.lp_imbalance);
+    out.push_str("\n    },\n    \"hyperscale\": {\n");
     let hs = &derived.hyperscale;
     let _ = writeln!(out, "      \"fabric_k\": {},", hs.fabric_k);
     let _ = writeln!(out, "      \"flows\": {},", hs.flows);
@@ -673,6 +714,16 @@ mod tests {
         }
     }
 
+    fn test_parallel() -> ParallelProtocol {
+        ParallelProtocol {
+            windows: 9_000,
+            messages: 5_400_000,
+            msgs_per_window: 600.0,
+            barrier_wait_share: 0.42,
+            lp_imbalance: 1.15,
+        }
+    }
+
     fn test_k24() -> K24Smoke {
         K24Smoke {
             fabric_k: 24,
@@ -721,6 +772,7 @@ mod tests {
             campaign_wall_clock_ms: f64::NAN,
             parallel_speedup_t2: f64::NAN,
             parallel_speedup_t4: f64::NAN,
+            parallel: test_parallel(),
             hyperscale: test_hyperscale(),
             k24: test_k24(),
         };
@@ -792,6 +844,7 @@ mod tests {
             campaign_wall_clock_ms: 42.0,
             parallel_speedup_t2: 1.4,
             parallel_speedup_t4: f64::NAN,
+            parallel: test_parallel(),
             hyperscale: test_hyperscale(),
             k24: test_k24(),
         };
@@ -807,6 +860,10 @@ mod tests {
         assert!(json.contains("\"campaign_wall_clock_ms\": 42.0"));
         assert!(json.contains("\"parallel_speedup_t2\": 1.400"));
         assert!(json.contains("\"parallel_speedup_t4\": null"));
+        assert!(json.contains("\"windows\": 9000"));
+        assert!(json.contains("\"msgs_per_window\": 600.0"));
+        assert!(json.contains("\"barrier_wait_share\": 0.420"));
+        assert!(json.contains("\"lp_imbalance\": 1.150"));
         assert!(json.contains("\"slab_high_water\": 96"));
         assert!(json.contains("\"flows_per_sec\": 50000.0"));
         assert!(json.contains("\"fabric_k\": 4"));

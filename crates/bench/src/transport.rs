@@ -107,7 +107,8 @@ pub fn run_cell(
         .marking(marking)
         .transport_kind(kind)
         .buffer(crate::util::buffer_policy())
-        .sim_threads(crate::util::sim_threads());
+        .sim_threads(crate::util::sim_threads())
+        .partition(crate::util::partition());
     if let Some(thr) = pmsbe {
         e = e.pmsbe_rtt_threshold_nanos(thr);
     }

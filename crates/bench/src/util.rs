@@ -44,6 +44,33 @@ pub fn sim_threads() -> usize {
     SIM_THREADS.load(std::sync::atomic::Ordering::Relaxed)
 }
 
+/// Partition strategy for sharded runs (`--partition
+/// traffic|contiguous`). Process-wide like [`sim_threads`], and for the
+/// same reason kept out of campaign job keys: the conservative protocol
+/// is byte-identical under any partition, so the records are shared
+/// across strategies.
+static PARTITION: std::sync::atomic::AtomicUsize = std::sync::atomic::AtomicUsize::new(0);
+
+/// Sets the partition strategy used by subsequently started experiment
+/// cells.
+pub fn set_partition(strategy: pmsb_netsim::PartitionStrategy) {
+    use pmsb_netsim::PartitionStrategy;
+    let v = match strategy {
+        PartitionStrategy::Traffic => 0,
+        PartitionStrategy::Contiguous => 1,
+    };
+    PARTITION.store(v, std::sync::atomic::Ordering::Relaxed);
+}
+
+/// The current partition strategy (defaults to traffic-aware).
+pub fn partition() -> pmsb_netsim::PartitionStrategy {
+    use pmsb_netsim::PartitionStrategy;
+    match PARTITION.load(std::sync::atomic::Ordering::Relaxed) {
+        1 => PartitionStrategy::Contiguous,
+        _ => PartitionStrategy::Traffic,
+    }
+}
+
 /// Simulation engine for subsequently started experiment cells
 /// (`--engine packet|fluid|hybrid`). Process-wide like
 /// [`sim_threads`]; unlike thread count the engine *does* change

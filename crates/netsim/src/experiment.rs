@@ -8,6 +8,7 @@ pub use crate::config::{
     EngineKind, HostConfig, MarkingConfig, SchedulerConfig, SwitchConfig, TransportConfig,
     TransportKind,
 };
+pub use crate::partition::PartitionStrategy;
 pub use crate::trace::TraceConfig;
 pub use crate::world::{FlowDesc, RunResults, StreamStats};
 pub use pmsb_faults::{FaultEvent, FaultKind, FaultSchedule, FaultTarget};
@@ -76,6 +77,10 @@ pub struct Experiment {
     sim_threads: usize,
     /// Which engine executes the run (DESIGN.md §11).
     pub(crate) engine: EngineKind,
+    /// How switches are assigned to LPs when `sim_threads > 1`. The
+    /// conservative protocol is byte-identical under any partition, so
+    /// this only affects speed, never results.
+    pub(crate) partition: PartitionStrategy,
 }
 
 impl Experiment {
@@ -103,6 +108,7 @@ impl Experiment {
             stream: None,
             sim_threads: 1,
             engine: EngineKind::Packet,
+            partition: PartitionStrategy::default(),
         }
     }
 
@@ -135,6 +141,7 @@ impl Experiment {
             stream: None,
             sim_threads: 1,
             engine: EngineKind::Packet,
+            partition: PartitionStrategy::default(),
         }
     }
 
@@ -264,6 +271,15 @@ impl Experiment {
     /// dumbbell always runs sequentially.
     pub fn sim_threads(mut self, n: usize) -> Self {
         self.sim_threads = n.max(1);
+        self
+    }
+
+    /// Selects how switches are assigned to LPs when `sim_threads > 1`
+    /// (default [`PartitionStrategy::Traffic`]). The conservative
+    /// protocol is byte-identical under any partition, so this is purely
+    /// a performance knob.
+    pub fn partition(mut self, strategy: PartitionStrategy) -> Self {
+        self.partition = strategy;
         self
     }
 

@@ -44,6 +44,7 @@ pub mod experiment;
 pub mod fluid;
 pub mod packet;
 mod parallel;
+mod partition;
 pub mod routing;
 pub mod topology;
 pub mod trace;
@@ -56,4 +57,5 @@ pub use config::{
 };
 pub use experiment::{Experiment, ExperimentResult, FlowDesc};
 pub use packet::{Packet, PacketKind};
+pub use partition::PartitionStrategy;
 pub use world::{Event, StreamStats, World};

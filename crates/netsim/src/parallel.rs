@@ -1,22 +1,27 @@
 //! Conservative parallel execution of a sharded [`World`] (DESIGN.md §8).
 //!
 //! The network is partitioned by switch into logical processes — every LP
-//! owns a contiguous switch range plus the hosts attached to it — and
-//! driven by [`pmsb_simcore::run_conservative`]: barrier-synchronized
-//! lookahead windows, with cross-LP packets exchanged as timestamped
-//! messages at each barrier. The minimum propagation delay over the cut
-//! links bounds how far ahead of the global minimum any LP may safely
-//! simulate, and the deterministic `(time, src_lp, emission order)`
-//! message merge makes the event schedule — and therefore every record —
-//! byte-identical to the sequential run for any thread count.
+//! owns a set of switches plus the hosts attached to them, chosen by the
+//! experiment's [`PartitionStrategy`](crate::partition::PartitionStrategy)
+//! — and driven by [`pmsb_simcore::run_conservative_matrix`]:
+//! barrier-synchronized windows with *per-LP horizons*. Each LP's horizon
+//! is bounded by its peers' pending times plus the pairwise minimum
+//! propagation delay (closed over multi-hop paths), so distant and idle
+//! LPs stop throttling busy ones. Cross-LP packets travel through
+//! preallocated per-(src,dst) lanes swapped at each barrier, and the
+//! deterministic `(time, src_lp, emission order)` merge at each
+//! destination makes the event schedule — and therefore every record —
+//! byte-identical to the sequential run for any thread count and any
+//! partition.
 
 use pmsb_metrics::fct::{FctRecorder, FlowRecord};
 use pmsb_simcore::{
-    run_conservative, EventHandler, LogicalProcess, LpMessage, SimDuration, SimTime, Simulation,
-    TieKey,
+    run_conservative_matrix, EventHandler, LogicalProcess, LookaheadMatrix, LpMessage, SimTime,
+    Simulation, TieKey,
 };
 
 use crate::experiment::Experiment;
+use crate::partition::{contiguous_partition, traffic_partition, PartitionStrategy};
 use crate::world::{Event, RunResults, World};
 
 /// One logical process: a full [`World`] copy that simulates only its
@@ -52,29 +57,20 @@ impl LogicalProcess for ShardLp {
     }
 }
 
-/// Owning LP per switch: `k` contiguous ranges, remainder spread over
-/// the first ranges (sizes differ by at most one).
-fn contiguous_partition(num_switches: usize, k: usize) -> Vec<u32> {
-    let base = num_switches / k;
-    let extra = num_switches % k;
-    let mut owner = Vec::with_capacity(num_switches);
-    for lp in 0..k {
-        let size = base + usize::from(lp < extra);
-        owner.extend(std::iter::repeat_n(lp as u32, size));
-    }
-    owner
-}
-
 /// Runs `exp` to `end_nanos` on `k` logical processes. Falls back to the
-/// sequential path when the partition cuts no positive-delay link (no
-/// safe lookahead window exists).
+/// sequential path when the partition cuts a zero-delay link (no safe
+/// lookahead window exists across it).
 pub(crate) fn run_sharded(exp: &Experiment, k: usize, end_nanos: u64) -> RunResults {
     let mut worlds: Vec<World> = (0..k).map(|_| exp.build_world()).collect();
-    let owner = contiguous_partition(worlds[0].num_switches(), k);
-    let lookahead = worlds[0].min_cross_shard_delay(&owner).unwrap_or(0);
-    if lookahead == 0 {
+    let owner = match exp.partition {
+        PartitionStrategy::Contiguous => contiguous_partition(worlds[0].num_switches(), k),
+        PartitionStrategy::Traffic => traffic_partition(&worlds[0], exp, k),
+    };
+    let direct = worlds[0].lp_delay_matrix(&owner, k);
+    if direct.iter().any(|&d| d == 0) {
         return worlds.swap_remove(0).run_until_nanos(end_nanos);
     }
+    let lookahead = LookaheadMatrix::from_direct(k, direct);
     let mut lps: Vec<ShardLp> = worlds
         .into_iter()
         .enumerate()
@@ -85,11 +81,7 @@ pub(crate) fn run_sharded(exp: &Experiment, k: usize, end_nanos: u64) -> RunResu
             }
         })
         .collect();
-    run_conservative(
-        &mut lps,
-        SimDuration::from_nanos(lookahead),
-        SimTime::from_nanos(end_nanos),
-    );
+    run_conservative_matrix(&mut lps, &lookahead, SimTime::from_nanos(end_nanos));
     // The tie-key window resolves cross-LP message order wherever the
     // causal chains differ within it, but two chains in lockstep (e.g.
     // ports serializing identical packets at the same instants) can
@@ -163,17 +155,4 @@ fn merge(parts: Vec<RunResults>) -> RunResults {
     }
     acc.fct = fct;
     acc
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn partition_is_contiguous_and_balanced() {
-        assert_eq!(contiguous_partition(8, 4), vec![0, 0, 1, 1, 2, 2, 3, 3]);
-        assert_eq!(contiguous_partition(5, 2), vec![0, 0, 0, 1, 1]);
-        assert_eq!(contiguous_partition(3, 3), vec![0, 1, 2]);
-        assert_eq!(contiguous_partition(7, 3), vec![0, 0, 0, 1, 1, 2, 2]);
-    }
 }

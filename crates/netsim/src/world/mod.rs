@@ -137,7 +137,8 @@ const SWITCH_FAULT_SALT: u64 = 1 << 40;
 /// per scheduled delivery.
 pub(crate) struct Shard {
     my_lp: usize,
-    /// Owning LP of each switch (contiguous ranges by construction).
+    /// Owning LP of each switch (any disjoint+complete assignment; see
+    /// `crate::partition` for the strategies that produce it).
     switch_owner: Vec<u32>,
     /// Owning LP of each host (= the owner of its attached switch).
     host_owner: Vec<u32>,
@@ -757,22 +758,26 @@ impl World {
             .is_none_or(|sh| sh.switch_owner[switch] as usize == sh.my_lp)
     }
 
-    /// The minimum propagation delay over links whose two switch ends
-    /// land in different partitions — the conservative lookahead bound.
-    /// `None` when the partition cuts no switch-to-switch link.
-    pub(crate) fn min_cross_shard_delay(&self, switch_owner: &[u32]) -> Option<u64> {
-        let mut min = None;
+    /// The direct minimum-delay matrix between logical processes: entry
+    /// `(a, b)` (row-major `k × k`) is the smallest propagation delay of
+    /// any switch-to-switch link from a switch owned by LP `a` to one
+    /// owned by LP `b`, or [`LookaheadMatrix::NEVER`] when no such link
+    /// exists. [`pmsb_simcore::LookaheadMatrix::from_direct`] closes it
+    /// over multi-hop paths to produce per-LP horizon bounds.
+    pub(crate) fn lp_delay_matrix(&self, switch_owner: &[u32], k: usize) -> Vec<u64> {
+        use pmsb_simcore::LookaheadMatrix;
+        let mut d = vec![LookaheadMatrix::NEVER; k * k];
         for (s, sw) in self.switches.iter().enumerate() {
             for p in &sw.ports {
                 if let NodeRef::Switch(t) = p.link.peer {
-                    if switch_owner[t] != switch_owner[s] {
-                        let d = p.link.delay_nanos;
-                        min = Some(min.map_or(d, |m: u64| m.min(d)));
+                    let (a, b) = (switch_owner[s] as usize, switch_owner[t] as usize);
+                    if a != b && p.link.delay_nanos < d[a * k + b] {
+                        d[a * k + b] = p.link.delay_nanos;
                     }
                 }
             }
         }
-        min
+        d
     }
 
     /// Moves the cross-LP deliveries produced this window into `out`.

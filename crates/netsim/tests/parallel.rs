@@ -1,11 +1,16 @@
 //! Differential tests for the sharded conservative runner (DESIGN.md §8):
 //! `sim_threads(n)` must reproduce the sequential run byte-for-byte —
 //! every record, counter, trace, and fault interaction — for any `n`,
-//! across all marking schemes and with fault schedules attached.
+//! under either partition strategy, across all marking schemes and with
+//! fault schedules attached.
 
 use pmsb_netsim::experiment::{
-    Experiment, FaultSchedule, FlowDesc, MarkingConfig, RunResults, TraceConfig,
+    Experiment, FaultSchedule, FlowDesc, MarkingConfig, PartitionStrategy, RunResults, TraceConfig,
 };
+use pmsb_workload::{PatternSpec, SizeDistSpec};
+
+const PARTITIONS: [PartitionStrategy; 2] =
+    [PartitionStrategy::Contiguous, PartitionStrategy::Traffic];
 
 /// Canonical text form of everything a run observes; byte equality here
 /// is the parallel-vs-sequential gate.
@@ -39,6 +44,14 @@ fn fingerprint(res: &RunResults) -> String {
     if let Some(f) = &res.faults {
         out.push_str(&format!("faults {f:?}\n"));
     }
+    if let Some(s) = &res.stream {
+        // Everything except `slab_high_water`, which is documented as a
+        // sum of per-LP peaks (an upper bound, not a shared observable).
+        out.push_str(&format!(
+            "stream {} {} {} {:?} {:?}\n",
+            s.injected, s.completed, s.bytes_completed, s.agg_sender, s.sketch
+        ));
+    }
     out
 }
 
@@ -62,12 +75,29 @@ fn small_fabric(marking: MarkingConfig) -> Experiment {
 
 fn assert_threads_match(mk: impl Fn() -> Experiment, millis: u64) {
     let sequential = fingerprint(&mk().run_for_millis(millis));
-    for threads in [2, 4] {
-        let parallel = fingerprint(&mk().sim_threads(threads).run_for_millis(millis));
-        assert_eq!(
-            sequential, parallel,
-            "sim_threads({threads}) diverged from sequential"
-        );
+    for partition in PARTITIONS {
+        for threads in [2, 4] {
+            let parallel = fingerprint(
+                &mk()
+                    .sim_threads(threads)
+                    .partition(partition)
+                    .run_for_millis(millis),
+            );
+            if sequential != parallel {
+                for (a, b) in sequential.lines().zip(parallel.lines()) {
+                    if a != b {
+                        panic!(
+                            "sim_threads({threads}) with {partition:?} diverged:\nseq: {a}\npar: {b}"
+                        );
+                    }
+                }
+                panic!(
+                    "sim_threads({threads}) with {partition:?} diverged: line counts {} vs {}",
+                    sequential.lines().count(),
+                    parallel.lines().count()
+                );
+            }
+        }
     }
 }
 
@@ -159,13 +189,68 @@ fn uplink_flap_schedule_matches_sequential() {
         "flap must fire inside the horizon"
     );
     let sequential = fingerprint(&sequential);
-    for threads in [2, 4] {
-        let parallel = fingerprint(&mk().sim_threads(threads).run_for_millis(30));
-        assert_eq!(
-            sequential, parallel,
-            "sim_threads({threads}) diverged under the fault schedule"
-        );
+    for partition in PARTITIONS {
+        for threads in [2, 4] {
+            let parallel = fingerprint(
+                &mk()
+                    .sim_threads(threads)
+                    .partition(partition)
+                    .run_for_millis(30),
+            );
+            assert_eq!(
+                sequential, parallel,
+                "sim_threads({threads}) with {partition:?} diverged under the fault schedule"
+            );
+        }
     }
+}
+
+/// The paper's §VI-B fabric (4 leaves × 4 spines, 48 hosts) under a
+/// dense all-to-all-ish load — the shape of the large-scale benchmark
+/// cell, shrunk to test scale. Eight switches give every partition
+/// strategy real choices at 2 and 4 LPs.
+#[test]
+fn large_scale_fabric_matches_sequential() {
+    let mk = || {
+        let mut e = Experiment::paper_leaf_spine().marking(MarkingConfig::Pmsb {
+            port_threshold_pkts: 12,
+        });
+        for i in 0..32u64 {
+            let src = ((i * 5) % 48) as usize;
+            let dst = ((i * 11 + 17) % 48) as usize;
+            if src == dst {
+                continue;
+            }
+            e.add_flow(
+                FlowDesc::bulk(src, dst, (i % 8) as usize, 100_000 + i * 20_000)
+                    .starting_at(i * 150_000),
+            );
+        }
+        e
+    };
+    assert_threads_match(mk, 20);
+}
+
+/// A k=8 fat-tree (80 switches, 128 hosts) driven by a streaming
+/// shuffle with web-search sizes: the bounded-memory streaming path —
+/// sender slab, completion sketch, aggregate counters — must shard as
+/// cleanly as the static flow list, on a fabric deep enough that the
+/// lookahead matrix has real multi-hop structure.
+#[test]
+fn fat_tree_streaming_matches_sequential() {
+    let mk = || {
+        Experiment::fat_tree(8)
+            .marking(MarkingConfig::Pmsb {
+                port_threshold_pkts: 12,
+            })
+            .stream(
+                PatternSpec::sized(PatternSpec::shuffle(), SizeDistSpec::WebSearch),
+                7,
+                256,
+            )
+            .stream_record_exact()
+    };
+    assert_threads_match(mk, 15);
 }
 
 /// A dumbbell has one switch: any thread count collapses to the

@@ -37,7 +37,10 @@ pub mod time;
 
 pub use event::{EventQueue, Simulation, TieKey};
 pub use heap_fel::HeapQueue;
-pub use lp::{last_run_profile, run_conservative, LogicalProcess, LpMessage, LpRunProfile};
+pub use lp::{
+    last_run_profile, run_conservative, run_conservative_matrix, LogicalProcess, LookaheadMatrix,
+    LpMessage, LpRunProfile,
+};
 pub use time::{SimDuration, SimTime};
 
 /// Types implementing this trait drive a [`Simulation`]: every popped event

@@ -25,8 +25,9 @@ use pmsb::MarkPoint;
 use pmsb_metrics::fct::SizeClass;
 use pmsb_netsim::experiment::{Experiment, FaultSchedule, FlowDesc};
 use pmsb_repro::cli::{
-    parse_buffer, parse_engine, parse_flow, parse_marking, parse_pattern, parse_scheduler,
-    parse_topology, parse_transport, parse_weights, split_options, ParseError, TopologySpec,
+    parse_buffer, parse_engine, parse_flow, parse_marking, parse_partition, parse_pattern,
+    parse_scheduler, parse_sim_threads, parse_topology, parse_transport, parse_weights,
+    split_options, ParseError, TopologySpec,
 };
 use pmsb_simcore::rng::SimRng;
 use pmsb_workload::traffic::TrafficSpec;
@@ -41,30 +42,37 @@ USAGE:
                      [--engine packet|fluid|hybrid] [--buffer SPEC]
                      [--rate-gbps N] [--delay-ns N]
                      [--millis N] [--watch true] [--fault-schedule FILE]
-                     [--sim-threads N] --flow SPEC [--flow SPEC ...]
+                     [--sim-threads N|auto] [--partition traffic|contiguous]
+                     --flow SPEC [--flow SPEC ...]
   pmsb-sim leaf-spine [--load X] [--flows N] [--seed N] [--marking SPEC]
                      [--scheduler SPEC] [--mark-point enq|deq] [--pmsbe-us X]
                      [--transport dctcp|newreno] [--engine packet|fluid|hybrid]
-                     [--buffer SPEC] [--fault-schedule FILE] [--sim-threads N]
+                     [--buffer SPEC] [--fault-schedule FILE]
+                     [--sim-threads N|auto] [--partition traffic|contiguous]
   pmsb-sim fabric    [--topology leaf-spine|fat-tree:K] [--pattern SPEC]
                      [--flows N] [--seed N] [--exact true] [--drain-ms N]
                      [--marking SPEC] [--scheduler SPEC] [--pmsbe-us X]
                      [--transport dctcp|newreno] [--engine packet|fluid|hybrid]
-                     [--buffer SPEC] [--sim-threads N]
+                     [--buffer SPEC] [--sim-threads N|auto]
+                     [--partition traffic|contiguous]
   pmsb-sim profile   --rtt-us X --weights W1,W2,... [--rate-gbps N]
                      [--lambda X] [--margin X]
   pmsb-sim campaign  NAME [--quick] [--jobs N] [--results DIR] [--quiet]
-                     [--sim-threads N] [--engine packet|fluid|hybrid]
-                     [--buffer SPEC]
+                     [--sim-threads N|auto] [--partition traffic|contiguous]
+                     [--engine packet|fluid|hybrid] [--buffer SPEC]
                      NAME: all | figures | extensions | large-scale-dwrr
                      | large-scale-wfq | seed-sensitivity | faults
-                     | transport | hyperscale | buffers | any scenario
-                     (e.g. fig08, ablation_port_threshold)
+                     | transport | hyperscale | hyperscale-k24 | buffers
+                     | any scenario (e.g. fig08, ablation_port_threshold)
   pmsb-sim help
 
-  --sim-threads N shards one simulation across N worker threads
-  (conservative lookahead windows; results are byte-identical to
-  --sim-threads 1, see DESIGN.md section 8).
+  --sim-threads shards one simulation across N worker threads ('auto'
+  = every hardware thread, capped at the switch count). The protocol is
+  conservative with per-LP lookahead horizons; results are byte-identical
+  to --sim-threads 1, see DESIGN.md section 8. --partition picks how
+  switches map to threads: 'traffic' (default) grows balanced partitions
+  weighted by the workload's expected traffic, 'contiguous' uses plain
+  switch-index ranges. The partition never changes results either.
 
   --engine picks the simulation engine: 'packet' (default, event per
   packet), 'fluid' (flow-level max-min rates with steady-state marking
@@ -161,11 +169,19 @@ fn campaign(args: &[String]) -> Result<(), ParseError> {
     while let Some(arg) = rest.next() {
         match arg.as_str() {
             "--quick" => quick = true,
-            "--sim-threads" => match rest.next().map(|v| v.parse::<usize>()) {
-                Some(Ok(n)) if n >= 1 => pmsb_bench::util::set_sim_threads(n),
-                _ => {
+            "--sim-threads" => match rest.next() {
+                Some(v) => pmsb_bench::util::set_sim_threads(parse_sim_threads(&v)?),
+                None => {
                     return Err(ParseError(
-                        "campaign: --sim-threads needs an integer >= 1".into(),
+                        "campaign: --sim-threads needs an integer >= 1, or auto".into(),
+                    ))
+                }
+            },
+            "--partition" => match rest.next() {
+                Some(v) => pmsb_bench::util::set_partition(parse_partition(&v)?),
+                None => {
+                    return Err(ParseError(
+                        "campaign: --partition needs traffic|contiguous".into(),
                     ))
                 }
             },
@@ -254,11 +270,12 @@ fn apply_common(mut e: Experiment, options: &[(String, String)]) -> Result<Exper
             .map_err(|e| ParseError(format!("fault schedule '{path}': {e}")))?;
         e = e.faults(schedule);
     }
-    let threads: usize = opt_parse(options, "sim-threads", 1)?;
-    if threads == 0 {
-        return Err(ParseError("--sim-threads must be >= 1".into()));
+    if let Some(t) = opt(options, "sim-threads") {
+        e = e.sim_threads(parse_sim_threads(t)?);
     }
-    e = e.sim_threads(threads);
+    if let Some(p) = opt(options, "partition") {
+        e = e.partition(parse_partition(p)?);
+    }
     Ok(e)
 }
 

@@ -5,7 +5,7 @@
 //! `pmsb-sim help` for the surface syntax.
 
 use pmsb_netsim::experiment::{FlowDesc, MarkingConfig, SchedulerConfig, TransportKind};
-use pmsb_netsim::{BufferPolicy, EngineKind};
+use pmsb_netsim::{BufferPolicy, EngineKind, PartitionStrategy};
 use pmsb_workload::{PatternSpec, SizeDistSpec};
 
 /// A parse failure with a human-readable reason.
@@ -359,6 +359,56 @@ pub fn parse_buffer(s: &str) -> Result<BufferPolicy, ParseError> {
     BufferPolicy::parse(s).map_err(ParseError)
 }
 
+/// Parses a `--sim-threads` value: a positive integer, or `auto` to use
+/// every hardware thread the OS reports (falling back to 1 when the
+/// report is unavailable). The runner separately caps the count at the
+/// topology's switch count.
+///
+/// # Example
+///
+/// ```
+/// use pmsb_repro::cli::parse_sim_threads;
+///
+/// assert_eq!(parse_sim_threads("4").unwrap(), 4);
+/// assert!(parse_sim_threads("auto").unwrap() >= 1);
+/// assert!(parse_sim_threads("0").is_err());
+/// ```
+pub fn parse_sim_threads(s: &str) -> Result<usize, ParseError> {
+    if s.eq_ignore_ascii_case("auto") {
+        return Ok(std::thread::available_parallelism().map_or(1, |n| n.get()));
+    }
+    match s.trim().parse::<usize>() {
+        Ok(n) if n >= 1 => Ok(n),
+        _ => err(format!(
+            "bad sim-threads '{s}' (a positive integer, or auto)"
+        )),
+    }
+}
+
+/// Parses a `--partition` strategy name: `traffic` (workload-weighted
+/// greedy balanced growth, the default) or `contiguous` (plain
+/// switch-index ranges). Results are byte-identical either way; the
+/// strategy only affects parallel run speed.
+///
+/// # Example
+///
+/// ```
+/// use pmsb_repro::cli::parse_partition;
+/// use pmsb_netsim::PartitionStrategy;
+///
+/// assert_eq!(parse_partition("traffic").unwrap(), PartitionStrategy::Traffic);
+/// assert_eq!(parse_partition("contiguous").unwrap(), PartitionStrategy::Contiguous);
+/// ```
+pub fn parse_partition(s: &str) -> Result<PartitionStrategy, ParseError> {
+    match s {
+        "traffic" => Ok(PartitionStrategy::Traffic),
+        "contiguous" => Ok(PartitionStrategy::Contiguous),
+        other => err(format!(
+            "unknown partition strategy '{other}' (traffic|contiguous)"
+        )),
+    }
+}
+
 /// Parses a transport name: `dctcp` (the default) or `newreno` (classic
 /// RFC 3168 ECN: halve once per RTT on ECE, no DCTCP alpha estimator).
 ///
@@ -671,6 +721,39 @@ mod tests {
         assert!(e.0.contains("shared"), "names the bad input: {e}");
         assert!(
             e.0.contains("static|dt:ALPHA|delay[:MICROS]"),
+            "lists the variants: {e}"
+        );
+    }
+
+    #[test]
+    fn sim_threads_parse() {
+        assert_eq!(parse_sim_threads("1").unwrap(), 1);
+        assert_eq!(parse_sim_threads("16").unwrap(), 16);
+        assert!(parse_sim_threads("auto").unwrap() >= 1);
+        assert!(parse_sim_threads("AUTO").unwrap() >= 1);
+        let e = parse_sim_threads("0").unwrap_err();
+        assert!(
+            e.0.contains("positive integer, or auto"),
+            "lists accepted: {e}"
+        );
+        assert!(parse_sim_threads("-2").is_err());
+        assert!(parse_sim_threads("many").is_err());
+    }
+
+    #[test]
+    fn partitions_parse() {
+        assert_eq!(
+            parse_partition("traffic").unwrap(),
+            PartitionStrategy::Traffic
+        );
+        assert_eq!(
+            parse_partition("contiguous").unwrap(),
+            PartitionStrategy::Contiguous
+        );
+        let e = parse_partition("metis").unwrap_err();
+        assert!(e.0.contains("metis"), "names the bad input: {e}");
+        assert!(
+            e.0.contains("traffic|contiguous"),
             "lists the variants: {e}"
         );
     }
