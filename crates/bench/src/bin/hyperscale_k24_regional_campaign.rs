@@ -1,0 +1,16 @@
+//! Hyperscale k=24 regional cells: PMSB vs plain per-port on the
+//! 3456-host `fat_tree(24)` fabric under streamed shuffle and
+//! web-search-sized mix patterns, on the *regional* engine — the auto
+//! hot set of switch ports runs at full packet level (real scheduler,
+//! marking, PMSB(e) filter) inside the fluid run, so the scheme columns
+//! separate through measured per-queue marking where the hybrid
+//! engine's shared closed form keeps them identical (DESIGN.md §13).
+//!
+//! Runs as a harness campaign: accepts `--quick`, `--jobs N`,
+//! `--results DIR`, `--quiet`, `--sim-threads N|auto`,
+//! `--partition traffic|contiguous`; results persist under
+//! `results/hyperscale_k24_regional/` and completed jobs resume for
+//! free.
+fn main() {
+    pmsb_bench::campaigns::run_campaign_main("hyperscale-k24-regional");
+}

@@ -418,6 +418,55 @@ pub fn write_hyperscale_k24_report(out: &mut String, records: &[Record]) {
     }
 }
 
+/// One job per `(scheme, pattern)` cell of the *regional* k=24 grid: the
+/// same fabric and patterns as `hyperscale_k24`, but under the regional
+/// engine (`auto` hot set), so the scheme columns differ through
+/// *measured* per-queue marking at the hot ports — the per-port-vs-PMSB
+/// contrast the pure flow-level engines cannot resolve (DESIGN.md §13).
+/// The engine is pinned per cell, so `--engine` does not apply; records
+/// carry an explicit `engine=regional` parameter.
+pub fn hyperscale_k24_regional_jobs(quick: bool, seed: u64) -> Vec<Job> {
+    let total_flows = hyperscale::k24_flows(quick);
+    let mut jobs = Vec::new();
+    for scheme in hyperscale::k24_schemes() {
+        for pattern in hyperscale::k24_patterns() {
+            let name = scheme.0;
+            let pattern_name = pattern.0;
+            let scheme = scheme.clone();
+            jobs.push(tag_buffer(
+                Job::new("hyperscale_k24_regional", seed, move || {
+                    hyperscale::row_record(&hyperscale::run_cell(
+                        &scheme,
+                        &pattern,
+                        hyperscale::K24_FABRIC,
+                        total_flows,
+                        seed,
+                        crate::util::sim_threads(),
+                        pmsb_netsim::EngineKind::Regional,
+                    ))
+                })
+                .param("scheme", name)
+                .param("pattern", pattern_name)
+                .param("engine", "regional")
+                .param("quick", quick),
+            ));
+        }
+    }
+    jobs
+}
+
+/// Writes the regional k=24 table from completed records.
+pub fn write_hyperscale_k24_regional_report(out: &mut String, records: &[Record]) {
+    let rows: Vec<hyperscale::HsRow> = records
+        .iter()
+        .filter(|r| r.get_str("scenario") == Some("hyperscale_k24_regional"))
+        .filter_map(hyperscale::row_from_record)
+        .collect();
+    if !rows.is_empty() {
+        hyperscale::write_k24_regional_report(out, &rows);
+    }
+}
+
 /// One job per `(transport, scheme)` cell of the transport sweep (see
 /// [`crate::transport`]).
 pub fn transport_jobs(quick: bool, seed: u64) -> Vec<Job> {
@@ -561,6 +610,7 @@ pub const CAMPAIGN_NAMES: &[&str] = &[
     "transport",
     "hyperscale",
     "hyperscale-k24",
+    "hyperscale-k24-regional",
     "buffers",
 ];
 
@@ -597,6 +647,10 @@ pub fn campaign_by_name(name: &str, quick: bool) -> Option<Campaign> {
         "hyperscale_k24" => Some(campaign_from(
             "hyperscale_k24",
             hyperscale_k24_jobs(quick, DEFAULT_SEED),
+        )),
+        "hyperscale_k24_regional" => Some(campaign_from(
+            "hyperscale_k24_regional",
+            hyperscale_k24_regional_jobs(quick, DEFAULT_SEED),
         )),
         "buffers" => Some(campaign_from("buffers", buffer_jobs(quick))),
         _ => {
@@ -672,6 +726,7 @@ pub fn print_campaign_output(result: &CampaignResult) {
     write_transport_report(&mut out, &result.records);
     write_hyperscale_report(&mut out, &result.records);
     write_hyperscale_k24_report(&mut out, &result.records);
+    write_hyperscale_k24_regional_report(&mut out, &result.records);
     write_buffers_report(&mut out, &result.records);
     print!("{out}");
 }
@@ -699,7 +754,7 @@ pub fn run_campaign_main(name: &str) {
                 Some(v) if v.eq_ignore_ascii_case("auto") => crate::util::set_sim_threads(
                     std::thread::available_parallelism().map_or(1, |n| n.get()),
                 ),
-                Some(v) if v.parse::<usize>().map_or(false, |n| n >= 1) => {
+                Some(v) if v.parse::<usize>().is_ok_and(|n| n >= 1) => {
                     crate::util::set_sim_threads(v.parse().unwrap())
                 }
                 _ => {
@@ -822,6 +877,19 @@ mod tests {
         assert!(keys.iter().any(|k| k.contains("scheme=per-port")
             && k.contains("pattern=mix-websearch")
             && k.contains("engine=hybrid")));
+    }
+
+    #[test]
+    fn hyperscale_k24_regional_jobs_cover_the_grid() {
+        let jobs = hyperscale_k24_regional_jobs(true, DEFAULT_SEED);
+        // 2 schemes x 2 patterns, all pinned to the regional engine.
+        assert_eq!(jobs.len(), 4);
+        let keys: std::collections::HashSet<String> = jobs.iter().map(|j| j.key()).collect();
+        assert_eq!(keys.len(), 4, "keys must be unique");
+        assert!(keys.iter().all(|k| k.contains("engine=regional")));
+        assert!(keys.iter().any(|k| k.contains("scheme=per-port")
+            && k.contains("pattern=mix-websearch")
+            && k.contains("engine=regional")));
     }
 
     #[test]

@@ -185,6 +185,9 @@ pub fn run_cell(
         .sim_threads(sim_threads)
         .partition(crate::util::partition())
         .engine(engine);
+    if engine == EngineKind::Regional {
+        e = e.region(crate::util::region());
+    }
     if let Some(thr) = pmsbe {
         e = e.pmsbe_rtt_threshold_nanos(thr);
     }
@@ -333,6 +336,45 @@ pub fn write_k24_report(out: &mut String, rows: &[HsRow]) {
                 out,
                 "# {pattern}: pmsb vs per-port p99 FCT change {:+.1}%",
                 (ours / base - 1.0) * 100.0
+            );
+        }
+    }
+}
+
+/// Writes the regional k=24 table plus the per-pattern PMSB-vs-per-port
+/// comparisons of *both* marks and p99 FCT — the point of the regional
+/// cells: at the measured hot ports the two schemes see different
+/// per-queue mark eligibility, so the scheme columns separate where the
+/// hybrid engine's shared closed form keeps them identical.
+pub fn write_k24_regional_report(out: &mut String, rows: &[HsRow]) {
+    banner(
+        out,
+        "Hyperscale k=24 regional: fat_tree(24) cells, hot ports at packet level",
+    );
+    outln!(out, "{CSV_HEADER}");
+    for row in rows {
+        outln!(out, "{}", csv_line(row));
+    }
+    for (pattern, _) in k24_patterns() {
+        let cell = |scheme: &str| {
+            rows.iter()
+                .find(|r| r.scheme == scheme && r.pattern == pattern)
+        };
+        let (Some(ours), Some(base)) = (cell("pmsb"), cell("per-port")) else {
+            continue;
+        };
+        if ours.fct_p99_us.is_finite() && base.fct_p99_us.is_finite() {
+            outln!(
+                out,
+                "# {pattern}: pmsb vs per-port p99 FCT change {:+.1}%",
+                (ours.fct_p99_us / base.fct_p99_us - 1.0) * 100.0
+            );
+        }
+        if base.marks > 0 {
+            outln!(
+                out,
+                "# {pattern}: pmsb vs per-port marks change {:+.1}%",
+                (ours.marks as f64 / base.marks as f64 - 1.0) * 100.0
             );
         }
     }

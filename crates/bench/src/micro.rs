@@ -470,10 +470,13 @@ fn hyperscale_cases(out: &mut String, quick: bool, samples: u32) -> Vec<CaseResu
 }
 
 /// The same streaming cell under the flow-level engines: `fluid` (pure
-/// closed-form marking) and `hybrid` (per-port packet micro-sim
-/// calibration), plus the dumbbell scenario on the fluid path. The
-/// per-iteration ratio of `fat_tree_k4_stream` to its `_fluid`/`_hybrid`
-/// twins is the in-suite view of `derived.hyperscale.fluid_speedup`.
+/// closed-form marking), `hybrid` (per-port packet micro-sim
+/// calibration), and `regional` (auto-scouted hot ports at full packet
+/// level inside the fluid run), plus the dumbbell scenario on the fluid
+/// path. The per-iteration ratio of `fat_tree_k4_stream` to its
+/// `_fluid`/`_hybrid`/`_regional` twins is the in-suite view of
+/// `derived.hyperscale.fluid_speedup` (and the regional twin backs the
+/// `regional_speedup` figure in the JSON report).
 fn fluid_cases(out: &mut String, quick: bool, samples: u32) -> Vec<CaseResult> {
     use pmsb_netsim::EngineKind;
     let total_flows = if quick { 1_000 } else { 10_000 };
@@ -494,6 +497,7 @@ fn fluid_cases(out: &mut String, quick: bool, samples: u32) -> Vec<CaseResult> {
     let mut results: Vec<CaseResult> = [
         ("fluid/fat_tree_k4_stream_fluid", EngineKind::Fluid),
         ("fluid/fat_tree_k4_stream_hybrid", EngineKind::Hybrid),
+        ("fluid/fat_tree_k4_stream_regional", EngineKind::Regional),
     ]
     .into_iter()
     .map(|(label, engine)| {
@@ -549,7 +553,7 @@ mod tests {
     fn quick_suite_times_every_case() {
         let mut out = String::new();
         let results = run_all(&mut out, true);
-        assert_eq!(results.len(), 5 + 5 + 4 + 3 + 4 + 3 + 1 + 3);
+        assert_eq!(results.len(), 5 + 5 + 4 + 3 + 4 + 3 + 1 + 4);
         for r in &results {
             assert!(
                 r.best_nanos > 0.0 && r.best_nanos.is_finite(),

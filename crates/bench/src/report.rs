@@ -321,6 +321,16 @@ pub struct HyperscaleRun {
     /// `hybrid_flows_per_sec / flows_per_sec` — the hybrid fast path's
     /// wall-clock advantage on the same cell.
     pub fluid_speedup: f64,
+    /// Flows completed before the horizon under `--engine regional`
+    /// (auto-scouted hot ports at full packet level, DESIGN.md §13).
+    pub regional_completed: u64,
+    /// Completed flows per wall-clock second under `--engine regional`.
+    pub regional_flows_per_sec: f64,
+    /// Sketch 99th-percentile FCT under `--engine regional`, µs.
+    pub regional_fct_p99_us: f64,
+    /// `regional_flows_per_sec / flows_per_sec` — the regional engine's
+    /// wall-clock advantage over the full packet run on the same cell.
+    pub regional_speedup: f64,
     /// Conservative windows the packet run's sharded executor stepped
     /// (0 on the sequential fallback; see `pmsb_simcore::lp`).
     pub lp_windows: u64,
@@ -373,8 +383,10 @@ pub fn hyperscale_run(quick: bool) -> HyperscaleRun {
     let (row, secs) = cell(EngineKind::Packet);
     let lp = pmsb_simcore::lp::last_run_profile();
     let (hybrid, hybrid_secs) = cell(EngineKind::Hybrid);
+    let (regional, regional_secs) = cell(EngineKind::Regional);
     let packet_fps = row.completed as f64 / secs;
     let hybrid_fps = hybrid.completed as f64 / hybrid_secs;
+    let regional_fps = regional.completed as f64 / regional_secs;
     HyperscaleRun {
         fabric_k: k,
         flows: row.injected,
@@ -386,6 +398,10 @@ pub fn hyperscale_run(quick: bool) -> HyperscaleRun {
         hybrid_flows_per_sec: hybrid_fps,
         hybrid_fct_p99_us: hybrid.fct_p99_us,
         fluid_speedup: hybrid_fps / packet_fps,
+        regional_completed: regional.completed,
+        regional_flows_per_sec: regional_fps,
+        regional_fct_p99_us: regional.fct_p99_us,
+        regional_speedup: regional_fps / packet_fps,
         lp_windows: lp.windows,
         lp_messages: lp.messages,
         lp_barrier_wait_ms: lp.barrier_wait_nanos as f64 / 1e6,
@@ -638,6 +654,17 @@ pub fn render_json(
     push_f64(&mut out, hs.hybrid_fct_p99_us);
     out.push_str(",\n      \"fluid_speedup\": ");
     push_ratio(&mut out, hs.fluid_speedup);
+    let _ = writeln!(
+        out,
+        ",\n      \"regional_completed\": {},",
+        hs.regional_completed
+    );
+    out.push_str("      \"regional_flows_per_sec\": ");
+    push_f64(&mut out, hs.regional_flows_per_sec);
+    out.push_str(",\n      \"regional_fct_p99_us\": ");
+    push_f64(&mut out, hs.regional_fct_p99_us);
+    out.push_str(",\n      \"regional_speedup\": ");
+    push_ratio(&mut out, hs.regional_speedup);
     let _ = writeln!(out, ",\n      \"lp_windows\": {},", hs.lp_windows);
     let _ = writeln!(out, "      \"lp_messages\": {},", hs.lp_messages);
     out.push_str("      \"lp_barrier_wait_ms\": ");
@@ -708,6 +735,10 @@ mod tests {
             hybrid_flows_per_sec: 600_000.0,
             hybrid_fct_p99_us: 245.0,
             fluid_speedup: 12.0,
+            regional_completed: 19_900,
+            regional_flows_per_sec: 400_000.0,
+            regional_fct_p99_us: 252.0,
+            regional_speedup: 8.0,
             lp_windows: 0,
             lp_messages: 0,
             lp_barrier_wait_ms: 0.0,
@@ -869,6 +900,8 @@ mod tests {
         assert!(json.contains("\"fabric_k\": 4"));
         assert!(json.contains("\"hybrid_flows_per_sec\": 600000.0"));
         assert!(json.contains("\"fluid_speedup\": 12.000"));
+        assert!(json.contains("\"regional_flows_per_sec\": 400000.0"));
+        assert!(json.contains("\"regional_speedup\": 8.000"));
         assert!(json.contains("\"lp_windows\": 0"));
         assert!(json.contains("\"lp_barrier_wait_ms\": 0.0"));
         assert!(json.contains("\"k24_smoke\""));

@@ -85,6 +85,7 @@ pub fn set_engine(engine: pmsb_netsim::EngineKind) {
         EngineKind::Packet => 0,
         EngineKind::Fluid => 1,
         EngineKind::Hybrid => 2,
+        EngineKind::Regional => 3,
     };
     ENGINE.store(v, std::sync::atomic::Ordering::Relaxed);
 }
@@ -95,8 +96,26 @@ pub fn engine() -> pmsb_netsim::EngineKind {
     match ENGINE.load(std::sync::atomic::Ordering::Relaxed) {
         1 => EngineKind::Fluid,
         2 => EngineKind::Hybrid,
+        3 => EngineKind::Regional,
         _ => EngineKind::Packet,
     }
+}
+
+/// Hot-region spec for the regional engine (`--engine
+/// regional[:auto|:ports=LIST]`). Process-wide like [`engine`]; a
+/// `Mutex` rather than an atomic because the spec carries a port list
+/// (same reasoning as [`buffer_policy`]). Ignored by the other engines.
+static REGION: std::sync::Mutex<pmsb_netsim::RegionSpec> =
+    std::sync::Mutex::new(pmsb_netsim::RegionSpec::Auto);
+
+/// Sets the region spec used by subsequently started regional cells.
+pub fn set_region(spec: pmsb_netsim::RegionSpec) {
+    *REGION.lock().unwrap() = spec;
+}
+
+/// The current region spec (defaults to `Auto`, scout-pass selection).
+pub fn region() -> pmsb_netsim::RegionSpec {
+    REGION.lock().unwrap().clone()
 }
 
 /// Switch buffer allocation policy for subsequently started experiment

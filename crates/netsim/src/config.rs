@@ -293,7 +293,10 @@ impl Default for HostConfig {
 /// congestion-control response curves (DESIGN.md §11); the hybrid
 /// engine is fluid everywhere except that saturated ports are
 /// calibrated by per-port packet micro-simulations running the real
-/// scheduler and marking scheme.
+/// scheduler and marking scheme; the regional engine embeds a
+/// persistent packet-level region at a selected hot set of switch
+/// ports — real scheduler, marking scheme, shared pool and ACK filter
+/// — inside an otherwise fluid run (DESIGN.md §13).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum EngineKind {
     /// Full packet-level discrete-event simulation (the default).
@@ -303,6 +306,9 @@ pub enum EngineKind {
     Fluid,
     /// Fluid model with packet micro-simulated saturated ports.
     Hybrid,
+    /// Fluid model with a persistent packet region at hot switch ports
+    /// (select them with [`RegionSpec`]).
+    Regional,
 }
 
 impl EngineKind {
@@ -312,7 +318,76 @@ impl EngineKind {
             EngineKind::Packet => "packet",
             EngineKind::Fluid => "fluid",
             EngineKind::Hybrid => "hybrid",
+            EngineKind::Regional => "regional",
         }
+    }
+}
+
+/// Which switch ports the regional engine promotes to packet-level
+/// simulation (ignored by every other [`EngineKind`]).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub enum RegionSpec {
+    /// A deterministic first-pass fluid solve flags the hot set: the
+    /// switch ports whose saturated-time integral is within a factor of
+    /// four of the busiest port's (the default).
+    #[default]
+    Auto,
+    /// Explicit `(switch, port)` list. An empty list degenerates to the
+    /// plain fluid engine (byte-identical results).
+    Ports(Vec<(usize, usize)>),
+}
+
+impl RegionSpec {
+    /// Canonical name, identical to the CLI spelling that parses back to
+    /// this spec (`auto`, `ports=SWITCH:PORT[,SWITCH:PORT...]`).
+    pub fn name(&self) -> String {
+        match self {
+            RegionSpec::Auto => "auto".into(),
+            RegionSpec::Ports(list) => {
+                let pairs: Vec<String> = list.iter().map(|(s, p)| format!("{s}:{p}")).collect();
+                format!("ports={}", pairs.join(","))
+            }
+        }
+    }
+
+    /// Parses a CLI region spec: `auto`, or
+    /// `ports=SWITCH:PORT[,SWITCH:PORT...]`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the bad input and listing the accepted
+    /// variants.
+    pub fn parse(spec: &str) -> Result<Self, String> {
+        let bad =
+            || format!("unknown region spec '{spec}' (auto|ports=SWITCH:PORT[,SWITCH:PORT...])");
+        if spec == "auto" {
+            return Ok(RegionSpec::Auto);
+        }
+        let Some(list) = spec.strip_prefix("ports=") else {
+            return Err(bad());
+        };
+        if list.is_empty() {
+            return Err(format!(
+                "region spec 'ports=' needs at least one SWITCH:PORT pair, got '{spec}' \
+                 (auto|ports=SWITCH:PORT[,SWITCH:PORT...])"
+            ));
+        }
+        let mut ports = Vec::new();
+        for pair in list.split(',') {
+            let parsed = pair
+                .split_once(':')
+                .and_then(|(s, p)| Some((s.parse().ok()?, p.parse().ok()?)));
+            match parsed {
+                Some(sp) => ports.push(sp),
+                None => {
+                    return Err(format!(
+                        "region port '{pair}' is not SWITCH:PORT, got '{spec}' \
+                         (auto|ports=SWITCH:PORT[,SWITCH:PORT...])"
+                    ))
+                }
+            }
+        }
+        Ok(RegionSpec::Ports(ports))
     }
 }
 
@@ -510,6 +585,42 @@ mod tests {
             .build()
             .round_time_nanos()
             .is_none());
+    }
+
+    #[test]
+    fn region_specs_round_trip_through_parse() {
+        for spec in [
+            RegionSpec::Auto,
+            RegionSpec::Ports(vec![(0, 2)]),
+            RegionSpec::Ports(vec![(3, 1), (0, 0), (12, 25)]),
+        ] {
+            assert_eq!(RegionSpec::parse(&spec.name()), Ok(spec));
+        }
+    }
+
+    #[test]
+    fn region_spec_parse_rejects_bad_specs_listing_variants() {
+        for bad in [
+            "",
+            "all",
+            "ports",
+            "ports=",
+            "ports=1",
+            "ports=1:2:3",
+            "ports=x:1",
+        ] {
+            let err = RegionSpec::parse(bad).expect_err(bad);
+            assert!(
+                err.contains("auto|ports=SWITCH:PORT[,SWITCH:PORT...]"),
+                "'{bad}' error must list variants: {err}"
+            );
+        }
+        assert!(RegionSpec::parse("portsy")
+            .unwrap_err()
+            .contains("'portsy'"));
+        assert!(RegionSpec::parse("ports=1:2,zz")
+            .unwrap_err()
+            .contains("'zz'"));
     }
 
     #[test]

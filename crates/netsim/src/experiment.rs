@@ -5,8 +5,8 @@ use pmsb::MarkPoint;
 use pmsb_workload::PatternSpec;
 
 pub use crate::config::{
-    EngineKind, HostConfig, MarkingConfig, SchedulerConfig, SwitchConfig, TransportConfig,
-    TransportKind,
+    EngineKind, HostConfig, MarkingConfig, RegionSpec, SchedulerConfig, SwitchConfig,
+    TransportConfig, TransportKind,
 };
 pub use crate::partition::PartitionStrategy;
 pub use crate::trace::TraceConfig;
@@ -69,14 +69,17 @@ pub struct Experiment {
     /// `None` = mirror the switch marking onto host NICs (the NS-3-style
     /// default); `Some(cfg)` overrides it.
     host_nic_marking: Option<MarkingConfig>,
-    faults: Option<FaultSchedule>,
+    pub(crate) faults: Option<FaultSchedule>,
     /// Streaming workload; `None` = the static `flows` list.
     pub(crate) stream: Option<StreamSpec>,
     /// Worker threads for the run itself (conservative parallel DES,
     /// DESIGN.md §8). 1 = the plain sequential event loop.
-    sim_threads: usize,
+    pub(crate) sim_threads: usize,
     /// Which engine executes the run (DESIGN.md §11).
     pub(crate) engine: EngineKind,
+    /// Which switch ports the regional engine promotes to packet level
+    /// (DESIGN.md §13); ignored by the other engines.
+    pub(crate) region: RegionSpec,
     /// How switches are assigned to LPs when `sim_threads > 1`. The
     /// conservative protocol is byte-identical under any partition, so
     /// this only affects speed, never results.
@@ -108,6 +111,7 @@ impl Experiment {
             stream: None,
             sim_threads: 1,
             engine: EngineKind::Packet,
+            region: RegionSpec::Auto,
             partition: PartitionStrategy::default(),
         }
     }
@@ -141,6 +145,7 @@ impl Experiment {
             stream: None,
             sim_threads: 1,
             engine: EngineKind::Packet,
+            region: RegionSpec::Auto,
             partition: PartitionStrategy::default(),
         }
     }
@@ -284,15 +289,26 @@ impl Experiment {
     }
 
     /// Selects the simulation engine (default [`EngineKind::Packet`]).
-    /// The fluid and hybrid engines replace per-packet simulation with a
-    /// flow-level max-min rate solve (DESIGN.md §11); they support
-    /// static and streaming workloads but not fault schedules or port
-    /// traces, and they run single-threaded (`sim_threads` is ignored —
-    /// the solve is already orders of magnitude faster than the packet
-    /// engine, and ignoring it keeps results byte-identical across
-    /// thread counts by construction).
+    /// The fluid, hybrid, and regional engines replace per-packet
+    /// simulation with a flow-level max-min rate solve (DESIGN.md §11,
+    /// §13); they support static and streaming workloads but not fault
+    /// schedules or port traces, and they run single-threaded
+    /// (`sim_threads` is ignored with a stderr note — the solve is
+    /// already orders of magnitude faster than the packet engine, and
+    /// ignoring it keeps results byte-identical across thread counts by
+    /// construction).
     pub fn engine(mut self, engine: EngineKind) -> Self {
         self.engine = engine;
+        self
+    }
+
+    /// Selects which switch ports the regional engine simulates at
+    /// packet level (default [`RegionSpec::Auto`]: a deterministic
+    /// first-pass fluid solve flags the hot set). Ignored by the other
+    /// engines; an empty explicit port list degenerates to the plain
+    /// fluid engine with byte-identical results.
+    pub fn region(mut self, spec: RegionSpec) -> Self {
+        self.region = spec;
         self
     }
 
@@ -376,37 +392,16 @@ impl Experiment {
         self.flows.extend(flows);
     }
 
-    /// Builds the world and runs until `end_nanos`.
+    /// Builds the world and runs until `end_nanos` on the configured
+    /// engine (the dispatch itself lives behind the [`crate::engine`]
+    /// seam).
     pub fn run_until_nanos(mut self, end_nanos: u64) -> ExperimentResult {
         self.host_cfg.nic_marking = self
             .host_nic_marking
             .take()
             .unwrap_or_else(|| self.switch_cfg.marking.clone());
         self.host_cfg.nic_mark_point = self.switch_cfg.mark_point;
-        if self.engine != EngineKind::Packet {
-            assert!(
-                self.faults.is_none(),
-                "the fluid/hybrid engines do not support fault schedules"
-            );
-            assert!(
-                !self.switch_cfg.buffer.is_shared(),
-                "the fluid/hybrid engines support only the 'static' buffer policy, \
-                 got '{}' (accepted: static|dt:ALPHA|delay[:MICROS] on the packet engine, \
-                 static only on fluid/hybrid)",
-                self.switch_cfg.buffer.name()
-            );
-            return crate::fluid::run(&self, end_nanos);
-        }
-        let num_switches = match self.topology {
-            Topology::Dumbbell { .. } => 1,
-            Topology::LeafSpine { leaves, spines, .. } => leaves + spines,
-            Topology::FatTree { k } => 5 * k * k / 4,
-        };
-        let threads = self.sim_threads.min(num_switches);
-        if threads > 1 {
-            return crate::parallel::run_sharded(&self, threads, end_nanos);
-        }
-        self.build_world().run_until_nanos(end_nanos)
+        crate::engine::run(self, end_nanos)
     }
 
     /// Builds one fully wired, traced, faulted, flow-loaded world from

@@ -30,7 +30,7 @@
 use std::collections::HashMap;
 
 use pmsb::marking::MarkingScheme;
-use pmsb::{MarkPoint, PortView};
+use pmsb::MarkPoint;
 use pmsb_sched::{MultiQueue, SchedItem};
 use pmsb_simcore::{EventQueue, SimTime};
 
@@ -97,35 +97,9 @@ enum MicroEv {
     TxDone,
 }
 
-struct MicroView<'a> {
-    mq: &'a MultiQueue<MicroPkt>,
-    link_rate_bps: u64,
-    sojourn_nanos: Option<u64>,
-}
-
-impl PortView for MicroView<'_> {
-    fn num_queues(&self) -> usize {
-        self.mq.num_queues()
-    }
-    fn port_bytes(&self) -> u64 {
-        self.mq.port_bytes()
-    }
-    fn queue_bytes(&self, q: usize) -> u64 {
-        self.mq.queue_bytes(q)
-    }
-    fn pool_bytes(&self) -> u64 {
-        self.mq.port_bytes()
-    }
-    fn link_rate_bps(&self) -> u64 {
-        self.link_rate_bps
-    }
-    fn packet_sojourn_nanos(&self) -> Option<u64> {
-        self.sojourn_nanos
-    }
-    fn round_time_nanos(&self) -> Option<u64> {
-        self.mq.scheduler().round_time_nanos()
-    }
-}
+/// The micro-sim's marking view: the shared packet-port adapter with
+/// the port as its own pool.
+type MicroView<'a> = crate::world::port::PacketPortView<'a, MicroPkt>;
 
 /// Memoized micro-sim calibrations for one switch-port configuration.
 ///
@@ -291,6 +265,7 @@ fn run_micro(
                         let view = MicroView {
                             mq: &mq,
                             link_rate_bps,
+                            pool_bytes: None,
                             sojourn_nanos: None,
                         };
                         marked = m.should_mark(&view, q).is_mark();
@@ -318,6 +293,7 @@ fn run_micro(
                                 let view = MicroView {
                                     mq: &mq,
                                     link_rate_bps,
+                                    pool_bytes: None,
                                     sojourn_nanos: Some(now.saturating_sub(dp.enqueued_at_nanos)),
                                 };
                                 let marked = m.should_mark(&view, dq).is_mark();
@@ -353,6 +329,7 @@ fn run_micro(
                             let view = MicroView {
                                 mq: &mq,
                                 link_rate_bps,
+                                pool_bytes: None,
                                 sojourn_nanos: Some(now.saturating_sub(dp.enqueued_at_nanos)),
                             };
                             let marked = m.should_mark(&view, dq).is_mark();

@@ -21,6 +21,14 @@
 //!    marking scheme, recovering per-queue effects (PMSB's selective
 //!    blindness, per-queue vs per-port thresholds) the fluid closed
 //!    form cannot see.
+//! 4. **Regional embedding** ([`region`]): the regional engine goes one
+//!    step further and simulates a *hot set* of switch ports at full
+//!    packet level inside the fluid run — real scheduler, real marking
+//!    objects, real shared-buffer pool, real PMSB(e) ACK filter — with
+//!    rate↔packet adapters at the seam (DESIGN.md §13). The hot set is
+//!    named explicitly or flagged by a deterministic first-pass fluid
+//!    scout; an empty hot set degenerates to the plain fluid engine,
+//!    byte for byte.
 //!
 //! Time advances event-to-event over the *distinct* timestamps of flow
 //! arrivals and completions; synchronized workloads (incast epochs,
@@ -32,6 +40,7 @@
 
 mod microsim;
 mod onset;
+mod region;
 mod solver;
 
 use std::collections::HashMap;
@@ -39,7 +48,7 @@ use std::collections::HashMap;
 use pmsb_metrics::fct::{FctRecorder, FlowRecord};
 use pmsb_metrics::QuantileSketch;
 
-use crate::config::{EngineKind, MarkingConfig, SchedulerConfig, TransportKind};
+use crate::config::{EngineKind, MarkingConfig, RegionSpec, SchedulerConfig, TransportKind};
 use crate::experiment::Experiment;
 use crate::packet::{ACK_WIRE_BYTES, MTU_WIRE_BYTES};
 use crate::transport::SenderStats;
@@ -104,6 +113,10 @@ struct FlowState {
     rem_bitns: u64,
     /// Current max-min allocation, bits/second.
     rate_bps: u64,
+    /// The application's offered-rate cap (`u64::MAX` = unlimited), kept
+    /// so regional runs can rebuild the solver cap each solve as
+    /// `min(app, region rate)` without losing the original bound.
+    app_cap_bps: u64,
     /// Current total marking probability along the path, ppm.
     p_ppm: u64,
     /// Current RTT including saturated-link standing queues.
@@ -224,6 +237,8 @@ struct Engine {
     sats: Vec<SatLink>,
     /// Reusable mix-signature buffer for hybrid calibration lookups.
     mix_scratch: Vec<MicroStream>,
+    /// The embedded packet region (regional engine only).
+    region: Option<region::PacketRegion>,
 }
 
 impl Engine {
@@ -279,8 +294,20 @@ impl Engine {
             sat_index: vec![u32::MAX; next as usize],
             sats: Vec::new(),
             mix_scratch: Vec::new(),
+            region: None,
             world,
         }
+    }
+
+    /// Promotes `hot` switch ports to packet level (regional engine).
+    fn install_region(&mut self, e: &Experiment, hot: &[(usize, usize)]) {
+        self.region = Some(region::PacketRegion::new(
+            e,
+            &self.world,
+            &self.switch_base,
+            self.sat_index.len(),
+            hot,
+        ));
     }
 
     /// The data path as real link ids, using the world's route tables so
@@ -326,11 +353,16 @@ impl Engine {
                 .saturating_mul(8)
                 .saturating_mul(1_000_000_000),
             rate_bps: 1,
+            app_cap_bps: desc.app_rate_bps.unwrap_or(u64::MAX),
             p_ppm: 0,
             rtt_nanos: base_rtt,
             mark_acc: 0,
             ignored_acc: 0,
         });
+        if let Some(r) = self.region.as_mut() {
+            let f = self.active.last().expect("just pushed");
+            r.on_inject(id, &f.path, f.queue);
+        }
     }
 
     /// Accrues `dt` nanoseconds of progress and marks on every flow.
@@ -352,7 +384,15 @@ impl Engine {
     }
 
     /// Re-solves rates and marking state after a population change.
-    fn resolve(&mut self) {
+    fn resolve(&mut self, now: u64) {
+        // Regional: the measured per-flow region rates enter the solve as
+        // app-rate caps, so the fluid ledger drains each flow's bytes at
+        // the rate the real hot-port queues grant it.
+        if let Some(r) = self.region.as_ref() {
+            for (f, sf) in self.active.iter().zip(self.scratch.iter_mut()) {
+                sf.cap_bps = f.app_cap_bps.min(r.cap_bps(f.id));
+            }
+        }
         let saturated = self.solver.solve(&mut self.scratch, self.link_rate_bps);
         for (f, sf) in self.active.iter_mut().zip(&self.scratch) {
             f.rate_bps = sf.rate_bps.max(1);
@@ -391,6 +431,16 @@ impl Engine {
         }
         // Standing queue and eligibility per saturated link.
         for s in &mut self.sats {
+            if self.region.as_ref().is_some_and(|r| r.is_hot(s.link)) {
+                // The real port owns this link: marks arrive by
+                // measurement and delay by live occupancy, not closed
+                // form — leaving it in the statistical path would count
+                // its congestion twice.
+                s.marks = false;
+                s.delay_nanos = 0;
+                s.cal = None;
+                continue;
+            }
             let cache = if s.nic {
                 &mut self.nic_onset
             } else {
@@ -440,6 +490,12 @@ impl Engine {
                 if i != u32::MAX {
                     rtt += self.sats[i as usize].delay_nanos;
                 }
+                if let Some(r) = self.region.as_ref() {
+                    // Hot hops add their *measured* standing queue,
+                    // saturated or not (the hot sat entry above was
+                    // zeroed, so this never double-counts).
+                    rtt += r.delay_nanos(*l);
+                }
             }
             f.rtt_nanos = rtt;
             let w_pkts = ((f.rate_bps as u128 * rtt as u128)
@@ -468,6 +524,9 @@ impl Engine {
                     + f.rate_bps % 1_000_000 * NEWRENO_UTIL_PPM / 1_000_000)
                     .max(1);
             }
+            if let Some(r) = self.region.as_mut() {
+                r.set_alloc(f.id, f.rate_bps, f.rtt_nanos, now);
+            }
         }
     }
 
@@ -478,8 +537,75 @@ impl Engine {
     }
 }
 
-/// Runs `e` under the fluid or hybrid engine until `end_nanos`.
+/// Runs `e` under the fluid, hybrid, or regional engine until
+/// `end_nanos`.
 pub(crate) fn run(e: &Experiment, end_nanos: u64) -> RunResults {
+    if e.engine != EngineKind::Regional {
+        return run_pass(e, end_nanos, None, None);
+    }
+    let hot = match &e.region {
+        RegionSpec::Ports(list) => list.clone(),
+        RegionSpec::Auto => scout_hot_ports(e, end_nanos),
+    };
+    if hot.is_empty() {
+        // No hot ports: the regional engine *is* the fluid engine, byte
+        // for byte.
+        return run_pass(e, end_nanos, None, None);
+    }
+    run_pass(e, end_nanos, Some(&hot), None)
+}
+
+/// Auto region selection: a full-horizon fluid scout pass accumulates
+/// each link's saturated dwell time, then the busiest switch ports —
+/// every port within a quarter of the longest dwell, capped at 128 —
+/// become the hot set. Purely integer bookkeeping over a deterministic
+/// pass, so the selection is itself deterministic.
+fn scout_hot_ports(e: &Experiment, end_nanos: u64) -> Vec<(usize, usize)> {
+    let world = e.build_world();
+    let num_hosts = world.num_hosts();
+    let mut switch_base = vec![0u32; world.num_switches()];
+    let mut next = num_hosts as u32;
+    for (s, base) in switch_base.iter_mut().enumerate() {
+        *base = next;
+        next += world.num_ports(s) as u32;
+    }
+    drop(world);
+    let mut dwell: Vec<u128> = Vec::new();
+    run_pass(e, end_nanos, None, Some(&mut dwell));
+    let max = (num_hosts..next as usize)
+        .map(|l| dwell[l])
+        .max()
+        .unwrap_or(0);
+    if max == 0 {
+        return Vec::new();
+    }
+    let mut cand: Vec<(u128, u32)> = (num_hosts..next as usize)
+        .filter(|&l| dwell[l] > 0 && dwell[l] >= max / 4)
+        .map(|l| (dwell[l], l as u32))
+        .collect();
+    cand.sort_by(|a, b| b.0.cmp(&a.0).then(a.1.cmp(&b.1)));
+    cand.truncate(128);
+    let mut hot: Vec<(usize, usize)> = cand
+        .into_iter()
+        .map(|(_, l)| {
+            let s = switch_base.partition_point(|&b| b <= l) - 1;
+            (s, (l - switch_base[s]) as usize)
+        })
+        .collect();
+    hot.sort_unstable();
+    hot
+}
+
+/// One fluid pass: the event loop shared by all three flow-level
+/// engines. `hot` embeds a packet region (regional engine); `scout`
+/// accumulates per-link saturated dwell (nanoseconds, indexed by link
+/// id) for auto region selection.
+fn run_pass(
+    e: &Experiment,
+    end_nanos: u64,
+    hot: Option<&[(usize, usize)]>,
+    mut scout: Option<&mut Vec<u128>>,
+) -> RunResults {
     let streaming = e.stream.is_some();
     let record_exact = e.stream.as_ref().map(|s| s.record_exact).unwrap_or(true);
     let feed_iter: Box<dyn Iterator<Item = (u64, FlowDesc)>> = match &e.stream {
@@ -510,6 +636,13 @@ pub(crate) fn run(e: &Experiment, end_nanos: u64) -> RunResults {
     };
     let mut feed = FlowFeed::new(feed_iter);
     let mut eng = Engine::new(e);
+    if let Some(h) = hot {
+        eng.install_region(e, h);
+    }
+    if let Some(sc) = scout.as_deref_mut() {
+        sc.clear();
+        sc.resize(eng.sat_index.len(), 0);
+    }
 
     let mut fct = FctRecorder::new();
     let mut sketch = QuantileSketch::new();
@@ -549,9 +682,26 @@ pub(crate) fn run(e: &Experiment, end_nanos: u64) -> RunResults {
         if next_completion < target {
             target = next_completion.max(t);
         }
+        if let Some(r) = eng.region.as_mut() {
+            // A region window roll can change a solver cap, so the clock
+            // may not step past the earliest one.
+            let at = r.next_rate_event();
+            if at < target {
+                target = at.max(t);
+            }
+        }
         if target > t {
-            eng.advance(target - t);
+            let dt = target - t;
+            eng.advance(dt);
+            if let Some(sc) = scout.as_deref_mut() {
+                for s in &eng.sats {
+                    sc[s.link as usize] += dt as u128;
+                }
+            }
             t = target;
+        }
+        if let Some(r) = eng.region.as_mut() {
+            r.advance_to(t);
         }
         if t >= end_nanos {
             break;
@@ -572,7 +722,14 @@ pub(crate) fn run(e: &Experiment, end_nanos: u64) -> RunResults {
             done.sort_unstable();
             for &(id, i) in &done {
                 let f = &eng.active[i];
-                let (seen, ignored) = eng.marks_of(f);
+                let (mut seen, mut ignored) = eng.marks_of(f);
+                if let Some(r) = eng.region.as_mut() {
+                    // Measured hot-port marks ride on top of the
+                    // statistical accrual from the rest of the path.
+                    let (rs, ri) = r.remove_flow(id);
+                    seen += rs;
+                    ignored += ri;
+                }
                 marks_total += seen;
                 deliveries += f.size_bytes.div_ceil(eng.mss.max(1));
                 let end = t + f.rtt_nanos;
@@ -622,8 +779,13 @@ pub(crate) fn run(e: &Experiment, end_nanos: u64) -> RunResults {
         }
         slab_high_water = slab_high_water.max(eng.active.len() as u64);
 
+        // Region window rolls since the last iteration changed caps.
+        if eng.region.as_mut().is_some_and(|r| r.take_rates_changed()) {
+            changed = true;
+        }
+
         if (changed || dirty) && t >= next_resolve {
-            eng.resolve();
+            eng.resolve(t);
             dirty = false;
             next_resolve = t + RESOLVE_QUANTUM_NANOS;
             next_completion = u64::MAX;
@@ -639,7 +801,12 @@ pub(crate) fn run(e: &Experiment, end_nanos: u64) -> RunResults {
     // Flows still live at the horizon: their marks so far belong in the
     // aggregates, exactly like the packet harvest of live senders.
     for f in &eng.active {
-        let (seen, ignored) = eng.marks_of(f);
+        let (mut seen, mut ignored) = eng.marks_of(f);
+        if let Some(r) = eng.region.as_mut() {
+            let (rs, ri) = r.remove_flow(f.id);
+            seen += rs;
+            ignored += ri;
+        }
         marks_total += seen;
         if streaming {
             agg.marks_seen += seen;
@@ -651,12 +818,24 @@ pub(crate) fn run(e: &Experiment, end_nanos: u64) -> RunResults {
         }
     }
 
+    // Fold the region's own counters in: ghost drops at hot ports, marks
+    // on ghosts of already-departed flows, and pool contention.
+    let mut drops = 0u64;
+    let mut shared_buffer = None;
+    if let Some(r) = eng.region.take() {
+        let s = r.finish();
+        drops = s.drops;
+        marks_total += s.orphan_marks;
+        events += s.events;
+        shared_buffer = s.shared;
+    }
+
     RunResults {
         fct,
         rtt_nanos_by_flow: HashMap::new(),
         port_traces: HashMap::new(),
         sender_stats,
-        drops: 0,
+        drops,
         marks: marks_total,
         end_nanos,
         events,
@@ -674,8 +853,9 @@ pub(crate) fn run(e: &Experiment, end_nanos: u64) -> RunResults {
         } else {
             None
         },
-        // Fluid/hybrid runs reject shared buffer policies up front.
-        shared_buffer: None,
+        // Fluid/hybrid runs reject shared buffer policies up front; on a
+        // regional run the hot-port pools report their contention.
+        shared_buffer,
     }
 }
 
@@ -763,6 +943,117 @@ mod tests {
         assert_eq!(fluid.fct.len(), 4);
         assert_eq!(hybrid.fct.len(), 4);
         assert!(hybrid.marks > 0);
+    }
+
+    #[test]
+    fn regional_empty_hot_set_is_fluid_byte_for_byte() {
+        use crate::config::RegionSpec;
+        let run = |engine, spec: Option<RegionSpec>| {
+            let mut e = Experiment::dumbbell(4, 4).engine(engine);
+            if let Some(s) = spec {
+                e = e.region(s);
+            }
+            for i in 0..4 {
+                e.add_flow(FlowDesc::bulk(i, 4, i, 1_000_000));
+            }
+            let res = e.run_for_millis(50);
+            (
+                res.fct
+                    .records()
+                    .iter()
+                    .map(|r| (r.flow_id, r.end_nanos))
+                    .collect::<Vec<_>>(),
+                res.marks,
+                res.drops,
+            )
+        };
+        let fluid = run(EngineKind::Fluid, None);
+        let regional = run(EngineKind::Regional, Some(RegionSpec::Ports(Vec::new())));
+        assert_eq!(fluid, regional);
+    }
+
+    #[test]
+    fn regional_hot_port_measures_marks_and_shifts_fcts() {
+        use crate::config::RegionSpec;
+        let run = |engine, spec| {
+            let mut e = Experiment::dumbbell(4, 4)
+                .marking(MarkingConfig::Pmsb {
+                    port_threshold_pkts: 12,
+                })
+                .engine(engine)
+                .region(spec);
+            for i in 0..4 {
+                e.add_flow(FlowDesc::bulk(i, 4, i, 2_000_000));
+            }
+            e.run_for_millis(100)
+        };
+        // The dumbbell bottleneck is switch 0's port facing the receiver
+        // (host index 4 = port 4).
+        let res = run(EngineKind::Regional, RegionSpec::Ports(vec![(0, 4)]));
+        assert_eq!(res.fct.len(), 4, "all flows must still complete");
+        assert!(res.marks > 0, "the hot port must mark ghosts");
+        let fluid = run(EngineKind::Fluid, RegionSpec::Auto);
+        let f_end: Vec<u64> = fluid.fct.records().iter().map(|r| r.end_nanos).collect();
+        let r_end: Vec<u64> = res.fct.records().iter().map(|r| r.end_nanos).collect();
+        assert_ne!(
+            f_end, r_end,
+            "the measured region must perturb completion times"
+        );
+    }
+
+    #[test]
+    fn regional_auto_selects_the_bottleneck() {
+        use crate::config::RegionSpec;
+        let hot = scout_hot_ports(
+            &{
+                let mut e = Experiment::dumbbell(4, 4).engine(EngineKind::Regional);
+                for i in 0..4 {
+                    e.add_flow(FlowDesc::bulk(i, 4, i, 2_000_000));
+                }
+                e
+            },
+            100_000_000,
+        );
+        assert!(
+            hot.contains(&(0, 4)),
+            "the dumbbell bottleneck port must be hot, got {hot:?}"
+        );
+        // And the auto run completes end to end.
+        let mut e = Experiment::dumbbell(4, 4)
+            .engine(EngineKind::Regional)
+            .region(RegionSpec::Auto);
+        for i in 0..4 {
+            e.add_flow(FlowDesc::bulk(i, 4, i, 2_000_000));
+        }
+        let res = e.run_for_millis(100);
+        assert_eq!(res.fct.len(), 4);
+    }
+
+    #[test]
+    fn regional_run_is_deterministic() {
+        use crate::config::RegionSpec;
+        let run = || {
+            let mut e = Experiment::dumbbell(4, 4)
+                .engine(EngineKind::Regional)
+                .region(RegionSpec::Auto);
+            for i in 0..4 {
+                e.add_flow(
+                    FlowDesc::bulk(i, 4, i, 500_000 + i as u64 * 10_000)
+                        .starting_at(i as u64 * 50_000),
+                );
+            }
+            let res = e.run_for_millis(50);
+            (
+                res.fct
+                    .records()
+                    .iter()
+                    .map(|r| (r.flow_id, r.end_nanos))
+                    .collect::<Vec<_>>(),
+                res.marks,
+                res.events,
+            )
+        };
+        assert_eq!(run(), run());
     }
 
     #[test]

@@ -40,6 +40,7 @@
 
 pub mod buffer;
 pub mod config;
+mod engine;
 pub mod experiment;
 pub mod fluid;
 pub mod packet;
@@ -53,7 +54,8 @@ pub mod world;
 
 pub use buffer::BufferPolicy;
 pub use config::{
-    EngineKind, HostConfig, MarkingConfig, SchedulerConfig, SwitchConfig, TransportConfig,
+    EngineKind, HostConfig, MarkingConfig, RegionSpec, SchedulerConfig, SwitchConfig,
+    TransportConfig,
 };
 pub use experiment::{Experiment, ExperimentResult, FlowDesc};
 pub use packet::{Packet, PacketKind};

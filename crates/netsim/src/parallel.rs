@@ -67,7 +67,7 @@ pub(crate) fn run_sharded(exp: &Experiment, k: usize, end_nanos: u64) -> RunResu
         PartitionStrategy::Traffic => traffic_partition(&worlds[0], exp, k),
     };
     let direct = worlds[0].lp_delay_matrix(&owner, k);
-    if direct.iter().any(|&d| d == 0) {
+    if direct.contains(&0) {
         return worlds.swap_remove(0).run_until_nanos(end_nanos);
     }
     let lookahead = LookaheadMatrix::from_direct(k, direct);

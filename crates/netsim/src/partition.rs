@@ -114,7 +114,7 @@ fn traffic_graph(world: &World, exp: &Experiment) -> SwitchGraph {
         if src == dst {
             return;
         }
-        let bytes = bytes.min(LONG_LIVED_WEIGHT_BYTES).max(1);
+        let bytes = bytes.clamp(1, LONG_LIVED_WEIGHT_BYTES);
         let mut sw = world.host_switch(src);
         g.node[sw] += bytes;
         g.node[world.host_switch(dst)] += bytes;
@@ -242,9 +242,7 @@ pub(crate) fn traffic_partition(world: &World, exp: &Experiment, k: usize) -> Ve
             );
         }
         remaining_weight -= grown;
-        for c in &mut conn {
-            *c = 0;
-        }
+        conn.fill(0);
     }
     owner
 }
@@ -310,7 +308,7 @@ mod tests {
                 // is implied: one owner entry per switch).
                 for lp in 0..k as u32 {
                     assert!(
-                        owner.iter().any(|&o| o == lp),
+                        owner.contains(&lp),
                         "trial {trial}: LP {lp}/{k} owns nothing: {owner:?}"
                     );
                 }

@@ -10,7 +10,7 @@ use pmsb_simcore::{EventQueue, SimDuration, SimTime};
 use crate::packet::{Packet, PacketKind};
 use crate::transport::{Receiver as _, Sender as _, SenderOutput, TransportReceiver};
 
-use super::switch::SwitchPortView;
+use super::port::PacketPortView;
 use super::{Event, Fate, LinkAttach, NodeRef, SlotRef, World};
 
 /// An endpoint: one NIC queue towards its access switch, plus optional
@@ -130,10 +130,10 @@ impl World {
         if h.nic_mark_point == MarkPoint::Enqueue && pkt.ect && !pkt.ce {
             if let Some(marker) = h.nic_marker.as_mut() {
                 let rate = h.link.map(|l| l.rate_bps).unwrap_or(10_000_000_000);
-                let view = SwitchPortView {
+                let view = PacketPortView {
                     mq: &h.nic,
                     link_rate_bps: rate,
-                    pool_bytes: h.nic.port_bytes(),
+                    pool_bytes: None,
                     sojourn_nanos: None,
                 };
                 if marker.should_mark(&view, 0).is_mark() {
@@ -168,10 +168,10 @@ impl World {
         if h.nic_mark_point == MarkPoint::Dequeue && pkt.ect && !pkt.ce {
             if let Some(marker) = h.nic_marker.as_mut() {
                 let rate = h.link.map(|l| l.rate_bps).unwrap_or(10_000_000_000);
-                let view = SwitchPortView {
+                let view = PacketPortView {
                     mq: &h.nic,
                     link_rate_bps: rate,
-                    pool_bytes: h.nic.port_bytes(),
+                    pool_bytes: None,
                     sojourn_nanos: Some(now.saturating_sub(pkt.enqueued_at_nanos)),
                 };
                 if marker.should_mark(&view, 0).is_mark() {

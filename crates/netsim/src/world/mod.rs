@@ -12,123 +12,42 @@
 //! * ACKs flow back and drive the senders' congestion control.
 //!
 //! The module splits by layer: this file holds the network structure
-//! (wiring, fault/trace installation, sharding, run lifecycle),
-//! [`host`](self) holds the endpoint/NIC layer, `switch` the port layer,
-//! and `events` the event pump. The transport the endpoints run is
-//! selected by [`TransportConfig::kind`] — see [`crate::transport`].
+//! (wiring, sharding, run lifecycle), `types` the plain data (flow
+//! descriptors, the transport slab, run results), `faults` the
+//! fault-injection runtime, `port` the embeddable marking-view adapter
+//! shared with the flow-level engines, `host` the endpoint/NIC layer,
+//! `switch` the port layer, and `events` the event pump. The transport
+//! the endpoints run is selected by [`TransportConfig::kind`] — see
+//! [`crate::transport`].
 
 mod events;
+mod faults;
 mod host;
+pub(crate) mod port;
 mod switch;
+mod types;
 
 pub use events::Event;
+pub use types::{FlowDesc, NodeRef, RunResults, StreamStats};
+
+pub(crate) use types::add_sender_stats;
 
 use std::collections::HashMap;
 
-use pmsb_faults::{FaultEvent, FaultKind, FaultSchedule, FaultTarget};
 use pmsb_metrics::fct::FctRecorder;
 use pmsb_metrics::QuantileSketch;
 use pmsb_sched::{Fifo, MultiQueue};
-use pmsb_simcore::rng::SimRng;
 use pmsb_simcore::{EventQueue, LpMessage, SimTime, Simulation, TieKey};
 
 use crate::config::{HostConfig, SwitchConfig, TransportConfig};
 use crate::packet::Packet;
-use crate::trace::{FaultReport, PortTrace, TraceConfig};
-use crate::transport::{Sender as _, SenderStats, TransportReceiver, TransportSender};
+use crate::trace::{PortTrace, TraceConfig};
+use crate::transport::{Sender as _, SenderStats, TransportSender};
 
+use faults::{fault_desc, Fate, FaultRuntime, LinkEnd};
 use host::Host;
 use switch::{Switch, SwitchPort};
-
-/// A node address: hosts and switches live in separate index spaces.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-pub enum NodeRef {
-    /// Host by index.
-    Host(usize),
-    /// Switch by index.
-    Switch(usize),
-}
-
-/// One end of a point-to-point link.
-#[derive(Debug, Clone, Copy)]
-struct LinkAttach {
-    peer: NodeRef,
-    /// Port index on the peer that faces back at this end (0 when the
-    /// peer is a host). Lets fault injection resolve one cable to both of
-    /// its directed ends.
-    peer_port: usize,
-    rate_bps: u64,
-    delay_nanos: u64,
-}
-
-/// One directed end of a cable, for fault resolution.
-#[derive(Debug, Clone, Copy)]
-enum LinkEnd {
-    /// A host's NIC-side end.
-    Host(usize),
-    /// `(switch, port)` end.
-    SwitchPort(usize, usize),
-}
-
-/// What the injector decided for one serialized packet.
-#[derive(Debug, Clone, Copy)]
-enum Fate {
-    Clean,
-    Lost,
-    Corrupted,
-}
-
-/// Live fault state of one directed link end.
-struct LinkFaultState {
-    up: bool,
-    /// Degraded rate override (`None` = the wired rate).
-    rate_bps: Option<u64>,
-    loss_p: f64,
-    corrupt_p: f64,
-    /// This end's private random stream; only consumed while a loss or
-    /// corruption probability is active, so inactive links draw nothing.
-    rng: SimRng,
-}
-
-impl LinkFaultState {
-    fn new(rng: SimRng) -> Self {
-        LinkFaultState {
-            up: true,
-            rate_bps: None,
-            loss_p: 0.0,
-            corrupt_p: 0.0,
-            rng,
-        }
-    }
-
-    /// One admission decision per serialized packet.
-    fn fate(&mut self) -> Fate {
-        if self.loss_p > 0.0 && self.rng.uniform() < self.loss_p {
-            return Fate::Lost;
-        }
-        if self.corrupt_p > 0.0 && self.rng.uniform() < self.corrupt_p {
-            return Fate::Corrupted;
-        }
-        Fate::Clean
-    }
-}
-
-/// Runtime the world carries only when a [`FaultSchedule`] is attached:
-/// the sorted event list, per-directed-link state, and the report.
-/// Fault-free runs hold `None` and pay a single branch per packet.
-struct FaultRuntime {
-    /// Schedule events sorted by time; applied in order by `next`.
-    events: Vec<FaultEvent>,
-    next: usize,
-    hosts: Vec<LinkFaultState>,
-    /// `switches[s][p]` = state of switch `s` port `p`'s outgoing side.
-    switches: Vec<Vec<LinkFaultState>>,
-    report: FaultReport,
-}
-
-/// Salt namespace separating switch-port fault streams from host
-/// streams (hosts use their index directly).
-const SWITCH_FAULT_SALT: u64 = 1 << 40;
+use types::{FlowSlot, LinkAttach, SlotRef, StreamRuntime, SLOT_NONE, SLOT_RETIRED};
 
 /// Sharding state carried only by a world participating in a parallel
 /// run (DESIGN.md §8): which logical process this instance is, which LP
@@ -158,208 +77,6 @@ pub(crate) struct Shard {
     /// with the sender-side tie key (its position in the sequential
     /// push order, replayed on insertion at the destination LP).
     outbox: Vec<LpMessage<(TieKey, Event)>>,
-}
-
-/// One line of the fault timeline log.
-fn fault_desc(ev: &FaultEvent) -> String {
-    let target = match ev.target {
-        FaultTarget::HostLink(h) => format!("host:{h}"),
-        FaultTarget::SwitchLink { switch, port } => format!("switch:{switch}:{port}"),
-        FaultTarget::Switch(s) => format!("switch:{s}"),
-    };
-    match ev.kind {
-        FaultKind::LinkDown => format!("link-down {target}"),
-        FaultKind::LinkUp => format!("link-up {target}"),
-        FaultKind::Rate(Some(bps)) => format!("rate {target} {bps}"),
-        FaultKind::Rate(None) => format!("rate {target} restore"),
-        FaultKind::Loss(p) => format!("loss {target} {p}"),
-        FaultKind::Corrupt(p) => format!("corrupt {target} {p}"),
-        FaultKind::BufferBytes(b) => format!("buffer {target} {b}"),
-    }
-}
-
-/// A flow to inject at a given time.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub struct FlowDesc {
-    /// Sending host index.
-    pub src_host: usize,
-    /// Receiving host index.
-    pub dst_host: usize,
-    /// Service class (mapped to `service % num_queues` at each port).
-    pub service: usize,
-    /// Bytes to transfer; `u64::MAX` = long-lived flow.
-    pub size_bytes: u64,
-    /// Application rate cap in bits/second (`None` = unlimited).
-    pub app_rate_bps: Option<u64>,
-    /// Absolute start time in nanoseconds.
-    pub start_nanos: u64,
-}
-
-impl FlowDesc {
-    /// A bulk transfer of `size_bytes` starting at t=0.
-    pub fn bulk(src_host: usize, dst_host: usize, service: usize, size_bytes: u64) -> Self {
-        FlowDesc {
-            src_host,
-            dst_host,
-            service,
-            size_bytes,
-            app_rate_bps: None,
-            start_nanos: 0,
-        }
-    }
-
-    /// A long-lived (never-ending) flow starting at t=0.
-    pub fn long_lived(src_host: usize, dst_host: usize, service: usize) -> Self {
-        FlowDesc::bulk(src_host, dst_host, service, u64::MAX)
-    }
-
-    /// Caps the application's offered rate.
-    pub fn with_app_rate_bps(mut self, rate: u64) -> Self {
-        self.app_rate_bps = Some(rate);
-        self
-    }
-
-    /// Sets the start time.
-    pub fn starting_at(mut self, nanos: u64) -> Self {
-        self.start_nanos = nanos;
-        self
-    }
-}
-
-/// Sentinel in [`World::flow_slot`]: the flow has no slab slot yet.
-const SLOT_NONE: u32 = u32::MAX;
-/// Sentinel in [`World::flow_slot`]: the flow's slot was reclaimed.
-const SLOT_RETIRED: u32 = u32::MAX - 1;
-
-/// One slab slot of per-flow transport state. In static mode every
-/// registered flow holds its slot (slot index == flow id) for the whole
-/// run; in streaming mode slots are allocated at flow arrival and
-/// recycled through [`World::free_slots`] once both halves are done, so
-/// resident memory is bounded by the *concurrent* flow population, not
-/// the total flow count.
-struct FlowSlot {
-    sender: Option<TransportSender>,
-    receiver: Option<TransportReceiver>,
-    /// Fire time of the earliest outstanding [`Event::Rto`] for this flow
-    /// (`u64::MAX` when none). Senders re-arm the retransmission timer on
-    /// every ACK; instead of scheduling one event per re-arm, at most one
-    /// timer event stays in flight per flow and a stale fire re-arms at
-    /// the sender's live deadline
-    /// ([`Sender::rto_deadline`](crate::transport::Sender::rto_deadline)).
-    rto_next_fire: u64,
-    /// Destination host and service, kept here so streaming teardown can
-    /// address the Fin without a getter on the transport.
-    dst_host: u32,
-    service: u16,
-}
-
-impl FlowSlot {
-    fn empty() -> Self {
-        FlowSlot {
-            sender: None,
-            receiver: None,
-            rto_next_fire: u64::MAX,
-            dst_host: 0,
-            service: 0,
-        }
-    }
-}
-
-/// Where a flow id currently points in the slab.
-enum SlotRef {
-    /// Index into [`World::slots`].
-    Live(usize),
-    /// Both halves finished and the slot was recycled.
-    Retired,
-    /// Never seen (streaming: not yet arrived here).
-    Absent,
-}
-
-/// Runtime carried only by a world in streaming mode: the lazy flow
-/// source plus the bounded-memory result aggregates that replace the
-/// per-flow maps of a static run.
-struct StreamRuntime {
-    /// Flows in nondecreasing `start_nanos` order, pulled one at a time.
-    source: Box<dyn Iterator<Item = FlowDesc> + Send>,
-    /// The flow pulled from the source whose arrival event is in flight.
-    next_desc: Option<FlowDesc>,
-    /// Next global flow id; every LP of a sharded run replays the same
-    /// arrival chain, so ids agree without coordination.
-    next_flow_id: u64,
-    /// Also record every completed flow in the exhaustive [`FctRecorder`]
-    /// (for differential sketch-vs-exact validation on small runs).
-    record_exact: bool,
-    injected: u64,
-    completed: u64,
-    bytes_completed: u64,
-    agg: SenderStats,
-    sketch: QuantileSketch,
-}
-
-/// Bounded-size results of a streaming run (see [`World::set_stream`]).
-#[derive(Debug, Clone)]
-pub struct StreamStats {
-    /// Mergeable FCT quantile sketch over every completed flow.
-    pub sketch: QuantileSketch,
-    /// Flows whose sender was instantiated (started) during the run.
-    pub injected: u64,
-    /// Flows fully acknowledged before the end of the run.
-    pub completed: u64,
-    /// Payload bytes of completed flows.
-    pub bytes_completed: u64,
-    /// Sender counters summed over all flows (completed and live).
-    pub agg_sender: SenderStats,
-    /// Peak live slab population — the memory high-water mark in flow
-    /// slots. On a sharded run this is the sum of per-LP peaks (an upper
-    /// bound; exact for sequential runs).
-    pub slab_high_water: u64,
-}
-
-/// Folds one sender's counters into an aggregate.
-pub(crate) fn add_sender_stats(agg: &mut SenderStats, s: &SenderStats) {
-    agg.marks_seen += s.marks_seen;
-    agg.marks_ignored += s.marks_ignored;
-    agg.retransmissions += s.retransmissions;
-    agg.timeouts += s.timeouts;
-    agg.loss_episodes += s.loss_episodes;
-    agg.recovery_nanos += s.recovery_nanos;
-}
-
-/// Results harvested from a finished run.
-#[derive(Debug)]
-pub struct RunResults {
-    /// Completed flows.
-    pub fct: FctRecorder,
-    /// Per-flow RTT samples (only when RTT tracing was on).
-    pub rtt_nanos_by_flow: HashMap<u64, Vec<u64>>,
-    /// Traces of watched ports, keyed by `(switch, port)`.
-    pub port_traces: HashMap<(usize, usize), PortTrace>,
-    /// Per-flow sender counters.
-    pub sender_stats: HashMap<u64, SenderStats>,
-    /// Packets tail-dropped anywhere in the network.
-    pub drops: u64,
-    /// CE marks applied by switches.
-    pub marks: u64,
-    /// Simulated time at the end of the run, nanoseconds.
-    pub end_nanos: u64,
-    /// Total events scheduled on the FEL over the run (simulator work,
-    /// the denominator for events/sec benchmarks).
-    pub events: u64,
-    /// Packets delivered to a node (host or switch hop) over the run.
-    pub deliveries: u64,
-    /// What fault injection did; `None` when no schedule was attached
-    /// (`drops` stays congestive buffer drops only — injected losses are
-    /// counted here).
-    pub faults: Option<FaultReport>,
-    /// Streaming-mode aggregates; `None` on a static run. When present,
-    /// the per-flow maps above stay empty (that is the point: bounded
-    /// memory) and `fct` holds records only if exact recording was on.
-    pub stream: Option<StreamStats>,
-    /// Shared-buffer pool contention counters, folded over every switch
-    /// running a shared policy; `None` under the default
-    /// [`crate::buffer::BufferPolicy::Static`] (no pools in play). Pool
-    /// rejections are already included in `drops`.
-    pub shared_buffer: Option<pmsb_metrics::contention::ContentionSummary>,
 }
 
 /// The simulated network. Build with the `wire_*` methods (or the
@@ -600,94 +317,6 @@ impl World {
             ));
         }
         self.trace = trace;
-    }
-
-    /// Attaches a fault schedule (call after wiring, before the run).
-    ///
-    /// Every directed link end gets its own random stream forked from the
-    /// schedule's seed, so fault randomness is deterministic and fully
-    /// independent of the workload RNG. Without a schedule the run takes
-    /// no fault branches beyond a `None` check per packet.
-    ///
-    /// # Panics
-    ///
-    /// Panics if an event targets a host, switch, or port that does not
-    /// exist, or a host that is not wired.
-    pub fn set_faults(&mut self, schedule: FaultSchedule) {
-        let events = schedule.sorted_events();
-        for ev in &events {
-            self.validate_fault_target(ev);
-        }
-        let hosts = (0..self.hosts.len())
-            .map(|h| LinkFaultState::new(schedule.stream(h as u64)))
-            .collect();
-        let switches = self
-            .switches
-            .iter()
-            .enumerate()
-            .map(|(s, sw)| {
-                (0..sw.ports.len())
-                    .map(|p| {
-                        let salt = SWITCH_FAULT_SALT | ((s as u64) << 20) | p as u64;
-                        LinkFaultState::new(schedule.stream(salt))
-                    })
-                    .collect()
-            })
-            .collect();
-        self.faults = Some(Box::new(FaultRuntime {
-            events,
-            next: 0,
-            hosts,
-            switches,
-            report: FaultReport::default(),
-        }));
-    }
-
-    fn validate_fault_target(&self, ev: &FaultEvent) {
-        match ev.target {
-            FaultTarget::HostLink(h) => {
-                assert!(h < self.hosts.len(), "fault targets unknown host {h}");
-                assert!(
-                    self.hosts[h].link.is_some(),
-                    "fault targets unwired host {h}"
-                );
-            }
-            FaultTarget::SwitchLink { switch, port } => {
-                assert!(
-                    switch < self.switches.len(),
-                    "fault targets unknown switch {switch}"
-                );
-                assert!(
-                    port < self.switches[switch].ports.len(),
-                    "fault targets unknown port {port} on switch {switch}"
-                );
-            }
-            FaultTarget::Switch(s) => {
-                assert!(s < self.switches.len(), "fault targets unknown switch {s}");
-            }
-        }
-    }
-
-    /// Both directed ends of the cable a link-scoped fault names.
-    fn link_ends(&self, target: FaultTarget) -> [LinkEnd; 2] {
-        match target {
-            FaultTarget::HostLink(h) => {
-                let link = self.hosts[h].link.expect("validated: host is wired");
-                let NodeRef::Switch(s) = link.peer else {
-                    unreachable!("hosts attach to switches");
-                };
-                [LinkEnd::Host(h), LinkEnd::SwitchPort(s, link.peer_port)]
-            }
-            FaultTarget::SwitchLink { switch, port } => {
-                let link = self.switches[switch].ports[port].link;
-                let far = match link.peer {
-                    NodeRef::Host(h) => LinkEnd::Host(h),
-                    NodeRef::Switch(t) => LinkEnd::SwitchPort(t, link.peer_port),
-                };
-                [LinkEnd::SwitchPort(switch, port), far]
-            }
-            FaultTarget::Switch(_) => unreachable!("switch-wide faults have no link ends"),
-        }
     }
 
     // ------------------------------------------------------------------

@@ -1,0 +1,46 @@
+//! The embeddable packet-port view: one adapter exposing any
+//! `MultiQueue`-backed port as a [`PortView`] for the marking schemes.
+//!
+//! Three packet runtimes share it: the full switch layer
+//! ([`super::switch`]) and host NICs ([`super::host`]), the per-port
+//! calibration micro-sims ([`crate::fluid`]), and the embeddable
+//! packet region of the regional engine (DESIGN.md §13). The point of
+//! the split is that what a marking scheme *sees* at a port is defined
+//! once, whichever driver owns the queues.
+
+use pmsb::PortView;
+use pmsb_sched::{MultiQueue, SchedItem};
+
+/// Adapter exposing a multi-queue port's state as a [`PortView`].
+pub(crate) struct PacketPortView<'a, T: SchedItem> {
+    pub(crate) mq: &'a MultiQueue<T>,
+    pub(crate) link_rate_bps: u64,
+    /// Pool occupancy the marking scheme should see; `None` = the port
+    /// is its own pool (occupancy read live from the queues).
+    pub(crate) pool_bytes: Option<u64>,
+    pub(crate) sojourn_nanos: Option<u64>,
+}
+
+impl<T: SchedItem> PortView for PacketPortView<'_, T> {
+    fn num_queues(&self) -> usize {
+        self.mq.num_queues()
+    }
+    fn port_bytes(&self) -> u64 {
+        self.mq.port_bytes()
+    }
+    fn queue_bytes(&self, q: usize) -> u64 {
+        self.mq.queue_bytes(q)
+    }
+    fn pool_bytes(&self) -> u64 {
+        self.pool_bytes.unwrap_or_else(|| self.mq.port_bytes())
+    }
+    fn link_rate_bps(&self) -> u64 {
+        self.link_rate_bps
+    }
+    fn packet_sojourn_nanos(&self) -> Option<u64> {
+        self.sojourn_nanos
+    }
+    fn round_time_nanos(&self) -> Option<u64> {
+        self.mq.scheduler().round_time_nanos()
+    }
+}

@@ -2,7 +2,7 @@
 //! ECMP forwarding, and trace sampling.
 
 use pmsb::marking::MarkingScheme;
-use pmsb::{MarkPoint, PortView};
+use pmsb::MarkPoint;
 use pmsb_sched::MultiQueue;
 use pmsb_simcore::{EventQueue, SimDuration, SimTime};
 
@@ -32,38 +32,9 @@ pub(super) struct Switch {
     pub(super) routes: RouteTable,
 }
 
-/// Adapter exposing a switch port's state as a [`PortView`] for the
-/// marking schemes.
-pub(super) struct SwitchPortView<'a> {
-    pub(super) mq: &'a MultiQueue<Packet>,
-    pub(super) link_rate_bps: u64,
-    pub(super) pool_bytes: u64,
-    pub(super) sojourn_nanos: Option<u64>,
-}
-
-impl PortView for SwitchPortView<'_> {
-    fn num_queues(&self) -> usize {
-        self.mq.num_queues()
-    }
-    fn port_bytes(&self) -> u64 {
-        self.mq.port_bytes()
-    }
-    fn queue_bytes(&self, q: usize) -> u64 {
-        self.mq.queue_bytes(q)
-    }
-    fn pool_bytes(&self) -> u64 {
-        self.pool_bytes
-    }
-    fn link_rate_bps(&self) -> u64 {
-        self.link_rate_bps
-    }
-    fn packet_sojourn_nanos(&self) -> Option<u64> {
-        self.sojourn_nanos
-    }
-    fn round_time_nanos(&self) -> Option<u64> {
-        self.mq.scheduler().round_time_nanos()
-    }
-}
+/// A switch port's marking-scheme view: the shared
+/// [`PacketPortView`](super::port::PacketPortView) over real packets.
+pub(super) type SwitchPortView<'a> = super::port::PacketPortView<'a, Packet>;
 
 impl World {
     pub(super) fn try_transmit_switch(
@@ -96,11 +67,7 @@ impl World {
                 let view = SwitchPortView {
                     mq: &p.mq,
                     link_rate_bps: p.link.rate_bps,
-                    pool_bytes: if pool.is_shared() {
-                        pool.used_bytes()
-                    } else {
-                        p.mq.port_bytes()
-                    },
+                    pool_bytes: pool.is_shared().then(|| pool.used_bytes()),
                     sojourn_nanos: Some(now.saturating_sub(pkt.enqueued_at_nanos)),
                 };
                 if marker.should_mark(&view, q).is_mark() {
@@ -207,7 +174,7 @@ impl World {
                 let view = SwitchPortView {
                     mq: &p.mq,
                     link_rate_bps: p.link.rate_bps,
-                    pool_bytes: pool_occ,
+                    pool_bytes: Some(pool_occ),
                     sojourn_nanos: None,
                 };
                 if marker.should_mark(&view, q).is_mark() {

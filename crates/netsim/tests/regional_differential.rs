@@ -1,0 +1,174 @@
+//! Differential tests for the regional engine (packet fidelity on a hot
+//! set of switch ports, fluid everywhere else — DESIGN.md §13) against
+//! its two limits:
+//!
+//! - **Empty hot set → fluid, byte for byte.** With no hot ports the
+//!   regional run must degenerate to the plain fluid engine — same FCT
+//!   records, same mark and drop counters — because no ghost packets are
+//!   ever injected and no solver cap is ever applied. This is the
+//!   regression the empty-set fast path in `fluid::run` exists for.
+//! - **All ports hot → packet, within tolerance.** With every switch
+//!   port in the hot set the regional engine drives every flow from
+//!   measured marks at real `MultiQueue`s, so its mean FCTs must land in
+//!   the same band around the packet engine that the fluid/hybrid
+//!   engines are held to (`fluid_differential.rs`): ghost pacing skips
+//!   slow-start and ACK clocking, so it is a tolerance check, not a
+//!   byte-compare.
+//!
+//! Both limits run on the dumbbell and the 2×2 leaf–spine so single-hop
+//! and multi-hop (ECMP) paths are covered.
+
+use pmsb_netsim::experiment::{Experiment, FlowDesc};
+use pmsb_netsim::{EngineKind, MarkingConfig, RegionSpec};
+
+fn pmsb() -> MarkingConfig {
+    MarkingConfig::Pmsb {
+        port_threshold_pkts: 12,
+    }
+}
+
+/// Dumbbell: 4 senders into one receiver through a single 5-port
+/// switch (ports 0..=4, port 4 is the bottleneck egress).
+fn dumbbell(engine: EngineKind, region: Option<RegionSpec>) -> Experiment {
+    let mut e = Experiment::dumbbell(4, 4).marking(pmsb()).engine(engine);
+    if let Some(r) = region {
+        e = e.region(r);
+    }
+    for i in 0..4 {
+        // 1 MB bulk flows: bandwidth-dominated, so the missing
+        // slow-start phase stays a second-order effect.
+        e.add_flow(FlowDesc::bulk(i, 4, i, 1_000_000));
+    }
+    e
+}
+
+/// 2 leaves × 2 spines × 4 hosts: leaves are switches 0–1 with ports
+/// 0..6 (4 host downlinks + 2 spine uplinks), spines are switches 2–3
+/// with ports 0..2 (one per leaf). Cross-leaf flows exercise multi-hop
+/// paths and ECMP.
+fn leaf_spine(engine: EngineKind, region: Option<RegionSpec>) -> Experiment {
+    let mut e = Experiment::leaf_spine(2, 2, 4)
+        .marking(pmsb())
+        .engine(engine);
+    if let Some(r) = region {
+        e = e.region(r);
+    }
+    for i in 0..4 {
+        e.add_flow(FlowDesc::bulk(i, 4 + i, i, 1_000_000));
+    }
+    e
+}
+
+/// Every switch port of the dumbbell world.
+fn dumbbell_all_ports() -> RegionSpec {
+    RegionSpec::Ports((0..5).map(|p| (0usize, p)).collect())
+}
+
+/// Every switch port of the 2×2×4 leaf–spine world.
+fn leaf_spine_all_ports() -> RegionSpec {
+    let mut ports = Vec::new();
+    for leaf in 0..2usize {
+        for p in 0..6usize {
+            ports.push((leaf, p));
+        }
+    }
+    for spine in 2..4usize {
+        for p in 0..2usize {
+            ports.push((spine, p));
+        }
+    }
+    RegionSpec::Ports(ports)
+}
+
+/// The full observable signature of one run: per-flow completion times
+/// plus the global mark/drop counters.
+fn signature(e: Experiment, horizon_ms: u64) -> (Vec<(u64, u64, u64)>, u64, u64) {
+    let res = e.run_for_millis(horizon_ms);
+    let records: Vec<(u64, u64, u64)> = res
+        .fct
+        .records()
+        .iter()
+        .map(|r| (r.flow_id, r.end_nanos, r.fct_nanos()))
+        .collect();
+    (records, res.marks, res.drops)
+}
+
+/// Mean FCT in nanoseconds over all completed flows, asserting every
+/// flow finished before the horizon.
+fn mean_fct_nanos(e: Experiment, horizon_ms: u64, expect_flows: usize) -> f64 {
+    let res = e.run_for_millis(horizon_ms);
+    assert_eq!(
+        res.fct.len(),
+        expect_flows,
+        "every flow must complete before the horizon"
+    );
+    let sum: u128 = res
+        .fct
+        .records()
+        .iter()
+        .map(|r| r.fct_nanos() as u128)
+        .sum();
+    sum as f64 / expect_flows as f64
+}
+
+fn assert_within(regional: f64, packet: f64, lo: f64, hi: f64, what: &str) {
+    let ratio = regional / packet;
+    assert!(
+        ratio >= lo && ratio <= hi,
+        "{what}: regional mean FCT {:.1} us vs packet {:.1} us (ratio {ratio:.2}, \
+         tolerance [{lo}, {hi}])",
+        regional / 1e3,
+        packet / 1e3,
+    );
+}
+
+#[test]
+fn empty_hot_set_is_byte_identical_to_fluid() {
+    let region = RegionSpec::Ports(Vec::new());
+    assert_eq!(
+        signature(dumbbell(EngineKind::Regional, Some(region.clone())), 100),
+        signature(dumbbell(EngineKind::Fluid, None), 100),
+        "dumbbell: regional with no hot ports must be the fluid run"
+    );
+    assert_eq!(
+        signature(leaf_spine(EngineKind::Regional, Some(region)), 100),
+        signature(leaf_spine(EngineKind::Fluid, None), 100),
+        "leaf-spine: regional with no hot ports must be the fluid run"
+    );
+}
+
+#[test]
+fn dumbbell_all_ports_hot_matches_packet_within_tolerance() {
+    let packet = mean_fct_nanos(dumbbell(EngineKind::Packet, None), 100, 4);
+    let regional = mean_fct_nanos(
+        dumbbell(EngineKind::Regional, Some(dumbbell_all_ports())),
+        100,
+        4,
+    );
+    assert_within(regional, packet, 0.5, 2.0, "dumbbell all-ports-hot");
+}
+
+#[test]
+fn leaf_spine_all_ports_hot_matches_packet_within_tolerance() {
+    let packet = mean_fct_nanos(leaf_spine(EngineKind::Packet, None), 100, 4);
+    let regional = mean_fct_nanos(
+        leaf_spine(EngineKind::Regional, Some(leaf_spine_all_ports())),
+        100,
+        4,
+    );
+    assert_within(regional, packet, 0.5, 2.0, "leaf-spine all-ports-hot");
+}
+
+/// Regional runs with a real hot set must still be exactly repeatable:
+/// two identical runs produce identical FCT records and counters (the
+/// property CI's byte-compare gate rests on).
+#[test]
+fn explicit_hot_set_runs_are_deterministic() {
+    let run = || {
+        signature(
+            leaf_spine(EngineKind::Regional, Some(leaf_spine_all_ports())),
+            100,
+        )
+    };
+    assert_eq!(run(), run());
+}

@@ -39,30 +39,31 @@ USAGE:
   pmsb-sim dumbbell  [--senders N] [--queues N] [--marking SPEC]
                      [--scheduler SPEC] [--mark-point enq|deq]
                      [--pmsbe-us X] [--transport dctcp|newreno]
-                     [--engine packet|fluid|hybrid] [--buffer SPEC]
+                     [--engine ENGINE] [--buffer SPEC]
                      [--rate-gbps N] [--delay-ns N]
                      [--millis N] [--watch true] [--fault-schedule FILE]
                      [--sim-threads N|auto] [--partition traffic|contiguous]
                      --flow SPEC [--flow SPEC ...]
   pmsb-sim leaf-spine [--load X] [--flows N] [--seed N] [--marking SPEC]
                      [--scheduler SPEC] [--mark-point enq|deq] [--pmsbe-us X]
-                     [--transport dctcp|newreno] [--engine packet|fluid|hybrid]
+                     [--transport dctcp|newreno] [--engine ENGINE]
                      [--buffer SPEC] [--fault-schedule FILE]
                      [--sim-threads N|auto] [--partition traffic|contiguous]
   pmsb-sim fabric    [--topology leaf-spine|fat-tree:K] [--pattern SPEC]
                      [--flows N] [--seed N] [--exact true] [--drain-ms N]
                      [--marking SPEC] [--scheduler SPEC] [--pmsbe-us X]
-                     [--transport dctcp|newreno] [--engine packet|fluid|hybrid]
+                     [--transport dctcp|newreno] [--engine ENGINE]
                      [--buffer SPEC] [--sim-threads N|auto]
                      [--partition traffic|contiguous]
   pmsb-sim profile   --rtt-us X --weights W1,W2,... [--rate-gbps N]
                      [--lambda X] [--margin X]
   pmsb-sim campaign  NAME [--quick] [--jobs N] [--results DIR] [--quiet]
                      [--sim-threads N|auto] [--partition traffic|contiguous]
-                     [--engine packet|fluid|hybrid] [--buffer SPEC]
+                     [--engine ENGINE] [--buffer SPEC]
                      NAME: all | figures | extensions | large-scale-dwrr
                      | large-scale-wfq | seed-sensitivity | faults
-                     | transport | hyperscale | hyperscale-k24 | buffers
+                     | transport | hyperscale | hyperscale-k24
+                     | hyperscale-k24-regional | buffers
                      | any scenario (e.g. fig08, ablation_port_threshold)
   pmsb-sim help
 
@@ -74,18 +75,23 @@ USAGE:
   weighted by the workload's expected traffic, 'contiguous' uses plain
   switch-index ranges. The partition never changes results either.
 
-  --engine picks the simulation engine: 'packet' (default, event per
-  packet), 'fluid' (flow-level max-min rates with steady-state marking
-  curves), or 'hybrid' (fluid rates plus per-port packet micro-sims
-  calibrating the marking — the 10-100x hyperscale fast path, DESIGN.md
-  section 11). The fluid/hybrid engines do not support fault schedules
-  and ignore --sim-threads (they are single-threaded and deterministic).
+  --engine picks the simulation engine (ENGINE below): 'packet'
+  (default, event per packet), 'fluid' (flow-level max-min rates with
+  steady-state marking curves), 'hybrid' (fluid rates plus per-port
+  packet micro-sims calibrating the marking — the 10-100x hyperscale
+  fast path, DESIGN.md section 11), or 'regional[:auto|:ports=S:P,..]'
+  (one run with a hot set of switch ports at full packet level — real
+  scheduler, marking, shared pool, PMSB(e) filter — and fluid rates
+  everywhere else, DESIGN.md section 13; 'auto' scouts the hot set with
+  a deterministic first fluid pass). The fluid/hybrid/regional engines
+  do not support fault schedules and ignore --sim-threads (they are
+  single-threaded and deterministic; a one-line note says so).
 
   --buffer picks the switch buffer allocation (DESIGN.md section 12):
   'static' (default, private per-port buffers), 'dt:ALPHA' (per-switch
   shared pool, Dynamic-Threshold admission), or 'delay[:MICROS]'
   (shared pool, BShare-style delay-driven caps, default 100 us). The
-  shared policies need the packet engine.
+  shared policies need the packet or regional engine.
 
   fabric streams a traffic pattern (lazy flow injection, slab flow
   state, sketch FCT percentiles) over the chosen topology; --exact true
@@ -97,6 +103,7 @@ SPECS:
              | pool:K | mq-ecn:K | tcn:NANOS | red:MIN,MAX,P     (K in packets)
   scheduler  fifo | sp:N | wrr:W,.. | dwrr:W,.. | wfq:W,.. | spwfq:G,..;W,..
   buffer     static | dt:ALPHA | delay[:MICROS]
+  engine     packet | fluid | hybrid | regional[:auto|:ports=S:P[,S:P...]]
   topology   leaf-spine | fat-tree:K            (K even >= 4; k=16 is 1024 hosts)
   pattern    incast[:FAN] | shuffle | hotservice[:EXP] | mix    each may take
              an @DIST size suffix: @web-search | @data-mining | @paper-mix
@@ -185,14 +192,19 @@ fn campaign(args: &[String]) -> Result<(), ParseError> {
                     ))
                 }
             },
-            "--engine" => match rest.next() {
-                Some(v) => pmsb_bench::util::set_engine(parse_engine(&v)?),
-                None => {
-                    return Err(ParseError(
-                        "campaign: --engine needs packet|fluid|hybrid".into(),
-                    ))
+            "--engine" => {
+                match rest.next() {
+                    Some(v) => {
+                        let (kind, region) = parse_engine(&v)?;
+                        pmsb_bench::util::set_engine(kind);
+                        pmsb_bench::util::set_region(region);
+                    }
+                    None => return Err(ParseError(
+                        "campaign: --engine needs packet|fluid|hybrid|regional[:auto|:ports=...]"
+                            .into(),
+                    )),
                 }
-            },
+            }
             "--buffer" => match rest.next() {
                 Some(v) => pmsb_bench::util::set_buffer_policy(parse_buffer(&v)?),
                 None => {
@@ -258,7 +270,8 @@ fn apply_common(mut e: Experiment, options: &[(String, String)]) -> Result<Exper
         e = e.transport_kind(parse_transport(t)?);
     }
     if let Some(en) = opt(options, "engine") {
-        e = e.engine(parse_engine(en)?);
+        let (kind, region) = parse_engine(en)?;
+        e = e.engine(kind).region(region);
     }
     if let Some(b) = opt(options, "buffer") {
         e = e.buffer(parse_buffer(b)?);

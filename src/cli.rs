@@ -5,7 +5,7 @@
 //! `pmsb-sim help` for the surface syntax.
 
 use pmsb_netsim::experiment::{FlowDesc, MarkingConfig, SchedulerConfig, TransportKind};
-use pmsb_netsim::{BufferPolicy, EngineKind, PartitionStrategy};
+use pmsb_netsim::{BufferPolicy, EngineKind, PartitionStrategy, RegionSpec};
 use pmsb_workload::{PatternSpec, SizeDistSpec};
 
 /// A parse failure with a human-readable reason.
@@ -319,25 +319,41 @@ pub fn parse_pattern(s: &str) -> Result<PatternSpec, ParseError> {
     }
 }
 
-/// Parses a simulation-engine name: `packet` (the default event-per-
+/// Parses a simulation-engine spec: `packet` (the default event-per-
 /// packet engine), `fluid` (flow-level max-min rate solve with
-/// steady-state marking curves), or `hybrid` (fluid rates plus per-port
-/// packet micro-simulations calibrating the marking behaviour).
+/// steady-state marking curves), `hybrid` (fluid rates plus per-port
+/// packet micro-simulations calibrating the marking behaviour), or
+/// `regional[:auto|:ports=SWITCH:PORT[,...]]` (fluid everywhere except
+/// a hot set of switch ports simulated at full packet level; the
+/// default `auto` lets a deterministic scout pass flag the hot set).
+///
+/// The returned [`RegionSpec`] is meaningful only for the regional
+/// engine; the other engines carry the default `auto` and ignore it.
 ///
 /// # Example
 ///
 /// ```
 /// use pmsb_repro::cli::parse_engine;
-/// use pmsb_netsim::EngineKind;
+/// use pmsb_netsim::{EngineKind, RegionSpec};
 ///
-/// assert_eq!(parse_engine("hybrid").unwrap(), EngineKind::Hybrid);
+/// assert_eq!(parse_engine("hybrid").unwrap().0, EngineKind::Hybrid);
+/// assert_eq!(
+///     parse_engine("regional:ports=0:4").unwrap(),
+///     (EngineKind::Regional, RegionSpec::Ports(vec![(0, 4)])),
+/// );
 /// ```
-pub fn parse_engine(s: &str) -> Result<EngineKind, ParseError> {
+pub fn parse_engine(s: &str) -> Result<(EngineKind, RegionSpec), ParseError> {
     match s {
-        "packet" => Ok(EngineKind::Packet),
-        "fluid" => Ok(EngineKind::Fluid),
-        "hybrid" => Ok(EngineKind::Hybrid),
-        other => err(format!("unknown engine '{other}' (packet|fluid|hybrid)")),
+        "packet" => Ok((EngineKind::Packet, RegionSpec::Auto)),
+        "fluid" => Ok((EngineKind::Fluid, RegionSpec::Auto)),
+        "hybrid" => Ok((EngineKind::Hybrid, RegionSpec::Auto)),
+        "regional" => Ok((EngineKind::Regional, RegionSpec::Auto)),
+        other => match other.strip_prefix("regional:") {
+            Some(spec) => Ok((EngineKind::Regional, RegionSpec::parse(spec).map_err(ParseError)?)),
+            None => err(format!(
+                "unknown engine '{other}' (packet|fluid|hybrid|regional[:auto|:ports=SWITCH:PORT[,...]])"
+            )),
+        },
     }
 }
 
@@ -681,14 +697,43 @@ mod tests {
 
     #[test]
     fn engines_parse() {
-        assert_eq!(parse_engine("packet").unwrap(), EngineKind::Packet);
-        assert_eq!(parse_engine("fluid").unwrap(), EngineKind::Fluid);
-        assert_eq!(parse_engine("hybrid").unwrap(), EngineKind::Hybrid);
+        assert_eq!(
+            parse_engine("packet").unwrap(),
+            (EngineKind::Packet, RegionSpec::Auto)
+        );
+        assert_eq!(
+            parse_engine("fluid").unwrap(),
+            (EngineKind::Fluid, RegionSpec::Auto)
+        );
+        assert_eq!(
+            parse_engine("hybrid").unwrap(),
+            (EngineKind::Hybrid, RegionSpec::Auto)
+        );
+        assert_eq!(
+            parse_engine("regional").unwrap(),
+            (EngineKind::Regional, RegionSpec::Auto)
+        );
+        assert_eq!(
+            parse_engine("regional:auto").unwrap(),
+            (EngineKind::Regional, RegionSpec::Auto)
+        );
+        assert_eq!(
+            parse_engine("regional:ports=0:4,1:2").unwrap(),
+            (
+                EngineKind::Regional,
+                RegionSpec::Ports(vec![(0, 4), (1, 2)])
+            )
+        );
         let e = parse_engine("quantum").unwrap_err();
         assert!(e.0.contains("quantum"), "names the bad input: {e}");
         assert!(
-            e.0.contains("packet|fluid|hybrid"),
+            e.0.contains("packet|fluid|hybrid|regional"),
             "lists the variants: {e}"
+        );
+        let e = parse_engine("regional:ports=x").unwrap_err();
+        assert!(
+            e.0.contains("SWITCH:PORT"),
+            "region spec errors list the accepted form: {e}"
         );
     }
 
